@@ -1,0 +1,144 @@
+// Ablation studies beyond the paper's headline tables:
+//
+//  1. Monte-Carlo variability of the 1.5T1Fe divider (the reliability
+//     concern the paper's device references flag for multi-level DG
+//     storage): per-corner sense margins and cell yield vs sigma.
+//  2. Accumulated read disturb: SG FG-read drift vs read voltage, against
+//     the disturb-free DG BG-read — the paper's core motivation for the
+//     double-gate structure, quantified.
+//  3. Sensitivity of the divider margins to the design knobs DESIGN.md
+//     calls out (TN length, TML threshold, V_b), via the in-situ Eq. 1
+//     characterization.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "eval/calibration.hpp"
+#include "eval/disturb.hpp"
+#include "eval/half_select.hpp"
+#include "eval/report.hpp"
+#include "eval/trim.hpp"
+#include "eval/variability.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+void print_variability() {
+  std::printf("-- 1. Monte-Carlo divider yield (200 samples/point) --\n");
+  eval::TextTable t({"flavor", "sigma scale", "open-loop yield",
+                     "trimmed yield", "worst margin (open)"});
+  for (const auto flavor : {tcam::Flavor::kSg, tcam::Flavor::kDg}) {
+    for (const double scale : {0.5, 1.0, 2.0, 3.0}) {
+      eval::VariabilityParams p;
+      p.sigma_fefet_vth *= scale;
+      p.sigma_ps_rel *= scale;
+      p.sigma_mos_vth *= scale;
+      p.sigma_vc_rel *= scale;
+      const auto rep = eval::analyze_variability(flavor, p);
+      const auto trimmed = eval::analyze_variability_trimmed(flavor, p);
+      double worst = 1e9;
+      for (const auto& c : rep.corners) {
+        worst = std::min(worst, c.worst_margin);
+      }
+      t.add_row({flavor == tcam::Flavor::kSg ? "1.5T1SG-Fe" : "1.5T1DG-Fe",
+                 eval::format_eng(scale, "x"),
+                 eval::format_eng(100.0 * rep.cell_yield, "%"),
+                 eval::format_eng(100.0 * trimmed.cell_yield, "%"),
+                 eval::format_eng(worst * 1e3, "mV")});
+    }
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf(
+      "(nominal sigma: FeFET Vth 30 mV, Ps 5%%, coercive V 3%%, MOSFET Vth\n"
+      " 20 mV; 'trimmed' = window-relative program-and-verify X placement —\n"
+      " the write-path Vc spread is the dominant open-loop yield killer)\n");
+}
+
+void print_disturb() {
+  std::printf("\n-- 2. Accumulated read disturb (100k read cycles) --\n");
+  const auto res = eval::read_disturb_comparison();
+  eval::TextTable t({"read path", "V_read", "V_read/Vc", "|dP|/Ps",
+                     "Vth drift"});
+  for (const auto& pt : res.sg_fg_read) {
+    t.add_row({"SG FG read", eval::format_eng(pt.v_read, "V"),
+               eval::format_eng(pt.v_read / 3.2, ""),
+               eval::format_eng(pt.p_drift_norm, ""),
+               eval::format_eng(pt.vth_drift * 1e3, "mV")});
+  }
+  t.add_row({"DG BG read", eval::format_eng(res.dg_bg_read.v_read, "V"),
+             "n/a (FG quiet)",
+             eval::format_eng(res.dg_bg_read.p_drift_norm, ""),
+             eval::format_eng(res.dg_bg_read.vth_drift * 1e3, "mV")});
+  std::printf("%s", t.str().c_str());
+  std::printf("(the separated write/read paths make the DG read disturb-free"
+              " at ANY select voltage — paper Sec. II-A)\n");
+}
+
+void print_half_select() {
+  std::printf("\n-- 4. Half-select disturb: row-selective writes --\n");
+  std::printf("(the paper's column-wise write scheme has no row gating; a\n"
+              " practical array needs one of these inhibit schemes)\n");
+  eval::TextTable t({"flavor", "scheme", "v_FE inhibited",
+                     "dVth @1k writes", "writes to 100 mV drift"});
+  for (const bool dg : {true, false}) {
+    for (const auto& pt : eval::half_select_study(dg)) {
+      t.add_row({dg ? "DG" : "SG",
+                 eval::inhibit_scheme_name(pt.scheme),
+                 eval::format_eng(pt.v_fe_program, "V"),
+                 eval::format_eng(pt.vth_drift_1k * 1e3, "mV"),
+                 pt.survives_budget ? ">1e6 (survives)"
+                                    : eval::format_eng(
+                                          static_cast<double>(
+                                              pt.writes_to_fail),
+                                          "")});
+    }
+  }
+  std::printf("%s", t.str().c_str());
+}
+
+void print_sensitivity() {
+  std::printf("\n-- 3. In-situ divider operating points (Eq. 1) --\n");
+  for (const auto flavor : {tcam::Flavor::kSg, tcam::Flavor::kDg}) {
+    const auto r = eval::extract_eq1_resistances(flavor);
+    const double v_on = 0.8 * r.r_n / (r.r_on + r.r_n);
+    const double v_m0 = 0.8 * r.r_n / (r.r_m0 + r.r_n);
+    const double v_m1 = 0.8 * r.r_m1 / (r.r_m1 + r.r_p);
+    std::printf("  1.5T1%s-Fe: V(slb) miss=%.0f mV / X,q0=%.0f mV / "
+                "X,q1=%.0f mV around TML Vth=%.0f mV -> window %s\n",
+                flavor == tcam::Flavor::kSg ? "SG" : "DG", v_on * 1e3,
+                v_m0 * 1e3, v_m1 * 1e3, r.tml_vth * 1e3,
+                r.functional() ? "OK" : "VIOLATED");
+  }
+}
+
+void BM_Variability200(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rep = eval::analyze_variability(tcam::Flavor::kDg, {});
+    benchmark::DoNotOptimize(rep);
+  }
+}
+BENCHMARK(BM_Variability200)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_DisturbSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    auto res = eval::read_disturb_comparison();
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_DisturbSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablations: variability, read disturb, divider margins "
+              "===\n\n");
+  print_variability();
+  print_disturb();
+  print_half_select();
+  print_sensitivity();
+  std::printf("\n=== kernel timing ===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

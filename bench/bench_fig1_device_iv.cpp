@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 1(c)/(d): SG-FeFET FG-read and DG-FeFET BG-read
+// transfer characteristics after full +/-Vw writes, with the extracted
+// memory windows and ON/OFF ratios.
+//
+// Expected shapes: MW(SG, FG) ~ 1.8 V at +/-4 V writes; MW(DG, BG) ~ 2.7 V
+// at +/-2 V writes with a visibly degraded subthreshold slope and ~1e4
+// ON/OFF at V_SeL = 2 V.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "eval/experiments.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+void print_curve(const eval::IvCurve& c) {
+  std::printf("\n-- %s --\n", c.label.c_str());
+  std::printf("   MW (constant-current, 100 nA): %.2f V\n", c.memory_window);
+  std::printf("   ON/OFF at read voltage:        %.3g\n", c.on_off_ratio);
+  std::printf("   %-8s  %-12s  %-12s\n", "Vg (V)", "Id LVT (A)", "Id HVT (A)");
+  for (std::size_t k = 0; k < c.vg.size(); k += 10) {
+    std::printf("   %-8.2f  %-12.4g  %-12.4g\n", c.vg[k], c.id_lvt[k],
+                c.id_hvt[k]);
+  }
+}
+
+void BM_Fig1SgFgRead(benchmark::State& state) {
+  for (auto _ : state) {
+    auto c = eval::fig1_sg_fg_read();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Fig1SgFgRead)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1DgBgRead(benchmark::State& state) {
+  for (auto _ : state) {
+    auto c = eval::fig1_dg_bg_read();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Fig1DgBgRead)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Fig. 1(c)/(d): FeFET transfer characteristics ===\n");
+  std::printf("paper: MW(SG,FG) = 1.8 V @ +/-4 V;  MW(DG,BG) = 2.7 V @ +/-2 V,"
+              " ON/OFF ~ 1e4\n");
+  print_curve(eval::fig1_sg_fg_read());
+  print_curve(eval::fig1_dg_bg_read());
+  std::printf("\n=== kernel timing ===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces paper Fig. 6 (Sec. III-B4): the shared high-voltage driver
+// architecture — driver count/area/leakage of a 4-subarray mat with and
+// without time-multiplexed sharing, plus a schedule simulation measuring
+// driver utilization and the write-vs-search conflicts the sharing
+// introduces under mixed workloads.
+//
+// Expected shape: sharing halves driver count, area and leakage (enabled by
+// the V_write == V_select co-optimization); utilization roughly doubles;
+// stall rate stays low while writes are rare (the paper's "seldom writes,
+// frequent searches" regime).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "arch/hv_driver.hpp"
+#include "eval/array_eval.hpp"
+#include "eval/report.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+void print_bank_report() {
+  const arch::MatGeometry g{.rows = 64, .cols = 64, .subarrays = 4};
+  const arch::HvDriverParams p{};
+  const auto r = arch::driver_bank_report(g, p);
+  eval::TextTable t({"metric", "dedicated", "shared (Fig. 6)", "saving"});
+  t.add_row({"HV drivers", std::to_string(r.drivers_dedicated),
+             std::to_string(r.drivers_shared),
+             eval::format_eng(100.0 * r.area_saving(), "%")});
+  t.add_row({"driver area (um^2)",
+             eval::format_eng(r.area_dedicated_um2, ""),
+             eval::format_eng(r.area_shared_um2, ""),
+             eval::format_eng(100.0 * r.area_saving(), "%")});
+  t.add_row({"driver leakage (nW)",
+             eval::format_eng(r.leakage_dedicated_nw, ""),
+             eval::format_eng(r.leakage_shared_nw, ""),
+             eval::format_eng(100.0 * r.area_saving(), "%")});
+  std::printf("%s", t.str().c_str());
+
+  arch::HvDriverParams no_coopt = p;
+  no_coopt.voltages_match = false;
+  const auto r2 = arch::driver_bank_report(g, no_coopt);
+  std::printf("\nwithout the V_write == V_select co-optimization: %d drivers "
+              "(no sharing possible)\n",
+              r2.drivers_shared);
+}
+
+void run_schedule(double write_fraction, double active_fraction) {
+  const arch::MatGeometry g{.rows = 64, .cols = 64, .subarrays = 4};
+  arch::SharedDriverScheduler sched(g, {});
+  std::mt19937 rng(12345);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int cycle = 0; cycle < 20000; ++cycle) {
+    std::vector<arch::MatOp> req(4, arch::MatOp::kIdle);
+    for (auto& op : req) {
+      if (u(rng) < active_fraction) {
+        op = u(rng) < write_fraction ? arch::MatOp::kWrite
+                                     : arch::MatOp::kSearch;
+      }
+    }
+    sched.submit(req);
+  }
+  std::printf("  write fraction %4.1f%%: utilization %.1f%%, stalls %lld / "
+              "%lld grants\n",
+              100.0 * write_fraction, 100.0 * sched.utilization(),
+              sched.stalls(), sched.grants());
+}
+
+void BM_Scheduler(benchmark::State& state) {
+  const arch::MatGeometry g{.rows = 64, .cols = 64, .subarrays = 4};
+  arch::SharedDriverScheduler sched(g, {});
+  std::vector<arch::MatOp> req{arch::MatOp::kSearch, arch::MatOp::kSearch,
+                               arch::MatOp::kWrite, arch::MatOp::kIdle};
+  for (auto _ : state) {
+    auto granted = sched.submit(req);
+    benchmark::DoNotOptimize(granted);
+  }
+}
+BENCHMARK(BM_Scheduler);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Fig. 6: shared HV driver architecture ===\n\n");
+  print_bank_report();
+  std::printf("\n-- time-multiplexed schedule (80%% busy subarrays) --\n");
+  for (const double wf : {0.0, 0.01, 0.05, 0.20, 0.50}) {
+    run_schedule(wf, 0.8);
+  }
+  std::printf("\n-- array-level datasheets (64x64, shared drivers where "
+              "applicable) --\n");
+  {
+    std::vector<eval::ArrayDatasheet> sheets;
+    for (const auto d :
+         {arch::TcamDesign::kCmos16T, arch::TcamDesign::k2SgFefet,
+          arch::TcamDesign::k2DgFefet, arch::TcamDesign::k1p5SgFe,
+          arch::TcamDesign::k1p5DgFe}) {
+      sheets.push_back(eval::array_datasheet(d));
+    }
+    std::printf("%s", eval::render_datasheets(sheets).c_str());
+  }
+  std::printf("\n=== kernel timing ===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Reproduces paper Fig. 7: word-length impact on (a) search latency and
+// (b) average search energy per cell for the four FeFET TCAM designs.
+//
+// Expected shapes (paper Sec. V-C):
+//  * latency grows with word length for all designs, with the 1.5T1Fe
+//    designs growing more slowly than the 2FeFET designs (lighter ML);
+//  * per-cell search energy FALLS with word length for the 2FeFET designs
+//    (SA/precharge amortization) but RISES for the 1.5T1Fe designs (the
+//    voltage-divider current integrates over a latency-sized window that
+//    lengthens with the word).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+const std::vector<int> kLengths{16, 32, 64, 128};
+
+void run_and_print() {
+  const std::vector<arch::TcamDesign> designs = {
+      arch::TcamDesign::k2SgFefet, arch::TcamDesign::k2DgFefet,
+      arch::TcamDesign::k1p5SgFe, arch::TcamDesign::k1p5DgFe};
+
+  std::vector<std::vector<eval::SweepPoint>> data;
+  for (const auto d : designs) {
+    std::printf("sweeping %s...\n", arch::design_name(d).c_str());
+    std::fflush(stdout);
+    data.push_back(eval::fig7_sweep(d, kLengths));
+  }
+
+  std::printf("\n-- Fig. 7(a): search latency (ps) vs word length --\n");
+  {
+    eval::TextTable t({"N", "2SG-FeFET", "2DG-FeFET", "1.5T1SG-Fe",
+                       "1.5T1DG-Fe"});
+    for (std::size_t k = 0; k < kLengths.size(); ++k) {
+      std::vector<std::string> row{std::to_string(kLengths[k])};
+      for (const auto& series : data) {
+        row.push_back(series[k].ok
+                          ? eval::format_eng(series[k].latency_full_ps, "")
+                          : std::string("-"));
+      }
+      t.add_row(row);
+    }
+    std::printf("%s", t.str().c_str());
+  }
+
+  std::printf("\n-- Fig. 7(b): average search energy per cell (fJ) --\n");
+  {
+    eval::TextTable t({"N", "2SG-FeFET", "2DG-FeFET", "1.5T1SG-Fe",
+                       "1.5T1DG-Fe"});
+    for (std::size_t k = 0; k < kLengths.size(); ++k) {
+      std::vector<std::string> row{std::to_string(kLengths[k])};
+      for (const auto& series : data) {
+        row.push_back(series[k].ok
+                          ? eval::format_eng(series[k].energy_avg_fj, "")
+                          : std::string("-"));
+      }
+      t.add_row(row);
+    }
+    std::printf("%s", t.str().c_str());
+  }
+
+  // CSV for plotting.
+  std::FILE* f = std::fopen("bench_fig7_sweep.csv", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "design,n_bits,latency_ps,latency_1step_ps,"
+                    "energy_avg_fj,energy_1step_fj,energy_2step_fj\n");
+    for (std::size_t di = 0; di < designs.size(); ++di) {
+      for (const auto& p : data[di]) {
+        if (!p.ok) continue;
+        std::fprintf(f, "%s,%d,%.2f,%.2f,%.4f,%.4f,%.4f\n",
+                     arch::design_name(designs[di]).c_str(), p.n_bits,
+                     p.latency_full_ps, p.latency_1step_ps, p.energy_avg_fj,
+                     p.energy_1step_fj, p.energy_2step_fj);
+      }
+    }
+    std::fclose(f);
+    std::printf("\nsweep written to bench_fig7_sweep.csv\n");
+  }
+
+  // Trend checks matching the paper's qualitative claims (Sec. V-C):
+  //  * latency grows with N, more slowly for the 1.5T1Fe designs;
+  //  * 2FeFET energy/cell falls with N (SA amortization);
+  //  * the 1.5T1Fe divider current suppresses that amortization — its
+  //    relative energy decrease from N=32 to N=max is smaller (or negative).
+  const auto& sg2 = data[0];
+  const auto& p15sg = data[2];
+  const bool latency_grows =
+      sg2.front().ok && sg2.back().ok &&
+      sg2.back().latency_full_ps > sg2.front().latency_full_ps;
+  const bool scales_better =
+      sg2.back().latency_full_ps / sg2.front().latency_full_ps >
+      p15sg.back().latency_full_ps / p15sg.front().latency_full_ps;
+  const bool twofefet_energy_falls =
+      sg2.front().ok && sg2.back().ok &&
+      sg2.back().energy_avg_fj < sg2.front().energy_avg_fj;
+  const bool amortization_suppressed =
+      data[2][1].ok && data[0][1].ok &&
+      (data[2].back().energy_avg_fj / data[2][1].energy_avg_fj) >
+          (data[0].back().energy_avg_fj / data[0][1].energy_avg_fj);
+  std::printf("\ntrend checks: latency grows with N: %s | 1.5T1Fe scales "
+              "better: %s | 2FeFET E/cell falls: %s | 1.5T1Fe amortization "
+              "suppressed: %s\n",
+              latency_grows ? "yes" : "NO", scales_better ? "yes" : "NO",
+              twofefet_energy_falls ? "yes" : "NO",
+              amortization_suppressed ? "yes" : "NO");
+}
+
+void BM_Fig7OnePoint(benchmark::State& state) {
+  for (auto _ : state) {
+    auto pts = eval::fig7_sweep(arch::TcamDesign::k1p5SgFe, {32});
+    benchmark::DoNotOptimize(pts);
+  }
+}
+BENCHMARK(BM_Fig7OnePoint)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Fig. 7: word-length design-space exploration ===\n");
+  run_and_print();
+  std::printf("\n=== kernel timing ===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Simulator-kernel scaling study (no paper counterpart): dense vs sparse LU
+// factorization cost on MNA-structured matrices, and end-to-end transient
+// throughput of the word harness at growing word lengths.
+//
+// This is the evidence behind the SolverKind::kAuto policy: the sparse
+// Gilbert-Peierls path overtakes dense LU at a few hundred unknowns on the
+// ladder-plus-branches structure TCAM netlists produce.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "numeric/lu.hpp"
+#include "numeric/sparse_lu.hpp"
+#include "tcam/sim_harness.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+// MNA-like ladder matrix: tridiagonal conductances plus a few long-range
+// branch rows, the structure of a match-line netlist.
+void build_ladder(int n, num::Matrix* dense, num::TripletAccumulator* sparse) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> g(0.5, 2.0);
+  const auto add = [&](num::Index r, num::Index c, double v) {
+    if (dense != nullptr) (*dense)(r, c) += v;
+    if (sparse != nullptr) sparse->add(r, c, v);
+  };
+  for (int i = 0; i < n; ++i) {
+    add(i, i, 2.5 + g(rng));
+    if (i > 0) add(i, i - 1, -1.0);
+    if (i + 1 < n) add(i, i + 1, -1.0);
+  }
+  // Branch-like rows every 32 unknowns.
+  for (int i = 0; i + 32 < n; i += 32) {
+    add(i, i + 32, 1.0);
+    add(i + 32, i, 1.0);
+  }
+}
+
+void BM_DenseLu(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  num::Matrix a(n, n);
+  build_ladder(n, &a, nullptr);
+  num::Vector b(n, 1.0);
+  for (auto _ : state) {
+    num::LuFactorization lu;
+    benchmark::DoNotOptimize(lu.factor(a));
+    auto x = lu.solve(b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_DenseLu)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SparseLu(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  num::TripletAccumulator a(n);
+  build_ladder(n, nullptr, &a);
+  num::Vector b(n, 1.0);
+  for (auto _ : state) {
+    num::SparseLu lu;
+    benchmark::DoNotOptimize(lu.factor(a));
+    auto x = lu.solve(b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SparseLu)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_WordSearchTransient(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    tcam::WordOptions opts;
+    opts.n_bits = n;
+    tcam::SearchConfig cfg;
+    for (int i = 0; i < n; ++i) {
+      cfg.stored.push_back((i % 2) != 0 ? arch::Ternary::kOne
+                                        : arch::Ternary::kZero);
+      cfg.query.push_back((i % 2) != 0 ? 1 : 0);
+    }
+    auto m = tcam::measure_search(arch::TcamDesign::k1p5DgFe, opts, cfg);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_WordSearchTransient)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+// Reproduces paper Table I: operations of the 2DG-FeFET TCAM cell.
+// Every write state (complementary +/-2 V FG pulses) and every stored x
+// query search (V_s = 2 V on the back gates) is simulated and verified.
+#include "ops_verify_common.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+void BM_VerifyTab1(benchmark::State& state) {
+  for (auto _ : state) {
+    auto checks = eval::verify_operation_table(arch::TcamDesign::k2DgFefet);
+    benchmark::DoNotOptimize(checks);
+  }
+}
+BENCHMARK(BM_VerifyTab1)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchsupport::ops_bench_main(argc, argv,
+                                      arch::TcamDesign::k2DgFefet, "Table I");
+}

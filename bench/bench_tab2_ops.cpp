@@ -1,0 +1,29 @@
+// Reproduces paper Table II: operations of the 1.5T1DG-Fe TCAM cell —
+// three-phase write (erase / program-'1' / program-'X' at V_m) and the
+// two-step voltage-divider search with V_SeL = 2 V and V_b bias.
+#include "ops_verify_common.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+void BM_VerifyTab2(benchmark::State& state) {
+  for (auto _ : state) {
+    auto checks = eval::verify_operation_table(arch::TcamDesign::k1p5DgFe);
+    benchmark::DoNotOptimize(checks);
+  }
+}
+BENCHMARK(BM_VerifyTab2)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tcam::WordOptions opts;
+  opts.n_bits = 2;
+  tcam::OnePointFiveWord dg(tcam::Flavor::kDg, opts);
+  std::printf("1.5T1DG-Fe levels: Vw = +/-%.1f V, Vm = %.2f V (paper 1.6 V), "
+              "V_SeL = %.1f V, V_b = %.2f V, VDD = 0.8 V\n\n",
+              2.0, dg.vm(), dg.select_voltage(), dg.cell_params().v_b);
+  return benchsupport::ops_bench_main(argc, argv, arch::TcamDesign::k1p5DgFe,
+                                      "Table II");
+}

@@ -1,0 +1,28 @@
+// Reproduces paper Table III: operations of the 1.5T1SG-Fe TCAM cell —
+// the merged BL/SeL front-gate line variant (V_SeL = 0.8 V, Vw = +/-4 V).
+#include "ops_verify_common.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+void BM_VerifyTab3(benchmark::State& state) {
+  for (auto _ : state) {
+    auto checks = eval::verify_operation_table(arch::TcamDesign::k1p5SgFe);
+    benchmark::DoNotOptimize(checks);
+  }
+}
+BENCHMARK(BM_VerifyTab3)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tcam::WordOptions opts;
+  opts.n_bits = 2;
+  tcam::OnePointFiveWord sg(tcam::Flavor::kSg, opts);
+  std::printf("1.5T1SG-Fe levels: Vw = +/-%.1f V, Vm = %.2f V (paper 3.2 V), "
+              "V_SeL = %.1f V, VDD = 0.8 V\n\n",
+              4.0, sg.vm(), sg.select_voltage());
+  return benchsupport::ops_bench_main(argc, argv, arch::TcamDesign::k1p5SgFe,
+                                      "Table III");
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Table IV: the figure-of-merit comparison of the 16T CMOS
+// baseline and the four FeFET TCAM designs at 64x64 — write voltage, FE
+// thickness, cell area, write energy/cell, worst-case search latency
+// (1-step and 2-step for the 1.5T1Fe designs), and search energy/cell
+// (1-step / 2-step / 90 %-step-1-miss average).
+//
+// Expected shapes (see EXPERIMENTS.md for the measured-vs-paper table):
+//  * write energy ratios ~ 1 : 2 : 2 : 4 for 2SG : 2DG : 1.5T1SG : 1.5T1DG;
+//  * cell areas match Table IV by construction of the layout model;
+//  * latency ordering 16T < 1.5T1SG < {2SG, 1.5T1DG} < 2DG;
+//  * early termination cuts 1.5T1Fe search energy ~3x vs the full 2-step.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "eval/calibration.hpp"
+#include "eval/experiments.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+void print_divider_margins() {
+  std::printf("\n-- Eq. 1 operating-point resistances (in-situ) --\n");
+  for (const auto flavor : {tcam::Flavor::kSg, tcam::Flavor::kDg}) {
+    const auto r = eval::extract_eq1_resistances(flavor);
+    std::printf("  1.5T1%s-Fe: R_ON=%.3g R_N=%.3g R_M(q0)=%.3g R_M(q1)=%.3g "
+                "R_P=%.3g R_OFF=%.3g Ohm -> %s\n",
+                flavor == tcam::Flavor::kSg ? "SG" : "DG", r.r_on, r.r_n,
+                r.r_m0, r.r_m1, r.r_p, r.r_off,
+                r.functional() ? "Eq.1 window OK" : "Eq.1 window VIOLATED");
+  }
+}
+
+void BM_Table4SingleDesign(benchmark::State& state) {
+  for (auto _ : state) {
+    auto fom = eval::evaluate_fom(arch::TcamDesign::k1p5DgFe);
+    benchmark::DoNotOptimize(fom);
+  }
+}
+BENCHMARK(BM_Table4SingleDesign)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Table IV: FoM comparison (64-bit words, 64-row array) "
+              "===\n\n");
+  const auto foms = eval::table4();
+  for (const auto& f : foms) {
+    if (!f.ok) std::printf("%s FAILED: %s\n", f.name.c_str(), f.error.c_str());
+  }
+  std::printf("%s", eval::render_table4(foms).c_str());
+  print_divider_margins();
+  std::printf("\n=== kernel timing ===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helper for the Table I/II/III operation-table benches: simulates
+// every write state and stored x query search of a design and prints the
+// verified operation table.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "eval/experiments.hpp"
+#include "tcam/cell_1p5t1fe.hpp"
+
+namespace fetcam::benchsupport {
+
+/// Prints the verified operation rows; returns the number of failures.
+inline int print_operation_table(arch::TcamDesign design,
+                                 const char* paper_table) {
+  std::printf("=== %s: %s cell operations (simulated & verified) ===\n",
+              paper_table, arch::design_name(design).c_str());
+  int failures = 0;
+  const auto checks = eval::verify_operation_table(design);
+  for (const auto& c : checks) {
+    std::printf("  %-26s %-40s %s\n", c.operation.c_str(), c.detail.c_str(),
+                c.passed ? "OK" : "FAIL");
+    if (!c.passed) ++failures;
+  }
+  std::printf("%s\n", failures == 0 ? "ALL OPERATION CHECKS PASSED"
+                                    : "OPERATION CHECK FAILURES!");
+  return failures;
+}
+
+/// Standard main body: print the table, then run the kernel timing.
+inline int ops_bench_main(int argc, char** argv, arch::TcamDesign design,
+                          const char* paper_table) {
+  const int failures = print_operation_table(design, paper_table);
+  std::printf("\n=== kernel timing ===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace fetcam::benchsupport

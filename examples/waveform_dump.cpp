@@ -1,0 +1,61 @@
+// Waveform dump: run the paper's Fig. 4 scenarios on a 1.5T1DG-Fe word and
+// export the select/ML/SA waveforms to CSV and VCD for inspection in a
+// plotting tool or GTKWave.
+//
+//   $ ./waveform_dump [out_basename]
+//   -> <out>_step1_miss.{csv,vcd}, <out>_step2_miss.{csv,vcd},
+//      <out>_match.{csv,vcd}
+#include <cstdio>
+#include <string>
+
+#include "spice/waveio.hpp"
+#include "tcam/sim_harness.hpp"
+
+using namespace fetcam;
+
+int main(int argc, char** argv) {
+  const std::string base = argc > 1 ? argv[1] : "fig4";
+  const int n = 8;
+
+  struct Scenario {
+    const char* label;
+    const char* stored;
+    const char* query;
+    int steps;
+  };
+  const Scenario scenarios[] = {
+      {"step1_miss", "11010101", "01010101", 1},
+      {"step2_miss", "00010101", "01010101", 2},
+      {"match", "01010101", "01010101", 2},
+  };
+
+  for (const auto& sc : scenarios) {
+    tcam::WordOptions opts;
+    opts.n_bits = n;
+    tcam::SearchConfig cfg;
+    cfg.stored = arch::word_from_string(sc.stored);
+    cfg.query = arch::bits_from_string(sc.query);
+    cfg.steps = sc.steps;
+
+    spice::Trace trace;
+    const auto m = tcam::measure_search(arch::TcamDesign::k1p5DgFe, opts,
+                                        cfg, &trace);
+    if (!m.ok) {
+      std::printf("%s: simulation failed: %s\n", sc.label, m.error.c_str());
+      return 1;
+    }
+    const std::string out = base + "_" + sc.label;
+    const std::vector<std::string> nodes = {
+        "sela", "selb", "ml0", "ml" + std::to_string(n / 2 - 1), "ml.saout"};
+    if (!spice::export_waveforms(out, trace, nodes)) {
+      std::printf("%s: export failed\n", sc.label);
+      return 1;
+    }
+    std::printf("%-11s -> SA %-5s  (%zu samples) -> %s.{csv,vcd}\n",
+                sc.label, m.measured_match ? "match" : "miss", trace.size(),
+                out.c_str());
+  }
+  std::printf("\nview: gtkwave %s_match.vcd   or plot the CSVs\n",
+              base.c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "arch/area_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fetcam::arch {
+
+std::string design_name(TcamDesign d) {
+  switch (d) {
+    case TcamDesign::kCmos16T:
+      return "16T CMOS";
+    case TcamDesign::k2SgFefet:
+      return "2SG-FeFET";
+    case TcamDesign::k2DgFefet:
+      return "2DG-FeFET";
+    case TcamDesign::k1p5SgFe:
+      return "1.5T1SG-Fe";
+    case TcamDesign::k1p5DgFe:
+      return "1.5T1DG-Fe";
+  }
+  throw std::invalid_argument("unknown design");
+}
+
+CellArea cell_area(TcamDesign d, const AreaParams& p) {
+  CellArea a;
+  switch (d) {
+    case TcamDesign::kCmos16T:
+      a.fefets = 0;
+      a.transistors = 16.0;
+      a.devices_um2 = 16.0 * p.cmos_t_unit;
+      a.well_um2 = 0.0;
+      break;
+    case TcamDesign::k2SgFefet:
+      a.fefets = 2;
+      a.transistors = 0.0;
+      a.devices_um2 = 2.0 * p.fefet_unit;
+      a.well_um2 = 0.0;
+      break;
+    case TcamDesign::k2DgFefet:
+      // Dedicated SLs need 2N column-wise isolated P-wells: two well
+      // boundaries charged to every cell.
+      a.fefets = 2;
+      a.transistors = 0.0;
+      a.devices_um2 = 2.0 * p.fefet_unit;
+      a.well_um2 = 2.0 * p.well_spacing_unit;
+      break;
+    case TcamDesign::k1p5SgFe:
+      // One FeFET plus half of the shared TP/TN/TML per cell.
+      a.fefets = 1;
+      a.transistors = 1.5;
+      a.devices_um2 = p.fefet_unit + 1.5 * p.control_t_unit;
+      a.well_um2 = 0.0;
+      break;
+    case TcamDesign::k1p5DgFe:
+      // Row-wise SeL wells: 2M wells for an M x N array, partially
+      // amortized along the word.
+      a.fefets = 1;
+      a.transistors = 1.5;
+      a.devices_um2 = p.fefet_unit + 1.5 * p.control_t_unit;
+      a.well_um2 = p.row_well_share * p.well_spacing_unit;
+      break;
+  }
+  a.total_um2 = a.devices_um2 + a.well_um2;
+  return a;
+}
+
+double cell_pitch_m(TcamDesign d, const AreaParams& p, double aspect) {
+  const double area = cell_area(d, p).total_um2;  // um^2
+  const double width_um = std::sqrt(area * aspect);
+  return width_um * 1e-6;
+}
+
+ArrayArea array_area(TcamDesign d, int rows, int cols,
+                     double driver_um2_per_line, bool shared_drivers,
+                     const AreaParams& p) {
+  ArrayArea out;
+  out.cells_um2 = cell_area(d, p).total_um2 * rows * cols;
+  // One driver per column write line plus one per row/column search-control
+  // line; sharing halves the count (Fig. 6).
+  const int write_lines = cols;
+  const int search_lines =
+      (d == TcamDesign::k1p5DgFe || d == TcamDesign::k1p5SgFe) ? 2 * rows
+                                                               : cols;
+  int drivers = write_lines + search_lines;
+  if (shared_drivers) drivers = (drivers + 1) / 2;
+  out.drivers_um2 = drivers * driver_um2_per_line;
+  out.total_um2 = out.cells_um2 + out.drivers_um2;
+  return out;
+}
+
+}  // namespace fetcam::arch

@@ -1,0 +1,76 @@
+// Parametric cell/array area model.
+//
+// The paper estimates cell areas from layouts [27] including "the large
+// spacing between different P-wells".  We reproduce the same accounting as
+// an explicit sum of components:
+//
+//   cell area = (FeFET devices) + (control transistors, sized)
+//             + (isolated P-well spacing share)
+//
+// with component footprints calibrated so the five designs land on the
+// Table IV values (0.286 / 0.095 / 0.204 / 0.108 / 0.156 um^2).  The knobs
+// stay physical: shrink `well_spacing_unit` and the DG designs close the gap
+// to their SG counterparts, exactly the sensitivity the paper discusses.
+#pragma once
+
+#include <string>
+
+namespace fetcam::arch {
+
+enum class TcamDesign {
+  kCmos16T,
+  k2SgFefet,
+  k2DgFefet,
+  k1p5SgFe,
+  k1p5DgFe,
+};
+
+std::string design_name(TcamDesign d);
+
+struct AreaParams {
+  /// Footprint of one minimum CMOS transistor incl. wiring share, um^2
+  /// (16T cell / 16 devices at 14 nm SOI [25]).
+  double cmos_t_unit = 0.286 / 16.0;
+  /// Footprint of one FeFET (20 x 50 nm device, gate contact, S/D), um^2.
+  double fefet_unit = 0.0475;
+  /// Footprint of one *sized* control transistor (TP/TN/TML average) — the
+  /// "relatively large TP and TN" of the 1.5T1Fe divider, um^2.
+  double control_t_unit = 0.121 / 3.0;
+  /// Isolated P-well spacing charged per independently-biased well boundary
+  /// per cell, um^2.
+  double well_spacing_unit = 0.0545;
+  /// Row-wise well strips of the 1.5T1Fe DG design amortize part of the
+  /// spacing across the word (2M wells instead of 2N columns).
+  double row_well_share = 0.88;
+};
+
+struct CellArea {
+  double total_um2 = 0.0;
+  double devices_um2 = 0.0;   ///< FeFETs + control/CMOS transistors
+  double well_um2 = 0.0;      ///< P-well isolation share
+  int fefets = 0;
+  double transistors = 0.0;   ///< control transistors per cell (may be 1.5)
+};
+
+/// Per-cell area breakdown for a design.
+CellArea cell_area(TcamDesign d, const AreaParams& p = {});
+
+/// Cell pitch along the match line assuming the given aspect ratio
+/// (width / height); meters.
+double cell_pitch_m(TcamDesign d, const AreaParams& p = {},
+                    double aspect = 1.0);
+
+struct ArrayArea {
+  double cells_um2 = 0.0;
+  double drivers_um2 = 0.0;
+  double total_um2 = 0.0;
+};
+
+/// Array area for rows x cols cells plus peripheral driver estimate.
+/// `driver_um2_per_line` models one HV driver footprint; `shared_drivers`
+/// applies the paper's Fig. 6 time-multiplexed sharing (driver count halved).
+ArrayArea array_area(TcamDesign d, int rows, int cols,
+                     double driver_um2_per_line, bool shared_drivers,
+                     const AreaParams& p = {});
+
+}  // namespace fetcam::arch

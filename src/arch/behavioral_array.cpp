@@ -1,0 +1,73 @@
+#include "arch/behavioral_array.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::arch {
+
+TcamArray::TcamArray(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("array dimensions must be positive");
+  }
+  entries_.assign(static_cast<std::size_t>(rows),
+                  TernaryWord(static_cast<std::size_t>(cols), Ternary::kX));
+  valid_.assign(static_cast<std::size_t>(rows), false);
+}
+
+void TcamArray::check_row(int row) const {
+  if (row < 0 || row >= rows_) throw std::out_of_range("row out of range");
+}
+
+void TcamArray::write(int row, const TernaryWord& entry) {
+  check_row(row);
+  if (static_cast<int>(entry.size()) != cols_) {
+    throw std::invalid_argument("entry width mismatch");
+  }
+  entries_[static_cast<std::size_t>(row)] = entry;
+  valid_[static_cast<std::size_t>(row)] = true;
+}
+
+void TcamArray::erase(int row) {
+  check_row(row);
+  valid_[static_cast<std::size_t>(row)] = false;
+}
+
+bool TcamArray::valid(int row) const {
+  check_row(row);
+  return valid_[static_cast<std::size_t>(row)];
+}
+
+const TernaryWord& TcamArray::entry(int row) const {
+  check_row(row);
+  return entries_[static_cast<std::size_t>(row)];
+}
+
+std::vector<bool> TcamArray::search(const BitWord& query) const {
+  if (static_cast<int>(query.size()) != cols_) {
+    throw std::invalid_argument("query width mismatch");
+  }
+  std::vector<bool> out(static_cast<std::size_t>(rows_), false);
+  for (int r = 0; r < rows_; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    out[idx] = valid_[idx] && word_matches(entries_[idx], query);
+  }
+  return out;
+}
+
+std::optional<int> TcamArray::first_match(const BitWord& query) const {
+  const auto m = search(query);
+  for (int r = 0; r < rows_; ++r) {
+    if (m[static_cast<std::size_t>(r)]) return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> TcamArray::all_matches(const BitWord& query) const {
+  const auto m = search(query);
+  std::vector<int> out;
+  for (int r = 0; r < rows_; ++r) {
+    if (m[static_cast<std::size_t>(r)]) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace fetcam::arch

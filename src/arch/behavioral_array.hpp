@@ -1,0 +1,50 @@
+// Behavioral (golden) TCAM array model.
+//
+// Functionally exact content-addressable search over ternary entries, used
+// as the reference the circuit harnesses are checked against, and as the
+// fast engine behind the examples (routing, pattern stores) where running a
+// transient per search would be absurd.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/ternary.hpp"
+
+namespace fetcam::arch {
+
+class TcamArray {
+ public:
+  /// rows entries of `cols` ternary digits, all initialized to 'X'
+  /// (matching an erased array) and marked invalid.
+  TcamArray(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Store an entry (marks the row valid).
+  void write(int row, const TernaryWord& entry);
+  /// Invalidate a row (it matches nothing until rewritten).
+  void erase(int row);
+  bool valid(int row) const;
+  const TernaryWord& entry(int row) const;
+
+  /// Fully parallel search: per-row match flags (invalid rows never match).
+  std::vector<bool> search(const BitWord& query) const;
+
+  /// Priority-encoded search: lowest matching row index.
+  std::optional<int> first_match(const BitWord& query) const;
+
+  /// All matching row indices, ascending.
+  std::vector<int> all_matches(const BitWord& query) const;
+
+ private:
+  void check_row(int row) const;
+
+  int rows_;
+  int cols_;
+  std::vector<TernaryWord> entries_;
+  std::vector<bool> valid_;
+};
+
+}  // namespace fetcam::arch

@@ -1,0 +1,77 @@
+#include "arch/controller.hpp"
+
+namespace fetcam::arch {
+
+namespace {
+
+WriteVoltages voltages_for(TcamDesign design) {
+  switch (design) {
+    case TcamDesign::k2SgFefet:
+    case TcamDesign::k1p5SgFe:
+      return {.vw = 4.0, .vm = 3.39, .vdd = 0.8};
+    case TcamDesign::k2DgFefet:
+    case TcamDesign::k1p5DgFe:
+      return {.vw = 2.0, .vm = 1.66, .vdd = 0.8};
+    case TcamDesign::kCmos16T:
+      return {.vw = 0.9, .vm = 0.0, .vdd = 0.8};
+  }
+  return {};
+}
+
+}  // namespace
+
+TcamController::TcamController(TcamDesign design, int rows, int cols)
+    : TcamController(design, rows, cols, default_op_costs(design)) {}
+
+TcamController::TcamController(TcamDesign design, int rows, int cols,
+                               OpCosts costs)
+    : array_(rows, cols),
+      energy_(design, rows, cols, costs),
+      endurance_(design, rows),
+      write_voltages_(voltages_for(design)) {}
+
+void TcamController::update(int row, const TernaryWord& entry) {
+  const TernaryWord previous =
+      array_.valid(row) ? array_.entry(row) : TernaryWord{};
+  const WritePlan plan =
+      two_step() ? three_step_plan(entry, previous, write_voltages_)
+                 : complementary_plan(entry, write_voltages_);
+  write_pulses_ += static_cast<long long>(plan.phases.size());
+  // Energy: the 2FeFET designs switch every cell regardless of data; the
+  // 1.5T1Fe plans charge only switching cells.
+  const int cells = two_step() ? plan.total_switching_cells()
+                               : array_.cols();
+  energy_.on_write(cells);
+  endurance_.on_write(row);
+  array_.write(row, entry);
+}
+
+void TcamController::erase(int row) { array_.erase(row); }
+
+ScheduledSearchResult TcamController::search(const BitWord& query) {
+  ScheduledSearchResult res;
+  if (two_step()) {
+    res = two_step_search(array_, query);
+  } else {
+    res.matches = array_.search(query);
+    res.stats.rows = array_.rows();
+    for (const bool m : res.matches) {
+      if (m) ++res.stats.matches;
+    }
+    // Single-step designs evaluate every cell of every row.
+    res.stats.step2_evaluated = array_.rows();
+  }
+  energy_.on_search(res.stats);
+  stats_.add(res.stats);
+  return res;
+}
+
+std::optional<int> TcamController::first_match(const BitWord& query) {
+  const auto res = search(query);
+  for (int r = 0; r < array_.rows(); ++r) {
+    if (res.matches[static_cast<std::size_t>(r)]) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fetcam::arch

@@ -1,0 +1,62 @@
+// TCAM macro controller: the firmware-facing façade.
+//
+// Ties together the behavioral array (content), the two-step search
+// scheduler (early termination), the write controller (1- or 3-phase
+// plans), the energy model (per-op costs), and endurance bookkeeping — so
+// an application issues `search` / `update` calls and gets functional
+// results plus running energy/latency/lifetime telemetry, exactly the
+// accounting the examples previously hand-rolled.
+#pragma once
+
+#include <optional>
+
+#include "arch/behavioral_array.hpp"
+#include "arch/endurance.hpp"
+#include "arch/energy_model.hpp"
+#include "arch/search_scheduler.hpp"
+#include "arch/write_controller.hpp"
+
+namespace fetcam::arch {
+
+class TcamController {
+ public:
+  TcamController(TcamDesign design, int rows, int cols);
+  TcamController(TcamDesign design, int rows, int cols, OpCosts costs);
+
+  int rows() const { return array_.rows(); }
+  int cols() const { return array_.cols(); }
+  TcamDesign design() const { return energy_.design(); }
+
+  /// Store an entry; generates the design's write plan (three-phase for
+  /// 1.5T1Fe) and charges energy/endurance for the switching cells.
+  void update(int row, const TernaryWord& entry);
+  /// Invalidate a row (no device writes: the valid bit lives in the
+  /// peripheral logic).
+  void erase(int row);
+
+  /// Parallel search with the design's step semantics; charges energy per
+  /// the early-termination statistics.
+  ScheduledSearchResult search(const BitWord& query);
+  /// Priority-encoded convenience.
+  std::optional<int> first_match(const BitWord& query);
+
+  const TcamArray& array() const { return array_; }
+  const ArrayEnergyModel& energy() const { return energy_; }
+  const EnduranceModel& endurance() const { return endurance_; }
+  const SearchStatsAccumulator& search_stats() const { return stats_; }
+
+  /// Total write pulses issued (phases x rows written).
+  long long write_pulses() const { return write_pulses_; }
+
+ private:
+  bool two_step() const { return energy_.costs().two_step; }
+
+  TcamArray array_;
+  ArrayEnergyModel energy_;
+  EnduranceModel endurance_;
+  SearchStatsAccumulator stats_;
+  WriteVoltages write_voltages_;
+  long long write_pulses_ = 0;
+};
+
+}  // namespace fetcam::arch

@@ -1,0 +1,73 @@
+#include "arch/endurance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fetcam::arch {
+
+double endurance_cycles(TcamDesign design) {
+  switch (design) {
+    case TcamDesign::kCmos16T:
+      return 1e16;  // SRAM: effectively unlimited
+    case TcamDesign::k2SgFefet:
+    case TcamDesign::k1p5SgFe:
+      // Thick-FE (10 nm) SG devices at +/-4 V: charge-trapping limited.
+      return 1e6;
+    case TcamDesign::k2DgFefet:
+    case TcamDesign::k1p5DgFe:
+      // Thin-FE DG devices at +/-2 V: >1e10 demonstrated [18].
+      return 1e10;
+  }
+  throw std::invalid_argument("unknown design");
+}
+
+EnduranceModel::EnduranceModel(TcamDesign design, int rows)
+    : design_(design), per_row_(static_cast<std::size_t>(rows), 0) {
+  if (rows <= 0) throw std::invalid_argument("rows must be positive");
+}
+
+void EnduranceModel::on_write(int row) {
+  per_row_.at(static_cast<std::size_t>(row)) += 1;
+  ++total_;
+}
+
+std::uint64_t EnduranceModel::writes(int row) const {
+  return per_row_.at(static_cast<std::size_t>(row));
+}
+
+int EnduranceModel::hottest_row() const {
+  return static_cast<int>(
+      std::max_element(per_row_.begin(), per_row_.end()) - per_row_.begin());
+}
+
+double EnduranceModel::wear_fraction() const {
+  const auto hot = per_row_[static_cast<std::size_t>(hottest_row())];
+  return static_cast<double>(hot) / endurance_cycles(design_);
+}
+
+std::uint64_t EnduranceModel::writes_remaining() const {
+  const double frac = wear_fraction();
+  if (frac <= 0.0) {
+    return static_cast<std::uint64_t>(endurance_cycles(design_)) *
+           per_row_.size();
+  }
+  if (frac >= 1.0) return 0;
+  return static_cast<std::uint64_t>(total_ * (1.0 - frac) / frac);
+}
+
+double EnduranceModel::lifetime_seconds(double updates_per_second) const {
+  if (updates_per_second <= 0.0 || total_ == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(writes_remaining()) / updates_per_second;
+}
+
+double EnduranceModel::imbalance() const {
+  if (total_ == 0) return 1.0;
+  const double mean = static_cast<double>(total_) / per_row_.size();
+  const auto hot = per_row_[static_cast<std::size_t>(hottest_row())];
+  return static_cast<double>(hot) / mean;
+}
+
+}  // namespace fetcam::arch

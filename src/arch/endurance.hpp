@@ -1,0 +1,53 @@
+// Endurance bookkeeping for FeFET TCAM arrays.
+//
+// The paper motivates the DG-FeFET partly by endurance: the thinner FE
+// layer and halved write voltage push cycling endurance past 1e10 [18],
+// versus ~1e5-1e7 for thick-FE SG devices.  For "seldom writes, frequent
+// searches" workloads that is plenty — but rule-update-heavy deployments
+// (routing churn, online learning) can wear rows out.  This model tracks
+// per-row write cycles against the device budget and answers: how long does
+// the array last at a given update rate, and does write traffic need
+// leveling?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/area_model.hpp"
+
+namespace fetcam::arch {
+
+/// Write-cycle budget per design (each row write cycles its cells once; the
+/// 2FeFET designs cycle BOTH devices, but the budget is per device).
+double endurance_cycles(TcamDesign design);
+
+class EnduranceModel {
+ public:
+  EnduranceModel(TcamDesign design, int rows);
+
+  /// Record one write (erase+program) of `row`.
+  void on_write(int row);
+
+  std::uint64_t writes(int row) const;
+  std::uint64_t total_writes() const { return total_; }
+  /// Most-written row (the wear hotspot).
+  int hottest_row() const;
+  /// Fraction of the hottest row's budget consumed, in [0, inf).
+  double wear_fraction() const;
+  /// Writes remaining before the hottest row exceeds its budget, assuming
+  /// the current per-row distribution continues proportionally.
+  std::uint64_t writes_remaining() const;
+  /// Lifetime in seconds at `updates_per_second` row writes following the
+  /// observed distribution.
+  double lifetime_seconds(double updates_per_second) const;
+  /// Imbalance metric: hottest-row writes / mean writes (1 = perfectly
+  /// leveled).  High values say the controller should wear-level.
+  double imbalance() const;
+
+ private:
+  TcamDesign design_;
+  std::vector<std::uint64_t> per_row_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fetcam::arch

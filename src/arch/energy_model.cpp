@@ -1,0 +1,75 @@
+#include "arch/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::arch {
+
+OpCosts default_op_costs(TcamDesign design) {
+  // Calibrated from the SPICE word harnesses at 64-bit words (see
+  // tools/calib_fom.cpp and EXPERIMENTS.md).  Energies are per cell.
+  switch (design) {
+    case TcamDesign::kCmos16T:
+      return {.search_e1 = 0.164e-15, .search_e2 = 0.164e-15,
+              .latency_1step = 0.0, .latency_full = 79e-12,
+              .write_energy = 0.0, .two_step = false};
+    case TcamDesign::k2SgFefet:
+      return {.search_e1 = 0.237e-15, .search_e2 = 0.237e-15,
+              .latency_1step = 0.0, .latency_full = 470e-12,
+              .write_energy = 4.0e-15, .two_step = false};
+    case TcamDesign::k2DgFefet:
+      return {.search_e1 = 2.32e-15, .search_e2 = 2.32e-15,
+              .latency_1step = 0.0, .latency_full = 968e-12,
+              .write_energy = 1.83e-15, .two_step = false};
+    case TcamDesign::k1p5SgFe:
+      return {.search_e1 = 0.171e-15, .search_e2 = 0.596e-15,
+              .latency_1step = 118e-12, .latency_full = 267e-12,
+              .write_energy = 2.22e-15, .two_step = true};
+    case TcamDesign::k1p5DgFe:
+      return {.search_e1 = 0.380e-15, .search_e2 = 1.64e-15,
+              .latency_1step = 326e-12, .latency_full = 737e-12,
+              .write_energy = 0.965e-15, .two_step = true};
+  }
+  throw std::invalid_argument("unknown design");
+}
+
+ArrayEnergyModel::ArrayEnergyModel(TcamDesign design, int rows, int cols,
+                                   OpCosts costs)
+    : design_(design), rows_(rows), cols_(cols), costs_(costs) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("array dimensions must be positive");
+  }
+}
+
+ArrayEnergyModel::ArrayEnergyModel(TcamDesign design, int rows, int cols)
+    : ArrayEnergyModel(design, rows, cols, default_op_costs(design)) {}
+
+void ArrayEnergyModel::on_search(const SearchStats& stats) {
+  double e = 0.0;
+  if (costs_.two_step) {
+    const long long terminated = stats.rows - stats.step2_evaluated;
+    e = terminated * cols_ * costs_.search_e1 +
+        static_cast<double>(stats.step2_evaluated) * cols_ * costs_.search_e2;
+    // Every row finishes within the full-operation window; early-terminated
+    // rows do not shorten the array's search cycle (the winner may be in
+    // step 2), so the search time is the full latency.
+    time_ += costs_.latency_full;
+  } else {
+    e = static_cast<double>(stats.rows) * cols_ * costs_.search_e2;
+    time_ += costs_.latency_full;
+  }
+  energy_ += e;
+  search_energy_ += e;
+  cells_searched_ += static_cast<long long>(stats.rows) * cols_;
+  ++searches_;
+}
+
+void ArrayEnergyModel::on_write(int cells) {
+  energy_ += cells * costs_.write_energy;
+  ++writes_;
+}
+
+double ArrayEnergyModel::mean_search_energy_per_cell() const {
+  return cells_searched_ > 0 ? search_energy_ / cells_searched_ : 0.0;
+}
+
+}  // namespace fetcam::arch

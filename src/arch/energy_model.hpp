@@ -1,0 +1,72 @@
+// Array-level energy/latency model, calibrated with per-operation costs
+// measured by the circuit harnesses.
+//
+// The circuit simulations (eval::evaluate_fom) characterize ONE word; this
+// model scales those per-cell costs across an M x N array and a workload
+// (search mix, step-1 miss rate, write traffic), which is how the paper's
+// "average search energy per cell assuming 90 % step-1 miss rate" row and
+// the application-level examples are computed.
+#pragma once
+
+#include "arch/area_model.hpp"
+#include "arch/search_scheduler.hpp"
+
+namespace fetcam::arch {
+
+/// Per-operation, per-cell costs for one design (joules / seconds).
+struct OpCosts {
+  /// Early-terminated (step-1 only) search energy per cell.  For
+  /// single-step designs equal to search_e2.
+  double search_e1 = 0.0;
+  /// Full-operation search energy per cell.
+  double search_e2 = 0.0;
+  double latency_1step = 0.0;  ///< 0 for single-step designs
+  double latency_full = 0.0;
+  double write_energy = 0.0;  ///< per written cell (0 = not modeled)
+  bool two_step = false;
+};
+
+/// Calibrated defaults per design, extracted from the SPICE word harnesses
+/// at the Table IV operating point (64-bit words, 64-row array context).
+/// Regenerate with tools/calib_fom or eval::evaluate_fom.
+OpCosts default_op_costs(TcamDesign design);
+
+/// Accumulates energy/time over a workload on an M x N array.
+class ArrayEnergyModel {
+ public:
+  ArrayEnergyModel(TcamDesign design, int rows, int cols,
+                   OpCosts costs);
+  /// Convenience: calibrated defaults.
+  ArrayEnergyModel(TcamDesign design, int rows, int cols);
+
+  /// Account one parallel search: rows that terminated in step 1 pay the
+  /// 1-step energy, rows that ran step 2 pay the full energy.  For
+  /// single-step designs every row pays the full energy.
+  void on_search(const SearchStats& stats);
+  /// Account one row write of `cells` digits.
+  void on_write(int cells);
+
+  double total_energy_j() const { return energy_; }
+  double total_time_s() const { return time_; }
+  long long searches() const { return searches_; }
+  long long writes() const { return writes_; }
+  /// Mean search energy per cell so far, joules.
+  double mean_search_energy_per_cell() const;
+
+  const OpCosts& costs() const { return costs_; }
+  TcamDesign design() const { return design_; }
+
+ private:
+  TcamDesign design_;
+  int rows_;
+  int cols_;
+  OpCosts costs_;
+  double energy_ = 0.0;
+  double search_energy_ = 0.0;
+  double time_ = 0.0;
+  long long searches_ = 0;
+  long long writes_ = 0;
+  long long cells_searched_ = 0;
+};
+
+}  // namespace fetcam::arch

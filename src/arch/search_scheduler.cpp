@@ -1,0 +1,58 @@
+#include "arch/search_scheduler.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::arch {
+
+ScheduledSearchResult two_step_search(const TcamArray& array,
+                                      const BitWord& query) {
+  if (static_cast<int>(query.size()) != array.cols()) {
+    throw std::invalid_argument("query width mismatch");
+  }
+  if (array.cols() % 2 != 0) {
+    throw std::invalid_argument("two-step search needs an even word length");
+  }
+  ScheduledSearchResult res;
+  res.matches.assign(static_cast<std::size_t>(array.rows()), false);
+  res.stats.rows = array.rows();
+
+  for (int r = 0; r < array.rows(); ++r) {
+    if (!array.valid(r)) {
+      // Invalid rows are kept erased-to-'0' at cell1 positions by the write
+      // controller, so they miss in step 1 and never consume step-2 energy.
+      ++res.stats.step1_misses;
+      continue;
+    }
+    const TernaryWord& e = array.entry(r);
+    // Step 1: even (cell1) digits.
+    bool alive = true;
+    for (int c = 0; c < array.cols(); c += 2) {
+      if (!ternary_matches(e[static_cast<std::size_t>(c)],
+                           query[static_cast<std::size_t>(c)] != 0)) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) {
+      ++res.stats.step1_misses;
+      continue;
+    }
+    // Step 2: odd (cell2) digits, only for surviving rows.
+    ++res.stats.step2_evaluated;
+    bool match = true;
+    for (int c = 1; c < array.cols(); c += 2) {
+      if (!ternary_matches(e[static_cast<std::size_t>(c)],
+                           query[static_cast<std::size_t>(c)] != 0)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      res.matches[static_cast<std::size_t>(r)] = true;
+      ++res.stats.matches;
+    }
+  }
+  return res;
+}
+
+}  // namespace fetcam::arch

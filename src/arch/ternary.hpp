@@ -1,0 +1,41 @@
+// Ternary digit and word utilities shared by the behavioral and circuit
+// TCAM models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fetcam::arch {
+
+/// One TCAM digit: '0', '1', or don't-care.
+enum class Ternary : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+char to_char(Ternary t);
+Ternary ternary_from_char(char c);  ///< accepts '0', '1', 'x', 'X', '*'
+
+/// A stored TCAM entry, most-significant digit first.
+using TernaryWord = std::vector<Ternary>;
+/// A binary search query (0/1 per bit).
+using BitWord = std::vector<std::uint8_t>;
+
+TernaryWord word_from_string(std::string_view s);
+std::string to_string(const TernaryWord& w);
+
+BitWord bits_from_string(std::string_view s);
+std::string to_string(const BitWord& b);
+
+/// One-digit match rule: X matches anything.
+inline bool ternary_matches(Ternary stored, bool query_bit) {
+  return stored == Ternary::kX ||
+         (stored == Ternary::kOne) == query_bit;
+}
+
+/// Full-word match (sizes must agree).
+bool word_matches(const TernaryWord& stored, const BitWord& query);
+
+/// Number of mismatching digit positions (X never mismatches).
+int mismatch_count(const TernaryWord& stored, const BitWord& query);
+
+}  // namespace fetcam::arch

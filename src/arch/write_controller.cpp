@@ -1,0 +1,74 @@
+#include "arch/write_controller.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::arch {
+
+int WritePlan::total_switching_cells() const {
+  int n = 0;
+  for (const auto& p : phases) n += p.switching_cells;
+  return n;
+}
+
+WritePlan three_step_plan(const TernaryWord& data, const TernaryWord& previous,
+                          const WriteVoltages& v) {
+  const std::size_t n = data.size();
+  TernaryWord prev = previous;
+  if (prev.empty()) prev.assign(n, Ternary::kZero);
+  if (prev.size() != n) {
+    throw std::invalid_argument("previous/data width mismatch");
+  }
+
+  WritePlan plan;
+  WritePhase erase{.name = "erase", .bl = std::vector<double>(n, -v.vw),
+                   .bl_bar = {}, .wrsl = v.vdd, .sl = 0.0,
+                   .switching_cells = 0};
+  WritePhase prog1{.name = "program-1", .bl = std::vector<double>(n, 0.0),
+                   .bl_bar = {}, .wrsl = v.vdd, .sl = 0.0,
+                   .switching_cells = 0};
+  WritePhase progx{.name = "program-X", .bl = std::vector<double>(n, 0.0),
+                   .bl_bar = {}, .wrsl = v.vdd, .sl = 0.0,
+                   .switching_cells = 0};
+  for (std::size_t c = 0; c < n; ++c) {
+    if (prev[c] != Ternary::kZero) ++erase.switching_cells;
+    if (data[c] == Ternary::kOne) {
+      prog1.bl[c] = v.vw;
+      ++prog1.switching_cells;
+    } else if (data[c] == Ternary::kX) {
+      progx.bl[c] = v.vm;
+      ++progx.switching_cells;
+    }
+  }
+  plan.phases = {erase, prog1, progx};
+  return plan;
+}
+
+WritePlan complementary_plan(const TernaryWord& data, const WriteVoltages& v) {
+  const std::size_t n = data.size();
+  WritePhase ph{.name = "write", .bl = std::vector<double>(n, 0.0),
+                .bl_bar = std::vector<double>(n, 0.0), .wrsl = 0.0,
+                .sl = 0.0, .switching_cells = 0};
+  for (std::size_t c = 0; c < n; ++c) {
+    // Table I: '0' -> (-Vw, +Vw); '1' -> (+Vw, -Vw); 'X' -> (-Vw, -Vw).
+    switch (data[c]) {
+      case Ternary::kZero:
+        ph.bl[c] = -v.vw;
+        ph.bl_bar[c] = v.vw;
+        break;
+      case Ternary::kOne:
+        ph.bl[c] = v.vw;
+        ph.bl_bar[c] = -v.vw;
+        break;
+      case Ternary::kX:
+        ph.bl[c] = -v.vw;
+        ph.bl_bar[c] = -v.vw;
+        break;
+    }
+    ph.switching_cells += 2;  // both FeFETs driven every write
+  }
+  WritePlan plan;
+  plan.phases = {ph};
+  return plan;
+}
+
+}  // namespace fetcam::arch

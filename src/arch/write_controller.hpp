@@ -1,0 +1,52 @@
+// Write-plan generation: the voltage sequences the array controller issues.
+//
+// 2FeFET designs write in ONE phase (complementary +/-Vw on the two write
+// gates).  The 1.5T1Fe designs need THREE phases (paper Sec. III-B3) because
+// a single FeFET must land on one of three V_TH levels:
+//   phase 0 "erase":      every BL at -Vw  -> all cells HVT
+//   phase 1 "program-1":  BL = +Vw on '1' columns, 0 elsewhere
+//   phase 2 "program-X":  BL = V_m on 'X' columns, 0 elsewhere
+// Throughout, Wr/SL = VDD (TN grounds SL_bar) and SL = 0 ground the channel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/ternary.hpp"
+
+namespace fetcam::arch {
+
+struct WriteVoltages {
+  double vw = 2.0;   ///< full write voltage
+  double vm = 1.65;  ///< partial (MVT / 'X') write voltage
+  double vdd = 0.8;
+};
+
+struct WritePhase {
+  std::string name;
+  /// Per-column write-gate voltage (BL for 1.5T1Fe/2DG, SL for 2SG).
+  std::vector<double> bl;
+  /// Complementary write-gate voltage (2FeFET designs only; empty for
+  /// single-FeFET cells).
+  std::vector<double> bl_bar;
+  double wrsl = 0.0;  ///< pair-transistor gate level (1.5T1Fe)
+  double sl = 0.0;    ///< cell SL level
+  /// Cells whose polarization switches in this phase (energy accounting).
+  int switching_cells = 0;
+};
+
+struct WritePlan {
+  std::vector<WritePhase> phases;
+  int total_switching_cells() const;
+};
+
+/// Three-phase plan for the 1.5T1Fe designs.  `previous` (same width, may be
+/// empty = erased) determines which cells actually switch in each phase.
+WritePlan three_step_plan(const TernaryWord& data, const TernaryWord& previous,
+                          const WriteVoltages& v);
+
+/// Single-phase complementary plan for the 2FeFET designs.  Both FeFETs of
+/// every written cell switch (state-independent write energy).
+WritePlan complementary_plan(const TernaryWord& data, const WriteVoltages& v);
+
+}  // namespace fetcam::arch

@@ -1,0 +1,53 @@
+// Reusable linear-capacitor companion model for device-internal parasitics
+// (gate, overlap, and junction capacitances inside MOSFET/FeFET models).
+//
+// Mirrors spice::Capacitor but as an embeddable member so a device can carry
+// several capacitances without polluting the netlist with extra elements.
+#pragma once
+
+#include "spice/circuit.hpp"
+
+namespace fetcam::dev {
+
+class CapCompanion {
+ public:
+  CapCompanion() = default;
+  explicit CapCompanion(double farads) : c_(farads) {}
+
+  double capacitance() const { return c_; }
+
+  void stamp(const spice::EvalContext& ctx, spice::Stamper& st,
+             spice::NodeId a, spice::NodeId b) const {
+    if (ctx.mode == spice::AnalysisMode::kOperatingPoint || c_ == 0.0) return;
+    const double vab = st.v(a) - st.v(b);
+    const double geq = (ctx.trapezoidal ? 2.0 : 1.0) * c_ / ctx.dt;
+    st.add_current(a, b, current(ctx, vab));
+    st.add_current_derivative(a, b, a, geq);
+    st.add_current_derivative(a, b, b, -geq);
+  }
+
+  void initialize(const spice::Solution& sol, spice::NodeId a,
+                  spice::NodeId b) {
+    v_prev_ = sol.v(a) - sol.v(b);
+    i_prev_ = 0.0;
+  }
+
+  void commit(const spice::EvalContext& ctx, const spice::Solution& sol,
+              spice::NodeId a, spice::NodeId b) {
+    const double vab = sol.v(a) - sol.v(b);
+    i_prev_ = current(ctx, vab);
+    v_prev_ = vab;
+  }
+
+ private:
+  double current(const spice::EvalContext& ctx, double vab) const {
+    if (ctx.trapezoidal) return 2.0 * c_ / ctx.dt * (vab - v_prev_) - i_prev_;
+    return c_ / ctx.dt * (vab - v_prev_);
+  }
+
+  double c_ = 0.0;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+}  // namespace fetcam::dev

@@ -1,0 +1,75 @@
+#include "devices/preisach.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fetcam::dev {
+
+double branch_ascending(const FerroParams& p, double v) {
+  return p.ps * std::tanh((v - p.vc) / p.vslope);
+}
+
+double branch_descending(const FerroParams& p, double v) {
+  return p.ps * std::tanh((v + p.vc) / p.vslope);
+}
+
+double switching_tau(const FerroParams& p, double v) {
+  const double over = std::max(std::abs(v) - p.vc, 0.0);
+  const double tau = p.tau0 * std::exp(-over / p.v_act);
+  return std::clamp(tau, p.tau_min, p.tau0);
+}
+
+namespace {
+
+/// d tau / d v, zero where the clamp is active.
+double switching_tau_dv(const FerroParams& p, double v) {
+  const double over = std::abs(v) - p.vc;
+  if (over <= 0.0) return 0.0;
+  const double tau = p.tau0 * std::exp(-over / p.v_act);
+  if (tau <= p.tau_min) return 0.0;
+  return -(v >= 0.0 ? 1.0 : -1.0) * tau / p.v_act;
+}
+
+}  // namespace
+
+PolarizationStep advance_polarization(const FerroParams& p, double p_prev,
+                                      double v, double dt) {
+  PolarizationStep out;
+  const double lo = branch_ascending(p, v);
+  const double hi = branch_descending(p, v);
+  // Branch slope dP/dv (same cosh for both up to the shifted argument).
+  const auto branch_slope = [&](double center) {
+    const double c = std::cosh((v - center) / p.vslope);
+    return p.ps / (p.vslope * c * c);
+  };
+
+  // de/dv through the Merz-law tau: e = exp(-dt/tau(v)), de/dtau > 0.
+  const auto de_dv = [&](double tau, double e) {
+    return e * dt / (tau * tau) * switching_tau_dv(p, v);
+  };
+
+  if (p_prev < lo) {
+    // Switching up toward the ascending branch.
+    const double tau = switching_tau(p, v);
+    const double e = std::exp(-dt / tau);
+    out.p_end = lo + (p_prev - lo) * e;
+    out.dp_dv = branch_slope(p.vc) * (1.0 - e) + (p_prev - lo) * de_dv(tau, e);
+  } else if (p_prev > hi) {
+    const double tau = switching_tau(p, v);
+    const double e = std::exp(-dt / tau);
+    out.p_end = hi + (p_prev - hi) * e;
+    out.dp_dv = branch_slope(-p.vc) * (1.0 - e) + (p_prev - hi) * de_dv(tau, e);
+  } else {
+    out.p_end = p_prev;
+    out.dp_dv = 0.0;
+  }
+  return out;
+}
+
+double settle_polarization(const FerroParams& p, double p_start, double v) {
+  const double lo = branch_ascending(p, v);
+  const double hi = branch_descending(p, v);
+  return std::clamp(p_start, lo, hi);
+}
+
+}  // namespace fetcam::dev

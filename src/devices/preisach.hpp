@@ -1,0 +1,64 @@
+// Preisach-style ferroelectric polarization model with switching dynamics.
+//
+// The hysteresis loop is described by two saturating branch curves in the
+// stack-voltage domain:
+//
+//   ascending  P_a(v) = Ps * tanh((v - Vc) / Vslope)   (lower bound)
+//   descending P_d(v) = Ps * tanh((v + Vc) / Vslope)   (upper bound)
+//
+// Any polarization between the branches is a valid (history-dependent)
+// state; outside the band the polarization relaxes exponentially toward the
+// violated branch with a Merz-law accelerated time constant:
+//
+//   tau(v) = clamp(tau0 * exp(-(|v| - Vc)+ / Vact), tau_min, tau0)
+//
+// This reproduces the behaviours the TCAM designs exploit:
+//   * full saturation at the nominal write voltage (|v| = Vw = 1.25 * Vc);
+//   * deterministic *partial* polarization at the X-state write voltage
+//     V_m = 0.8 * Vw = Vc (the three-step MVT write of the 1.5T1Fe cell);
+//   * read-disturb-free operation while |v| stays well below Vc (the DG
+//     back-gate read), and slow accumulating disturb when a read voltage
+//     approaches Vc (the SG front-gate read issue the paper describes);
+//   * minor loops and rate dependence.
+#pragma once
+
+namespace fetcam::dev {
+
+struct FerroParams {
+  double ps = 0.20;        ///< saturation polarization, C/m^2 (20 uC/cm^2)
+  double vc = 1.6;         ///< coercive voltage across the stack, V
+  double vslope = 0.133;   ///< branch steepness, V
+  double tau0 = 5e-9;      ///< switching time constant at v = Vc, s
+  double v_act = 0.5;      ///< Merz acceleration voltage scale, V
+  double tau_min = 0.2e-9; ///< fastest switching, s
+  double area = 1e-15;     ///< ferroelectric area, m^2 (20 nm x 50 nm)
+  double t_fe = 5e-9;      ///< ferroelectric thickness, m (reporting only)
+
+  /// Nominal full write voltage associated with this card.
+  double vw() const { return 1.25 * vc; }
+};
+
+/// Lower branch (reached by ascending voltage histories).
+double branch_ascending(const FerroParams& p, double v);
+/// Upper branch (reached by descending voltage histories).
+double branch_descending(const FerroParams& p, double v);
+
+/// Effective switching time constant at stack voltage v.
+double switching_tau(const FerroParams& p, double v);
+
+struct PolarizationStep {
+  double p_end = 0.0;  ///< polarization after the step, C/m^2
+  double dp_dv = 0.0;  ///< sensitivity of p_end to the end-of-step voltage
+};
+
+/// Advance the polarization from `p_prev` under stack voltage `v` held for
+/// `dt` seconds.  Returns the new state and its voltage sensitivity (used by
+/// the FeFET Jacobian stamp).
+PolarizationStep advance_polarization(const FerroParams& p, double p_prev,
+                                      double v, double dt);
+
+/// Quasi-static loop tracing helper for characterization and tests: applies
+/// the voltage sequence with a hold long enough to fully settle each point.
+double settle_polarization(const FerroParams& p, double p_start, double v);
+
+}  // namespace fetcam::dev

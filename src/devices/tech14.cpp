@@ -1,0 +1,68 @@
+#include "devices/tech14.hpp"
+
+#include <cmath>
+
+#include "devices/fefet.hpp"
+
+namespace fetcam::dev::tech14 {
+
+MosfetParams nfet(double w_mult, double l_mult) {
+  MosfetParams p;
+  p.polarity = Polarity::kN;
+  p.w = kWmin * w_mult;
+  p.l = kLmin * l_mult;
+  p.vth0 = 0.30;
+  p.n = 1.15;
+  p.u0 = 0.020;
+  p.cox = 0.0345;
+  p.lambda = 0.05;
+  p.theta = 1.2;
+  p.gamma_b = 0.15;
+  return p;
+}
+
+MosfetParams at_temperature(MosfetParams card, double kelvin) {
+  const double t0 = 300.0;
+  card.ut = 0.02585 * kelvin / t0;
+  card.vth0 -= 0.8e-3 * (kelvin - t0);
+  card.u0 *= std::pow(kelvin / t0, -1.5);
+  return card;
+}
+
+MosfetParams pfet(double w_mult, double l_mult) {
+  MosfetParams p;
+  p.polarity = Polarity::kP;
+  p.w = kWmin * w_mult;
+  p.l = kLmin * l_mult;
+  p.vth0 = 0.32;
+  p.n = 1.18;
+  p.u0 = 0.012;
+  p.cox = 0.0345;
+  p.lambda = 0.06;
+  p.theta = 1.2;
+  p.gamma_b = 0.15;
+  return p;
+}
+
+FeFetParams fefet_at_temperature(FeFetParams card, double kelvin) {
+  card.mos = at_temperature(card.mos, kelvin);
+  // Ferroelectric coercivity softens toward the Curie point.
+  card.fe.vc *= 1.0 - 1e-3 * (kelvin - 300.0);
+  return card;
+}
+
+MosfetParams at_corner(MosfetParams card, Corner corner) {
+  const double sign = corner == Corner::kSlow   ? 1.0
+                      : corner == Corner::kFast ? -1.0
+                                                : 0.0;
+  card.vth0 += sign * 0.04;
+  card.u0 *= 1.0 - sign * 0.08;
+  return card;
+}
+
+FeFetParams fefet_at_corner(FeFetParams card, Corner corner) {
+  card.mos = at_corner(card.mos, corner);
+  return card;
+}
+
+}  // namespace fetcam::dev::tech14

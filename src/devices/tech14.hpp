@@ -1,0 +1,55 @@
+// 14 nm FDSOI technology cards: MOSFET parameter sets and node constants.
+//
+// Values are representative of published 14 nm UTBB FDSOI data (Liu et al.,
+// IEDM 2013 — the same calibration target the paper uses): V_DD = 0.8 V,
+// SS ~ 70 mV/dec, on/off > 1e5 at V_DD.  Wire parasitics for intermediate
+// metal are in tcam/parasitics.hpp.
+#pragma once
+
+#include "devices/mosfet.hpp"
+
+namespace fetcam::dev::tech14 {
+
+/// Nominal supply for the 14 nm logic rails.
+inline constexpr double kVdd = 0.8;
+
+/// Minimum drawn device geometry used throughout the paper (20 nm x 50 nm).
+inline constexpr double kLmin = 20e-9;
+inline constexpr double kWmin = 50e-9;
+
+/// NFET card; `w_mult` scales the width in units of the 50 nm minimum.
+MosfetParams nfet(double w_mult = 1.0, double l_mult = 1.0);
+
+/// PFET card (lower mobility, slightly higher |Vth|).
+MosfetParams pfet(double w_mult = 1.0, double l_mult = 1.0);
+
+/// Retarget a card to a different junction temperature (kelvin; cards are
+/// characterized at 300 K).  Applies the standard first-order corrections:
+///   Ut   = kT/q                                    (thermal voltage)
+///   Vth  = Vth(300K) - 0.8 mV/K * (T - 300)        (threshold rolloff)
+///   u0   = u0(300K) * (T/300)^-1.5                 (phonon-limited mobility)
+/// Subthreshold leakage rises and strong-inversion drive falls with T — the
+/// sense-margin vs temperature behaviour the temperature ablation probes.
+MosfetParams at_temperature(MosfetParams card, double kelvin);
+
+}  // namespace fetcam::dev::tech14
+
+namespace fetcam::dev {
+struct FeFetParams;
+}
+
+namespace fetcam::dev::tech14 {
+
+/// FeFET variant: retargets the embedded MOSFET and additionally reduces
+/// the coercive voltage (~ -0.1 %/K, the ferroelectric's Curie-law trend).
+FeFetParams fefet_at_temperature(FeFetParams card, double kelvin);
+
+/// Global process corners: slow/typical/fast, shifting V_TH by -/0/+
+/// ~2 sigma (40 mV) and mobility by -/0/+8 %.  Slow = high V_TH + low
+/// mobility; fast = the opposite.
+enum class Corner { kSlow, kTypical, kFast };
+
+MosfetParams at_corner(MosfetParams card, Corner corner);
+FeFetParams fefet_at_corner(FeFetParams card, Corner corner);
+
+}  // namespace fetcam::dev::tech14

@@ -1,0 +1,159 @@
+#include "eval/analytic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "devices/fefet.hpp"
+#include "devices/tech14.hpp"
+#include "eval/calibration.hpp"
+#include "tcam/cell_1p5t1fe.hpp"
+#include "tcam/parasitics.hpp"
+
+namespace fetcam::eval {
+
+using arch::TcamDesign;
+
+namespace {
+
+constexpr double kVdd = 0.8;
+constexpr double kVtrip = 0.45;  ///< SA stage-1 trip point
+
+/// Drain current at gate overdrive `vov` and a representative Vds in the
+/// upper part of the discharge, amperes.
+double device_current(const dev::MosfetParams& mos, double vov) {
+  return dev::ekv_current(mos.ekv(), vov, 0.75 * kVdd).id;
+}
+
+/// Discharge time from the (boosted) precharge level to the SA trip.  The
+/// pulldown operates as a saturated current source over most of the swing,
+/// so the constant-current form C * dV / I is the right first-order model
+/// (an RC-log form would assume triode operation and underestimate).
+double discharge_time(double i_pulldown, double c) {
+  return c * (0.87 * kVdd - kVtrip) / i_pulldown;
+}
+
+double wire_cap_per_cell(TcamDesign d) {
+  return tcam::wire_for_pitch({}, arch::cell_pitch_m(d)).capacitance;
+}
+
+}  // namespace
+
+AnalyticEstimate analytic_search_estimate(TcamDesign design, int n_bits) {
+  AnalyticEstimate est;
+  const double edge_overhead = 60e-12;  // precharge release + signal edges
+
+  switch (design) {
+    case TcamDesign::kCmos16T: {
+      const auto nf = dev::tech14::nfet();
+      est.c_ml = n_bits * (2.0 * nf.cjunction() + wire_cap_per_cell(design)) +
+                 0.5e-15;  // precharge drain + SA gate
+      // Two-NMOS stack, both at full VDD gate drive.
+      const double i_stack =
+          device_current(nf, kVdd - nf.vth0) / 2.0;  // series stack
+      est.r_discharge = (kVdd / 2.0) / i_stack;
+      est.latency = discharge_time(i_stack, est.c_ml) + edge_overhead;
+      est.e_precharge = est.c_ml * kVdd * kVdd;
+      // SL/SLbar: one line swings per cell (gate load + wire share).
+      est.e_signals =
+          n_bits * (nf.cgs() + wire_cap_per_cell(design)) * kVdd * kVdd;
+      break;
+    }
+    case TcamDesign::k2SgFefet:
+    case TcamDesign::k2DgFefet: {
+      const auto fe = design == TcamDesign::k2SgFefet
+                          ? dev::sg_fefet_params()
+                          : dev::dg_fefet_params();
+      est.c_ml = n_bits * (2.0 * fe.mos.cjunction() +
+                           wire_cap_per_cell(design)) +
+                 0.5e-15;
+      // Worst case: one LVT cell pulls down at the search drive.
+      const double vth_lvt = fe.vth_for(1.0);
+      const double v_search = design == TcamDesign::k2SgFefet ? 0.45 : 2.0;
+      const double vov = design == TcamDesign::k2SgFefet
+                             ? v_search - vth_lvt
+                             : fe.back_coupling * v_search - vth_lvt;
+      const double i_on = device_current(fe.mos, vov);
+      est.r_discharge = (kVdd / 2.0) / i_on;
+      // Search-line edges couple into the ML through every cell: for the DG
+      // flavour the drain junction sits in the SL-driven well (a 2 V kick
+      // through ~cj per device boosts the ML well above the precharge level
+      // before the discharge starts); for SG only the FG-drain overlap
+      // couples.  The pulldown must remove that extra charge too.
+      const double c_couple =
+          design == TcamDesign::k2SgFefet
+              ? 0.5 * fe.mos.cgate() + fe.mos.cov_per_w * fe.mos.w
+              : fe.mos.cjunction();
+      const double boost = n_bits * c_couple * v_search / est.c_ml;
+      est.latency = discharge_time(i_on, est.c_ml) +
+                    est.c_ml * boost / i_on + edge_overhead;
+      est.e_precharge = est.c_ml * kVdd * kVdd;
+      const double c_gate = design == TcamDesign::k2SgFefet
+                                ? fe.mos.cgate()
+                                : fe.c_bg_factor * fe.mos.cgate() +
+                                      2.0 * fe.mos.cjunction();
+      est.e_signals = n_bits * (c_gate + wire_cap_per_cell(design)) *
+                      v_search * v_search;
+      break;
+    }
+    case TcamDesign::k1p5SgFe:
+    case TcamDesign::k1p5DgFe: {
+      const bool sg = design == TcamDesign::k1p5SgFe;
+      const auto flavor = sg ? tcam::Flavor::kSg : tcam::Flavor::kDg;
+      const tcam::OnePointFiveParams p{};
+      const auto fe = sg ? dev::sg_fefet_params() : dev::dg_fefet_params();
+      const int pairs = n_bits / 2;
+      const auto tml = dev::tech14::nfet(p.tml_w, p.tml_l);
+      est.c_ml = pairs * (tml.cjunction() +
+                          2.0 * wire_cap_per_cell(design)) +
+                 0.5e-15;
+      // TML gate drive = the divider level of the worst mismatch
+      // (stored '1' searched '0'), from the in-situ characterization.
+      const auto r = extract_eq1_resistances(flavor);
+      const double v_slb = kVdd * r.r_n / (r.r_on + r.r_n);
+      const double tml_vth = sg ? p.tml_vth_sg : p.tml_vth_dg;
+      dev::MosfetParams tml_card = tml;
+      tml_card.vth0 = tml_vth;
+      const double i_tml = device_current(tml_card, v_slb - tml_vth);
+      est.r_discharge = (kVdd / 2.0) / i_tml;
+      // Two-step worst case: full first window (sized to the step latency)
+      // plus the step-2 resolution.
+      const double step = discharge_time(i_tml, est.c_ml) + edge_overhead;
+      est.latency = 2.0 * step;
+      est.e_precharge = est.c_ml * kVdd * kVdd;
+      // Select lines (both steps) + divider static current over the window.
+      const double v_sel = sg ? p.v_sel_sg : p.v_sel_dg;
+      const double c_sel =
+          n_bits * (fe.c_bg_factor * fe.mos.cgate() +
+                    wire_cap_per_cell(design));
+      const double i_div = kVdd / (r.r_on + r.r_n);  // per mismatching pair
+      est.e_signals = 2.0 * c_sel * v_sel * v_sel +
+                      0.5 * pairs * i_div * kVdd * est.latency;
+      break;
+    }
+  }
+  est.e_per_cell = (est.e_precharge + est.e_signals) / n_bits;
+  return est;
+}
+
+double analytic_write_energy(TcamDesign design) {
+  if (design == TcamDesign::kCmos16T) return 0.0;
+  const bool two_fefet = design == TcamDesign::k2SgFefet ||
+                         design == TcamDesign::k2DgFefet;
+  const auto fe = (design == TcamDesign::k2SgFefet ||
+                   design == TcamDesign::k1p5SgFe)
+                      ? dev::sg_fefet_params()
+                      : dev::dg_fefet_params();
+  const double vw = fe.vw();
+  // Per device and write transition: the switched polarization charge plus
+  // the FE/gate stack dielectric charge, delivered at Vw on the way in and
+  // dissipated on the way out (hence ~2x the CV part in net energy; the
+  // polarization charge is dissipated once).
+  const double q_pol = 2.0 * fe.fe.ps * fe.fe.area;
+  const double c_stack = fe.mos.cgate() + 2.0 * fe.mos.cov_per_w * fe.mos.w;
+  const double e_device = q_pol * vw + c_stack * vw * vw;
+  // 2FeFET cells drive both devices every write; 1.5T1Fe cells switch one
+  // device per written cell (half-'0'/half-'1' average: one transition).
+  return two_fefet ? 2.0 * e_device : e_device;
+}
+
+}  // namespace fetcam::eval

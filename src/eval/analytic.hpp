@@ -1,0 +1,45 @@
+// Closed-form search latency/energy estimator (the Eva-CAM role [15]).
+//
+// Builds the match-line RC from device and wire components, takes the
+// worst-case discharge resistance from the device model at the search
+// operating point, and evaluates
+//
+//   latency ~ R_dis * C_ML * ln(V_pre / V_trip) + settling terms
+//   E_pre   ~ C_ML * VDD^2                  (charged from zero)
+//   E_sig   ~ sum(C_line * V_line^2) + divider static power * window
+//
+// It exists for two reasons: as the fast estimator an architect would use
+// to sweep design points without transients, and as an independent
+// cross-check of the SPICE harnesses (tests require agreement within a
+// factor of ~2 across designs and word lengths — RC analysis cannot do
+// better than that against a nonlinear discharge, and agreement to a factor
+// of 2 across three orders of magnitude of design space catches sign/unit
+// errors on either side).
+#pragma once
+
+#include "arch/area_model.hpp"
+
+namespace fetcam::eval {
+
+struct AnalyticEstimate {
+  double c_ml = 0.0;          ///< total ML capacitance, F
+  double r_discharge = 0.0;   ///< worst-case one-cell pulldown, Ohm
+  double latency = 0.0;       ///< full-operation worst-case latency, s
+  double e_precharge = 0.0;   ///< C_ML * VDD^2, J
+  double e_signals = 0.0;     ///< line charging + divider static, J
+  double e_per_cell = 0.0;    ///< (precharge + signals) / N, J
+};
+
+/// Estimate one design at word length `n_bits` (64-row array context).
+AnalyticEstimate analytic_search_estimate(arch::TcamDesign design,
+                                          int n_bits);
+
+/// Closed-form write energy per cell, joules: polarization switching charge
+/// (2 Ps A, the paper's Table IV physics) plus the gate-stack dielectric
+/// charging, at the design's write voltage; halved device count for the
+/// 1.5T1Fe cells, both devices for the 2FeFET cells.  0 for 16T CMOS
+/// (not modeled).  Cross-checked against the transient measurement within
+/// a factor of 2 by tests.
+double analytic_write_energy(arch::TcamDesign design);
+
+}  // namespace fetcam::eval

@@ -1,0 +1,99 @@
+#include "eval/array_eval.hpp"
+
+#include "eval/report.hpp"
+
+namespace fetcam::eval {
+
+using arch::TcamDesign;
+
+ArrayDatasheet array_datasheet(TcamDesign design,
+                               const DatasheetOptions& opts) {
+  ArrayDatasheet d;
+  d.design = design;
+  d.name = arch::design_name(design);
+  d.rows = opts.rows;
+  d.cols = opts.cols;
+  d.capacity_bits = static_cast<double>(opts.rows) * opts.cols;
+
+  // Area: cells plus the HV driver bank.  Only the 1.5T1Fe designs have the
+  // perpendicular BL/SeL organization (and the voltage co-optimization)
+  // that enables the Fig. 6 sharing.
+  const bool sharable = design == TcamDesign::k1p5SgFe ||
+                        design == TcamDesign::k1p5DgFe;
+  d.drivers_shared = opts.shared_drivers && sharable;
+  // The 16T CMOS baseline writes at the logic rail: its line drivers are
+  // plain buffers, roughly a quarter of a level-shifting HV driver.  All
+  // FeFET designs pay for HV write drivers.
+  const double driver_area = design == TcamDesign::kCmos16T
+                                 ? 0.25 * opts.driver.area_um2
+                                 : opts.driver.area_um2;
+  const auto area = arch::array_area(design, opts.rows, opts.cols,
+                                     driver_area, d.drivers_shared);
+  d.cell_area_um2 = area.cells_um2;
+  d.driver_area_um2 = area.drivers_um2;
+  d.total_area_um2 = area.total_um2;
+  d.area_per_bit_um2 = area.total_um2 / d.capacity_bits;
+  d.driver_leakage_nw =
+      (area.drivers_um2 / opts.driver.area_um2) * opts.driver.leakage_nw;
+
+  // Performance/energy from the calibrated per-cell costs.
+  const auto costs = arch::default_op_costs(design);
+  d.search_latency_ps = costs.latency_full * 1e12;
+  d.searches_per_second = 1.0 / costs.latency_full;
+  const double e_cell =
+      costs.two_step
+          ? opts.step1_miss_rate * costs.search_e1 +
+                (1.0 - opts.step1_miss_rate) * costs.search_e2
+          : costs.search_e2;
+  d.search_energy_per_bit_fj = e_cell * 1e15;
+  // One search activates every cell of the array.
+  const double e_search = e_cell * d.capacity_bits;
+  d.search_power_uw = e_search * d.searches_per_second * 1e6;
+  d.write_energy_per_word_fj = costs.write_energy * opts.cols * 1e15;
+  return d;
+}
+
+std::string render_datasheets(const std::vector<ArrayDatasheet>& sheets) {
+  TextTable t({"metric"});
+  std::vector<std::string> headers{"metric"};
+  for (const auto& s : sheets) headers.push_back(s.name);
+  TextTable table(headers);
+  const auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells{name};
+    for (const auto& s : sheets) cells.push_back(getter(s));
+    table.add_row(cells);
+  };
+  row("array", [](const ArrayDatasheet& s) {
+    return std::to_string(s.rows) + "x" + std::to_string(s.cols);
+  });
+  row("total area (um^2)",
+      [](const ArrayDatasheet& s) { return format_eng(s.total_area_um2, ""); });
+  row("area/bit (um^2)", [](const ArrayDatasheet& s) {
+    return format_eng(s.area_per_bit_um2, "");
+  });
+  row("drivers shared",
+      [](const ArrayDatasheet& s) { return s.drivers_shared ? "yes" : "no"; });
+  row("driver leakage (nW)", [](const ArrayDatasheet& s) {
+    return format_eng(s.driver_leakage_nw, "");
+  });
+  row("search latency (ps)", [](const ArrayDatasheet& s) {
+    return format_eng(s.search_latency_ps, "");
+  });
+  row("throughput (Msearch/s)", [](const ArrayDatasheet& s) {
+    return format_eng(s.searches_per_second / 1e6, "");
+  });
+  row("search energy (fJ/bit)", [](const ArrayDatasheet& s) {
+    return format_eng(s.search_energy_per_bit_fj, "");
+  });
+  row("search power (uW, max rate)", [](const ArrayDatasheet& s) {
+    return format_eng(s.search_power_uw, "");
+  });
+  row("write energy (fJ/word)", [](const ArrayDatasheet& s) {
+    return s.write_energy_per_word_fj > 0.0
+               ? format_eng(s.write_energy_per_word_fj, "")
+               : std::string("N.A.");
+  });
+  return table.str();
+}
+
+}  // namespace fetcam::eval

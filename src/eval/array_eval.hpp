@@ -1,0 +1,55 @@
+// Array-level "datasheet" evaluator.
+//
+// Composes the per-cell circuit costs (energy model), the layout area model,
+// and the shared-driver architecture into the numbers a system architect
+// compares CAM macros by: capacity, total area, area per bit, search
+// throughput, energy per searched bit, and power at maximum search rate —
+// for a full M x N array (optionally organized as a shared-driver mat).
+#pragma once
+
+#include <string>
+
+#include "arch/area_model.hpp"
+#include "arch/energy_model.hpp"
+#include "arch/hv_driver.hpp"
+
+namespace fetcam::eval {
+
+struct DatasheetOptions {
+  int rows = 64;
+  int cols = 64;
+  /// Apply the Fig. 6 driver sharing (1.5T1Fe designs only; ignored with a
+  /// warning flag for others).
+  bool shared_drivers = true;
+  double step1_miss_rate = 0.9;
+  arch::HvDriverParams driver;
+};
+
+struct ArrayDatasheet {
+  arch::TcamDesign design = arch::TcamDesign::kCmos16T;
+  std::string name;
+  int rows = 0, cols = 0;
+  double capacity_bits = 0.0;
+
+  double cell_area_um2 = 0.0;      ///< whole cell array
+  double driver_area_um2 = 0.0;    ///< HV driver bank
+  double total_area_um2 = 0.0;
+  double area_per_bit_um2 = 0.0;
+  bool drivers_shared = false;
+
+  double search_latency_ps = 0.0;
+  double searches_per_second = 0.0;     ///< 1 / latency
+  double search_energy_per_bit_fj = 0.0;  ///< workload average
+  double search_power_uw = 0.0;  ///< at maximum back-to-back search rate
+  double write_energy_per_word_fj = 0.0;  ///< 0 when not modeled
+  double driver_leakage_nw = 0.0;
+};
+
+/// Evaluate one design using the calibrated per-cell operation costs.
+ArrayDatasheet array_datasheet(arch::TcamDesign design,
+                               const DatasheetOptions& opts = {});
+
+/// Side-by-side rendering of several datasheets.
+std::string render_datasheets(const std::vector<ArrayDatasheet>& sheets);
+
+}  // namespace fetcam::eval

@@ -1,0 +1,142 @@
+#include "eval/calibration.hpp"
+
+#include "devices/tech14.hpp"
+#include "spice/op.hpp"
+#include "spice/transient.hpp"
+
+namespace fetcam::eval {
+
+using arch::Ternary;
+using dev::FeFet;
+using dev::FeState;
+using dev::Mosfet;
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+using spice::Solution;
+using spice::VoltageSource;
+using spice::Waveform;
+
+std::vector<DividerPoint> characterize_divider(tcam::Flavor flavor) {
+  std::vector<DividerPoint> out;
+  for (const Ternary s : {Ternary::kZero, Ternary::kOne, Ternary::kX}) {
+    for (const int q : {0, 1}) {
+      tcam::WordOptions opts;
+      opts.n_bits = 2;
+      tcam::SearchConfig cfg;
+      cfg.stored = {s, Ternary::kX};
+      cfg.query = {static_cast<std::uint8_t>(q), 0};
+      cfg.steps = 1;
+      tcam::OnePointFiveWord w(flavor, opts);
+      w.build_search(cfg);
+      spice::TransientOptions topts;
+      topts.t_stop = cfg.timing.search_start() + 0.9 * cfg.timing.t_step;
+      topts.dt = w.suggested_dt();
+      const auto res = run_transient(w.circuit(), topts);
+      DividerPoint pt;
+      pt.stored = s;
+      pt.query = q;
+      pt.expect_match = arch::ternary_matches(s, q != 0);
+      if (res.ok) {
+        const auto& ckt = w.circuit();
+        pt.v_slb = res.trace.voltage_at_time(ckt.node_name(w.slb_node(0)),
+                                             topts.t_stop);
+        pt.v_ml = res.trace.voltage_at_time(ckt.node_name(w.ml_sense_node()),
+                                            topts.t_stop);
+        const double half = 0.5 * opts.vdd;
+        pt.correct = pt.expect_match ? pt.v_ml > half : pt.v_ml < half;
+      }
+      out.push_back(pt);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Static replica of one divider leg: FeFET between SL and SL_bar, TN to
+/// ground, TP to VDD, biased per the search configuration.
+struct StaticDivider {
+  Circuit ckt;
+  FeFet* fe = nullptr;
+  Mosfet* tn = nullptr;
+  Mosfet* tp = nullptr;
+  NodeId slb;
+
+  StaticDivider(tcam::Flavor flavor, const tcam::OnePointFiveParams& p,
+                FeState state, double mvt_target, bool searching_zero,
+                double vdd) {
+    const dev::FeFetParams fp = flavor == tcam::Flavor::kSg
+                                    ? dev::sg_fefet_params()
+                                    : dev::dg_fefet_params();
+    const double v_sel =
+        flavor == tcam::Flavor::kSg ? p.v_sel_sg : p.v_sel_dg;
+    const NodeId sl = ckt.node("sl");
+    slb = ckt.node("slb");
+    const NodeId bl = ckt.node("bl");
+    const NodeId sel = ckt.node("sel");
+    const NodeId wrsl = ckt.node("wrsl");
+    const NodeId vddp = ckt.node("vddp");
+    const double level = searching_zero ? vdd : 0.0;
+    ckt.emplace<VoltageSource>("VSL", sl, kGround, Waveform::dc(level));
+    ckt.emplace<VoltageSource>("VWRSL", wrsl, kGround, Waveform::dc(level));
+    ckt.emplace<VoltageSource>("VDDP", vddp, kGround, Waveform::dc(vdd));
+    if (flavor == tcam::Flavor::kSg) {
+      // Merged BL/SeL on the FG.
+      ckt.emplace<VoltageSource>("VBL", bl, kGround, Waveform::dc(v_sel));
+      ckt.emplace<VoltageSource>("VSELX", sel, kGround, Waveform::dc(0.0));
+    } else {
+      ckt.emplace<VoltageSource>(
+          "VBL", bl, kGround, Waveform::dc(searching_zero ? p.v_b : 0.0));
+      ckt.emplace<VoltageSource>("VSELX", sel, kGround, Waveform::dc(v_sel));
+    }
+    fe = &ckt.emplace<FeFet>("FE", sl, bl, slb, sel, fp);
+    fe->set_state(state, mvt_target);
+    tn = &ckt.emplace<Mosfet>("TN", slb, wrsl, kGround, kGround,
+                              dev::tech14::nfet(p.tn_w, p.tn_l));
+    tp = &ckt.emplace<Mosfet>("TP", slb, wrsl, vddp, vddp,
+                              dev::tech14::pfet(p.tp_w, p.tp_l));
+  }
+
+  /// Solve the OP; returns the solution vector.
+  spice::OpResult solve() { return solve_op(ckt); }
+};
+
+}  // namespace
+
+Eq1Resistances extract_eq1_resistances(tcam::Flavor flavor) {
+  Eq1Resistances r;
+  const tcam::OnePointFiveParams p{};
+  tcam::WordOptions wo;
+  wo.n_bits = 2;
+  tcam::OnePointFiveWord probe(flavor, wo);
+  const double mvt = probe.mvt_vth_target();
+  r.vdd = wo.vdd;
+  r.tml_vth = flavor == tcam::Flavor::kSg ? p.tml_vth_sg : p.tml_vth_dg;
+
+  // Search-'0' leg (FeFET in series with TN): in-situ resistances.
+  const auto leg0 = [&](FeState s) {
+    StaticDivider d(flavor, p, s, mvt, true, r.vdd);
+    const auto op = d.solve();
+    const Solution sol(d.ckt, op.x);
+    return std::pair<double, double>{d.fe->on_resistance(sol),
+                                     d.tn->on_resistance(sol)};
+  };
+  const auto [r_on, r_n_at_on] = leg0(FeState::kLvt);
+  r.r_on = r_on;
+  r.r_n = r_n_at_on;
+  r.r_m0 = leg0(FeState::kMvt).first;
+  r.r_off = leg0(FeState::kHvt).first;
+
+  // Search-'1' leg (TP in series with FeFET): in-situ R_M and R_P.
+  {
+    StaticDivider d(flavor, p, FeState::kMvt, mvt, false, r.vdd);
+    const auto op = d.solve();
+    const Solution sol(d.ckt, op.x);
+    r.r_m1 = d.fe->on_resistance(sol);
+    r.r_p = d.tp->on_resistance(sol);
+  }
+  return r;
+}
+
+}  // namespace fetcam::eval

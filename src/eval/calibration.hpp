@@ -1,0 +1,62 @@
+// Operating-point characterization of the 1.5T1Fe divider: the SL_bar
+// voltages for every stored-state/query combination and the Eq. 1
+// resistance ladder  R_ON < R_N < R_M < R_P << R_OFF.
+//
+// Used by tests to lock the calibrated design in place and by the Table IV
+// bench to print the design's operating margins.
+#pragma once
+
+#include <vector>
+
+#include "tcam/cell_1p5t1fe.hpp"
+
+namespace fetcam::eval {
+
+struct DividerPoint {
+  arch::Ternary stored = arch::Ternary::kZero;
+  int query = 0;
+  double v_slb = 0.0;    ///< divider voltage near the end of step 1
+  double v_ml = 0.0;     ///< ML at the same instant
+  bool expect_match = false;
+  bool correct = false;  ///< ML level agrees with the expectation
+};
+
+/// Simulate all six stored x query combinations on a 2-bit word (cell under
+/// test plus a matching 'X' partner).
+std::vector<DividerPoint> characterize_divider(tcam::Flavor flavor);
+
+/// In-situ effective resistances of the divider, measured per leg at the
+/// actual operating points (the FeFET resistance is bias-dependent through
+/// source degeneration, so each leg sees its own value).
+struct Eq1Resistances {
+  // Search-'0' leg: SL(VDD) -> FeFET -> SL_bar -> TN -> gnd (paper Eq. 2).
+  double r_on = 0.0;   ///< LVT FeFET
+  double r_m0 = 0.0;   ///< MVT FeFET
+  double r_off = 0.0;  ///< HVT FeFET
+  double r_n = 0.0;    ///< TN (at the stored-'1' operating point)
+  // Search-'1' leg: VDD -> TP -> SL_bar -> FeFET -> SL(0) (paper Eq. 3).
+  double r_m1 = 0.0;  ///< MVT FeFET
+  double r_p = 0.0;   ///< TP (at the stored-'X' operating point)
+
+  double vdd = 0.8;
+  double tml_vth = 0.3;
+
+  /// The divider inequalities that guarantee correct decisions, i.e. the
+  /// paper's Eq. 1 with the TML switching threshold folded in:
+  ///   VDD * R_N / (R_ON + R_N)  > Vth(TML)    (stored-'1' miss detected)
+  ///   VDD * R_N / (R_M0 + R_N)  < Vth(TML)    ('X' matches query '0')
+  ///   VDD * R_M1 / (R_M1 + R_P) < Vth(TML)    ('X' matches query '1')
+  ///   R_OFF >> R_N, R_P                       (stored-'0' corners clean)
+  bool functional() const {
+    const double v_on = vdd * r_n / (r_on + r_n);
+    const double v_m0 = vdd * r_n / (r_m0 + r_n);
+    const double v_m1 = vdd * r_m1 / (r_m1 + r_p);
+    return v_on > tml_vth && v_m0 < tml_vth && v_m1 < tml_vth &&
+           r_off > 100.0 * r_n && r_off > 100.0 * r_p;
+  }
+};
+
+/// Extract the in-situ resistances at the search operating points.
+Eq1Resistances extract_eq1_resistances(tcam::Flavor flavor);
+
+}  // namespace fetcam::eval

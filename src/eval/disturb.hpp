@@ -1,0 +1,47 @@
+// Accumulated read-disturb experiment (the paper's core DG motivation).
+//
+// Conventional SG-FeFETs read through the same front gate that writes the
+// ferroelectric, so every search stresses the FE stack; the paper cites the
+// resulting accumulated disturb as a key SG reliability limit and the DG
+// structure's separated write/read paths as the cure ("avoids accumulated
+// read disturbance").
+//
+// This experiment stresses a programmed (HVT) device with N read pulses at
+// increasing read-voltage-to-coercive-voltage ratios — the standard
+// accelerated-stress sweep — and tracks the polarization drift:
+//  * SG FG read: the read bias appears across the FE stack; drift grows
+//    steeply as V_read approaches V_c;
+//  * DG BG read: the FG stays quiet during reads, so the FE stack sees
+//    (nearly) zero field at ANY select voltage — drift stays at zero even
+//    for the 2 V select the DG designs use.
+#pragma once
+
+#include <vector>
+
+#include "devices/fefet.hpp"
+
+namespace fetcam::eval {
+
+struct DisturbParams {
+  int cycles = 100000;
+  double pulse_width = 1e-9;
+  /// Stress ratios V_read / V_c for the SG FG-read sweep.
+  std::vector<double> stress_ratios = {0.3, 0.5, 0.7, 0.8, 0.9, 0.95};
+};
+
+struct DisturbPoint {
+  double v_read = 0.0;
+  double p_drift_norm = 0.0;  ///< |delta P| / Ps after all cycles
+  double vth_drift = 0.0;     ///< resulting FG-referred V_TH shift, volts
+};
+
+struct DisturbResult {
+  std::vector<DisturbPoint> sg_fg_read;  ///< drift vs read voltage
+  DisturbPoint dg_bg_read;  ///< at the full V_SeL = 2 V select
+};
+
+/// Run the accumulated-disturb comparison (quasi-static polarization
+/// stepping on the Preisach model; no transient needed).
+DisturbResult read_disturb_comparison(const DisturbParams& params = {});
+
+}  // namespace fetcam::eval

@@ -1,0 +1,90 @@
+// Experiment runners: one entry point per figure/table of the paper's
+// evaluation (see DESIGN.md section 4 for the index).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/fom.hpp"
+#include "tcam/cell_1p5t1fe.hpp"
+
+namespace fetcam::eval {
+
+// --------------------------------------------------------------------------
+// Fig. 1(c)/(d): FeFET transfer characteristics after full +/- writes.
+// --------------------------------------------------------------------------
+
+struct IvCurve {
+  std::string label;
+  std::vector<double> vg;      ///< swept gate voltage (FG or BG)
+  std::vector<double> id_lvt;  ///< drain current after +Vw write
+  std::vector<double> id_hvt;  ///< drain current after -Vw write
+  double memory_window = 0.0;  ///< constant-current MW, volts
+  double on_off_ratio = 0.0;   ///< at the read voltage
+  bool ok = false;
+};
+
+/// SG-FeFET FG read (paper Fig. 1c: Vw = +/-4 V, MW ~ 1.8 V).
+IvCurve fig1_sg_fg_read();
+/// DG-FeFET BG read (paper Fig. 1d: Vw = +/-2 V, MW ~ 2.7 V, on/off ~ 1e4).
+IvCurve fig1_dg_bg_read();
+
+// --------------------------------------------------------------------------
+// Fig. 4: transient waveforms of the two-step search.
+// --------------------------------------------------------------------------
+
+struct Fig4Case {
+  std::string label;  ///< "step-1 miss" / "step-2 miss" / "match"
+  std::vector<double> t;
+  std::vector<double> sel_a, sel_b, ml, sa_out;
+  bool matched = false;
+  bool ok = false;
+};
+
+/// The three scenarios of Fig. 4 on an 8-bit 1.5T1Fe word.
+std::vector<Fig4Case> fig4_waveforms(tcam::Flavor flavor);
+
+// --------------------------------------------------------------------------
+// Tables I / II / III: cell operation verification.
+// --------------------------------------------------------------------------
+
+struct OpCheck {
+  std::string operation;  ///< "write 0", "search 1 vs stored X", ...
+  std::string detail;     ///< line levels applied
+  bool passed = false;
+};
+
+/// Simulate every write state and every stored x query search combination
+/// for a design; each row is checked against the golden model.
+std::vector<OpCheck> verify_operation_table(arch::TcamDesign design);
+
+// --------------------------------------------------------------------------
+// Fig. 7: word-length design-space exploration.
+// --------------------------------------------------------------------------
+
+struct SweepPoint {
+  int n_bits = 0;
+  bool ok = false;
+  double latency_full_ps = 0.0;
+  double latency_1step_ps = 0.0;
+  double energy_avg_fj = 0.0;
+  double energy_1step_fj = 0.0;
+  double energy_2step_fj = 0.0;
+};
+
+/// Latency and average search energy versus word length for one design.
+std::vector<SweepPoint> fig7_sweep(arch::TcamDesign design,
+                                   const std::vector<int>& word_lengths,
+                                   const FomOptions& base = {});
+
+// --------------------------------------------------------------------------
+// Table IV: the full figure-of-merit comparison.
+// --------------------------------------------------------------------------
+
+std::vector<DesignFom> table4(const FomOptions& opts = {});
+
+/// Render Table IV in the paper's layout (with improvement ratios against
+/// the 16T CMOS baseline).
+std::string render_table4(const std::vector<DesignFom>& foms);
+
+}  // namespace fetcam::eval

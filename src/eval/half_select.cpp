@@ -1,0 +1,89 @@
+#include "eval/half_select.hpp"
+
+#include <cmath>
+
+namespace fetcam::eval {
+
+std::string inhibit_scheme_name(InhibitScheme s) {
+  switch (s) {
+    case InhibitScheme::kNone:
+      return "row-gated Wr/SL only";
+    case InhibitScheme::kRaisedSl:
+      return "+ raised SL (channel at VDD)";
+    case InhibitScheme::kVwThirds:
+      return "Vw/3 inhibit biasing";
+  }
+  return "?";
+}
+
+namespace {
+
+/// FE stack voltage of an inhibited cell during the program-'1' phase
+/// (BL = +Vw), for each scheme.  The channel midpoint follows the
+/// inhibition biasing; v_FE = Vbl - v_channel_mid.
+double inhibited_v_fe(InhibitScheme s, double vw, double vdd) {
+  switch (s) {
+    case InhibitScheme::kNone:
+      // SL grounded, SL_bar pulled to VDD by the unselected TP.
+      return vw - 0.5 * vdd;
+    case InhibitScheme::kRaisedSl:
+      // SL raised to VDD too: channel fully at VDD.
+      return vw - vdd;
+    case InhibitScheme::kVwThirds:
+      // Classic 1/3 biasing: unselected stacks see Vw/3.
+      return vw / 3.0;
+  }
+  return vw;
+}
+
+}  // namespace
+
+std::vector<HalfSelectPoint> half_select_study(
+    bool double_gate, const HalfSelectParams& params) {
+  const dev::FeFetParams card =
+      double_gate ? dev::dg_fefet_params() : dev::sg_fefet_params();
+  const double vw = card.vw();
+  const double vdd = 0.8;
+  const double p0 = params.victim_state == dev::FeState::kHvt
+                        ? -card.fe.ps
+                        : card.fe.ps;
+
+  std::vector<HalfSelectPoint> out;
+  for (const auto scheme :
+       {InhibitScheme::kNone, InhibitScheme::kRaisedSl,
+        InhibitScheme::kVwThirds}) {
+    HalfSelectPoint pt;
+    pt.scheme = scheme;
+    pt.v_fe_program = inhibited_v_fe(scheme, vw, vdd);
+
+    // Cycle pulses until the guard band is crossed (chunked: identical
+    // pulses compose, so larger chunks are exact for the bounded
+    // relaxation model).
+    double pol = p0;
+    long long writes = 0;
+    long long chunk = 1;
+    double drift_1k = -1.0;
+    while (writes < params.max_writes) {
+      pol = dev::advance_polarization(card.fe, pol, pt.v_fe_program,
+                                      chunk * params.pulse_width)
+                .p_end;
+      writes += chunk;
+      const double drift =
+          std::abs(pol - p0) / card.fe.ps * card.mw_fg / 2.0;
+      if (drift_1k < 0.0 && writes >= 1000) drift_1k = drift;
+      if (drift > params.vth_guard) break;
+      if (chunk < (1LL << 16)) chunk *= 2;
+    }
+    const double final_drift =
+        std::abs(pol - p0) / card.fe.ps * card.mw_fg / 2.0;
+    if (drift_1k < 0.0) drift_1k = final_drift;
+    pt.vth_drift_1k = drift_1k;
+    pt.writes_to_fail = writes;
+    pt.survives_budget =
+        writes >= params.max_writes && final_drift <= params.vth_guard;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace fetcam::eval

@@ -1,0 +1,57 @@
+// Half-select disturb analysis for row-selective 1.5T1Fe writes.
+//
+// An architecture gap this reproduction surfaced: the paper's array
+// (Fig. 5c) shares BLs, SLs and Wr/SLs COLUMN-wise, so the three-phase
+// write drives every row identically — there is no row-selective write in
+// the scheme as described.  A practical array must gate the write per row;
+// the natural candidate is making Wr/SL row-gated (it already exists per
+// pair).  But then an UNSELECTED row's TP pulls SL_bar to VDD while the
+// BL still carries +/-Vw or Vm, leaving a partial field across its
+// ferroelectric: the classic half-select disturb.
+//
+// This module quantifies the polarization drift of inhibited cells per
+// write phase for candidate inhibition schemes, using the Preisach model:
+//   kNone          — Wr/SL low at unselected rows, SL grounded:
+//                    v_FE ~ Vbl - VDD/2 (worst case)
+//   kRaisedSl      — additionally raise the unselected row's SL to VDD:
+//                    channel midpoint ~ VDD, v_FE ~ Vbl - VDD
+//   kVwThirds      — classic Vw/3 biasing of the unselected channel
+// and reports how many back-to-back row writes an inhibited cell survives
+// before its stored level drifts out of a V_TH guard band.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "devices/fefet.hpp"
+
+namespace fetcam::eval {
+
+enum class InhibitScheme { kNone, kRaisedSl, kVwThirds };
+
+std::string inhibit_scheme_name(InhibitScheme s);
+
+struct HalfSelectParams {
+  double pulse_width = 40e-9;
+  /// Stored level under stress (the erased/HVT state is most exposed to
+  /// the positive program pulses).
+  dev::FeState victim_state = dev::FeState::kHvt;
+  /// Abort the cycling count here.
+  long long max_writes = 1000000;
+  /// Drift guard band: the victim fails when |dVth| exceeds this.
+  double vth_guard = 0.1;
+};
+
+struct HalfSelectPoint {
+  InhibitScheme scheme = InhibitScheme::kNone;
+  double v_fe_program = 0.0;   ///< FE stack voltage seen while inhibited
+  double vth_drift_1k = 0.0;   ///< |dVth| after 1000 neighbouring writes
+  long long writes_to_fail = 0;  ///< writes until the guard band is crossed
+  bool survives_budget = false;  ///< lasted max_writes
+};
+
+/// Evaluate the candidate schemes for one device flavour.
+std::vector<HalfSelectPoint> half_select_study(
+    bool double_gate, const HalfSelectParams& params = {});
+
+}  // namespace fetcam::eval

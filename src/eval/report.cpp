@@ -1,0 +1,54 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fetcam::eval {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << std::string(width[c] - cells[c].size(), ' ');
+      os << (c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c], '-') << (c + 1 == headers_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string format_eng(double value, const std::string& unit, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  if (!unit.empty()) os << ' ' << unit;
+  return os.str();
+}
+
+std::string format_ratio(double baseline, double value, int precision) {
+  if (value == 0.0 || !std::isfinite(baseline / value)) return "-";
+  std::ostringstream os;
+  os.precision(precision);
+  os << baseline / value << 'x';
+  return os.str();
+}
+
+}  // namespace fetcam::eval

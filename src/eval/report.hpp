@@ -1,0 +1,27 @@
+// Plain-text table rendering for benches and experiment reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fetcam::eval {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "231 ps", "0.41 fJ", "0.156 um^2" style formatting.
+std::string format_eng(double value, const std::string& unit, int precision = 3);
+
+/// "3.79x" relative-improvement formatting (baseline / value).
+std::string format_ratio(double baseline, double value, int precision = 2);
+
+}  // namespace fetcam::eval

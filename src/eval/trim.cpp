@@ -1,0 +1,136 @@
+#include "eval/trim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/variability_detail.hpp"
+
+namespace fetcam::eval {
+
+using arch::Ternary;
+
+TrimResult trim_mvt(const dev::FeFetParams& device, double vth_target,
+                    const TrimParams& params) {
+  TrimResult res;
+  // The controller only knows the NOMINAL process card; everything
+  // device-specific it must learn through verify reads.
+  const dev::FeFetParams base = device.double_gate ? dev::dg_fefet_params()
+                                                   : dev::sg_fefet_params();
+  if (params.window_relative) {
+    // Characterization reads: program/erase fully and measure the device's
+    // own window edges (these reads are exact in the model; silicon would
+    // use the same full-write + constant-current read).
+    const double lvt_meas = device.vth_for(1.0);
+    const double hvt_meas = device.vth_for(-1.0);
+    const double frac =
+        (base.vth_for(-1.0) - vth_target) / (base.vth_for(-1.0) -
+                                             base.vth_for(1.0));
+    vth_target = hvt_meas - frac * (hvt_meas - lvt_meas);
+  }
+
+  double vm = base.write_voltage_for_vth(vth_target);
+  double pol = -device.fe.ps;
+  for (int pulse = 0; pulse < params.max_pulses; ++pulse) {
+    ++res.pulses;
+    // Erase, then program at the trial voltage (the ascending branch makes
+    // each trial deterministic and history-free).
+    pol = -device.fe.ps;
+    pol = dev::advance_polarization(device.fe, pol, vm, params.pulse_width)
+              .p_end;
+    // Verify read: the achieved threshold on the REAL device.
+    res.final_vth = device.vth_for(pol / device.fe.ps);
+    res.final_vm = vm;
+    const double error = res.final_vth - vth_target;
+    if (std::abs(error) <= params.vth_tolerance) {
+      res.converged = true;
+      return res;
+    }
+    // Positive error = threshold too high = not enough polarization =
+    // raise the write voltage.
+    vm += params.gain * error;
+    // Keep the trial inside the physically sane range.
+    vm = std::clamp(vm, 0.5 * device.fe.vc, device.fe.vw());
+  }
+  return res;
+}
+
+VariabilityReport analyze_variability_trimmed(tcam::Flavor flavor,
+                                              const VariabilityParams& vp,
+                                              const TrimParams& trim) {
+  VariabilityReport rep;
+  const tcam::OnePointFiveParams p{};
+  const double vdd = 0.8;
+  std::mt19937 rng(vp.seed);
+  const double mvt_target =
+      flavor == tcam::Flavor::kSg ? p.mvt_vth_sg : p.mvt_vth_dg;
+
+  struct Corner {
+    Ternary stored;
+    int query;
+    bool expect_match;
+  };
+  const std::vector<Corner> corners = {
+      {Ternary::kZero, 0, true}, {Ternary::kZero, 1, false},
+      {Ternary::kOne, 0, false}, {Ternary::kOne, 1, true},
+      {Ternary::kX, 0, true},    {Ternary::kX, 1, true},
+  };
+  rep.corners.resize(corners.size());
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    rep.corners[c].stored = corners[c].stored;
+    rep.corners[c].query = corners[c].query;
+    rep.corners[c].worst_margin = 1e9;
+  }
+
+  int good_samples = 0;
+  for (int s = 0; s < vp.samples; ++s) {
+    const auto cell = detail::sample_cell(flavor, p, vp, rng);
+    // Closed-loop X placement for this device.
+    const auto trimmed = trim_mvt(cell.fe, mvt_target, trim);
+    const double pol_x =
+        (cell.fe.mos.vth0 - trimmed.final_vth) / (cell.fe.mw_fg / 2.0) *
+        cell.fe.fe.ps;
+    bool sample_ok = true;
+    for (std::size_t c = 0; c < corners.size(); ++c) {
+      double pol = 0.0;
+      switch (corners[c].stored) {
+        case Ternary::kZero:
+          pol = -cell.fe.fe.ps;
+          break;
+        case Ternary::kOne:
+          pol = cell.fe.fe.ps;
+          break;
+        case Ternary::kX:
+          pol = pol_x;
+          break;
+      }
+      const double v_slb = detail::divider_slb_at_polarization(
+          flavor, p, cell, pol, corners[c].query != 0, vdd);
+      auto& cy = rep.corners[c];
+      ++cy.samples;
+      if (std::isnan(v_slb)) {
+        ++cy.failures;
+        sample_ok = false;
+        continue;
+      }
+      const double margin =
+          corners[c].expect_match
+              ? (cell.tml.vth0 - vp.decision_margin) - v_slb
+              : v_slb - (cell.tml.vth0 + vp.decision_margin);
+      cy.mean_margin += margin;
+      cy.worst_margin = std::min(cy.worst_margin, margin);
+      if (margin < 0.0) {
+        ++cy.failures;
+        sample_ok = false;
+      }
+    }
+    if (sample_ok) ++good_samples;
+  }
+  for (auto& cy : rep.corners) {
+    if (cy.samples > 0) cy.mean_margin /= cy.samples;
+  }
+  rep.cell_yield = static_cast<double>(good_samples) / vp.samples;
+  rep.ok = true;
+  return rep;
+}
+
+}  // namespace fetcam::eval

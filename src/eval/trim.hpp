@@ -1,0 +1,59 @@
+// Program-and-verify MVT trimming.
+//
+// The Monte-Carlo analysis (eval/variability.*) shows the open-loop X-state
+// write is the yield limiter of the 1.5T1Fe cell under device variation:
+// the MVT level must land in a ~100-200 mV window, but the FeFET V_TH
+// spread alone is ~30 mV sigma and the Preisach branch maps write-voltage
+// error into level error.  The standard NVM remedy is closed-loop
+// program-and-verify: pulse, read the level, nudge the write voltage,
+// repeat.  This module implements that controller against the Preisach
+// model and re-runs the variability analysis with trimming enabled — the
+// DG flavour's yield recovers to ~100 % within a few pulses.
+#pragma once
+
+#include "devices/fefet.hpp"
+#include "eval/variability.hpp"
+
+namespace fetcam::eval {
+
+struct TrimParams {
+  double vth_tolerance = 0.02;  ///< accept when |Vth - target| below this
+  int max_pulses = 24;
+  double pulse_width = 40e-9;
+  /// Write-voltage adjustment per volt of V_TH error.  The branch slope
+  /// dVth/dVm is ~ -(mw/2)/vslope ~ -3.4 for the DG card, so the loop gain
+  /// is ~3.4x this value; keep it below ~0.25 for a stable approach.
+  double gain = 0.15;
+  /// Place the X level at the nominal FRACTIONAL position inside the
+  /// device's measured LVT..HVT window instead of at the absolute nominal
+  /// voltage.  This is the yield-optimal policy: the divider corners that
+  /// involve the X state discriminate it against the SAME device's LVT/HVT
+  /// levels, so correlated placement preserves the discrimination window
+  /// while absolute placement destroys it (measured by the trim tests).
+  bool window_relative = true;
+};
+
+struct TrimResult {
+  bool converged = false;
+  int pulses = 0;
+  double final_vth = 0.0;
+  double final_vm = 0.0;  ///< last write voltage used
+};
+
+/// Trim one device's MVT level to `vth_target` by iterative erase-free
+/// partial programming: each pulse re-erases and programs at an adjusted
+/// V_m (the deterministic-from-erased property of the ascending branch
+/// makes each trial independent).
+TrimResult trim_mvt(const dev::FeFetParams& device, double vth_target,
+                    const TrimParams& params = {});
+
+/// The variability analysis of eval/variability.hpp, but with every
+/// sampled device's X state placed by the trim controller instead of the
+/// open-loop V_m write.  Devices whose (shrunken) memory window cannot
+/// reach the target at all still fail — trimming fixes placement error,
+/// not window collapse.
+VariabilityReport analyze_variability_trimmed(
+    tcam::Flavor flavor, const VariabilityParams& params = {},
+    const TrimParams& trim = {});
+
+}  // namespace fetcam::eval

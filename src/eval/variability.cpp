@@ -1,0 +1,180 @@
+#include "eval/variability.hpp"
+
+#include "eval/variability_detail.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "devices/tech14.hpp"
+#include "spice/op.hpp"
+
+namespace fetcam::eval {
+
+using arch::Ternary;
+using dev::FeFet;
+using dev::FeState;
+using dev::Mosfet;
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+using spice::Solution;
+using spice::VoltageSource;
+using spice::Waveform;
+
+namespace detail {
+
+SampledCell sample_cell(tcam::Flavor flavor,
+                        const tcam::OnePointFiveParams& p,
+                        const VariabilityParams& vp, std::mt19937& rng) {
+  std::normal_distribution<double> n01(0.0, 1.0);
+  SampledCell s;
+  s.fe = flavor == tcam::Flavor::kSg ? dev::sg_fefet_params()
+                                     : dev::dg_fefet_params();
+  s.fe.mos.vth0 += vp.sigma_fefet_vth * n01(rng);
+  // Polarization spread scales the achievable memory window.
+  s.fe.mw_fg *= 1.0 + vp.sigma_ps_rel * n01(rng);
+  // Write-path variation: coercive-voltage spread.
+  s.fe.fe.vc *= 1.0 + vp.sigma_vc_rel * n01(rng);
+  s.tn = dev::tech14::nfet(p.tn_w, p.tn_l);
+  s.tn.vth0 += vp.sigma_mos_vth * n01(rng);
+  s.tp = dev::tech14::pfet(p.tp_w, p.tp_l);
+  s.tp.vth0 += vp.sigma_mos_vth * n01(rng);
+  s.tml = dev::tech14::nfet(p.tml_w, p.tml_l);
+  s.tml.vth0 =
+      (flavor == tcam::Flavor::kSg ? p.tml_vth_sg : p.tml_vth_dg) +
+      vp.sigma_mos_vth * n01(rng);
+  return s;
+}
+
+double divider_slb_at_polarization(tcam::Flavor flavor,
+                                   const tcam::OnePointFiveParams& p,
+                                   const SampledCell& cell,
+                                   double polarization, bool query_one,
+                                   double vdd) {
+  Circuit ckt;
+  const NodeId sl = ckt.node("sl");
+  const NodeId slb = ckt.node("slb");
+  const NodeId bl = ckt.node("bl");
+  const NodeId sel = ckt.node("sel");
+  const NodeId wrsl = ckt.node("wrsl");
+  const NodeId vddp = ckt.node("vddp");
+  const double level = query_one ? 0.0 : vdd;
+  const double vsel = flavor == tcam::Flavor::kSg ? p.v_sel_sg : p.v_sel_dg;
+  ckt.emplace<VoltageSource>("VSL", sl, kGround, Waveform::dc(level));
+  ckt.emplace<VoltageSource>("VWRSL", wrsl, kGround, Waveform::dc(level));
+  ckt.emplace<VoltageSource>("VDDP", vddp, kGround, Waveform::dc(vdd));
+  if (flavor == tcam::Flavor::kSg) {
+    ckt.emplace<VoltageSource>("VBL", bl, kGround, Waveform::dc(vsel));
+    ckt.emplace<VoltageSource>("VSELX", sel, kGround, Waveform::dc(0.0));
+  } else {
+    ckt.emplace<VoltageSource>("VBL", bl, kGround,
+                               Waveform::dc(query_one ? 0.0 : p.v_b));
+    ckt.emplace<VoltageSource>("VSELX", sel, kGround, Waveform::dc(vsel));
+  }
+  auto& fe = ckt.emplace<FeFet>("FE", sl, bl, slb, sel, cell.fe);
+  fe.set_polarization(polarization);
+  ckt.emplace<Mosfet>("TN", slb, wrsl, kGround, kGround, cell.tn);
+  ckt.emplace<Mosfet>("TP", slb, wrsl, vddp, vddp, cell.tp);
+  const auto op = solve_op(ckt);
+  if (!op.converged) return std::nan("");
+  return Solution(ckt, op.x).v(slb);
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::SampledCell;
+
+/// Open-loop polarization for a stored state: what the NOMINAL write
+/// waveform actually leaves on the sampled device.  Full writes saturate
+/// regardless of variation; the X state settles on the device's ascending
+/// Preisach branch at the nominal V_m, so the achieved V_TH inherits the
+/// device's threshold shift and window scaling — the placement error that
+/// program-and-verify trimming (eval/trim.*) removes.
+double open_loop_polarization(const tcam::OnePointFiveParams& p,
+                              tcam::Flavor flavor, const SampledCell& cell,
+                              Ternary stored) {
+  switch (stored) {
+    case Ternary::kZero:
+      return -cell.fe.fe.ps;
+    case Ternary::kOne:
+      return cell.fe.fe.ps;
+    case Ternary::kX:
+      break;
+  }
+  const double mvt =
+      flavor == tcam::Flavor::kSg ? p.mvt_vth_sg : p.mvt_vth_dg;
+  const dev::FeFetParams nominal = flavor == tcam::Flavor::kSg
+                                       ? dev::sg_fefet_params()
+                                       : dev::dg_fefet_params();
+  const double vm_nominal = nominal.write_voltage_for_vth(mvt);
+  return dev::settle_polarization(cell.fe.fe, -cell.fe.fe.ps, vm_nominal);
+}
+
+}  // namespace
+
+VariabilityReport analyze_variability(tcam::Flavor flavor,
+                                      const VariabilityParams& vp) {
+  VariabilityReport rep;
+  const tcam::OnePointFiveParams p{};
+  const double vdd = 0.8;
+  std::mt19937 rng(vp.seed);
+
+  struct Corner {
+    Ternary stored;
+    int query;
+    bool expect_match;
+  };
+  const std::vector<Corner> corners = {
+      {Ternary::kZero, 0, true}, {Ternary::kZero, 1, false},
+      {Ternary::kOne, 0, false}, {Ternary::kOne, 1, true},
+      {Ternary::kX, 0, true},    {Ternary::kX, 1, true},
+  };
+  rep.corners.resize(corners.size());
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    rep.corners[c].stored = corners[c].stored;
+    rep.corners[c].query = corners[c].query;
+    rep.corners[c].worst_margin = 1e9;
+  }
+
+  int good_samples = 0;
+  for (int s = 0; s < vp.samples; ++s) {
+    const SampledCell cell = detail::sample_cell(flavor, p, vp, rng);
+    bool sample_ok = true;
+    for (std::size_t c = 0; c < corners.size(); ++c) {
+      const double pol =
+          open_loop_polarization(p, flavor, cell, corners[c].stored);
+      const double v_slb = detail::divider_slb_at_polarization(
+          flavor, p, cell, pol, corners[c].query != 0, vdd);
+      auto& cy = rep.corners[c];
+      ++cy.samples;
+      if (std::isnan(v_slb)) {
+        ++cy.failures;
+        sample_ok = false;
+        continue;
+      }
+      // Signed sense margin: positive = decided correctly with margin.
+      const double margin =
+          corners[c].expect_match
+              ? (cell.tml.vth0 - vp.decision_margin) - v_slb
+              : v_slb - (cell.tml.vth0 + vp.decision_margin);
+      cy.mean_margin += margin;
+      cy.worst_margin = std::min(cy.worst_margin, margin);
+      if (margin < 0.0) {
+        ++cy.failures;
+        sample_ok = false;
+      }
+    }
+    if (sample_ok) ++good_samples;
+  }
+  for (auto& cy : rep.corners) {
+    if (cy.samples > 0) cy.mean_margin /= cy.samples;
+  }
+  rep.cell_yield = static_cast<double>(good_samples) / vp.samples;
+  rep.ok = true;
+  return rep;
+}
+
+}  // namespace fetcam::eval

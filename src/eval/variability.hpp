@@ -1,0 +1,64 @@
+// Monte-Carlo variability analysis of the 1.5T1Fe divider.
+//
+// The paper's device references (Chatterjee et al., TED 2022) flag V_TH and
+// polarization variability as the reliability concern for multi-level
+// DG-FeFET storage — and the 1.5T1Fe cell stores THREE levels in one device
+// with a divider sensing margin of a few hundred millivolts.  This module
+// quantifies how much variation the design tolerates:
+//
+//  * samples device-level variation (FeFET V_TH sigma, saturation
+//    polarization sigma, control-transistor V_TH sigma);
+//  * solves the divider operating point for every stored x query corner;
+//  * classifies each sample as correct/failing against the TML threshold
+//    (with the switching margin required for the ML decision);
+//  * reports per-corner failure rates and the sense-margin distribution.
+#pragma once
+
+#include <vector>
+
+#include "tcam/cell_1p5t1fe.hpp"
+
+namespace fetcam::eval {
+
+struct VariabilityParams {
+  double sigma_fefet_vth = 0.03;  ///< FeFET V_TH sigma, volts
+  double sigma_ps_rel = 0.05;     ///< relative saturation-polarization sigma
+  double sigma_mos_vth = 0.02;    ///< TN/TP/TML V_TH sigma, volts
+  /// Relative coercive-voltage sigma — the write-path variation.  The X
+  /// write settles on the Preisach branch at V_m, where dP/dV_c is steep,
+  /// so V_c spread converts into large MVT placement error (the mechanism
+  /// program-and-verify trimming removes; see eval/trim.*).
+  double sigma_vc_rel = 0.03;
+  int samples = 200;
+  unsigned seed = 1;
+  /// Margin SL_bar must clear beyond the TML threshold to count as a
+  /// decisive level (models the needed TML overdrive / leak immunity).
+  double decision_margin = 0.03;
+};
+
+struct CornerYield {
+  arch::Ternary stored = arch::Ternary::kZero;
+  int query = 0;
+  int failures = 0;
+  int samples = 0;
+  /// Worst-case sense margin across samples, volts (signed: negative =
+  /// functional failure).
+  double worst_margin = 0.0;
+  double mean_margin = 0.0;
+  double failure_rate() const {
+    return samples > 0 ? static_cast<double>(failures) / samples : 0.0;
+  }
+};
+
+struct VariabilityReport {
+  std::vector<CornerYield> corners;  ///< six stored x query corners
+  /// Fraction of samples in which every corner decided correctly.
+  double cell_yield = 0.0;
+  bool ok = false;
+};
+
+/// Run the Monte-Carlo divider analysis for one flavour.
+VariabilityReport analyze_variability(tcam::Flavor flavor,
+                                      const VariabilityParams& params = {});
+
+}  // namespace fetcam::eval

@@ -1,0 +1,31 @@
+// Internals shared between the Monte-Carlo variability analysis and the
+// program-and-verify trimming study.
+#pragma once
+
+#include <random>
+
+#include "devices/fefet.hpp"
+#include "devices/mosfet.hpp"
+#include "eval/variability.hpp"
+
+namespace fetcam::eval::detail {
+
+/// One sampled instance of the divider devices.
+struct SampledCell {
+  dev::FeFetParams fe;
+  dev::MosfetParams tn, tp, tml;
+};
+
+SampledCell sample_cell(tcam::Flavor flavor,
+                        const tcam::OnePointFiveParams& p,
+                        const VariabilityParams& vp, std::mt19937& rng);
+
+/// Solve the static divider leg for one corner with an explicit
+/// polarization (C/m^2) for the FeFET; returns V(SL_bar) or NaN.
+double divider_slb_at_polarization(tcam::Flavor flavor,
+                                   const tcam::OnePointFiveParams& p,
+                                   const SampledCell& cell,
+                                   double polarization, bool query_one,
+                                   double vdd);
+
+}  // namespace fetcam::eval::detail

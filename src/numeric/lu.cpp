@@ -1,0 +1,99 @@
+#include "numeric/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fetcam::num {
+
+bool LuFactorization::factor(const Matrix& a, double singular_tol) {
+  assert(a.rows() == a.cols());
+  const Index n = a.rows();
+  lu_ = a;
+  perm_.resize(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) perm_[static_cast<std::size_t>(i)] = i;
+  factored_ = false;
+  failed_row_ = -1;
+
+  // Implicit row equilibration: pivot selection and the singularity test use
+  // entries scaled by their row's infinity norm, which keeps conductance
+  // matrices spanning many orders of magnitude (pA leakage next to kS
+  // supplies) factorable.
+  std::vector<double> row_scale(static_cast<std::size_t>(n), 0.0);
+  for (Index r = 0; r < n; ++r) {
+    double m = 0.0;
+    const double* row = lu_.row_data(r);
+    for (Index c = 0; c < n; ++c) m = std::max(m, std::abs(row[c]));
+    if (m == 0.0) {
+      failed_row_ = r;
+      return false;
+    }
+    row_scale[static_cast<std::size_t>(r)] = 1.0 / m;
+  }
+
+  for (Index k = 0; k < n; ++k) {
+    // Find the pivot row by scaled magnitude.
+    Index pivot = k;
+    double best = std::abs(lu_(k, k)) * row_scale[static_cast<std::size_t>(k)];
+    for (Index r = k + 1; r < n; ++r) {
+      const double v =
+          std::abs(lu_(r, k)) * row_scale[static_cast<std::size_t>(r)];
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < singular_tol) {
+      failed_row_ = perm_[static_cast<std::size_t>(pivot)];
+      return false;
+    }
+    if (pivot != k) {
+      std::swap(perm_[static_cast<std::size_t>(k)], perm_[static_cast<std::size_t>(pivot)]);
+      std::swap(row_scale[static_cast<std::size_t>(k)],
+                row_scale[static_cast<std::size_t>(pivot)]);
+      double* rk = lu_.row_data(k);
+      double* rp = lu_.row_data(pivot);
+      for (Index c = 0; c < n; ++c) std::swap(rk[c], rp[c]);
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (Index r = k + 1; r < n; ++r) {
+      const double m = lu_(r, k) * inv_pivot;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      double* rr = lu_.row_data(r);
+      const double* rk = lu_.row_data(k);
+      for (Index c = k + 1; c < n; ++c) rr[c] -= m * rk[c];
+    }
+  }
+  factored_ = true;
+  return true;
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  assert(factored_);
+  const Index n = lu_.rows();
+  assert(b.size() == n);
+  Vector x(n);
+  // Apply permutation and forward-substitute L (unit diagonal).
+  for (Index r = 0; r < n; ++r) {
+    double s = b[perm_[static_cast<std::size_t>(r)]];
+    const double* row = lu_.row_data(r);
+    for (Index c = 0; c < r; ++c) s -= row[c] * x[c];
+    x[r] = s;
+  }
+  // Back-substitute U.
+  for (Index r = n - 1; r >= 0; --r) {
+    const double* row = lu_.row_data(r);
+    double s = x[r];
+    for (Index c = r + 1; c < n; ++c) s -= row[c] * x[c];
+    x[r] = s / row[r];
+  }
+  return x;
+}
+
+std::optional<Vector> solve_dense(const Matrix& a, const Vector& b) {
+  LuFactorization lu;
+  if (!lu.factor(a)) return std::nullopt;
+  return lu.solve(b);
+}
+
+}  // namespace fetcam::num

@@ -1,0 +1,48 @@
+// Partial-pivot LU factorization for the MNA system solves.
+//
+// MNA matrices are unsymmetric (voltage-source branch rows) and can be badly
+// scaled (conductances spanning 1e-12 .. 1e3 S), so row partial pivoting is
+// required; plain diagonal pivoting fails on the zero diagonal entries that
+// ideal voltage sources introduce.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace fetcam::num {
+
+/// In-place LU factorization with row partial pivoting and forward/back solve.
+///
+/// Usage:
+///   LuFactorization lu;
+///   if (!lu.factor(a)) { ... singular ... }
+///   Vector x = lu.solve(b);
+class LuFactorization {
+ public:
+  /// Factor a copy of `a`.  Returns false when a pivot falls below
+  /// `singular_tol` times the matrix infinity norm, signalling a singular (or
+  /// numerically singular) system — typically a floating circuit node.
+  bool factor(const Matrix& a, double singular_tol = 1e-14);
+
+  /// Solve L U x = P b for x.  Requires a successful factor() call.
+  Vector solve(const Vector& b) const;
+
+  /// Row index (in the original matrix) of the pivot that broke factorization,
+  /// for diagnosing floating nodes.  Only meaningful after factor() == false.
+  Index failed_row() const { return failed_row_; }
+
+  bool factored() const { return factored_; }
+
+ private:
+  Matrix lu_;
+  std::vector<Index> perm_;
+  Index failed_row_ = -1;
+  bool factored_ = false;
+};
+
+/// Convenience one-shot dense solve.  Returns std::nullopt on singularity.
+std::optional<Vector> solve_dense(const Matrix& a, const Vector& b);
+
+}  // namespace fetcam::num

@@ -1,0 +1,61 @@
+#include "numeric/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fetcam::num {
+
+void Vector::axpy(double alpha, const Vector& w) {
+  assert(size() == w.size());
+  for (Index i = 0; i < size(); ++i) (*this)[i] += alpha * w[i];
+}
+
+double Vector::inf_norm() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Vector::two_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector y(rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    const double* row = row_data(r);
+    double s = 0.0;
+    for (Index c = 0; c < cols_; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+double Matrix::inf_norm() const {
+  double m = 0.0;
+  for (Index r = 0; r < rows_; ++r) {
+    const double* row = row_data(r);
+    double s = 0.0;
+    for (Index c = 0; c < cols_; ++c) s += std::abs(row[c]);
+    m = std::max(m, s);
+  }
+  return m;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index c = 0; c < cols_; ++c) {
+      os << (*this)(r, c);
+      os << (c + 1 == cols_ ? '\n' : ' ');
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fetcam::num

@@ -1,0 +1,106 @@
+#include "numeric/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/sparse_lu.hpp"
+
+namespace fetcam::num {
+
+NewtonResult solve_newton(const AssembleFn& assemble, Vector& x,
+                          const NewtonOptions& opts) {
+  NewtonResult res;
+  const Index n = x.size();
+  Matrix jac(n, n);
+  Vector residual(n);
+  LuFactorization lu;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    jac.set_zero();
+    residual.fill(0.0);
+    assemble(x, jac, residual);
+
+    res.iterations = it + 1;
+    res.residual_norm = residual.inf_norm();
+
+    if (!lu.factor(jac)) {
+      res.singular = true;
+      res.singular_row = lu.failed_row();
+      return res;
+    }
+    // Solve J dx = -f.
+    Vector rhs(n);
+    for (Index i = 0; i < n; ++i) rhs[i] = -residual[i];
+    Vector dx = lu.solve(rhs);
+
+    // Voltage limiting: clamp each component.
+    for (Index i = 0; i < n; ++i) {
+      dx[i] = std::clamp(dx[i], -opts.max_step, opts.max_step);
+    }
+    res.step_norm = dx.inf_norm();
+    for (Index i = 0; i < n; ++i) x[i] += dx[i];
+
+    bool step_ok = true;
+    for (Index i = 0; i < n; ++i) {
+      const double tol = opts.step_abs_tol + opts.step_rel_tol * std::abs(x[i]);
+      if (std::abs(dx[i]) > tol) {
+        step_ok = false;
+        break;
+      }
+    }
+    if (step_ok && res.residual_norm < opts.residual_tol) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+NewtonResult solve_newton_sparse(const SparseAssembleFn& assemble, Vector& x,
+                                 const NewtonOptions& opts) {
+  NewtonResult res;
+  const Index n = x.size();
+  TripletAccumulator jac(n);
+  Vector residual(n);
+  SparseLu lu;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    jac.clear();
+    residual.fill(0.0);
+    assemble(x, jac, residual);
+
+    res.iterations = it + 1;
+    res.residual_norm = residual.inf_norm();
+
+    if (!lu.factor(jac)) {
+      res.singular = true;
+      res.singular_row = lu.failed_column();
+      return res;
+    }
+    Vector rhs(n);
+    for (Index i = 0; i < n; ++i) rhs[i] = -residual[i];
+    Vector dx = lu.solve(rhs);
+
+    for (Index i = 0; i < n; ++i) {
+      dx[i] = std::clamp(dx[i], -opts.max_step, opts.max_step);
+    }
+    res.step_norm = dx.inf_norm();
+    for (Index i = 0; i < n; ++i) x[i] += dx[i];
+
+    bool step_ok = true;
+    for (Index i = 0; i < n; ++i) {
+      const double tol = opts.step_abs_tol + opts.step_rel_tol * std::abs(x[i]);
+      if (std::abs(dx[i]) > tol) {
+        step_ok = false;
+        break;
+      }
+    }
+    if (step_ok && res.residual_norm < opts.residual_tol) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace fetcam::num

@@ -1,0 +1,62 @@
+// Damped Newton-Raphson driver shared by the operating-point and transient
+// engines.
+//
+// SPICE-style convergence control: per-component step clamping (voltage
+// limiting) keeps the exponential device models from overflowing, and the
+// dual residual/step criterion mirrors the classic abstol/reltol/vntol test.
+#pragma once
+
+#include <functional>
+
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+#include "numeric/sparse.hpp"
+
+namespace fetcam::num {
+
+struct NewtonOptions {
+  int max_iterations = 200;
+  /// Residual (KCL current) tolerance, amperes.
+  double residual_tol = 1e-9;
+  /// Absolute solution-update tolerance, volts.
+  double step_abs_tol = 1e-6;
+  /// Relative solution-update tolerance.
+  double step_rel_tol = 1e-6;
+  /// Per-component clamp on the Newton update (voltage limiting), volts.
+  /// Keeps exp() device models inside representable range on early iterations.
+  double max_step = 0.5;
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;
+  double step_norm = 0.0;
+  /// Set when the Jacobian went singular; reports the offending row for
+  /// floating-node diagnostics.
+  bool singular = false;
+  Index singular_row = -1;
+};
+
+/// Callback that fills `jac` and `residual` at the candidate solution `x`.
+/// Both are pre-sized and zeroed by the driver; the callee only adds stamps.
+/// The driver solves  jac * dx = -residual  and applies the clamped update.
+using AssembleFn =
+    std::function<void(const Vector& x, Matrix& jac, Vector& residual)>;
+
+/// Run damped Newton on f(x) = 0.  `x` carries the initial guess in and the
+/// solution out (best iterate on failure).
+NewtonResult solve_newton(const AssembleFn& assemble, Vector& x,
+                          const NewtonOptions& opts = {});
+
+/// Sparse-Jacobian variant: the callback stamps into a triplet accumulator
+/// (cleared by the driver each iteration) and the linear solves use the
+/// Gilbert-Peierls sparse LU.  Same convergence control as the dense path;
+/// preferred once the system grows past a few hundred unknowns.
+using SparseAssembleFn =
+    std::function<void(const Vector& x, TripletAccumulator& jac,
+                       Vector& residual)>;
+NewtonResult solve_newton_sparse(const SparseAssembleFn& assemble, Vector& x,
+                                 const NewtonOptions& opts = {});
+
+}  // namespace fetcam::num

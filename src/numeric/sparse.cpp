@@ -1,0 +1,153 @@
+#include "numeric/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fetcam::num {
+
+CsrMatrix CsrMatrix::from_triplets(const TripletAccumulator& acc) {
+  CsrMatrix m;
+  m.n_ = acc.dim();
+  const std::size_t nnz_in = acc.entries();
+
+  // Sort triplet indices by (row, col).
+  std::vector<std::size_t> order(nnz_in);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto& rs = acc.rows();
+  const auto& cs = acc.cols();
+  const auto& vs = acc.vals();
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rs[a] != rs[b] ? rs[a] < rs[b] : cs[a] < cs[b];
+  });
+
+  m.row_ptr_.assign(static_cast<std::size_t>(m.n_) + 1, 0);
+  m.col_idx_.reserve(nnz_in);
+  m.vals_.reserve(nnz_in);
+
+  for (std::size_t k = 0; k < nnz_in;) {
+    const Index r = rs[order[k]];
+    const Index c = cs[order[k]];
+    double sum = 0.0;
+    while (k < nnz_in && rs[order[k]] == r && cs[order[k]] == c) {
+      sum += vs[order[k]];
+      ++k;
+    }
+    if (sum != 0.0) {
+      m.col_idx_.push_back(c);
+      m.vals_.push_back(sum);
+      ++m.row_ptr_[static_cast<std::size_t>(r) + 1];
+    }
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(m.n_); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  return m;
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  assert(x.size() == n_);
+  Vector y(n_);
+  for (Index r = 0; r < n_; ++r) {
+    double s = 0.0;
+    for (Index k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      s += vals_[static_cast<std::size_t>(k)] * x[col_idx_[static_cast<std::size_t>(k)]];
+    }
+    y[r] = s;
+  }
+  return y;
+}
+
+double CsrMatrix::at(Index r, Index c) const {
+  assert(r >= 0 && r < n_ && c >= 0 && c < n_);
+  const auto begin = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(r)];
+  const auto end = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(r) + 1];
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return vals_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector d(n_);
+  for (Index r = 0; r < n_; ++r) d[r] = at(r, r);
+  return d;
+}
+
+BicgstabResult solve_bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
+                              const BicgstabOptions& opts) {
+  const Index n = a.dim();
+  assert(b.size() == n && x.size() == n);
+  BicgstabResult res;
+
+  // Jacobi preconditioner; unit entries where the diagonal vanishes (MNA
+  // voltage-source rows) keep it well-defined.
+  Vector inv_diag = a.diagonal();
+  for (Index i = 0; i < n; ++i) {
+    inv_diag[i] = std::abs(inv_diag[i]) > 0.0 ? 1.0 / inv_diag[i] : 1.0;
+  }
+  const auto precond = [&](const Vector& v) {
+    Vector out(n);
+    for (Index i = 0; i < n; ++i) out[i] = inv_diag[i] * v[i];
+    return out;
+  };
+
+  const double bnorm = std::max(b.two_norm(), 1e-300);
+  Vector r = b;
+  {
+    const Vector ax = a.multiply(x);
+    for (Index i = 0; i < n; ++i) r[i] -= ax[i];
+  }
+  Vector r0 = r;
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  Vector v(n), p(n);
+
+  for (int it = 0; it < opts.max_iter; ++it) {
+    res.residual = r.two_norm();
+    res.iterations = it;
+    if (res.residual / bnorm < opts.rel_tol || res.residual < opts.abs_tol) {
+      res.converged = true;
+      return res;
+    }
+    double rho_next = 0.0;
+    for (Index i = 0; i < n; ++i) rho_next += r0[i] * r[i];
+    if (std::abs(rho_next) < 1e-300) break;  // breakdown
+    const double beta = (rho_next / rho) * (alpha / omega);
+    rho = rho_next;
+    for (Index i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    const Vector phat = precond(p);
+    v = a.multiply(phat);
+    double r0v = 0.0;
+    for (Index i = 0; i < n; ++i) r0v += r0[i] * v[i];
+    if (std::abs(r0v) < 1e-300) break;
+    alpha = rho / r0v;
+    Vector s = r;
+    for (Index i = 0; i < n; ++i) s[i] -= alpha * v[i];
+    if (s.two_norm() / bnorm < opts.rel_tol) {
+      x.axpy(alpha, phat);
+      res.converged = true;
+      res.residual = s.two_norm();
+      res.iterations = it + 1;
+      return res;
+    }
+    const Vector shat = precond(s);
+    const Vector t = a.multiply(shat);
+    double tt = 0.0, ts = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      tt += t[i] * t[i];
+      ts += t[i] * s[i];
+    }
+    if (tt < 1e-300) break;
+    omega = ts / tt;
+    for (Index i = 0; i < n; ++i) {
+      x[i] += alpha * phat[i] + omega * shat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    if (std::abs(omega) < 1e-300) break;
+  }
+  res.residual = r.two_norm();
+  res.converged = res.residual / bnorm < opts.rel_tol;
+  return res;
+}
+
+}  // namespace fetcam::num

@@ -1,0 +1,249 @@
+#include "numeric/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fetcam::num {
+
+namespace {
+
+/// A in compressed-sparse-column form with duplicates summed.
+struct Csc {
+  Index n = 0;
+  std::vector<std::vector<Index>> rows;
+  std::vector<std::vector<double>> vals;
+  double max_abs = 0.0;
+
+  /// Row equilibration factors (1 / row inf-norm), applied during the
+  /// build; conductance matrices span many orders of magnitude between
+  /// supply rows and leakage rows, and pivot tests need a common scale.
+  std::vector<double> row_scale;
+
+  explicit Csc(const TripletAccumulator& a)
+      : n(a.dim()),
+        rows(static_cast<std::size_t>(a.dim())),
+        vals(static_cast<std::size_t>(a.dim())),
+        row_scale(static_cast<std::size_t>(a.dim()), 0.0) {
+    // Sum duplicates per column (linear scan per column is fine: MNA
+    // columns have a handful of entries).
+    for (std::size_t k = 0; k < a.entries(); ++k) {
+      const Index c = a.cols()[k];
+      const Index r = a.rows()[k];
+      auto& cr = rows[static_cast<std::size_t>(c)];
+      auto& cv = vals[static_cast<std::size_t>(c)];
+      bool found = false;
+      for (std::size_t i = 0; i < cr.size(); ++i) {
+        if (cr[i] == r) {
+          cv[i] += a.vals()[k];
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        cr.push_back(r);
+        cv.push_back(a.vals()[k]);
+      }
+    }
+    for (std::size_t c = 0; c < rows.size(); ++c) {
+      for (std::size_t i = 0; i < rows[c].size(); ++i) {
+        auto& m = row_scale[static_cast<std::size_t>(rows[c][i])];
+        m = std::max(m, std::abs(vals[c][i]));
+      }
+    }
+    for (auto& m : row_scale) m = m > 0.0 ? 1.0 / m : 1.0;
+    for (std::size_t c = 0; c < rows.size(); ++c) {
+      for (std::size_t i = 0; i < rows[c].size(); ++i) {
+        vals[c][i] *= row_scale[static_cast<std::size_t>(rows[c][i])];
+      }
+    }
+    for (const auto& cv : vals) {
+      for (const double v : cv) max_abs = std::max(max_abs, std::abs(v));
+    }
+  }
+};
+
+}  // namespace
+
+bool SparseLu::factor(const TripletAccumulator& a,
+                      const SparseLuOptions& opts) {
+  const Csc csc(a);
+  n_ = csc.n;
+  factored_ = false;
+  failed_col_ = -1;
+  l_rows_.assign(static_cast<std::size_t>(n_), {});
+  l_vals_.assign(static_cast<std::size_t>(n_), {});
+  u_rows_.assign(static_cast<std::size_t>(n_), {});
+  u_vals_.assign(static_cast<std::size_t>(n_), {});
+  perm_.assign(static_cast<std::size_t>(n_), -1);
+  perm_inv_.assign(static_cast<std::size_t>(n_), -1);  // orig row -> pivot col
+  row_scale_ = csc.row_scale;
+
+  const double floor = opts.singular_tol * std::max(csc.max_abs, 1.0);
+
+  // Workspaces for the symbolic DFS + numeric solve.
+  std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+  std::vector<int> visited(static_cast<std::size_t>(n_), -1);
+  std::vector<Index> topo;           // reach set in topological order
+  std::vector<Index> dfs_stack, dfs_pos;
+  topo.reserve(static_cast<std::size_t>(n_));
+
+  for (Index k = 0; k < n_; ++k) {
+    // ---- symbolic: rows reachable from A(:,k) through eliminated columns.
+    topo.clear();
+    const auto& ark = csc.rows[static_cast<std::size_t>(k)];
+    for (const Index r0 : ark) {
+      if (visited[static_cast<std::size_t>(r0)] == static_cast<int>(k)) {
+        continue;
+      }
+      // Iterative DFS emitting nodes in post-order (=> reverse topological).
+      dfs_stack.assign(1, r0);
+      dfs_pos.assign(1, 0);
+      visited[static_cast<std::size_t>(r0)] = static_cast<int>(k);
+      while (!dfs_stack.empty()) {
+        const Index r = dfs_stack.back();
+        const Index col = perm_inv_[static_cast<std::size_t>(r)];
+        bool descended = false;
+        if (col >= 0) {
+          auto& lr = l_rows_[static_cast<std::size_t>(col)];
+          for (Index& p = dfs_pos.back(); p < static_cast<Index>(lr.size());) {
+            const Index child = lr[static_cast<std::size_t>(p)];
+            ++p;
+            if (visited[static_cast<std::size_t>(child)] !=
+                static_cast<int>(k)) {
+              visited[static_cast<std::size_t>(child)] = static_cast<int>(k);
+              dfs_stack.push_back(child);
+              dfs_pos.push_back(0);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          topo.push_back(r);
+          dfs_stack.pop_back();
+          dfs_pos.pop_back();
+        }
+      }
+    }
+    // topo is in post-order = reverse topological; iterate reversed below.
+
+    // ---- numeric: x = L \ A(:,k) over the reach set.
+    for (const Index r : topo) x[static_cast<std::size_t>(r)] = 0.0;
+    for (std::size_t i = 0; i < ark.size(); ++i) {
+      x[static_cast<std::size_t>(ark[i])] =
+          csc.vals[static_cast<std::size_t>(k)][i];
+    }
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const Index r = *it;
+      const Index col = perm_inv_[static_cast<std::size_t>(r)];
+      if (col < 0) continue;
+      const double xr = x[static_cast<std::size_t>(r)];
+      if (xr == 0.0) continue;
+      const auto& lr = l_rows_[static_cast<std::size_t>(col)];
+      const auto& lv = l_vals_[static_cast<std::size_t>(col)];
+      for (std::size_t i = 0; i < lr.size(); ++i) {
+        x[static_cast<std::size_t>(lr[i])] -= lv[i] * xr;
+      }
+    }
+
+    // ---- pivot selection among non-eliminated rows.
+    Index pivot_row = -1;
+    double best = 0.0;
+    double diag = 0.0;
+    bool diag_present = false;
+    for (const Index r : topo) {
+      if (perm_inv_[static_cast<std::size_t>(r)] >= 0) continue;
+      const double v = std::abs(x[static_cast<std::size_t>(r)]);
+      if (v > best) {
+        best = v;
+        pivot_row = r;
+      }
+      if (r == k) {
+        diag = v;
+        diag_present = true;
+      }
+    }
+    if (pivot_row < 0 || best < floor) {
+      failed_col_ = k;
+      return false;
+    }
+    if (diag_present && diag >= opts.pivot_threshold * best) {
+      pivot_row = k;  // prefer the structural diagonal: less fill
+    }
+    const double pivot = x[static_cast<std::size_t>(pivot_row)];
+
+    // ---- store U (eliminated rows, permuted indices) and L (scaled).
+    auto& ur = u_rows_[static_cast<std::size_t>(k)];
+    auto& uv = u_vals_[static_cast<std::size_t>(k)];
+    auto& lr = l_rows_[static_cast<std::size_t>(k)];
+    auto& lv = l_vals_[static_cast<std::size_t>(k)];
+    for (const Index r : topo) {
+      const Index col = perm_inv_[static_cast<std::size_t>(r)];
+      const double v = x[static_cast<std::size_t>(r)];
+      if (col >= 0) {
+        if (v != 0.0) {
+          ur.push_back(col);
+          uv.push_back(v);
+        }
+      } else if (r != pivot_row && v != 0.0) {
+        lr.push_back(r);  // original row index; remapped after factorization
+        lv.push_back(v / pivot);
+      }
+    }
+    ur.push_back(k);  // U diagonal last
+    uv.push_back(pivot);
+    perm_inv_[static_cast<std::size_t>(pivot_row)] = k;
+    perm_[static_cast<std::size_t>(k)] = pivot_row;
+  }
+
+  // Remap L's original row indices into permuted space.
+  for (auto& lr : l_rows_) {
+    for (Index& r : lr) r = perm_inv_[static_cast<std::size_t>(r)];
+  }
+  factored_ = true;
+  return true;
+}
+
+Vector SparseLu::solve(const Vector& b) const {
+  assert(factored_);
+  assert(b.size() == n_);
+  Vector y(n_);
+  for (Index i = 0; i < n_; ++i) {
+    const Index orig = perm_[static_cast<std::size_t>(i)];
+    y[i] = b[orig] * row_scale_[static_cast<std::size_t>(orig)];
+  }
+  // Forward: L y = P b (L unit-diagonal, strictly lower in permuted space).
+  for (Index j = 0; j < n_; ++j) {
+    const double yj = y[j];
+    if (yj == 0.0) continue;
+    const auto& lr = l_rows_[static_cast<std::size_t>(j)];
+    const auto& lv = l_vals_[static_cast<std::size_t>(j)];
+    for (std::size_t i = 0; i < lr.size(); ++i) y[lr[i]] -= lv[i] * yj;
+  }
+  // Backward: U x = y (diagonal stored last per column).
+  for (Index j = n_ - 1; j >= 0; --j) {
+    const auto& ur = u_rows_[static_cast<std::size_t>(j)];
+    const auto& uv = u_vals_[static_cast<std::size_t>(j)];
+    y[j] /= uv.back();
+    const double yj = y[j];
+    for (std::size_t i = 0; i + 1 < ur.size(); ++i) y[ur[i]] -= uv[i] * yj;
+  }
+  return y;
+}
+
+std::size_t SparseLu::factor_nonzeros() const {
+  std::size_t nnz = 0;
+  for (const auto& c : l_vals_) nnz += c.size();
+  for (const auto& c : u_vals_) nnz += c.size();
+  return nnz;
+}
+
+std::optional<Vector> solve_sparse(const TripletAccumulator& a,
+                                   const Vector& b) {
+  SparseLu lu;
+  if (!lu.factor(a)) return std::nullopt;
+  return lu.solve(b);
+}
+
+}  // namespace fetcam::num

@@ -1,0 +1,42 @@
+// DC sweep: repeated operating points while stepping one voltage source.
+//
+// Used for the Id-Vg device characterization (paper Fig. 1c/d) and for
+// verifying the 1.5T1Fe divider voltages (paper Eq. 2/3).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spice/elements.hpp"
+#include "spice/op.hpp"
+
+namespace fetcam::spice {
+
+struct DcSweepPoint {
+  double sweep_value = 0.0;
+  bool converged = false;
+  num::Vector x;
+};
+
+struct DcSweepResult {
+  std::vector<DcSweepPoint> points;
+  /// True when every point converged.
+  bool ok = false;
+
+  /// Extract a node-voltage column.
+  std::vector<double> voltage(const Circuit& ckt,
+                              std::string_view node_name) const;
+  /// Extract a branch-current column for a voltage source.
+  std::vector<double> branch_current(const Circuit& ckt,
+                                     std::string_view device_name) const;
+  std::vector<double> sweep_values() const;
+};
+
+/// Sweep `source` (its waveform is replaced by DC points) from v_start to
+/// v_stop in `steps` intervals (steps+1 points), solving the OP at each with
+/// the previous solution as the Newton seed.
+DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double v_start,
+                       double v_stop, int steps, const OpOptions& opts = {});
+
+}  // namespace fetcam::spice

@@ -1,0 +1,117 @@
+#include "spice/elements.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::spice {
+
+// ---------------------------------------------------------------------------
+// Resistor
+// ---------------------------------------------------------------------------
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
+    : Device(std::move(name)), a_(a), b_(b), ohms_(ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("resistance must be positive");
+}
+
+void Resistor::set_resistance(double ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("resistance must be positive");
+  ohms_ = ohms;
+}
+
+void Resistor::stamp(const EvalContext& ctx, Stamper& st) const {
+  (void)ctx;
+  st.stamp_conductance(a_, b_, 1.0 / ohms_);
+}
+
+// ---------------------------------------------------------------------------
+// Capacitor
+// ---------------------------------------------------------------------------
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double farads)
+    : Device(std::move(name)), a_(a), b_(b), farads_(farads) {
+  if (farads < 0.0) throw std::invalid_argument("capacitance must be >= 0");
+}
+
+double Capacitor::device_current(const EvalContext& ctx, double vab) const {
+  if (ctx.trapezoidal) {
+    return 2.0 * farads_ / ctx.dt * (vab - v_prev_) - i_prev_;
+  }
+  return farads_ / ctx.dt * (vab - v_prev_);
+}
+
+void Capacitor::stamp(const EvalContext& ctx, Stamper& st) const {
+  if (ctx.mode == AnalysisMode::kOperatingPoint || farads_ == 0.0) return;
+  const double vab = st.v(a_) - st.v(b_);
+  const double geq =
+      (ctx.trapezoidal ? 2.0 : 1.0) * farads_ / ctx.dt;
+  st.add_current(a_, b_, device_current(ctx, vab));
+  st.add_current_derivative(a_, b_, a_, geq);
+  st.add_current_derivative(a_, b_, b_, -geq);
+}
+
+void Capacitor::initialize_state(const EvalContext& ctx, const Solution& sol) {
+  (void)ctx;
+  v_prev_ = sol.v(a_) - sol.v(b_);
+  i_prev_ = 0.0;  // DC steady state: no capacitor current
+}
+
+void Capacitor::commit_step(const EvalContext& ctx, const Solution& sol) {
+  const double vab = sol.v(a_) - sol.v(b_);
+  i_prev_ = device_current(ctx, vab);
+  v_prev_ = vab;
+}
+
+// ---------------------------------------------------------------------------
+// VoltageSource
+// ---------------------------------------------------------------------------
+
+VoltageSource::VoltageSource(std::string name, NodeId plus, NodeId minus,
+                             Waveform w)
+    : Device(std::move(name)), plus_(plus), minus_(minus), wave_(std::move(w)) {}
+
+void VoltageSource::stamp(const EvalContext& ctx, Stamper& st) const {
+  const double target = ctx.source_scale * wave_.value(ctx.time);
+  st.stamp_branch_voltage(branch_base(), plus_, minus_, target);
+}
+
+std::vector<double> VoltageSource::breakpoints(double t_stop) const {
+  return wave_.breakpoints(t_stop);
+}
+
+// ---------------------------------------------------------------------------
+// CurrentSource
+// ---------------------------------------------------------------------------
+
+CurrentSource::CurrentSource(std::string name, NodeId plus, NodeId minus,
+                             Waveform w)
+    : Device(std::move(name)), plus_(plus), minus_(minus), wave_(std::move(w)) {}
+
+void CurrentSource::stamp(const EvalContext& ctx, Stamper& st) const {
+  const double i = ctx.source_scale * wave_.value(ctx.time);
+  st.add_current(plus_, minus_, i);
+}
+
+std::vector<double> CurrentSource::breakpoints(double t_stop) const {
+  return wave_.breakpoints(t_stop);
+}
+
+// ---------------------------------------------------------------------------
+// Vcvs
+// ---------------------------------------------------------------------------
+
+Vcvs::Vcvs(std::string name, NodeId plus, NodeId minus, NodeId ctrl_plus,
+           NodeId ctrl_minus, double gain)
+    : Device(std::move(name)),
+      plus_(plus),
+      minus_(minus),
+      ctrl_plus_(ctrl_plus),
+      ctrl_minus_(ctrl_minus),
+      gain_(gain) {}
+
+void Vcvs::stamp(const EvalContext& ctx, Stamper& st) const {
+  (void)ctx;
+  st.stamp_branch_vcvs(branch_base(), plus_, minus_, ctrl_plus_, ctrl_minus_,
+                       gain_);
+}
+
+}  // namespace fetcam::spice

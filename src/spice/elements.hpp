@@ -1,0 +1,110 @@
+// Linear circuit elements: resistor, capacitor, independent sources, VCVS.
+#pragma once
+
+#include "spice/circuit.hpp"
+
+namespace fetcam::spice {
+
+/// Two-terminal linear resistor.
+class Resistor : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double ohms);
+
+  std::string_view kind() const override { return "resistor"; }
+  void stamp(const EvalContext& ctx, Stamper& st) const override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+
+  double resistance() const { return ohms_; }
+  void set_resistance(double ohms);
+
+ private:
+  NodeId a_, b_;
+  double ohms_;
+};
+
+/// Two-terminal linear capacitor.  Open during OP; companion model during
+/// transient (backward-Euler or trapezoidal per EvalContext::trapezoidal).
+class Capacitor : public Device {
+ public:
+  Capacitor(std::string name, NodeId a, NodeId b, double farads);
+
+  std::string_view kind() const override { return "capacitor"; }
+  void stamp(const EvalContext& ctx, Stamper& st) const override;
+  void initialize_state(const EvalContext& ctx, const Solution& sol) override;
+  void commit_step(const EvalContext& ctx, const Solution& sol) override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+
+  double capacitance() const { return farads_; }
+  /// Device current at the last committed step (a -> b), amperes.
+  double last_current() const { return i_prev_; }
+
+ private:
+  double device_current(const EvalContext& ctx, double vab) const;
+
+  NodeId a_, b_;
+  double farads_;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+/// Independent voltage source with an arbitrary waveform.  Owns one branch
+/// unknown: the current flowing + -> (through source) -> -.
+class VoltageSource : public Device {
+ public:
+  VoltageSource(std::string name, NodeId plus, NodeId minus, Waveform w);
+
+  std::string_view kind() const override { return "vsource"; }
+  int branch_count() const override { return 1; }
+  void stamp(const EvalContext& ctx, Stamper& st) const override;
+  std::vector<double> breakpoints(double t_stop) const override;
+  std::vector<NodeId> terminals() const override { return {plus_, minus_}; }
+
+  const Waveform& waveform() const { return wave_; }
+  void set_waveform(Waveform w) { wave_ = std::move(w); }
+  /// Source value at time t with no continuation scaling.
+  double value_at(double t) const { return wave_.value(t); }
+
+ private:
+  NodeId plus_, minus_;
+  Waveform wave_;
+};
+
+/// Independent current source (current flows from + node through the source
+/// to the - node, i.e. it pulls current out of + and pushes it into -).
+class CurrentSource : public Device {
+ public:
+  CurrentSource(std::string name, NodeId plus, NodeId minus, Waveform w);
+
+  std::string_view kind() const override { return "isource"; }
+  void stamp(const EvalContext& ctx, Stamper& st) const override;
+  std::vector<double> breakpoints(double t_stop) const override;
+  std::vector<NodeId> terminals() const override { return {plus_, minus_}; }
+
+  const Waveform& waveform() const { return wave_; }
+
+ private:
+  NodeId plus_, minus_;
+  Waveform wave_;
+};
+
+/// Voltage-controlled voltage source (ideal, one branch unknown).
+class Vcvs : public Device {
+ public:
+  Vcvs(std::string name, NodeId plus, NodeId minus, NodeId ctrl_plus,
+       NodeId ctrl_minus, double gain);
+
+  std::string_view kind() const override { return "vcvs"; }
+  int branch_count() const override { return 1; }
+  void stamp(const EvalContext& ctx, Stamper& st) const override;
+  std::vector<NodeId> terminals() const override {
+    return {plus_, minus_, ctrl_plus_, ctrl_minus_};
+  }
+
+  double gain() const { return gain_; }
+
+ private:
+  NodeId plus_, minus_, ctrl_plus_, ctrl_minus_;
+  double gain_;
+};
+
+}  // namespace fetcam::spice

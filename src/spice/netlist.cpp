@@ -1,0 +1,38 @@
+#include "spice/netlist.hpp"
+
+#include <sstream>
+
+namespace fetcam::spice {
+
+std::string dump_netlist(const Circuit& ckt) {
+  std::ostringstream os;
+  os << "* netlist: " << ckt.devices().size() << " devices, "
+     << ckt.node_count() << " nodes\n";
+  for (const auto& dev : ckt.devices()) {
+    os << dev->describe(ckt) << '\n';
+  }
+  return os.str();
+}
+
+std::vector<std::string> find_floating_nodes(const Circuit& ckt) {
+  std::vector<int> degree(static_cast<std::size_t>(ckt.node_count()), 0);
+  std::vector<bool> driven(static_cast<std::size_t>(ckt.node_count()), false);
+  for (const auto& dev : ckt.devices()) {
+    for (const NodeId n : dev->terminals()) {
+      ++degree[static_cast<std::size_t>(n)];
+      // Branch devices (voltage sources, VCVS) pin their nodes: a node that
+      // only touches a driver is idle, not floating.
+      if (dev->branch_count() > 0) driven[static_cast<std::size_t>(n)] = true;
+    }
+  }
+  std::vector<std::string> floating;
+  for (NodeId n = 1; n < ckt.node_count(); ++n) {
+    if (degree[static_cast<std::size_t>(n)] < 2 &&
+        !driven[static_cast<std::size_t>(n)]) {
+      floating.push_back(ckt.node_name(n));
+    }
+  }
+  return floating;
+}
+
+}  // namespace fetcam::spice

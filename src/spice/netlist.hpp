@@ -1,0 +1,18 @@
+// Human-readable netlist dump and basic connectivity lint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace fetcam::spice {
+
+/// Multi-line listing of every device with its terminal node names.
+std::string dump_netlist(const Circuit& ckt);
+
+/// Names of nodes that appear in fewer than two device terminals (likely
+/// floating); ground is exempt.
+std::vector<std::string> find_floating_nodes(const Circuit& ckt);
+
+}  // namespace fetcam::spice

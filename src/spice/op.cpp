@@ -1,0 +1,136 @@
+#include "spice/op.hpp"
+
+namespace fetcam::spice {
+
+void assemble_system(const Circuit& ckt, const EvalContext& ctx,
+                     const num::Vector& x, num::Matrix& jac,
+                     num::Vector& residual) {
+  DenseJacobianSink sink(jac);
+  Stamper st(ckt, x, sink, residual);
+  for (const auto& dev : ckt.devices()) {
+    dev->stamp(ctx, st);
+  }
+}
+
+void assemble_system(const Circuit& ckt, const EvalContext& ctx,
+                     const num::Vector& x, num::TripletAccumulator& jac,
+                     num::Vector& residual) {
+  TripletJacobianSink sink(jac);
+  Stamper st(ckt, x, sink, residual);
+  for (const auto& dev : ckt.devices()) {
+    dev->stamp(ctx, st);
+  }
+}
+
+num::NewtonResult solve_circuit_newton(const Circuit& ckt,
+                                       const EvalContext& ctx, num::Vector& x,
+                                       const num::NewtonOptions& nopts,
+                                       SolverKind solver) {
+  const bool sparse =
+      solver == SolverKind::kSparse ||
+      (solver == SolverKind::kAuto && ckt.system_size() > kSparseAutoThreshold);
+  if (sparse) {
+    const auto assemble = [&](const num::Vector& xx,
+                              num::TripletAccumulator& jac,
+                              num::Vector& residual) {
+      assemble_system(ckt, ctx, xx, jac, residual);
+    };
+    return num::solve_newton_sparse(assemble, x, nopts);
+  }
+  const auto assemble = [&](const num::Vector& xx, num::Matrix& jac,
+                            num::Vector& residual) {
+    assemble_system(ckt, ctx, xx, jac, residual);
+  };
+  return num::solve_newton(assemble, x, nopts);
+}
+
+namespace {
+
+num::NewtonResult run_newton(const Circuit& ckt, const EvalContext& ctx,
+                             num::Vector& x, const num::NewtonOptions& nopts,
+                             SolverKind solver) {
+  return solve_circuit_newton(ckt, ctx, x, nopts, solver);
+}
+
+}  // namespace
+
+OpResult solve_op(Circuit& ckt, const OpOptions& opts,
+                  const num::Vector* initial_guess) {
+  ckt.finalize();
+  OpResult res;
+  res.x.assign(ckt.system_size(), 0.0);
+  if (initial_guess != nullptr && initial_guess->size() == ckt.system_size()) {
+    res.x = *initial_guess;
+  }
+
+  EvalContext ctx;
+  ctx.mode = AnalysisMode::kOperatingPoint;
+  ctx.gmin = opts.gmin_floor;
+
+  // Strategy 1: direct Newton.
+  {
+    num::Vector x = res.x;
+    const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver);
+    res.newton_iterations += nr.iterations;
+    if (nr.converged) {
+      res.converged = true;
+      res.strategy = "direct";
+      res.x = x;
+      return res;
+    }
+  }
+
+  // Strategy 2: gmin stepping — start with a heavy shunt everywhere and relax.
+  if (opts.allow_gmin_stepping) {
+    num::Vector x(ckt.system_size(), 0.0);
+    bool ok = true;
+    for (double g = opts.gmin_start; g >= opts.gmin_floor * 0.99; g /= 10.0) {
+      ctx.gmin = g;
+      const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver);
+      res.newton_iterations += nr.iterations;
+      if (!nr.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      // Final polish at the floor gmin.
+      ctx.gmin = opts.gmin_floor;
+      const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver);
+      res.newton_iterations += nr.iterations;
+      if (nr.converged) {
+        res.converged = true;
+        res.strategy = "gmin";
+        res.x = x;
+        return res;
+      }
+    }
+  }
+
+  // Strategy 3: source stepping — ramp all independent sources from zero.
+  if (opts.allow_source_stepping) {
+    ctx.gmin = opts.gmin_floor;
+    num::Vector x(ckt.system_size(), 0.0);
+    bool ok = true;
+    for (int s = 1; s <= opts.source_steps; ++s) {
+      ctx.source_scale = static_cast<double>(s) / opts.source_steps;
+      const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver);
+      res.newton_iterations += nr.iterations;
+      if (!nr.converged) {
+        ok = false;
+        break;
+      }
+    }
+    ctx.source_scale = 1.0;
+    if (ok) {
+      res.converged = true;
+      res.strategy = "source";
+      res.x = x;
+      return res;
+    }
+  }
+
+  return res;
+}
+
+}  // namespace fetcam::spice

@@ -1,0 +1,61 @@
+// DC operating-point analysis with gmin and source-stepping continuation.
+#pragma once
+
+#include <string>
+
+#include "numeric/newton.hpp"
+#include "spice/circuit.hpp"
+
+namespace fetcam::spice {
+
+/// Linear-solver choice for the Newton iterations.  kAuto picks the sparse
+/// Gilbert-Peierls LU once the MNA system outgrows the dense solver's sweet
+/// spot (full-array simulations), dense otherwise.
+enum class SolverKind { kAuto, kDense, kSparse };
+
+/// System size at which kAuto switches to the sparse solver.
+inline constexpr num::Index kSparseAutoThreshold = 300;
+
+struct OpOptions {
+  num::NewtonOptions newton;
+  SolverKind solver = SolverKind::kAuto;
+  /// gmin shunt applied by nonlinear devices in the final solution.
+  double gmin_floor = 1e-12;
+  /// Starting gmin for continuation when the direct solve fails.
+  double gmin_start = 1e-3;
+  bool allow_gmin_stepping = true;
+  bool allow_source_stepping = true;
+  /// Steps for source ramping 0 -> 1.
+  int source_steps = 20;
+};
+
+struct OpResult {
+  bool converged = false;
+  num::Vector x;
+  int newton_iterations = 0;  ///< cumulative across continuation
+  /// "direct", "gmin", or "source" — which strategy produced the solution.
+  std::string strategy;
+};
+
+/// Assemble the MNA Jacobian/residual for all devices at candidate `x`.
+/// Shared by OP, DC sweep, and transient.
+void assemble_system(const Circuit& ckt, const EvalContext& ctx,
+                     const num::Vector& x, num::Matrix& jac,
+                     num::Vector& residual);
+void assemble_system(const Circuit& ckt, const EvalContext& ctx,
+                     const num::Vector& x, num::TripletAccumulator& jac,
+                     num::Vector& residual);
+
+/// One Newton solve with the configured solver (used by OP and transient).
+num::NewtonResult solve_circuit_newton(const Circuit& ckt,
+                                       const EvalContext& ctx, num::Vector& x,
+                                       const num::NewtonOptions& nopts,
+                                       SolverKind solver);
+
+/// Solve the DC operating point.  Finalizes the circuit.
+/// `initial_guess` (if non-null and correctly sized) seeds Newton — used by
+/// DC sweeps for continuation between sweep points.
+OpResult solve_op(Circuit& ckt, const OpOptions& opts = {},
+                  const num::Vector* initial_guess = nullptr);
+
+}  // namespace fetcam::spice

@@ -1,0 +1,206 @@
+#include "spice/spice_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "devices/fefet.hpp"
+#include "devices/mosfet.hpp"
+#include "spice/elements.hpp"
+
+namespace fetcam::spice {
+
+namespace {
+
+/// SPICE node name: ground is "0"; sanitize separators.
+std::string nname(const Circuit& ckt, NodeId n) {
+  if (n == kGround) return "0";
+  std::string s = ckt.node_name(n);
+  for (char& c : s) {
+    if (c == ' ' || c == '\t') c = '_';
+  }
+  return s;
+}
+
+std::string dname(const Device& dev) {
+  std::string s = dev.name();
+  for (char& c : s) {
+    if (c == ' ' || c == '.' || c == '/') c = '_';
+  }
+  return s;
+}
+
+void emit_waveform(std::ostream& os, const Waveform& w) {
+  const auto& pts = w.points();
+  if (pts.size() == 1) {
+    os << "DC " << pts.front().second;
+    return;
+  }
+  os << "PWL(";
+  for (std::size_t k = 0; k < pts.size(); ++k) {
+    os << pts[k].first << ' ' << pts[k].second;
+    if (k + 1 != pts.size()) os << ' ';
+  }
+  os << ')';
+  if (w.period_s() > 0.0) {
+    os << " ; period " << w.period_s() << "s (repeat manually in ngspice)";
+  }
+}
+
+/// Forward-direction EKV current expression with `vg`, `vhi`, `vlo`, `vb`
+/// as node-voltage expressions, in the NFET-transformed frame (sign applied
+/// by the caller).  The gate drive is (vg - vlo) + gamma*(vb - vlo).
+std::string ekv_expr(const dev::EkvParams& p, double vth, double gamma,
+                     const std::string& vg, const std::string& vhi,
+                     const std::string& vlo, const std::string& vb) {
+  std::ostringstream os;
+  const double denom = 2.0 * p.n * p.ut;
+  // vov = (vg - vlo) + gamma (vb - vlo) - vth
+  std::ostringstream vov;
+  vov << "((" << vg << ")-(" << vlo << ")+" << gamma << "*((" << vb << ")-("
+      << vlo << "))-" << vth << ")";
+  std::ostringstream vds;
+  vds << "((" << vhi << ")-(" << vlo << "))";
+  // L(x) = ln(1+exp(x)); squared difference; mobility; CLM.
+  os << p.is << " * (ln(1+exp(" << vov.str() << "/" << denom
+     << "))^2 - ln(1+exp((" << vov.str() << "-" << p.n << "*" << vds.str()
+     << ")/" << denom << "))^2)"
+     << " * (1+" << p.lambda << "*" << vds.str() << ")"
+     << " / (1+" << p.theta << "*" << p.ut << "*ln(1+exp(" << vov.str()
+     << "/" << p.ut << ")))";
+  return os.str();
+}
+
+/// Full bidirectional channel current D -> S with terminal swap, optionally
+/// sign-mirrored for PFETs.
+std::string channel_expr(const dev::EkvParams& p, double vth, double gamma,
+                         bool pfet, const std::string& d,
+                         const std::string& g, const std::string& s,
+                         const std::string& b) {
+  const std::string sg = pfet ? "(-v(" + g + "))" : "v(" + g + ")";
+  const std::string sd = pfet ? "(-v(" + d + "))" : "v(" + d + ")";
+  const std::string ss = pfet ? "(-v(" + s + "))" : "v(" + s + ")";
+  const std::string sb = pfet ? "(-v(" + b + "))" : "v(" + b + ")";
+  const std::string fwd = ekv_expr(p, vth, gamma, sg, sd, ss, sb);
+  const std::string rev = ekv_expr(p, vth, gamma, sg, ss, sd, sb);
+  std::ostringstream os;
+  const char* sign = pfet ? "-1" : "1";
+  // u() selects the conduction direction; both branches are evaluated but
+  // the inactive one is multiplied by zero.
+  os << sign << "*( u(" << sd << "-" << ss << ")*(" << fwd << ") - u(" << ss
+     << "-" << sd << ")*(" << rev << ") )";
+  return os.str();
+}
+
+void emit_mosfet(std::ostream& os, const Circuit& ckt, const dev::Mosfet& m) {
+  const auto t = m.terminals();  // D G S B
+  const std::string d = nname(ckt, t[0]), g = nname(ckt, t[1]),
+                    s = nname(ckt, t[2]), b = nname(ckt, t[3]);
+  const auto& p = m.params();
+  const bool pfet = p.polarity == dev::Polarity::kP;
+  os << "* mosfet " << m.name() << " (" << (pfet ? "P" : "N")
+     << ", W=" << p.w << " L=" << p.l << ")\n";
+  os << "B" << dname(m) << " " << d << " " << s << " I="
+     << channel_expr(p.ekv(), p.vth0, p.gamma_b, pfet, d, g, s, b) << "\n";
+  os << "C" << dname(m) << "_gs " << g << " " << s << " " << p.cgs() << "\n";
+  os << "C" << dname(m) << "_gd " << g << " " << d << " " << p.cgd() << "\n";
+  os << "C" << dname(m) << "_gb " << g << " " << b << " " << p.cgb() << "\n";
+  os << "C" << dname(m) << "_db " << d << " " << b << " " << p.cjunction()
+     << "\n";
+  os << "C" << dname(m) << "_sb " << s << " " << b << " " << p.cjunction()
+     << "\n";
+}
+
+void emit_fefet(std::ostream& os, const Circuit& ckt, const dev::FeFet& f) {
+  const auto t = f.terminals();  // D FG S BG
+  const std::string d = nname(ckt, t[0]), g = nname(ckt, t[1]),
+                    s = nname(ckt, t[2]), b = nname(ckt, t[3]);
+  const auto& p = f.params();
+  const double vth = f.threshold_voltage();
+  os << "* fefet " << f.name() << " (polarization frozen: P/Ps="
+     << f.normalized_polarization() << ", Vth=" << vth << ")\n";
+  os << "B" << dname(f) << " " << d << " " << s << " I="
+     << channel_expr(p.mos.ekv(), vth, p.back_coupling, false, d, g, s, b)
+     << "\n";
+  os << "R" << dname(f) << "_leak " << d << " " << s << " "
+     << 1.0 / p.g_leak << "\n";
+  const double cfg = 0.5 * p.mos.cgate() + p.mos.cov_per_w * p.mos.w;
+  os << "C" << dname(f) << "_fgs " << g << " " << s << " " << cfg << "\n";
+  os << "C" << dname(f) << "_fgd " << g << " " << d << " " << cfg << "\n";
+  os << "C" << dname(f) << "_bgs " << b << " " << s << " "
+     << p.c_bg_factor * p.mos.cgate() << "\n";
+  os << "C" << dname(f) << "_db " << d << " " << b << " "
+     << p.mos.cjunction() << "\n";
+  os << "C" << dname(f) << "_sb " << s << " " << b << " "
+     << p.cj_source_per_w * p.mos.w << "\n";
+}
+
+}  // namespace
+
+bool export_ngspice(std::ostream& os, const Circuit& ckt,
+                    const SpiceExportOptions& opts) {
+  os << "* " << opts.title << "\n";
+  os << "* exported by fetcam; EKV channels as behavioral B-sources;\n";
+  os << "* ferroelectric polarization frozen at export time (reads only).\n";
+  bool ok = true;
+  for (const auto& dev : ckt.devices()) {
+    const auto kind = dev->kind();
+    if (kind == "resistor") {
+      const auto* r = dynamic_cast<const Resistor*>(dev.get());
+      const auto t = r->terminals();
+      os << "R" << dname(*r) << " " << nname(ckt, t[0]) << " "
+         << nname(ckt, t[1]) << " " << r->resistance() << "\n";
+    } else if (kind == "capacitor") {
+      const auto* c = dynamic_cast<const Capacitor*>(dev.get());
+      const auto t = c->terminals();
+      os << "C" << dname(*c) << " " << nname(ckt, t[0]) << " "
+         << nname(ckt, t[1]) << " " << c->capacitance() << "\n";
+    } else if (kind == "vsource") {
+      const auto* v = dynamic_cast<const VoltageSource*>(dev.get());
+      const auto t = v->terminals();
+      os << "V" << dname(*v) << " " << nname(ckt, t[0]) << " "
+         << nname(ckt, t[1]) << " ";
+      emit_waveform(os, v->waveform());
+      os << "\n";
+    } else if (kind == "isource") {
+      const auto* i = dynamic_cast<const CurrentSource*>(dev.get());
+      const auto t = i->terminals();
+      os << "I" << dname(*i) << " " << nname(ckt, t[0]) << " "
+         << nname(ckt, t[1]) << " ";
+      emit_waveform(os, i->waveform());
+      os << "\n";
+    } else if (kind == "vcvs") {
+      const auto* e = dynamic_cast<const Vcvs*>(dev.get());
+      const auto t = e->terminals();
+      os << "E" << dname(*e) << " " << nname(ckt, t[0]) << " "
+         << nname(ckt, t[1]) << " " << nname(ckt, t[2]) << " "
+         << nname(ckt, t[3]) << " " << e->gain() << "\n";
+    } else if (kind == "mosfet") {
+      emit_mosfet(os, ckt, *dynamic_cast<const dev::Mosfet*>(dev.get()));
+    } else if (kind == "fefet") {
+      emit_fefet(os, ckt, *dynamic_cast<const dev::FeFet*>(dev.get()));
+    } else {
+      os << "* UNSUPPORTED device kind: " << kind << " (" << dev->name()
+         << ")\n";
+      ok = false;
+    }
+  }
+  if (opts.tran_stop > 0.0 && opts.tran_step > 0.0) {
+    os << ".tran " << opts.tran_step << " " << opts.tran_stop << "\n";
+  }
+  if (!opts.save_nodes.empty()) {
+    os << ".save";
+    for (const auto& n : opts.save_nodes) os << " v(" << n << ")";
+    os << "\n";
+  }
+  os << ".end\n";
+  return ok;
+}
+
+bool export_ngspice_file(const std::string& path, const Circuit& ckt,
+                         const SpiceExportOptions& opts) {
+  std::ofstream f(path);
+  if (!f) return false;
+  return export_ngspice(f, ckt, opts);
+}
+
+}  // namespace fetcam::spice

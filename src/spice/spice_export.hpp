@@ -1,0 +1,41 @@
+// Export a circuit as an ngspice-compatible netlist.
+//
+// Passives and sources map to native SPICE cards.  The EKV MOSFET and FeFET
+// channel currents are emitted as behavioral B-sources implementing the
+// exact closed-form EKV equation (softplus-squared, mobility degradation,
+// channel-length modulation), and the device capacitances as explicit
+// capacitors — so the exported deck reproduces this simulator's DC and
+// search transients in ngspice for cross-validation.
+//
+// Limitations (stated in the deck header): ferroelectric polarization is
+// frozen at its current state (the B-source carries the resulting V_TH), so
+// exported decks cover reads/searches, not write transients; trapezoidal/BE
+// integration differences show up at coarse timesteps.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace fetcam::spice {
+
+struct SpiceExportOptions {
+  std::string title = "fetcam export";
+  /// Emit a .tran card with this step/stop (0 disables).
+  double tran_step = 0.0;
+  double tran_stop = 0.0;
+  /// Node voltages to .save (empty = all).
+  std::vector<std::string> save_nodes;
+};
+
+/// Write the deck.  Returns false if the circuit contains a device kind the
+/// exporter cannot represent (none currently exist, but guards regressions).
+bool export_ngspice(std::ostream& os, const Circuit& ckt,
+                    const SpiceExportOptions& opts = {});
+
+/// Convenience: write to a file.
+bool export_ngspice_file(const std::string& path, const Circuit& ckt,
+                         const SpiceExportOptions& opts = {});
+
+}  // namespace fetcam::spice

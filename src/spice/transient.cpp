@@ -1,0 +1,180 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "spice/elements.hpp"
+
+namespace fetcam::spice {
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+Trace::Trace(const Circuit& ckt) {
+  for (NodeId n = 1; n < ckt.node_count(); ++n) {
+    node_sys_index_.emplace(ckt.node_name(n), ckt.node_sys_index(n));
+  }
+  for (const auto& dev : ckt.devices()) {
+    const auto* vs = dynamic_cast<const VoltageSource*>(dev.get());
+    if (vs != nullptr) {
+      sources_.emplace(vs->name(),
+                       std::make_pair(ckt.branch_sys_index(vs->branch_base()),
+                                      vs->waveform()));
+    }
+  }
+}
+
+num::Index Trace::node_index(std::string_view name) const {
+  const auto it = node_sys_index_.find(std::string(name));
+  return it == node_sys_index_.end() ? -1 : it->second;
+}
+
+num::Index Trace::branch_index(std::string_view name) const {
+  const auto it = sources_.find(std::string(name));
+  return it == sources_.end() ? -1 : it->second.first;
+}
+
+void Trace::append(double t, const num::Vector& x) {
+  times_.push_back(t);
+  samples_.push_back(x);
+}
+
+std::vector<double> Trace::voltage(std::string_view node_name) const {
+  std::vector<double> out;
+  const num::Index idx = node_index(node_name);
+  if (idx < 0) return out;
+  out.reserve(times_.size());
+  for (const auto& s : samples_) out.push_back(s[idx]);
+  return out;
+}
+
+std::vector<double> Trace::branch_current(std::string_view device_name) const {
+  std::vector<double> out;
+  const num::Index idx = branch_index(device_name);
+  if (idx < 0) return out;
+  out.reserve(times_.size());
+  for (const auto& s : samples_) out.push_back(s[idx]);
+  return out;
+}
+
+double Trace::voltage_at_time(std::string_view node_name, double t) const {
+  const num::Index idx = node_index(node_name);
+  if (idx < 0 || times_.empty()) return 0.0;
+  if (t <= times_.front()) return samples_.front()[idx];
+  if (t >= times_.back()) return samples_.back()[idx];
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  const double f = span > 0.0 ? (t - times_[lo]) / span : 1.0;
+  return samples_[lo][idx] + f * (samples_[hi][idx] - samples_[lo][idx]);
+}
+
+double Trace::source_value(std::string_view device_name, double t) const {
+  const auto it = sources_.find(std::string(device_name));
+  return it == sources_.end() ? 0.0 : it->second.second.value(t);
+}
+
+std::vector<std::string> Trace::source_names() const {
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const auto& [name, info] : sources_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Transient engine
+// ---------------------------------------------------------------------------
+
+TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
+  ckt.finalize();
+  TransientResult res{.ok = false, .error = {}, .trace = Trace(ckt)};
+
+  num::Vector x(ckt.system_size(), 0.0);
+
+  // Operating point at t = 0 establishes initial conditions.
+  if (!opts.skip_op) {
+    OpOptions op_opts = opts.op;
+    const OpResult op = solve_op(ckt, op_opts);
+    res.total_newton_iterations += op.newton_iterations;
+    if (!op.converged) {
+      res.error = "operating point failed to converge";
+      return res;
+    }
+    x = op.x;
+  }
+
+  {
+    EvalContext ctx;
+    ctx.mode = AnalysisMode::kOperatingPoint;
+    ctx.gmin = opts.gmin;
+    const Solution sol(ckt, x);
+    for (const auto& dev : ckt.devices()) dev->initialize_state(ctx, sol);
+  }
+  res.trace.append(0.0, x);
+
+  // Breakpoints: source edges plus t_stop.
+  std::vector<double> bps = ckt.breakpoints(opts.t_stop);
+  bps.push_back(opts.t_stop);
+  std::size_t next_bp = 0;
+
+  double t = 0.0;
+  double dt_eff = opts.dt;
+  const double t_eps = opts.t_stop * 1e-12;
+
+  while (t < opts.t_stop - t_eps) {
+    while (next_bp < bps.size() && bps[next_bp] <= t + t_eps) ++next_bp;
+    const double bp = next_bp < bps.size() ? bps[next_bp] : opts.t_stop;
+    double t_next = std::min({t + dt_eff, bp, opts.t_stop});
+    double dt_step = t_next - t;
+
+    EvalContext ctx;
+    ctx.mode = AnalysisMode::kTransient;
+    ctx.gmin = opts.gmin;
+    ctx.trapezoidal = opts.trapezoidal;
+
+    bool accepted = false;
+    num::Vector x_try = x;
+    while (!accepted) {
+      ctx.time = t + dt_step;
+      ctx.dt = dt_step;
+      x_try = x;
+      const auto nr =
+          solve_circuit_newton(ckt, ctx, x_try, opts.newton, opts.solver);
+      res.total_newton_iterations += nr.iterations;
+      if (nr.converged) {
+        accepted = true;
+        break;
+      }
+      ++res.rejected_steps;
+      dt_step *= 0.5;
+      if (dt_step < opts.dt_min) {
+        std::ostringstream os;
+        os << "transient step failed to converge at t=" << t
+           << " (dt exhausted";
+        if (nr.singular) os << ", singular row " << nr.singular_row;
+        os << ")";
+        res.error = os.str();
+        return res;
+      }
+    }
+
+    x = x_try;
+    t = ctx.time;
+    ++res.accepted_steps;
+    const Solution sol(ckt, x);
+    for (const auto& dev : ckt.devices()) dev->commit_step(ctx, sol);
+    res.trace.append(t, x);
+
+    // Recover the step size after a halving episode.
+    dt_eff = std::min(opts.dt, dt_step * 2.0);
+  }
+
+  res.ok = true;
+  return res;
+}
+
+}  // namespace fetcam::spice

@@ -1,0 +1,94 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fetcam::spice {
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.points_ = {{0.0, value}};
+  return w;
+}
+
+Waveform Waveform::pulse(double v0, double v1, double delay, double rise,
+                         double fall, double width, double period) {
+  assert(rise > 0.0 && fall > 0.0 && width >= 0.0);
+  Waveform w;
+  const double t1 = delay;
+  const double t2 = t1 + rise;
+  const double t3 = t2 + width;
+  const double t4 = t3 + fall;
+  w.points_ = {{0.0, v0}, {t1, v0}, {t2, v1}, {t3, v1}, {t4, v0}};
+  if (period > 0.0) {
+    assert(period >= t4 - 0.0);
+    w.period_ = period;
+  }
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+  assert(!points.empty());
+  assert(std::is_sorted(points.begin(), points.end(),
+                        [](const auto& a, const auto& b) { return a.first < b.first; }));
+  Waveform w;
+  w.points_ = std::move(points);
+  return w;
+}
+
+double Waveform::value_aperiodic(double t) const {
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  // Find the segment containing t.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double tv, const auto& p) { return tv < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.first - lo.first;
+  if (span <= 0.0) return hi.second;
+  const double f = (t - lo.first) / span;
+  return lo.second + f * (hi.second - lo.second);
+}
+
+double Waveform::value(double t) const {
+  if (period_ > 0.0 && t > 0.0) {
+    t = std::fmod(t, period_);
+  }
+  return value_aperiodic(t);
+}
+
+std::vector<double> Waveform::breakpoints(double t_stop) const {
+  std::vector<double> bps;
+  if (points_.size() < 2) return bps;
+  if (period_ <= 0.0) {
+    for (const auto& [t, v] : points_) {
+      if (t > 0.0 && t < t_stop) bps.push_back(t);
+    }
+    return bps;
+  }
+  for (double base = 0.0; base < t_stop; base += period_) {
+    for (const auto& [t, v] : points_) {
+      const double bt = base + t;
+      if (bt > 0.0 && bt < t_stop) bps.push_back(bt);
+    }
+    if (base + period_ < t_stop) bps.push_back(base + period_);
+  }
+  std::sort(bps.begin(), bps.end());
+  bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
+  return bps;
+}
+
+double Waveform::max_value() const {
+  double m = points_.front().second;
+  for (const auto& [t, v] : points_) m = std::max(m, v);
+  return m;
+}
+
+double Waveform::min_value() const {
+  double m = points_.front().second;
+  for (const auto& [t, v] : points_) m = std::min(m, v);
+  return m;
+}
+
+}  // namespace fetcam::spice

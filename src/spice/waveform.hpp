@@ -1,0 +1,60 @@
+// Time-domain source waveforms (DC, pulse, piece-wise-linear, sine).
+//
+// Pulse/PWL expose their corner times as breakpoints so the transient engine
+// can land a timestep exactly on every edge instead of smearing it — edge
+// placement matters when measuring ML discharge delay against a search-pulse
+// edge, which is exactly what the paper's latency numbers are.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace fetcam::spice {
+
+/// Piecewise-linear waveform description shared by V and I sources.
+class Waveform {
+ public:
+  /// Constant value for all time.
+  static Waveform dc(double value);
+
+  /// Classic SPICE PULSE(v0 v1 delay rise fall width period).
+  /// `period` <= 0 gives a one-shot pulse.
+  static Waveform pulse(double v0, double v1, double delay, double rise,
+                        double fall, double width, double period = 0.0);
+
+  /// Piecewise-linear through (t, v) points; must be sorted by t, and holds
+  /// the first/last value outside the span.
+  static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+  /// Value at time t (>= 0).
+  double value(double t) const;
+
+  /// Value used for the DC operating point (t = 0).
+  double dc_value() const { return value(0.0); }
+
+  /// Times at which the slope changes within [0, t_stop]; the transient
+  /// engine forces steps onto these.
+  std::vector<double> breakpoints(double t_stop) const;
+
+  /// Largest value over all time (used by drivers to size supply rails).
+  double max_value() const;
+  double min_value() const;
+
+  /// Underlying PWL corner points (for exporters).
+  const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+  /// Repetition period in seconds; 0 = aperiodic.
+  double period_s() const { return period_; }
+
+ private:
+  // Everything is represented as one PWL segment list plus optional
+  // periodicity, which keeps value() trivial and breakpoints() exact.
+  std::vector<std::pair<double, double>> points_;
+  double period_ = 0.0;  // 0 => aperiodic
+
+  double value_aperiodic(double t) const;
+};
+
+}  // namespace fetcam::spice

@@ -1,0 +1,109 @@
+#include "spice/waveio.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace fetcam::spice {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII starting at '!'.
+std::string vcd_id(std::size_t k) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + k % 94));
+    k /= 94;
+  } while (k > 0);
+  return id;
+}
+
+/// VCD variable names must not contain whitespace; dots are fine.
+std::string vcd_name(const std::string& node) {
+  std::string out = node;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+bool write_csv(std::ostream& os, const Trace& trace,
+               const std::vector<std::string>& nodes) {
+  bool all_found = true;
+  std::vector<std::vector<double>> cols;
+  os << "t";
+  for (const auto& n : nodes) {
+    os << ',' << n;
+    auto v = trace.voltage(n);
+    if (v.empty()) {
+      all_found = false;
+      v.assign(trace.size(), 0.0);
+    }
+    cols.push_back(std::move(v));
+  }
+  os << '\n';
+  const auto& t = trace.times();
+  os.precision(9);
+  for (std::size_t k = 0; k < t.size(); ++k) {
+    os << t[k];
+    for (const auto& c : cols) os << ',' << c[k];
+    os << '\n';
+  }
+  return all_found;
+}
+
+bool write_vcd(std::ostream& os, const Trace& trace,
+               const std::vector<std::string>& nodes,
+               long long timescale_fs) {
+  bool all_found = true;
+  os << "$date fetcam $end\n";
+  os << "$version fetcam circuit simulator $end\n";
+  os << "$timescale " << timescale_fs << " fs $end\n";
+  os << "$scope module fetcam $end\n";
+  std::vector<std::vector<double>> cols;
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    os << "$var real 64 " << vcd_id(k) << ' ' << vcd_name(nodes[k])
+       << " $end\n";
+    auto v = trace.voltage(nodes[k]);
+    if (v.empty()) {
+      all_found = false;
+      v.assign(trace.size(), 0.0);
+    }
+    cols.push_back(std::move(v));
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  const auto& t = trace.times();
+  const double unit = static_cast<double>(timescale_fs) * 1e-15;
+  long long prev_ticks = -1;
+  std::vector<double> last(nodes.size(),
+                           std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t k = 0; k < t.size(); ++k) {
+    const long long ticks = static_cast<long long>(std::llround(t[k] / unit));
+    bool stamped = false;
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      if (cols[c][k] == last[c]) continue;
+      if (!stamped && ticks != prev_ticks) {
+        os << '#' << ticks << '\n';
+        prev_ticks = ticks;
+      }
+      stamped = true;
+      os << 'r' << cols[c][k] << ' ' << vcd_id(c) << '\n';
+      last[c] = cols[c][k];
+    }
+  }
+  return all_found;
+}
+
+bool export_waveforms(const std::string& base_path, const Trace& trace,
+                      const std::vector<std::string>& nodes) {
+  std::ofstream csv(base_path + ".csv");
+  std::ofstream vcd(base_path + ".vcd");
+  if (!csv || !vcd) return false;
+  const bool a = write_csv(csv, trace, nodes);
+  const bool b = write_vcd(vcd, trace, nodes);
+  return a && b;
+}
+
+}  // namespace fetcam::spice

@@ -1,0 +1,33 @@
+// Waveform export: CSV (plotting) and VCD (GTKWave-style viewers).
+//
+// VCD is nominally a digital format; analog values are emitted as `r`
+// (real) variable changes, which GTKWave renders as analog steps — the
+// conventional trick for mixed-signal dumps.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "spice/transient.hpp"
+
+namespace fetcam::spice {
+
+/// Write selected node voltages as CSV: header `t,<name>,...`, one row per
+/// sample.  Unknown node names produce all-zero columns (flagged by the
+/// return value: false when any requested signal was missing).
+bool write_csv(std::ostream& os, const Trace& trace,
+               const std::vector<std::string>& nodes);
+
+/// Write selected node voltages as a VCD real-valued dump.
+/// `timescale_fs` sets the VCD time unit in femtoseconds (default 1 ps).
+bool write_vcd(std::ostream& os, const Trace& trace,
+               const std::vector<std::string>& nodes,
+               long long timescale_fs = 1000);
+
+/// Convenience: write both files next to each other (`base`.csv, `base`.vcd).
+/// Returns false if either file could not be opened or a signal is missing.
+bool export_waveforms(const std::string& base_path, const Trace& trace,
+                      const std::vector<std::string>& nodes);
+
+}  // namespace fetcam::spice

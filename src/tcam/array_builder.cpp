@@ -1,0 +1,50 @@
+#include "tcam/word.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::tcam {
+
+std::vector<spice::NodeId> WordHarness::build_match_line(int taps,
+                                                         int cells_per_tap) {
+  const WireSegment seg =
+      wire_for_pitch(opts_.wire, cell_pitch() * cells_per_tap);
+  std::vector<spice::NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(taps));
+  spice::NodeId prev = ckt_.node("ml0");
+  nodes.push_back(prev);
+  ckt_.emplace<spice::Capacitor>("CML0", prev, spice::kGround,
+                                 seg.capacitance);
+  for (int k = 1; k < taps; ++k) {
+    const spice::NodeId n = ckt_.node("ml" + std::to_string(k));
+    ckt_.emplace<spice::Resistor>("RML" + std::to_string(k), prev, n,
+                                  seg.resistance);
+    ckt_.emplace<spice::Capacitor>("CML" + std::to_string(k), n,
+                                   spice::kGround, seg.capacitance);
+    nodes.push_back(n);
+    prev = n;
+  }
+  pre_ = add_precharge(ckt_, nodes.front(), "ml", opts_.vdd, 4.0,
+                       opts_.temperature_k, opts_.corner);
+  sa_ = add_sense_amp(ckt_, nodes.back(), "ml", opts_.vdd,
+                      opts_.temperature_k, opts_.corner);
+  ml_sense_ = nodes.back();
+  return nodes;
+}
+
+void WordHarness::program_precharge(const SearchTiming& t) {
+  // The ML starts discharged (the common case: the previous search missed)
+  // and is charged from zero during the precharge window, so the VPRE supply
+  // is billed the full C*V^2 — then released for evaluation.
+  pre_.gate->set_waveform(levels_waveform(
+      {{0.0, opts_.vdd}, {10e-12, 0.0}, {t.search_start(), opts_.vdd}},
+      t.t_edge));
+}
+
+void WordHarness::assert_unbuilt() const {
+  if (built_) {
+    throw std::logic_error(
+        "WordHarness is one-shot: construct a fresh harness per operation");
+  }
+}
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,290 @@
+#include "tcam/cell_2fefet.hpp"
+
+#include <stdexcept>
+
+#include "devices/tech14.hpp"
+
+namespace fetcam::tcam {
+
+using arch::Ternary;
+using dev::FeFet;
+using dev::FeState;
+using spice::Capacitor;
+using spice::kGround;
+using spice::NodeId;
+using spice::VoltageSource;
+using spice::Waveform;
+
+TwoFefetWord::TwoFefetWord(Flavor flavor, WordOptions opts)
+    : WordHarness(opts),
+      flavor_(flavor),
+      fe_params_(dev::tech14::fefet_at_corner(
+          dev::tech14::fefet_at_temperature(
+              flavor == Flavor::kSg ? dev::sg_fefet_params()
+                                    : dev::dg_fefet_params(),
+              opts.temperature_k),
+          opts.corner)) {}
+
+std::string TwoFefetWord::design_name() const {
+  return arch::design_name(area_design());
+}
+
+double TwoFefetWord::cell_pitch() const {
+  return arch::cell_pitch_m(area_design());
+}
+
+double TwoFefetWord::search_voltage() const {
+  // SG: the search voltage is applied to the FG — the same gate that writes
+  // the ferroelectric — so it is biased conservatively low in the memory
+  // window (just above the LVT edge) to bound read disturb and preserve HVT
+  // margin under variation.  This modest gate overdrive is what limits the
+  // 2FeFET pulldown strength; the 1.5T1Fe design escapes the constraint by
+  // decoupling search drive from the storage gate.
+  // DG: V_s = 2 V on the back gate (Table I).
+  return flavor_ == Flavor::kSg ? 0.45 : 2.0;
+}
+
+double TwoFefetWord::search_line_cap_per_cell() const {
+  // Column lines span the whole array, but their charging serves every row's
+  // search simultaneously, so the fair one-row share is the line wire over
+  // one (vertical) cell pitch — the row's own gate loads are already present
+  // as devices.
+  return wire_for_pitch(opts_.wire, cell_pitch()).capacitance;
+}
+
+double TwoFefetWord::write_line_cap_per_cell() const {
+  // Write energy is reported cell-level (paper Table IV): wire share only.
+  return wire_for_pitch(opts_.wire, cell_pitch()).capacitance;
+}
+
+void TwoFefetWord::add_ml_write_clamp(NodeId ml0) {
+  const NodeId g = ckt_.node("mlrst.g");
+  ml_clamp_gate_ = &ckt_.emplace<VoltageSource>("VMLRST", g, kGround,
+                                                Waveform::dc(0.0));
+  ckt_.emplace<dev::Mosfet>(
+      "MMLRST", ml0, g, kGround, kGround,
+      dev::tech14::at_corner(
+          dev::tech14::at_temperature(dev::tech14::nfet(2.0),
+                                      opts_.temperature_k),
+          opts_.corner));
+}
+
+void TwoFefetWord::place_cells(const arch::TernaryWord& stored,
+                               const std::vector<NodeId>& gate_true,
+                               const std::vector<NodeId>& gate_comp,
+                               const std::vector<NodeId>& bg_true,
+                               const std::vector<NodeId>& bg_comp,
+                               const std::vector<NodeId>& ml_taps) {
+  f_true_.clear();
+  f_comp_.clear();
+  for (int i = 0; i < opts_.n_bits; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    auto& ft = ckt_.emplace<FeFet>("FT" + std::to_string(i), ml_taps[idx],
+                                   gate_true[idx], kGround, bg_true[idx],
+                                   fe_params_);
+    auto& fc = ckt_.emplace<FeFet>("FC" + std::to_string(i), ml_taps[idx],
+                                   gate_comp[idx], kGround, bg_comp[idx],
+                                   fe_params_);
+    switch (stored[idx]) {
+      case Ternary::kZero:
+        ft.set_state(FeState::kHvt, 0.0);
+        fc.set_state(FeState::kLvt, 0.0);
+        break;
+      case Ternary::kOne:
+        ft.set_state(FeState::kLvt, 0.0);
+        fc.set_state(FeState::kHvt, 0.0);
+        break;
+      case Ternary::kX:
+        ft.set_state(FeState::kHvt, 0.0);
+        fc.set_state(FeState::kHvt, 0.0);
+        break;
+    }
+    f_true_.push_back(&ft);
+    f_comp_.push_back(&fc);
+  }
+}
+
+void TwoFefetWord::build_search(const SearchConfig& cfg) {
+  assert_unbuilt();
+  if (static_cast<int>(cfg.stored.size()) != opts_.n_bits ||
+      static_cast<int>(cfg.query.size()) != opts_.n_bits) {
+    throw std::invalid_argument("stored/query size must equal n_bits");
+  }
+  const int steps = cfg.steps == 0 ? 1 : cfg.steps;
+  if (steps != 1) throw std::invalid_argument("2FeFET search is single-step");
+
+  const auto ml = build_match_line(opts_.n_bits, 1);
+  add_ml_write_clamp(ml.front());
+
+  // Shared signal nodes per query-bit group; column load lumped per column.
+  // sl[b] drives the true FeFET search gates of query-bit-b columns, slb[b]
+  // the complementary ones.
+  NodeId sl[2], slb[2];
+  int count[2] = {0, 0};
+  for (const auto qb : cfg.query) ++count[qb ? 1 : 0];
+  for (int b = 0; b < 2; ++b) {
+    sl[b] = ckt_.node("sl.q" + std::to_string(b));
+    slb[b] = ckt_.node("slb.q" + std::to_string(b));
+    // Table I: search '0' -> SL = Vs, SLbar = 0; search '1' -> SL = 0,
+    // SLbar = Vs.  The group with the active level ramps at search start.
+    const bool sl_active = (b == 0);
+    const LevelPlan active{{0.0, 0.0},
+                           {cfg.timing.search_start(), search_voltage()}};
+    const LevelPlan idle{{0.0, 0.0}};
+    ckt_.emplace<VoltageSource>(
+        "VSL.q" + std::to_string(b), sl[b], kGround,
+        levels_waveform(sl_active ? active : idle, cfg.timing.t_edge));
+    ckt_.emplace<VoltageSource>(
+        "VSLB.q" + std::to_string(b), slb[b], kGround,
+        levels_waveform(sl_active ? idle : active, cfg.timing.t_edge));
+    if (count[b] > 0) {
+      const double c_col = search_line_cap_per_cell() * count[b];
+      ckt_.emplace<Capacitor>("CSL.q" + std::to_string(b), sl[b], kGround,
+                              c_col);
+      ckt_.emplace<Capacitor>("CSLB.q" + std::to_string(b), slb[b], kGround,
+                              c_col);
+    }
+  }
+
+  std::vector<NodeId> gate_true(static_cast<std::size_t>(opts_.n_bits));
+  std::vector<NodeId> gate_comp(gate_true.size());
+  std::vector<NodeId> bg_true(gate_true.size());
+  std::vector<NodeId> bg_comp(gate_true.size());
+
+  if (flavor_ == Flavor::kSg) {
+    // FG is the search gate; body grounded.
+    for (int i = 0; i < opts_.n_bits; ++i) {
+      const int b = cfg.query[static_cast<std::size_t>(i)] ? 1 : 0;
+      gate_true[static_cast<std::size_t>(i)] = sl[b];
+      gate_comp[static_cast<std::size_t>(i)] = slb[b];
+      bg_true[static_cast<std::size_t>(i)] = kGround;
+      bg_comp[static_cast<std::size_t>(i)] = kGround;
+    }
+  } else {
+    // BG is the search gate; FGs sit on grounded BLs during search.
+    const NodeId bl0 = ckt_.node("bl.idle");
+    ckt_.emplace<VoltageSource>("VBL.idle", bl0, kGround, Waveform::dc(0.0));
+    const double c_bl = write_line_cap_per_cell() * opts_.n_bits * 2.0;
+    ckt_.emplace<Capacitor>("CBL.idle", bl0, kGround, c_bl);
+    for (int i = 0; i < opts_.n_bits; ++i) {
+      const int b = cfg.query[static_cast<std::size_t>(i)] ? 1 : 0;
+      gate_true[static_cast<std::size_t>(i)] = bl0;
+      gate_comp[static_cast<std::size_t>(i)] = bl0;
+      bg_true[static_cast<std::size_t>(i)] = sl[b];
+      bg_comp[static_cast<std::size_t>(i)] = slb[b];
+    }
+  }
+
+  place_cells(cfg.stored, gate_true, gate_comp, bg_true, bg_comp, ml);
+  program_precharge(cfg.timing);
+  mark_built(cfg.timing.stop_after(1), 2e-12);
+}
+
+void TwoFefetWord::build_write(const WriteConfig& cfg) {
+  assert_unbuilt();
+  if (static_cast<int>(cfg.data.size()) != opts_.n_bits) {
+    throw std::invalid_argument("data size must equal n_bits");
+  }
+  arch::TernaryWord initial = cfg.initial;
+  if (initial.empty()) {
+    initial.assign(static_cast<std::size_t>(opts_.n_bits), Ternary::kZero);
+  }
+
+  const auto ml = build_match_line(opts_.n_bits, 1);
+  add_ml_write_clamp(ml.front());
+  // Hold the ML low for the whole write.
+  ml_clamp_gate_->set_waveform(Waveform::dc(opts_.vdd));
+
+  const double vw = fe_params_.vw();
+  // One signal-node group per data digit.  Table I: write '0' -> (-Vw, +Vw),
+  // '1' -> (+Vw, -Vw), 'X' -> (-Vw, -Vw) on the (true, comp) write gates.
+  const auto level_true = [&](Ternary d) {
+    return d == Ternary::kOne ? vw : -vw;
+  };
+  const auto level_comp = [&](Ternary d) {
+    return d == Ternary::kZero ? vw : -vw;
+  };
+
+  NodeId wt[3], wc[3];
+  int count[3] = {0, 0, 0};
+  for (const auto d : cfg.data) ++count[static_cast<int>(d)];
+  const std::string prefix = flavor_ == Flavor::kSg ? "VSL.d" : "VBL.d";
+  for (int d = 0; d < 3; ++d) {
+    if (count[d] == 0) {
+      wt[d] = kGround;
+      wc[d] = kGround;
+      continue;
+    }
+    const auto dig = static_cast<Ternary>(d);
+    wt[d] = ckt_.node("w.t" + std::to_string(d));
+    wc[d] = ckt_.node("w.c" + std::to_string(d));
+    const LevelPlan plan_t{{0.0, 0.0},
+                           {cfg.timing.phase_start(0) + cfg.timing.t_gap,
+                            level_true(dig)},
+                           {cfg.timing.phase_end(0), 0.0}};
+    const LevelPlan plan_c{{0.0, 0.0},
+                           {cfg.timing.phase_start(0) + cfg.timing.t_gap,
+                            level_comp(dig)},
+                           {cfg.timing.phase_end(0), 0.0}};
+    ckt_.emplace<VoltageSource>(prefix + std::to_string(d) + ".t", wt[d],
+                                kGround,
+                                levels_waveform(plan_t, cfg.timing.t_edge));
+    ckt_.emplace<VoltageSource>(prefix + std::to_string(d) + ".c", wc[d],
+                                kGround,
+                                levels_waveform(plan_c, cfg.timing.t_edge));
+    const double c_col = write_line_cap_per_cell() * count[d];
+    ckt_.emplace<Capacitor>("CW.t" + std::to_string(d), wt[d], kGround,
+                            c_col);
+    ckt_.emplace<Capacitor>("CW.c" + std::to_string(d), wc[d], kGround,
+                            c_col);
+  }
+
+  std::vector<NodeId> gate_true(static_cast<std::size_t>(opts_.n_bits));
+  std::vector<NodeId> gate_comp(gate_true.size());
+  std::vector<NodeId> bg_true(gate_true.size());
+  std::vector<NodeId> bg_comp(gate_true.size());
+  NodeId sl_idle = kGround;
+  if (flavor_ == Flavor::kDg) {
+    // BGs grounded through their (quiet) search lines during write.
+    sl_idle = ckt_.node("sl.idle");
+    ckt_.emplace<VoltageSource>("VSL.idle", sl_idle, kGround,
+                                Waveform::dc(0.0));
+  }
+  for (int i = 0; i < opts_.n_bits; ++i) {
+    const int d = static_cast<int>(cfg.data[static_cast<std::size_t>(i)]);
+    gate_true[static_cast<std::size_t>(i)] = wt[d];
+    gate_comp[static_cast<std::size_t>(i)] = wc[d];
+    bg_true[static_cast<std::size_t>(i)] =
+        flavor_ == Flavor::kSg ? kGround : sl_idle;
+    bg_comp[static_cast<std::size_t>(i)] =
+        flavor_ == Flavor::kSg ? kGround : sl_idle;
+  }
+
+  place_cells(initial, gate_true, gate_comp, bg_true, bg_comp, ml);
+  // Precharge idle: supply up, gate high (off).
+  pre_.gate->set_waveform(Waveform::dc(opts_.vdd));
+  mark_built(cfg.timing.stop_after(1), 0.25e-9);
+}
+
+arch::TernaryWord TwoFefetWord::read_stored() const {
+  arch::TernaryWord out;
+  out.reserve(f_true_.size());
+  for (std::size_t i = 0; i < f_true_.size(); ++i) {
+    const double pt = f_true_[i]->normalized_polarization();
+    const double pc = f_comp_[i]->normalized_polarization();
+    const bool t_lvt = pt > 0.5;
+    const bool c_lvt = pc > 0.5;
+    if (t_lvt && !c_lvt) {
+      out.push_back(Ternary::kOne);
+    } else if (!t_lvt && c_lvt) {
+      out.push_back(Ternary::kZero);
+    } else if (!t_lvt && !c_lvt) {
+      out.push_back(Ternary::kX);
+    } else {
+      throw std::runtime_error("2FeFET cell in invalid LVT/LVT state");
+    }
+  }
+  return out;
+}
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,121 @@
+// Full M x N 1.5T1Fe array at circuit level.
+//
+// Unlike the word harnesses (one row, column loads lumped, identical columns
+// grouped), this builds EVERY row and EVERY column line as real nodes:
+// row-wise MLs and SeL_a/SeL_b lines, column-wise (per pair) SL and Wr/SL
+// lines shared by all rows, per-column BLs.  It exists to validate the
+// word-slice methodology — per-row match results and cross-row interactions
+// (shared column lines!) must agree with the behavioral model — and to let
+// users simulate small arrays end to end.
+//
+// Cost grows as O((M*N)^3) per Newton iteration with the dense solver, so
+// keep it to small arrays (<= 8x16 is comfortable).
+#pragma once
+
+#include "arch/behavioral_array.hpp"
+#include "devices/fefet.hpp"
+#include "tcam/cell_1p5t1fe.hpp"
+
+namespace fetcam::tcam {
+
+struct FullArrayOptions {
+  int rows = 4;
+  int cols = 8;  ///< must be even
+  double vdd = 0.8;
+  WireTech wire;
+  OnePointFiveParams cell;
+};
+
+/// Per-row search outcome of a full-array transient.
+struct ArraySearchRow {
+  bool expected_match = false;
+  bool measured_match = false;
+  double v_ml_latched = 0.0;
+};
+
+struct ArraySearchResult {
+  bool ok = false;
+  std::string error;
+  std::vector<ArraySearchRow> rows;
+  double energy_total = 0.0;  ///< all supplies, whole operation
+  bool all_correct() const {
+    for (const auto& r : rows) {
+      if (r.measured_match != r.expected_match) return false;
+    }
+    return !rows.empty();
+  }
+};
+
+class OnePointFiveArray {
+ public:
+  OnePointFiveArray(Flavor flavor, FullArrayOptions opts);
+
+  int rows() const { return opts_.rows; }
+  int cols() const { return opts_.cols; }
+
+  /// Build the netlist with the given stored contents and program a search
+  /// for `query` (both steps).  One-shot, like the word harnesses.
+  void build_search(const std::vector<arch::TernaryWord>& stored,
+                    const arch::BitWord& query, const SearchTiming& timing);
+
+  spice::Circuit& circuit() { return ckt_; }
+  spice::NodeId ml_sense_node(int row) const {
+    return ml_sense_[static_cast<std::size_t>(row)];
+  }
+  spice::NodeId sa_out_node(int row) const {
+    return sa_out_[static_cast<std::size_t>(row)];
+  }
+  double t_stop() const { return t_stop_; }
+  double t_latch() const { return t_latch_; }
+  double suggested_dt() const { return 2e-12; }
+
+ private:
+  Flavor flavor_;
+  FullArrayOptions opts_;
+  spice::Circuit ckt_;
+  dev::FeFetParams fe_params_;
+  std::vector<spice::NodeId> ml_sense_, sa_out_;
+  bool built_ = false;
+  double t_stop_ = 0.0;
+  double t_latch_ = 0.0;
+};
+
+/// Convenience: build, simulate, and compare each row against the golden
+/// ternary rule.
+ArraySearchResult simulate_array_search(
+    Flavor flavor, const FullArrayOptions& opts,
+    const std::vector<arch::TernaryWord>& stored, const arch::BitWord& query,
+    const SearchTiming& timing = {});
+
+/// Full M x N 2FeFET array (SG or DG flavour): per-column SL/SLbar lines
+/// shared by every row, per-row MLs — the baseline-design counterpart of
+/// OnePointFiveArray, used to validate the 2FeFET word harnesses.
+class TwoFefetArray {
+ public:
+  TwoFefetArray(Flavor flavor, FullArrayOptions opts);
+
+  void build_search(const std::vector<arch::TernaryWord>& stored,
+                    const arch::BitWord& query, const SearchTiming& timing);
+
+  spice::Circuit& circuit() { return ckt_; }
+  double t_stop() const { return t_stop_; }
+  double t_latch() const { return t_latch_; }
+  double suggested_dt() const { return 2e-12; }
+
+ private:
+  Flavor flavor_;
+  FullArrayOptions opts_;
+  spice::Circuit ckt_;
+  dev::FeFetParams fe_params_;
+  bool built_ = false;
+  double t_stop_ = 0.0;
+  double t_latch_ = 0.0;
+};
+
+/// Convenience wrapper mirroring simulate_array_search for 2FeFET arrays.
+ArraySearchResult simulate_two_fefet_array_search(
+    Flavor flavor, const FullArrayOptions& opts,
+    const std::vector<arch::TernaryWord>& stored, const arch::BitWord& query,
+    const SearchTiming& timing = {});
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,22 @@
+#include "tcam/op_program.hpp"
+
+#include <cassert>
+
+namespace fetcam::tcam {
+
+spice::Waveform levels_waveform(const LevelPlan& plan, double t_edge) {
+  assert(!plan.empty());
+  assert(plan.front().first == 0.0);
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(plan.size() * 2);
+  pts.emplace_back(0.0, plan.front().second);
+  for (std::size_t k = 1; k < plan.size(); ++k) {
+    const double t = plan[k].first;
+    assert(t > plan[k - 1].first);
+    pts.emplace_back(t, plan[k - 1].second);        // hold previous level
+    pts.emplace_back(t + t_edge, plan[k].second);   // ramp to the new one
+  }
+  return spice::Waveform::pwl(std::move(pts));
+}
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,61 @@
+// Operation timing definitions and waveform-programming helpers for TCAM
+// search and write simulations.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "spice/waveform.hpp"
+
+namespace fetcam::tcam {
+
+/// Search-phase timing.  One precharge, then one or two evaluation steps
+/// (the 1.5T1Fe designs search cell1 in step 1 and cell2 in step 2; the ML
+/// is precharged only once).  SeL_b rises at the same instant the pair
+/// signals (SL, Wr/SL) switch to the step-2 query values: any dead time in
+/// between would leave TP pulling SL_bar high with no cell selected, falsely
+/// discharging matched MLs through TML.  `t_slack` is the settling margin
+/// appended after each signal switch, which the paper's two-step latency
+/// accounting also includes.
+struct SearchTiming {
+  double t_precharge = 250e-12;
+  /// Evaluation window per step.  Sized to cover the worst-case resolution
+  /// of the word under test; keeping it tight also bounds how long the
+  /// 1.5T1Fe divider (and the X-state TML subthreshold leak) integrates —
+  /// see the latency-sized windows used by eval::measure_worst_latency.
+  double t_step = 400e-12;
+  double t_slack = 50e-12;   ///< post-switch settling margin (step 2)
+  double t_edge = 10e-12;    ///< rise/fall of search signals
+  double t_tail = 100e-12;   ///< settle time after the last step
+
+  double search_start() const { return t_precharge; }
+  /// Step-2 signals (SeL_b and the pair-line switch) fire together here.
+  double step2_start() const { return t_precharge + t_step; }
+  double stop_after(int steps) const {
+    return t_precharge + steps * t_step + (steps - 1) * t_slack + t_tail;
+  }
+};
+
+/// Write-phase timing.  Phases run back to back: the 2FeFET designs need one
+/// phase (complementary +/-Vw), the 1.5T1Fe designs three (erase all, program
+/// '1's, program 'X's — the "three-step write" of Sec. III-B3).
+struct WriteTiming {
+  double t_pulse = 40e-9;
+  double t_gap = 5e-9;
+  double t_edge = 1e-9;
+
+  double phase_start(int phase) const { return phase * (t_pulse + t_gap); }
+  double phase_end(int phase) const { return phase_start(phase) + t_pulse; }
+  double stop_after(int phases) const {
+    return phases * (t_pulse + t_gap) + t_gap;
+  }
+};
+
+/// A piecewise-constant level plan: (start_time, level) pairs, first entry at
+/// t = 0.  Transitions ramp linearly over `t_edge`.
+using LevelPlan = std::vector<std::pair<double, double>>;
+
+/// Build the PWL waveform realizing a level plan.
+spice::Waveform levels_waveform(const LevelPlan& plan, double t_edge);
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,11 @@
+#include "tcam/parasitics.hpp"
+
+namespace fetcam::tcam {
+
+WireSegment wire_for_pitch(const WireTech& tech, double cell_pitch_m) {
+  const double um = cell_pitch_m * 1e6;
+  return {.resistance = tech.r_per_um * um,
+          .capacitance = tech.c_per_um * um};
+}
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,26 @@
+// Wire parasitics for match lines and search lines, per cell pitch.
+//
+// Constants are representative of 14 nm intermediate-metal interconnect (the
+// role Eva-CAM [15] plays in the paper): ~2 fF/um capacitance and
+// ~20 Ohm/um resistance at minimum width/space.  The per-cell values scale
+// with the design's cell pitch, so the larger DG cells also carry slightly
+// longer wire per bit — one of the second-order effects in the Fig. 7
+// word-length sweeps.
+#pragma once
+
+namespace fetcam::tcam {
+
+struct WireTech {
+  double r_per_um = 20.0;    ///< Ohm / um
+  double c_per_um = 0.12e-15;  ///< F / um
+};
+
+struct WireSegment {
+  double resistance = 0.0;   ///< Ohms
+  double capacitance = 0.0;  ///< Farads
+};
+
+/// RC of a wire spanning one cell of the given pitch (meters).
+WireSegment wire_for_pitch(const WireTech& tech, double cell_pitch_m);
+
+}  // namespace fetcam::tcam

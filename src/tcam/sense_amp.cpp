@@ -1,0 +1,63 @@
+#include "tcam/sense_amp.hpp"
+
+#include "devices/tech14.hpp"
+
+namespace fetcam::tcam {
+
+using dev::Mosfet;
+using dev::tech14::nfet;
+using dev::tech14::pfet;
+using spice::Circuit;
+using spice::NodeId;
+using spice::VoltageSource;
+using spice::Waveform;
+
+PrechargeHandles add_precharge(Circuit& ckt, NodeId ml,
+                               const std::string& prefix, double vdd,
+                               double w_mult, double temperature_k,
+                               dev::tech14::Corner corner) {
+  PrechargeHandles h;
+  const NodeId vpre = ckt.node(prefix + ".vpre");
+  const NodeId gate = ckt.node(prefix + ".preb");
+  h.supply = &ckt.emplace<VoltageSource>("VPRE" + prefix, vpre, spice::kGround,
+                                         Waveform::dc(vdd));
+  h.gate = &ckt.emplace<VoltageSource>("VPREG" + prefix, gate, spice::kGround,
+                                       Waveform::dc(0.0));
+  h.pmos = &ckt.emplace<Mosfet>(
+      "MPRE" + prefix, ml, gate, vpre, vpre,
+      dev::tech14::at_corner(
+          dev::tech14::at_temperature(pfet(w_mult), temperature_k), corner));
+  return h;
+}
+
+SenseAmpHandles add_sense_amp(Circuit& ckt, NodeId ml,
+                              const std::string& prefix, double vdd,
+                              double temperature_k,
+                              dev::tech14::Corner corner) {
+  SenseAmpHandles h;
+  const auto at_t = [&](dev::MosfetParams card) {
+    return dev::tech14::at_corner(
+        dev::tech14::at_temperature(card, temperature_k), corner);
+  };
+  const NodeId vsa = ckt.node(prefix + ".vsa");
+  h.inv = ckt.node(prefix + ".sainv");
+  h.out = ckt.node(prefix + ".saout");
+  h.supply = &ckt.emplace<VoltageSource>("VSA" + prefix, vsa, spice::kGround,
+                                         Waveform::dc(vdd));
+  // Stage 1: skewed inverter (strong PFET, weak NFET) so the trip point sits
+  // below VDD/2 and a partially-discharged ML does not flip it spuriously.
+  ckt.emplace<Mosfet>("MSAP1" + prefix, h.inv, ml, vsa, vsa, at_t(pfet(3.0)));
+  ckt.emplace<Mosfet>("MSAN1" + prefix, h.inv, ml, spice::kGround,
+                      spice::kGround, at_t(nfet(1.0, 2.0)));
+  // Stage 2: buffer back to match polarity.
+  ckt.emplace<Mosfet>("MSAP2" + prefix, h.out, h.inv, vsa, vsa,
+                      at_t(pfet(2.0)));
+  ckt.emplace<Mosfet>("MSAN2" + prefix, h.out, h.inv, spice::kGround,
+                      spice::kGround, at_t(nfet(1.0)));
+  // Output load (downstream priority-encoder input).
+  ckt.emplace<spice::Capacitor>("CSAOUT" + prefix, h.out, spice::kGround,
+                                0.2e-15);
+  return h;
+}
+
+}  // namespace fetcam::tcam

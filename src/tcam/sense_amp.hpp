@@ -1,0 +1,43 @@
+// Match-line precharge and sense-amplifier subcircuits.
+//
+// Energy bucketing: each subcircuit gets its own supply source so the
+// measurement layer can split search energy into ML-precharge, SA, and
+// search-signal components the way Table IV discusses them
+// ("VPRE<prefix>", "VSA<prefix>" name prefixes).
+#pragma once
+
+#include <string>
+
+#include "devices/tech14.hpp"
+#include "spice/elements.hpp"
+
+namespace fetcam::tcam {
+
+struct PrechargeHandles {
+  spice::VoltageSource* supply = nullptr;  ///< "VPRE..." — precharge energy
+  spice::VoltageSource* gate = nullptr;    ///< PMOS gate drive ("VPREG...")
+  dev::Mosfet* pmos = nullptr;
+};
+
+/// Attach a PMOS precharge device to `ml`.  The gate waveform (low while
+/// precharging, high to release) is programmed later via `gate`.
+PrechargeHandles add_precharge(
+    spice::Circuit& ckt, spice::NodeId ml, const std::string& prefix,
+    double vdd, double w_mult = 4.0, double temperature_k = 300.0,
+    dev::tech14::Corner corner = dev::tech14::Corner::kTypical);
+
+struct SenseAmpHandles {
+  spice::VoltageSource* supply = nullptr;  ///< "VSA..." — SA energy
+  spice::NodeId out = -1;                  ///< buffered match output
+  spice::NodeId inv = -1;                  ///< inverted ML (internal)
+};
+
+/// Two-inverter sense chain on the ML: first stage skewed low so the output
+/// resolves as soon as the ML falls below ~0.4 * VDD; second stage restores
+/// polarity (out high = match, matching paper Fig. 4c).
+SenseAmpHandles add_sense_amp(
+    spice::Circuit& ckt, spice::NodeId ml, const std::string& prefix,
+    double vdd, double temperature_k = 300.0,
+    dev::tech14::Corner corner = dev::tech14::Corner::kTypical);
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,135 @@
+// Common interface of the per-design TCAM word testbenches.
+//
+// A WordHarness owns a SPICE netlist of one N-bit TCAM word — cells, match
+// line with wire parasitics, precharge device, sense amplifier, and drive
+// sources — plus the waveform programming for one search or write operation.
+// The evaluation layer runs transients on these netlists to extract the
+// paper's latency/energy figures of merit.
+//
+// Harnesses are ONE-SHOT: construct, call build_search() or build_write()
+// exactly once, run the transient, measure.  This allows an important
+// optimization: columns whose cells are electrically identical for the
+// configured operation (same stored digit, same drive waveforms) share one
+// signal node and one driver source, with the column-line capacitive load
+// lumped per column onto the shared node.  Voltages and total energies are
+// unchanged (identical parallel subcircuits), while the MNA system stays
+// small enough to sweep word lengths up to 256 bits.  Per-cell devices and
+// per-cell match-line taps are always kept individual.
+//
+// Array context: the harness models a word embedded in a `rows_in_array` x
+// `n_bits` array by adding (rows_in_array - 1) rows' worth of column-line
+// load (wire + gate capacitance) to every column signal, so column-driver
+// energy is charged realistically even though one row is simulated at
+// device level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/ternary.hpp"
+#include "spice/transient.hpp"
+#include "tcam/op_program.hpp"
+#include "tcam/parasitics.hpp"
+#include "devices/tech14.hpp"
+#include "tcam/sense_amp.hpp"
+
+namespace fetcam::tcam {
+
+struct WordOptions {
+  int n_bits = 64;
+  int rows_in_array = 64;  ///< array context for column-line loading
+  double vdd = 0.8;
+  WireTech wire;
+  /// Junction temperature; every device card is retargeted via
+  /// dev::tech14::at_temperature (300 K = characterization point).
+  double temperature_k = 300.0;
+  /// Global process corner applied to every device card.
+  dev::tech14::Corner corner = dev::tech14::Corner::kTypical;
+};
+
+/// One search operation: stored word, query, timing, and how many of the
+/// design's evaluation steps to run (fewer than search_steps() simulates an
+/// early-terminated search: the remaining SeL stays grounded).
+struct SearchConfig {
+  arch::TernaryWord stored;
+  arch::BitWord query;
+  SearchTiming timing;
+  int steps = 0;  ///< 0 = all of the design's steps
+};
+
+/// One write operation: target data and the pre-existing stored word the
+/// cells hold before the write (writes must work from any prior state).
+struct WriteConfig {
+  arch::TernaryWord data;
+  arch::TernaryWord initial;  ///< empty = all-'0' (erased)
+  WriteTiming timing;
+};
+
+class WordHarness {
+ public:
+  virtual ~WordHarness() = default;
+  WordHarness(const WordHarness&) = delete;
+  WordHarness& operator=(const WordHarness&) = delete;
+
+  virtual std::string design_name() const = 0;
+  /// Search evaluation steps: 1 for 2FeFET, 2 for 1.5T1Fe.
+  virtual int search_steps() const = 0;
+  /// Write phases: 1 for 2FeFET, 3 for 1.5T1Fe.
+  virtual int write_phases() const = 0;
+  /// Cell pitch along the match line, meters (from the layout area model).
+  virtual double cell_pitch() const = 0;
+
+  /// Build the netlist and program all waveforms for one search.  One-shot.
+  virtual void build_search(const SearchConfig& cfg) = 0;
+  /// Build the netlist and program all waveforms for one write.  One-shot.
+  virtual void build_write(const WriteConfig& cfg) = 0;
+
+  /// Decode the stored word from device polarization state (valid after a
+  /// build_* call; after a simulated write it reflects the written data).
+  virtual arch::TernaryWord read_stored() const = 0;
+
+  /// Simulation end time of the operation programmed by the last build_*.
+  double t_stop() const { return t_stop_; }
+  /// Suggested transient timestep for the programmed operation.
+  double suggested_dt() const { return dt_; }
+
+  int n_bits() const { return opts_.n_bits; }
+  const WordOptions& options() const { return opts_; }
+  spice::Circuit& circuit() { return ckt_; }
+  const spice::Circuit& circuit() const { return ckt_; }
+
+  /// ML node at the sense amplifier (search builds only).
+  spice::NodeId ml_sense_node() const { return ml_sense_; }
+  spice::NodeId sa_out_node() const { return sa_.out; }
+  const PrechargeHandles& precharge() const { return pre_; }
+
+ protected:
+  explicit WordHarness(WordOptions opts) : opts_(opts) {}
+
+  /// Build the ML as a chain of `taps` wire segments (RC per segment from
+  /// the design pitch), attach precharge at tap 0 and the SA at the last
+  /// tap, and return all tap nodes.
+  std::vector<spice::NodeId> build_match_line(int taps, int cells_per_tap);
+
+  /// Program the precharge: ML held at VDD during [0, t_precharge], then
+  /// released.
+  void program_precharge(const SearchTiming& t);
+
+  void assert_unbuilt() const;
+  void mark_built(double t_stop, double dt) {
+    built_ = true;
+    t_stop_ = t_stop;
+    dt_ = dt;
+  }
+
+  WordOptions opts_;
+  spice::Circuit ckt_;
+  PrechargeHandles pre_;
+  SenseAmpHandles sa_;
+  spice::NodeId ml_sense_ = -1;
+  bool built_ = false;
+  double t_stop_ = 0.0;
+  double dt_ = 2e-12;
+};
+
+}  // namespace fetcam::tcam

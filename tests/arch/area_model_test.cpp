@@ -1,0 +1,78 @@
+#include "arch/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fetcam::arch {
+namespace {
+
+TEST(AreaModel, ReproducesTable4Areas) {
+  // Paper Table IV cell areas (um^2).
+  EXPECT_NEAR(cell_area(TcamDesign::kCmos16T).total_um2, 0.286, 0.001);
+  EXPECT_NEAR(cell_area(TcamDesign::k2SgFefet).total_um2, 0.095, 0.001);
+  EXPECT_NEAR(cell_area(TcamDesign::k2DgFefet).total_um2, 0.204, 0.001);
+  EXPECT_NEAR(cell_area(TcamDesign::k1p5SgFe).total_um2, 0.108, 0.001);
+  EXPECT_NEAR(cell_area(TcamDesign::k1p5DgFe).total_um2, 0.156, 0.001);
+}
+
+TEST(AreaModel, ImprovementRatiosMatchTable4) {
+  const double base = cell_area(TcamDesign::kCmos16T).total_um2;
+  EXPECT_NEAR(base / cell_area(TcamDesign::k2SgFefet).total_um2, 3.01, 0.05);
+  EXPECT_NEAR(base / cell_area(TcamDesign::k2DgFefet).total_um2, 1.40, 0.05);
+  EXPECT_NEAR(base / cell_area(TcamDesign::k1p5SgFe).total_um2, 2.65, 0.05);
+  EXPECT_NEAR(base / cell_area(TcamDesign::k1p5DgFe).total_um2, 1.83, 0.05);
+}
+
+TEST(AreaModel, WellSpacingDrivesTheDgPenalty) {
+  // Shrinking the well-isolation spacing closes the DG/SG gap — the
+  // sensitivity the paper discusses.
+  AreaParams tight;
+  tight.well_spacing_unit = 0.0;
+  EXPECT_NEAR(cell_area(TcamDesign::k2DgFefet, tight).total_um2,
+              cell_area(TcamDesign::k2SgFefet, tight).total_um2, 1e-12);
+}
+
+TEST(AreaModel, DeviceCounts) {
+  EXPECT_EQ(cell_area(TcamDesign::k2DgFefet).fefets, 2);
+  EXPECT_EQ(cell_area(TcamDesign::k1p5DgFe).fefets, 1);
+  EXPECT_DOUBLE_EQ(cell_area(TcamDesign::k1p5DgFe).transistors, 1.5);
+  EXPECT_DOUBLE_EQ(cell_area(TcamDesign::kCmos16T).transistors, 16.0);
+}
+
+TEST(AreaModel, BreakdownSumsToTotal) {
+  for (const auto d : {TcamDesign::kCmos16T, TcamDesign::k2SgFefet,
+                       TcamDesign::k2DgFefet, TcamDesign::k1p5SgFe,
+                       TcamDesign::k1p5DgFe}) {
+    const auto a = cell_area(d);
+    EXPECT_NEAR(a.total_um2, a.devices_um2 + a.well_um2, 1e-12)
+        << design_name(d);
+  }
+}
+
+TEST(AreaModel, PitchIsSqrtOfAreaAtUnitAspect) {
+  const double a = cell_area(TcamDesign::k2SgFefet).total_um2;
+  EXPECT_NEAR(cell_pitch_m(TcamDesign::k2SgFefet), std::sqrt(a) * 1e-6,
+              1e-12);
+  // Wider aspect increases the ML-direction pitch.
+  EXPECT_GT(cell_pitch_m(TcamDesign::k2SgFefet, {}, 2.0),
+            cell_pitch_m(TcamDesign::k2SgFefet, {}, 1.0));
+}
+
+TEST(AreaModel, ArrayAreaWithSharedDrivers) {
+  const auto dedicated =
+      array_area(TcamDesign::k1p5DgFe, 64, 64, 12.0, false);
+  const auto shared = array_area(TcamDesign::k1p5DgFe, 64, 64, 12.0, true);
+  EXPECT_DOUBLE_EQ(dedicated.cells_um2, shared.cells_um2);
+  EXPECT_NEAR(shared.drivers_um2, 0.5 * dedicated.drivers_um2,
+              12.0);  // integer rounding of driver count
+  EXPECT_LT(shared.total_um2, dedicated.total_um2);
+}
+
+TEST(AreaModel, DesignNames) {
+  EXPECT_EQ(design_name(TcamDesign::k1p5DgFe), "1.5T1DG-Fe");
+  EXPECT_EQ(design_name(TcamDesign::kCmos16T), "16T CMOS");
+}
+
+}  // namespace
+}  // namespace fetcam::arch

@@ -1,0 +1,93 @@
+#include "arch/behavioral_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace fetcam::arch {
+namespace {
+
+TEST(TcamArray, WriteAndSearch) {
+  TcamArray a(4, 4);
+  a.write(0, word_from_string("0101"));
+  a.write(1, word_from_string("01XX"));
+  a.write(2, word_from_string("1111"));
+  const auto m = a.search(bits_from_string("0101"));
+  EXPECT_TRUE(m[0]);
+  EXPECT_TRUE(m[1]);
+  EXPECT_FALSE(m[2]);
+  EXPECT_FALSE(m[3]);  // never written -> invalid
+}
+
+TEST(TcamArray, InvalidRowsNeverMatch) {
+  TcamArray a(2, 4);
+  // Even an all-X query target: row never written stays invalid.
+  EXPECT_FALSE(a.search(bits_from_string("0000"))[0]);
+  a.write(0, word_from_string("XXXX"));
+  EXPECT_TRUE(a.search(bits_from_string("0000"))[0]);
+  a.erase(0);
+  EXPECT_FALSE(a.search(bits_from_string("0000"))[0]);
+}
+
+TEST(TcamArray, FirstMatchIsPriorityEncoded) {
+  TcamArray a(3, 2);
+  a.write(1, word_from_string("XX"));
+  a.write(2, word_from_string("00"));
+  EXPECT_EQ(a.first_match(bits_from_string("00")).value_or(-1), 1);
+  a.write(0, word_from_string("0X"));
+  EXPECT_EQ(a.first_match(bits_from_string("00")).value_or(-1), 0);
+  EXPECT_EQ(a.first_match(bits_from_string("11")).value_or(-1), 1);
+}
+
+TEST(TcamArray, AllMatches) {
+  TcamArray a(4, 2);
+  a.write(0, word_from_string("0X"));
+  a.write(1, word_from_string("11"));
+  a.write(2, word_from_string("XX"));
+  const auto m = a.all_matches(bits_from_string("01"));
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], 2);
+}
+
+TEST(TcamArray, BoundsChecking) {
+  TcamArray a(2, 2);
+  EXPECT_THROW(a.write(2, word_from_string("00")), std::out_of_range);
+  EXPECT_THROW(a.write(-1, word_from_string("00")), std::out_of_range);
+  EXPECT_THROW(a.write(0, word_from_string("000")), std::invalid_argument);
+  EXPECT_THROW(a.search(bits_from_string("0")), std::invalid_argument);
+  EXPECT_THROW(TcamArray(0, 4), std::invalid_argument);
+}
+
+// Property: search agrees with per-row word_matches on random content.
+class TcamArrayRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcamArrayRandomTest, SearchAgreesWithGoldenRule) {
+  const int seed = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  std::uniform_int_distribution<int> digit(0, 2);
+  std::uniform_int_distribution<int> bit(0, 1);
+  TcamArray a(16, 12);
+  for (int r = 0; r < 16; ++r) {
+    TernaryWord w;
+    for (int c = 0; c < 12; ++c) w.push_back(static_cast<Ternary>(digit(rng)));
+    a.write(r, w);
+  }
+  for (int q = 0; q < 20; ++q) {
+    BitWord query;
+    for (int c = 0; c < 12; ++c)
+      query.push_back(static_cast<std::uint8_t>(bit(rng)));
+    const auto m = a.search(query);
+    for (int r = 0; r < 16; ++r) {
+      EXPECT_EQ(m[static_cast<std::size_t>(r)],
+                word_matches(a.entry(r), query))
+          << "seed=" << seed << " row=" << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcamArrayRandomTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace fetcam::arch

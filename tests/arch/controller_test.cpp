@@ -1,0 +1,84 @@
+#include "arch/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetcam::arch {
+namespace {
+
+TEST(Controller, UpdateAndSearchRoundTrip) {
+  TcamController c(TcamDesign::k1p5DgFe, 4, 8);
+  c.update(0, word_from_string("01010101"));
+  c.update(1, word_from_string("0101XXXX"));
+  const auto res = c.search(bits_from_string("01011111"));
+  EXPECT_FALSE(res.matches[0]);
+  EXPECT_TRUE(res.matches[1]);
+  EXPECT_EQ(c.first_match(bits_from_string("01011111")).value_or(-1), 1);
+}
+
+TEST(Controller, ChargesSearchEnergyWithEarlyTermination) {
+  TcamController c(TcamDesign::k1p5DgFe, 4, 8);
+  for (int r = 0; r < 4; ++r) c.update(r, word_from_string("11111111"));
+  const double e_before = c.energy().total_energy_j();
+  c.search(bits_from_string("00000000"));  // every row misses in step 1
+  const double e_miss = c.energy().total_energy_j() - e_before;
+  c.search(bits_from_string("11111111"));  // every row runs both steps
+  const double e_match =
+      c.energy().total_energy_j() - e_before - e_miss;
+  EXPECT_GT(e_miss, 0.0);
+  EXPECT_GT(e_match, 2.0 * e_miss);  // full 2-step costs >> terminated
+}
+
+TEST(Controller, SingleStepDesignChargesFlatEnergy) {
+  TcamController c(TcamDesign::k2SgFefet, 4, 8);
+  for (int r = 0; r < 4; ++r) c.update(r, word_from_string("11111111"));
+  const double e0 = c.energy().total_energy_j();
+  c.search(bits_from_string("00000000"));
+  const double e_miss = c.energy().total_energy_j() - e0;
+  c.search(bits_from_string("11111111"));
+  const double e_match = c.energy().total_energy_j() - e0 - e_miss;
+  EXPECT_NEAR(e_miss, e_match, 1e-20);
+}
+
+TEST(Controller, TracksWritePulsesPerDesign) {
+  TcamController dg(TcamDesign::k1p5DgFe, 2, 4);
+  dg.update(0, word_from_string("01X0"));
+  EXPECT_EQ(dg.write_pulses(), 3);  // three-phase write
+  TcamController sg2(TcamDesign::k2SgFefet, 2, 4);
+  sg2.update(0, word_from_string("01X0"));
+  EXPECT_EQ(sg2.write_pulses(), 1);  // complementary single phase
+}
+
+TEST(Controller, EnduranceFollowsUpdates) {
+  TcamController c(TcamDesign::k1p5SgFe, 4, 4);
+  for (int k = 0; k < 10; ++k) c.update(1, word_from_string("0101"));
+  EXPECT_EQ(c.endurance().writes(1), 10u);
+  EXPECT_EQ(c.endurance().hottest_row(), 1);
+  EXPECT_GT(c.endurance().wear_fraction(), 0.0);
+}
+
+TEST(Controller, SearchStatsAccumulate) {
+  TcamController c(TcamDesign::k1p5DgFe, 2, 4);
+  c.update(0, word_from_string("0101"));
+  c.search(bits_from_string("0101"));
+  c.search(bits_from_string("1111"));
+  EXPECT_EQ(c.search_stats().searches(), 2);
+  EXPECT_EQ(c.search_stats().rows_searched(), 4);
+  EXPECT_EQ(c.search_stats().matches(), 1);
+}
+
+TEST(Controller, OverwriteChargesOnlySwitchingCells) {
+  TcamController c(TcamDesign::k1p5DgFe, 1, 8);
+  c.update(0, word_from_string("00000000"));
+  const double e0 = c.energy().total_energy_j();
+  // Rewriting the same data: erase switches nothing (already '0'), no
+  // program pulses switch -> near-zero incremental write energy.
+  c.update(0, word_from_string("00000000"));
+  const double e_same = c.energy().total_energy_j() - e0;
+  c.update(0, word_from_string("11111111"));
+  const double e_flip =
+      c.energy().total_energy_j() - e0 - e_same;
+  EXPECT_LT(e_same, 0.25 * e_flip);
+}
+
+}  // namespace
+}  // namespace fetcam::arch

@@ -1,0 +1,79 @@
+#include "arch/endurance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fetcam::arch {
+namespace {
+
+TEST(Endurance, BudgetsMatchTheDeviceStory) {
+  // DG devices (thin FE, 2 V writes) outlast SG by orders of magnitude [18].
+  EXPECT_GT(endurance_cycles(TcamDesign::k1p5DgFe),
+            1e3 * endurance_cycles(TcamDesign::k1p5SgFe));
+  EXPECT_EQ(endurance_cycles(TcamDesign::k2DgFefet),
+            endurance_cycles(TcamDesign::k1p5DgFe));
+  EXPECT_GT(endurance_cycles(TcamDesign::kCmos16T),
+            endurance_cycles(TcamDesign::k1p5DgFe));
+}
+
+TEST(Endurance, TracksPerRowWrites) {
+  EnduranceModel m(TcamDesign::k1p5DgFe, 4);
+  m.on_write(0);
+  m.on_write(2);
+  m.on_write(2);
+  EXPECT_EQ(m.writes(0), 1u);
+  EXPECT_EQ(m.writes(1), 0u);
+  EXPECT_EQ(m.writes(2), 2u);
+  EXPECT_EQ(m.total_writes(), 3u);
+  EXPECT_EQ(m.hottest_row(), 2);
+}
+
+TEST(Endurance, WearFractionAndRemaining) {
+  EnduranceModel m(TcamDesign::k1p5SgFe, 2);  // budget 1e6
+  for (int k = 0; k < 1000; ++k) m.on_write(0);
+  EXPECT_NEAR(m.wear_fraction(), 1e-3, 1e-9);
+  // Continuing the same (fully skewed) pattern: ~999k writes left.
+  EXPECT_NEAR(static_cast<double>(m.writes_remaining()), 999000.0, 1000.0);
+}
+
+TEST(Endurance, LifetimeScalesWithUpdateRate) {
+  EnduranceModel m(TcamDesign::k1p5SgFe, 2);
+  for (int k = 0; k < 100; ++k) m.on_write(0);
+  const double slow = m.lifetime_seconds(1.0);
+  const double fast = m.lifetime_seconds(100.0);
+  EXPECT_NEAR(slow / fast, 100.0, 1e-6);
+  EXPECT_TRUE(std::isinf(m.lifetime_seconds(0.0)));
+}
+
+TEST(Endurance, ImbalanceDetectsHotspots) {
+  EnduranceModel level(TcamDesign::k1p5DgFe, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int k = 0; k < 10; ++k) level.on_write(r);
+  }
+  EXPECT_NEAR(level.imbalance(), 1.0, 1e-9);
+
+  EnduranceModel hot(TcamDesign::k1p5DgFe, 4);
+  for (int k = 0; k < 40; ++k) hot.on_write(3);
+  EXPECT_NEAR(hot.imbalance(), 4.0, 1e-9);
+}
+
+TEST(Endurance, DgOutlastsSgAtSameWorkload) {
+  EnduranceModel sg(TcamDesign::k1p5SgFe, 8);
+  EnduranceModel dg(TcamDesign::k1p5DgFe, 8);
+  for (int k = 0; k < 1000; ++k) {
+    sg.on_write(k % 8);
+    dg.on_write(k % 8);
+  }
+  EXPECT_GT(dg.lifetime_seconds(1000.0), 1e3 * sg.lifetime_seconds(1000.0));
+}
+
+TEST(Endurance, Validation) {
+  EXPECT_THROW(EnduranceModel(TcamDesign::k1p5DgFe, 0),
+               std::invalid_argument);
+  EnduranceModel m(TcamDesign::k1p5DgFe, 2);
+  EXPECT_THROW(m.on_write(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fetcam::arch

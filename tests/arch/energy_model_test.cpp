@@ -1,0 +1,101 @@
+#include "arch/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetcam::arch {
+namespace {
+
+TEST(OpCosts, DefaultsExistForAllDesigns) {
+  for (const auto d : {TcamDesign::kCmos16T, TcamDesign::k2SgFefet,
+                       TcamDesign::k2DgFefet, TcamDesign::k1p5SgFe,
+                       TcamDesign::k1p5DgFe}) {
+    const auto c = default_op_costs(d);
+    EXPECT_GT(c.search_e2, 0.0) << design_name(d);
+    EXPECT_GT(c.latency_full, 0.0) << design_name(d);
+    EXPECT_LE(c.search_e1, c.search_e2) << design_name(d);
+  }
+}
+
+TEST(OpCosts, PaperRatiosHold) {
+  // Write energy: DG halves SG; 1.5T1Fe halves 2FeFET (Table IV's 2x/4x).
+  const auto sg2 = default_op_costs(TcamDesign::k2SgFefet);
+  const auto dg2 = default_op_costs(TcamDesign::k2DgFefet);
+  const auto sg15 = default_op_costs(TcamDesign::k1p5SgFe);
+  const auto dg15 = default_op_costs(TcamDesign::k1p5DgFe);
+  EXPECT_NEAR(sg2.write_energy / dg2.write_energy, 2.0, 0.5);
+  EXPECT_NEAR(sg2.write_energy / sg15.write_energy, 2.0, 0.5);
+  EXPECT_NEAR(sg2.write_energy / dg15.write_energy, 4.0, 1.0);
+  // Latency ordering: 1.5T1SG < 2SG < 2DG; 1.5T1DG < 2DG.
+  EXPECT_LT(sg15.latency_full, sg2.latency_full);
+  EXPECT_LT(sg2.latency_full, dg2.latency_full);
+  EXPECT_LT(dg15.latency_full, dg2.latency_full);
+}
+
+TEST(EnergyModel, SingleStepDesignChargesFullEnergy) {
+  ArrayEnergyModel m(TcamDesign::k2SgFefet, 4, 8);
+  SearchStats s;
+  s.rows = 4;
+  s.step1_misses = 3;  // irrelevant for single-step designs
+  s.step2_evaluated = 1;
+  m.on_search(s);
+  const auto c = default_op_costs(TcamDesign::k2SgFefet);
+  EXPECT_NEAR(m.total_energy_j(), 4 * 8 * c.search_e2, 1e-20);
+}
+
+TEST(EnergyModel, EarlyTerminationSavesEnergy) {
+  const auto c = default_op_costs(TcamDesign::k1p5DgFe);
+  SearchStats mostly_missing;
+  mostly_missing.rows = 10;
+  mostly_missing.step2_evaluated = 1;
+  mostly_missing.step1_misses = 9;
+  SearchStats all_surviving;
+  all_surviving.rows = 10;
+  all_surviving.step2_evaluated = 10;
+
+  ArrayEnergyModel a(TcamDesign::k1p5DgFe, 10, 8, c);
+  a.on_search(mostly_missing);
+  ArrayEnergyModel b(TcamDesign::k1p5DgFe, 10, 8, c);
+  b.on_search(all_surviving);
+  EXPECT_LT(a.total_energy_j(), b.total_energy_j());
+  // 90% termination saves roughly the paper's margin: e_avg near e1.
+  const double expected =
+      (9 * c.search_e1 + 1 * c.search_e2) * 8;
+  EXPECT_NEAR(a.total_energy_j(), expected, 1e-20);
+}
+
+TEST(EnergyModel, WritesAccumulate) {
+  ArrayEnergyModel m(TcamDesign::k1p5DgFe, 4, 8);
+  m.on_write(8);
+  m.on_write(8);
+  const auto c = default_op_costs(TcamDesign::k1p5DgFe);
+  EXPECT_NEAR(m.total_energy_j(), 16 * c.write_energy, 1e-20);
+  EXPECT_EQ(m.writes(), 2);
+}
+
+TEST(EnergyModel, MeanSearchEnergyPerCell) {
+  ArrayEnergyModel m(TcamDesign::k2SgFefet, 2, 4);
+  SearchStats s;
+  s.rows = 2;
+  m.on_search(s);
+  const auto c = default_op_costs(TcamDesign::k2SgFefet);
+  EXPECT_NEAR(m.mean_search_energy_per_cell(), c.search_e2, 1e-22);
+}
+
+TEST(EnergyModel, TimeAdvancesPerSearch) {
+  ArrayEnergyModel m(TcamDesign::k1p5SgFe, 2, 4);
+  SearchStats s;
+  s.rows = 2;
+  s.step2_evaluated = 2;
+  m.on_search(s);
+  m.on_search(s);
+  const auto c = default_op_costs(TcamDesign::k1p5SgFe);
+  EXPECT_NEAR(m.total_time_s(), 2 * c.latency_full, 1e-18);
+}
+
+TEST(EnergyModel, RejectsBadDimensions) {
+  EXPECT_THROW(ArrayEnergyModel(TcamDesign::k2SgFefet, 0, 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fetcam::arch

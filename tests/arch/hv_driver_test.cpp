@@ -1,0 +1,72 @@
+#include "arch/hv_driver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetcam::arch {
+namespace {
+
+TEST(DriverBank, SharingHalvesEverything) {
+  const MatGeometry g{.rows = 64, .cols = 64, .subarrays = 4};
+  const auto r = driver_bank_report(g, {});
+  EXPECT_EQ(r.drivers_dedicated, 4 * (64 + 128));
+  EXPECT_EQ(r.drivers_shared, r.drivers_dedicated / 2);
+  EXPECT_NEAR(r.area_saving(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(r.leakage_shared_nw, 0.5 * r.leakage_dedicated_nw);
+}
+
+TEST(DriverBank, NoSharingWithoutVoltageCoOptimization) {
+  const MatGeometry g{.rows = 32, .cols = 32, .subarrays = 4};
+  HvDriverParams p;
+  p.voltages_match = false;
+  const auto r = driver_bank_report(g, p);
+  EXPECT_EQ(r.drivers_shared, r.drivers_dedicated);
+  EXPECT_DOUBLE_EQ(r.area_saving(), 0.0);
+}
+
+TEST(Scheduler, ConcurrentSearchesBothGranted) {
+  SharedDriverScheduler s({.rows = 16, .cols = 16, .subarrays = 4}, {});
+  const auto g = s.submit({MatOp::kSearch, MatOp::kSearch, MatOp::kSearch,
+                           MatOp::kSearch});
+  EXPECT_TRUE(g[0] && g[1] && g[2] && g[3]);
+  EXPECT_EQ(s.stalls(), 0);
+  EXPECT_EQ(s.grants(), 4);
+}
+
+TEST(Scheduler, WriteStallsPairedSearch) {
+  SharedDriverScheduler s({.rows = 16, .cols = 16, .subarrays = 2}, {});
+  const auto g = s.submit({MatOp::kWrite, MatOp::kSearch});
+  EXPECT_TRUE(g[0]);
+  EXPECT_FALSE(g[1]);
+  EXPECT_EQ(s.stalls(), 1);
+}
+
+TEST(Scheduler, IdlePairDoesNotConflict) {
+  SharedDriverScheduler s({.rows = 16, .cols = 16, .subarrays = 2}, {});
+  const auto g = s.submit({MatOp::kWrite, MatOp::kIdle});
+  EXPECT_TRUE(g[0]);
+  EXPECT_EQ(s.stalls(), 0);
+}
+
+TEST(Scheduler, UtilizationTracksBusyBanks) {
+  SharedDriverScheduler s({.rows = 16, .cols = 16, .subarrays = 4}, {});
+  s.submit({MatOp::kSearch, MatOp::kIdle, MatOp::kIdle, MatOp::kIdle});
+  s.submit({MatOp::kIdle, MatOp::kIdle, MatOp::kIdle, MatOp::kIdle});
+  // 1 busy bank cycle out of 4 (2 banks x 2 cycles).
+  EXPECT_NEAR(s.utilization(), 0.25, 1e-12);
+}
+
+TEST(Scheduler, RejectsBadConfigs) {
+  EXPECT_THROW(
+      SharedDriverScheduler({.rows = 8, .cols = 8, .subarrays = 3}, {}),
+      std::invalid_argument);
+  HvDriverParams p;
+  p.voltages_match = false;
+  EXPECT_THROW(
+      SharedDriverScheduler({.rows = 8, .cols = 8, .subarrays = 4}, p),
+      std::invalid_argument);
+  SharedDriverScheduler s({.rows = 8, .cols = 8, .subarrays = 4}, {});
+  EXPECT_THROW(s.submit({MatOp::kIdle}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fetcam::arch

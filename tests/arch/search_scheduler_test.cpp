@@ -1,0 +1,111 @@
+#include "arch/search_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace fetcam::arch {
+namespace {
+
+TEST(TwoStepSearch, MatchesPlainSearch) {
+  TcamArray a(4, 4);
+  a.write(0, word_from_string("0101"));
+  a.write(1, word_from_string("01XX"));
+  a.write(2, word_from_string("1111"));
+  const auto q = bits_from_string("0101");
+  const auto plain = a.search(q);
+  const auto two = two_step_search(a, q);
+  EXPECT_EQ(two.matches, plain);
+}
+
+TEST(TwoStepSearch, Step1MissTerminatesEarly) {
+  TcamArray a(2, 4);
+  // Row 0 mismatches at an even (cell1) position -> terminated in step 1.
+  a.write(0, word_from_string("1111"));
+  // Row 1 mismatches only at an odd (cell2) position -> runs step 2.
+  a.write(1, word_from_string("0001"));
+  const auto res = two_step_search(a, bits_from_string("0000"));
+  EXPECT_EQ(res.stats.step1_misses, 1);
+  EXPECT_EQ(res.stats.step2_evaluated, 1);
+  EXPECT_EQ(res.stats.matches, 0);
+}
+
+TEST(TwoStepSearch, MatchRunsBothSteps) {
+  TcamArray a(1, 4);
+  a.write(0, word_from_string("01X1"));
+  const auto res = two_step_search(a, bits_from_string("0101"));
+  EXPECT_EQ(res.stats.step2_evaluated, 1);
+  EXPECT_EQ(res.stats.matches, 1);
+  EXPECT_TRUE(res.matches[0]);
+}
+
+TEST(TwoStepSearch, InvalidRowsCountAsStep1Misses) {
+  TcamArray a(3, 4);
+  a.write(1, word_from_string("XXXX"));
+  const auto res = two_step_search(a, bits_from_string("0000"));
+  EXPECT_EQ(res.stats.step1_misses, 2);  // rows 0 and 2 invalid
+  EXPECT_EQ(res.stats.step2_evaluated, 1);
+}
+
+TEST(TwoStepSearch, RequiresEvenWordLength) {
+  TcamArray a(1, 3);
+  a.write(0, word_from_string("000"));
+  EXPECT_THROW(two_step_search(a, bits_from_string("000")),
+               std::invalid_argument);
+}
+
+TEST(TwoStepSearch, StatsAccumulator) {
+  TcamArray a(4, 4);
+  a.write(0, word_from_string("0000"));
+  a.write(1, word_from_string("1111"));
+  a.write(2, word_from_string("XXXX"));
+  a.write(3, word_from_string("00XX"));
+  SearchStatsAccumulator acc;
+  acc.add(two_step_search(a, bits_from_string("0000")).stats);
+  acc.add(two_step_search(a, bits_from_string("1111")).stats);
+  EXPECT_EQ(acc.searches(), 2);
+  EXPECT_EQ(acc.rows_searched(), 8);
+  EXPECT_EQ(acc.matches(), 3 + 2);
+}
+
+// Property: on random arrays, early termination never changes the result
+// and step-2 evaluations equal the rows whose even digits all match.
+class SchedulerRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerRandomTest, EquivalentToPlainSearch) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31u + 5u);
+  std::uniform_int_distribution<int> digit(0, 2);
+  std::uniform_int_distribution<int> bit(0, 1);
+  TcamArray a(12, 8);
+  for (int r = 0; r < 12; ++r) {
+    TernaryWord w;
+    for (int c = 0; c < 8; ++c) w.push_back(static_cast<Ternary>(digit(rng)));
+    a.write(r, w);
+  }
+  for (int q = 0; q < 10; ++q) {
+    BitWord query;
+    for (int c = 0; c < 8; ++c)
+      query.push_back(static_cast<std::uint8_t>(bit(rng)));
+    const auto res = two_step_search(a, query);
+    EXPECT_EQ(res.matches, a.search(query));
+    int expect_step2 = 0;
+    for (int r = 0; r < 12; ++r) {
+      bool alive = true;
+      for (int c = 0; c < 8; c += 2) {
+        if (!ternary_matches(a.entry(r)[static_cast<std::size_t>(c)],
+                             query[static_cast<std::size_t>(c)] != 0)) {
+          alive = false;
+        }
+      }
+      if (alive) ++expect_step2;
+    }
+    EXPECT_EQ(res.stats.step2_evaluated, expect_step2);
+    EXPECT_EQ(res.stats.rows, 12);
+    EXPECT_EQ(res.stats.step1_misses + res.stats.step2_evaluated, 12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerRandomTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace fetcam::arch

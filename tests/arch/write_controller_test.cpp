@@ -1,0 +1,79 @@
+#include "arch/write_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetcam::arch {
+namespace {
+
+const WriteVoltages kV{.vw = 2.0, .vm = 1.66, .vdd = 0.8};
+
+TEST(ThreeStepPlan, PhaseStructure) {
+  const auto plan = three_step_plan(word_from_string("01X0"), {}, kV);
+  ASSERT_EQ(plan.phases.size(), 3u);
+  EXPECT_EQ(plan.phases[0].name, "erase");
+  EXPECT_EQ(plan.phases[1].name, "program-1");
+  EXPECT_EQ(plan.phases[2].name, "program-X");
+}
+
+TEST(ThreeStepPlan, EraseDrivesAllColumnsNegative) {
+  const auto plan = three_step_plan(word_from_string("01X"), {}, kV);
+  for (const double v : plan.phases[0].bl) EXPECT_DOUBLE_EQ(v, -kV.vw);
+  EXPECT_DOUBLE_EQ(plan.phases[0].wrsl, kV.vdd);
+  EXPECT_DOUBLE_EQ(plan.phases[0].sl, 0.0);
+}
+
+TEST(ThreeStepPlan, ProgramPhasesTargetTheRightColumns) {
+  const auto plan = three_step_plan(word_from_string("01X0"), {}, kV);
+  const auto& p1 = plan.phases[1];
+  EXPECT_DOUBLE_EQ(p1.bl[0], 0.0);
+  EXPECT_DOUBLE_EQ(p1.bl[1], kV.vw);
+  EXPECT_DOUBLE_EQ(p1.bl[2], 0.0);
+  const auto& px = plan.phases[2];
+  EXPECT_DOUBLE_EQ(px.bl[1], 0.0);
+  EXPECT_DOUBLE_EQ(px.bl[2], kV.vm);
+}
+
+TEST(ThreeStepPlan, SwitchingCellAccounting) {
+  // Previous data all '1': erase switches everything; then 1 one and 1 X.
+  const auto plan = three_step_plan(word_from_string("01X0"),
+                                    word_from_string("1111"), kV);
+  EXPECT_EQ(plan.phases[0].switching_cells, 4);
+  EXPECT_EQ(plan.phases[1].switching_cells, 1);
+  EXPECT_EQ(plan.phases[2].switching_cells, 1);
+  EXPECT_EQ(plan.total_switching_cells(), 6);
+}
+
+TEST(ThreeStepPlan, ErasedPreviousSkipsEraseSwitching) {
+  const auto plan = three_step_plan(word_from_string("0000"), {}, kV);
+  EXPECT_EQ(plan.phases[0].switching_cells, 0);
+  EXPECT_EQ(plan.total_switching_cells(), 0);
+}
+
+TEST(ThreeStepPlan, RejectsWidthMismatch) {
+  EXPECT_THROW(
+      three_step_plan(word_from_string("01"), word_from_string("011"), kV),
+      std::invalid_argument);
+}
+
+TEST(ComplementaryPlan, TableIEncoding) {
+  const auto plan = complementary_plan(word_from_string("01X"), kV);
+  ASSERT_EQ(plan.phases.size(), 1u);
+  const auto& p = plan.phases[0];
+  // '0' -> (-Vw, +Vw)
+  EXPECT_DOUBLE_EQ(p.bl[0], -kV.vw);
+  EXPECT_DOUBLE_EQ(p.bl_bar[0], kV.vw);
+  // '1' -> (+Vw, -Vw)
+  EXPECT_DOUBLE_EQ(p.bl[1], kV.vw);
+  EXPECT_DOUBLE_EQ(p.bl_bar[1], -kV.vw);
+  // 'X' -> (-Vw, -Vw)
+  EXPECT_DOUBLE_EQ(p.bl[2], -kV.vw);
+  EXPECT_DOUBLE_EQ(p.bl_bar[2], -kV.vw);
+}
+
+TEST(ComplementaryPlan, EveryCellSwitchesBothDevices) {
+  const auto plan = complementary_plan(word_from_string("0101"), kV);
+  EXPECT_EQ(plan.total_switching_cells(), 8);
+}
+
+}  // namespace
+}  // namespace fetcam::arch

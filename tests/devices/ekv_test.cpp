@@ -1,0 +1,118 @@
+#include "devices/ekv_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fetcam::dev {
+namespace {
+
+EkvParams test_params() {
+  EkvParams p;
+  p.is = 2.5e-6;
+  p.n = 1.15;
+  p.ut = 0.02585;
+  p.lambda = 0.05;
+  p.theta = 1.2;
+  return p;
+}
+
+TEST(Softplus, MatchesLogExpAndIsSafe) {
+  EXPECT_NEAR(softplus(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(softplus(1.0), std::log(1.0 + std::exp(1.0)), 1e-12);
+  EXPECT_DOUBLE_EQ(softplus(100.0), 100.0);      // no overflow
+  EXPECT_NEAR(softplus(-100.0), 0.0, 1e-40);     // no underflow surprises
+}
+
+TEST(Ekv, CurrentIsZeroAtZeroVds) {
+  const auto r = ekv_current(test_params(), 0.3, 0.0);
+  EXPECT_DOUBLE_EQ(r.id, 0.0);
+}
+
+TEST(Ekv, CurrentIncreasesWithOverdrive) {
+  const auto p = test_params();
+  double prev = 0.0;
+  for (double vov = -0.3; vov <= 0.6; vov += 0.05) {
+    const auto r = ekv_current(p, vov, 0.8);
+    EXPECT_GT(r.id, prev) << "vov=" << vov;
+    prev = r.id;
+  }
+}
+
+TEST(Ekv, CurrentIncreasesWithVds) {
+  const auto p = test_params();
+  double prev = -1.0;
+  for (double vds = 0.0; vds <= 1.0; vds += 0.05) {
+    const auto r = ekv_current(p, 0.4, vds);
+    EXPECT_GT(r.id, prev) << "vds=" << vds;
+    prev = r.id;
+  }
+}
+
+TEST(Ekv, SubthresholdSlopeMatchesSlopeFactor) {
+  const auto p = test_params();
+  // Deep subthreshold, saturated Vds: Id ~ exp(vov / (n Ut)).
+  const double i1 = ekv_current(p, -0.30, 0.8).id;
+  const double i2 = ekv_current(p, -0.20, 0.8).id;
+  const double decades = std::log10(i2 / i1);
+  const double ss = 0.1 / decades;  // volts per decade
+  EXPECT_NEAR(ss, p.n * p.ut * std::log(10.0), 0.002);
+}
+
+TEST(Ekv, SaturationBeyondVdsat) {
+  const auto p = test_params();
+  const double vov = 0.4;
+  const double vdsat = vov / p.n;
+  const double i_sat = ekv_current(p, vov, vdsat * 2.0).id;
+  const double i_more = ekv_current(p, vov, vdsat * 2.5).id;
+  // Only channel-length modulation growth beyond saturation.
+  const double growth = (i_more - i_sat) / i_sat;
+  EXPECT_LT(growth, 0.05);
+  EXPECT_GT(growth, 0.0);
+}
+
+TEST(Ekv, MobilityDegradationReducesStrongInversionCurrent) {
+  auto p = test_params();
+  const double with_theta = ekv_current(p, 0.5, 0.8).id;
+  p.theta = 0.0;
+  const double without = ekv_current(p, 0.5, 0.8).id;
+  EXPECT_LT(with_theta, without);
+  // But subthreshold is essentially untouched.
+  p.theta = 1.2;
+  const double sub_with = ekv_current(p, -0.2, 0.8).id;
+  p.theta = 0.0;
+  const double sub_without = ekv_current(p, -0.2, 0.8).id;
+  EXPECT_NEAR(sub_with / sub_without, 1.0, 0.02);
+}
+
+// Analytic derivatives must match finite differences over the full operating
+// plane (this is what keeps Newton honest).
+class EkvDerivativeTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(EkvDerivativeTest, MatchesFiniteDifference) {
+  const auto p = test_params();
+  const auto [vov, vds] = GetParam();
+  const double h = 1e-7;
+  const auto r = ekv_current(p, vov, vds);
+  const double fd_vov =
+      (ekv_current(p, vov + h, vds).id - ekv_current(p, vov - h, vds).id) /
+      (2.0 * h);
+  const double fd_vds =
+      (ekv_current(p, vov, vds + h).id - ekv_current(p, vov, vds - h).id) /
+      (2.0 * h);
+  const double scale_vov = std::max(std::abs(fd_vov), 1e-12);
+  const double scale_vds = std::max(std::abs(fd_vds), 1e-12);
+  EXPECT_NEAR(r.did_dvov / scale_vov, fd_vov / scale_vov, 1e-4)
+      << "vov=" << vov << " vds=" << vds;
+  EXPECT_NEAR(r.did_dvds / scale_vds, fd_vds / scale_vds, 1e-4)
+      << "vov=" << vov << " vds=" << vds;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingPlane, EkvDerivativeTest,
+    ::testing::Combine(::testing::Values(-0.4, -0.2, 0.0, 0.1, 0.3, 0.6),
+                       ::testing::Values(0.0, 0.05, 0.2, 0.8, 1.5)));
+
+}  // namespace
+}  // namespace fetcam::dev

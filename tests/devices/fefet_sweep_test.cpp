@@ -1,0 +1,154 @@
+// Parameterized FeFET property sweeps across flavours and states.
+#include <gtest/gtest.h>
+
+#include "devices/fefet.hpp"
+#include "spice/elements.hpp"
+#include "spice/op.hpp"
+#include "spice/transient.hpp"
+
+namespace fetcam::dev {
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+using spice::Solution;
+using spice::VoltageSource;
+using spice::Waveform;
+
+struct SweepCase {
+  bool dg = false;
+  FeState state = FeState::kHvt;
+};
+
+class FeFetStateSweep : public ::testing::TestWithParam<SweepCase> {};
+
+double drain_current_at(const FeFetParams& p, FeState s, double vfg,
+                        double vbg, double vd) {
+  Circuit ckt;
+  const NodeId d = ckt.node("d");
+  const NodeId fg = ckt.node("fg");
+  const NodeId bg = ckt.node("bg");
+  ckt.emplace<VoltageSource>("VD", d, kGround, Waveform::dc(vd));
+  ckt.emplace<VoltageSource>("VFG", fg, kGround, Waveform::dc(vfg));
+  ckt.emplace<VoltageSource>("VBG", bg, kGround, Waveform::dc(vbg));
+  auto& fe = ckt.emplace<FeFet>("F1", d, fg, kGround, bg, p);
+  fe.set_state(s, p.mos.vth0);
+  const auto op = solve_op(ckt);
+  EXPECT_TRUE(op.converged);
+  return fe.drain_current(Solution(ckt, op.x));
+}
+
+TEST_P(FeFetStateSweep, ThresholdMatchesStateEncoding) {
+  const auto sc = GetParam();
+  const FeFetParams p = sc.dg ? dg_fefet_params() : sg_fefet_params();
+  FeFet fe("F", 1, 2, 3, 4, p);
+  fe.set_state(sc.state, p.mos.vth0);
+  switch (sc.state) {
+    case FeState::kLvt:
+      EXPECT_NEAR(fe.threshold_voltage(), p.mos.vth0 - p.mw_fg / 2.0, 1e-9);
+      EXPECT_NEAR(fe.normalized_polarization(), 1.0, 1e-9);
+      break;
+    case FeState::kHvt:
+      EXPECT_NEAR(fe.threshold_voltage(), p.mos.vth0 + p.mw_fg / 2.0, 1e-9);
+      EXPECT_NEAR(fe.normalized_polarization(), -1.0, 1e-9);
+      break;
+    case FeState::kMvt:
+      EXPECT_NEAR(fe.threshold_voltage(), p.mos.vth0, 1e-9);
+      EXPECT_NEAR(fe.normalized_polarization(), 0.0, 1e-9);
+      break;
+  }
+}
+
+TEST_P(FeFetStateSweep, CurrentOrderingLvtAboveMvtAboveHvt) {
+  const auto sc = GetParam();
+  const FeFetParams p = sc.dg ? dg_fefet_params() : sg_fefet_params();
+  // Bias at the flavour's read point.
+  const double vfg = sc.dg ? 0.25 : 0.8;
+  const double vbg = sc.dg ? 2.0 : 0.0;
+  const double i_lvt = drain_current_at(p, FeState::kLvt, vfg, vbg, 0.4);
+  const double i_mvt = drain_current_at(p, FeState::kMvt, vfg, vbg, 0.4);
+  const double i_hvt = drain_current_at(p, FeState::kHvt, vfg, vbg, 0.4);
+  EXPECT_GT(i_lvt, i_mvt);
+  EXPECT_GT(i_mvt, i_hvt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FlavorsAndStates, FeFetStateSweep,
+    ::testing::Values(SweepCase{false, FeState::kHvt},
+                      SweepCase{false, FeState::kMvt},
+                      SweepCase{false, FeState::kLvt},
+                      SweepCase{true, FeState::kHvt},
+                      SweepCase{true, FeState::kMvt},
+                      SweepCase{true, FeState::kLvt}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string n = info.param.dg ? "DG_" : "SG_";
+      switch (info.param.state) {
+        case FeState::kHvt: n += "HVT"; break;
+        case FeState::kMvt: n += "MVT"; break;
+        case FeState::kLvt: n += "LVT"; break;
+      }
+      return n;
+    });
+
+TEST(FeFetState, PolarizationPersistsAcrossChainedTransients) {
+  // Non-volatility: a search-like transient must leave the state intact so
+  // a second run on the same circuit sees the same device.
+  const auto p = dg_fefet_params();
+  Circuit ckt;
+  const NodeId d = ckt.node("d");
+  const NodeId fg = ckt.node("fg");
+  const NodeId bg = ckt.node("bg");
+  ckt.emplace<VoltageSource>("VD", d, kGround, Waveform::dc(0.4));
+  ckt.emplace<VoltageSource>("VFG", fg, kGround, Waveform::dc(0.0));
+  ckt.emplace<VoltageSource>(
+      "VBG", bg, kGround,
+      Waveform::pulse(0.0, 2.0, 0.1e-9, 20e-12, 20e-12, 0.5e-9));
+  auto& fe = ckt.emplace<FeFet>("F1", d, fg, kGround, bg, p);
+  fe.set_state(FeState::kMvt, 0.605);
+  const double p0 = fe.polarization();
+  for (int run = 0; run < 3; ++run) {
+    spice::TransientOptions opts;
+    opts.t_stop = 1e-9;
+    opts.dt = 5e-12;
+    const auto res = run_transient(ckt, opts);
+    ASSERT_TRUE(res.ok) << res.error;
+  }
+  EXPECT_NEAR(fe.polarization(), p0, 1e-4 * p.fe.ps);
+}
+
+TEST(FeFetState, WriteVoltageForVthIsMonotone) {
+  const auto p = dg_fefet_params();
+  double prev = -1e9;
+  // Lower target threshold (more LVT-ward) needs a higher write voltage.
+  for (double vth = 1.1; vth >= 0.5; vth -= 0.1) {
+    const double vm = p.write_voltage_for_vth(vth);
+    EXPECT_GT(vm, prev) << "vth=" << vth;
+    prev = vm;
+  }
+}
+
+TEST(FeFetState, OnResistanceOrdersAcrossStates) {
+  const auto p = sg_fefet_params();
+  Circuit ckt;
+  const NodeId d = ckt.node("d");
+  const NodeId fg = ckt.node("fg");
+  ckt.emplace<VoltageSource>("VD", d, kGround, Waveform::dc(0.4));
+  ckt.emplace<VoltageSource>("VFG", fg, kGround, Waveform::dc(0.8));
+  auto& fe = ckt.emplace<FeFet>("F1", d, fg, kGround, kGround, p);
+  const auto r_of = [&](FeState s) {
+    fe.set_state(s, p.mos.vth0);
+    const auto op = solve_op(ckt);
+    EXPECT_TRUE(op.converged);
+    return fe.on_resistance(Solution(ckt, op.x));
+  };
+  const double r_on = r_of(FeState::kLvt);
+  const double r_m = r_of(FeState::kMvt);
+  const double r_off = r_of(FeState::kHvt);
+  EXPECT_LT(r_on, r_m);
+  EXPECT_LT(r_m, r_off);
+  EXPECT_GT(r_off / r_on, 1e2);
+}
+
+}  // namespace
+}  // namespace fetcam::dev

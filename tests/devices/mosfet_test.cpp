@@ -1,0 +1,198 @@
+#include "devices/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/tech14.hpp"
+#include "spice/dcsweep.hpp"
+#include "spice/elements.hpp"
+#include "spice/op.hpp"
+#include "spice/transient.hpp"
+
+namespace fetcam::dev {
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+using spice::Solution;
+using spice::VoltageSource;
+using spice::Waveform;
+
+// Single NFET with swept gate, drain at VDD.
+struct NfetTb {
+  Circuit ckt;
+  NodeId d, g;
+  VoltageSource* vg = nullptr;
+  Mosfet* m = nullptr;
+
+  explicit NfetTb(MosfetParams p = tech14::nfet(), double vdd = 0.8) {
+    d = ckt.node("d");
+    g = ckt.node("g");
+    ckt.emplace<VoltageSource>("VD", d, kGround, Waveform::dc(vdd));
+    vg = &ckt.emplace<VoltageSource>("VG", g, kGround, Waveform::dc(0.0));
+    m = &ckt.emplace<Mosfet>("M1", d, g, kGround, kGround, p);
+  }
+
+  double id_at(double vgs) {
+    vg->set_waveform(Waveform::dc(vgs));
+    const auto op = solve_op(ckt);
+    EXPECT_TRUE(op.converged);
+    const Solution sol(ckt, op.x);
+    return m->drain_current(sol);
+  }
+};
+
+TEST(Mosfet, NfetOnOffRatio) {
+  NfetTb tb;
+  const double i_on = tb.id_at(0.8);
+  const double i_off = tb.id_at(0.0);
+  EXPECT_GT(i_on, 1e-5);            // tens of uA on-current
+  EXPECT_LT(i_off, 1e-9);           // sub-nA leakage
+  EXPECT_GT(i_on / i_off, 1e4);     // healthy on/off for 14 nm
+}
+
+TEST(Mosfet, SubthresholdSlopeNear70mV) {
+  NfetTb tb;
+  const double i1 = tb.id_at(0.10);
+  const double i2 = tb.id_at(0.20);
+  const double ss = 0.1 / std::log10(i2 / i1);
+  EXPECT_GT(ss, 0.060);
+  EXPECT_LT(ss, 0.080);
+}
+
+TEST(Mosfet, PfetConductsWithLowGate) {
+  Circuit ckt;
+  const NodeId s = ckt.node("s");
+  const NodeId d = ckt.node("d");
+  const NodeId g = ckt.node("g");
+  ckt.emplace<VoltageSource>("VS", s, kGround, Waveform::dc(0.8));
+  ckt.emplace<VoltageSource>("VD", d, kGround, Waveform::dc(0.0));
+  auto& vg = ckt.emplace<VoltageSource>("VG", g, kGround, Waveform::dc(0.8));
+  auto& m = ckt.emplace<Mosfet>("M1", d, g, s, s, tech14::pfet());
+  // Gate high: off.
+  auto op = solve_op(ckt);
+  ASSERT_TRUE(op.converged);
+  const double i_off = std::abs(m.drain_current(Solution(ckt, op.x)));
+  // Gate low: on.
+  vg.set_waveform(Waveform::dc(0.0));
+  op = solve_op(ckt);
+  ASSERT_TRUE(op.converged);
+  const double i_on = std::abs(m.drain_current(Solution(ckt, op.x)));
+  EXPECT_GT(i_on / std::max(i_off, 1e-18), 1e4);
+}
+
+TEST(Mosfet, SymmetricConduction) {
+  // Swap drain/source bias: current magnitude identical, sign flipped.
+  auto current = [](double vd, double vs) {
+    Circuit ckt;
+    const NodeId d = ckt.node("d");
+    const NodeId s = ckt.node("s");
+    const NodeId g = ckt.node("g");
+    ckt.emplace<VoltageSource>("VD", d, kGround, Waveform::dc(vd));
+    ckt.emplace<VoltageSource>("VS", s, kGround, Waveform::dc(vs));
+    ckt.emplace<VoltageSource>("VG", g, kGround, Waveform::dc(0.8));
+    auto& m = ckt.emplace<Mosfet>("M1", d, g, s, kGround, tech14::nfet());
+    const auto op = solve_op(ckt);
+    EXPECT_TRUE(op.converged);
+    return m.drain_current(Solution(ckt, op.x));
+  };
+  const double fwd = current(0.4, 0.0);
+  const double rev = current(0.0, 0.4);
+  EXPECT_GT(fwd, 0.0);
+  EXPECT_LT(rev, 0.0);
+  EXPECT_NEAR(fwd, -rev, std::abs(fwd) * 0.1);
+}
+
+TEST(Mosfet, BodyBiasShiftsCurrent) {
+  // Forward back-bias (positive VB for NFET) raises the current.
+  Circuit ckt;
+  const NodeId d = ckt.node("d");
+  const NodeId g = ckt.node("g");
+  const NodeId b = ckt.node("b");
+  ckt.emplace<VoltageSource>("VD", d, kGround, Waveform::dc(0.8));
+  ckt.emplace<VoltageSource>("VG", g, kGround, Waveform::dc(0.3));
+  auto& vb = ckt.emplace<VoltageSource>("VB", b, kGround, Waveform::dc(0.0));
+  auto& m = ckt.emplace<Mosfet>("M1", d, g, kGround, b, tech14::nfet());
+  auto op = solve_op(ckt);
+  ASSERT_TRUE(op.converged);
+  const double i0 = m.drain_current(Solution(ckt, op.x));
+  vb.set_waveform(Waveform::dc(0.5));
+  op = solve_op(ckt);
+  ASSERT_TRUE(op.converged);
+  const double i1 = m.drain_current(Solution(ckt, op.x));
+  EXPECT_GT(i1, i0 * 1.5);
+}
+
+TEST(Mosfet, InverterTransfersCorrectly) {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.emplace<VoltageSource>("VDD", vdd, kGround, Waveform::dc(0.8));
+  auto& vin = ckt.emplace<VoltageSource>("VIN", in, kGround, Waveform::dc(0.0));
+  ckt.emplace<Mosfet>("MP", out, in, vdd, vdd, tech14::pfet(2.0));
+  ckt.emplace<Mosfet>("MN", out, in, kGround, kGround, tech14::nfet());
+  auto op = solve_op(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_GT(Solution(ckt, op.x).v(out), 0.75);  // input low -> output high
+  vin.set_waveform(Waveform::dc(0.8));
+  op = solve_op(ckt);
+  ASSERT_TRUE(op.converged);
+  EXPECT_LT(Solution(ckt, op.x).v(out), 0.05);  // input high -> output low
+}
+
+TEST(Mosfet, InverterTransientSwitches) {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.emplace<VoltageSource>("VDD", vdd, kGround, Waveform::dc(0.8));
+  ckt.emplace<VoltageSource>(
+      "VIN", in, kGround,
+      Waveform::pulse(0.0, 0.8, 50e-12, 10e-12, 10e-12, 300e-12));
+  ckt.emplace<Mosfet>("MP", out, in, vdd, vdd, tech14::pfet(2.0));
+  ckt.emplace<Mosfet>("MN", out, in, kGround, kGround, tech14::nfet());
+  ckt.emplace<spice::Capacitor>("CL", out, kGround, 0.5e-15);
+  spice::TransientOptions opts;
+  opts.t_stop = 600e-12;
+  opts.dt = 1e-12;
+  const auto res = run_transient(ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_GT(res.trace.voltage_at_time("out", 40e-12), 0.75);
+  EXPECT_LT(res.trace.voltage_at_time("out", 300e-12), 0.05);
+  EXPECT_GT(res.trace.voltage_at_time("out", 550e-12), 0.7);
+}
+
+TEST(Mosfet, DcSweepProducesMonotonicIdVg) {
+  NfetTb tb;
+  const auto sweep = dc_sweep(tb.ckt, *tb.vg, 0.0, 0.8, 40);
+  ASSERT_TRUE(sweep.ok);
+  // Drain source current = -branch current of VD.
+  const auto ivd = sweep.branch_current(tb.ckt, "VD");
+  double prev = -1.0;
+  for (std::size_t k = 0; k < ivd.size(); ++k) {
+    const double id = -ivd[k];
+    EXPECT_GE(id, prev - 1e-12) << "k=" << k;
+    prev = id;
+  }
+}
+
+TEST(Mosfet, OnResistanceOrdersOfMagnitude) {
+  NfetTb tb;
+  tb.vg->set_waveform(Waveform::dc(0.8));
+  auto op = solve_op(tb.ckt);
+  ASSERT_TRUE(op.converged);
+  const double r_on = tb.m->on_resistance(Solution(tb.ckt, op.x));
+  EXPECT_GT(r_on, 1e3);
+  EXPECT_LT(r_on, 1e5);
+  tb.vg->set_waveform(Waveform::dc(0.0));
+  op = solve_op(tb.ckt);
+  ASSERT_TRUE(op.converged);
+  const double r_off = tb.m->on_resistance(Solution(tb.ckt, op.x));
+  EXPECT_GT(r_off, 1e8);
+}
+
+}  // namespace
+}  // namespace fetcam::dev

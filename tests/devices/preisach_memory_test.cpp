@@ -1,0 +1,89 @@
+// Hysteresis-memory properties of the Preisach model: return-point memory,
+// wiping-out, and loop orientation — the classical Preisach axioms our
+// bounded-relaxation formulation must respect.
+#include <gtest/gtest.h>
+
+#include "devices/preisach.hpp"
+
+namespace fetcam::dev {
+namespace {
+
+FerroParams card() {
+  FerroParams p;
+  p.ps = 0.20;
+  p.vc = 1.6;
+  p.vslope = 0.133;
+  return p;
+}
+
+double sweep(const FerroParams& p, double pol, double v_from, double v_to,
+             int steps = 100) {
+  for (int k = 1; k <= steps; ++k) {
+    const double v = v_from + (v_to - v_from) * k / steps;
+    pol = advance_polarization(p, pol, v, 100.0 * p.tau0).p_end;
+  }
+  return pol;
+}
+
+TEST(PreisachMemory, ReturnPointMemory) {
+  // Excursion to a sub-switching voltage and back, repeated: the state at
+  // the return point must be reproducible (no drift from cycling within
+  // the hysteretic band).
+  const auto p = card();
+  double pol = sweep(p, -p.ps, 0.0, 0.9 * p.vc);
+  const double at_peak = pol;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    pol = sweep(p, pol, 0.9 * p.vc, 0.2 * p.vc);
+    pol = sweep(p, pol, 0.2 * p.vc, 0.9 * p.vc);
+    EXPECT_NEAR(pol, at_peak, 1e-9 * p.ps) << "cycle " << cycle;
+  }
+}
+
+TEST(PreisachMemory, WipingOut) {
+  // A larger excursion erases the memory of smaller ones: after reaching
+  // V_hi, the state must not depend on earlier sub-V_hi wiggles.
+  const auto p = card();
+  double direct = sweep(p, -p.ps, 0.0, 1.2 * p.vc);
+  double wiggled = -p.ps;
+  wiggled = sweep(p, wiggled, 0.0, 0.5 * p.vc);
+  wiggled = sweep(p, wiggled, 0.5 * p.vc, 0.1 * p.vc);
+  wiggled = sweep(p, wiggled, 0.1 * p.vc, 0.8 * p.vc);
+  wiggled = sweep(p, wiggled, 0.8 * p.vc, 1.2 * p.vc);
+  EXPECT_NEAR(wiggled, direct, 1e-6 * p.ps);
+}
+
+TEST(PreisachMemory, MajorLoopOrientation) {
+  // Counterclockwise loop: at the same voltage, the descending branch
+  // carries more polarization than the ascending one.
+  const auto p = card();
+  double up = sweep(p, -p.ps, -p.vw(), 0.0);    // ascending through 0
+  double down = sweep(p, p.ps, p.vw(), 0.0);    // descending through 0
+  EXPECT_GT(down, up);
+  EXPECT_GT(down, 0.9 * p.ps);   // remanence
+  EXPECT_LT(up, -0.9 * p.ps);
+}
+
+TEST(PreisachMemory, StateBoundedBySaturation) {
+  const auto p = card();
+  double pol = -p.ps;
+  // Arbitrary violent drive sequence: polarization must stay in [-Ps, Ps].
+  const double vs[] = {3.0, -5.0, 1.9, -0.3, 2.5, -2.5, 10.0, -10.0};
+  for (const double v : vs) {
+    pol = advance_polarization(p, pol, v, 1e-6).p_end;
+    EXPECT_GE(pol, -p.ps * 1.0000001);
+    EXPECT_LE(pol, p.ps * 1.0000001);
+  }
+}
+
+TEST(PreisachMemory, SymmetricCoercivity) {
+  // The loop is odd-symmetric: sweeping up from -Ps crosses P = 0 at +Vc;
+  // sweeping down from +Ps crosses at -Vc.
+  const auto p = card();
+  double up = sweep(p, -p.ps, 0.0, p.vc, 400);
+  EXPECT_NEAR(up, 0.0, 0.02 * p.ps);
+  double down = sweep(p, p.ps, 0.0, -p.vc, 400);
+  EXPECT_NEAR(down, 0.0, 0.02 * p.ps);
+}
+
+}  // namespace
+}  // namespace fetcam::dev

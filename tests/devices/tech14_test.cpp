@@ -1,0 +1,84 @@
+#include "devices/tech14.hpp"
+
+#include <gtest/gtest.h>
+
+#include "devices/fefet.hpp"
+#include "spice/elements.hpp"
+#include "spice/op.hpp"
+
+namespace fetcam::dev {
+namespace {
+
+TEST(Tech14, CardGeometry) {
+  const auto n = tech14::nfet(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(n.w, 100e-9);
+  EXPECT_DOUBLE_EQ(n.l, 60e-9);
+  EXPECT_EQ(n.polarity, Polarity::kN);
+  const auto p = tech14::pfet();
+  EXPECT_EQ(p.polarity, Polarity::kP);
+  EXPECT_LT(p.u0, tech14::nfet().u0);
+}
+
+TEST(Tech14, DerivedCapacitancesScaleWithGeometry) {
+  const auto small = tech14::nfet(1.0, 1.0);
+  const auto wide = tech14::nfet(4.0, 1.0);
+  EXPECT_NEAR(wide.cgate() / small.cgate(), 4.0, 1e-9);
+  EXPECT_NEAR(wide.cjunction() / small.cjunction(), 4.0, 1e-9);
+  EXPECT_GT(small.cgs(), small.cgd());  // drain side is overlap-only
+}
+
+TEST(Tech14, TemperatureRetargeting) {
+  const auto cold = tech14::at_temperature(tech14::nfet(), 250.0);
+  const auto nom = tech14::nfet();
+  const auto hot = tech14::at_temperature(tech14::nfet(), 400.0);
+  // Thermal voltage tracks kT/q.
+  EXPECT_LT(cold.ut, nom.ut);
+  EXPECT_GT(hot.ut, nom.ut);
+  EXPECT_NEAR(hot.ut / nom.ut, 400.0 / 300.0, 1e-9);
+  // Vth falls and mobility degrades with temperature.
+  EXPECT_GT(cold.vth0, nom.vth0);
+  EXPECT_LT(hot.vth0, nom.vth0);
+  EXPECT_GT(cold.u0, nom.u0);
+  EXPECT_LT(hot.u0, nom.u0);
+  // 300 K is a fixed point.
+  const auto same = tech14::at_temperature(tech14::nfet(), 300.0);
+  EXPECT_DOUBLE_EQ(same.vth0, nom.vth0);
+  EXPECT_DOUBLE_EQ(same.ut, nom.ut);
+}
+
+TEST(Tech14, HotDeviceLeaksMoreDrivesLess) {
+  // Simulate on/off currents at 300 K vs 400 K.
+  const auto current = [](const MosfetParams& card, double vg) {
+    spice::Circuit ckt;
+    const auto d = ckt.node("d");
+    const auto g = ckt.node("g");
+    ckt.emplace<spice::VoltageSource>("VD", d, spice::kGround,
+                                      spice::Waveform::dc(0.8));
+    ckt.emplace<spice::VoltageSource>("VG", g, spice::kGround,
+                                      spice::Waveform::dc(vg));
+    auto& m = ckt.emplace<Mosfet>("M1", d, g, spice::kGround, spice::kGround,
+                                  card);
+    const auto op = solve_op(ckt);
+    EXPECT_TRUE(op.converged);
+    return m.drain_current(spice::Solution(ckt, op.x));
+  };
+  const auto nom = tech14::nfet();
+  const auto hot = tech14::at_temperature(tech14::nfet(), 400.0);
+  EXPECT_GT(current(hot, 0.0), current(nom, 0.0) * 10.0);  // leakage up
+  EXPECT_LT(current(hot, 0.8), current(nom, 0.8));         // drive down
+}
+
+TEST(Tech14, FefetTemperatureRetargeting) {
+  const auto nom = dg_fefet_params();
+  const auto hot = tech14::fefet_at_temperature(dg_fefet_params(), 400.0);
+  EXPECT_LT(hot.fe.vc, nom.fe.vc);       // coercivity softens
+  EXPECT_LT(hot.mos.vth0, nom.mos.vth0); // channel Vth rolls off
+  // The memory window definition (mw_fg) is a card constant; the write
+  // voltage needed for MVT shifts with the softer coercivity.
+  EXPECT_LT(tech14::fefet_at_temperature(dg_fefet_params(), 400.0)
+                .write_voltage_for_vth(0.61),
+            nom.write_voltage_for_vth(0.61));
+}
+
+}  // namespace
+}  // namespace fetcam::dev

@@ -1,0 +1,96 @@
+// The closed-form estimator and the SPICE harnesses must agree within a
+// factor of ~2 — the mutual cross-check described in analytic.hpp.
+#include <gtest/gtest.h>
+
+#include "eval/analytic.hpp"
+#include "eval/fom.hpp"
+
+namespace fetcam::eval {
+namespace {
+
+using arch::TcamDesign;
+
+TEST(Analytic, ComponentsArePhysical) {
+  for (const auto d : {TcamDesign::kCmos16T, TcamDesign::k2SgFefet,
+                       TcamDesign::k2DgFefet, TcamDesign::k1p5SgFe,
+                       TcamDesign::k1p5DgFe}) {
+    const auto est = analytic_search_estimate(d, 64);
+    EXPECT_GT(est.c_ml, 1e-16) << arch::design_name(d);
+    EXPECT_LT(est.c_ml, 1e-13) << arch::design_name(d);
+    EXPECT_GT(est.r_discharge, 1e3) << arch::design_name(d);
+    EXPECT_GT(est.latency, 10e-12) << arch::design_name(d);
+    EXPECT_LT(est.latency, 10e-9) << arch::design_name(d);
+    EXPECT_GT(est.e_per_cell, 1e-17) << arch::design_name(d);
+  }
+}
+
+TEST(Analytic, MlCapScalesLinearlyWithWordLength) {
+  const auto a = analytic_search_estimate(TcamDesign::k2SgFefet, 32);
+  const auto b = analytic_search_estimate(TcamDesign::k2SgFefet, 128);
+  EXPECT_NEAR(b.c_ml / a.c_ml, 4.0, 0.3);
+  EXPECT_GT(b.latency, a.latency);
+}
+
+TEST(Analytic, ReproducesDesignOrdering) {
+  const auto sg2 = analytic_search_estimate(TcamDesign::k2SgFefet, 64);
+  const auto dg2 = analytic_search_estimate(TcamDesign::k2DgFefet, 64);
+  const auto sg15 = analytic_search_estimate(TcamDesign::k1p5SgFe, 64);
+  EXPECT_LT(sg2.latency, dg2.latency);
+  EXPECT_LT(sg15.latency, sg2.latency);
+  // 1.5T1Fe ML is the lightest (1 small NMOS per 2 cells).
+  EXPECT_LT(sg15.c_ml, sg2.c_ml);
+}
+
+TEST(Analytic, WriteEnergyRatiosAndCrossCheck) {
+  const double sg2 = analytic_write_energy(TcamDesign::k2SgFefet);
+  const double dg2 = analytic_write_energy(TcamDesign::k2DgFefet);
+  const double sg15 = analytic_write_energy(TcamDesign::k1p5SgFe);
+  const double dg15 = analytic_write_energy(TcamDesign::k1p5DgFe);
+  EXPECT_DOUBLE_EQ(analytic_write_energy(TcamDesign::kCmos16T), 0.0);
+  // Paper Table IV ratios: 1x / ~2x / 2x / ~4x.
+  EXPECT_NEAR(sg2 / dg2, 2.0, 0.5);
+  EXPECT_NEAR(sg2 / sg15, 2.0, 1e-9);
+  EXPECT_NEAR(sg2 / dg15, 4.0, 1.0);
+  // Cross-check against the transient write measurement.
+  FomOptions opts;
+  opts.n_bits = 8;
+  for (const auto d : {TcamDesign::k2SgFefet, TcamDesign::k2DgFefet,
+                       TcamDesign::k1p5SgFe, TcamDesign::k1p5DgFe}) {
+    const auto measured = measure_write_energy(d, opts);
+    ASSERT_TRUE(measured.has_value()) << arch::design_name(d);
+    const double ratio = analytic_write_energy(d) / *measured;
+    EXPECT_GT(ratio, 0.3) << arch::design_name(d);
+    EXPECT_LT(ratio, 3.0) << arch::design_name(d);
+  }
+}
+
+class AnalyticVsSpiceTest : public ::testing::TestWithParam<TcamDesign> {};
+
+TEST_P(AnalyticVsSpiceTest, LatencyWithinFactorOfTwo) {
+  FomOptions opts;
+  opts.n_bits = 32;
+  const auto spice = measure_worst_latency(GetParam(), opts);
+  ASSERT_TRUE(spice.ok) << spice.error;
+  const auto est = analytic_search_estimate(GetParam(), 32);
+  const double ratio = est.latency / spice.latency_full;
+  EXPECT_GT(ratio, 0.4) << "analytic " << est.latency << " vs spice "
+                        << spice.latency_full;
+  EXPECT_LT(ratio, 2.5) << "analytic " << est.latency << " vs spice "
+                        << spice.latency_full;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, AnalyticVsSpiceTest,
+    ::testing::Values(TcamDesign::kCmos16T, TcamDesign::k2SgFefet,
+                      TcamDesign::k2DgFefet, TcamDesign::k1p5SgFe,
+                      TcamDesign::k1p5DgFe),
+    [](const ::testing::TestParamInfo<TcamDesign>& info) {
+      std::string n = arch::design_name(info.param);
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace fetcam::eval

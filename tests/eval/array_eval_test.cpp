@@ -1,0 +1,102 @@
+#include "eval/array_eval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetcam::eval {
+namespace {
+
+using arch::TcamDesign;
+
+TEST(ArrayDatasheet, BasicConsistency) {
+  const auto d = array_datasheet(TcamDesign::k1p5DgFe);
+  EXPECT_EQ(d.rows, 64);
+  EXPECT_EQ(d.cols, 64);
+  EXPECT_DOUBLE_EQ(d.capacity_bits, 4096.0);
+  EXPECT_NEAR(d.total_area_um2, d.cell_area_um2 + d.driver_area_um2, 1e-9);
+  EXPECT_NEAR(d.area_per_bit_um2, d.total_area_um2 / 4096.0, 1e-12);
+  EXPECT_GT(d.searches_per_second, 1e8);
+  EXPECT_GT(d.search_power_uw, 0.0);
+}
+
+TEST(ArrayDatasheet, SharingOnlyAppliesTo1p5Designs) {
+  DatasheetOptions opts;
+  opts.shared_drivers = true;
+  EXPECT_TRUE(array_datasheet(TcamDesign::k1p5DgFe, opts).drivers_shared);
+  EXPECT_TRUE(array_datasheet(TcamDesign::k1p5SgFe, opts).drivers_shared);
+  EXPECT_FALSE(array_datasheet(TcamDesign::k2SgFefet, opts).drivers_shared);
+  EXPECT_FALSE(array_datasheet(TcamDesign::kCmos16T, opts).drivers_shared);
+}
+
+TEST(ArrayDatasheet, SharingHalvesDriverAreaAndLeakage) {
+  DatasheetOptions on;
+  DatasheetOptions off;
+  off.shared_drivers = false;
+  const auto a = array_datasheet(TcamDesign::k1p5DgFe, on);
+  const auto b = array_datasheet(TcamDesign::k1p5DgFe, off);
+  EXPECT_NEAR(a.driver_area_um2 / b.driver_area_um2, 0.5, 0.02);
+  EXPECT_NEAR(a.driver_leakage_nw / b.driver_leakage_nw, 0.5, 0.02);
+  EXPECT_DOUBLE_EQ(a.cell_area_um2, b.cell_area_um2);
+}
+
+TEST(ArrayDatasheet, FefetDesignsBeat16tAtMacroScale) {
+  // At 64x64 the peripheral drivers dominate and scramble the per-bit
+  // ordering (a real effect — and the argument for larger subarrays); at
+  // 256x256 the cell array dominates and every FeFET design beats 16T.
+  DatasheetOptions opts;
+  opts.rows = 256;
+  opts.cols = 256;
+  const auto a16 = array_datasheet(TcamDesign::kCmos16T, opts);
+  for (const auto d : {TcamDesign::k2SgFefet, TcamDesign::k2DgFefet,
+                       TcamDesign::k1p5SgFe, TcamDesign::k1p5DgFe}) {
+    EXPECT_LT(array_datasheet(d, opts).area_per_bit_um2,
+              a16.area_per_bit_um2)
+        << arch::design_name(d);
+  }
+  // And the cell-area champion keeps its crown once cells dominate.
+  EXPECT_LT(array_datasheet(TcamDesign::k2SgFefet, opts).area_per_bit_um2,
+            array_datasheet(TcamDesign::k2DgFefet, opts).area_per_bit_um2);
+}
+
+TEST(ArrayDatasheet, UnsharedHvDriversEraseTheAreaAdvantage) {
+  // The architectural point of Fig. 6: WITHOUT sharing, the 1.5T1Fe's
+  // 2M + N HV driver lines eat most of its cell-area win over 16T CMOS.
+  DatasheetOptions off;
+  off.shared_drivers = false;
+  const auto with = array_datasheet(TcamDesign::k1p5SgFe);
+  const auto without = array_datasheet(TcamDesign::k1p5SgFe, off);
+  const auto a16 = array_datasheet(TcamDesign::kCmos16T, off);
+  EXPECT_LT(with.area_per_bit_um2, without.area_per_bit_um2);
+  const double margin_with = a16.area_per_bit_um2 - with.area_per_bit_um2;
+  const double margin_without =
+      a16.area_per_bit_um2 - without.area_per_bit_um2;
+  EXPECT_GT(margin_with, margin_without);
+}
+
+TEST(ArrayDatasheet, MissRateLowersAverageEnergy) {
+  DatasheetOptions high_miss;
+  high_miss.step1_miss_rate = 0.95;
+  DatasheetOptions low_miss;
+  low_miss.step1_miss_rate = 0.5;
+  const auto a = array_datasheet(TcamDesign::k1p5DgFe, high_miss);
+  const auto b = array_datasheet(TcamDesign::k1p5DgFe, low_miss);
+  EXPECT_LT(a.search_energy_per_bit_fj, b.search_energy_per_bit_fj);
+  // Single-step designs are insensitive to the miss rate.
+  const auto c = array_datasheet(TcamDesign::k2SgFefet, high_miss);
+  const auto d = array_datasheet(TcamDesign::k2SgFefet, low_miss);
+  EXPECT_DOUBLE_EQ(c.search_energy_per_bit_fj, d.search_energy_per_bit_fj);
+}
+
+TEST(ArrayDatasheet, RendersAllDesigns) {
+  std::vector<ArrayDatasheet> sheets;
+  for (const auto d : {TcamDesign::kCmos16T, TcamDesign::k2SgFefet,
+                       TcamDesign::k1p5DgFe}) {
+    sheets.push_back(array_datasheet(d));
+  }
+  const auto text = render_datasheets(sheets);
+  EXPECT_NE(text.find("area/bit"), std::string::npos);
+  EXPECT_NE(text.find("1.5T1DG-Fe"), std::string::npos);
+  EXPECT_NE(text.find("N.A."), std::string::npos);  // 16T write energy
+}
+
+}  // namespace
+}  // namespace fetcam::eval

@@ -1,0 +1,55 @@
+#include "eval/disturb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetcam::eval {
+namespace {
+
+TEST(ReadDisturb, SgDriftGrowsWithReadVoltage) {
+  const auto res = read_disturb_comparison();
+  ASSERT_GE(res.sg_fg_read.size(), 3u);
+  for (std::size_t k = 1; k < res.sg_fg_read.size(); ++k) {
+    EXPECT_GE(res.sg_fg_read[k].p_drift_norm,
+              res.sg_fg_read[k - 1].p_drift_norm - 1e-12)
+        << "ratio index " << k;
+  }
+  // Near-coercive stress disturbs visibly.
+  EXPECT_GT(res.sg_fg_read.back().p_drift_norm, 0.01);
+}
+
+TEST(ReadDisturb, DgBgReadIsDisturbFree) {
+  const auto res = read_disturb_comparison();
+  // The 2 V select never reaches the FE stack: zero accumulated drift —
+  // the paper's "disturb-free read".
+  EXPECT_LT(res.dg_bg_read.p_drift_norm, 1e-6);
+  EXPECT_LT(res.dg_bg_read.vth_drift, 1e-6);
+}
+
+TEST(ReadDisturb, LowVoltageSgReadIsSafe) {
+  const auto res = read_disturb_comparison();
+  // At 30 % of V_c (well below the paper's operating points) the SG read is
+  // still effectively disturb-free.
+  EXPECT_LT(res.sg_fg_read.front().p_drift_norm, 1e-3);
+}
+
+TEST(ReadDisturb, VthDriftTracksPolarization) {
+  const auto res = read_disturb_comparison();
+  for (const auto& pt : res.sg_fg_read) {
+    EXPECT_NEAR(pt.vth_drift, pt.p_drift_norm * 1.8 / 2.0, 1e-9);
+  }
+}
+
+TEST(ReadDisturb, MoreCyclesMoreDrift) {
+  DisturbParams few;
+  few.cycles = 1000;
+  few.stress_ratios = {0.9};
+  DisturbParams many;
+  many.cycles = 1000000;
+  many.stress_ratios = {0.9};
+  const auto a = read_disturb_comparison(few);
+  const auto b = read_disturb_comparison(many);
+  EXPECT_LE(a.sg_fg_read[0].p_drift_norm, b.sg_fg_read[0].p_drift_norm);
+}
+
+}  // namespace
+}  // namespace fetcam::eval

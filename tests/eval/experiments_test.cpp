@@ -1,0 +1,127 @@
+// Experiment-runner integration tests: the figure/table generators must
+// reproduce the paper's headline device and circuit facts.
+#include <gtest/gtest.h>
+
+#include "eval/experiments.hpp"
+
+namespace fetcam::eval {
+namespace {
+
+TEST(Fig1, SgMemoryWindowIs1p8V) {
+  const auto c = fig1_sg_fg_read();
+  ASSERT_TRUE(c.ok);
+  EXPECT_NEAR(c.memory_window, 1.8, 0.1);
+  EXPECT_GT(c.on_off_ratio, 1e3);
+}
+
+TEST(Fig1, DgBgMemoryWindowIs2p7V) {
+  const auto c = fig1_dg_bg_read();
+  ASSERT_TRUE(c.ok);
+  EXPECT_NEAR(c.memory_window, 2.7, 0.2);
+  // Paper: "10^4 level" ON/OFF at the select point.
+  EXPECT_GT(c.on_off_ratio, 1e3);
+  EXPECT_LT(c.on_off_ratio, 1e7);
+}
+
+TEST(Fig1, CurvesAreMonotonicallyIncreasing) {
+  for (const auto& c : {fig1_sg_fg_read(), fig1_dg_bg_read()}) {
+    ASSERT_TRUE(c.ok);
+    for (std::size_t k = 1; k < c.vg.size(); ++k) {
+      EXPECT_GE(c.id_lvt[k], c.id_lvt[k - 1] - 1e-12) << c.label;
+      EXPECT_GE(c.id_hvt[k], c.id_hvt[k - 1] - 1e-12) << c.label;
+    }
+    // LVT conducts more than HVT at every gate voltage.
+    for (std::size_t k = 0; k < c.vg.size(); ++k) {
+      EXPECT_GE(c.id_lvt[k], c.id_hvt[k] - 1e-12) << c.label;
+    }
+  }
+}
+
+TEST(Fig4, ThreeCasesResolveCorrectly) {
+  const auto cases = fig4_waveforms(tcam::Flavor::kDg);
+  ASSERT_EQ(cases.size(), 3u);
+  for (const auto& c : cases) {
+    ASSERT_TRUE(c.ok) << c.label;
+    EXPECT_EQ(c.matched, c.label == "match") << c.label;
+    ASSERT_FALSE(c.t.empty());
+    ASSERT_EQ(c.sel_a.size(), c.t.size());
+    ASSERT_EQ(c.ml.size(), c.t.size());
+  }
+}
+
+TEST(Fig4, EarlyTerminationKeepsSelBGrounded) {
+  const auto cases = fig4_waveforms(tcam::Flavor::kDg);
+  const auto& miss1 = cases[0];
+  ASSERT_TRUE(miss1.ok);
+  double selb_max = 0.0;
+  for (const double v : miss1.sel_b) selb_max = std::max(selb_max, v);
+  EXPECT_LT(selb_max, 0.1);  // paper Fig. 4(a): SeL_b never raised
+  // The step-2 miss case does raise SeL_b.
+  const auto& miss2 = cases[1];
+  double selb2_max = 0.0;
+  for (const double v : miss2.sel_b) selb2_max = std::max(selb2_max, v);
+  EXPECT_GT(selb2_max, 1.5);
+}
+
+TEST(Fig4, MlDischargeTiming) {
+  const auto cases = fig4_waveforms(tcam::Flavor::kDg);
+  const auto& miss1 = cases[0];
+  const auto& miss2 = cases[1];
+  const auto& match = cases[2];
+  ASSERT_TRUE(miss1.ok && miss2.ok && match.ok);
+  // The ML is precharged from zero; evaluate only after the search starts.
+  const double t_eval = 300e-12;
+  // Step-1 miss discharges earlier than step-2 miss.
+  const auto fall_time = [&](const Fig4Case& c) {
+    for (std::size_t k = 0; k < c.t.size(); ++k) {
+      if (c.t[k] > t_eval && c.ml[k] < 0.2) return c.t[k];
+    }
+    return 1e9;
+  };
+  EXPECT_LT(fall_time(miss1), fall_time(miss2));
+  // Match: ML never falls after precharge.
+  double ml_min = 1e9;
+  for (std::size_t k = 0; k < match.t.size(); ++k) {
+    if (match.t[k] > t_eval) ml_min = std::min(ml_min, match.ml[k]);
+  }
+  EXPECT_GT(ml_min, 0.4);
+}
+
+TEST(OperationTables, AllDesignsPassAllChecks) {
+  for (const auto d :
+       {arch::TcamDesign::k2DgFefet, arch::TcamDesign::k1p5DgFe,
+        arch::TcamDesign::k1p5SgFe}) {
+    const auto checks = verify_operation_table(d);
+    EXPECT_GE(checks.size(), 6u);
+    for (const auto& c : checks) {
+      EXPECT_TRUE(c.passed)
+          << arch::design_name(d) << ": " << c.operation << " " << c.detail;
+    }
+  }
+}
+
+TEST(Fig7, SmallSweepTrends) {
+  // Two points suffice to check the latency-growth trend cheaply.
+  const auto pts = fig7_sweep(arch::TcamDesign::k1p5SgFe, {8, 32});
+  ASSERT_EQ(pts.size(), 2u);
+  ASSERT_TRUE(pts[0].ok && pts[1].ok);
+  EXPECT_GT(pts[1].latency_full_ps, pts[0].latency_full_ps);
+  EXPECT_GT(pts[0].energy_1step_fj, 0.0);
+}
+
+TEST(Table4, RendersEveryRow) {
+  // Use a light word so the full five-design evaluation stays quick.
+  FomOptions opts;
+  opts.n_bits = 8;
+  const auto foms = table4(opts);
+  ASSERT_EQ(foms.size(), 5u);
+  for (const auto& f : foms) EXPECT_TRUE(f.ok) << f.name << ": " << f.error;
+  const auto text = render_table4(foms);
+  EXPECT_NE(text.find("1.5T1DG-Fe"), std::string::npos);
+  EXPECT_NE(text.find("Write voltage"), std::string::npos);
+  EXPECT_NE(text.find("Search latency"), std::string::npos);
+  EXPECT_NE(text.find("N.A."), std::string::npos);  // 16T FE thickness
+}
+
+}  // namespace
+}  // namespace fetcam::eval

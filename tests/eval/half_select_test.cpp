@@ -1,0 +1,53 @@
+#include "eval/half_select.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetcam::eval {
+namespace {
+
+TEST(HalfSelect, DgNaiveRowGatingDisturbsAtCoerciveVoltage) {
+  // The architecture gap: with only row-gated Wr/SL, an inhibited DG cell
+  // sees Vw - VDD/2 = 1.6 V = exactly V_c across its ferroelectric during
+  // program pulses — it disturbs within a handful of neighbouring writes.
+  const auto pts = half_select_study(/*double_gate=*/true);
+  ASSERT_EQ(pts.size(), 3u);
+  const auto& naive = pts[0];
+  EXPECT_NEAR(naive.v_fe_program, 1.6, 1e-9);
+  EXPECT_FALSE(naive.survives_budget);
+  EXPECT_LT(naive.writes_to_fail, 1000);
+}
+
+TEST(HalfSelect, RaisedSlBuysOrdersOfMagnitude) {
+  const auto pts = half_select_study(true);
+  const auto& naive = pts[0];
+  const auto& raised = pts[1];
+  EXPECT_LT(raised.v_fe_program, naive.v_fe_program);
+  EXPECT_GT(raised.writes_to_fail, 100 * naive.writes_to_fail);
+}
+
+TEST(HalfSelect, VwThirdsIsEffectivelyDisturbFree) {
+  for (const bool dg : {true, false}) {
+    const auto pts = half_select_study(dg);
+    const auto& thirds = pts[2];
+    EXPECT_TRUE(thirds.survives_budget) << (dg ? "DG" : "SG");
+    EXPECT_LT(thirds.vth_drift_1k, 1e-3);
+  }
+}
+
+TEST(HalfSelect, SgHasMoreNaiveHeadroom) {
+  // SG: Vw - VDD/2 = 3.6 V vs Vc = 3.2 V — also above coercive!  Both
+  // flavours need an inhibit scheme; neither survives naive gating.
+  const auto sg = half_select_study(false);
+  EXPECT_NEAR(sg[0].v_fe_program, 3.6, 1e-9);
+  EXPECT_FALSE(sg[0].survives_budget);
+}
+
+TEST(HalfSelect, DriftMonotoneInVfe) {
+  const auto pts = half_select_study(true);
+  // Lower inhibited v_FE => slower failure.
+  EXPECT_LE(pts[2].vth_drift_1k, pts[1].vth_drift_1k);
+  EXPECT_LE(pts[1].vth_drift_1k, pts[0].vth_drift_1k);
+}
+
+}  // namespace
+}  // namespace fetcam::eval

@@ -1,0 +1,41 @@
+#include "eval/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetcam::eval {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({"wide-cell", "3"});
+  const std::string s = t.str();
+  // Every line has the same column start for the second column.
+  const auto lines_start = s.find('\n');
+  ASSERT_NE(lines_start, std::string::npos);
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("wide-cell"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsMissingCells) {
+  TextTable t({"x", "y", "z"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(Format, Engineering) {
+  EXPECT_EQ(format_eng(231.4, "ps"), "231 ps");
+  EXPECT_EQ(format_eng(0.41, "fJ"), "0.41 fJ");
+  EXPECT_EQ(format_eng(1.8, "V", 2), "1.8 V");
+  EXPECT_EQ(format_eng(5.0, ""), "5");
+}
+
+TEST(Format, Ratio) {
+  EXPECT_EQ(format_ratio(0.53, 0.14), "3.8x");
+  EXPECT_EQ(format_ratio(1.0, 0.0), "-");
+  EXPECT_EQ(format_ratio(0.286, 0.095, 3), "3.01x");
+}
+
+}  // namespace
+}  // namespace fetcam::eval

@@ -1,0 +1,88 @@
+#include "eval/trim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fetcam::eval {
+namespace {
+
+TEST(Trim, NominalDeviceConvergesInOnePulse) {
+  const auto dev_card = dev::dg_fefet_params();
+  const auto res = trim_mvt(dev_card, 0.605);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LE(res.pulses, 2);
+  EXPECT_NEAR(res.final_vth, 0.605, 0.021);
+}
+
+TEST(Trim, WindowRelativePlacementTracksTheDeviceShift) {
+  // A +80 mV threshold-shifted device: the window-relative policy places X
+  // at the SAME fractional window position, i.e. ~80 mV above nominal.
+  auto dev_card = dev::dg_fefet_params();
+  dev_card.mos.vth0 += 0.08;
+  const auto res = trim_mvt(dev_card, 0.605);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.final_vth, 0.605 + 0.08, 0.025);
+  EXPECT_LE(res.pulses, 16);
+}
+
+TEST(Trim, AbsolutePlacementHitsTheAbsoluteTarget) {
+  auto dev_card = dev::dg_fefet_params();
+  dev_card.mos.vth0 += 0.08;
+  TrimParams tp;
+  tp.window_relative = false;
+  const auto res = trim_mvt(dev_card, 0.605, tp);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.final_vth, 0.605, 0.021);
+  // The controller had to move V_m off nominal to compensate the shift.
+  const double vm_nom = dev::dg_fefet_params().write_voltage_for_vth(0.605);
+  EXPECT_GT(std::abs(res.final_vm - vm_nom), 0.01);
+}
+
+TEST(Trim, ShrunkenWindowDeviceConverges) {
+  auto dev_card = dev::dg_fefet_params();
+  dev_card.mw_fg *= 0.85;
+  const auto res = trim_mvt(dev_card, 0.605);
+  ASSERT_TRUE(res.converged);
+  // Window-relative: the achieved level sits at the nominal fraction of the
+  // SHRUNKEN window.
+  EXPECT_GT(res.final_vth, dev_card.vth_for(1.0));
+  EXPECT_LT(res.final_vth, dev_card.vth_for(-1.0));
+}
+
+TEST(Trim, UnreachableAbsoluteTargetFailsHonestly) {
+  auto dev_card = dev::dg_fefet_params();
+  dev_card.mos.vth0 += 0.5;  // window no longer covers the nominal target
+  TrimParams tp;
+  tp.window_relative = false;
+  const auto res = trim_mvt(dev_card, 0.605, tp);
+  EXPECT_FALSE(res.converged);
+}
+
+TEST(Trim, ImprovesVariabilityYield) {
+  VariabilityParams vp;
+  vp.samples = 120;
+  const auto open = analyze_variability(tcam::Flavor::kDg, vp);
+  const auto closed = analyze_variability_trimmed(tcam::Flavor::kDg, vp);
+  ASSERT_TRUE(open.ok && closed.ok);
+  EXPECT_GT(closed.cell_yield, open.cell_yield);
+  // The X-state corners improve (placement error removed).
+  for (std::size_t c = 0; c < open.corners.size(); ++c) {
+    if (open.corners[c].stored == arch::Ternary::kX) {
+      EXPECT_LE(closed.corners[c].failures, open.corners[c].failures)
+          << "corner " << c;
+    }
+  }
+}
+
+TEST(Trim, SgFlavorAlsoImproves) {
+  VariabilityParams vp;
+  vp.samples = 80;
+  const auto open = analyze_variability(tcam::Flavor::kSg, vp);
+  const auto closed = analyze_variability_trimmed(tcam::Flavor::kSg, vp);
+  ASSERT_TRUE(open.ok && closed.ok);
+  EXPECT_GE(closed.cell_yield, open.cell_yield);
+}
+
+}  // namespace
+}  // namespace fetcam::eval

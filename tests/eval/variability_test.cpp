@@ -1,0 +1,83 @@
+#include "eval/variability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetcam::eval {
+namespace {
+
+VariabilityParams quick(int samples, double scale) {
+  VariabilityParams p;
+  p.samples = samples;
+  p.sigma_fefet_vth *= scale;
+  p.sigma_ps_rel *= scale;
+  p.sigma_mos_vth *= scale;
+  p.sigma_vc_rel *= scale;
+  return p;
+}
+
+TEST(Variability, NominalDesignHasPositiveMargins) {
+  // Zero variation: every corner must decide with margin (the calibrated
+  // design point), i.e. 100 % yield.
+  for (const auto flavor : {tcam::Flavor::kSg, tcam::Flavor::kDg}) {
+    const auto rep = analyze_variability(flavor, quick(3, 0.0));
+    ASSERT_TRUE(rep.ok);
+    EXPECT_DOUBLE_EQ(rep.cell_yield, 1.0)
+        << (flavor == tcam::Flavor::kSg ? "SG" : "DG");
+    for (const auto& c : rep.corners) {
+      EXPECT_GT(c.worst_margin, 0.0)
+          << "stored " << arch::to_char(c.stored) << " q" << c.query;
+    }
+  }
+}
+
+TEST(Variability, YieldDegradesWithSigma) {
+  const auto mild = analyze_variability(tcam::Flavor::kDg, quick(80, 0.5));
+  const auto harsh = analyze_variability(tcam::Flavor::kDg, quick(80, 3.0));
+  ASSERT_TRUE(mild.ok && harsh.ok);
+  EXPECT_GE(mild.cell_yield, harsh.cell_yield);
+  // 3x nominal sigma must break the thin DG margins at least sometimes.
+  EXPECT_LT(harsh.cell_yield, 1.0);
+}
+
+TEST(Variability, SgHasWiderMarginsThanDg) {
+  // The DG divider window is pinched by the (1 + k) source degeneration
+  // (EXPERIMENTS.md deviation 1): at equal sigma its worst corner margin is
+  // smaller than the SG flavour's.  Coercive-voltage (write-path) noise is
+  // excluded here: it maps to LARGER absolute Vth error on the SG flavour
+  // (wider window x same relative branch error) and would mask the
+  // divider-window comparison this test makes.
+  auto params = quick(60, 1.0);
+  params.sigma_vc_rel = 0.0;
+  const auto sg = analyze_variability(tcam::Flavor::kSg, params);
+  const auto dg = analyze_variability(tcam::Flavor::kDg, params);
+  ASSERT_TRUE(sg.ok && dg.ok);
+  double sg_worst = 1e9, dg_worst = 1e9;
+  for (const auto& c : sg.corners) sg_worst = std::min(sg_worst, c.worst_margin);
+  for (const auto& c : dg.corners) dg_worst = std::min(dg_worst, c.worst_margin);
+  EXPECT_GE(sg.cell_yield, dg.cell_yield);
+  EXPECT_GT(sg_worst, dg_worst - 0.02);
+}
+
+TEST(Variability, CornerBookkeeping) {
+  const auto rep = analyze_variability(tcam::Flavor::kSg, quick(10, 1.0));
+  ASSERT_EQ(rep.corners.size(), 6u);
+  for (const auto& c : rep.corners) {
+    EXPECT_EQ(c.samples, 10);
+    EXPECT_GE(c.failures, 0);
+    EXPECT_LE(c.failures, 10);
+    EXPECT_GE(c.failure_rate(), 0.0);
+    EXPECT_LE(c.failure_rate(), 1.0);
+  }
+}
+
+TEST(Variability, DeterministicForFixedSeed) {
+  const auto a = analyze_variability(tcam::Flavor::kDg, quick(30, 1.0));
+  const auto b = analyze_variability(tcam::Flavor::kDg, quick(30, 1.0));
+  EXPECT_DOUBLE_EQ(a.cell_yield, b.cell_yield);
+  for (std::size_t c = 0; c < a.corners.size(); ++c) {
+    EXPECT_DOUBLE_EQ(a.corners[c].worst_margin, b.corners[c].worst_margin);
+  }
+}
+
+}  // namespace
+}  // namespace fetcam::eval

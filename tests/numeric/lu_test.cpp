@@ -1,0 +1,97 @@
+#include "numeric/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace fetcam::num {
+namespace {
+
+TEST(Lu, SolvesDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(1, 1) = 4.0;
+  Vector b(2);
+  b[0] = 2.0;
+  b[1] = 8.0;
+  const auto x = solve_dense(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the diagonal: fails without partial pivoting.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  Vector b(2);
+  b[0] = 3.0;
+  b[1] = 7.0;
+  const auto x = solve_dense(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  LuFactorization lu;
+  EXPECT_FALSE(lu.factor(a));
+  EXPECT_GE(lu.failed_row(), 0);
+}
+
+TEST(Lu, BadlyScaledMnaLikeSystem) {
+  // Row magnitudes spanning 15 orders of magnitude (kS supply rows next to
+  // pA-leakage rows), but each row diagonally dominant — well-conditioned
+  // after equilibration.  A global-norm pivot test wrongly rejects this.
+  Matrix a(3, 3);
+  a(0, 0) = 1e3;
+  a(0, 1) = 1e-7;
+  a(1, 0) = 1e-7;
+  a(1, 1) = 1e-6;
+  a(1, 2) = 1e-13;
+  a(2, 1) = 1e-13;
+  a(2, 2) = 1e-12;
+  Vector x_true(3);
+  x_true[0] = 1.0;
+  x_true[1] = 2.0;
+  x_true[2] = 3.0;
+  const Vector b = a.multiply(x_true);
+  const auto x = solve_dense(a, b);
+  ASSERT_TRUE(x.has_value());
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_NEAR((*x)[i], x_true[i], 1e-6 * std::abs(x_true[i]));
+  }
+}
+
+class LuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, RoundTripsRandomSystems) {
+  const int n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n) * 7919u + 13u);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(n, n);
+  for (Index r = 0; r < n; ++r) {
+    for (Index c = 0; c < n; ++c) a(r, c) = dist(rng);
+    a(r, r) += 2.0;  // keep comfortably nonsingular
+  }
+  Vector x_true(n);
+  for (Index i = 0; i < n; ++i) x_true[i] = dist(rng);
+  const Vector b = a.multiply(x_true);
+  const auto x = solve_dense(a, b);
+  ASSERT_TRUE(x.has_value());
+  for (Index i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest,
+                         ::testing::Values(1, 2, 5, 16, 64, 128));
+
+}  // namespace
+}  // namespace fetcam::num

@@ -1,0 +1,80 @@
+#include "numeric/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fetcam::num {
+namespace {
+
+TEST(Vector, BasicOps) {
+  Vector v(3, 1.0);
+  EXPECT_EQ(v.size(), 3);
+  v[1] = -4.0;
+  EXPECT_DOUBLE_EQ(v.inf_norm(), 4.0);
+  EXPECT_DOUBLE_EQ(v.two_norm(), std::sqrt(1.0 + 16.0 + 1.0));
+}
+
+TEST(Vector, Axpy) {
+  Vector v(2, 1.0);
+  Vector w(2);
+  w[0] = 2.0;
+  w[1] = -1.0;
+  v.axpy(3.0, w);
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+}
+
+TEST(Vector, EmptyNorms) {
+  Vector v;
+  EXPECT_DOUBLE_EQ(v.inf_norm(), 0.0);
+  EXPECT_DOUBLE_EQ(v.two_norm(), 0.0);
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  Matrix a(3, 3);
+  for (Index i = 0; i < 3; ++i) a(i, i) = 1.0;
+  Vector x(3);
+  x[0] = 1.0;
+  x[1] = 2.0;
+  x[2] = 3.0;
+  const Vector y = a.multiply(x);
+  for (Index i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Matrix, MultiplyGeneral) {
+  Matrix a(2, 3);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(0, 2) = 3.0;
+  a(1, 0) = -1.0;
+  a(1, 1) = 0.0;
+  a(1, 2) = 4.0;
+  Vector x(3);
+  x[0] = 1.0;
+  x[1] = 1.0;
+  x[2] = 2.0;
+  const Vector y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, InfNorm) {
+  Matrix a(2, 2);
+  a(0, 0) = -3.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(a.inf_norm(), 4.0);
+}
+
+TEST(Matrix, SetZeroKeepsShape) {
+  Matrix a(2, 2, 5.0);
+  a.set_zero();
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 2);
+  EXPECT_DOUBLE_EQ(a(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace fetcam::num

@@ -1,0 +1,87 @@
+#include "numeric/newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fetcam::num {
+namespace {
+
+TEST(Newton, SolvesScalarQuadratic) {
+  // f(x) = x^2 - 4 = 0, root at 2 from a positive start.
+  const AssembleFn f = [](const Vector& x, Matrix& jac, Vector& res) {
+    res[0] = x[0] * x[0] - 4.0;
+    jac(0, 0) = 2.0 * x[0];
+  };
+  Vector x(1, 3.0);
+  const auto r = solve_newton(f, x);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-8);
+}
+
+TEST(Newton, Solves2dSystem) {
+  // x^2 + y^2 = 5, x*y = 2  ->  (2, 1) from a nearby start.
+  const AssembleFn f = [](const Vector& x, Matrix& jac, Vector& res) {
+    res[0] = x[0] * x[0] + x[1] * x[1] - 5.0;
+    res[1] = x[0] * x[1] - 2.0;
+    jac(0, 0) = 2.0 * x[0];
+    jac(0, 1) = 2.0 * x[1];
+    jac(1, 0) = x[1];
+    jac(1, 1) = x[0];
+  };
+  Vector x(2);
+  x[0] = 2.5;
+  x[1] = 0.5;
+  const auto r = solve_newton(f, x);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-7);
+  EXPECT_NEAR(x[1], 1.0, 1e-7);
+}
+
+TEST(Newton, StepClampTamesExponential) {
+  // Diode-like f(x) = 1e-12*(exp(x/0.026) - 1) - 1e-3: overflows without
+  // voltage limiting from a zero start.
+  const AssembleFn f = [](const Vector& x, Matrix& jac, Vector& res) {
+    const double e = std::exp(std::min(x[0] / 0.026, 300.0));
+    res[0] = 1e-12 * (e - 1.0) - 1e-3;
+    jac(0, 0) = 1e-12 / 0.026 * e;
+  };
+  Vector x(1, 0.0);
+  NewtonOptions opts;
+  opts.max_step = 0.1;
+  opts.residual_tol = 1e-12;
+  const auto r = solve_newton(f, x, opts);
+  ASSERT_TRUE(r.converged);
+  const double expected = 0.026 * std::log(1e9 + 1.0);
+  EXPECT_NEAR(x[0], expected, 1e-6);
+}
+
+TEST(Newton, ReportsSingularJacobian) {
+  const AssembleFn f = [](const Vector& x, Matrix& jac, Vector& res) {
+    res[0] = x[0] + x[1] - 1.0;
+    res[1] = 2.0 * x[0] + 2.0 * x[1] - 2.0;
+    jac(0, 0) = 1.0;
+    jac(0, 1) = 1.0;
+    jac(1, 0) = 2.0;
+    jac(1, 1) = 2.0;
+  };
+  Vector x(2, 0.0);
+  const auto r = solve_newton(f, x);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.singular);
+}
+
+TEST(Newton, DoesNotConvergeOnRootlessFunction) {
+  const AssembleFn f = [](const Vector& x, Matrix& jac, Vector& res) {
+    res[0] = x[0] * x[0] + 1.0;  // no real root
+    jac(0, 0) = 2.0 * x[0] + 1e-3;
+  };
+  Vector x(1, 1.0);
+  NewtonOptions opts;
+  opts.max_iterations = 50;
+  const auto r = solve_newton(f, x, opts);
+  EXPECT_FALSE(r.converged);
+}
+
+}  // namespace
+}  // namespace fetcam::num

@@ -1,0 +1,183 @@
+#include "numeric/sparse_lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/lu.hpp"
+
+namespace fetcam::num {
+namespace {
+
+TripletAccumulator from_dense(const Matrix& a) {
+  TripletAccumulator acc(a.rows());
+  for (Index r = 0; r < a.rows(); ++r) {
+    for (Index c = 0; c < a.cols(); ++c) {
+      if (a(r, c) != 0.0) acc.add(r, c, a(r, c));
+    }
+  }
+  return acc;
+}
+
+TEST(SparseLu, SolvesDiagonal) {
+  TripletAccumulator a(3);
+  a.add(0, 0, 2.0);
+  a.add(1, 1, -4.0);
+  a.add(2, 2, 0.5);
+  Vector b(3);
+  b[0] = 2.0;
+  b[1] = 8.0;
+  b[2] = 1.0;
+  const auto x = solve_sparse(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], -2.0, 1e-12);
+  EXPECT_NEAR((*x)[2], 2.0, 1e-12);
+}
+
+TEST(SparseLu, RequiresPivoting) {
+  // Zero diagonal forces a row swap.
+  TripletAccumulator a(2);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  Vector b(2);
+  b[0] = 3.0;
+  b[1] = 7.0;
+  const auto x = solve_sparse(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SparseLu, DetectsSingular) {
+  TripletAccumulator a(2);
+  a.add(0, 0, 1.0);
+  a.add(0, 1, 2.0);
+  a.add(1, 0, 2.0);
+  a.add(1, 1, 4.0);
+  SparseLu lu;
+  EXPECT_FALSE(lu.factor(a));
+  EXPECT_GE(lu.failed_column(), 0);
+}
+
+TEST(SparseLu, DuplicateTripletsAreSummed) {
+  TripletAccumulator a(1);
+  a.add(0, 0, 1.5);
+  a.add(0, 0, 0.5);
+  Vector b(1);
+  b[0] = 4.0;
+  const auto x = solve_sparse(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+}
+
+TEST(SparseLu, MnaLikeLadderWithSourceRows) {
+  // Resistor ladder with a voltage-source branch row: unsymmetric, zero
+  // diagonal in the branch block.
+  //   [ G  -G   0   1 ] [v1]   [0]
+  //   [-G  2G  -G   0 ] [v2] = [0]
+  //   [ 0  -G   G   0 ] [v3]   [0]  (floating end anchored by gmin)
+  //   [ 1   0   0   0 ] [i ]   [V]
+  const double g = 1e-3;
+  TripletAccumulator a(4);
+  a.add(0, 0, g);
+  a.add(0, 1, -g);
+  a.add(0, 3, 1.0);
+  a.add(1, 0, -g);
+  a.add(1, 1, 2.0 * g);
+  a.add(1, 2, -g);
+  a.add(2, 1, -g);
+  a.add(2, 2, g + 1e-12);
+  a.add(3, 0, 1.0);
+  Vector b(4);
+  b[3] = 1.0;
+  const auto x = solve_sparse(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-6);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-6);  // no load current: all nodes at 1 V
+  EXPECT_NEAR((*x)[2], 1.0, 1e-6);
+}
+
+class SparseVsDenseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseVsDenseTest, AgreesWithDenseOnRandomSparseSystems) {
+  const int n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n) * 17u + 7u);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::uniform_int_distribution<Index> col(0, n - 1);
+  Matrix dense(n, n);
+  for (Index r = 0; r < n; ++r) {
+    dense(r, r) = 4.0 + dist(rng);
+    for (int k = 0; k < 5; ++k) dense(r, col(rng)) += dist(rng);
+  }
+  Vector x_true(n);
+  for (Index i = 0; i < n; ++i) x_true[i] = dist(rng);
+  const Vector b = dense.multiply(x_true);
+
+  const auto xs = solve_sparse(from_dense(dense), b);
+  ASSERT_TRUE(xs.has_value());
+  const auto xd = solve_dense(dense, b);
+  ASSERT_TRUE(xd.has_value());
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR((*xs)[i], (*xd)[i], 1e-8) << "i=" << i;
+    EXPECT_NEAR((*xs)[i], x_true[i], 1e-7) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseVsDenseTest,
+                         ::testing::Values(2, 8, 32, 128, 512));
+
+TEST(SparseLu, BadlyScaledRows) {
+  // kS rows next to pA rows (the equilibrated-dense-LU test case).
+  TripletAccumulator a(3);
+  a.add(0, 0, 1e3);
+  a.add(0, 1, 1e-7);
+  a.add(1, 0, 1e-7);
+  a.add(1, 1, 1e-6);
+  a.add(1, 2, 1e-13);
+  a.add(2, 1, 1e-13);
+  a.add(2, 2, 1e-12);
+  Vector x_true(3);
+  x_true[0] = 1.0;
+  x_true[1] = 2.0;
+  x_true[2] = 3.0;
+  Matrix dense(3, 3);
+  dense(0, 0) = 1e3;
+  dense(0, 1) = 1e-7;
+  dense(1, 0) = 1e-7;
+  dense(1, 1) = 1e-6;
+  dense(1, 2) = 1e-13;
+  dense(2, 1) = 1e-13;
+  dense(2, 2) = 1e-12;
+  const Vector b = dense.multiply(x_true);
+  const auto x = solve_sparse(a, b);
+  ASSERT_TRUE(x.has_value());
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_NEAR((*x)[i], x_true[i], 1e-6 * std::abs(x_true[i]));
+  }
+}
+
+TEST(SparseLu, TridiagonalHasLinearFill) {
+  // A tridiagonal system must produce O(n) factor nonzeros, not O(n^2) —
+  // the sparsity-preserving property that justifies the solver.
+  const int n = 400;
+  TripletAccumulator a(n);
+  for (Index i = 0; i < n; ++i) {
+    a.add(i, i, 2.1);
+    if (i > 0) a.add(i, i - 1, -1.0);
+    if (i + 1 < n) a.add(i, i + 1, -1.0);
+  }
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+  EXPECT_LT(lu.factor_nonzeros(), static_cast<std::size_t>(4 * n));
+  Vector b(n, 1.0);
+  const Vector x = lu.solve(b);
+  // Verify the residual.
+  for (Index i = 1; i + 1 < n; ++i) {
+    const double r = 2.1 * x[i] - x[i - 1] - x[i + 1];
+    EXPECT_NEAR(r, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fetcam::num

@@ -1,0 +1,100 @@
+#include "numeric/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace fetcam::num {
+namespace {
+
+TEST(Csr, BuildsFromTripletsWithDuplicates) {
+  TripletAccumulator acc(3);
+  acc.add(0, 0, 1.0);
+  acc.add(0, 0, 2.0);  // duplicate, summed
+  acc.add(1, 2, -1.0);
+  acc.add(2, 1, 4.0);
+  acc.add(1, 1, 0.5);
+  const CsrMatrix m = CsrMatrix::from_triplets(acc);
+  EXPECT_EQ(m.nonzeros(), 4u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+}
+
+TEST(Csr, DropsCancellingEntries) {
+  TripletAccumulator acc(2);
+  acc.add(0, 1, 5.0);
+  acc.add(0, 1, -5.0);
+  acc.add(1, 1, 1.0);
+  const CsrMatrix m = CsrMatrix::from_triplets(acc);
+  EXPECT_EQ(m.nonzeros(), 1u);
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  TripletAccumulator acc(3);
+  acc.add(0, 0, 2.0);
+  acc.add(0, 2, 1.0);
+  acc.add(1, 1, -1.0);
+  acc.add(2, 0, 3.0);
+  acc.add(2, 2, 4.0);
+  const CsrMatrix m = CsrMatrix::from_triplets(acc);
+  Vector x(3);
+  x[0] = 1.0;
+  x[1] = 2.0;
+  x[2] = -1.0;
+  const Vector y = m.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(Bicgstab, SolvesSmallUnsymmetric) {
+  TripletAccumulator acc(3);
+  acc.add(0, 0, 4.0);
+  acc.add(0, 1, 1.0);
+  acc.add(1, 0, -1.0);
+  acc.add(1, 1, 3.0);
+  acc.add(1, 2, 0.5);
+  acc.add(2, 2, 5.0);
+  acc.add(2, 0, 0.2);
+  const CsrMatrix m = CsrMatrix::from_triplets(acc);
+  Vector x_true(3);
+  x_true[0] = 1.0;
+  x_true[1] = -2.0;
+  x_true[2] = 0.5;
+  const Vector b = m.multiply(x_true);
+  Vector x(3);
+  const auto res = solve_bicgstab(m, b, x);
+  ASSERT_TRUE(res.converged);
+  for (Index i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+class BicgstabRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BicgstabRandomTest, SolvesDiagonallyDominantSparse) {
+  const int n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n) + 101u);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::uniform_int_distribution<Index> col(0, n - 1);
+  TripletAccumulator acc(n);
+  for (Index r = 0; r < n; ++r) {
+    acc.add(r, r, 10.0 + dist(rng));
+    for (int k = 0; k < 4; ++k) acc.add(r, col(rng), dist(rng));
+  }
+  const CsrMatrix m = CsrMatrix::from_triplets(acc);
+  Vector x_true(n);
+  for (Index i = 0; i < n; ++i) x_true[i] = dist(rng);
+  const Vector b = m.multiply(x_true);
+  Vector x(n);
+  const auto res = solve_bicgstab(m, b, x);
+  ASSERT_TRUE(res.converged) << "n=" << n << " residual=" << res.residual;
+  for (Index i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BicgstabRandomTest,
+                         ::testing::Values(4, 16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace fetcam::num

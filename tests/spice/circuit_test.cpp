@@ -1,0 +1,126 @@
+// Circuit-graph bookkeeping: node/branch indexing, finalize semantics,
+// breakpoints, device descriptions, trace source metadata.
+#include <gtest/gtest.h>
+
+#include "spice/elements.hpp"
+#include "spice/netlist.hpp"
+#include "spice/transient.hpp"
+
+namespace fetcam::spice {
+namespace {
+
+TEST(Circuit, NodeCreationAndLookup) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ckt.node("a"), a);  // idempotent
+  EXPECT_EQ(ckt.find_node("a").value(), a);
+  EXPECT_FALSE(ckt.find_node("zzz").has_value());
+  EXPECT_EQ(ckt.node_name(a), "a");
+  EXPECT_EQ(ckt.node_count(), 3);  // ground + a + b
+}
+
+TEST(Circuit, InternalNodesAreUnique) {
+  Circuit ckt;
+  const NodeId x = ckt.internal_node("tmp");
+  const NodeId y = ckt.internal_node("tmp");
+  EXPECT_NE(x, y);
+}
+
+TEST(Circuit, BranchIndexAssignment) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  auto& v1 = ckt.emplace<VoltageSource>("V1", a, kGround, Waveform::dc(1.0));
+  ckt.emplace<Resistor>("R1", a, b, 1e3);
+  auto& v2 = ckt.emplace<VoltageSource>("V2", b, kGround, Waveform::dc(2.0));
+  ckt.finalize();
+  EXPECT_EQ(ckt.branch_count(), 2);
+  EXPECT_EQ(v1.branch_base(), 0);
+  EXPECT_EQ(v2.branch_base(), 1);
+  // Unknowns: 2 node voltages + 2 branch currents.
+  EXPECT_EQ(ckt.system_size(), 4);
+  EXPECT_EQ(ckt.node_sys_index(kGround), -1);
+  EXPECT_EQ(ckt.branch_sys_index(0), 2);
+}
+
+TEST(Circuit, FinalizeIsIdempotentUntilNetlistChanges) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.emplace<Resistor>("R1", a, kGround, 1e3);
+  ckt.finalize();
+  EXPECT_TRUE(ckt.finalized());
+  ckt.node("new_node");  // netlist change
+  EXPECT_FALSE(ckt.finalized());
+}
+
+TEST(Circuit, BreakpointsMergeAcrossSources) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.emplace<VoltageSource>(
+      "V1", a, kGround, Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 1e-9));
+  ckt.emplace<VoltageSource>(
+      "V2", b, kGround, Waveform::pwl({{0.0, 0.0}, {1.5e-9, 1.0}}));
+  ckt.emplace<Resistor>("R1", a, b, 1e3);
+  const auto bps = ckt.breakpoints(10e-9);
+  // Pulse edges: 1, 1.1, 2.1, 2.2 ns; PWL corner: 1.5 ns.
+  EXPECT_EQ(bps.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(bps.begin(), bps.end()));
+}
+
+TEST(Circuit, DeviceDescribeListsTerminals) {
+  Circuit ckt;
+  const NodeId a = ckt.node("in");
+  const NodeId b = ckt.node("out");
+  auto& r = ckt.emplace<Resistor>("R42", a, b, 1e3);
+  const std::string d = r.describe(ckt);
+  EXPECT_NE(d.find("R42"), std::string::npos);
+  EXPECT_NE(d.find("in"), std::string::npos);
+  EXPECT_NE(d.find("out"), std::string::npos);
+}
+
+TEST(Trace, SourceMetadataSnapshot) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.emplace<VoltageSource>("VDRIVE", a, kGround, Waveform::dc(1.5));
+  ckt.emplace<Resistor>("R1", a, kGround, 1e3);
+  TransientOptions opts;
+  opts.t_stop = 1e-10;
+  opts.dt = 1e-11;
+  const auto res = run_transient(ckt, opts);
+  ASSERT_TRUE(res.ok);
+  const auto names = res.trace.source_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "VDRIVE");
+  EXPECT_DOUBLE_EQ(res.trace.source_value("VDRIVE", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(res.trace.source_value("missing", 0.0), 0.0);
+  // The trace stays valid after the circuit dies (self-contained) — checked
+  // structurally here by copying it out.
+  Trace copy = res.trace;
+  EXPECT_EQ(copy.voltage("a").size(), copy.size());
+}
+
+TEST(Elements, ResistorRejectsNonPositiveValues) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  EXPECT_THROW(ckt.emplace<Resistor>("R1", a, kGround, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ckt.emplace<Resistor>("R2", a, kGround, -5.0),
+               std::invalid_argument);
+  auto& r = ckt.emplace<Resistor>("R3", a, kGround, 5.0);
+  EXPECT_THROW(r.set_resistance(0.0), std::invalid_argument);
+  r.set_resistance(7.0);
+  EXPECT_DOUBLE_EQ(r.resistance(), 7.0);
+}
+
+TEST(Elements, CapacitorRejectsNegative) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  EXPECT_THROW(ckt.emplace<Capacitor>("C1", a, kGround, -1e-15),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fetcam::spice

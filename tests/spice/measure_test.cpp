@@ -1,0 +1,107 @@
+#include "spice/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "spice/elements.hpp"
+
+namespace fetcam::spice {
+namespace {
+
+TEST(Measure, CrossTimeRisingFalling) {
+  const std::vector<double> t{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> v{0.0, 1.0, 0.0, 1.0, 0.0};
+  const auto r1 = cross_time(t, v, 0.5, Edge::kRising);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_DOUBLE_EQ(*r1, 0.5);
+  const auto f1 = cross_time(t, v, 0.5, Edge::kFalling);
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_DOUBLE_EQ(*f1, 1.5);
+  const auto r2 = cross_time(t, v, 0.5, Edge::kRising, 1.0);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_DOUBLE_EQ(*r2, 2.5);
+  EXPECT_FALSE(cross_time(t, v, 2.0, Edge::kRising).has_value());
+}
+
+TEST(Measure, IntegrateWindowClamping) {
+  const std::vector<double> t{0.0, 1.0, 2.0};
+  const std::vector<double> v{0.0, 2.0, 0.0};  // triangle, area 2
+  EXPECT_NEAR(integrate(t, v, 0.0, 2.0), 2.0, 1e-12);
+  EXPECT_NEAR(integrate(t, v, 0.5, 1.5), 1.5, 1e-12);
+  EXPECT_NEAR(integrate(t, v, -1.0, 3.0), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(integrate(t, v, 1.0, 1.0), 0.0);
+}
+
+TEST(Measure, SampleAtInterpolates) {
+  const std::vector<double> t{0.0, 2.0};
+  const std::vector<double> v{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(sample_at(t, v, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(sample_at(t, v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample_at(t, v, 5.0), 3.0);
+}
+
+TEST(Measure, WindowMinMax) {
+  const std::vector<double> t{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> v{0.0, 5.0, -3.0, 1.0};
+  EXPECT_DOUBLE_EQ(window_max(t, v, 0.0, 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(window_min(t, v, 0.0, 3.0), -3.0);
+  EXPECT_DOUBLE_EQ(window_max(t, v, 1.5, 3.0), 1.0);
+}
+
+TEST(Measure, RiseTimeOfRamp) {
+  std::vector<double> t, v;
+  for (int i = 0; i <= 100; ++i) {
+    t.push_back(i * 0.01);
+    v.push_back(i * 0.01);  // unit ramp over 1 s
+  }
+  const auto rt = rise_time(t, v, 0.0, 1.0);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_NEAR(*rt, 0.8, 1e-9);  // 10% to 90% of a linear ramp
+}
+
+TEST(Measure, SourceEnergyOfRcCharge) {
+  // Energy delivered by a step source charging C through R converges to
+  // C*V^2 (half stored, half dissipated).
+  Circuit ckt;
+  const NodeId vin = ckt.node("vin");
+  const NodeId out = ckt.node("out");
+  ckt.emplace<VoltageSource>(
+      "V1", vin, kGround, Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0));
+  ckt.emplace<Resistor>("R1", vin, out, 1e3);
+  ckt.emplace<Capacitor>("C1", out, kGround, 1e-12);
+  TransientOptions opts;
+  opts.t_stop = 10e-9;
+  opts.dt = 5e-12;
+  const auto res = run_transient(ckt, opts);
+  ASSERT_TRUE(res.ok);
+  const double e = source_energy(res.trace, "V1", 0.0, 10e-9);
+  EXPECT_NEAR(e, 1e-12, 0.05e-12);  // C * V^2 = 1 pJ
+  // Charge delivered = C * V.
+  const double q = source_charge(res.trace, "V1", 0.0, 10e-9);
+  EXPECT_NEAR(q, 1e-12, 0.05e-12);
+}
+
+TEST(Measure, TotalSourceEnergyFiltersByPrefix) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.emplace<VoltageSource>("VSL_a", a, kGround, Waveform::dc(1.0));
+  ckt.emplace<VoltageSource>("VML_b", b, kGround, Waveform::dc(1.0));
+  ckt.emplace<Resistor>("R1", a, kGround, 1e3);
+  ckt.emplace<Resistor>("R2", b, kGround, 1e3);
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  opts.dt = 10e-12;
+  const auto res = run_transient(ckt, opts);
+  ASSERT_TRUE(res.ok);
+  const double e_sl = total_source_energy(res.trace, "VSL", 0.0, 1e-9);
+  const double e_all = total_source_energy(res.trace, "", 0.0, 1e-9);
+  // Each source dissipates V^2/R * t = 1 mW * 1 ns = 1 pJ.
+  EXPECT_NEAR(e_sl, 1e-12, 0.05e-12);
+  EXPECT_NEAR(e_all, 2.0 * e_sl, 0.1e-12);
+}
+
+}  // namespace
+}  // namespace fetcam::spice

@@ -1,0 +1,152 @@
+// Physics-conservation properties of the simulator: energy bookkeeping must
+// close across sources, dissipation, and storage — the strongest global
+// check a transient engine can pass.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/elements.hpp"
+#include "spice/measure.hpp"
+
+namespace fetcam::spice {
+namespace {
+
+// Energy dissipated in a resistor over the trace: integral of (v_ab)^2 / R.
+double resistor_energy(const Trace& trace, const std::string& a,
+                       const std::string& b, double r, double t0, double t1) {
+  const auto va = trace.voltage(a);
+  const auto vb = b == "0" ? std::vector<double>(trace.size(), 0.0)
+                           : trace.voltage(b);
+  std::vector<double> p(trace.size());
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    const double v = va[k] - vb[k];
+    p[k] = v * v / r;
+  }
+  return integrate(trace.times(), p, t0, t1);
+}
+
+TEST(Physics, RcChargeEnergyBalances) {
+  // Step-charge a cap through a resistor: E_source = E_R + E_C with
+  // E_R = E_C = C V^2 / 2 in the ideal limit.
+  Circuit ckt;
+  const NodeId vin = ckt.node("vin");
+  const NodeId out = ckt.node("out");
+  const double r = 1e3, c = 1e-12, v = 1.0;
+  ckt.emplace<VoltageSource>(
+      "V1", vin, kGround, Waveform::pulse(0.0, v, 0.0, 1e-12, 1e-12, 1.0));
+  ckt.emplace<Resistor>("R1", vin, out, r);
+  ckt.emplace<Capacitor>("C1", out, kGround, c);
+  TransientOptions opts;
+  opts.t_stop = 12e-9;  // 12 tau: fully settled
+  opts.dt = 10e-12;
+  opts.trapezoidal = true;
+  const auto res = run_transient(ckt, opts);
+  ASSERT_TRUE(res.ok);
+
+  const double e_src = source_energy(res.trace, "V1", 0.0, opts.t_stop);
+  const double e_r = resistor_energy(res.trace, "vin", "out", r, 0.0,
+                                     opts.t_stop);
+  const double v_end = res.trace.voltage_at_time("out", opts.t_stop);
+  const double e_c = 0.5 * c * v_end * v_end;
+  EXPECT_NEAR(e_src, e_r + e_c, 0.03 * e_src);
+  EXPECT_NEAR(e_r, 0.5 * c * v * v, 0.05 * e_r);
+}
+
+TEST(Physics, ResistorDividerPowerBalance) {
+  // Pure DC: source power equals total resistive dissipation at every
+  // sample.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId m = ckt.node("m");
+  ckt.emplace<VoltageSource>("V1", a, kGround, Waveform::dc(2.0));
+  ckt.emplace<Resistor>("R1", a, m, 3e3);
+  ckt.emplace<Resistor>("R2", m, kGround, 1e3);
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  opts.dt = 50e-12;
+  const auto res = run_transient(ckt, opts);
+  ASSERT_TRUE(res.ok);
+  const double e_src = source_energy(res.trace, "V1", 0.0, opts.t_stop);
+  const double e_r = resistor_energy(res.trace, "a", "m", 3e3, 0.0,
+                                     opts.t_stop) +
+                     resistor_energy(res.trace, "m", "0", 1e3, 0.0,
+                                     opts.t_stop);
+  EXPECT_NEAR(e_src, e_r, 1e-3 * e_src);
+  // And the analytic value: P = V^2 / (R1 + R2) = 1 mW over 1 ns = 1 pJ.
+  EXPECT_NEAR(e_src, 1e-12, 0.01e-12);
+}
+
+TEST(Physics, SourceChargeMatchesCapacitorCharge) {
+  // Charging a capacitor through a large resistor: the charge the source
+  // delivers equals C * dV (KCL integrated over the whole transient).
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  // Source steps 0 -> 1 V after the OP so the delivered charge is visible.
+  ckt.emplace<VoltageSource>(
+      "V1", a, kGround,
+      Waveform::pwl({{0.0, 0.0}, {0.1e-6, 0.0}, {0.11e-6, 1.0}}));
+  const double c2 = 3e-12, r = 1e6;
+  ckt.emplace<Capacitor>("C2", b, kGround, c2);
+  ckt.emplace<Resistor>("R1", a, b, r);
+  TransientOptions opts;
+  opts.t_stop = 20e-6;  // >> r*c2 = 3 us: fully settled
+  opts.dt = 50e-9;
+  const auto res = run_transient(ckt, opts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_NEAR(res.trace.voltage_at_time("b", 20e-6), 1.0, 0.02);
+  const double q = source_charge(res.trace, "V1", 0.0, opts.t_stop);
+  EXPECT_NEAR(q, c2 * 1.0, 0.05 * c2);
+}
+
+TEST(Physics, TrapezoidalConservesBetterThanBeOnLcLikeRinging) {
+  // A stiff RC chain driven by a fast square wave: BE damps numerically;
+  // trapezoidal tracks the stored energy more faithfully.  Compare final
+  // capacitor voltage error against a fine-step reference.
+  const auto run = [&](bool trap, double dt) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    const NodeId m = ckt.node("m");
+    const NodeId o = ckt.node("o");
+    ckt.emplace<VoltageSource>(
+        "V1", a, kGround,
+        Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 2e-9, 4e-9));
+    ckt.emplace<Resistor>("R1", a, m, 500.0);
+    ckt.emplace<Capacitor>("C1", m, kGround, 1e-12);
+    ckt.emplace<Resistor>("R2", m, o, 500.0);
+    ckt.emplace<Capacitor>("C2", o, kGround, 1e-12);
+    TransientOptions opts;
+    opts.t_stop = 3.7e-9;
+    opts.dt = dt;
+    opts.trapezoidal = trap;
+    const auto res = run_transient(ckt, opts);
+    EXPECT_TRUE(res.ok);
+    return res.trace.voltage_at_time("o", 3.7e-9);
+  };
+  const double ref = run(true, 2e-12);
+  const double be = std::abs(run(false, 100e-12) - ref);
+  const double tr = std::abs(run(true, 100e-12) - ref);
+  EXPECT_LT(tr, be);
+}
+
+TEST(Physics, StaticHoldBurnsOnlyLeakagePower) {
+  // A held node burns exactly V^2/R in its leak path — the static-power
+  // bookkeeping behind the divider-energy accounting.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.emplace<VoltageSource>(
+      "V1", a, kGround, Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1e-9));
+  ckt.emplace<Resistor>("R1", a, kGround, 1e7);
+  ckt.emplace<Capacitor>("C1", a, kGround, 1e-12);
+  TransientOptions opts;
+  opts.t_stop = 0.9e-9;
+  opts.dt = 10e-12;
+  const auto res = run_transient(ckt, opts);
+  ASSERT_TRUE(res.ok);
+  // While held high, only the leak resistor burns: P = V^2/R = 0.1 uW.
+  const double e = source_energy(res.trace, "V1", 0.2e-9, 0.8e-9);
+  EXPECT_NEAR(e, 1e-7 * 0.6e-9, 0.2e-16);
+}
+
+}  // namespace
+}  // namespace fetcam::spice

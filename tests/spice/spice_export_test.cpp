@@ -1,0 +1,96 @@
+#include "spice/spice_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "devices/fefet.hpp"
+#include "devices/tech14.hpp"
+#include "tcam/sim_harness.hpp"
+
+namespace fetcam::spice {
+namespace {
+
+TEST(SpiceExport, PassivesAndSources) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.emplace<VoltageSource>(
+      "V1", a, kGround, Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 2e-9));
+  ckt.emplace<Resistor>("R1", a, b, 1e3);
+  ckt.emplace<Capacitor>("C1", b, kGround, 1e-12);
+  ckt.emplace<Vcvs>("E1", ckt.node("o"), kGround, b, kGround, 2.5);
+  std::ostringstream os;
+  SpiceExportOptions opts;
+  opts.tran_step = 1e-12;
+  opts.tran_stop = 5e-9;
+  opts.save_nodes = {"b"};
+  ASSERT_TRUE(export_ngspice(os, ckt, opts));
+  const std::string s = os.str();
+  EXPECT_NE(s.find("RR1 a b 1000"), std::string::npos);
+  EXPECT_NE(s.find("CC1 b 0 1e-12"), std::string::npos);
+  EXPECT_NE(s.find("VV1 a 0 PWL("), std::string::npos);
+  EXPECT_NE(s.find("EE1 o 0 b 0 2.5"), std::string::npos);
+  EXPECT_NE(s.find(".tran 1e-12 5e-09"), std::string::npos);
+  EXPECT_NE(s.find(".save v(b)"), std::string::npos);
+  EXPECT_NE(s.find(".end"), std::string::npos);
+}
+
+TEST(SpiceExport, MosfetBecomesBehavioralSource) {
+  Circuit ckt;
+  const NodeId d = ckt.node("d");
+  const NodeId g = ckt.node("g");
+  ckt.emplace<VoltageSource>("VD", d, kGround, Waveform::dc(0.8));
+  ckt.emplace<VoltageSource>("VG", g, kGround, Waveform::dc(0.8));
+  ckt.emplace<dev::Mosfet>("M1", d, g, kGround, kGround,
+                           dev::tech14::nfet());
+  std::ostringstream os;
+  ASSERT_TRUE(export_ngspice(os, ckt));
+  const std::string s = os.str();
+  EXPECT_NE(s.find("BM1 d 0 I="), std::string::npos);
+  EXPECT_NE(s.find("ln(1+exp("), std::string::npos);  // EKV softplus
+  EXPECT_NE(s.find("CM1_gs"), std::string::npos);
+  // Balanced parentheses in the whole deck.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '('),
+            std::count(s.begin(), s.end(), ')'));
+}
+
+TEST(SpiceExport, FefetCarriesFrozenThreshold) {
+  Circuit ckt;
+  const NodeId d = ckt.node("d");
+  const NodeId fg = ckt.node("fg");
+  const NodeId bg = ckt.node("bg");
+  ckt.emplace<VoltageSource>("VD", d, kGround, Waveform::dc(0.4));
+  ckt.emplace<VoltageSource>("VFG", fg, kGround, Waveform::dc(0.0));
+  ckt.emplace<VoltageSource>("VBG", bg, kGround, Waveform::dc(2.0));
+  auto& fe = ckt.emplace<dev::FeFet>("F1", d, fg, kGround, bg,
+                                     dev::dg_fefet_params());
+  fe.set_state(dev::FeState::kLvt, 0.0);
+  std::ostringstream os;
+  ASSERT_TRUE(export_ngspice(os, ckt));
+  const std::string s = os.str();
+  EXPECT_NE(s.find("P/Ps=1"), std::string::npos);
+  EXPECT_NE(s.find("BF1 d 0 I="), std::string::npos);
+  EXPECT_NE(s.find("RF1_leak"), std::string::npos);
+}
+
+TEST(SpiceExport, FullWordHarnessExports) {
+  // The entire 1.5T1DG search netlist must export cleanly (every device
+  // kind the harness uses is representable).
+  tcam::WordOptions opts;
+  opts.n_bits = 4;
+  auto h = tcam::make_word_harness(arch::TcamDesign::k1p5DgFe, opts);
+  tcam::SearchConfig cfg;
+  cfg.stored = arch::word_from_string("01X0");
+  cfg.query = arch::bits_from_string("0100");
+  h->build_search(cfg);
+  std::ostringstream os;
+  EXPECT_TRUE(export_ngspice(os, h->circuit()));
+  const std::string s = os.str();
+  EXPECT_EQ(s.find("UNSUPPORTED"), std::string::npos);
+  EXPECT_NE(s.find("BFE0"), std::string::npos);   // a FeFET channel
+  EXPECT_NE(s.find("BTML0"), std::string::npos);  // a control transistor
+}
+
+}  // namespace
+}  // namespace fetcam::spice

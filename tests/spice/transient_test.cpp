@@ -1,0 +1,142 @@
+#include "spice/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/elements.hpp"
+
+namespace fetcam::spice {
+namespace {
+
+// RC charging circuit: V1 - R - out - C - gnd.
+struct RcFixture {
+  Circuit ckt;
+  NodeId vin, out;
+  double r = 1e3;
+  double c = 1e-12;  // tau = 1 ns
+
+  RcFixture() {
+    vin = ckt.node("vin");
+    out = ckt.node("out");
+    ckt.emplace<VoltageSource>(
+        "V1", vin, kGround,
+        Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0));
+    ckt.emplace<Resistor>("R1", vin, out, r);
+    ckt.emplace<Capacitor>("C1", out, kGround, c);
+  }
+};
+
+TEST(Transient, RcStepResponseBackwardEuler) {
+  RcFixture f;
+  TransientOptions opts;
+  opts.t_stop = 5e-9;
+  opts.dt = 10e-12;
+  const auto res = run_transient(f.ckt, opts);
+  ASSERT_TRUE(res.ok) << res.error;
+  const double tau = f.r * f.c;
+  // Compare against the analytic exponential at several times.
+  for (const double t : {1e-9, 2e-9, 3e-9}) {
+    const double expected = 1.0 - std::exp(-t / tau);
+    EXPECT_NEAR(res.trace.voltage_at_time("out", t), expected, 0.01)
+        << "t=" << t;
+  }
+  // Fully settled by 5 tau.
+  EXPECT_NEAR(res.trace.voltage_at_time("out", 5e-9), 1.0, 0.01);
+}
+
+TEST(Transient, TrapezoidalIsMoreAccurateThanBe) {
+  const double tau = 1e-9;
+  auto run = [&](bool trap) {
+    RcFixture f;
+    TransientOptions opts;
+    opts.t_stop = 3e-9;
+    opts.dt = 50e-12;
+    opts.trapezoidal = trap;
+    const auto res = run_transient(f.ckt, opts);
+    EXPECT_TRUE(res.ok);
+    double max_err = 0.0;
+    for (double t = 0.3e-9; t < 3e-9; t += 0.1e-9) {
+      const double expected = 1.0 - std::exp(-t / tau);
+      max_err = std::max(
+          max_err, std::abs(res.trace.voltage_at_time("out", t) - expected));
+    }
+    return max_err;
+  };
+  const double err_be = run(false);
+  const double err_trap = run(true);
+  EXPECT_LT(err_trap, err_be);
+}
+
+TEST(Transient, StartsFromDcOperatingPoint) {
+  // DC source pre-charges the cap through the OP: no transient at all.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.emplace<VoltageSource>("V1", a, kGround, Waveform::dc(1.0));
+  ckt.emplace<Resistor>("R1", a, b, 1e3);
+  ckt.emplace<Capacitor>("C1", b, kGround, 1e-12);
+  TransientOptions opts;
+  opts.t_stop = 2e-9;
+  opts.dt = 20e-12;
+  const auto res = run_transient(ckt, opts);
+  ASSERT_TRUE(res.ok);
+  const auto v = res.trace.voltage("b");
+  for (const double x : v) EXPECT_NEAR(x, 1.0, 1e-6);
+}
+
+TEST(Transient, BreakpointsAreHitExactly) {
+  RcFixture f;
+  // Replace the source with a delayed pulse whose edge must be sampled.
+  auto* v1 = dynamic_cast<VoltageSource*>(f.ckt.find_device("V1"));
+  ASSERT_NE(v1, nullptr);
+  v1->set_waveform(Waveform::pulse(0.0, 1.0, 1.05e-9, 1e-12, 1e-12, 10e-9));
+  TransientOptions opts;
+  opts.t_stop = 2e-9;
+  opts.dt = 100e-12;  // coarse: would step over the 1.05 ns edge otherwise
+  const auto res = run_transient(f.ckt, opts);
+  ASSERT_TRUE(res.ok);
+  bool found = false;
+  for (const double t : res.trace.times()) {
+    if (std::abs(t - 1.05e-9) < 1e-15) found = true;
+  }
+  EXPECT_TRUE(found);
+  // Before the edge the output is still 0.
+  EXPECT_NEAR(res.trace.voltage_at_time("out", 1.0e-9), 0.0, 1e-6);
+}
+
+TEST(Transient, RcDischargeThroughResistor) {
+  // Pulse back low: cap discharges with the same tau.
+  RcFixture f;
+  auto* v1 = dynamic_cast<VoltageSource*>(f.ckt.find_device("V1"));
+  v1->set_waveform(Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 5e-9, 0.0));
+  TransientOptions opts;
+  opts.t_stop = 10e-9;
+  opts.dt = 10e-12;
+  const auto res = run_transient(f.ckt, opts);
+  ASSERT_TRUE(res.ok);
+  const double tau = 1e-9;
+  // After the falling edge at ~5 ns the voltage decays.
+  const double v6 = res.trace.voltage_at_time("out", 6e-9);
+  const double expected = std::exp(-1e-9 / tau);
+  EXPECT_NEAR(v6, expected, 0.02);
+}
+
+TEST(Trace, BranchCurrentRecorded) {
+  RcFixture f;
+  TransientOptions opts;
+  opts.t_stop = 0.5e-9;
+  opts.dt = 5e-12;
+  const auto res = run_transient(f.ckt, opts);
+  ASSERT_TRUE(res.ok);
+  const auto i = res.trace.branch_current("V1");
+  ASSERT_EQ(i.size(), res.trace.times().size());
+  // Just after the step, the source supplies ~1 V / 1 kOhm = 1 mA, i.e. the
+  // branch current is about -1 mA.
+  double peak = 0.0;
+  for (const double x : i) peak = std::min(peak, x);
+  EXPECT_NEAR(peak, -1e-3, 0.1e-3);
+}
+
+}  // namespace
+}  // namespace fetcam::spice

@@ -1,0 +1,69 @@
+#include "spice/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fetcam::spice {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+  const Waveform w = Waveform::dc(1.5);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(w.value(1e-9), 1.5);
+  EXPECT_DOUBLE_EQ(w.value(1.0), 1.5);
+  EXPECT_TRUE(w.breakpoints(1.0).empty());
+}
+
+TEST(Waveform, PulseShape) {
+  // 0 -> 1 V pulse: delay 1ns, rise 0.1ns, width 2ns, fall 0.1ns.
+  const Waveform w = Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5e-9), 0.0);
+  EXPECT_NEAR(w.value(1.05e-9), 0.5, 1e-12);  // mid-rise
+  EXPECT_DOUBLE_EQ(w.value(2.0e-9), 1.0);     // plateau
+  EXPECT_NEAR(w.value(3.15e-9), 0.5, 1e-12);  // mid-fall
+  EXPECT_DOUBLE_EQ(w.value(5e-9), 0.0);
+}
+
+TEST(Waveform, PulseBreakpointsOnEdges) {
+  const Waveform w = Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 2e-9);
+  const auto bps = w.breakpoints(10e-9);
+  ASSERT_EQ(bps.size(), 4u);
+  EXPECT_DOUBLE_EQ(bps[0], 1.0e-9);
+  EXPECT_DOUBLE_EQ(bps[1], 1.1e-9);
+  EXPECT_DOUBLE_EQ(bps[2], 3.1e-9);
+  EXPECT_DOUBLE_EQ(bps[3], 3.2e-9);
+}
+
+TEST(Waveform, PeriodicPulseRepeats) {
+  const Waveform w =
+      Waveform::pulse(0.0, 1.0, 0.0, 0.1e-9, 0.1e-9, 0.4e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.3e-9), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(1.0e-9), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(2.3e-9), 1.0);  // second period
+  EXPECT_DOUBLE_EQ(w.value(4.3e-9), 1.0);  // third period
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  const Waveform w = Waveform::pwl({{1.0, 0.0}, {2.0, 2.0}, {4.0, -2.0}});
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);   // clamp before
+  EXPECT_DOUBLE_EQ(w.value(1.5), 1.0);   // interpolation
+  EXPECT_DOUBLE_EQ(w.value(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(10.0), -2.0); // clamp after
+}
+
+TEST(Waveform, MinMaxValues) {
+  const Waveform w = Waveform::pwl({{0.0, -2.0}, {1.0, 3.0}, {2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(w.max_value(), 3.0);
+  EXPECT_DOUBLE_EQ(w.min_value(), -2.0);
+}
+
+TEST(Waveform, BreakpointsClippedToStop) {
+  const Waveform w = Waveform::pwl({{1.0, 0.0}, {2.0, 1.0}, {5.0, 0.0}});
+  const auto bps = w.breakpoints(3.0);
+  ASSERT_EQ(bps.size(), 2u);
+  EXPECT_DOUBLE_EQ(bps[0], 1.0);
+  EXPECT_DOUBLE_EQ(bps[1], 2.0);
+}
+
+}  // namespace
+}  // namespace fetcam::spice

@@ -1,0 +1,85 @@
+#include "spice/waveio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "spice/elements.hpp"
+
+namespace fetcam::spice {
+namespace {
+
+Trace make_rc_trace() {
+  Circuit ckt;
+  const NodeId vin = ckt.node("vin");
+  const NodeId out = ckt.node("out");
+  ckt.emplace<VoltageSource>(
+      "V1", vin, kGround, Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0));
+  ckt.emplace<Resistor>("R1", vin, out, 1e3);
+  ckt.emplace<Capacitor>("C1", out, kGround, 1e-12);
+  TransientOptions opts;
+  opts.t_stop = 2e-9;
+  opts.dt = 50e-12;
+  auto res = run_transient(ckt, opts);
+  EXPECT_TRUE(res.ok);
+  return res.trace;
+}
+
+TEST(WaveIo, CsvHasHeaderAndAllSamples) {
+  const Trace trace = make_rc_trace();
+  std::ostringstream os;
+  ASSERT_TRUE(write_csv(os, trace, {"vin", "out"}));
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("t,vin,out\n", 0), 0u);
+  // One line per sample plus the header.
+  const auto lines = std::count(s.begin(), s.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), trace.size() + 1);
+}
+
+TEST(WaveIo, CsvFlagsUnknownSignals) {
+  const Trace trace = make_rc_trace();
+  std::ostringstream os;
+  EXPECT_FALSE(write_csv(os, trace, {"vin", "no_such_node"}));
+}
+
+TEST(WaveIo, VcdStructure) {
+  const Trace trace = make_rc_trace();
+  std::ostringstream os;
+  ASSERT_TRUE(write_vcd(os, trace, {"vin", "out"}));
+  const std::string s = os.str();
+  EXPECT_NE(s.find("$timescale 1000 fs $end"), std::string::npos);
+  EXPECT_NE(s.find("$var real 64 ! vin $end"), std::string::npos);
+  EXPECT_NE(s.find("$var real 64 \" out $end"), std::string::npos);
+  EXPECT_NE(s.find("$enddefinitions $end"), std::string::npos);
+  // Timestamps and real-value changes present.
+  EXPECT_NE(s.find("#0"), std::string::npos);
+  EXPECT_NE(s.find("r1 !"), std::string::npos);  // vin steps to 1 V
+}
+
+TEST(WaveIo, VcdOmitsUnchangedValues) {
+  const Trace trace = make_rc_trace();
+  std::ostringstream os;
+  write_vcd(os, trace, {"vin"});
+  const std::string s = os.str();
+  // vin settles at 1.0 after the edge: far fewer value changes than samples.
+  const auto changes = std::count(s.begin(), s.end(), 'r');
+  EXPECT_LT(static_cast<std::size_t>(changes), trace.size() / 2);
+}
+
+TEST(WaveIo, ExportWritesBothFiles) {
+  const Trace trace = make_rc_trace();
+  const std::string base = "waveio_test_out";
+  ASSERT_TRUE(export_waveforms(base, trace, {"vin", "out"}));
+  std::ifstream csv(base + ".csv");
+  std::ifstream vcd(base + ".vcd");
+  EXPECT_TRUE(csv.good());
+  EXPECT_TRUE(vcd.good());
+  std::remove((base + ".csv").c_str());
+  std::remove((base + ".vcd").c_str());
+}
+
+}  // namespace
+}  // namespace fetcam::spice

@@ -1,0 +1,86 @@
+// 16T CMOS baseline specifics: X encoding (both SRAM bits low), compare
+// stack behaviour, and its speed advantage over the FeFET designs.
+#include <gtest/gtest.h>
+
+#include "tcam/cmos16t.hpp"
+#include "tcam/sim_harness.hpp"
+
+namespace fetcam::tcam {
+namespace {
+
+using arch::TcamDesign;
+
+SearchMeasurement run16t(const std::string& stored, const std::string& query,
+                         spice::Trace* trace = nullptr) {
+  WordOptions opts;
+  opts.n_bits = static_cast<int>(stored.size());
+  SearchConfig cfg;
+  cfg.stored = arch::word_from_string(stored);
+  cfg.query = arch::bits_from_string(query);
+  return measure_search(TcamDesign::kCmos16T, opts, cfg, trace);
+}
+
+TEST(Cmos16t, XDisablesBothStacks) {
+  // An all-X word matches both all-zeros and all-ones queries: with both
+  // SRAM bits low neither stack can discharge the ML.
+  for (const std::string q : {"0000", "1111", "0101"}) {
+    const auto m = run16t("XXXX", q);
+    ASSERT_TRUE(m.ok) << m.error;
+    EXPECT_TRUE(m.measured_match) << q;
+  }
+}
+
+TEST(Cmos16t, StoredReadBack) {
+  WordOptions opts;
+  opts.n_bits = 4;
+  Cmos16tWord w(opts);
+  SearchConfig cfg;
+  cfg.stored = arch::word_from_string("01X0");
+  cfg.query = arch::bits_from_string("0100");
+  w.build_search(cfg);
+  EXPECT_EQ(arch::to_string(w.read_stored()), "01X0");
+}
+
+TEST(Cmos16t, FasterThanEveryFefetDesign) {
+  const auto lat = [&](TcamDesign d) {
+    WordOptions opts;
+    opts.n_bits = 16;
+    SearchConfig cfg;
+    cfg.stored = arch::word_from_string("1101010101010101");
+    cfg.query = arch::bits_from_string("0101010101010101");
+    const auto m = measure_search(d, opts, cfg);
+    EXPECT_TRUE(m.ok) << m.error;
+    return m.latency.value_or(1e9);
+  };
+  const double t16 = lat(TcamDesign::kCmos16T);
+  for (const auto d : {TcamDesign::k2SgFefet, TcamDesign::k2DgFefet,
+                       TcamDesign::k1p5SgFe, TcamDesign::k1p5DgFe}) {
+    EXPECT_LT(t16, lat(d)) << arch::design_name(d);
+  }
+}
+
+TEST(Cmos16t, StackIntermediateNodeDoesNotFalseDischarge) {
+  // A matching cell whose SL is high but whose stored bit gates the lower
+  // stack device off: only the intermediate node charges, the ML holds.
+  const auto m = run16t("0000", "0000");  // SL high on every cell, qt low
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_TRUE(m.measured_match);
+  // And the mirrored polarity.
+  const auto m2 = run16t("1111", "1111");
+  ASSERT_TRUE(m2.ok) << m2.error;
+  EXPECT_TRUE(m2.measured_match);
+}
+
+TEST(Cmos16t, SingleStepOnly) {
+  WordOptions opts;
+  opts.n_bits = 4;
+  Cmos16tWord w(opts);
+  SearchConfig cfg;
+  cfg.stored = arch::word_from_string("0000");
+  cfg.query = arch::bits_from_string("0000");
+  cfg.steps = 2;
+  EXPECT_THROW(w.build_search(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fetcam::tcam

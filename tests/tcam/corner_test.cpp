@@ -1,0 +1,92 @@
+// Process-corner robustness: the designs must decide correctly at the SS
+// and FF global corners, and the corner shifts must move latency the
+// expected way (slow corner = weaker drive = slower discharge).
+#include <gtest/gtest.h>
+
+#include "tcam/sim_harness.hpp"
+
+namespace fetcam::tcam {
+namespace {
+
+using arch::TcamDesign;
+using dev::tech14::Corner;
+
+class CornerTest
+    : public ::testing::TestWithParam<std::tuple<TcamDesign, Corner>> {};
+
+TEST_P(CornerTest, SearchDecidesCorrectly) {
+  const auto [design, corner] = GetParam();
+  WordOptions opts;
+  opts.n_bits = 8;
+  opts.corner = corner;
+  {
+    SearchConfig cfg;
+    cfg.stored = arch::word_from_string("01X00110");
+    cfg.query = arch::bits_from_string("01000110");
+    const auto m = measure_search(design, opts, cfg);
+    ASSERT_TRUE(m.ok) << m.error;
+    EXPECT_TRUE(m.measured_match);
+  }
+  {
+    SearchConfig cfg;
+    cfg.stored = arch::word_from_string("11X00110");
+    cfg.query = arch::bits_from_string("01000110");
+    const auto m = measure_search(design, opts, cfg);
+    ASSERT_TRUE(m.ok) << m.error;
+    EXPECT_FALSE(m.measured_match);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, CornerTest,
+    ::testing::Combine(::testing::Values(TcamDesign::k2SgFefet,
+                                         TcamDesign::k1p5SgFe,
+                                         TcamDesign::k1p5DgFe),
+                       ::testing::Values(Corner::kSlow, Corner::kTypical,
+                                         Corner::kFast)),
+    [](const ::testing::TestParamInfo<std::tuple<TcamDesign, Corner>>& info) {
+      std::string n = arch::design_name(std::get<0>(info.param)) + "_";
+      switch (std::get<1>(info.param)) {
+        case Corner::kSlow: n += "SS"; break;
+        case Corner::kTypical: n += "TT"; break;
+        case Corner::kFast: n += "FF"; break;
+      }
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(CornerLatency, SlowCornerIsSlower) {
+  const auto latency = [&](Corner corner) {
+    WordOptions opts;
+    opts.n_bits = 16;
+    opts.corner = corner;
+    SearchConfig cfg;
+    cfg.stored = arch::word_from_string("1101010101010101");
+    cfg.query = arch::bits_from_string("0101010101010101");
+    const auto m = measure_search(TcamDesign::k2SgFefet, opts, cfg);
+    EXPECT_TRUE(m.ok) << m.error;
+    EXPECT_TRUE(m.latency.has_value());
+    return m.latency.value_or(0.0);
+  };
+  const double ss = latency(Corner::kSlow);
+  const double tt = latency(Corner::kTypical);
+  const double ff = latency(Corner::kFast);
+  EXPECT_GT(ss, tt);
+  EXPECT_GT(tt, ff);
+}
+
+TEST(CornerCards, ShiftsAreSymmetricAroundTypical) {
+  const auto nom = dev::tech14::nfet();
+  const auto ss = dev::tech14::at_corner(nom, Corner::kSlow);
+  const auto ff = dev::tech14::at_corner(nom, Corner::kFast);
+  const auto tt = dev::tech14::at_corner(nom, Corner::kTypical);
+  EXPECT_DOUBLE_EQ(tt.vth0, nom.vth0);
+  EXPECT_NEAR(ss.vth0 - nom.vth0, nom.vth0 - ff.vth0, 1e-12);
+  EXPECT_GT(ss.vth0, ff.vth0);
+  EXPECT_LT(ss.u0, ff.u0);
+}
+
+}  // namespace
+}  // namespace fetcam::tcam

@@ -1,0 +1,112 @@
+// Locks the calibrated 1.5T1Fe divider design in place: every stored/query
+// corner must decide correctly and the Eq. 1 operating window must hold for
+// both device flavours.
+#include <gtest/gtest.h>
+
+#include "eval/calibration.hpp"
+#include "tcam/sim_harness.hpp"
+
+namespace fetcam::eval {
+namespace {
+
+class DividerTest : public ::testing::TestWithParam<tcam::Flavor> {};
+
+TEST_P(DividerTest, AllSixCornersDecideCorrectly) {
+  const auto points = characterize_divider(GetParam());
+  ASSERT_EQ(points.size(), 6u);
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.correct)
+        << "stored " << arch::to_char(p.stored) << " query " << p.query
+        << " slb=" << p.v_slb << " ml=" << p.v_ml;
+  }
+}
+
+TEST_P(DividerTest, SlbLevelsAreOrderedAcrossStates) {
+  // Searching '0' (Eq. 2): slb('1') > slb('X') > slb('0') — the divider
+  // discriminates monotonically in R_FE.
+  const auto points = characterize_divider(GetParam());
+  double v_on = 0.0, v_m = 0.0, v_off = 0.0;
+  for (const auto& p : points) {
+    if (p.query != 0) continue;
+    if (p.stored == arch::Ternary::kOne) v_on = p.v_slb;
+    if (p.stored == arch::Ternary::kX) v_m = p.v_slb;
+    if (p.stored == arch::Ternary::kZero) v_off = p.v_slb;
+  }
+  EXPECT_GT(v_on, v_m + 0.05);
+  EXPECT_GT(v_m, v_off);
+}
+
+TEST_P(DividerTest, MismatchSlbClearsTmlThresholdWithMargin) {
+  const auto points = characterize_divider(GetParam());
+  const auto r = extract_eq1_resistances(GetParam());
+  for (const auto& p : points) {
+    if (p.expect_match) {
+      if (p.query == 0) {
+        // Match legs through TN must sit below the TML threshold.
+        EXPECT_LT(p.v_slb, r.tml_vth)
+            << "stored " << arch::to_char(p.stored) << " q" << p.query;
+      }
+    } else {
+      EXPECT_GT(p.v_slb, r.tml_vth - 0.02)
+          << "stored " << arch::to_char(p.stored) << " q" << p.query;
+    }
+  }
+}
+
+TEST_P(DividerTest, Eq1OperatingWindowHolds) {
+  const auto r = extract_eq1_resistances(GetParam());
+  EXPECT_TRUE(r.functional())
+      << "R_ON=" << r.r_on << " R_N=" << r.r_n << " R_M0=" << r.r_m0
+      << " R_M1=" << r.r_m1 << " R_P=" << r.r_p << " R_OFF=" << r.r_off;
+  // The FeFET state ladder itself is strictly ordered.
+  EXPECT_LT(r.r_on, r.r_m0);
+  EXPECT_LT(r.r_m0, r.r_off);
+  EXPECT_LT(r.r_m1, r.r_p);
+  EXPECT_GT(r.r_off, 100.0 * r.r_p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, DividerTest,
+                         ::testing::Values(tcam::Flavor::kSg,
+                                           tcam::Flavor::kDg),
+                         [](const auto& info) {
+                           return info.param == tcam::Flavor::kSg ? "SG"
+                                                                  : "DG";
+                         });
+
+TEST(DividerWorstCase, AllWildcardWordMatchesEverything) {
+  // The hardest match-retention corner: every pair holds 'X' and every
+  // divider leaks a little toward TML; the ML must stay above the SA trip
+  // through both steps.  (This is the margin-limited corner of the DG
+  // design discussed in EXPERIMENTS.md.)
+  for (const auto design :
+       {arch::TcamDesign::k1p5SgFe, arch::TcamDesign::k1p5DgFe}) {
+    tcam::WordOptions opts;
+    opts.n_bits = 16;
+    tcam::SearchConfig cfg;
+    cfg.stored = arch::word_from_string("XXXXXXXXXXXXXXXX");
+    cfg.query = arch::bits_from_string("0000000000000000");
+    const auto m = tcam::measure_search(design, opts, cfg);
+    ASSERT_TRUE(m.ok) << m.error;
+    EXPECT_TRUE(m.measured_match) << arch::design_name(design);
+  }
+}
+
+TEST(DividerWorstCase, AllOnesSearchedZeroDischargesFast) {
+  // Every cell mismatching: the strongest aggregate discharge; must miss.
+  for (const auto design :
+       {arch::TcamDesign::k1p5SgFe, arch::TcamDesign::k1p5DgFe}) {
+    tcam::WordOptions opts;
+    opts.n_bits = 16;
+    tcam::SearchConfig cfg;
+    cfg.stored = arch::word_from_string("1111111111111111");
+    cfg.query = arch::bits_from_string("0000000000000000");
+    const auto m = tcam::measure_search(design, opts, cfg);
+    ASSERT_TRUE(m.ok) << m.error;
+    EXPECT_FALSE(m.measured_match);
+    ASSERT_TRUE(m.latency.has_value());
+    EXPECT_GT(*m.latency, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fetcam::eval

@@ -1,0 +1,174 @@
+// Full-array validation: a complete M x N 1.5T1Fe circuit (every row live,
+// shared column lines) must agree row-by-row with the behavioral model —
+// this is the cross-check that the word-slice harnesses do not hide
+// cross-row interactions.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tcam/full_array.hpp"
+
+namespace fetcam::tcam {
+namespace {
+
+using arch::BitWord;
+using arch::TernaryWord;
+
+std::vector<TernaryWord> stored_words(std::initializer_list<const char*> w) {
+  std::vector<TernaryWord> out;
+  for (const char* s : w) out.push_back(arch::word_from_string(s));
+  return out;
+}
+
+TEST(FullArray, MixedRowsResolveIndependently) {
+  FullArrayOptions opts;
+  opts.rows = 4;
+  opts.cols = 8;
+  const auto stored = stored_words(
+      {"01010101",    // exact match
+       "11010101",    // step-1 miss (bit 0)
+       "00010101",    // step-2 miss (bit 1)
+       "XXXXXXXX"});  // wildcard match
+  const auto query = arch::bits_from_string("01010101");
+  const auto res = simulate_array_search(Flavor::kDg, opts, stored, query);
+  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_EQ(res.rows.size(), 4u);
+  EXPECT_TRUE(res.rows[0].measured_match);
+  EXPECT_FALSE(res.rows[1].measured_match);
+  EXPECT_FALSE(res.rows[2].measured_match);
+  EXPECT_TRUE(res.rows[3].measured_match);
+  EXPECT_TRUE(res.all_correct());
+}
+
+TEST(FullArray, SgFlavorAgreesToo) {
+  FullArrayOptions opts;
+  opts.rows = 3;
+  opts.cols = 6;
+  const auto stored = stored_words({"010101", "0101X1", "111111"});
+  const auto query = arch::bits_from_string("010101");
+  const auto res = simulate_array_search(Flavor::kSg, opts, stored, query);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.all_correct());
+  EXPECT_TRUE(res.rows[0].measured_match);
+  EXPECT_TRUE(res.rows[1].measured_match);
+  EXPECT_FALSE(res.rows[2].measured_match);
+}
+
+TEST(FullArray, SharedColumnLinesDoNotCoupleRows) {
+  // A row full of mismatches (heavy divider currents) next to a matching
+  // row on the SAME column lines must not corrupt the matching row.
+  FullArrayOptions opts;
+  opts.rows = 3;
+  opts.cols = 8;
+  const auto stored = stored_words({"11111111", "01010101", "11111111"});
+  const auto query = arch::bits_from_string("01010101");
+  const auto res = simulate_array_search(Flavor::kDg, opts, stored, query);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_FALSE(res.rows[0].measured_match);
+  EXPECT_TRUE(res.rows[1].measured_match);
+  EXPECT_FALSE(res.rows[2].measured_match);
+  EXPECT_GT(res.rows[1].v_ml_latched, 0.5);
+}
+
+TEST(FullArray, RandomContentsAgreeWithGoldenRule) {
+  std::mt19937 rng(2024);
+  std::uniform_int_distribution<int> digit(0, 2);
+  std::uniform_int_distribution<int> bit(0, 1);
+  for (int trial = 0; trial < 2; ++trial) {
+    FullArrayOptions opts;
+    opts.rows = 4;
+    opts.cols = 6;
+    std::vector<TernaryWord> stored;
+    for (int r = 0; r < opts.rows; ++r) {
+      TernaryWord w;
+      for (int c = 0; c < opts.cols; ++c) {
+        w.push_back(static_cast<arch::Ternary>(digit(rng)));
+      }
+      stored.push_back(w);
+    }
+    BitWord query;
+    for (int c = 0; c < opts.cols; ++c) {
+      query.push_back(static_cast<std::uint8_t>(bit(rng)));
+    }
+    const auto res = simulate_array_search(Flavor::kDg, opts, stored, query);
+    ASSERT_TRUE(res.ok) << res.error;
+    for (int r = 0; r < opts.rows; ++r) {
+      EXPECT_EQ(res.rows[static_cast<std::size_t>(r)].measured_match,
+                res.rows[static_cast<std::size_t>(r)].expected_match)
+          << "trial " << trial << " row " << r << " stored "
+          << arch::to_string(stored[static_cast<std::size_t>(r)]) << " query "
+          << arch::to_string(query);
+    }
+  }
+}
+
+TEST(FullArray, ValidatesInput) {
+  FullArrayOptions opts;
+  opts.cols = 5;  // odd
+  EXPECT_THROW(OnePointFiveArray(Flavor::kDg, opts), std::invalid_argument);
+  opts.cols = 4;
+  OnePointFiveArray arr(Flavor::kDg, opts);
+  EXPECT_THROW(arr.build_search({}, arch::bits_from_string("0101"), {}),
+               std::invalid_argument);
+}
+
+TEST(FullArray, OneShot) {
+  FullArrayOptions opts;
+  opts.rows = 1;
+  opts.cols = 2;
+  OnePointFiveArray arr(Flavor::kDg, opts);
+  const auto stored = stored_words({"01"});
+  arr.build_search(stored, arch::bits_from_string("01"), {});
+  EXPECT_THROW(arr.build_search(stored, arch::bits_from_string("01"), {}),
+               std::logic_error);
+}
+
+TEST(TwoFefetArray, MixedRowsResolveIndependently) {
+  FullArrayOptions opts;
+  opts.rows = 4;
+  opts.cols = 8;
+  const auto stored = stored_words(
+      {"01010101", "11010101", "0101010X", "XXXXXXXX"});
+  const auto query = arch::bits_from_string("01010101");
+  for (const auto flavor : {Flavor::kSg, Flavor::kDg}) {
+    const auto res =
+        simulate_two_fefet_array_search(flavor, opts, stored, query);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.rows[0].measured_match);
+    EXPECT_FALSE(res.rows[1].measured_match);
+    EXPECT_TRUE(res.rows[2].measured_match);
+    EXPECT_TRUE(res.rows[3].measured_match);
+    EXPECT_TRUE(res.all_correct());
+  }
+}
+
+TEST(TwoFefetArray, SharedSearchLinesDoNotCoupleRows) {
+  FullArrayOptions opts;
+  opts.rows = 3;
+  opts.cols = 8;
+  const auto stored = stored_words({"11111111", "01010101", "11111111"});
+  const auto query = arch::bits_from_string("01010101");
+  const auto res =
+      simulate_two_fefet_array_search(Flavor::kDg, opts, stored, query);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_FALSE(res.rows[0].measured_match);
+  EXPECT_TRUE(res.rows[1].measured_match);
+  EXPECT_FALSE(res.rows[2].measured_match);
+}
+
+TEST(TwoFefetArray, OneShotAndValidation) {
+  FullArrayOptions opts;
+  opts.rows = 1;
+  opts.cols = 2;
+  TwoFefetArray arr(Flavor::kSg, opts);
+  const auto stored = stored_words({"01"});
+  arr.build_search(stored, arch::bits_from_string("01"), {});
+  EXPECT_THROW(arr.build_search(stored, arch::bits_from_string("01"), {}),
+               std::logic_error);
+  TwoFefetArray arr2(Flavor::kSg, opts);
+  EXPECT_THROW(arr2.build_search({}, arch::bits_from_string("01"), {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fetcam::tcam

@@ -1,0 +1,148 @@
+// Word-harness construction invariants: one-shot enforcement, netlist
+// sanity, design metadata, timing/waveform programming.
+#include <gtest/gtest.h>
+
+#include "spice/netlist.hpp"
+#include "tcam/cell_1p5t1fe.hpp"
+#include "tcam/cmos16t.hpp"
+#include "tcam/sim_harness.hpp"
+
+namespace fetcam::tcam {
+namespace {
+
+using arch::TcamDesign;
+
+SearchConfig simple_search(int n) {
+  SearchConfig cfg;
+  for (int i = 0; i < n; ++i) {
+    cfg.stored.push_back(arch::Ternary::kZero);
+    cfg.query.push_back(0);
+  }
+  return cfg;
+}
+
+class HarnessTest : public ::testing::TestWithParam<TcamDesign> {};
+
+TEST_P(HarnessTest, OneShotBuildEnforced) {
+  WordOptions opts;
+  opts.n_bits = 4;
+  auto h = make_word_harness(GetParam(), opts);
+  h->build_search(simple_search(4));
+  EXPECT_THROW(h->build_search(simple_search(4)), std::logic_error);
+}
+
+TEST_P(HarnessTest, RejectsSizeMismatches) {
+  WordOptions opts;
+  opts.n_bits = 8;
+  auto h = make_word_harness(GetParam(), opts);
+  EXPECT_THROW(h->build_search(simple_search(4)), std::invalid_argument);
+}
+
+TEST_P(HarnessTest, NoFloatingNodesInSearchNetlist) {
+  WordOptions opts;
+  opts.n_bits = 4;
+  auto h = make_word_harness(GetParam(), opts);
+  h->build_search(simple_search(4));
+  const auto floating = spice::find_floating_nodes(h->circuit());
+  EXPECT_TRUE(floating.empty())
+      << arch::design_name(GetParam()) << ": " << floating.front();
+}
+
+TEST_P(HarnessTest, MetadataIsConsistent) {
+  WordOptions opts;
+  opts.n_bits = 4;
+  auto h = make_word_harness(GetParam(), opts);
+  EXPECT_GT(h->cell_pitch(), 0.0);
+  EXPECT_LT(h->cell_pitch(), 1e-6);
+  EXPECT_GE(h->search_steps(), 1);
+  EXPECT_LE(h->search_steps(), 2);
+  EXPECT_EQ(h->design_name(), arch::design_name(GetParam()));
+}
+
+TEST_P(HarnessTest, SearchBuildExposesMlAndSaNodes) {
+  WordOptions opts;
+  opts.n_bits = 4;
+  auto h = make_word_harness(GetParam(), opts);
+  h->build_search(simple_search(4));
+  EXPECT_GT(h->ml_sense_node(), 0);
+  EXPECT_GT(h->sa_out_node(), 0);
+  EXPECT_GT(h->t_stop(), 0.0);
+  EXPECT_GT(h->suggested_dt(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, HarnessTest,
+    ::testing::Values(TcamDesign::kCmos16T, TcamDesign::k2SgFefet,
+                      TcamDesign::k2DgFefet, TcamDesign::k1p5SgFe,
+                      TcamDesign::k1p5DgFe),
+    [](const ::testing::TestParamInfo<TcamDesign>& info) {
+      std::string n = arch::design_name(info.param);
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(Harness, OnePointFiveRequiresEvenWidth) {
+  WordOptions opts;
+  opts.n_bits = 5;
+  EXPECT_THROW(OnePointFiveWord(Flavor::kDg, opts), std::invalid_argument);
+}
+
+TEST(Harness, OnePointFiveStepCount) {
+  WordOptions opts;
+  opts.n_bits = 4;
+  OnePointFiveWord w(Flavor::kDg, opts);
+  EXPECT_EQ(w.search_steps(), 2);
+  EXPECT_EQ(w.write_phases(), 3);
+  EXPECT_THROW(w.build_search(
+                   {arch::word_from_string("0000"),
+                    arch::bits_from_string("0000"), {}, /*steps=*/3}),
+               std::invalid_argument);
+}
+
+TEST(Harness, VmMatchesPaperLevels) {
+  WordOptions opts;
+  opts.n_bits = 2;
+  OnePointFiveWord dg(Flavor::kDg, opts);
+  OnePointFiveWord sg(Flavor::kSg, opts);
+  EXPECT_NEAR(dg.vm(), 1.6, 0.15);  // paper: 1.6 V
+  EXPECT_NEAR(sg.vm(), 3.2, 0.30);  // paper: 3.2 V
+  EXPECT_NEAR(dg.select_voltage(), 2.0, 1e-12);  // co-optimized with Vw
+  EXPECT_NEAR(sg.select_voltage(), 0.8, 1e-12);
+}
+
+TEST(Harness, TwoFefetSearchVoltages) {
+  WordOptions opts;
+  opts.n_bits = 2;
+  TwoFefetWord sg(Flavor::kSg, opts);
+  TwoFefetWord dg(Flavor::kDg, opts);
+  EXPECT_LT(sg.search_voltage(), 0.8);  // conservative FG read
+  EXPECT_NEAR(dg.search_voltage(), 2.0, 1e-12);  // Table I V_s
+}
+
+TEST(Harness, CellPitchTracksAreaModel) {
+  WordOptions opts;
+  opts.n_bits = 2;
+  TwoFefetWord sg(Flavor::kSg, opts);
+  EXPECT_NEAR(sg.cell_pitch(),
+              arch::cell_pitch_m(arch::TcamDesign::k2SgFefet), 1e-15);
+  OnePointFiveWord dg(Flavor::kDg, opts);
+  EXPECT_NEAR(dg.cell_pitch(),
+              arch::cell_pitch_m(arch::TcamDesign::k1p5DgFe), 1e-15);
+}
+
+TEST(Harness, DuplicateHarnessesAreIndependent) {
+  WordOptions opts;
+  opts.n_bits = 4;
+  auto a = make_word_harness(TcamDesign::k1p5DgFe, opts);
+  auto b = make_word_harness(TcamDesign::k1p5DgFe, opts);
+  a->build_search(simple_search(4));
+  // b is still buildable with a different configuration.
+  SearchConfig cfg = simple_search(4);
+  cfg.stored = arch::word_from_string("1X0X");
+  EXPECT_NO_THROW(b->build_search(cfg));
+}
+
+}  // namespace
+}  // namespace fetcam::tcam

@@ -1,0 +1,62 @@
+#include "tcam/parasitics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tcam/op_program.hpp"
+
+namespace fetcam::tcam {
+namespace {
+
+TEST(Wire, ScalesLinearlyWithPitch) {
+  const WireTech tech;
+  const auto a = wire_for_pitch(tech, 0.4e-6);
+  const auto b = wire_for_pitch(tech, 0.8e-6);
+  EXPECT_NEAR(b.resistance, 2.0 * a.resistance, 1e-12);
+  EXPECT_NEAR(b.capacitance, 2.0 * a.capacitance, 1e-24);
+}
+
+TEST(Wire, RepresentativeValues) {
+  // ~0.4 um pitch: a few Ohms and tens of aF — 14 nm intermediate metal.
+  const auto seg = wire_for_pitch({}, 0.4e-6);
+  EXPECT_GT(seg.resistance, 1.0);
+  EXPECT_LT(seg.resistance, 100.0);
+  EXPECT_GT(seg.capacitance, 1e-18);
+  EXPECT_LT(seg.capacitance, 1e-15);
+}
+
+TEST(SearchTiming, PhaseArithmetic) {
+  SearchTiming t;
+  t.t_precharge = 100e-12;
+  t.t_step = 300e-12;
+  t.t_slack = 50e-12;
+  t.t_tail = 80e-12;
+  EXPECT_DOUBLE_EQ(t.search_start(), 100e-12);
+  EXPECT_DOUBLE_EQ(t.step2_start(), 400e-12);
+  EXPECT_DOUBLE_EQ(t.stop_after(1), 480e-12);
+  EXPECT_DOUBLE_EQ(t.stop_after(2), 830e-12);
+}
+
+TEST(WriteTiming, PhaseArithmetic) {
+  WriteTiming t;
+  t.t_pulse = 40e-9;
+  t.t_gap = 5e-9;
+  EXPECT_DOUBLE_EQ(t.phase_start(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.phase_start(2), 90e-9);
+  EXPECT_DOUBLE_EQ(t.phase_end(2), 130e-9);
+  EXPECT_DOUBLE_EQ(t.stop_after(3), 140e-9);
+}
+
+TEST(LevelPlan, WaveformRealization) {
+  const auto w = levels_waveform({{0.0, 0.0}, {1e-9, 1.0}, {3e-9, -0.5}},
+                                 100e-12);
+  EXPECT_DOUBLE_EQ(w.value(0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(1.05e-9), 0.5);  // mid-edge
+  EXPECT_DOUBLE_EQ(w.value(2.0e-9), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(4.0e-9), -0.5);
+  // Breakpoints at every corner.
+  const auto bps = w.breakpoints(10e-9);
+  EXPECT_EQ(bps.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fetcam::tcam

@@ -1,0 +1,187 @@
+// Circuit-vs-golden search correctness: every design's word harness must
+// reproduce the ternary match rule for arbitrary stored/query combinations.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tcam/sim_harness.hpp"
+
+namespace fetcam::tcam {
+namespace {
+
+using arch::BitWord;
+using arch::TcamDesign;
+using arch::TernaryWord;
+
+const std::vector<TcamDesign> kAllDesigns = {
+    TcamDesign::kCmos16T, TcamDesign::k2SgFefet, TcamDesign::k2DgFefet,
+    TcamDesign::k1p5SgFe, TcamDesign::k1p5DgFe};
+
+SearchMeasurement run(TcamDesign d, const std::string& stored,
+                      const std::string& query) {
+  WordOptions opts;
+  opts.n_bits = static_cast<int>(stored.size());
+  SearchConfig cfg;
+  cfg.stored = arch::word_from_string(stored);
+  cfg.query = arch::bits_from_string(query);
+  return measure_search(d, opts, cfg);
+}
+
+// ---- parameterized over designs -----------------------------------------
+
+class DesignSearchTest : public ::testing::TestWithParam<TcamDesign> {};
+
+TEST_P(DesignSearchTest, ExactMatchStaysHigh) {
+  const auto m = run(GetParam(), "01100110", "01100110");
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_TRUE(m.expected_match);
+  EXPECT_TRUE(m.measured_match);
+}
+
+TEST_P(DesignSearchTest, OneCellMismatchDischarges) {
+  const auto m = run(GetParam(), "01100110", "11100110");
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_FALSE(m.expected_match);
+  EXPECT_FALSE(m.measured_match);
+  EXPECT_TRUE(m.latency.has_value());
+}
+
+TEST_P(DesignSearchTest, WildcardsMatchEitherPolarity) {
+  for (const std::string q : {"00000000", "11111111", "01010101"}) {
+    const auto m = run(GetParam(), "XXXXXXXX", q);
+    ASSERT_TRUE(m.ok) << m.error;
+    EXPECT_TRUE(m.measured_match) << "query " << q;
+  }
+}
+
+TEST_P(DesignSearchTest, MixedWildcardsRespectLiterals) {
+  const auto hit = run(GetParam(), "0XX1XX10", "00110010");
+  ASSERT_TRUE(hit.ok) << hit.error;
+  EXPECT_TRUE(hit.measured_match);
+  const auto miss = run(GetParam(), "0XX1XX10", "00100010");  // literal 1->0
+  ASSERT_TRUE(miss.ok) << miss.error;
+  EXPECT_FALSE(miss.measured_match);
+}
+
+TEST_P(DesignSearchTest, AllZeroAndAllOneWords) {
+  const auto m0 = run(GetParam(), "00000000", "00000000");
+  ASSERT_TRUE(m0.ok) << m0.error;
+  EXPECT_TRUE(m0.measured_match);
+  const auto m1 = run(GetParam(), "11111111", "11111111");
+  ASSERT_TRUE(m1.ok) << m1.error;
+  EXPECT_TRUE(m1.measured_match);
+  const auto mm = run(GetParam(), "00000000", "11111111");
+  ASSERT_TRUE(mm.ok) << mm.error;
+  EXPECT_FALSE(mm.measured_match);
+}
+
+TEST_P(DesignSearchTest, EnergyBucketsArePositive) {
+  const auto m = run(GetParam(), "01100110", "11100110");
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_GT(m.energy.precharge, 0.0);
+  EXPECT_GT(m.energy.sense_amp, 0.0);
+  EXPECT_GT(m.energy.total(), 0.0);
+  EXPECT_GT(m.energy_per_cell, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, DesignSearchTest, ::testing::ValuesIn(kAllDesigns),
+    [](const ::testing::TestParamInfo<TcamDesign>& info) {
+      std::string n = arch::design_name(info.param);
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+// ---- mismatch position sweep (1.5T1Fe step semantics) --------------------
+
+class MismatchPositionTest
+    : public ::testing::TestWithParam<std::tuple<TcamDesign, int>> {};
+
+TEST_P(MismatchPositionTest, DetectedAtAnyPosition) {
+  const auto [design, pos] = GetParam();
+  std::string stored = "01010101";
+  std::string query = stored;
+  // Flip the query bit at `pos` against a literal stored digit.
+  query[static_cast<std::size_t>(pos)] =
+      query[static_cast<std::size_t>(pos)] == '0' ? '1' : '0';
+  const auto m = run(design, stored, query);
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_FALSE(m.measured_match) << "pos " << pos;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Positions, MismatchPositionTest,
+    ::testing::Combine(::testing::Values(TcamDesign::k1p5SgFe,
+                                         TcamDesign::k1p5DgFe,
+                                         TcamDesign::k2SgFefet),
+                       ::testing::Values(0, 1, 3, 4, 6, 7)));
+
+// ---- randomized property sweep -------------------------------------------
+
+class RandomSearchTest
+    : public ::testing::TestWithParam<std::tuple<TcamDesign, int>> {};
+
+TEST_P(RandomSearchTest, AgreesWithGoldenRule) {
+  const auto [design, seed] = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed) * 1299709u + 3u);
+  std::uniform_int_distribution<int> digit(0, 2);
+  std::uniform_int_distribution<int> bit(0, 1);
+  std::string stored, query;
+  for (int c = 0; c < 8; ++c) {
+    stored.push_back("01X"[digit(rng)]);
+    query.push_back("01"[bit(rng)]);
+  }
+  const auto m = run(design, stored, query);
+  ASSERT_TRUE(m.ok) << m.error << " stored=" << stored << " query=" << query;
+  EXPECT_EQ(m.measured_match, m.expected_match)
+      << "stored=" << stored << " query=" << query;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, RandomSearchTest,
+    ::testing::Combine(::testing::ValuesIn(kAllDesigns),
+                       ::testing::Range(0, 4)));
+
+// ---- early termination semantics -----------------------------------------
+
+TEST(EarlyTermination, OneStepSearchIgnoresCell2Mismatch) {
+  // Mismatch only at an odd (cell2) position: a 1-step search must match.
+  WordOptions opts;
+  opts.n_bits = 8;
+  SearchConfig cfg;
+  cfg.stored = arch::word_from_string("01010101");
+  cfg.query = arch::bits_from_string("00010101");  // bit 1 mismatches
+  cfg.steps = 1;
+  const auto m = measure_search(arch::TcamDesign::k1p5DgFe, opts, cfg);
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_TRUE(m.expected_match);   // per 1-step semantics
+  EXPECT_TRUE(m.measured_match);   // SeL_b never raised
+  // The same search with both steps must miss.
+  cfg.steps = 2;
+  const auto m2 = measure_search(arch::TcamDesign::k1p5DgFe, opts, cfg);
+  ASSERT_TRUE(m2.ok) << m2.error;
+  EXPECT_FALSE(m2.measured_match);
+}
+
+TEST(EarlyTermination, SavesSearchSignalEnergy) {
+  WordOptions opts;
+  opts.n_bits = 16;
+  SearchConfig cfg;
+  cfg.stored = arch::word_from_string("1101010101010101");
+  cfg.query = arch::bits_from_string("0101010101010101");  // step-1 miss
+  cfg.steps = 1;
+  const auto e1 = measure_search(arch::TcamDesign::k1p5DgFe, opts, cfg);
+  cfg.steps = 2;
+  // Step-2 miss variant.
+  cfg.stored = arch::word_from_string("0001010101010101");
+  cfg.query = arch::bits_from_string("0101010101010101");
+  const auto e2 = measure_search(arch::TcamDesign::k1p5DgFe, opts, cfg);
+  ASSERT_TRUE(e1.ok) << e1.error;
+  ASSERT_TRUE(e2.ok) << e2.error;
+  EXPECT_LT(e1.energy_per_cell, e2.energy_per_cell);
+}
+
+}  // namespace
+}  // namespace fetcam::tcam

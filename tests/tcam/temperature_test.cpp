@@ -1,0 +1,88 @@
+// Temperature robustness: the calibrated designs must keep deciding
+// correctly across the industrial temperature range (the device cards
+// shift V_TH, mobility, and subthreshold slope with T).
+#include <gtest/gtest.h>
+
+#include "tcam/sim_harness.hpp"
+
+namespace fetcam::tcam {
+namespace {
+
+using arch::TcamDesign;
+
+class TemperatureTest
+    : public ::testing::TestWithParam<std::tuple<TcamDesign, int>> {};
+
+TEST_P(TemperatureTest, SearchDecidesCorrectly) {
+  const auto [design, kelvin] = GetParam();
+  WordOptions opts;
+  opts.n_bits = 8;
+  opts.temperature_k = kelvin;
+  // One matching and one mismatching scenario per temperature.
+  {
+    SearchConfig cfg;
+    cfg.stored = arch::word_from_string("01X00110");
+    cfg.query = arch::bits_from_string("01000110");
+    const auto m = measure_search(design, opts, cfg);
+    ASSERT_TRUE(m.ok) << m.error;
+    EXPECT_TRUE(m.measured_match) << "T=" << kelvin;
+  }
+  {
+    SearchConfig cfg;
+    cfg.stored = arch::word_from_string("11X00110");
+    cfg.query = arch::bits_from_string("01000110");
+    const auto m = measure_search(design, opts, cfg);
+    ASSERT_TRUE(m.ok) << m.error;
+    EXPECT_FALSE(m.measured_match) << "T=" << kelvin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, TemperatureTest,
+    ::testing::Combine(::testing::Values(TcamDesign::k2SgFefet,
+                                         TcamDesign::k1p5SgFe,
+                                         TcamDesign::k1p5DgFe),
+                       ::testing::Values(260, 300, 340)),
+    [](const ::testing::TestParamInfo<std::tuple<TcamDesign, int>>& info) {
+      std::string n = arch::design_name(std::get<0>(info.param)) + "_" +
+                      std::to_string(std::get<1>(info.param)) + "K";
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(Temperature, HotWriteStillLandsAllStates) {
+  WordOptions opts;
+  opts.n_bits = 4;
+  opts.temperature_k = 350.0;
+  WriteConfig cfg;
+  cfg.data = arch::word_from_string("01X0");
+  cfg.initial = arch::word_from_string("10X1");
+  const auto m = measure_write(arch::TcamDesign::k1p5DgFe, opts, cfg);
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_TRUE(m.data_ok) << arch::to_string(m.final_state);
+}
+
+TEST(Temperature, LeakageGrowsWithT) {
+  // The match-case ML droop rate (pure leakage) must grow from cold to hot.
+  const auto droop = [&](double kelvin) {
+    WordOptions opts;
+    opts.n_bits = 8;
+    opts.temperature_k = kelvin;
+    SearchConfig cfg;
+    cfg.stored = arch::word_from_string("XXXXXXXX");
+    cfg.query = arch::bits_from_string("00000000");
+    spice::Trace trace;
+    const auto m =
+        measure_search(arch::TcamDesign::k1p5DgFe, opts, cfg, &trace);
+    EXPECT_TRUE(m.ok) << m.error;
+    const double v0 = trace.voltage_at_time("ml3", 0.3e-9);
+    const double v1 = trace.voltage_at_time("ml3", 1.0e-9);
+    return v0 - v1;
+  };
+  EXPECT_GT(droop(340.0), droop(260.0));
+}
+
+}  // namespace
+}  // namespace fetcam::tcam

@@ -1,0 +1,60 @@
+// Calibration scout: prints the 1.5T1Fe divider voltages (SL_bar) for every
+// stored-state x query combination and the device resistances of Eq. 1, for
+// both flavours.  Used to tune TN/TP/TML sizing and the MVT target; the
+// conclusions are locked in by tests/tcam/divider_test.cpp.
+#include <cstdio>
+
+#include "spice/measure.hpp"
+#include "spice/op.hpp"
+#include "tcam/cell_1p5t1fe.hpp"
+#include "tcam/sim_harness.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+void divider_report(tcam::Flavor flavor) {
+  std::printf("==== 1.5T1Fe %s divider ====\n",
+              flavor == tcam::Flavor::kSg ? "SG" : "DG");
+  std::printf("%-8s %-6s | %-10s %-10s %-12s\n", "stored", "query", "V(slb)",
+              "match?", "note");
+  for (const char s : {'0', '1', 'X'}) {
+    for (const char q : {'0', '1'}) {
+      // 2-bit word: cell under test + a matching don't-care partner.
+      tcam::WordOptions opts;
+      opts.n_bits = 2;
+      tcam::SearchConfig cfg;
+      cfg.stored = arch::word_from_string(std::string(1, s) + "X");
+      cfg.query = arch::bits_from_string(std::string(1, q) + "0");
+      cfg.steps = 1;
+      tcam::OnePointFiveWord w(flavor, opts);
+      w.build_search(cfg);
+      // Solve the static divider at mid-step-1 via transient to that point.
+      spice::TransientOptions topts;
+      topts.t_stop = cfg.timing.search_start() + 0.9 * cfg.timing.t_step;
+      topts.dt = w.suggested_dt();
+      const auto res = run_transient(w.circuit(), topts);
+      if (!res.ok) {
+        std::printf("  %c vs %c: SIM FAIL: %s\n", s, q, res.error.c_str());
+        continue;
+      }
+      const auto& ckt = w.circuit();
+      const double v_slb = res.trace.voltage_at_time(
+          ckt.node_name(w.slb_node(0)), topts.t_stop);
+      const double v_ml = res.trace.voltage_at_time(
+          ckt.node_name(w.ml_sense_node()), topts.t_stop);
+      const bool expect_match = arch::ternary_matches(
+          arch::ternary_from_char(s), q == '1');
+      std::printf("%-8c %-6c | %-10.4f ml=%-7.3f expect %s\n", s, q, v_slb,
+                  v_ml, expect_match ? "MATCH" : "miss ");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  divider_report(tcam::Flavor::kDg);
+  divider_report(tcam::Flavor::kSg);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Calibration scout: prints the Table IV figures of merit for all designs.
+#include <cstdio>
+
+#include "eval/fom.hpp"
+#include "eval/report.hpp"
+
+using namespace fetcam;
+
+int main(int argc, char** argv) {
+  eval::FomOptions opts;
+  if (argc > 1) opts.n_bits = std::atoi(argv[1]);
+
+  eval::TextTable t({"design", "Vw", "tFE", "area", "writeE", "lat1", "lat",
+                     "E1", "E2", "Eavg", "Epre", "Esa", "Esig"});
+  for (const auto d :
+       {arch::TcamDesign::kCmos16T, arch::TcamDesign::k2SgFefet,
+        arch::TcamDesign::k2DgFefet, arch::TcamDesign::k1p5SgFe,
+        arch::TcamDesign::k1p5DgFe}) {
+    const auto fom = eval::evaluate_fom(d, opts);
+    if (!fom.ok) {
+      std::printf("%s FAILED: %s\n", fom.name.c_str(), fom.error.c_str());
+      continue;
+    }
+    const double n = opts.n_bits;
+    t.add_row({fom.name, eval::format_eng(fom.write_voltage, "V"),
+               eval::format_eng(fom.t_fe_nm, "nm"),
+               eval::format_eng(fom.cell_area_um2, "um2"),
+               eval::format_eng(fom.write_energy_fj, "fJ"),
+               eval::format_eng(fom.latency_1step_ps, "ps"),
+               eval::format_eng(fom.latency_ps, "ps"),
+               eval::format_eng(fom.energy_1step_fj, "fJ"),
+               eval::format_eng(fom.energy_2step_fj, "fJ"),
+               eval::format_eng(fom.energy_avg_fj, "fJ"),
+               eval::format_eng(fom.energy_breakdown.precharge * 1e15 / n, "fJ"),
+               eval::format_eng(fom.energy_breakdown.sense_amp * 1e15 / n, "fJ"),
+               eval::format_eng(fom.energy_breakdown.signals * 1e15 / n, "fJ")});
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,247 @@
+// fetcam command-line driver: run any reproduction experiment by name.
+//
+//   fetcam_cli table4 [n_bits]        Table IV FoM comparison
+//   fetcam_cli fig1                   FeFET I-V curves + memory windows
+//   fetcam_cli fig4                   two-step search waveform summary
+//   fetcam_cli fig7 [n1 n2 ...]       word-length sweep
+//   fetcam_cli ops <design>           operation-table verification
+//   fetcam_cli divider                1.5T1Fe divider corners (SG + DG)
+//   fetcam_cli variability [sigma]    Monte-Carlo divider yield
+//   fetcam_cli disturb                read-disturb comparison
+//   fetcam_cli halfselect             write half-select disturb study
+//   fetcam_cli search <design> <stored> <query>
+//                                     one circuit-level search
+//   fetcam_cli datasheet [rows cols]  array-level macro comparison
+//   fetcam_cli export <design> <stored> <query> <file.cir>
+//                                     ngspice deck of one search netlist
+// Designs: 16t, 2sg, 2dg, 1.5sg, 1.5dg.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "eval/calibration.hpp"
+#include "eval/disturb.hpp"
+#include "eval/half_select.hpp"
+#include "eval/array_eval.hpp"
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "eval/variability.hpp"
+#include "spice/spice_export.hpp"
+#include "tcam/sim_harness.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fetcam_cli <table4|fig1|fig4|fig7|ops|divider|"
+               "variability|disturb|halfselect|search|datasheet|export> [args]\n"
+               "  see the header comment of tools/fetcam_cli.cpp\n");
+  return 2;
+}
+
+bool parse_design(const std::string& s, arch::TcamDesign& out) {
+  if (s == "16t") out = arch::TcamDesign::kCmos16T;
+  else if (s == "2sg") out = arch::TcamDesign::k2SgFefet;
+  else if (s == "2dg") out = arch::TcamDesign::k2DgFefet;
+  else if (s == "1.5sg") out = arch::TcamDesign::k1p5SgFe;
+  else if (s == "1.5dg") out = arch::TcamDesign::k1p5DgFe;
+  else return false;
+  return true;
+}
+
+int cmd_table4(int argc, char** argv) {
+  eval::FomOptions opts;
+  if (argc > 0) opts.n_bits = std::atoi(argv[0]);
+  const auto foms = eval::table4(opts);
+  std::printf("%s", eval::render_table4(foms).c_str());
+  return 0;
+}
+
+int cmd_fig1() {
+  for (const auto& c : {eval::fig1_sg_fg_read(), eval::fig1_dg_bg_read()}) {
+    std::printf("%s: MW=%.2f V, on/off=%.3g %s\n", c.label.c_str(),
+                c.memory_window, c.on_off_ratio, c.ok ? "" : "(FAILED)");
+  }
+  return 0;
+}
+
+int cmd_fig4() {
+  for (const auto& c : eval::fig4_waveforms(tcam::Flavor::kDg)) {
+    std::printf("%-12s -> SA %s %s\n", c.label.c_str(),
+                c.matched ? "match" : "miss", c.ok ? "" : "(FAILED)");
+  }
+  return 0;
+}
+
+int cmd_fig7(int argc, char** argv) {
+  std::vector<int> lengths;
+  for (int i = 0; i < argc; ++i) lengths.push_back(std::atoi(argv[i]));
+  if (lengths.empty()) lengths = {16, 32, 64};
+  for (const auto d :
+       {arch::TcamDesign::k2SgFefet, arch::TcamDesign::k2DgFefet,
+        arch::TcamDesign::k1p5SgFe, arch::TcamDesign::k1p5DgFe}) {
+    std::printf("%s:\n", arch::design_name(d).c_str());
+    for (const auto& p : eval::fig7_sweep(d, lengths)) {
+      std::printf("  N=%-4d latency %.0f ps, E_avg %.3f fJ/cell %s\n",
+                  p.n_bits, p.latency_full_ps, p.energy_avg_fj,
+                  p.ok ? "" : "(FAILED)");
+    }
+  }
+  return 0;
+}
+
+int cmd_ops(int argc, char** argv) {
+  arch::TcamDesign d;
+  if (argc < 1 || !parse_design(argv[0], d)) return usage();
+  int failures = 0;
+  for (const auto& c : eval::verify_operation_table(d)) {
+    std::printf("%-26s %-40s %s\n", c.operation.c_str(), c.detail.c_str(),
+                c.passed ? "OK" : "FAIL");
+    if (!c.passed) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_divider() {
+  for (const auto flavor : {tcam::Flavor::kSg, tcam::Flavor::kDg}) {
+    std::printf("1.5T1%s-Fe:\n", flavor == tcam::Flavor::kSg ? "SG" : "DG");
+    for (const auto& p : eval::characterize_divider(flavor)) {
+      std::printf("  stored %c query %d: slb=%.3f ml=%.3f %s\n",
+                  arch::to_char(p.stored), p.query, p.v_slb, p.v_ml,
+                  p.correct ? "OK" : "WRONG");
+    }
+  }
+  return 0;
+}
+
+int cmd_variability(int argc, char** argv) {
+  eval::VariabilityParams p;
+  if (argc > 0) {
+    const double scale = std::atof(argv[0]);
+    p.sigma_fefet_vth *= scale;
+    p.sigma_ps_rel *= scale;
+    p.sigma_mos_vth *= scale;
+    p.sigma_vc_rel *= scale;
+  }
+  for (const auto flavor : {tcam::Flavor::kSg, tcam::Flavor::kDg}) {
+    const auto rep = eval::analyze_variability(flavor, p);
+    std::printf("1.5T1%s-Fe yield %.1f%%\n",
+                flavor == tcam::Flavor::kSg ? "SG" : "DG",
+                100.0 * rep.cell_yield);
+    for (const auto& c : rep.corners) {
+      std::printf("  stored %c q%d: fail %.1f%%, worst margin %.0f mV\n",
+                  arch::to_char(c.stored), c.query, 100.0 * c.failure_rate(),
+                  c.worst_margin * 1e3);
+    }
+  }
+  return 0;
+}
+
+int cmd_halfselect() {
+  for (const bool dg : {true, false}) {
+    std::printf("%s flavour:\n", dg ? "DG" : "SG");
+    for (const auto& pt : eval::half_select_study(dg)) {
+      std::printf("  %-32s v_FE=%.2f V, writes to fail: %lld%s\n",
+                  eval::inhibit_scheme_name(pt.scheme).c_str(),
+                  pt.v_fe_program, pt.writes_to_fail,
+                  pt.survives_budget ? "+ (survives budget)" : "");
+    }
+  }
+  return 0;
+}
+
+int cmd_disturb() {
+  const auto res = eval::read_disturb_comparison();
+  for (const auto& pt : res.sg_fg_read) {
+    std::printf("SG FG read %.2f V: |dP|/Ps = %.3g\n", pt.v_read,
+                pt.p_drift_norm);
+  }
+  std::printf("DG BG read %.2f V: |dP|/Ps = %.3g (disturb-free)\n",
+              res.dg_bg_read.v_read, res.dg_bg_read.p_drift_norm);
+  return 0;
+}
+
+int cmd_datasheet(int argc, char** argv) {
+  eval::DatasheetOptions opts;
+  if (argc >= 2) {
+    opts.rows = std::atoi(argv[0]);
+    opts.cols = std::atoi(argv[1]);
+  }
+  std::vector<eval::ArrayDatasheet> sheets;
+  for (const auto d :
+       {arch::TcamDesign::kCmos16T, arch::TcamDesign::k2SgFefet,
+        arch::TcamDesign::k2DgFefet, arch::TcamDesign::k1p5SgFe,
+        arch::TcamDesign::k1p5DgFe}) {
+    sheets.push_back(eval::array_datasheet(d, opts));
+  }
+  std::printf("%s", eval::render_datasheets(sheets).c_str());
+  return 0;
+}
+
+int cmd_export(int argc, char** argv) {
+  arch::TcamDesign d;
+  if (argc < 4 || !parse_design(argv[0], d)) return usage();
+  tcam::SearchConfig cfg;
+  cfg.stored = arch::word_from_string(argv[1]);
+  cfg.query = arch::bits_from_string(argv[2]);
+  tcam::WordOptions opts;
+  opts.n_bits = static_cast<int>(cfg.stored.size());
+  auto h = tcam::make_word_harness(d, opts);
+  h->build_search(cfg);
+  spice::SpiceExportOptions eopts;
+  eopts.title = arch::design_name(d) + " search: stored " +
+                std::string(argv[1]) + " query " + argv[2];
+  eopts.tran_step = 2e-12;
+  eopts.tran_stop = h->t_stop();
+  if (!spice::export_ngspice_file(argv[3], h->circuit(), eopts)) {
+    std::fprintf(stderr, "export failed\n");
+    return 1;
+  }
+  std::printf("wrote %s (%d devices)\n", argv[3],
+              static_cast<int>(h->circuit().devices().size()));
+  return 0;
+}
+
+int cmd_search(int argc, char** argv) {
+  arch::TcamDesign d;
+  if (argc < 3 || !parse_design(argv[0], d)) return usage();
+  tcam::SearchConfig cfg;
+  cfg.stored = arch::word_from_string(argv[1]);
+  cfg.query = arch::bits_from_string(argv[2]);
+  tcam::WordOptions opts;
+  opts.n_bits = static_cast<int>(cfg.stored.size());
+  const auto m = tcam::measure_search(d, opts, cfg);
+  if (!m.ok) {
+    std::printf("simulation failed: %s\n", m.error.c_str());
+    return 1;
+  }
+  std::printf("%s: stored %s vs query %s -> %s (expected %s)\n",
+              arch::design_name(d).c_str(), argv[1], argv[2],
+              m.measured_match ? "MATCH" : "miss",
+              m.expected_match ? "MATCH" : "miss");
+  if (m.latency) std::printf("latency: %.0f ps\n", *m.latency * 1e12);
+  std::printf("energy/cell: %.3f fJ\n", m.energy_per_cell * 1e15);
+  return m.measured_match == m.expected_match ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "table4") return cmd_table4(argc - 2, argv + 2);
+  if (cmd == "fig1") return cmd_fig1();
+  if (cmd == "fig4") return cmd_fig4();
+  if (cmd == "fig7") return cmd_fig7(argc - 2, argv + 2);
+  if (cmd == "ops") return cmd_ops(argc - 2, argv + 2);
+  if (cmd == "divider") return cmd_divider();
+  if (cmd == "variability") return cmd_variability(argc - 2, argv + 2);
+  if (cmd == "disturb") return cmd_disturb();
+  if (cmd == "halfselect") return cmd_halfselect();
+  if (cmd == "search") return cmd_search(argc - 2, argv + 2);
+  if (cmd == "datasheet") return cmd_datasheet(argc - 2, argv + 2);
+  if (cmd == "export") return cmd_export(argc - 2, argv + 2);
+  return usage();
+}
