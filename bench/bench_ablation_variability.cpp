@@ -19,35 +19,53 @@
 #include "eval/report.hpp"
 #include "eval/trim.hpp"
 #include "eval/variability.hpp"
+#include "util/parallel.hpp"
 
 using namespace fetcam;
 
 namespace {
 
 void print_variability() {
-  std::printf("-- 1. Monte-Carlo divider yield (200 samples/point) --\n");
+  std::printf("-- 1. Monte-Carlo divider yield (200 samples/point, %d "
+              "thread(s)) --\n",
+              util::thread_count());
   eval::TextTable t({"flavor", "sigma scale", "open-loop yield",
                      "trimmed yield", "worst margin (open)"});
+  // Sweep the flavor x sigma grid as a parallel map (the nested analyses
+  // run inline on the owning worker); each slot renders its own row, so
+  // the table order is fixed regardless of schedule.
+  struct GridPoint {
+    tcam::Flavor flavor;
+    double scale;
+  };
+  std::vector<GridPoint> grid;
   for (const auto flavor : {tcam::Flavor::kSg, tcam::Flavor::kDg}) {
     for (const double scale : {0.5, 1.0, 2.0, 3.0}) {
-      eval::VariabilityParams p;
-      p.sigma_fefet_vth *= scale;
-      p.sigma_ps_rel *= scale;
-      p.sigma_mos_vth *= scale;
-      p.sigma_vc_rel *= scale;
-      const auto rep = eval::analyze_variability(flavor, p);
-      const auto trimmed = eval::analyze_variability_trimmed(flavor, p);
-      double worst = 1e9;
-      for (const auto& c : rep.corners) {
-        worst = std::min(worst, c.worst_margin);
-      }
-      t.add_row({flavor == tcam::Flavor::kSg ? "1.5T1SG-Fe" : "1.5T1DG-Fe",
-                 eval::format_eng(scale, "x"),
-                 eval::format_eng(100.0 * rep.cell_yield, "%"),
-                 eval::format_eng(100.0 * trimmed.cell_yield, "%"),
-                 eval::format_eng(worst * 1e3, "mV")});
+      grid.push_back({flavor, scale});
     }
   }
+  const auto rows = util::parallel_map<std::vector<std::string>>(
+      grid.size(), [&](std::size_t k) {
+        const auto [flavor, scale] = grid[k];
+        eval::VariabilityParams p;
+        p.sigma_fefet_vth *= scale;
+        p.sigma_ps_rel *= scale;
+        p.sigma_mos_vth *= scale;
+        p.sigma_vc_rel *= scale;
+        const auto rep = eval::analyze_variability(flavor, p);
+        const auto trimmed = eval::analyze_variability_trimmed(flavor, p);
+        double worst = 1e9;
+        for (const auto& c : rep.corners) {
+          worst = std::min(worst, c.worst_margin);
+        }
+        return std::vector<std::string>{
+            flavor == tcam::Flavor::kSg ? "1.5T1SG-Fe" : "1.5T1DG-Fe",
+            eval::format_eng(scale, "x"),
+            eval::format_eng(100.0 * rep.cell_yield, "%"),
+            eval::format_eng(100.0 * trimmed.cell_yield, "%"),
+            eval::format_eng(worst * 1e3, "mV")};
+      });
+  for (const auto& row : rows) t.add_row(row);
   std::printf("%s", t.str().c_str());
   std::printf(
       "(nominal sigma: FeFET Vth 30 mV, Ps 5%%, coercive V 3%%, MOSFET Vth\n"
@@ -119,6 +137,27 @@ void BM_Variability200(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Variability200)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Thread-scaling study for EXPERIMENTS.md: the same 2000-sample analysis
+// at 1 / 2 / 4 / 8 pool threads.  Results are bit-identical across args
+// (the determinism golden test asserts this); only wall clock changes.
+void BM_VariabilityScaling(benchmark::State& state) {
+  util::set_thread_count(static_cast<int>(state.range(0)));
+  eval::VariabilityParams p;
+  p.samples = 2000;
+  for (auto _ : state) {
+    auto rep = eval::analyze_variability(tcam::Flavor::kDg, p);
+    benchmark::DoNotOptimize(rep);
+  }
+  util::set_thread_count(0);
+}
+BENCHMARK(BM_VariabilityScaling)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 void BM_DisturbSweep(benchmark::State& state) {
   for (auto _ : state) {

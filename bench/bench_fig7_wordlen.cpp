@@ -14,6 +14,7 @@
 
 #include "eval/experiments.hpp"
 #include "eval/report.hpp"
+#include "util/parallel.hpp"
 
 using namespace fetcam;
 
@@ -26,12 +27,15 @@ void run_and_print() {
       arch::TcamDesign::k2SgFefet, arch::TcamDesign::k2DgFefet,
       arch::TcamDesign::k1p5SgFe, arch::TcamDesign::k1p5DgFe};
 
-  std::vector<std::vector<eval::SweepPoint>> data;
-  for (const auto d : designs) {
-    std::printf("sweeping %s...\n", arch::design_name(d).c_str());
-    std::fflush(stdout);
-    data.push_back(eval::fig7_sweep(d, kLengths));
-  }
+  // Parallel over designs (the inner per-length sweep then runs inline on
+  // whichever worker owns the design); slot di keeps the output ordered.
+  std::printf("sweeping %d designs x %d lengths on %d thread(s)...\n",
+              static_cast<int>(designs.size()),
+              static_cast<int>(kLengths.size()), util::thread_count());
+  std::fflush(stdout);
+  const auto data = util::parallel_map<std::vector<eval::SweepPoint>>(
+      designs.size(),
+      [&](std::size_t di) { return eval::fig7_sweep(designs[di], kLengths); });
 
   std::printf("\n-- Fig. 7(a): search latency (ps) vs word length --\n");
   {

@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fetcam_arch.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fetcam_util.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -254,4 +254,4 @@ bench/CMakeFiles/bench_ablation_variability.dir/bench_ablation_variability.cpp.o
  /root/repo/src/tcam/sense_amp.hpp /root/repo/src/spice/elements.hpp \
  /root/repo/src/eval/disturb.hpp /root/repo/src/eval/half_select.hpp \
  /root/repo/src/eval/report.hpp /root/repo/src/eval/trim.hpp \
- /root/repo/src/eval/variability.hpp
+ /root/repo/src/eval/variability.hpp /root/repo/src/util/parallel.hpp

@@ -254,4 +254,4 @@ bench/CMakeFiles/bench_fig7_wordlen.dir/bench_fig7_wordlen.cpp.o: \
  /root/repo/src/tcam/sense_amp.hpp /root/repo/src/spice/elements.hpp \
  /root/repo/src/tcam/cell_1p5t1fe.hpp /root/repo/src/devices/fefet.hpp \
  /root/repo/src/devices/preisach.hpp /root/repo/src/tcam/cell_2fefet.hpp \
- /root/repo/src/eval/report.hpp
+ /root/repo/src/eval/report.hpp /root/repo/src/util/parallel.hpp

@@ -23,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fetcam_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fetcam_util.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fetcam_devices.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fetcam_arch.dir/DependInfo.cmake"

@@ -253,4 +253,5 @@ src/CMakeFiles/fetcam_eval.dir/eval/experiments.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/eval/report.hpp \
- /root/repo/src/spice/dcsweep.hpp /root/repo/src/spice/measure.hpp
+ /root/repo/src/spice/dcsweep.hpp /root/repo/src/spice/measure.hpp \
+ /root/repo/src/util/parallel.hpp

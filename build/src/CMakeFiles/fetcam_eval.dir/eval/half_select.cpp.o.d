@@ -241,4 +241,6 @@ src/CMakeFiles/fetcam_eval.dir/eval/half_select.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/devices/mosfet.hpp /root/repo/src/devices/preisach.hpp
+ /root/repo/src/devices/mosfet.hpp /root/repo/src/devices/preisach.hpp \
+ /root/repo/src/util/parallel.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h

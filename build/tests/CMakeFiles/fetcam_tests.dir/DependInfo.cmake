@@ -33,6 +33,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/eval/half_select_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/half_select_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/half_select_test.cpp.o.d"
   "/root/repo/tests/eval/report_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/report_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/report_test.cpp.o.d"
   "/root/repo/tests/eval/trim_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/trim_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/trim_test.cpp.o.d"
+  "/root/repo/tests/eval/variability_determinism_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/variability_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/variability_determinism_test.cpp.o.d"
   "/root/repo/tests/eval/variability_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/variability_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/variability_test.cpp.o.d"
   "/root/repo/tests/numeric/lu_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/numeric/lu_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/numeric/lu_test.cpp.o.d"
   "/root/repo/tests/numeric/matrix_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/numeric/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/numeric/matrix_test.cpp.o.d"
@@ -58,6 +59,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/tcam/search_correctness_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/search_correctness_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/search_correctness_test.cpp.o.d"
   "/root/repo/tests/tcam/temperature_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/temperature_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/temperature_test.cpp.o.d"
   "/root/repo/tests/tcam/write_path_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/write_path_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/write_path_test.cpp.o.d"
+  "/root/repo/tests/util/parallel_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/util/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/util/parallel_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/util/rng_test.cpp.o.d"
   )
 
 # Targets to which this target links.
@@ -68,6 +71,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fetcam_arch.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fetcam_util.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

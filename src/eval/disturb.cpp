@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "devices/preisach.hpp"
+#include "util/parallel.hpp"
 
 namespace fetcam::eval {
 
@@ -32,15 +33,18 @@ DisturbResult read_disturb_comparison(const DisturbParams& params) {
   const auto sg = dev::sg_fefet_params();
   const auto dg = dev::dg_fefet_params();
 
-  for (const double ratio : params.stress_ratios) {
-    DisturbPoint pt;
-    pt.v_read = ratio * sg.fe.vc;
-    const double p_end =
-        stress(sg.fe, pt.v_read, params.cycles, params.pulse_width);
-    pt.p_drift_norm = std::abs(p_end - (-sg.fe.ps)) / sg.fe.ps;
-    pt.vth_drift = pt.p_drift_norm * sg.mw_fg / 2.0;
-    out.sg_fg_read.push_back(pt);
-  }
+  // Each stress ratio is an independent Preisach integration — a natural
+  // parallel map with index-ordered (hence deterministic) results.
+  out.sg_fg_read = util::parallel_map<DisturbPoint>(
+      params.stress_ratios.size(), [&](std::size_t k) {
+        DisturbPoint pt;
+        pt.v_read = params.stress_ratios[k] * sg.fe.vc;
+        const double p_end =
+            stress(sg.fe, pt.v_read, params.cycles, params.pulse_width);
+        pt.p_drift_norm = std::abs(p_end - (-sg.fe.ps)) / sg.fe.ps;
+        pt.vth_drift = pt.p_drift_norm * sg.mw_fg / 2.0;
+        return pt;
+      });
 
   // DG BG read: the FG (and thus the FE stack) sits at 0 during the read —
   // the select voltage never reaches the ferroelectric.

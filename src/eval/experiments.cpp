@@ -6,6 +6,7 @@
 #include "eval/report.hpp"
 #include "spice/dcsweep.hpp"
 #include "spice/measure.hpp"
+#include "util/parallel.hpp"
 
 namespace fetcam::eval {
 
@@ -212,31 +213,26 @@ std::vector<OpCheck> verify_operation_table(TcamDesign design) {
 std::vector<SweepPoint> fig7_sweep(TcamDesign design,
                                    const std::vector<int>& word_lengths,
                                    const FomOptions& base) {
-  std::vector<SweepPoint> out;
-  for (const int n : word_lengths) {
-    FomOptions opts = base;
-    opts.n_bits = n;
-    SweepPoint pt;
-    pt.n_bits = n;
-    const auto lat = measure_worst_latency(design, opts);
-    if (!lat.ok) {
-      out.push_back(pt);
-      continue;
-    }
-    const auto e = measure_search_energy(design, opts, lat.sized_timing);
-    if (!e.ok) {
-      out.push_back(pt);
-      continue;
-    }
-    pt.ok = true;
-    pt.latency_full_ps = lat.latency_full * 1e12;
-    pt.latency_1step_ps = lat.latency_1step * 1e12;
-    pt.energy_avg_fj = e.avg * 1e15;
-    pt.energy_1step_fj = e.e1 * 1e15;
-    pt.energy_2step_fj = e.e2 * 1e15;
-    out.push_back(pt);
-  }
-  return out;
+  // Each word length is an independent transient study; run the sweep as
+  // a parallel map (slot k = word_lengths[k], so output order is fixed).
+  return util::parallel_map<SweepPoint>(
+      word_lengths.size(), [&](std::size_t k) {
+        FomOptions opts = base;
+        opts.n_bits = word_lengths[k];
+        SweepPoint pt;
+        pt.n_bits = word_lengths[k];
+        const auto lat = measure_worst_latency(design, opts);
+        if (!lat.ok) return pt;
+        const auto e = measure_search_energy(design, opts, lat.sized_timing);
+        if (!e.ok) return pt;
+        pt.ok = true;
+        pt.latency_full_ps = lat.latency_full * 1e12;
+        pt.latency_1step_ps = lat.latency_1step * 1e12;
+        pt.energy_avg_fj = e.avg * 1e15;
+        pt.energy_1step_fj = e.e1 * 1e15;
+        pt.energy_2step_fj = e.e2 * 1e15;
+        return pt;
+      });
 }
 
 // --------------------------------------------------------------------------

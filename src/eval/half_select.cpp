@@ -1,6 +1,9 @@
 #include "eval/half_select.hpp"
 
+#include <array>
 #include <cmath>
+
+#include "util/parallel.hpp"
 
 namespace fetcam::eval {
 
@@ -48,10 +51,14 @@ std::vector<HalfSelectPoint> half_select_study(
                         ? -card.fe.ps
                         : card.fe.ps;
 
-  std::vector<HalfSelectPoint> out;
-  for (const auto scheme :
-       {InhibitScheme::kNone, InhibitScheme::kRaisedSl,
-        InhibitScheme::kVwThirds}) {
+  // The schemes cycle independently (up to max_writes pulses each), so
+  // evaluate them as a parallel map; slot k holds scheme k's result.
+  const std::array<InhibitScheme, 3> schemes = {InhibitScheme::kNone,
+                                                InhibitScheme::kRaisedSl,
+                                                InhibitScheme::kVwThirds};
+  return util::parallel_map<HalfSelectPoint>(schemes.size(), [&](
+                                                 std::size_t k) {
+    const InhibitScheme scheme = schemes[k];
     HalfSelectPoint pt;
     pt.scheme = scheme;
     pt.v_fe_program = inhibited_v_fe(scheme, vw, vdd);
@@ -81,9 +88,8 @@ std::vector<HalfSelectPoint> half_select_study(
     pt.writes_to_fail = writes;
     pt.survives_budget =
         writes >= params.max_writes && final_drift <= params.vth_guard;
-    out.push_back(pt);
-  }
-  return out;
+    return pt;
+  });
 }
 
 }  // namespace fetcam::eval

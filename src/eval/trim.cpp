@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "eval/variability_detail.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace fetcam::eval {
 
@@ -57,80 +59,50 @@ TrimResult trim_mvt(const dev::FeFetParams& device, double vth_target,
 VariabilityReport analyze_variability_trimmed(tcam::Flavor flavor,
                                               const VariabilityParams& vp,
                                               const TrimParams& trim) {
-  VariabilityReport rep;
   const tcam::OnePointFiveParams p{};
   const double vdd = 0.8;
-  std::mt19937 rng(vp.seed);
   const double mvt_target =
       flavor == tcam::Flavor::kSg ? p.mvt_vth_sg : p.mvt_vth_dg;
+  const auto& corners = detail::corner_table();
 
-  struct Corner {
-    Ternary stored;
-    int query;
-    bool expect_match;
-  };
-  const std::vector<Corner> corners = {
-      {Ternary::kZero, 0, true}, {Ternary::kZero, 1, false},
-      {Ternary::kOne, 0, false}, {Ternary::kOne, 1, true},
-      {Ternary::kX, 0, true},    {Ternary::kX, 1, true},
-  };
-  rep.corners.resize(corners.size());
-  for (std::size_t c = 0; c < corners.size(); ++c) {
-    rep.corners[c].stored = corners[c].stored;
-    rep.corners[c].query = corners[c].query;
-    rep.corners[c].worst_margin = 1e9;
-  }
-
-  int good_samples = 0;
-  for (int s = 0; s < vp.samples; ++s) {
-    const auto cell = detail::sample_cell(flavor, p, vp, rng);
-    // Closed-loop X placement for this device.
-    const auto trimmed = trim_mvt(cell.fe, mvt_target, trim);
-    const double pol_x =
-        (cell.fe.mos.vth0 - trimmed.final_vth) / (cell.fe.mw_fg / 2.0) *
-        cell.fe.fe.ps;
-    bool sample_ok = true;
-    for (std::size_t c = 0; c < corners.size(); ++c) {
-      double pol = 0.0;
-      switch (corners[c].stored) {
-        case Ternary::kZero:
-          pol = -cell.fe.fe.ps;
-          break;
-        case Ternary::kOne:
-          pol = cell.fe.fe.ps;
-          break;
-        case Ternary::kX:
-          pol = pol_x;
-          break;
-      }
-      const double v_slb = detail::divider_slb_at_polarization(
-          flavor, p, cell, pol, corners[c].query != 0, vdd);
-      auto& cy = rep.corners[c];
-      ++cy.samples;
-      if (std::isnan(v_slb)) {
-        ++cy.failures;
-        sample_ok = false;
-        continue;
-      }
-      const double margin =
-          corners[c].expect_match
-              ? (cell.tml.vth0 - vp.decision_margin) - v_slb
-              : v_slb - (cell.tml.vth0 + vp.decision_margin);
-      cy.mean_margin += margin;
-      cy.worst_margin = std::min(cy.worst_margin, margin);
-      if (margin < 0.0) {
-        ++cy.failures;
-        sample_ok = false;
-      }
-    }
-    if (sample_ok) ++good_samples;
-  }
-  for (auto& cy : rep.corners) {
-    if (cy.samples > 0) cy.mean_margin /= cy.samples;
-  }
-  rep.cell_yield = static_cast<double>(good_samples) / vp.samples;
-  rep.ok = true;
-  return rep;
+  // Trial s draws from the SAME (seed, s) stream as the open-loop
+  // analysis, so both studies see identical sampled devices and their
+  // yields are comparable device-by-device (see variability_detail.hpp).
+  const auto trials = util::parallel_map<detail::TrialMargins>(
+      static_cast<std::size_t>(std::max(vp.samples, 0)),
+      [&](std::size_t s) {
+        std::mt19937 rng = util::trial_rng(vp.seed, s);
+        const auto cell = detail::sample_cell(flavor, p, vp, rng);
+        // Closed-loop X placement for this device.
+        const auto trimmed = trim_mvt(cell.fe, mvt_target, trim);
+        const double pol_x =
+            (cell.fe.mos.vth0 - trimmed.final_vth) / (cell.fe.mw_fg / 2.0) *
+            cell.fe.fe.ps;
+        detail::TrialMargins margins;
+        for (std::size_t c = 0; c < corners.size(); ++c) {
+          double pol = 0.0;
+          switch (corners[c].stored) {
+            case Ternary::kZero:
+              pol = -cell.fe.fe.ps;
+              break;
+            case Ternary::kOne:
+              pol = cell.fe.fe.ps;
+              break;
+            case Ternary::kX:
+              pol = pol_x;
+              break;
+          }
+          const double v_slb = detail::divider_slb_at_polarization(
+              flavor, p, cell, pol, corners[c].query != 0, vdd);
+          margins[c] = std::isnan(v_slb)
+                           ? v_slb
+                           : detail::corner_margin(corners[c], v_slb,
+                                                   cell.tml.vth0,
+                                                   vp.decision_margin);
+        }
+        return margins;
+      });
+  return detail::reduce_margins(vp, trials);
 }
 
 }  // namespace fetcam::eval

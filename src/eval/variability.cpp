@@ -8,6 +8,8 @@
 
 #include "devices/tech14.hpp"
 #include "spice/op.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace fetcam::eval {
 
@@ -81,6 +83,65 @@ double divider_slb_at_polarization(tcam::Flavor flavor,
   return Solution(ckt, op.x).v(slb);
 }
 
+const std::array<Corner, kNumCorners>& corner_table() {
+  static const std::array<Corner, kNumCorners> corners = {{
+      {Ternary::kZero, 0, true},
+      {Ternary::kZero, 1, false},
+      {Ternary::kOne, 0, false},
+      {Ternary::kOne, 1, true},
+      {Ternary::kX, 0, true},
+      {Ternary::kX, 1, true},
+  }};
+  return corners;
+}
+
+double corner_margin(const Corner& corner, double v_slb, double tml_vth,
+                     double decision_margin) {
+  return corner.expect_match ? (tml_vth - decision_margin) - v_slb
+                             : v_slb - (tml_vth + decision_margin);
+}
+
+VariabilityReport reduce_margins(const VariabilityParams& vp,
+                                 const std::vector<TrialMargins>& trials) {
+  VariabilityReport rep;
+  const auto& corners = corner_table();
+  rep.corners.resize(corners.size());
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    rep.corners[c].stored = corners[c].stored;
+    rep.corners[c].query = corners[c].query;
+    rep.corners[c].worst_margin = 1e9;
+  }
+
+  int good_samples = 0;
+  for (const TrialMargins& trial : trials) {
+    bool sample_ok = true;
+    for (std::size_t c = 0; c < corners.size(); ++c) {
+      auto& cy = rep.corners[c];
+      ++cy.samples;
+      const double margin = trial[c];
+      if (std::isnan(margin)) {
+        ++cy.failures;
+        ++cy.solver_failures;
+        sample_ok = false;
+        continue;
+      }
+      cy.mean_margin += margin;
+      cy.worst_margin = std::min(cy.worst_margin, margin);
+      if (margin < 0.0) {
+        ++cy.failures;
+        sample_ok = false;
+      }
+    }
+    if (sample_ok) ++good_samples;
+  }
+  for (auto& cy : rep.corners) {
+    if (cy.samples > 0) cy.mean_margin /= cy.samples;
+  }
+  rep.cell_yield = static_cast<double>(good_samples) / vp.samples;
+  rep.ok = true;
+  return rep;
+}
+
 }  // namespace detail
 
 namespace {
@@ -117,64 +178,34 @@ double open_loop_polarization(const tcam::OnePointFiveParams& p,
 
 VariabilityReport analyze_variability(tcam::Flavor flavor,
                                       const VariabilityParams& vp) {
-  VariabilityReport rep;
   const tcam::OnePointFiveParams p{};
   const double vdd = 0.8;
-  std::mt19937 rng(vp.seed);
+  const auto& corners = detail::corner_table();
 
-  struct Corner {
-    Ternary stored;
-    int query;
-    bool expect_match;
-  };
-  const std::vector<Corner> corners = {
-      {Ternary::kZero, 0, true}, {Ternary::kZero, 1, false},
-      {Ternary::kOne, 0, false}, {Ternary::kOne, 1, true},
-      {Ternary::kX, 0, true},    {Ternary::kX, 1, true},
-  };
-  rep.corners.resize(corners.size());
-  for (std::size_t c = 0; c < corners.size(); ++c) {
-    rep.corners[c].stored = corners[c].stored;
-    rep.corners[c].query = corners[c].query;
-    rep.corners[c].worst_margin = 1e9;
-  }
-
-  int good_samples = 0;
-  for (int s = 0; s < vp.samples; ++s) {
-    const SampledCell cell = detail::sample_cell(flavor, p, vp, rng);
-    bool sample_ok = true;
-    for (std::size_t c = 0; c < corners.size(); ++c) {
-      const double pol =
-          open_loop_polarization(p, flavor, cell, corners[c].stored);
-      const double v_slb = detail::divider_slb_at_polarization(
-          flavor, p, cell, pol, corners[c].query != 0, vdd);
-      auto& cy = rep.corners[c];
-      ++cy.samples;
-      if (std::isnan(v_slb)) {
-        ++cy.failures;
-        sample_ok = false;
-        continue;
-      }
-      // Signed sense margin: positive = decided correctly with margin.
-      const double margin =
-          corners[c].expect_match
-              ? (cell.tml.vth0 - vp.decision_margin) - v_slb
-              : v_slb - (cell.tml.vth0 + vp.decision_margin);
-      cy.mean_margin += margin;
-      cy.worst_margin = std::min(cy.worst_margin, margin);
-      if (margin < 0.0) {
-        ++cy.failures;
-        sample_ok = false;
-      }
-    }
-    if (sample_ok) ++good_samples;
-  }
-  for (auto& cy : rep.corners) {
-    if (cy.samples > 0) cy.mean_margin /= cy.samples;
-  }
-  rep.cell_yield = static_cast<double>(good_samples) / vp.samples;
-  rep.ok = true;
-  return rep;
+  // Parallel map over trials: trial s derives its own RNG stream from
+  // (seed, s), so the sampled devices — and therefore the whole report —
+  // are independent of thread count and schedule.  The ordered reduce
+  // keeps the floating-point tallies bit-identical too.
+  const auto trials = util::parallel_map<detail::TrialMargins>(
+      static_cast<std::size_t>(std::max(vp.samples, 0)),
+      [&](std::size_t s) {
+        std::mt19937 rng = util::trial_rng(vp.seed, s);
+        const SampledCell cell = detail::sample_cell(flavor, p, vp, rng);
+        detail::TrialMargins margins;
+        for (std::size_t c = 0; c < corners.size(); ++c) {
+          const double pol =
+              open_loop_polarization(p, flavor, cell, corners[c].stored);
+          const double v_slb = detail::divider_slb_at_polarization(
+              flavor, p, cell, pol, corners[c].query != 0, vdd);
+          margins[c] = std::isnan(v_slb)
+                           ? v_slb
+                           : detail::corner_margin(corners[c], v_slb,
+                                                   cell.tml.vth0,
+                                                   vp.decision_margin);
+        }
+        return margins;
+      });
+  return detail::reduce_margins(vp, trials);
 }
 
 }  // namespace fetcam::eval

@@ -12,6 +12,10 @@
 //  * classifies each sample as correct/failing against the TML threshold
 //    (with the switching margin required for the ML decision);
 //  * reports per-corner failure rates and the sense-margin distribution.
+//
+// Trials run in parallel on the util/parallel.hpp pool (FETCAM_THREADS /
+// util::set_thread_count) with per-trial counter-based RNG streams and an
+// ordered reduction, so the report is bit-identical for any thread count.
 #pragma once
 
 #include <vector>
@@ -30,6 +34,11 @@ struct VariabilityParams {
   /// program-and-verify trimming removes; see eval/trim.*).
   double sigma_vc_rel = 0.03;
   int samples = 200;
+  /// Root seed of the counter-based per-trial RNG scheme: trial s draws
+  /// from util::trial_rng(seed, s, /*stream=*/0) — NOT from one shared
+  /// generator — so the report is bit-identical for any thread count,
+  /// chunking, or trial execution order, and adding draws to one trial
+  /// never perturbs another.  Stream layout: variability_detail.hpp.
   unsigned seed = 1;
   /// Margin SL_bar must clear beyond the TML threshold to count as a
   /// decisive level (models the needed TML overdrive / leak immunity).
@@ -40,6 +49,10 @@ struct CornerYield {
   arch::Ternary stored = arch::Ternary::kZero;
   int query = 0;
   int failures = 0;
+  /// Subset of `failures` where the divider solve itself diverged (margin
+  /// undefined) rather than deciding with negative margin.  When zero,
+  /// worst_margin/mean_margin summarize every sample.
+  int solver_failures = 0;
   int samples = 0;
   /// Worst-case sense margin across samples, volts (signed: negative =
   /// functional failure).

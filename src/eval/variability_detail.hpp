@@ -1,8 +1,22 @@
 // Internals shared between the Monte-Carlo variability analysis and the
 // program-and-verify trimming study.
+//
+// RNG stream layout (see util/rng.hpp): trial s of a run seeded with
+// `vp.seed` draws from util::trial_rng(vp.seed, s, /*stream=*/0), and
+// sample_cell consumes exactly the Gaussian sequence
+//   vth_fe, ps_rel, vc_rel, tn_vth, tp_vth, tml_vth
+// from it.  Consequences the tests rely on:
+//   * trial s sees the same device regardless of thread count, chunking,
+//     or execution order — reports are bit-identical for any schedule;
+//   * the open-loop and trimmed analyses sample IDENTICAL devices for
+//     the same (seed, trial), so their yields are directly comparable
+//     sample-by-sample, not just in distribution.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <random>
+#include <vector>
 
 #include "devices/fefet.hpp"
 #include "devices/mosfet.hpp"
@@ -27,5 +41,29 @@ double divider_slb_at_polarization(tcam::Flavor flavor,
                                    const SampledCell& cell,
                                    double polarization, bool query_one,
                                    double vdd);
+
+/// The six stored x query corners, in report order.
+struct Corner {
+  arch::Ternary stored;
+  int query;
+  bool expect_match;
+};
+inline constexpr std::size_t kNumCorners = 6;
+const std::array<Corner, kNumCorners>& corner_table();
+
+/// Signed sense margin for one corner: positive = decided correctly with
+/// margin beyond the TML threshold guard band.
+double corner_margin(const Corner& corner, double v_slb, double tml_vth,
+                     double decision_margin);
+
+/// Per-trial corner margins; NaN marks a non-converged divider solve.
+using TrialMargins = std::array<double, kNumCorners>;
+
+/// Ordered reduction of per-trial margins into the report: tallies are
+/// accumulated strictly in trial order (trial 0, 1, 2, ...), so the
+/// floating-point sums are bit-identical however the trials were
+/// computed.  `trials.size()` must equal vp.samples.
+VariabilityReport reduce_margins(const VariabilityParams& vp,
+                                 const std::vector<TrialMargins>& trials);
 
 }  // namespace fetcam::eval::detail

@@ -1,0 +1,22 @@
+#include "util/rng.hpp"
+
+namespace fetcam::util {
+
+std::mt19937 trial_rng(std::uint64_t seed, std::uint64_t trial,
+                       std::uint64_t stream) {
+  // Expand the key into eight 32-bit words — more entropy than a single
+  // result_type seed, cheap enough for one call per trial, and routed
+  // through std::seed_seq whose output is fully specified (26.6.7.1) so
+  // the downstream mt19937 stream is implementation-independent.
+  SplitMix64 sm(trial_key(seed, trial, stream));
+  std::uint32_t words[8];
+  for (int i = 0; i < 8; i += 2) {
+    const std::uint64_t z = sm.next();
+    words[i] = static_cast<std::uint32_t>(z);
+    words[i + 1] = static_cast<std::uint32_t>(z >> 32);
+  }
+  std::seed_seq seq(words, words + 8);
+  return std::mt19937(seq);
+}
+
+}  // namespace fetcam::util

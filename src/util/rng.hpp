@@ -1,0 +1,69 @@
+// Counter-based per-trial random streams for deterministic parallel
+// Monte-Carlo.
+//
+// The variability / trim analyses draw thousands of independent device
+// samples.  A single shared std::mt19937 makes the result depend on the
+// ORDER trials execute in — any parallelization, reordering, or added
+// draw silently changes every downstream number.  Instead, each trial
+// derives its own generator from the key (seed, trial_index, stream):
+//
+//   * the key is mixed through splitmix64 (Vigna's finalizer, the
+//     standard seeding mix for this purpose) into eight 32-bit words;
+//   * those words seed a std::mt19937 through std::seed_seq, whose
+//     generate() algorithm is fully specified by the C++ standard — so
+//     the raw draw sequence is identical across implementations;
+//   * distinct trial indices (or streams) give statistically independent
+//     generators, and trial i's stream never depends on how many draws
+//     trial j consumed.
+//
+// Stream layout convention used by the eval consumers:
+//   stream 0 — device sampling (sample_cell): the six Gaussian draws
+//              vth_fe, ps, vc, tn, tp, tml, in that order;
+//   streams 1+ — reserved for future per-trial consumers (e.g. noisy
+//              verify reads) so they can be added without perturbing
+//              stream 0.
+//
+// Changing the number of draws inside one trial, the thread count, the
+// chunk size, or the execution schedule does not change any other
+// trial's values.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace fetcam::util {
+
+/// splitmix64 state-advance + finalizer (public-domain reference
+/// algorithm by Sebastiano Vigna).  Passes the known-answer vectors in
+/// tests/util/rng_test.cpp.
+struct SplitMix64 {
+  std::uint64_t state = 0;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Collision-resistant mix of (seed, trial, stream) into one 64-bit key.
+/// Each component passes through a full splitmix64 round, so nearby
+/// trial indices map to well-separated keys.
+constexpr std::uint64_t trial_key(std::uint64_t seed, std::uint64_t trial,
+                                  std::uint64_t stream = 0) {
+  SplitMix64 a(seed);
+  SplitMix64 b(a.next() ^ trial);
+  SplitMix64 c(b.next() ^ stream);
+  return c.next();
+}
+
+/// The per-trial generator: a std::mt19937 whose seed material is the
+/// splitmix64 expansion of trial_key(seed, trial, stream).
+std::mt19937 trial_rng(std::uint64_t seed, std::uint64_t trial,
+                       std::uint64_t stream = 0);
+
+}  // namespace fetcam::util

@@ -1,0 +1,143 @@
+// Thread-count-invariance golden tests: the parallel Monte-Carlo
+// evaluators must return BIT-IDENTICAL reports for 1, 2, and 8 pool
+// threads at a fixed seed.  This is the contract the counter-based
+// per-trial RNG (util/rng.hpp) plus the ordered reduction
+// (eval/variability_detail.hpp) exist to provide: the schedule may
+// change, the numbers may not.
+//
+// All comparisons are exact (EXPECT_EQ on doubles, deliberately): any
+// atomics-based or schedule-ordered accumulation would fail here.
+#include <gtest/gtest.h>
+
+#include "eval/disturb.hpp"
+#include "eval/half_select.hpp"
+#include "eval/trim.hpp"
+#include "eval/variability.hpp"
+#include "util/parallel.hpp"
+
+namespace fetcam::eval {
+namespace {
+
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+void expect_identical(const VariabilityReport& a, const VariabilityReport& b,
+                      int threads) {
+  ASSERT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.cell_yield, b.cell_yield) << threads << " threads";
+  ASSERT_EQ(a.corners.size(), b.corners.size());
+  for (std::size_t c = 0; c < a.corners.size(); ++c) {
+    const auto& ca = a.corners[c];
+    const auto& cb = b.corners[c];
+    EXPECT_EQ(ca.stored, cb.stored);
+    EXPECT_EQ(ca.query, cb.query);
+    EXPECT_EQ(ca.samples, cb.samples) << threads << " threads, corner " << c;
+    EXPECT_EQ(ca.failures, cb.failures) << threads << " threads, corner " << c;
+    EXPECT_EQ(ca.worst_margin, cb.worst_margin)
+        << threads << " threads, corner " << c;
+    EXPECT_EQ(ca.mean_margin, cb.mean_margin)
+        << threads << " threads, corner " << c;
+  }
+}
+
+class ThreadSweep {
+ public:
+  ~ThreadSweep() { util::set_thread_count(0); }
+  template <typename Fn>
+  void check(Fn&& run_and_compare) {
+    for (const int threads : kThreadCounts) {
+      util::set_thread_count(threads);
+      run_and_compare(threads);
+    }
+  }
+};
+
+TEST(VariabilityDeterminism, ReportInvariantAcrossThreadCounts) {
+  VariabilityParams p;
+  p.samples = 40;
+  p.seed = 7;
+  util::set_thread_count(1);
+  const auto golden = analyze_variability(tcam::Flavor::kDg, p);
+  ASSERT_TRUE(golden.ok);
+  ThreadSweep sweep;
+  sweep.check([&](int threads) {
+    expect_identical(analyze_variability(tcam::Flavor::kDg, p), golden,
+                     threads);
+  });
+}
+
+TEST(VariabilityDeterminism, TrimmedReportInvariantAcrossThreadCounts) {
+  VariabilityParams p;
+  p.samples = 16;  // trim runs a verify loop per sample — keep this tight
+  p.seed = 3;
+  util::set_thread_count(1);
+  const auto golden = analyze_variability_trimmed(tcam::Flavor::kDg, p);
+  ASSERT_TRUE(golden.ok);
+  ThreadSweep sweep;
+  sweep.check([&](int threads) {
+    expect_identical(analyze_variability_trimmed(tcam::Flavor::kDg, p),
+                     golden, threads);
+  });
+}
+
+TEST(VariabilityDeterminism, DisturbReportInvariantAcrossThreadCounts) {
+  util::set_thread_count(1);
+  const auto golden = read_disturb_comparison();
+  ThreadSweep sweep;
+  sweep.check([&](int threads) {
+    const auto rep = read_disturb_comparison();
+    ASSERT_EQ(rep.sg_fg_read.size(), golden.sg_fg_read.size());
+    for (std::size_t k = 0; k < rep.sg_fg_read.size(); ++k) {
+      EXPECT_EQ(rep.sg_fg_read[k].v_read, golden.sg_fg_read[k].v_read)
+          << threads << " threads, point " << k;
+      EXPECT_EQ(rep.sg_fg_read[k].p_drift_norm,
+                golden.sg_fg_read[k].p_drift_norm)
+          << threads << " threads, point " << k;
+      EXPECT_EQ(rep.sg_fg_read[k].vth_drift, golden.sg_fg_read[k].vth_drift)
+          << threads << " threads, point " << k;
+    }
+    EXPECT_EQ(rep.dg_bg_read.p_drift_norm, golden.dg_bg_read.p_drift_norm);
+  });
+}
+
+TEST(VariabilityDeterminism, HalfSelectInvariantAcrossThreadCounts) {
+  util::set_thread_count(1);
+  const auto golden = half_select_study(true);
+  ThreadSweep sweep;
+  sweep.check([&](int threads) {
+    const auto rep = half_select_study(true);
+    ASSERT_EQ(rep.size(), golden.size());
+    for (std::size_t k = 0; k < rep.size(); ++k) {
+      EXPECT_EQ(rep[k].scheme, golden[k].scheme);
+      EXPECT_EQ(rep[k].v_fe_program, golden[k].v_fe_program)
+          << threads << " threads";
+      EXPECT_EQ(rep[k].vth_drift_1k, golden[k].vth_drift_1k)
+          << threads << " threads";
+      EXPECT_EQ(rep[k].writes_to_fail, golden[k].writes_to_fail)
+          << threads << " threads";
+      EXPECT_EQ(rep[k].survives_budget, golden[k].survives_budget)
+          << threads << " threads";
+    }
+  });
+}
+
+TEST(VariabilityDeterminism, OpenLoopAndTrimmedShareSampledDevices) {
+  // Same (seed, trial) => same device in both analyses: with all sigmas
+  // at zero the trimmed X placement converges to the same nominal target,
+  // so the full-write corners (stored 0/1) must agree exactly.
+  VariabilityParams p;
+  p.samples = 4;
+  p.sigma_fefet_vth = 0.0;
+  p.sigma_ps_rel = 0.0;
+  p.sigma_mos_vth = 0.0;
+  p.sigma_vc_rel = 0.0;
+  const auto open = analyze_variability(tcam::Flavor::kDg, p);
+  const auto trimmed = analyze_variability_trimmed(tcam::Flavor::kDg, p);
+  ASSERT_TRUE(open.ok && trimmed.ok);
+  for (std::size_t c = 0; c < 4; ++c) {  // corners 0..3 store 0 or 1
+    EXPECT_EQ(open.corners[c].worst_margin, trimmed.corners[c].worst_margin)
+        << "corner " << c;
+  }
+}
+
+}  // namespace
+}  // namespace fetcam::eval

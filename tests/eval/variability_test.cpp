@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.hpp"
+
 namespace fetcam::eval {
 namespace {
 
@@ -76,6 +78,58 @@ TEST(Variability, DeterministicForFixedSeed) {
   EXPECT_DOUBLE_EQ(a.cell_yield, b.cell_yield);
   for (std::size_t c = 0; c < a.corners.size(); ++c) {
     EXPECT_DOUBLE_EQ(a.corners[c].worst_margin, b.corners[c].worst_margin);
+  }
+}
+
+// Property-style randomized check: across 20 random run seeds, the report
+// must satisfy the structural invariants whatever the draws were.  The
+// run seeds themselves come from a fixed splitmix64 stream, so a failure
+// reproduces.
+TEST(Variability, InvariantsHoldAcrossRandomSeeds) {
+  util::SplitMix64 meta(20260806);
+  for (int run = 0; run < 20; ++run) {
+    VariabilityParams p = quick(8, 1.0);
+    p.seed = static_cast<unsigned>(meta.next());
+    const auto rep = analyze_variability(tcam::Flavor::kDg, p);
+    ASSERT_TRUE(rep.ok) << "run " << run << " seed " << p.seed;
+    ASSERT_EQ(rep.corners.size(), 6u);
+    EXPECT_GE(rep.cell_yield, 0.0);
+    EXPECT_LE(rep.cell_yield, 1.0);
+    for (const auto& c : rep.corners) {
+      EXPECT_EQ(c.samples, p.samples);
+      EXPECT_GE(c.failures, 0);
+      EXPECT_LE(c.failures, c.samples) << "seed " << p.seed;
+      EXPECT_GE(c.solver_failures, 0);
+      EXPECT_LE(c.solver_failures, c.failures) << "seed " << p.seed;
+      if (c.solver_failures == 0) {
+        // Every margin is real: the minimum cannot exceed the mean.
+        EXPECT_LE(c.worst_margin, c.mean_margin + 1e-12)
+            << "seed " << p.seed << " stored " << arch::to_char(c.stored)
+            << " q" << c.query;
+      }
+    }
+  }
+}
+
+// Yield must not IMPROVE when the FeFET V_TH spread grows.  The per-trial
+// counter RNG gives common random numbers across the sigma levels (trial
+// s draws the same Gaussians, scaled), making this a paired comparison
+// rather than a noisy statistical one.
+TEST(Variability, YieldMonotoneInFefetVthSigma) {
+  util::SplitMix64 meta(42);
+  for (int run = 0; run < 20; ++run) {
+    const unsigned seed = static_cast<unsigned>(meta.next());
+    double prev_yield = 2.0;
+    for (const double sigma : {0.0, 0.03, 0.12}) {
+      VariabilityParams p = quick(8, 0.0);  // all other spreads off
+      p.sigma_fefet_vth = sigma;
+      p.seed = seed;
+      const auto rep = analyze_variability(tcam::Flavor::kDg, p);
+      ASSERT_TRUE(rep.ok);
+      EXPECT_LE(rep.cell_yield, prev_yield)
+          << "seed " << seed << " sigma " << sigma;
+      prev_yield = rep.cell_yield;
+    }
   }
 }
 

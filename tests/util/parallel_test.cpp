@@ -1,0 +1,162 @@
+// Behavioural tests for the chunked parallel_for pool (util/parallel.hpp):
+// chunking edge cases, exception propagation, nested-call safety, and
+// schedule-independent chunk boundaries.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace fetcam::util {
+namespace {
+
+/// Scoped thread-count override so one test can't leak its pool size
+/// into the next.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { set_thread_count(n); }
+  ~ThreadGuard() { set_thread_count(0); }
+};
+
+TEST(ParallelFor, ZeroItemsIsANoop) {
+  ThreadGuard guard(4);
+  std::atomic<int> calls{0};
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  parallel_for_chunks(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleItem) {
+  ThreadGuard guard(4);
+  std::atomic<int> calls{0};
+  std::size_t seen = 99;
+  parallel_for(1, [&](std::size_t i) {
+    ++calls;
+    seen = i;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(ParallelFor, FewerItemsThanThreads) {
+  ThreadGuard guard(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EveryIndexExactlyOnce) {
+  ThreadGuard guard(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForChunks, BoundariesDependOnlyOnNAndChunk) {
+  // The chunk decomposition must be a pure function of (n, chunk) — this
+  // is what lets consumers reduce per-chunk partials deterministically.
+  const auto boundaries = [](int threads) {
+    ThreadGuard guard(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    std::mutex mu;
+    parallel_for_chunks(103, 10, [&](std::size_t b, std::size_t e) {
+      const std::lock_guard<std::mutex> lock(mu);
+      out.emplace_back(b, e);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const auto serial = boundaries(1);
+  ASSERT_EQ(serial.size(), 11u);
+  EXPECT_EQ(serial.front(), (std::pair<std::size_t, std::size_t>{0, 10}));
+  EXPECT_EQ(serial.back(), (std::pair<std::size_t, std::size_t>{100, 103}));
+  EXPECT_EQ(boundaries(2), serial);
+  EXPECT_EQ(boundaries(8), serial);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  ThreadGuard guard(4);
+  EXPECT_THROW(
+      parallel_for(100,
+                   [&](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionAbortsUnclaimedWork) {
+  // After the throw, chunks nobody claimed yet must be skipped — the
+  // total number of executed bodies stays well below n.
+  ThreadGuard guard(2);
+  std::atomic<int> executed{0};
+  try {
+    parallel_for_chunks(10000, 1, [&](std::size_t b, std::size_t) {
+      ++executed;
+      if (b == 0) throw std::runtime_error("first chunk fails");
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first chunk fails");
+  }
+  EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(ParallelFor, ExceptionInSerialModeAlsoPropagates) {
+  ThreadGuard guard(1);
+  EXPECT_THROW(parallel_for(
+                   5, [](std::size_t i) { if (i == 2) throw 42; }),
+               int);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadGuard guard(4);
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> saw_region_flag{false};
+  parallel_for(8, [&](std::size_t) {
+    if (inside_parallel_region()) saw_region_flag = true;
+    // A nested region must not deadlock and must still visit every index.
+    parallel_for(16, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+  EXPECT_TRUE(saw_region_flag.load());
+  EXPECT_FALSE(inside_parallel_region());
+}
+
+TEST(ParallelFor, PoolSurvivesManyRegionsAndResizes) {
+  for (const int threads : {1, 3, 2, 5, 2}) {
+    ThreadGuard guard(threads);
+    std::atomic<long> sum{0};
+    parallel_for(200, [&](std::size_t i) {
+      sum += static_cast<long>(i);
+    });
+    EXPECT_EQ(sum.load(), 199L * 200 / 2) << threads << " threads";
+  }
+}
+
+TEST(ParallelMap, ResultsLandInOrder) {
+  ThreadGuard guard(4);
+  const auto out =
+      parallel_map<int>(257, [](std::size_t i) { return static_cast<int>(i * 3); });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i * 3));
+  }
+}
+
+TEST(ThreadCount, OverrideAndRestore) {
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3);
+  set_thread_count(0);
+  EXPECT_GE(thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace fetcam::util

@@ -15,7 +15,13 @@
 //   fetcam_cli export <design> <stored> <query> <file.cir>
 //                                     ngspice deck of one search netlist
 // Designs: 16t, 2sg, 2dg, 1.5sg, 1.5dg.
+//
+// Global flags (before the command):
+//   --threads N    pool size for the parallel evaluators (overrides the
+//                  FETCAM_THREADS environment variable; results are
+//                  bit-identical for any value — only wall clock changes)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -28,6 +34,7 @@
 #include "eval/variability.hpp"
 #include "spice/spice_export.hpp"
 #include "tcam/sim_harness.hpp"
+#include "util/parallel.hpp"
 
 using namespace fetcam;
 
@@ -35,8 +42,9 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fetcam_cli <table4|fig1|fig4|fig7|ops|divider|"
-               "variability|disturb|halfselect|search|datasheet|export> [args]\n"
+               "usage: fetcam_cli [--threads N] <table4|fig1|fig4|fig7|ops|"
+               "divider|variability|disturb|halfselect|search|datasheet|"
+               "export> [args]\n"
                "  see the header comment of tools/fetcam_cli.cpp\n");
   return 2;
 }
@@ -229,6 +237,24 @@ int cmd_search(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global flags precede the command.
+  int argi = 1;
+  while (argi < argc && std::strncmp(argv[argi], "--", 2) == 0) {
+    const std::string flag = argv[argi];
+    if (flag == "--threads" && argi + 1 < argc) {
+      const int n = std::atoi(argv[argi + 1]);
+      if (n <= 0) {
+        std::fprintf(stderr, "--threads wants a positive count\n");
+        return 2;
+      }
+      util::set_thread_count(n);
+      argi += 2;
+    } else {
+      return usage();
+    }
+  }
+  argc -= argi - 1;
+  argv += argi - 1;
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "table4") return cmd_table4(argc - 2, argv + 2);
