@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_device_iv.dir/bench_fig1_device_iv.cpp.o"
+  "CMakeFiles/bench_fig1_device_iv.dir/bench_fig1_device_iv.cpp.o.d"
+  "bench_fig1_device_iv"
+  "bench_fig1_device_iv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_device_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_transient.dir/bench_fig4_transient.cpp.o"
+  "CMakeFiles/bench_fig4_transient.dir/bench_fig4_transient.cpp.o.d"
+  "bench_fig4_transient"
+  "bench_fig4_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

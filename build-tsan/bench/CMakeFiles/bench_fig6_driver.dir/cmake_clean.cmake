@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_driver.dir/bench_fig6_driver.cpp.o"
+  "CMakeFiles/bench_fig6_driver.dir/bench_fig6_driver.cpp.o.d"
+  "bench_fig6_driver"
+  "bench_fig6_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

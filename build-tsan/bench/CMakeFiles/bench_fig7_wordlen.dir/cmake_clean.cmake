@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_wordlen.dir/bench_fig7_wordlen.cpp.o"
+  "CMakeFiles/bench_fig7_wordlen.dir/bench_fig7_wordlen.cpp.o.d"
+  "bench_fig7_wordlen"
+  "bench_fig7_wordlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_wordlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

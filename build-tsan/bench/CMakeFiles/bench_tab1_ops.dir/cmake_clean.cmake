@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_ops.dir/bench_tab1_ops.cpp.o"
+  "CMakeFiles/bench_tab1_ops.dir/bench_tab1_ops.cpp.o.d"
+  "bench_tab1_ops"
+  "bench_tab1_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

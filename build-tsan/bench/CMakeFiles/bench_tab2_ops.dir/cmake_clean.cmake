@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_ops.dir/bench_tab2_ops.cpp.o"
+  "CMakeFiles/bench_tab2_ops.dir/bench_tab2_ops.cpp.o.d"
+  "bench_tab2_ops"
+  "bench_tab2_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_ops.dir/bench_tab3_ops.cpp.o"
+  "CMakeFiles/bench_tab3_ops.dir/bench_tab3_ops.cpp.o.d"
+  "bench_tab3_ops"
+  "bench_tab3_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

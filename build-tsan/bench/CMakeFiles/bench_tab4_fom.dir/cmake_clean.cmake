@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_fom.dir/bench_tab4_fom.cpp.o"
+  "CMakeFiles/bench_tab4_fom.dir/bench_tab4_fom.cpp.o.d"
+  "bench_tab4_fom"
+  "bench_tab4_fom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_fom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

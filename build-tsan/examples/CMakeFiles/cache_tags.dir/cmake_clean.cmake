@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_tags.dir/cache_tags.cpp.o"
+  "CMakeFiles/cache_tags.dir/cache_tags.cpp.o.d"
+  "cache_tags"
+  "cache_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/design_explorer.cpp" "examples/CMakeFiles/design_explorer.dir/design_explorer.cpp.o" "gcc" "examples/CMakeFiles/design_explorer.dir/design_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_tcam.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_devices.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

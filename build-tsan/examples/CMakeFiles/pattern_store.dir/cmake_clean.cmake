@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_store.dir/pattern_store.cpp.o"
+  "CMakeFiles/pattern_store.dir/pattern_store.cpp.o.d"
+  "pattern_store"
+  "pattern_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

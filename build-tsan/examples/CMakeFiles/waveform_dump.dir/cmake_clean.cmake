@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveform_dump.dir/waveform_dump.cpp.o"
+  "CMakeFiles/waveform_dump.dir/waveform_dump.cpp.o.d"
+  "waveform_dump"
+  "waveform_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveform_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

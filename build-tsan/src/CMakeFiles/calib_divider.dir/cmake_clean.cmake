@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_divider.dir/__/tools/calib_divider.cpp.o"
+  "CMakeFiles/calib_divider.dir/__/tools/calib_divider.cpp.o.d"
+  "calib_divider"
+  "calib_divider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_divider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for calib_divider.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_fom.dir/__/tools/calib_fom.cpp.o"
+  "CMakeFiles/calib_fom.dir/__/tools/calib_fom.cpp.o.d"
+  "calib_fom"
+  "calib_fom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_fom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for calib_fom.
+# This may be replaced when dependencies are built.

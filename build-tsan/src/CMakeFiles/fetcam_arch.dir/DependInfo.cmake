@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/area_model.cpp" "src/CMakeFiles/fetcam_arch.dir/arch/area_model.cpp.o" "gcc" "src/CMakeFiles/fetcam_arch.dir/arch/area_model.cpp.o.d"
+  "/root/repo/src/arch/behavioral_array.cpp" "src/CMakeFiles/fetcam_arch.dir/arch/behavioral_array.cpp.o" "gcc" "src/CMakeFiles/fetcam_arch.dir/arch/behavioral_array.cpp.o.d"
+  "/root/repo/src/arch/controller.cpp" "src/CMakeFiles/fetcam_arch.dir/arch/controller.cpp.o" "gcc" "src/CMakeFiles/fetcam_arch.dir/arch/controller.cpp.o.d"
+  "/root/repo/src/arch/endurance.cpp" "src/CMakeFiles/fetcam_arch.dir/arch/endurance.cpp.o" "gcc" "src/CMakeFiles/fetcam_arch.dir/arch/endurance.cpp.o.d"
+  "/root/repo/src/arch/energy_model.cpp" "src/CMakeFiles/fetcam_arch.dir/arch/energy_model.cpp.o" "gcc" "src/CMakeFiles/fetcam_arch.dir/arch/energy_model.cpp.o.d"
+  "/root/repo/src/arch/hv_driver.cpp" "src/CMakeFiles/fetcam_arch.dir/arch/hv_driver.cpp.o" "gcc" "src/CMakeFiles/fetcam_arch.dir/arch/hv_driver.cpp.o.d"
+  "/root/repo/src/arch/search_scheduler.cpp" "src/CMakeFiles/fetcam_arch.dir/arch/search_scheduler.cpp.o" "gcc" "src/CMakeFiles/fetcam_arch.dir/arch/search_scheduler.cpp.o.d"
+  "/root/repo/src/arch/ternary.cpp" "src/CMakeFiles/fetcam_arch.dir/arch/ternary.cpp.o" "gcc" "src/CMakeFiles/fetcam_arch.dir/arch/ternary.cpp.o.d"
+  "/root/repo/src/arch/write_controller.cpp" "src/CMakeFiles/fetcam_arch.dir/arch/write_controller.cpp.o" "gcc" "src/CMakeFiles/fetcam_arch.dir/arch/write_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_arch.dir/arch/area_model.cpp.o"
+  "CMakeFiles/fetcam_arch.dir/arch/area_model.cpp.o.d"
+  "CMakeFiles/fetcam_arch.dir/arch/behavioral_array.cpp.o"
+  "CMakeFiles/fetcam_arch.dir/arch/behavioral_array.cpp.o.d"
+  "CMakeFiles/fetcam_arch.dir/arch/controller.cpp.o"
+  "CMakeFiles/fetcam_arch.dir/arch/controller.cpp.o.d"
+  "CMakeFiles/fetcam_arch.dir/arch/endurance.cpp.o"
+  "CMakeFiles/fetcam_arch.dir/arch/endurance.cpp.o.d"
+  "CMakeFiles/fetcam_arch.dir/arch/energy_model.cpp.o"
+  "CMakeFiles/fetcam_arch.dir/arch/energy_model.cpp.o.d"
+  "CMakeFiles/fetcam_arch.dir/arch/hv_driver.cpp.o"
+  "CMakeFiles/fetcam_arch.dir/arch/hv_driver.cpp.o.d"
+  "CMakeFiles/fetcam_arch.dir/arch/search_scheduler.cpp.o"
+  "CMakeFiles/fetcam_arch.dir/arch/search_scheduler.cpp.o.d"
+  "CMakeFiles/fetcam_arch.dir/arch/ternary.cpp.o"
+  "CMakeFiles/fetcam_arch.dir/arch/ternary.cpp.o.d"
+  "CMakeFiles/fetcam_arch.dir/arch/write_controller.cpp.o"
+  "CMakeFiles/fetcam_arch.dir/arch/write_controller.cpp.o.d"
+  "libfetcam_arch.a"
+  "libfetcam_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_cli.dir/__/tools/fetcam_cli.cpp.o"
+  "CMakeFiles/fetcam_cli.dir/__/tools/fetcam_cli.cpp.o.d"
+  "fetcam_cli"
+  "fetcam_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

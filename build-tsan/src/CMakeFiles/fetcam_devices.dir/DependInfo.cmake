@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/fefet.cpp" "src/CMakeFiles/fetcam_devices.dir/devices/fefet.cpp.o" "gcc" "src/CMakeFiles/fetcam_devices.dir/devices/fefet.cpp.o.d"
+  "/root/repo/src/devices/mosfet.cpp" "src/CMakeFiles/fetcam_devices.dir/devices/mosfet.cpp.o" "gcc" "src/CMakeFiles/fetcam_devices.dir/devices/mosfet.cpp.o.d"
+  "/root/repo/src/devices/preisach.cpp" "src/CMakeFiles/fetcam_devices.dir/devices/preisach.cpp.o" "gcc" "src/CMakeFiles/fetcam_devices.dir/devices/preisach.cpp.o.d"
+  "/root/repo/src/devices/tech14.cpp" "src/CMakeFiles/fetcam_devices.dir/devices/tech14.cpp.o" "gcc" "src/CMakeFiles/fetcam_devices.dir/devices/tech14.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_devices.dir/devices/fefet.cpp.o"
+  "CMakeFiles/fetcam_devices.dir/devices/fefet.cpp.o.d"
+  "CMakeFiles/fetcam_devices.dir/devices/mosfet.cpp.o"
+  "CMakeFiles/fetcam_devices.dir/devices/mosfet.cpp.o.d"
+  "CMakeFiles/fetcam_devices.dir/devices/preisach.cpp.o"
+  "CMakeFiles/fetcam_devices.dir/devices/preisach.cpp.o.d"
+  "CMakeFiles/fetcam_devices.dir/devices/tech14.cpp.o"
+  "CMakeFiles/fetcam_devices.dir/devices/tech14.cpp.o.d"
+  "libfetcam_devices.a"
+  "libfetcam_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/analytic.cpp" "src/CMakeFiles/fetcam_eval.dir/eval/analytic.cpp.o" "gcc" "src/CMakeFiles/fetcam_eval.dir/eval/analytic.cpp.o.d"
+  "/root/repo/src/eval/array_eval.cpp" "src/CMakeFiles/fetcam_eval.dir/eval/array_eval.cpp.o" "gcc" "src/CMakeFiles/fetcam_eval.dir/eval/array_eval.cpp.o.d"
+  "/root/repo/src/eval/calibration.cpp" "src/CMakeFiles/fetcam_eval.dir/eval/calibration.cpp.o" "gcc" "src/CMakeFiles/fetcam_eval.dir/eval/calibration.cpp.o.d"
+  "/root/repo/src/eval/disturb.cpp" "src/CMakeFiles/fetcam_eval.dir/eval/disturb.cpp.o" "gcc" "src/CMakeFiles/fetcam_eval.dir/eval/disturb.cpp.o.d"
+  "/root/repo/src/eval/experiments.cpp" "src/CMakeFiles/fetcam_eval.dir/eval/experiments.cpp.o" "gcc" "src/CMakeFiles/fetcam_eval.dir/eval/experiments.cpp.o.d"
+  "/root/repo/src/eval/fom.cpp" "src/CMakeFiles/fetcam_eval.dir/eval/fom.cpp.o" "gcc" "src/CMakeFiles/fetcam_eval.dir/eval/fom.cpp.o.d"
+  "/root/repo/src/eval/half_select.cpp" "src/CMakeFiles/fetcam_eval.dir/eval/half_select.cpp.o" "gcc" "src/CMakeFiles/fetcam_eval.dir/eval/half_select.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/fetcam_eval.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/fetcam_eval.dir/eval/report.cpp.o.d"
+  "/root/repo/src/eval/trim.cpp" "src/CMakeFiles/fetcam_eval.dir/eval/trim.cpp.o" "gcc" "src/CMakeFiles/fetcam_eval.dir/eval/trim.cpp.o.d"
+  "/root/repo/src/eval/variability.cpp" "src/CMakeFiles/fetcam_eval.dir/eval/variability.cpp.o" "gcc" "src/CMakeFiles/fetcam_eval.dir/eval/variability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_tcam.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_devices.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

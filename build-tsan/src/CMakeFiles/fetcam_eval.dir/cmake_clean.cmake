@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_eval.dir/eval/analytic.cpp.o"
+  "CMakeFiles/fetcam_eval.dir/eval/analytic.cpp.o.d"
+  "CMakeFiles/fetcam_eval.dir/eval/array_eval.cpp.o"
+  "CMakeFiles/fetcam_eval.dir/eval/array_eval.cpp.o.d"
+  "CMakeFiles/fetcam_eval.dir/eval/calibration.cpp.o"
+  "CMakeFiles/fetcam_eval.dir/eval/calibration.cpp.o.d"
+  "CMakeFiles/fetcam_eval.dir/eval/disturb.cpp.o"
+  "CMakeFiles/fetcam_eval.dir/eval/disturb.cpp.o.d"
+  "CMakeFiles/fetcam_eval.dir/eval/experiments.cpp.o"
+  "CMakeFiles/fetcam_eval.dir/eval/experiments.cpp.o.d"
+  "CMakeFiles/fetcam_eval.dir/eval/fom.cpp.o"
+  "CMakeFiles/fetcam_eval.dir/eval/fom.cpp.o.d"
+  "CMakeFiles/fetcam_eval.dir/eval/half_select.cpp.o"
+  "CMakeFiles/fetcam_eval.dir/eval/half_select.cpp.o.d"
+  "CMakeFiles/fetcam_eval.dir/eval/report.cpp.o"
+  "CMakeFiles/fetcam_eval.dir/eval/report.cpp.o.d"
+  "CMakeFiles/fetcam_eval.dir/eval/trim.cpp.o"
+  "CMakeFiles/fetcam_eval.dir/eval/trim.cpp.o.d"
+  "CMakeFiles/fetcam_eval.dir/eval/variability.cpp.o"
+  "CMakeFiles/fetcam_eval.dir/eval/variability.cpp.o.d"
+  "libfetcam_eval.a"
+  "libfetcam_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

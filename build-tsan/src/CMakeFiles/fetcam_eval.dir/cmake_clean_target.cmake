@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfetcam_eval.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/lu.cpp" "src/CMakeFiles/fetcam_numeric.dir/numeric/lu.cpp.o" "gcc" "src/CMakeFiles/fetcam_numeric.dir/numeric/lu.cpp.o.d"
+  "/root/repo/src/numeric/matrix.cpp" "src/CMakeFiles/fetcam_numeric.dir/numeric/matrix.cpp.o" "gcc" "src/CMakeFiles/fetcam_numeric.dir/numeric/matrix.cpp.o.d"
+  "/root/repo/src/numeric/newton.cpp" "src/CMakeFiles/fetcam_numeric.dir/numeric/newton.cpp.o" "gcc" "src/CMakeFiles/fetcam_numeric.dir/numeric/newton.cpp.o.d"
+  "/root/repo/src/numeric/sparse.cpp" "src/CMakeFiles/fetcam_numeric.dir/numeric/sparse.cpp.o" "gcc" "src/CMakeFiles/fetcam_numeric.dir/numeric/sparse.cpp.o.d"
+  "/root/repo/src/numeric/sparse_lu.cpp" "src/CMakeFiles/fetcam_numeric.dir/numeric/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/fetcam_numeric.dir/numeric/sparse_lu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_numeric.dir/numeric/lu.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/numeric/lu.cpp.o.d"
+  "CMakeFiles/fetcam_numeric.dir/numeric/matrix.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/numeric/matrix.cpp.o.d"
+  "CMakeFiles/fetcam_numeric.dir/numeric/newton.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/numeric/newton.cpp.o.d"
+  "CMakeFiles/fetcam_numeric.dir/numeric/sparse.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/numeric/sparse.cpp.o.d"
+  "CMakeFiles/fetcam_numeric.dir/numeric/sparse_lu.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/numeric/sparse_lu.cpp.o.d"
+  "libfetcam_numeric.a"
+  "libfetcam_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/circuit.cpp" "src/CMakeFiles/fetcam_spice.dir/spice/circuit.cpp.o" "gcc" "src/CMakeFiles/fetcam_spice.dir/spice/circuit.cpp.o.d"
+  "/root/repo/src/spice/dcsweep.cpp" "src/CMakeFiles/fetcam_spice.dir/spice/dcsweep.cpp.o" "gcc" "src/CMakeFiles/fetcam_spice.dir/spice/dcsweep.cpp.o.d"
+  "/root/repo/src/spice/elements.cpp" "src/CMakeFiles/fetcam_spice.dir/spice/elements.cpp.o" "gcc" "src/CMakeFiles/fetcam_spice.dir/spice/elements.cpp.o.d"
+  "/root/repo/src/spice/measure.cpp" "src/CMakeFiles/fetcam_spice.dir/spice/measure.cpp.o" "gcc" "src/CMakeFiles/fetcam_spice.dir/spice/measure.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/CMakeFiles/fetcam_spice.dir/spice/netlist.cpp.o" "gcc" "src/CMakeFiles/fetcam_spice.dir/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/op.cpp" "src/CMakeFiles/fetcam_spice.dir/spice/op.cpp.o" "gcc" "src/CMakeFiles/fetcam_spice.dir/spice/op.cpp.o.d"
+  "/root/repo/src/spice/spice_export.cpp" "src/CMakeFiles/fetcam_spice.dir/spice/spice_export.cpp.o" "gcc" "src/CMakeFiles/fetcam_spice.dir/spice/spice_export.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/CMakeFiles/fetcam_spice.dir/spice/transient.cpp.o" "gcc" "src/CMakeFiles/fetcam_spice.dir/spice/transient.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/CMakeFiles/fetcam_spice.dir/spice/waveform.cpp.o" "gcc" "src/CMakeFiles/fetcam_spice.dir/spice/waveform.cpp.o.d"
+  "/root/repo/src/spice/waveio.cpp" "src/CMakeFiles/fetcam_spice.dir/spice/waveio.cpp.o" "gcc" "src/CMakeFiles/fetcam_spice.dir/spice/waveio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

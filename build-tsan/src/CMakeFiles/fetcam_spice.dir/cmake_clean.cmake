@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_spice.dir/spice/circuit.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/spice/circuit.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/spice/dcsweep.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/spice/dcsweep.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/spice/elements.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/spice/elements.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/spice/measure.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/spice/measure.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/spice/netlist.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/spice/netlist.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/spice/op.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/spice/op.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/spice/spice_export.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/spice/spice_export.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/spice/transient.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/spice/transient.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/spice/waveform.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/spice/waveform.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/spice/waveio.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/spice/waveio.cpp.o.d"
+  "libfetcam_spice.a"
+  "libfetcam_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcam/array_builder.cpp" "src/CMakeFiles/fetcam_tcam.dir/tcam/array_builder.cpp.o" "gcc" "src/CMakeFiles/fetcam_tcam.dir/tcam/array_builder.cpp.o.d"
+  "/root/repo/src/tcam/cell_1p5t1fe.cpp" "src/CMakeFiles/fetcam_tcam.dir/tcam/cell_1p5t1fe.cpp.o" "gcc" "src/CMakeFiles/fetcam_tcam.dir/tcam/cell_1p5t1fe.cpp.o.d"
+  "/root/repo/src/tcam/cell_2fefet.cpp" "src/CMakeFiles/fetcam_tcam.dir/tcam/cell_2fefet.cpp.o" "gcc" "src/CMakeFiles/fetcam_tcam.dir/tcam/cell_2fefet.cpp.o.d"
+  "/root/repo/src/tcam/cmos16t.cpp" "src/CMakeFiles/fetcam_tcam.dir/tcam/cmos16t.cpp.o" "gcc" "src/CMakeFiles/fetcam_tcam.dir/tcam/cmos16t.cpp.o.d"
+  "/root/repo/src/tcam/full_array.cpp" "src/CMakeFiles/fetcam_tcam.dir/tcam/full_array.cpp.o" "gcc" "src/CMakeFiles/fetcam_tcam.dir/tcam/full_array.cpp.o.d"
+  "/root/repo/src/tcam/op_program.cpp" "src/CMakeFiles/fetcam_tcam.dir/tcam/op_program.cpp.o" "gcc" "src/CMakeFiles/fetcam_tcam.dir/tcam/op_program.cpp.o.d"
+  "/root/repo/src/tcam/parasitics.cpp" "src/CMakeFiles/fetcam_tcam.dir/tcam/parasitics.cpp.o" "gcc" "src/CMakeFiles/fetcam_tcam.dir/tcam/parasitics.cpp.o.d"
+  "/root/repo/src/tcam/sense_amp.cpp" "src/CMakeFiles/fetcam_tcam.dir/tcam/sense_amp.cpp.o" "gcc" "src/CMakeFiles/fetcam_tcam.dir/tcam/sense_amp.cpp.o.d"
+  "/root/repo/src/tcam/sim_harness.cpp" "src/CMakeFiles/fetcam_tcam.dir/tcam/sim_harness.cpp.o" "gcc" "src/CMakeFiles/fetcam_tcam.dir/tcam/sim_harness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_devices.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

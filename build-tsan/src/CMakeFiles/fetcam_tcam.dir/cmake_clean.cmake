@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_tcam.dir/tcam/array_builder.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/tcam/array_builder.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/tcam/cell_1p5t1fe.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/tcam/cell_1p5t1fe.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/tcam/cell_2fefet.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/tcam/cell_2fefet.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/tcam/cmos16t.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/tcam/cmos16t.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/tcam/full_array.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/tcam/full_array.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/tcam/op_program.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/tcam/op_program.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/tcam/parasitics.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/tcam/parasitics.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/tcam/sense_amp.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/tcam/sense_amp.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/tcam/sim_harness.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/tcam/sim_harness.cpp.o.d"
+  "libfetcam_tcam.a"
+  "libfetcam_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

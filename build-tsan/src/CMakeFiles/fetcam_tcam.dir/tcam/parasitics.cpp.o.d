@@ -1,0 +1,3 @@
+src/CMakeFiles/fetcam_tcam.dir/tcam/parasitics.cpp.o: \
+ /root/repo/src/tcam/parasitics.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/tcam/parasitics.hpp

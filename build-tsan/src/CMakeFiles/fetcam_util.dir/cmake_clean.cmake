@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_util.dir/util/parallel.cpp.o"
+  "CMakeFiles/fetcam_util.dir/util/parallel.cpp.o.d"
+  "CMakeFiles/fetcam_util.dir/util/rng.cpp.o"
+  "CMakeFiles/fetcam_util.dir/util/rng.cpp.o.d"
+  "libfetcam_util.a"
+  "libfetcam_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

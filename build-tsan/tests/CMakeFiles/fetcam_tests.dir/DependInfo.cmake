@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/area_model_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/arch/area_model_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/arch/area_model_test.cpp.o.d"
+  "/root/repo/tests/arch/behavioral_array_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/arch/behavioral_array_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/arch/behavioral_array_test.cpp.o.d"
+  "/root/repo/tests/arch/controller_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/arch/controller_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/arch/controller_test.cpp.o.d"
+  "/root/repo/tests/arch/endurance_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/arch/endurance_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/arch/endurance_test.cpp.o.d"
+  "/root/repo/tests/arch/energy_model_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/arch/energy_model_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/arch/energy_model_test.cpp.o.d"
+  "/root/repo/tests/arch/hv_driver_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/arch/hv_driver_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/arch/hv_driver_test.cpp.o.d"
+  "/root/repo/tests/arch/search_scheduler_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/arch/search_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/arch/search_scheduler_test.cpp.o.d"
+  "/root/repo/tests/arch/ternary_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/arch/ternary_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/arch/ternary_test.cpp.o.d"
+  "/root/repo/tests/arch/write_controller_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/arch/write_controller_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/arch/write_controller_test.cpp.o.d"
+  "/root/repo/tests/devices/ekv_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/devices/ekv_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/devices/ekv_test.cpp.o.d"
+  "/root/repo/tests/devices/fefet_sweep_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/devices/fefet_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/devices/fefet_sweep_test.cpp.o.d"
+  "/root/repo/tests/devices/fefet_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/devices/fefet_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/devices/fefet_test.cpp.o.d"
+  "/root/repo/tests/devices/mosfet_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/devices/mosfet_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/devices/mosfet_test.cpp.o.d"
+  "/root/repo/tests/devices/preisach_memory_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/devices/preisach_memory_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/devices/preisach_memory_test.cpp.o.d"
+  "/root/repo/tests/devices/preisach_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/devices/preisach_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/devices/preisach_test.cpp.o.d"
+  "/root/repo/tests/devices/tech14_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/devices/tech14_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/devices/tech14_test.cpp.o.d"
+  "/root/repo/tests/eval/analytic_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/analytic_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/analytic_test.cpp.o.d"
+  "/root/repo/tests/eval/array_eval_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/array_eval_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/array_eval_test.cpp.o.d"
+  "/root/repo/tests/eval/disturb_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/disturb_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/disturb_test.cpp.o.d"
+  "/root/repo/tests/eval/experiments_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/experiments_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/experiments_test.cpp.o.d"
+  "/root/repo/tests/eval/fom_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/fom_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/fom_test.cpp.o.d"
+  "/root/repo/tests/eval/golden_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/golden_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/golden_test.cpp.o.d"
+  "/root/repo/tests/eval/half_select_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/half_select_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/half_select_test.cpp.o.d"
+  "/root/repo/tests/eval/report_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/report_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/report_test.cpp.o.d"
+  "/root/repo/tests/eval/trim_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/trim_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/trim_test.cpp.o.d"
+  "/root/repo/tests/eval/variability_determinism_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/variability_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/variability_determinism_test.cpp.o.d"
+  "/root/repo/tests/eval/variability_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/eval/variability_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/eval/variability_test.cpp.o.d"
+  "/root/repo/tests/numeric/lu_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/numeric/lu_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/numeric/lu_test.cpp.o.d"
+  "/root/repo/tests/numeric/matrix_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/numeric/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/numeric/matrix_test.cpp.o.d"
+  "/root/repo/tests/numeric/newton_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/numeric/newton_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/numeric/newton_test.cpp.o.d"
+  "/root/repo/tests/numeric/sparse_lu_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/numeric/sparse_lu_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/numeric/sparse_lu_test.cpp.o.d"
+  "/root/repo/tests/numeric/sparse_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/numeric/sparse_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/numeric/sparse_test.cpp.o.d"
+  "/root/repo/tests/spice/circuit_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/spice/circuit_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/spice/circuit_test.cpp.o.d"
+  "/root/repo/tests/spice/measure_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/spice/measure_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/spice/measure_test.cpp.o.d"
+  "/root/repo/tests/spice/op_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/spice/op_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/spice/op_test.cpp.o.d"
+  "/root/repo/tests/spice/physics_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/spice/physics_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/spice/physics_test.cpp.o.d"
+  "/root/repo/tests/spice/robustness_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/spice/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/spice/robustness_test.cpp.o.d"
+  "/root/repo/tests/spice/solver_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/spice/solver_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/spice/solver_test.cpp.o.d"
+  "/root/repo/tests/spice/spice_export_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/spice/spice_export_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/spice/spice_export_test.cpp.o.d"
+  "/root/repo/tests/spice/transient_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/spice/transient_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/spice/transient_test.cpp.o.d"
+  "/root/repo/tests/spice/waveform_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/spice/waveform_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/spice/waveform_test.cpp.o.d"
+  "/root/repo/tests/spice/waveio_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/spice/waveio_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/spice/waveio_test.cpp.o.d"
+  "/root/repo/tests/tcam/cmos16t_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/cmos16t_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/cmos16t_test.cpp.o.d"
+  "/root/repo/tests/tcam/corner_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/corner_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/corner_test.cpp.o.d"
+  "/root/repo/tests/tcam/divider_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/divider_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/divider_test.cpp.o.d"
+  "/root/repo/tests/tcam/full_array_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/full_array_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/full_array_test.cpp.o.d"
+  "/root/repo/tests/tcam/harness_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/harness_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/harness_test.cpp.o.d"
+  "/root/repo/tests/tcam/parasitics_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/parasitics_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/parasitics_test.cpp.o.d"
+  "/root/repo/tests/tcam/search_correctness_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/search_correctness_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/search_correctness_test.cpp.o.d"
+  "/root/repo/tests/tcam/temperature_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/temperature_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/temperature_test.cpp.o.d"
+  "/root/repo/tests/tcam/write_path_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/tcam/write_path_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/tcam/write_path_test.cpp.o.d"
+  "/root/repo/tests/util/parallel_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/util/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/util/parallel_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/fetcam_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/fetcam_tests.dir/util/rng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_tcam.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_devices.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/fetcam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
