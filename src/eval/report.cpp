@@ -51,4 +51,55 @@ std::string format_ratio(double baseline, double value, int precision) {
   return os.str();
 }
 
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_variability(const std::string& label,
+                               const VariabilityReport& rep) {
+  std::ostringstream os;
+  os << label << " yield " << fmt("%.1f", 100.0 * rep.cell_yield) << "%\n";
+  TextTable t({"stored", "query", "fail%", "worst mV", "mean mV", "solver-fail",
+               "gmin", "source"});
+  for (const auto& c : rep.corners) {
+    t.add_row({std::string(1, arch::to_char(c.stored)),
+               std::to_string(c.query),
+               fmt("%.1f", 100.0 * c.failure_rate()),
+               fmt("%.0f", c.worst_margin * 1e3),
+               fmt("%.1f", c.mean_margin * 1e3),
+               std::to_string(c.solver_failures),
+               std::to_string(c.gmin_rescues),
+               std::to_string(c.source_rescues)});
+  }
+  os << t.str();
+  return os.str();
+}
+
+std::string variability_json(const std::string& label,
+                             const VariabilityReport& rep) {
+  std::ostringstream os;
+  os << "{\n  \"label\": \"" << label << "\",\n  \"cell_yield\": "
+     << fmt("%.17g", rep.cell_yield) << ",\n  \"corners\": [";
+  for (std::size_t i = 0; i < rep.corners.size(); ++i) {
+    const auto& c = rep.corners[i];
+    os << (i > 0 ? ",\n" : "\n")
+       << "    {\"stored\": \"" << arch::to_char(c.stored)
+       << "\", \"query\": " << c.query << ", \"failures\": " << c.failures
+       << ", \"solver_failures\": " << c.solver_failures
+       << ", \"gmin_rescues\": " << c.gmin_rescues
+       << ", \"source_rescues\": " << c.source_rescues
+       << ", \"samples\": " << c.samples
+       << ", \"worst_margin\": " << fmt("%.17g", c.worst_margin)
+       << ", \"mean_margin\": " << fmt("%.17g", c.mean_margin) << "}";
+  }
+  os << (rep.corners.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
 }  // namespace fetcam::eval

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "eval/variability.hpp"
+
 namespace fetcam::eval {
 
 /// Column-aligned text table.
@@ -23,5 +25,15 @@ std::string format_eng(double value, const std::string& unit, int precision = 3)
 
 /// "3.79x" relative-improvement formatting (baseline / value).
 std::string format_ratio(double baseline, double value, int precision = 2);
+
+/// Text report of a Monte-Carlo variability run, one row per corner,
+/// including the solver-health columns: diverged solves (solver_failures)
+/// and the continuation-strategy attribution (gmin/source rescues).
+std::string render_variability(const std::string& label,
+                               const VariabilityReport& rep);
+
+/// Same content as structured JSON (machine-readable yield dashboards).
+std::string variability_json(const std::string& label,
+                             const VariabilityReport& rep);
 
 }  // namespace fetcam::eval

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "eval/variability_detail.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -71,6 +72,7 @@ VariabilityReport analyze_variability_trimmed(tcam::Flavor flavor,
   const auto trials = util::parallel_map<detail::TrialMargins>(
       static_cast<std::size_t>(std::max(vp.samples, 0)),
       [&](std::size_t s) {
+        const obs::ScopedSpan span("eval.trim_trial", "eval");
         std::mt19937 rng = util::trial_rng(vp.seed, s);
         const auto cell = detail::sample_cell(flavor, p, vp, rng);
         // Closed-loop X placement for this device.
@@ -92,13 +94,15 @@ VariabilityReport analyze_variability_trimmed(tcam::Flavor flavor,
               pol = pol_x;
               break;
           }
-          const double v_slb = detail::divider_slb_at_polarization(
+          const auto solve = detail::divider_slb_at_polarization(
               flavor, p, cell, pol, corners[c].query != 0, vdd);
-          margins[c] = std::isnan(v_slb)
-                           ? v_slb
-                           : detail::corner_margin(corners[c], v_slb,
-                                                   cell.tml.vth0,
-                                                   vp.decision_margin);
+          margins.strategy[c] = solve.strategy;
+          margins.margin[c] = std::isnan(solve.v_slb)
+                                  ? solve.v_slb
+                                  : detail::corner_margin(corners[c],
+                                                          solve.v_slb,
+                                                          cell.tml.vth0,
+                                                          vp.decision_margin);
         }
         return margins;
       });

@@ -7,6 +7,8 @@
 #include <random>
 
 #include "devices/tech14.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spice/op.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -49,11 +51,11 @@ SampledCell sample_cell(tcam::Flavor flavor,
   return s;
 }
 
-double divider_slb_at_polarization(tcam::Flavor flavor,
-                                   const tcam::OnePointFiveParams& p,
-                                   const SampledCell& cell,
-                                   double polarization, bool query_one,
-                                   double vdd) {
+DividerSolve divider_slb_at_polarization(tcam::Flavor flavor,
+                                         const tcam::OnePointFiveParams& p,
+                                         const SampledCell& cell,
+                                         double polarization, bool query_one,
+                                         double vdd) {
   Circuit ckt;
   const NodeId sl = ckt.node("sl");
   const NodeId slb = ckt.node("slb");
@@ -79,8 +81,8 @@ double divider_slb_at_polarization(tcam::Flavor flavor,
   ckt.emplace<Mosfet>("TN", slb, wrsl, kGround, kGround, cell.tn);
   ckt.emplace<Mosfet>("TP", slb, wrsl, vddp, vddp, cell.tp);
   const auto op = solve_op(ckt);
-  if (!op.converged) return std::nan("");
-  return Solution(ckt, op.x).v(slb);
+  if (!op.converged) return {std::nan(""), spice::OpStrategy::kFailed};
+  return {Solution(ckt, op.x).v(slb), op.strategy};
 }
 
 const std::array<Corner, kNumCorners>& corner_table() {
@@ -118,12 +120,17 @@ VariabilityReport reduce_margins(const VariabilityParams& vp,
     for (std::size_t c = 0; c < corners.size(); ++c) {
       auto& cy = rep.corners[c];
       ++cy.samples;
-      const double margin = trial[c];
+      const double margin = trial.margin[c];
       if (std::isnan(margin)) {
         ++cy.failures;
         ++cy.solver_failures;
         sample_ok = false;
         continue;
+      }
+      // Solver attribution: which continuation path rescued this corner.
+      if (trial.strategy[c] == spice::OpStrategy::kGmin) ++cy.gmin_rescues;
+      if (trial.strategy[c] == spice::OpStrategy::kSource) {
+        ++cy.source_rescues;
       }
       cy.mean_margin += margin;
       cy.worst_margin = std::min(cy.worst_margin, margin);
@@ -133,6 +140,22 @@ VariabilityReport reduce_margins(const VariabilityParams& vp,
       }
     }
     if (sample_ok) ++good_samples;
+  }
+  if (obs::metrics_on()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    static obs::Counter& trials_ctr = reg.counter("eval.variability.trials");
+    static obs::Counter& fail_ctr =
+        reg.counter("eval.variability.solver_failures");
+    static obs::Counter& gmin_ctr =
+        reg.counter("eval.variability.gmin_rescues");
+    static obs::Counter& source_ctr =
+        reg.counter("eval.variability.source_rescues");
+    trials_ctr.add(trials.size());
+    for (const auto& cy : rep.corners) {
+      fail_ctr.add(static_cast<std::uint64_t>(cy.solver_failures));
+      gmin_ctr.add(static_cast<std::uint64_t>(cy.gmin_rescues));
+      source_ctr.add(static_cast<std::uint64_t>(cy.source_rescues));
+    }
   }
   for (auto& cy : rep.corners) {
     if (cy.samples > 0) cy.mean_margin /= cy.samples;
@@ -189,19 +212,22 @@ VariabilityReport analyze_variability(tcam::Flavor flavor,
   const auto trials = util::parallel_map<detail::TrialMargins>(
       static_cast<std::size_t>(std::max(vp.samples, 0)),
       [&](std::size_t s) {
+        const obs::ScopedSpan span("eval.variability_trial", "eval");
         std::mt19937 rng = util::trial_rng(vp.seed, s);
         const SampledCell cell = detail::sample_cell(flavor, p, vp, rng);
         detail::TrialMargins margins;
         for (std::size_t c = 0; c < corners.size(); ++c) {
           const double pol =
               open_loop_polarization(p, flavor, cell, corners[c].stored);
-          const double v_slb = detail::divider_slb_at_polarization(
+          const auto solve = detail::divider_slb_at_polarization(
               flavor, p, cell, pol, corners[c].query != 0, vdd);
-          margins[c] = std::isnan(v_slb)
-                           ? v_slb
-                           : detail::corner_margin(corners[c], v_slb,
-                                                   cell.tml.vth0,
-                                                   vp.decision_margin);
+          margins.strategy[c] = solve.strategy;
+          margins.margin[c] = std::isnan(solve.v_slb)
+                                  ? solve.v_slb
+                                  : detail::corner_margin(corners[c],
+                                                          solve.v_slb,
+                                                          cell.tml.vth0,
+                                                          vp.decision_margin);
         }
         return margins;
       });

@@ -53,6 +53,12 @@ struct CornerYield {
   /// undefined) rather than deciding with negative margin.  When zero,
   /// worst_margin/mean_margin summarize every sample.
   int solver_failures = 0;
+  /// Converged samples the direct Newton solve could NOT handle: the count
+  /// rescued by gmin stepping and by source stepping respectively.  A
+  /// rising rescue rate is the early-warning signal before solver_failures
+  /// appear (see docs/OBSERVABILITY.md).
+  int gmin_rescues = 0;
+  int source_rescues = 0;
   int samples = 0;
   /// Worst-case sense margin across samples, volts (signed: negative =
   /// functional failure).

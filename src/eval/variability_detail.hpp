@@ -21,6 +21,7 @@
 #include "devices/fefet.hpp"
 #include "devices/mosfet.hpp"
 #include "eval/variability.hpp"
+#include "spice/op.hpp"
 
 namespace fetcam::eval::detail {
 
@@ -34,13 +35,21 @@ SampledCell sample_cell(tcam::Flavor flavor,
                         const tcam::OnePointFiveParams& p,
                         const VariabilityParams& vp, std::mt19937& rng);
 
+/// Result of one divider operating-point solve: V(SL_bar) (NaN when the
+/// solver diverged) plus which continuation strategy produced it — the
+/// per-trial attribution that flows into CornerYield.
+struct DividerSolve {
+  double v_slb = 0.0;
+  spice::OpStrategy strategy = spice::OpStrategy::kFailed;
+};
+
 /// Solve the static divider leg for one corner with an explicit
-/// polarization (C/m^2) for the FeFET; returns V(SL_bar) or NaN.
-double divider_slb_at_polarization(tcam::Flavor flavor,
-                                   const tcam::OnePointFiveParams& p,
-                                   const SampledCell& cell,
-                                   double polarization, bool query_one,
-                                   double vdd);
+/// polarization (C/m^2) for the FeFET.
+DividerSolve divider_slb_at_polarization(tcam::Flavor flavor,
+                                         const tcam::OnePointFiveParams& p,
+                                         const SampledCell& cell,
+                                         double polarization, bool query_one,
+                                         double vdd);
 
 /// The six stored x query corners, in report order.
 struct Corner {
@@ -56,8 +65,15 @@ const std::array<Corner, kNumCorners>& corner_table();
 double corner_margin(const Corner& corner, double v_slb, double tml_vth,
                      double decision_margin);
 
-/// Per-trial corner margins; NaN marks a non-converged divider solve.
-using TrialMargins = std::array<double, kNumCorners>;
+/// Per-trial corner margins (NaN marks a non-converged divider solve) plus
+/// the solver strategy that produced each corner's operating point.
+struct TrialMargins {
+  std::array<double, kNumCorners> margin{};
+  std::array<spice::OpStrategy, kNumCorners> strategy{};
+
+  double& operator[](std::size_t c) { return margin[c]; }
+  double operator[](std::size_t c) const { return margin[c]; }
+};
 
 /// Ordered reduction of per-trial margins into the report: tallies are
 /// accumulated strictly in trial order (trial 0, 1, 2, ...), so the

@@ -3,9 +3,16 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace fetcam::num {
 
 bool LuFactorization::factor(const Matrix& a, double singular_tol) {
+  static obs::Counter& factors =
+      obs::MetricsRegistry::instance().counter("lu.dense.factors");
+  static obs::Counter& singular =
+      obs::MetricsRegistry::instance().counter("lu.dense.singular");
+  factors.inc();
   assert(a.rows() == a.cols());
   const Index n = a.rows();
   lu_ = a;
@@ -25,6 +32,7 @@ bool LuFactorization::factor(const Matrix& a, double singular_tol) {
     for (Index c = 0; c < n; ++c) m = std::max(m, std::abs(row[c]));
     if (m == 0.0) {
       failed_row_ = r;
+      singular.inc();
       return false;
     }
     row_scale[static_cast<std::size_t>(r)] = 1.0 / m;
@@ -44,6 +52,7 @@ bool LuFactorization::factor(const Matrix& a, double singular_tol) {
     }
     if (best < singular_tol) {
       failed_row_ = perm_[static_cast<std::size_t>(pivot)];
+      singular.inc();
       return false;
     }
     if (pivot != k) {

@@ -4,11 +4,73 @@
 #include <cmath>
 
 #include "numeric/sparse_lu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fetcam::num {
 
+namespace {
+
+/// Newton/LU solver-health metrics, registered once per process.  The
+/// iteration histogram feeds the "where does solve time go" analysis; the
+/// factor/solve timing histograms are the evidence base for the dense vs
+/// sparse crossover policy (SolverKind::kAuto).
+struct NewtonMetrics {
+  obs::Counter& solves;
+  obs::Counter& nonconverged;
+  obs::Counter& singular;
+  obs::Histogram& iterations;
+  obs::Histogram& factor_us;
+  obs::Histogram& solve_us;
+
+  static NewtonMetrics& dense() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static NewtonMetrics m{
+        reg.counter("newton.dense.solves"),
+        reg.counter("newton.dense.nonconverged"),
+        reg.counter("newton.dense.singular"),
+        reg.histogram("newton.dense.iterations", iteration_bounds()),
+        reg.histogram("lu.dense.factor_us", time_bounds()),
+        reg.histogram("lu.dense.solve_us", time_bounds()),
+    };
+    return m;
+  }
+
+  static NewtonMetrics& sparse() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static NewtonMetrics m{
+        reg.counter("newton.sparse.solves"),
+        reg.counter("newton.sparse.nonconverged"),
+        reg.counter("newton.sparse.singular"),
+        reg.histogram("newton.sparse.iterations", iteration_bounds()),
+        reg.histogram("lu.sparse.factor_us", time_bounds()),
+        reg.histogram("lu.sparse.solve_us", time_bounds()),
+    };
+    return m;
+  }
+
+  static std::vector<double> iteration_bounds() {
+    return {1, 2, 3, 5, 8, 12, 20, 50, 100, 200};
+  }
+  static std::vector<double> time_bounds() {
+    // 1 us .. ~16 ms, x2 per bucket.
+    return obs::exponential_bounds(1.0, 2.0, 15);
+  }
+
+  void record_result(const NewtonResult& res) {
+    solves.add();
+    iterations.observe(res.iterations);
+    if (res.singular) singular.add();
+    if (!res.converged) nonconverged.add();
+  }
+};
+
+}  // namespace
+
 NewtonResult solve_newton(const AssembleFn& assemble, Vector& x,
                           const NewtonOptions& opts) {
+  const obs::ScopedSpan span("newton.dense", "numeric");
+  const bool obs_on = obs::metrics_on();
   NewtonResult res;
   const Index n = x.size();
   Matrix jac(n, n);
@@ -23,15 +85,25 @@ NewtonResult solve_newton(const AssembleFn& assemble, Vector& x,
     res.iterations = it + 1;
     res.residual_norm = residual.inf_norm();
 
-    if (!lu.factor(jac)) {
+    const double t_factor = obs_on ? obs::now_us() : 0.0;
+    const bool factored = lu.factor(jac);
+    if (obs_on) {
+      NewtonMetrics::dense().factor_us.observe(obs::now_us() - t_factor);
+    }
+    if (!factored) {
       res.singular = true;
       res.singular_row = lu.failed_row();
+      if (obs_on) NewtonMetrics::dense().record_result(res);
       return res;
     }
     // Solve J dx = -f.
     Vector rhs(n);
     for (Index i = 0; i < n; ++i) rhs[i] = -residual[i];
+    const double t_solve = obs_on ? obs::now_us() : 0.0;
     Vector dx = lu.solve(rhs);
+    if (obs_on) {
+      NewtonMetrics::dense().solve_us.observe(obs::now_us() - t_solve);
+    }
 
     // Voltage limiting: clamp each component.
     for (Index i = 0; i < n; ++i) {
@@ -50,14 +122,17 @@ NewtonResult solve_newton(const AssembleFn& assemble, Vector& x,
     }
     if (step_ok && res.residual_norm < opts.residual_tol) {
       res.converged = true;
-      return res;
+      break;
     }
   }
+  if (obs_on) NewtonMetrics::dense().record_result(res);
   return res;
 }
 
 NewtonResult solve_newton_sparse(const SparseAssembleFn& assemble, Vector& x,
                                  const NewtonOptions& opts) {
+  const obs::ScopedSpan span("newton.sparse", "numeric");
+  const bool obs_on = obs::metrics_on();
   NewtonResult res;
   const Index n = x.size();
   TripletAccumulator jac(n);
@@ -72,14 +147,24 @@ NewtonResult solve_newton_sparse(const SparseAssembleFn& assemble, Vector& x,
     res.iterations = it + 1;
     res.residual_norm = residual.inf_norm();
 
-    if (!lu.factor(jac)) {
+    const double t_factor = obs_on ? obs::now_us() : 0.0;
+    const bool factored = lu.factor(jac);
+    if (obs_on) {
+      NewtonMetrics::sparse().factor_us.observe(obs::now_us() - t_factor);
+    }
+    if (!factored) {
       res.singular = true;
       res.singular_row = lu.failed_column();
+      if (obs_on) NewtonMetrics::sparse().record_result(res);
       return res;
     }
     Vector rhs(n);
     for (Index i = 0; i < n; ++i) rhs[i] = -residual[i];
+    const double t_solve = obs_on ? obs::now_us() : 0.0;
     Vector dx = lu.solve(rhs);
+    if (obs_on) {
+      NewtonMetrics::sparse().solve_us.observe(obs::now_us() - t_solve);
+    }
 
     for (Index i = 0; i < n; ++i) {
       dx[i] = std::clamp(dx[i], -opts.max_step, opts.max_step);
@@ -97,9 +182,10 @@ NewtonResult solve_newton_sparse(const SparseAssembleFn& assemble, Vector& x,
     }
     if (step_ok && res.residual_norm < opts.residual_tol) {
       res.converged = true;
-      return res;
+      break;
     }
   }
+  if (obs_on) NewtonMetrics::sparse().record_result(res);
   return res;
 }
 

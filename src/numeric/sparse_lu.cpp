@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace fetcam::num {
 
 namespace {
@@ -67,6 +69,11 @@ struct Csc {
 
 bool SparseLu::factor(const TripletAccumulator& a,
                       const SparseLuOptions& opts) {
+  static obs::Counter& factors =
+      obs::MetricsRegistry::instance().counter("lu.sparse.factors");
+  static obs::Counter& singular =
+      obs::MetricsRegistry::instance().counter("lu.sparse.singular");
+  factors.inc();
   const Csc csc(a);
   n_ = csc.n;
   factored_ = false;
@@ -166,6 +173,7 @@ bool SparseLu::factor(const TripletAccumulator& a,
     }
     if (pivot_row < 0 || best < floor) {
       failed_col_ = k;
+      singular.inc();
       return false;
     }
     if (diag_present && diag >= opts.pivot_threshold * best) {

@@ -1,0 +1,46 @@
+// Minimal JSON emission helpers shared by the obs writers.  Not a general
+// JSON library — just enough to emit metric names, command lines, and
+// numbers in a stable, locale-independent format.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace fetcam::obs::detail {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  // %.17g round-trips doubles and never emits locale-dependent separators.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s = buf;
+  // JSON requires a leading digit ("inf"/"nan" handled above).
+  return s;
+}
+
+}  // namespace fetcam::obs::detail

@@ -1,0 +1,112 @@
+#include "obs/manifest.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_util.hpp"
+#include "obs/metrics.hpp"
+
+#ifndef FETCAM_GIT_SHA
+#define FETCAM_GIT_SHA "unknown"
+#endif
+#ifndef FETCAM_BUILD_TYPE
+#define FETCAM_BUILD_TYPE "unknown"
+#endif
+#ifndef FETCAM_COMPILER
+#define FETCAM_COMPILER "unknown"
+#endif
+#ifndef FETCAM_CXX_FLAGS
+#define FETCAM_CXX_FLAGS ""
+#endif
+
+namespace fetcam::obs {
+
+const char* BuildInfo::git_sha() { return FETCAM_GIT_SHA; }
+const char* BuildInfo::build_type() { return FETCAM_BUILD_TYPE; }
+const char* BuildInfo::compiler() { return FETCAM_COMPILER; }
+const char* BuildInfo::cxx_flags() { return FETCAM_CXX_FLAGS; }
+
+RunManifest::RunManifest(std::string tool, std::string command_line)
+    : tool_(std::move(tool)), command_line_(std::move(command_line)) {}
+
+void RunManifest::add_info(std::string key, std::string value) {
+  info_.emplace_back(std::move(key), std::move(value));
+}
+
+void RunManifest::add_info(std::string key, long long value) {
+  info_.emplace_back(std::move(key), std::to_string(value));
+}
+
+void RunManifest::add_phase(std::string name, double seconds) {
+  phases_.emplace_back(std::move(name), seconds);
+}
+
+namespace {
+
+bool is_solver_health(const std::string& name) {
+  for (const char* prefix :
+       {"newton.", "lu.", "op.", "transient.", "dcsweep.", "eval."}) {
+    if (name.compare(0, std::strlen(prefix), prefix) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string RunManifest::to_json() const {
+  using detail::json_escape;
+  using detail::json_number;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"" << json_escape(tool_) << "\",\n";
+  os << "  \"command\": \"" << json_escape(command_line_) << "\",\n";
+  os << "  \"git_sha\": \"" << json_escape(BuildInfo::git_sha()) << "\",\n";
+  os << "  \"build_type\": \"" << json_escape(BuildInfo::build_type())
+     << "\",\n";
+  os << "  \"compiler\": \"" << json_escape(BuildInfo::compiler()) << "\",\n";
+  os << "  \"cxx_flags\": \"" << json_escape(BuildInfo::cxx_flags())
+     << "\",\n";
+  os << "  \"threads\": " << threads_ << ",\n";
+  os << "  \"obs_level\": \"" << to_string(level_) << "\",\n";
+  os << "  \"info\": {";
+  for (std::size_t i = 0; i < info_.size(); ++i) {
+    os << (i > 0 ? ",\n" : "\n") << "    \"" << json_escape(info_[i].first)
+       << "\": \"" << json_escape(info_[i].second) << "\"";
+  }
+  os << (info_.empty() ? "" : "\n  ") << "},\n";
+  os << "  \"phases_s\": {";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    os << (i > 0 ? ",\n" : "\n") << "    \"" << json_escape(phases_[i].first)
+       << "\": " << json_number(phases_[i].second);
+  }
+  os << (phases_.empty() ? "" : "\n  ") << "},\n";
+  os << "  \"solver_health\": {";
+  bool first = true;
+  for (const auto& [name, value] :
+       MetricsRegistry::instance().counter_values()) {
+    if (!is_solver_health(name)) continue;
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool RunManifest::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+PhaseTimer::PhaseTimer(RunManifest& manifest, std::string name)
+    : manifest_(manifest), name_(std::move(name)), t0_us_(now_us()) {}
+
+PhaseTimer::~PhaseTimer() {
+  manifest_.add_phase(std::move(name_), (now_us() - t0_us_) * 1e-6);
+}
+
+}  // namespace fetcam::obs

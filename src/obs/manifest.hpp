@@ -1,0 +1,70 @@
+// Run manifests: one JSON document per eval/bench run recording what was
+// run (tool + command line), on what (git SHA, build type, compiler,
+// flags, thread count), with which seeds, how long each phase took, and a
+// solver-health summary pulled from the MetricsRegistry (total solves,
+// which continuation strategies rescued corners, how many failed).
+//
+// Schema: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace fetcam::obs {
+
+/// Build identity burned in at configure time (CMake defines FETCAM_GIT_SHA
+/// and friends on the obs library; "unknown" when unavailable).
+struct BuildInfo {
+  static const char* git_sha();
+  static const char* build_type();
+  static const char* compiler();
+  static const char* cxx_flags();
+};
+
+class RunManifest {
+ public:
+  RunManifest(std::string tool, std::string command_line);
+
+  void set_threads(int n) { threads_ = n; }
+  void set_level(Level l) { level_ = l; }
+  /// Free-form key/value (RNG seeds, sample counts, sweep sizes...).
+  /// Insertion order is preserved in the JSON.
+  void add_info(std::string key, std::string value);
+  void add_info(std::string key, long long value);
+  /// Record a completed phase's wall time.
+  void add_phase(std::string name, double seconds);
+
+  /// Serialize, embedding the current solver-health counters (every
+  /// "newton.", "lu.", "op.", "transient.", "dcsweep.", "eval." counter in
+  /// the registry, in name order).
+  std::string to_json() const;
+  bool write(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  std::string command_line_;
+  int threads_ = 0;
+  Level level_ = Level::kOff;
+  std::vector<std::pair<std::string, std::string>> info_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+/// RAII wall-clock phase timer: adds "<name>": seconds to the manifest on
+/// destruction.
+class PhaseTimer {
+ public:
+  PhaseTimer(RunManifest& manifest, std::string name);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  RunManifest& manifest_;
+  std::string name_;
+  double t0_us_;
+};
+
+}  // namespace fetcam::obs

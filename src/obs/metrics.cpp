@@ -1,0 +1,234 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_util.hpp"
+
+namespace fetcam::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_.push_back(1.0);
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  // First bound >= v; everything above the last bound lands in overflow.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS-accumulated double sum.
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double updated = std::bit_cast<double>(old) + v;
+    if (sum_bits_.compare_exchange_weak(old,
+                                        std::bit_cast<std::uint64_t>(updated),
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(std::bit_cast<std::uint64_t>(0.0),
+                  std::memory_order_relaxed);
+}
+
+std::vector<double> exponential_bounds(double start, double factor, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(std::max(n, 0)));
+  double v = start;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+std::vector<double> linear_bounds(double start, double step, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) out.push_back(start + step * i);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* r = new MetricsRegistry();  // never destroyed:
+  // instrumented statics in other TUs may outlive any destruction order.
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_values() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << detail::json_escape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << detail::json_escape(name)
+       << "\": " << detail::json_number(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << detail::json_escape(name)
+       << "\": {\"count\": " << h->count()
+       << ", \"sum\": " << detail::json_number(h->sum()) << ", \"bounds\": [";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      os << (i > 0 ? ", " : "") << detail::json_number(h->bounds()[i]);
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t i = 0; i < h->bucket_total(); ++i) {
+      os << (i > 0 ? ", " : "") << h->bucket_count(i);
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+namespace {
+
+std::string format_bound(double b) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", b);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_table() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  std::size_t width = 8;
+  for (const auto& [name, c] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, g] : gauges_) width = std::max(width, name.size());
+  for (const auto& [name, h] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  const auto pad = [&](const std::string& s) {
+    return s + std::string(width + 2 - s.size(), ' ');
+  };
+  if (!counters_.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      os << "  " << pad(name) << c->value() << "\n";
+    }
+  }
+  if (!gauges_.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, g] : gauges_) {
+      os << "  " << pad(name) << detail::json_number(g->value()) << "\n";
+    }
+  }
+  if (!histograms_.empty()) {
+    os << "histograms:\n";
+    for (const auto& [name, h] : histograms_) {
+      os << "  " << pad(name) << "count=" << h->count();
+      if (h->count() > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4g", h->mean());
+        os << " mean=" << buf;
+      }
+      os << "\n";
+      if (h->count() == 0) continue;
+      for (std::size_t i = 0; i < h->bucket_total(); ++i) {
+        const std::uint64_t n = h->bucket_count(i);
+        if (n == 0) continue;
+        const std::string label =
+            i < h->bounds().size()
+                ? "<= " + format_bound(h->bounds()[i])
+                : "> " + format_bound(h->bounds().back());
+        os << "  " << pad("") << label << ": " << n << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace fetcam::obs

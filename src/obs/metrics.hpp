@@ -1,0 +1,134 @@
+// Thread-safe solver-health metrics: counters, gauges, and fixed-bucket
+// histograms in a process-wide registry with deterministic ordered export.
+//
+// Usage pattern at an instrumentation site (one magic-static registration,
+// then lock-free relaxed atomics on the hot path):
+//
+//   static obs::Counter& solves =
+//       obs::MetricsRegistry::instance().counter("newton.solves");
+//   if (obs::metrics_on()) solves.add();
+//
+// Determinism: count-valued metrics (iterations, rejections, fallbacks) are
+// pure sums of schedule-independent work, so their totals are identical at
+// any thread count; only wall-time histograms vary run to run.  Export
+// iterates a std::map, so the JSON / table ordering is byte-stable
+// regardless of registration order.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace fetcam::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// add(1) gated on metrics_on() — for sites without their own guard.
+  void inc() {
+    if (metrics_on()) add(1);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins double value (thread counts, configured sizes, ...).
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Fixed-bucket histogram.  Bucket i counts observations with
+/// value <= bounds[i] (first matching bound); the final implicit bucket
+/// counts everything above the last bound.  Bounds are fixed at
+/// registration, so merged counts are schedule-independent.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  double mean() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::size_t bucket_total() const { return bounds_.size() + 1; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Exponential bucket bounds: start, start*factor, ... (n values).
+std::vector<double> exponential_bounds(double start, double factor, int n);
+/// Linear bucket bounds: start, start+step, ... (n values).
+std::vector<double> linear_bounds(double start, double step, int n);
+
+/// Process-wide metric registry.  Registration takes a mutex (once per call
+/// site thanks to magic statics); the returned references are stable for the
+/// process lifetime, and value access is lock-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First registration wins: later calls with the same name return the
+  /// existing histogram and ignore `bounds`.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// All counter name/value pairs in name order (used by run manifests to
+  /// assemble the solver-health summary).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+
+  /// Deterministic JSON export: top-level {"counters", "gauges",
+  /// "histograms"}, each object sorted by metric name.
+  std::string to_json() const;
+  /// Human-readable aligned table of every metric.
+  std::string to_table() const;
+  bool write_json(const std::string& path) const;
+
+  /// Zero every value (registrations survive).  Test / per-run isolation.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace fetcam::obs

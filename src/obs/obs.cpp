@@ -1,0 +1,51 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace fetcam::obs {
+
+namespace detail {
+
+namespace {
+int level_from_env() {
+  const char* e = std::getenv("FETCAM_OBS");
+  Level l = Level::kOff;
+  if (e != nullptr) parse_level(e, l);
+  return static_cast<int>(l);
+}
+}  // namespace
+
+std::atomic<int> g_level{level_from_env()};
+
+}  // namespace detail
+
+void set_level(Level l) {
+  detail::g_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+bool parse_level(std::string_view s, Level& out) {
+  if (s == "off") out = Level::kOff;
+  else if (s == "metrics") out = Level::kMetrics;
+  else if (s == "trace") out = Level::kTrace;
+  else return false;
+  return true;
+}
+
+std::string_view to_string(Level l) {
+  switch (l) {
+    case Level::kOff: return "off";
+    case Level::kMetrics: return "metrics";
+    case Level::kTrace: return "trace";
+  }
+  return "off";
+}
+
+double now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch)
+      .count();
+}
+
+}  // namespace fetcam::obs

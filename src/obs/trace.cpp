@@ -1,0 +1,77 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_util.hpp"
+
+namespace fetcam::obs {
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector* c = new TraceCollector();  // never destroyed
+  return *c;
+}
+
+void TraceCollector::record(const TraceEvent& ev) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+std::size_t TraceCollector::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceCollector::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::uint32_t TraceCollector::thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  const auto events = snapshot();
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  for (const auto& ev : events) {
+    os << (first ? "" : ",\n");
+    os << "{\"name\":\"" << detail::json_escape(ev.name) << "\",\"cat\":\""
+       << detail::json_escape(ev.cat) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << ev.tid << ",\"ts\":" << detail::json_number(ev.ts_us)
+       << ",\"dur\":" << detail::json_number(ev.dur_us) << "}";
+    first = false;
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+bool TraceCollector::write_chrome_trace(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_chrome_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace fetcam::obs

@@ -1,0 +1,91 @@
+// Scoped tracing: RAII spans collected into a process-wide buffer and
+// exported in Chrome trace format (load the file in chrome://tracing or
+// https://ui.perfetto.dev to see the timeline).
+//
+// Spans record only when the observability level is kTrace at construction
+// time; otherwise a ScopedSpan is two branches and no clock reads.  Names
+// and categories must be string literals (the collector stores the
+// pointers, not copies).
+//
+//   {
+//     obs::ScopedSpan span("spice.solve_op", "spice");
+//     ...  // timed region; nested spans nest in the viewer
+//   }
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace fetcam::obs {
+
+struct TraceEvent {
+  const char* name = "";  ///< string literal
+  const char* cat = "";   ///< string literal
+  double ts_us = 0.0;     ///< start, microseconds since trace epoch
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;  ///< small dense thread id (see thread_id())
+};
+
+/// Process-wide span buffer.  record() appends under a mutex — spans are
+/// coarse (a solve, a chunk, a transient run), so contention is negligible
+/// next to the work they time.  The buffer is capped; events beyond the cap
+/// are counted in dropped() instead of growing without bound.
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  void record(const TraceEvent& ev);
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+  void clear();
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Write the Chrome trace JSON (one event object per line inside the
+  /// top-level array, so the file is also greppable line-by-line).
+  bool write_chrome_trace(const std::string& path) const;
+  std::string to_chrome_json() const;
+
+  /// Small dense id for the calling thread (main thread observes whichever
+  /// id it claims first).  Stable for the thread's lifetime.
+  static std::uint32_t thread_id();
+
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+ private:
+  TraceCollector() = default;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII wall-clock span.  Activation is latched at construction, so a level
+/// change mid-span cannot tear the event.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "sim")
+      : active_(trace_on()), name_(name), cat_(cat) {
+    if (active_) t0_ = now_us();
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      TraceCollector::instance().record(
+          {name_, cat_, t0_, now_us() - t0_, TraceCollector::thread_id()});
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  const char* name_;
+  const char* cat_;
+  double t0_ = 0.0;
+};
+
+}  // namespace fetcam::obs

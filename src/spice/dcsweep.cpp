@@ -1,5 +1,8 @@
 #include "spice/dcsweep.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace fetcam::spice {
 
 std::vector<double> DcSweepResult::voltage(const Circuit& ckt,
@@ -33,6 +36,14 @@ std::vector<double> DcSweepResult::sweep_values() const {
 
 DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double v_start,
                        double v_stop, int steps, const OpOptions& opts) {
+  const obs::ScopedSpan span("spice.dc_sweep", "spice");
+  static obs::Counter& sweeps =
+      obs::MetricsRegistry::instance().counter("dcsweep.sweeps");
+  static obs::Counter& points =
+      obs::MetricsRegistry::instance().counter("dcsweep.points");
+  static obs::Counter& nonconverged =
+      obs::MetricsRegistry::instance().counter("dcsweep.nonconverged");
+  sweeps.inc();
   DcSweepResult res;
   res.ok = true;
   const Waveform saved = source.waveform();
@@ -51,7 +62,9 @@ DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double v_start,
       seed = op.x;
     } else {
       res.ok = false;
+      nonconverged.inc();
     }
+    points.inc();
     res.points.push_back(std::move(pt));
   }
   source.set_waveform(saved);

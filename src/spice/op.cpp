@@ -1,6 +1,19 @@
 #include "spice/op.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace fetcam::spice {
+
+const char* to_string(OpStrategy s) {
+  switch (s) {
+    case OpStrategy::kDirect: return "direct";
+    case OpStrategy::kGmin: return "gmin";
+    case OpStrategy::kSource: return "source";
+    case OpStrategy::kFailed: return "failed";
+  }
+  return "failed";
+}
 
 void assemble_system(const Circuit& ckt, const EvalContext& ctx,
                      const num::Vector& x, num::Matrix& jac,
@@ -46,16 +59,54 @@ num::NewtonResult solve_circuit_newton(const Circuit& ckt,
 
 namespace {
 
+/// Operating-point solver-health metrics (registered once per process).
+struct OpMetrics {
+  obs::Counter& solves;
+  obs::Counter& failed;
+  obs::Counter& direct;
+  obs::Counter& gmin;
+  obs::Counter& source;
+  obs::Histogram& iterations;
+
+  static OpMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static OpMetrics m{
+        reg.counter("op.solves"),
+        reg.counter("op.failed"),
+        reg.counter("op.strategy.direct"),
+        reg.counter("op.strategy.gmin"),
+        reg.counter("op.strategy.source"),
+        reg.histogram("op.newton_iterations",
+                      {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+    };
+    return m;
+  }
+};
+
 num::NewtonResult run_newton(const Circuit& ckt, const EvalContext& ctx,
                              num::Vector& x, const num::NewtonOptions& nopts,
                              SolverKind solver) {
   return solve_circuit_newton(ckt, ctx, x, nopts, solver);
 }
 
+void record_op(const OpResult& res) {
+  if (!obs::metrics_on()) return;
+  auto& m = OpMetrics::get();
+  m.solves.add();
+  m.iterations.observe(res.newton_iterations);
+  switch (res.strategy) {
+    case OpStrategy::kDirect: m.direct.add(); break;
+    case OpStrategy::kGmin: m.gmin.add(); break;
+    case OpStrategy::kSource: m.source.add(); break;
+    case OpStrategy::kFailed: m.failed.add(); break;
+  }
+}
+
 }  // namespace
 
 OpResult solve_op(Circuit& ckt, const OpOptions& opts,
                   const num::Vector* initial_guess) {
+  const obs::ScopedSpan span("spice.solve_op", "spice");
   ckt.finalize();
   OpResult res;
   res.x.assign(ckt.system_size(), 0.0);
@@ -74,8 +125,9 @@ OpResult solve_op(Circuit& ckt, const OpOptions& opts,
     res.newton_iterations += nr.iterations;
     if (nr.converged) {
       res.converged = true;
-      res.strategy = "direct";
+      res.strategy = OpStrategy::kDirect;
       res.x = x;
+      record_op(res);
       return res;
     }
   }
@@ -100,8 +152,9 @@ OpResult solve_op(Circuit& ckt, const OpOptions& opts,
       res.newton_iterations += nr.iterations;
       if (nr.converged) {
         res.converged = true;
-        res.strategy = "gmin";
+        res.strategy = OpStrategy::kGmin;
         res.x = x;
+        record_op(res);
         return res;
       }
     }
@@ -124,12 +177,14 @@ OpResult solve_op(Circuit& ckt, const OpOptions& opts,
     ctx.source_scale = 1.0;
     if (ok) {
       res.converged = true;
-      res.strategy = "source";
+      res.strategy = OpStrategy::kSource;
       res.x = x;
+      record_op(res);
       return res;
     }
   }
 
+  record_op(res);
   return res;
 }
 

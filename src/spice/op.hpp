@@ -1,12 +1,17 @@
 // DC operating-point analysis with gmin and source-stepping continuation.
 #pragma once
 
-#include <string>
-
 #include "numeric/newton.hpp"
 #include "spice/circuit.hpp"
 
 namespace fetcam::spice {
+
+/// Which continuation strategy produced (or failed to produce) the
+/// operating point.  kFailed means every enabled strategy diverged.
+enum class OpStrategy { kDirect, kGmin, kSource, kFailed };
+
+/// "direct" / "gmin" / "source" / "failed" — for reports and logs.
+const char* to_string(OpStrategy s);
 
 /// Linear-solver choice for the Newton iterations.  kAuto picks the sparse
 /// Gilbert-Peierls LU once the MNA system outgrows the dense solver's sweet
@@ -33,8 +38,8 @@ struct OpResult {
   bool converged = false;
   num::Vector x;
   int newton_iterations = 0;  ///< cumulative across continuation
-  /// "direct", "gmin", or "source" — which strategy produced the solution.
-  std::string strategy;
+  /// Which strategy produced the solution (kFailed when !converged).
+  OpStrategy strategy = OpStrategy::kFailed;
 };
 
 /// Assemble the MNA Jacobian/residual for all devices at candidate `x`.

@@ -4,9 +4,50 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spice/elements.hpp"
 
 namespace fetcam::spice {
+
+namespace {
+
+/// Transient solver-health metrics: step accounting plus the per-step
+/// Newton cost distribution (the dominant term of transient wall time).
+struct TransientMetrics {
+  obs::Counter& runs;
+  obs::Counter& failed;
+  obs::Counter& steps_accepted;
+  obs::Counter& steps_rejected;
+  obs::Counter& dt_exhausted;
+  obs::Histogram& newton_per_step;
+
+  static TransientMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static TransientMetrics m{
+        reg.counter("transient.runs"),
+        reg.counter("transient.failed"),
+        reg.counter("transient.steps_accepted"),
+        reg.counter("transient.steps_rejected"),
+        reg.counter("transient.dt_exhausted"),
+        reg.histogram("transient.newton_per_step",
+                      {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+    };
+    return m;
+  }
+};
+
+void record_transient(const TransientResult& res, bool dt_exhausted) {
+  if (!obs::metrics_on()) return;
+  auto& m = TransientMetrics::get();
+  m.runs.add();
+  if (!res.ok) m.failed.add();
+  if (dt_exhausted) m.dt_exhausted.add();
+  m.steps_accepted.add(static_cast<std::uint64_t>(res.accepted_steps));
+  m.steps_rejected.add(static_cast<std::uint64_t>(res.rejected_steps));
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Trace
@@ -90,6 +131,7 @@ std::vector<std::string> Trace::source_names() const {
 // ---------------------------------------------------------------------------
 
 TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
+  const obs::ScopedSpan span("spice.transient", "spice");
   ckt.finalize();
   TransientResult res{.ok = false, .error = {}, .trace = Trace(ckt)};
 
@@ -102,6 +144,7 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
     res.total_newton_iterations += op.newton_iterations;
     if (!op.converged) {
       res.error = "operating point failed to converge";
+      record_transient(res, /*dt_exhausted=*/false);
       return res;
     }
     x = op.x;
@@ -145,6 +188,9 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
       const auto nr =
           solve_circuit_newton(ckt, ctx, x_try, opts.newton, opts.solver);
       res.total_newton_iterations += nr.iterations;
+      if (obs::metrics_on()) {
+        TransientMetrics::get().newton_per_step.observe(nr.iterations);
+      }
       if (nr.converged) {
         accepted = true;
         break;
@@ -158,6 +204,7 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
         if (nr.singular) os << ", singular row " << nr.singular_row;
         os << ")";
         res.error = os.str();
+        record_transient(res, /*dt_exhausted=*/true);
         return res;
       }
     }
@@ -174,6 +221,7 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
   }
 
   res.ok = true;
+  record_transient(res, /*dt_exhausted=*/false);
   return res;
 }
 

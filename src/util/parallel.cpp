@@ -9,11 +9,38 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace fetcam::util {
 
 namespace {
 
 thread_local bool t_inside_region = false;
+
+/// Parallel-engine metrics.  Chunk timings come from an instrumented body
+/// wrapper installed only when observability is on, so the off path runs
+/// the caller's std::function directly — identical to pre-instrumentation.
+struct ParallelMetrics {
+  obs::Counter& jobs;
+  obs::Counter& chunks;
+  obs::Gauge& threads;
+  obs::Histogram& chunk_us;
+  obs::Histogram& job_us;
+
+  static ParallelMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static ParallelMetrics m{
+        reg.counter("parallel.jobs"),
+        reg.counter("parallel.chunks"),
+        reg.gauge("parallel.threads"),
+        // 10 us .. ~80 ms chunk / 160 ms job, x2 per bucket.
+        reg.histogram("parallel.chunk_us", obs::exponential_bounds(10, 2, 14)),
+        reg.histogram("parallel.job_us", obs::exponential_bounds(20, 2, 14)),
+    };
+    return m;
+  }
+};
 
 /// One parallel_for invocation: a shared chunk cursor plus completion
 /// bookkeeping.  Every chunk index is claimed exactly once (fetch_add)
@@ -184,21 +211,50 @@ void parallel_for_chunks(
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   if (chunk == 0) chunk = 1;
+
+  // With observability on, route every chunk through a timing/span wrapper.
+  // Metric totals stay schedule-independent (chunk boundaries are fixed);
+  // only the wall-time histograms vary run to run.  Off: `body` aliases the
+  // caller's function and the hot path is untouched.
+  const bool instrumented = obs::metrics_on() || obs::trace_on();
+  std::function<void(std::size_t, std::size_t)> wrapped;
+  if (instrumented) {
+    wrapped = [&fn](std::size_t begin, std::size_t end) {
+      const obs::ScopedSpan span("parallel.chunk", "util");
+      const bool m = obs::metrics_on();
+      const double t0 = m ? obs::now_us() : 0.0;
+      fn(begin, end);
+      if (m) {
+        auto& pm = ParallelMetrics::get();
+        pm.chunks.add();
+        pm.chunk_us.observe(obs::now_us() - t0);
+      }
+    };
+  }
+  const auto& body = instrumented ? wrapped : fn;
+
+  const double t_job = instrumented ? obs::now_us() : 0.0;
   // Nested regions (or an explicit single thread) run inline: same chunk
   // boundaries, same results, no pool interaction.
   if (t_inside_region || thread_count() == 1) {
     for (std::size_t begin = 0; begin < n; begin += chunk) {
-      fn(begin, std::min(n, begin + chunk));
+      body(begin, std::min(n, begin + chunk));
     }
-    return;
+  } else {
+    Job job;
+    job.n = n;
+    job.chunk = chunk;
+    job.total_chunks = (n + chunk - 1) / chunk;
+    job.body = &body;
+    Pool::instance().run(job);
+    if (job.error) std::rethrow_exception(job.error);
   }
-  Job job;
-  job.n = n;
-  job.chunk = chunk;
-  job.total_chunks = (n + chunk - 1) / chunk;
-  job.body = &fn;
-  Pool::instance().run(job);
-  if (job.error) std::rethrow_exception(job.error);
+  if (instrumented && obs::metrics_on()) {
+    auto& pm = ParallelMetrics::get();
+    pm.jobs.add();
+    pm.threads.set(thread_count());
+    pm.job_us.observe(obs::now_us() - t_job);
+  }
 }
 
 void parallel_for(std::size_t n,

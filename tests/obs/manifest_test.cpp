@@ -1,0 +1,83 @@
+// RunManifest JSON shape, phase timing, and solver-health embedding.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+namespace fetcam::obs {
+namespace {
+
+TEST(BuildInfoTest, FieldsAreNonEmpty) {
+  EXPECT_NE(std::string(BuildInfo::git_sha()), "");
+  EXPECT_NE(std::string(BuildInfo::build_type()), "");
+  EXPECT_NE(std::string(BuildInfo::compiler()), "");
+}
+
+TEST(RunManifestTest, JsonContainsIdentityAndInfo) {
+  RunManifest m("unit_test", "fetcam_cli --threads 2 variability");
+  m.set_threads(2);
+  m.set_level(Level::kMetrics);
+  m.add_info("rng_seed", 12345ll);
+  m.add_info("flavor", "dg");
+  m.add_phase("solve", 0.25);
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"tool\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("fetcam_cli --threads 2 variability"), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\""), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_level\": \"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"rng_seed\": \"12345\""), std::string::npos);
+  EXPECT_NE(json.find("\"flavor\": \"dg\""), std::string::npos);
+  EXPECT_NE(json.find("\"solve\""), std::string::npos);
+  EXPECT_NE(json.find("\"solver_health\""), std::string::npos);
+  // Info insertion order is preserved.
+  EXPECT_LT(json.find("rng_seed"), json.find("flavor"));
+}
+
+TEST(RunManifestTest, SolverHealthPicksUpSolverCounters) {
+  // "eval." is one of the solver-health prefixes; "test." is not.
+  MetricsRegistry::instance().counter("eval.manifest_probe").add(3);
+  MetricsRegistry::instance().counter("test.manifest_probe").add(5);
+  RunManifest m("unit_test", "cmd");
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"eval.manifest_probe\": 3"), std::string::npos);
+  EXPECT_EQ(json.find("test.manifest_probe"), std::string::npos);
+}
+
+TEST(RunManifestTest, PhaseTimerRecordsOnDestruction) {
+  RunManifest m("unit_test", "cmd");
+  {
+    PhaseTimer timer(m, "phase_a");
+  }
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"phase_a\":"), std::string::npos);
+}
+
+TEST(RunManifestTest, WriteProducesReadableFile) {
+  const std::string path = ::testing::TempDir() + "fetcam_manifest_test.json";
+  RunManifest m("unit_test", "cmd");
+  ASSERT_TRUE(m.write(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), m.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(RunManifestTest, EscapesQuotesInCommandLine) {
+  RunManifest m("unit_test", "run \"with quotes\" and \\ backslash");
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\\\"with quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\ backslash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fetcam::obs

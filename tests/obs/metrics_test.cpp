@@ -1,0 +1,151 @@
+// MetricsRegistry: concurrent increments, deterministic export order,
+// histogram bucket edges.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace fetcam::obs {
+namespace {
+
+TEST(MetricsCounter, ConcurrentIncrementsAreExact) {
+  Counter& c = MetricsRegistry::instance().counter("test.concurrent");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+#ifndef FETCAM_OBS_DISABLED
+TEST(MetricsCounter, IncIsGatedOnLevel) {
+  Counter& c = MetricsRegistry::instance().counter("test.gated");
+  c.reset();
+  set_level(Level::kOff);
+  c.inc();
+  EXPECT_EQ(c.value(), 0u);
+  set_level(Level::kMetrics);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+  set_level(Level::kOff);
+}
+#endif
+
+TEST(MetricsGauge, SetAndRead) {
+  Gauge& g = MetricsRegistry::instance().gauge("test.gauge");
+  g.set(3.25);
+  EXPECT_EQ(g.value(), 3.25);
+  g.set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstance) {
+  Counter& a = MetricsRegistry::instance().counter("test.same");
+  Counter& b = MetricsRegistry::instance().counter("test.same");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = MetricsRegistry::instance().histogram("test.same_h", {1, 2});
+  Histogram& h2 =
+      MetricsRegistry::instance().histogram("test.same_h", {5, 6, 7});
+  EXPECT_EQ(&h1, &h2);
+  // First registration's bounds win.
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ExportOrderIsSortedAndStable) {
+  auto& reg = MetricsRegistry::instance();
+  // Register deliberately out of order.
+  reg.counter("test.order.zz").add(1);
+  reg.counter("test.order.aa").add(2);
+  reg.counter("test.order.mm").add(3);
+  const std::string json = reg.to_json();
+  const auto pos_a = json.find("test.order.aa");
+  const auto pos_m = json.find("test.order.mm");
+  const auto pos_z = json.find("test.order.zz");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_m, std::string::npos);
+  ASSERT_NE(pos_z, std::string::npos);
+  EXPECT_LT(pos_a, pos_m);
+  EXPECT_LT(pos_m, pos_z);
+  // Byte-stable across calls.
+  EXPECT_EQ(json, reg.to_json());
+  // The table renderer sees the same values.
+  EXPECT_NE(reg.to_table().find("test.order.aa"), std::string::npos);
+}
+
+TEST(MetricsHistogram, BucketEdges) {
+  Histogram h({1.0, 2.0, 4.0});
+  // A value exactly on a bound lands in that bound's bucket (v <= bound).
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (edge)
+  h.observe(1.5);   // bucket 1
+  h.observe(2.0);   // bucket 1 (edge)
+  h.observe(4.0);   // bucket 2 (edge)
+  h.observe(4.001); // overflow
+  h.observe(1e9);   // overflow
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.001 + 1e9);
+}
+
+TEST(MetricsHistogram, NegativeAndZeroValuesLandInFirstBucket) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.0);
+  h.observe(-5.0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(MetricsHistogram, ConcurrentObserveCountsExactly) {
+  Histogram h({10.0, 20.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(5.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket_count(0), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Integer-valued observations: the CAS-accumulated sum is exact.
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0 * kThreads * kPerThread);
+}
+
+TEST(MetricsHistogram, ResetZeroesEverything) {
+  Histogram h({1.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+}
+
+TEST(MetricsBounds, Helpers) {
+  const auto e = exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e[0], 1.0);
+  EXPECT_EQ(e[3], 8.0);
+  const auto l = linear_bounds(0.0, 0.5, 3);
+  ASSERT_EQ(l.size(), 3u);
+  EXPECT_EQ(l[2], 1.0);
+}
+
+}  // namespace
+}  // namespace fetcam::obs

@@ -1,0 +1,145 @@
+// ScopedSpan nesting, level gating, and Chrome-trace export.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace fetcam::obs {
+namespace {
+
+// Restores kOff and clears the collector on scope exit so tests cannot
+// leak trace state into each other.
+struct TraceGuard {
+  ~TraceGuard() {
+    set_level(Level::kOff);
+    TraceCollector::instance().clear();
+  }
+};
+
+#ifndef FETCAM_OBS_DISABLED
+
+TEST(ScopedSpanTest, RecordsOnlyWhenTraceOn) {
+  TraceGuard guard;
+  auto& tc = TraceCollector::instance();
+  tc.clear();
+
+  set_level(Level::kOff);
+  { ScopedSpan span("test.off", "test"); }
+  EXPECT_EQ(tc.size(), 0u);
+
+  set_level(Level::kMetrics);
+  { ScopedSpan span("test.metrics", "test"); }
+  EXPECT_EQ(tc.size(), 0u);
+
+  set_level(Level::kTrace);
+  { ScopedSpan span("test.trace", "test"); }
+  ASSERT_EQ(tc.size(), 1u);
+  const auto events = tc.snapshot();
+  EXPECT_STREQ(events[0].name, "test.trace");
+  EXPECT_STREQ(events[0].cat, "test");
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST(ScopedSpanTest, ActivationLatchedAtConstruction) {
+  TraceGuard guard;
+  auto& tc = TraceCollector::instance();
+  tc.clear();
+  set_level(Level::kOff);
+  {
+    ScopedSpan span("test.latched", "test");
+    // Turning tracing on mid-span must not produce a torn event.
+    set_level(Level::kTrace);
+  }
+  EXPECT_EQ(tc.size(), 0u);
+}
+
+TEST(ScopedSpanTest, NestedSpansContainEachOther) {
+  TraceGuard guard;
+  auto& tc = TraceCollector::instance();
+  tc.clear();
+  set_level(Level::kTrace);
+  {
+    ScopedSpan outer("test.outer", "test");
+    { ScopedSpan inner("test.inner", "test"); }
+  }
+  const auto events = tc.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner destructs first, so it is recorded first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "test.inner");
+  EXPECT_STREQ(outer.name, "test.outer");
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.dur_us, inner.dur_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+  EXPECT_EQ(outer.tid, inner.tid);
+}
+
+TEST(ScopedSpanTest, ThreadsGetDistinctIds) {
+  const std::uint32_t here = TraceCollector::thread_id();
+  // Stable within a thread.
+  EXPECT_EQ(TraceCollector::thread_id(), here);
+  std::uint32_t other = here;
+  std::thread t([&other] { other = TraceCollector::thread_id(); });
+  t.join();
+  EXPECT_NE(other, here);
+}
+
+TEST(TraceCollectorTest, ChromeJsonShape) {
+  TraceGuard guard;
+  auto& tc = TraceCollector::instance();
+  tc.clear();
+  set_level(Level::kTrace);
+  { ScopedSpan span("test.json", "test"); }
+  const std::string json = tc.to_chrome_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_EQ(json.find(']'), json.size() - 2);  // "...]\n"
+}
+
+TEST(TraceCollectorTest, ClearDropsEverything) {
+  TraceGuard guard;
+  auto& tc = TraceCollector::instance();
+  set_level(Level::kTrace);
+  { ScopedSpan span("test.cleared", "test"); }
+  EXPECT_GE(tc.size(), 1u);
+  tc.clear();
+  EXPECT_EQ(tc.size(), 0u);
+  EXPECT_EQ(tc.dropped(), 0u);
+}
+
+#else  // FETCAM_OBS_DISABLED
+
+TEST(ScopedSpanTest, CompiledOutBuildNeverRecords) {
+  TraceGuard guard;
+  auto& tc = TraceCollector::instance();
+  tc.clear();
+  set_level(Level::kTrace);  // must be ignored
+  { ScopedSpan span("test.disabled", "test"); }
+  EXPECT_EQ(tc.size(), 0u);
+}
+
+#endif
+
+TEST(TraceCollectorTest, ManualRecordRoundTrips) {
+  TraceGuard guard;
+  auto& tc = TraceCollector::instance();
+  tc.clear();
+  tc.record({"test.manual", "test", 10.0, 2.5, 7});
+  const auto events = tc.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ts_us, 10.0);
+  EXPECT_EQ(events[0].dur_us, 2.5);
+  EXPECT_EQ(events[0].tid, 7u);
+}
+
+}  // namespace
+}  // namespace fetcam::obs

@@ -30,7 +30,7 @@ Circuit latch_circuit() {
 TEST(OpRobustness, LatchConvergesToAValidState) {
   Circuit ckt = latch_circuit();
   const auto op = solve_op(ckt);
-  ASSERT_TRUE(op.converged) << op.strategy;
+  ASSERT_TRUE(op.converged) << to_string(op.strategy);
   const Solution sol(ckt, op.x);
   const double q = sol.v(*ckt.find_node("q"));
   const double qb = sol.v(*ckt.find_node("qb"));
@@ -50,7 +50,7 @@ TEST(OpRobustness, StrategyIsReported) {
   ckt.emplace<Resistor>("R1", a, kGround, 1e3);
   const auto op = solve_op(ckt);
   ASSERT_TRUE(op.converged);
-  EXPECT_EQ(op.strategy, "direct");
+  EXPECT_EQ(op.strategy, OpStrategy::kDirect);
   EXPECT_GT(op.newton_iterations, 0);
 }
 

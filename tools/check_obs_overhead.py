@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI guard: instrumentation left OFF must be free.
+
+Runs bench_solver_scaling from two build trees --
+
+  * the default build (FETCAM_OBS=ON) with the runtime level forced off, and
+  * a reference build compiled with -DFETCAM_OBS=OFF (every guarded block
+    optimized away)
+
+-- interleaved several times, takes the per-benchmark minimum of each (the
+most noise-robust point estimate for a throughput bench), and fails when the
+runtime-off build is more than THRESHOLD slower than the compiled-out build.
+
+Usage: check_obs_overhead.py <obs-on-bench> <obs-off-bench> [threshold-%]
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FILTER = "BM_DenseLu/256$|BM_SparseLu/2048$|BM_WordSearchTransient/32$"
+# Interleaved rounds x in-pass repetitions, min over all samples: wall-clock
+# benches on shared CI runners are noisy in one direction only (slower), so
+# the minimum is the stable point estimate and more samples tighten it.
+ROUNDS = 8
+REPETITIONS = 2
+
+
+def run_bench(binary):
+    """Run one benchmark pass; returns {bench_name: cpu_time_us}."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        env = dict(os.environ, FETCAM_OBS="off")
+        subprocess.run(
+            [
+                binary,
+                f"--benchmark_filter={FILTER}",
+                f"--benchmark_repetitions={REPETITIONS}",
+                f"--benchmark_out={out_path}",
+                "--benchmark_out_format=json",
+            ],
+            env=env,
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(out_path) as f:
+            report = json.load(f)
+    finally:
+        os.unlink(out_path)
+    times = {}
+    for b in report["benchmarks"]:
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}[b["time_unit"]]
+        t = b["cpu_time"] * scale
+        times[b["name"]] = min(times.get(b["name"], float("inf")), t)
+    return times
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    on_bin, off_bin = sys.argv[1], sys.argv[2]
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 2.0
+
+    best_on, best_off = {}, {}
+    for i in range(ROUNDS):
+        # Interleave so machine-load drift hits both builds equally.
+        for binary, best in ((on_bin, best_on), (off_bin, best_off)):
+            for name, t in run_bench(binary).items():
+                best[name] = min(best.get(name, float("inf")), t)
+        print(f"round {i + 1}/{ROUNDS} done", flush=True)
+
+    failed = False
+    print(f"{'benchmark':<32} {'runtime-off':>12} {'compiled-out':>12} "
+          f"{'overhead':>9}")
+    for name in sorted(best_off):
+        on_t, off_t = best_on[name], best_off[name]
+        overhead = 100.0 * (on_t - off_t) / off_t
+        flag = ""
+        if overhead > threshold:
+            failed = True
+            flag = f"  FAIL (> {threshold:.1f}%)"
+        print(f"{name:<32} {on_t:>10.1f}us {off_t:>10.1f}us "
+              f"{overhead:>+8.2f}%{flag}")
+    if failed:
+        print("\nruntime-off instrumentation overhead exceeds threshold")
+        return 1
+    print("\nOK: --obs-level off is within the overhead budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

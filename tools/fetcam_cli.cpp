@@ -20,6 +20,17 @@
 //   --threads N    pool size for the parallel evaluators (overrides the
 //                  FETCAM_THREADS environment variable; results are
 //                  bit-identical for any value — only wall clock changes)
+//   --obs-level L  off | metrics | trace (default off, or the FETCAM_OBS
+//                  environment variable).  "metrics" collects solver-health
+//                  counters/histograms; "trace" additionally records
+//                  Chrome-trace spans.  Simulation RESULTS are identical at
+//                  every level — only telemetry output changes.
+//   --metrics-out F  write the metrics registry as JSON (implies at least
+//                  --obs-level metrics unless off was given explicitly)
+//   --trace-out F  write a chrome://tracing / Perfetto-loadable timeline
+//                  (implies --obs-level trace unless set explicitly)
+//   --manifest-out F  write the run manifest JSON here (default
+//                  run_manifest.json whenever obs-level != off)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +43,9 @@
 #include "eval/experiments.hpp"
 #include "eval/report.hpp"
 #include "eval/variability.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spice/spice_export.hpp"
 #include "tcam/sim_harness.hpp"
 #include "util/parallel.hpp"
@@ -40,9 +54,17 @@ using namespace fetcam;
 
 namespace {
 
+/// Run manifest for the current invocation; command handlers add their
+/// seeds / sweep parameters through this.
+obs::RunManifest* g_manifest = nullptr;
+
 int usage() {
   std::fprintf(stderr,
-               "usage: fetcam_cli [--threads N] <table4|fig1|fig4|fig7|ops|"
+               "usage: fetcam_cli [--threads N] [--obs-level off|metrics|"
+               "trace]\n"
+               "                  [--metrics-out F] [--trace-out F] "
+               "[--manifest-out F]\n"
+               "                  <table4|fig1|fig4|fig7|ops|"
                "divider|variability|disturb|halfselect|search|datasheet|"
                "export> [args]\n"
                "  see the header comment of tools/fetcam_cli.cpp\n");
@@ -132,17 +154,17 @@ int cmd_variability(int argc, char** argv) {
     p.sigma_ps_rel *= scale;
     p.sigma_mos_vth *= scale;
     p.sigma_vc_rel *= scale;
+    if (g_manifest != nullptr) g_manifest->add_info("sigma_scale", argv[0]);
+  }
+  if (g_manifest != nullptr) {
+    g_manifest->add_info("rng_seed", static_cast<long long>(p.seed));
+    g_manifest->add_info("samples", static_cast<long long>(p.samples));
   }
   for (const auto flavor : {tcam::Flavor::kSg, tcam::Flavor::kDg}) {
     const auto rep = eval::analyze_variability(flavor, p);
-    std::printf("1.5T1%s-Fe yield %.1f%%\n",
-                flavor == tcam::Flavor::kSg ? "SG" : "DG",
-                100.0 * rep.cell_yield);
-    for (const auto& c : rep.corners) {
-      std::printf("  stored %c q%d: fail %.1f%%, worst margin %.0f mV\n",
-                  arch::to_char(c.stored), c.query, 100.0 * c.failure_rate(),
-                  c.worst_margin * 1e3);
-    }
+    const std::string label =
+        flavor == tcam::Flavor::kSg ? "1.5T1SG-Fe" : "1.5T1DG-Fe";
+    std::printf("%s", eval::render_variability(label, rep).c_str());
   }
   return 0;
 }
@@ -236,27 +258,9 @@ int cmd_search(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  // Global flags precede the command.
-  int argi = 1;
-  while (argi < argc && std::strncmp(argv[argi], "--", 2) == 0) {
-    const std::string flag = argv[argi];
-    if (flag == "--threads" && argi + 1 < argc) {
-      const int n = std::atoi(argv[argi + 1]);
-      if (n <= 0) {
-        std::fprintf(stderr, "--threads wants a positive count\n");
-        return 2;
-      }
-      util::set_thread_count(n);
-      argi += 2;
-    } else {
-      return usage();
-    }
-  }
-  argc -= argi - 1;
-  argv += argi - 1;
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+namespace {
+
+int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "table4") return cmd_table4(argc - 2, argv + 2);
   if (cmd == "fig1") return cmd_fig1();
   if (cmd == "fig4") return cmd_fig4();
@@ -270,4 +274,99 @@ int main(int argc, char** argv) {
   if (cmd == "datasheet") return cmd_datasheet(argc - 2, argv + 2);
   if (cmd == "export") return cmd_export(argc - 2, argv + 2);
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command_line;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) command_line += ' ';
+    command_line += argv[i];
+  }
+
+  // Global flags precede the command.
+  std::string metrics_out, trace_out, manifest_out;
+  bool level_given = false;
+  int argi = 1;
+  while (argi < argc && std::strncmp(argv[argi], "--", 2) == 0) {
+    const std::string flag = argv[argi];
+    const auto take_value = [&](std::string& out) {
+      if (argi + 1 >= argc) return false;
+      out = argv[argi + 1];
+      argi += 2;
+      return true;
+    };
+    if (flag == "--threads" && argi + 1 < argc) {
+      const int n = std::atoi(argv[argi + 1]);
+      if (n <= 0) {
+        std::fprintf(stderr, "--threads wants a positive count\n");
+        return 2;
+      }
+      util::set_thread_count(n);
+      argi += 2;
+    } else if (flag == "--obs-level") {
+      std::string value;
+      obs::Level level;
+      if (!take_value(value) || !obs::parse_level(value, level)) {
+        std::fprintf(stderr, "--obs-level wants off|metrics|trace\n");
+        return 2;
+      }
+      obs::set_level(level);
+      level_given = true;
+    } else if (flag == "--metrics-out") {
+      if (!take_value(metrics_out)) return usage();
+    } else if (flag == "--trace-out") {
+      if (!take_value(trace_out)) return usage();
+    } else if (flag == "--manifest-out") {
+      if (!take_value(manifest_out)) return usage();
+    } else {
+      return usage();
+    }
+  }
+  // Output flags imply a collection level unless one was set explicitly.
+  if (!level_given) {
+    if (!trace_out.empty()) {
+      obs::set_level(obs::Level::kTrace);
+    } else if (!metrics_out.empty() && obs::level() < obs::Level::kMetrics) {
+      obs::set_level(obs::Level::kMetrics);
+    }
+  }
+
+  argc -= argi - 1;
+  argv += argi - 1;
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  obs::RunManifest manifest("fetcam_cli", command_line);
+  manifest.set_threads(util::thread_count());
+  manifest.set_level(obs::level());
+  g_manifest = &manifest;
+
+  int rc;
+  {
+    const obs::PhaseTimer phase(manifest, cmd);
+    rc = dispatch(cmd, argc, argv);
+  }
+  g_manifest = nullptr;
+
+  // Telemetry output.  With observability off and no explicit output paths
+  // this writes nothing — the baseline run is byte-for-byte untouched.
+  if (!metrics_out.empty() &&
+      !obs::MetricsRegistry::instance().write_json(metrics_out)) {
+    std::fprintf(stderr, "failed to write metrics to %s\n",
+                 metrics_out.c_str());
+  }
+  if (!trace_out.empty() &&
+      !obs::TraceCollector::instance().write_chrome_trace(trace_out)) {
+    std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+  }
+  if (manifest_out.empty() && obs::level() != obs::Level::kOff) {
+    manifest_out = "run_manifest.json";
+  }
+  if (!manifest_out.empty() && !manifest.write(manifest_out)) {
+    std::fprintf(stderr, "failed to write manifest to %s\n",
+                 manifest_out.c_str());
+  }
+  return rc;
 }
