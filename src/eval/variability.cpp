@@ -55,7 +55,8 @@ DividerSolve divider_slb_at_polarization(tcam::Flavor flavor,
                                          const tcam::OnePointFiveParams& p,
                                          const SampledCell& cell,
                                          double polarization, bool query_one,
-                                         double vdd) {
+                                         double vdd,
+                                         num::SparseNewtonWorkspace* ws) {
   Circuit ckt;
   const NodeId sl = ckt.node("sl");
   const NodeId slb = ckt.node("slb");
@@ -80,7 +81,7 @@ DividerSolve divider_slb_at_polarization(tcam::Flavor flavor,
   fe.set_polarization(polarization);
   ckt.emplace<Mosfet>("TN", slb, wrsl, kGround, kGround, cell.tn);
   ckt.emplace<Mosfet>("TP", slb, wrsl, vddp, vddp, cell.tp);
-  const auto op = solve_op(ckt);
+  const auto op = solve_op(ckt, {}, nullptr, ws);
   if (!op.converged) return {std::nan(""), spice::OpStrategy::kFailed};
   return {Solution(ckt, op.x).v(slb), op.strategy};
 }
@@ -216,11 +217,15 @@ VariabilityReport analyze_variability(tcam::Flavor flavor,
         std::mt19937 rng = util::trial_rng(vp.seed, s);
         const SampledCell cell = detail::sample_cell(flavor, p, vp, rng);
         detail::TrialMargins margins;
+        // Corner solves share one workspace: same divider topology, same
+        // stamp sequence, so the factorization context replays across all
+        // six corners of the trial.
+        num::SparseNewtonWorkspace ws;
         for (std::size_t c = 0; c < corners.size(); ++c) {
           const double pol =
               open_loop_polarization(p, flavor, cell, corners[c].stored);
           const auto solve = detail::divider_slb_at_polarization(
-              flavor, p, cell, pol, corners[c].query != 0, vdd);
+              flavor, p, cell, pol, corners[c].query != 0, vdd, &ws);
           margins.strategy[c] = solve.strategy;
           margins.margin[c] = std::isnan(solve.v_slb)
                                   ? solve.v_slb

@@ -99,6 +99,29 @@ Vector LuFactorization::solve(const Vector& b) const {
   return x;
 }
 
+void LuFactorization::solve_in_place(Vector& b) const {
+  assert(factored_);
+  const Index n = lu_.rows();
+  assert(b.size() == n);
+  // The permutation reads b out of order, so substitute into a scratch
+  // vector and copy back; the scratch is reused across calls.
+  scratch_.resize(static_cast<std::size_t>(n));
+  double* x = scratch_.data();
+  for (Index r = 0; r < n; ++r) {
+    double s = b[perm_[static_cast<std::size_t>(r)]];
+    const double* row = lu_.row_data(r);
+    for (Index c = 0; c < r; ++c) s -= row[c] * x[c];
+    x[r] = s;
+  }
+  for (Index r = n - 1; r >= 0; --r) {
+    const double* row = lu_.row_data(r);
+    double s = x[r];
+    for (Index c = r + 1; c < n; ++c) s -= row[c] * x[c];
+    x[r] = s / row[r];
+  }
+  for (Index i = 0; i < n; ++i) b[i] = x[i];
+}
+
 std::optional<Vector> solve_dense(const Matrix& a, const Vector& b) {
   LuFactorization lu;
   if (!lu.factor(a)) return std::nullopt;

@@ -28,6 +28,10 @@ class LuFactorization {
 
   /// Solve L U x = P b for x.  Requires a successful factor() call.
   Vector solve(const Vector& b) const;
+  /// In-place overload: b holds the solution on return.  Allocation-free
+  /// after the first call on a given system size (internal scratch), which
+  /// is what the Newton loop uses per iteration.
+  void solve_in_place(Vector& b) const;
 
   /// Row index (in the original matrix) of the pivot that broke factorization,
   /// for diagnosing floating nodes.  Only meaningful after factor() == false.
@@ -38,6 +42,7 @@ class LuFactorization {
  private:
   Matrix lu_;
   std::vector<Index> perm_;
+  mutable std::vector<double> scratch_;  // solve_in_place working vector
   Index failed_row_ = -1;
   bool factored_ = false;
 };

@@ -75,6 +75,7 @@ NewtonResult solve_newton(const AssembleFn& assemble, Vector& x,
   const Index n = x.size();
   Matrix jac(n, n);
   Vector residual(n);
+  Vector dx(n);
   LuFactorization lu;
 
   for (int it = 0; it < opts.max_iterations; ++it) {
@@ -96,11 +97,10 @@ NewtonResult solve_newton(const AssembleFn& assemble, Vector& x,
       if (obs_on) NewtonMetrics::dense().record_result(res);
       return res;
     }
-    // Solve J dx = -f.
-    Vector rhs(n);
-    for (Index i = 0; i < n; ++i) rhs[i] = -residual[i];
+    // Solve J dx = -f, reusing the dx buffer across iterations.
+    for (Index i = 0; i < n; ++i) dx[i] = -residual[i];
     const double t_solve = obs_on ? obs::now_us() : 0.0;
-    Vector dx = lu.solve(rhs);
+    lu.solve_in_place(dx);
     if (obs_on) {
       NewtonMetrics::dense().solve_us.observe(obs::now_us() - t_solve);
     }
@@ -129,39 +129,58 @@ NewtonResult solve_newton(const AssembleFn& assemble, Vector& x,
   return res;
 }
 
-NewtonResult solve_newton_sparse(const SparseAssembleFn& assemble, Vector& x,
+NewtonResult solve_newton_sparse(const SinkAssembleFn& assemble, Vector& x,
+                                 SparseNewtonWorkspace& ws,
                                  const NewtonOptions& opts) {
   const obs::ScopedSpan span("newton.sparse", "numeric");
   const bool obs_on = obs::metrics_on();
+  static obs::Counter& rebuilds =
+      obs::MetricsRegistry::instance().counter("newton.sparse.pattern_rebuilds");
   NewtonResult res;
   const Index n = x.size();
-  TripletAccumulator jac(n);
-  Vector residual(n);
-  SparseLu lu;
+  ws.residual.resize(n);
+  ws.rhs.resize(n);
 
   for (int it = 0; it < opts.max_iterations; ++it) {
-    jac.clear();
-    residual.fill(0.0);
-    assemble(x, jac, residual);
+    // Assembly: replay the recorded stamp sequence into the flat value
+    // array when a pattern is cached; any divergence (first call, mode
+    // switch, topology change) falls back to triplet assembly and rebuilds
+    // the pattern + stamp-slot map.
+    bool assembled = false;
+    if (ws.jac.has_pattern() && ws.jac.dim() == n) {
+      ws.residual.fill(0.0);
+      ws.jac.begin_fill();
+      StampedCscSink sink(ws.jac);
+      assemble(x, sink, ws.residual);
+      assembled = sink.ok() && ws.jac.end_fill();
+    }
+    if (!assembled) {
+      rebuilds.inc();
+      ws.residual.fill(0.0);
+      ws.triplets.reset(n);
+      TripletSink sink(ws.triplets);
+      assemble(x, sink, ws.residual);
+      ws.jac.build(ws.triplets);
+    }
 
     res.iterations = it + 1;
-    res.residual_norm = residual.inf_norm();
+    res.residual_norm = ws.residual.inf_norm();
 
     const double t_factor = obs_on ? obs::now_us() : 0.0;
-    const bool factored = lu.factor(jac);
+    const bool factored = ws.lu.factor(ws.jac, ws.lu_opts);
     if (obs_on) {
       NewtonMetrics::sparse().factor_us.observe(obs::now_us() - t_factor);
     }
     if (!factored) {
       res.singular = true;
-      res.singular_row = lu.failed_column();
+      res.singular_row = ws.lu.failed_column();
       if (obs_on) NewtonMetrics::sparse().record_result(res);
       return res;
     }
-    Vector rhs(n);
-    for (Index i = 0; i < n; ++i) rhs[i] = -residual[i];
+    Vector& dx = ws.rhs;
+    for (Index i = 0; i < n; ++i) dx[i] = -ws.residual[i];
     const double t_solve = obs_on ? obs::now_us() : 0.0;
-    Vector dx = lu.solve(rhs);
+    ws.lu.solve(dx);
     if (obs_on) {
       NewtonMetrics::sparse().solve_us.observe(obs::now_us() - t_solve);
     }
@@ -187,6 +206,24 @@ NewtonResult solve_newton_sparse(const SparseAssembleFn& assemble, Vector& x,
   }
   if (obs_on) NewtonMetrics::sparse().record_result(res);
   return res;
+}
+
+NewtonResult solve_newton_sparse(const SparseAssembleFn& assemble, Vector& x,
+                                 const NewtonOptions& opts) {
+  // Legacy triplet-callback entry point: adapt to the sink driver by
+  // stamping into a scratch accumulator and replaying it in call order
+  // (preserving duplicate-summation order, hence bit-identical results).
+  SparseNewtonWorkspace ws;
+  TripletAccumulator scratch(x.size());
+  const SinkAssembleFn adapter = [&](const Vector& xc, JacobianSink& sink,
+                                     Vector& residual) {
+    scratch.reset(xc.size());
+    assemble(xc, scratch, residual);
+    for (std::size_t k = 0; k < scratch.entries(); ++k) {
+      sink.add(scratch.rows()[k], scratch.cols()[k], scratch.vals()[k]);
+    }
+  };
+  return solve_newton_sparse(adapter, x, ws, opts);
 }
 
 }  // namespace fetcam::num

@@ -11,6 +11,8 @@
 #include "numeric/lu.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/sparse.hpp"
+#include "numeric/sparse_lu.hpp"
+#include "numeric/stamped_csc.hpp"
 
 namespace fetcam::num {
 
@@ -57,6 +59,38 @@ using SparseAssembleFn =
     std::function<void(const Vector& x, TripletAccumulator& jac,
                        Vector& residual)>;
 NewtonResult solve_newton_sparse(const SparseAssembleFn& assemble, Vector& x,
+                                 const NewtonOptions& opts = {});
+
+/// Sink-based sparse assembly: the callback stamps the Jacobian through a
+/// JacobianSink, so the driver chooses the destination — a triplet
+/// accumulator when the pattern must be (re)discovered, the slot-resolved
+/// flat CSC of StampedCsc on every later iteration.
+using SinkAssembleFn =
+    std::function<void(const Vector& x, JacobianSink& jac, Vector& residual)>;
+
+/// Reusable solver state for repeated Newton solves against one circuit
+/// topology: the slot-assembled Jacobian (pattern + stamp sequence), the
+/// SparseLu with its cached symbolic factorization, the iteration buffers,
+/// and a triplet scratch for pattern discovery.  Thread one instance through
+/// a transient run, a DC sweep, or a Monte-Carlo trial's corner solves and
+/// the steady-state per-iteration cost drops to fill(0) + indexed stamp
+/// writes + a numeric-only refactor; results are bit-identical to solving
+/// each system from scratch.  Not thread-safe: one workspace per thread.
+struct SparseNewtonWorkspace {
+  StampedCsc jac;
+  TripletAccumulator triplets{0};  ///< pattern-discovery scratch
+  SparseLu lu;
+  Vector residual;
+  Vector rhs;
+  SparseLuOptions lu_opts;
+};
+
+/// Workspace-threaded sparse Newton.  Steady-state iterations are
+/// allocation-free and reuse the cached symbolic factorization; a stamp
+/// stream that diverges from the recorded pattern (mode switch, netlist
+/// change) transparently rebuilds it via triplet assembly.
+NewtonResult solve_newton_sparse(const SinkAssembleFn& assemble, Vector& x,
+                                 SparseNewtonWorkspace& ws,
                                  const NewtonOptions& opts = {});
 
 }  // namespace fetcam::num

@@ -15,6 +15,16 @@
 
 namespace fetcam::num {
 
+/// Destination for Jacobian entries.  Device stamps write through this
+/// interface, so the same stamping code can feed a dense matrix, a triplet
+/// accumulator, or the slot-resolved flat CSC of StampedCsc without knowing
+/// which solver runs.
+class JacobianSink {
+ public:
+  virtual ~JacobianSink() = default;
+  virtual void add(Index r, Index c, double v) = 0;
+};
+
 /// Coordinate-format accumulator.  Duplicate (row, col) entries are summed on
 /// conversion, matching MNA stamping semantics.
 class TripletAccumulator {
@@ -35,6 +45,11 @@ class TripletAccumulator {
     cols_.clear();
     vals_.clear();
   }
+  /// Re-dimension and clear, keeping the entry capacity (scratch reuse).
+  void reset(Index n) {
+    n_ = n;
+    clear();
+  }
 
   const std::vector<Index>& rows() const { return rows_; }
   const std::vector<Index>& cols() const { return cols_; }
@@ -44,6 +59,17 @@ class TripletAccumulator {
   Index n_ = 0;
   std::vector<Index> rows_, cols_;
   std::vector<double> vals_;
+};
+
+/// JacobianSink writing into a TripletAccumulator (the pattern-discovery
+/// path of the reusable assembly, and the plain sparse-assembly path).
+class TripletSink final : public JacobianSink {
+ public:
+  explicit TripletSink(TripletAccumulator& t) : t_(t) {}
+  void add(Index r, Index c, double v) override { t_.add(r, c, v); }
+
+ private:
+  TripletAccumulator& t_;
 };
 
 /// Compressed sparse row matrix (square).

@@ -1,5 +1,5 @@
 // Sparse direct LU factorization (Gilbert-Peierls) with threshold partial
-// pivoting.
+// pivoting and KLU-style factorization reuse.
 //
 // The dense solver is fine for word-slice circuits (a few hundred unknowns),
 // but full-array simulations grow as rows x cols and dense LU's O(n^3)
@@ -13,12 +13,38 @@
 // its magnitude is within `pivot_threshold` of the column's largest
 // eliminated entry, else the largest).  This preserves sparsity while
 // keeping growth bounded — the standard compromise for circuit matrices.
+//
+// Factorization reuse: a Newton solve factors the same sparsity pattern
+// every iteration, and a transient run factors it every step.  A full
+// factor() records its symbolic work — per-column reach sets in topological
+// order, the pivot sequence, the flat L/U index arrays — keyed on the
+// StampedCsc's pattern_id().  While the pattern is unchanged, factor()
+// re-runs only the numeric phase along the recorded structure ("refactor").
+// Unlike classic KLU (which trusts recorded pivots and only monitors
+// growth), the refactor RE-VERIFIES the threshold pivot choice per column:
+// if the numeric values have drifted so that a full pivoting factor would
+// pick any different pivot — i.e. a recorded pivot degraded past the
+// threshold, or a column went numerically singular — it falls back to the
+// full factor.  The verification replays exactly the comparisons the full
+// factor performs, so a successful refactor is bit-identical to what a
+// fresh full factor of the same matrix would produce; reuse changes cost,
+// never results.
+//
+// Storage is flat CSC (column pointer + row index + value arrays) for L and
+// U rather than vector-of-vectors: one allocation each, cache-linear column
+// walks, and values rewritable in place by refactor().  All structurally
+// reached positions are kept (numerically zero entries are stored, and the
+// numeric loops skip zero multipliers), so the recorded structure is an
+// upper bound for any value assignment with the same pattern and the
+// refactor can never run out of fill slots.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "numeric/sparse.hpp"
+#include "numeric/stamped_csc.hpp"
 
 namespace fetcam::num {
 
@@ -28,35 +54,97 @@ struct SparseLuOptions {
   /// Declare singular when a column's best pivot is below this times the
   /// matrix max-abs entry.
   double singular_tol = 1e-14;
+  /// Allow the numeric-only refactor path when the pattern matches the
+  /// cached symbolic factorization.  Results are identical either way;
+  /// disabling forces the full symbolic+numeric factor every call (the
+  /// A/B baseline for benchmarks and equivalence tests).
+  bool reuse_symbolic = true;
 };
 
 class SparseLu {
  public:
   /// Factor A (given as summed triplets).  Returns false on (numerical)
   /// singularity; failed_column() then reports the offending column.
-  bool factor(const TripletAccumulator& a,
-              const SparseLuOptions& opts = {});
+  /// Always takes the full-factor path (the triplet form carries no
+  /// pattern identity to key reuse on).
+  bool factor(const TripletAccumulator& a, const SparseLuOptions& opts = {});
+
+  /// Factor A given in slot-assembled CSC form.  When `opts.reuse_symbolic`
+  /// and `a.pattern_id()` matches the cached symbolic factorization, runs
+  /// the numeric-only refactor with per-column pivot re-verification,
+  /// transparently falling back to a full factor on pivot degradation.
+  bool factor(const StampedCsc& a, const SparseLuOptions& opts = {});
 
   /// Solve A x = b.  Requires factor() == true.
   Vector solve(const Vector& b) const;
+  /// In-place overload: b holds the solution on return.  No allocation
+  /// after the first call on a given system size (internal scratch is
+  /// reused), which is what the Newton loops use.
+  void solve(Vector& b) const;
 
   bool factored() const { return factored_; }
   Index failed_column() const { return failed_col_; }
-  /// Fill-in diagnostic: nonzeros in L + U.
+  /// Fill-in diagnostic: numerically nonzero entries in L + U.
   std::size_t factor_nonzeros() const;
 
+  /// Pivot order of the last successful factor: perm()[k] = original row
+  /// index eliminated at step k.
+  const std::vector<Index>& perm() const { return perm_; }
+  /// Flat L/U value arrays (unit-diagonal L not stored; U diagonal last
+  /// per column) — for the refactor-vs-full-factor equivalence tests.
+  const std::vector<double>& l_values() const { return l_vals_; }
+  const std::vector<double>& u_values() const { return u_vals_; }
+
+  /// Per-instance reuse accounting (the process-wide obs counters
+  /// aggregate the same events across all instances).
+  struct Stats {
+    std::uint64_t full_factors = 0;   ///< symbolic + numeric factorizations
+    std::uint64_t refactors = 0;      ///< numeric-only reuse hits
+    std::uint64_t fallbacks = 0;      ///< refactors abandoned for full factor
+  };
+  const Stats& stats() const { return stats_; }
+  /// Smallest |pivot| / |column max| ratio seen by the last successful
+  /// refactor (1.0 when no refactor has run); the pivot-growth health
+  /// signal behind the fallback decision.
+  double last_refactor_min_growth() const { return last_min_growth_; }
+
  private:
-  // L and U in compressed sparse column form.  L has unit diagonal
-  // (not stored); U's diagonal is stored last in each column.
+  bool full_factor(const StampedCsc& a, const SparseLuOptions& opts);
+  /// Numeric-only pass along the recorded structure.  Returns false when a
+  /// re-verified pivot choice differs from the recorded one (fallback).
+  bool try_refactor(const StampedCsc& a, const SparseLuOptions& opts);
+  void compute_row_scale(const StampedCsc& a);
+
   Index n_ = 0;
-  std::vector<std::vector<Index>> l_rows_, u_rows_;
-  std::vector<std::vector<double>> l_vals_, u_vals_;
+  // L and U in flat compressed sparse column form.  L has unit diagonal
+  // (not stored); U's diagonal is stored last in each column.  l_rows_
+  // holds ORIGINAL row indices (the space the factorization works in);
+  // l_rows_perm_ the permuted copy used by solve().
+  std::vector<Index> l_ptr_, u_ptr_;
+  std::vector<Index> l_rows_, l_rows_perm_, u_rows_;
+  std::vector<double> l_vals_, u_vals_;
   /// Row permutation: perm_[k] = original row index acting as row k.
   std::vector<Index> perm_;      // new -> old
   std::vector<Index> perm_inv_;  // old -> new
   std::vector<double> row_scale_;  // equilibration, applied to b in solve()
+  double max_abs_ = 0.0;
+
+  // Recorded symbolic factorization for refactor(): per-column reach sets
+  // in DFS post-order (original row indices), keyed on the source
+  // pattern's id.
+  std::vector<Index> topo_ptr_, topo_;
+  std::uint64_t sym_pattern_id_ = 0;
+
+  // Workspaces reused across factor calls (never shrink).
+  std::vector<double> x_;
+  std::vector<int> visited_;
+  std::vector<Index> dfs_stack_, dfs_pos_;
+  mutable std::vector<double> solve_scratch_;
+
   bool factored_ = false;
   Index failed_col_ = -1;
+  Stats stats_;
+  double last_min_growth_ = 1.0;
 };
 
 /// One-shot convenience: returns nullopt on singularity.

@@ -1,0 +1,79 @@
+#include "numeric/stamped_csc.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace fetcam::num {
+
+namespace {
+
+std::uint64_t next_pattern_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+void StampedCsc::build(const TripletAccumulator& a) {
+  n_ = a.dim();
+  const std::size_t nsz = static_cast<std::size_t>(n_);
+
+  // Per-column dedup in first-appearance order, exactly mirroring the old
+  // TripletAccumulator -> vector-of-vectors CSC conversion (linear scan per
+  // column; MNA columns hold a handful of entries) so downstream
+  // factorization sees identical values in an identical order.
+  std::vector<std::vector<Index>> col_rows(nsz);
+  std::vector<std::vector<double>> col_vals(nsz);
+  std::vector<std::vector<std::size_t>> col_seq(nsz);  // triplet k -> local i
+  seq_.assign(a.entries(), SeqEntry{});
+  for (std::size_t k = 0; k < a.entries(); ++k) {
+    const Index c = a.cols()[k];
+    const Index r = a.rows()[k];
+    auto& cr = col_rows[static_cast<std::size_t>(c)];
+    auto& cv = col_vals[static_cast<std::size_t>(c)];
+    std::size_t local = cr.size();
+    for (std::size_t i = 0; i < cr.size(); ++i) {
+      if (cr[i] == r) {
+        local = i;
+        break;
+      }
+    }
+    if (local == cr.size()) {
+      cr.push_back(r);
+      cv.push_back(a.vals()[k]);
+    } else {
+      cv[local] += a.vals()[k];
+    }
+    seq_[k] = SeqEntry{r, c, local};  // slot fixed up after flattening
+  }
+
+  col_ptr_.assign(nsz + 1, 0);
+  std::size_t nnz = 0;
+  for (std::size_t c = 0; c < nsz; ++c) {
+    col_ptr_[c] = static_cast<Index>(nnz);
+    nnz += col_rows[c].size();
+  }
+  col_ptr_[nsz] = static_cast<Index>(nnz);
+
+  rows_.clear();
+  rows_.reserve(nnz);
+  vals_.clear();
+  vals_.reserve(nnz);
+  for (std::size_t c = 0; c < nsz; ++c) {
+    rows_.insert(rows_.end(), col_rows[c].begin(), col_rows[c].end());
+    vals_.insert(vals_.end(), col_vals[c].begin(), col_vals[c].end());
+  }
+  for (SeqEntry& e : seq_) {
+    e.slot += static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(e.col)]);
+  }
+
+  cursor_ = seq_.size();  // freshly built == a completed fill
+  pattern_id_ = next_pattern_id();
+}
+
+void StampedCsc::begin_fill() {
+  std::fill(vals_.begin(), vals_.end(), 0.0);
+  cursor_ = 0;
+}
+
+}  // namespace fetcam::num

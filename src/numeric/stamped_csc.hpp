@@ -1,0 +1,104 @@
+// Flat compressed-sparse-column matrix with stamp-pointer assembly.
+//
+// The MNA Jacobian's sparsity pattern is fixed for the life of a finalized
+// Circuit, but the old assembly path rebuilt it from scratch every Newton
+// iteration: push every stamp into a TripletAccumulator, then dedup into a
+// freshly allocated vector-of-vectors CSC.  StampedCsc records the pattern
+// once — from the first triplet-based assembly — together with the *stamp
+// sequence* (which flat value slot the i-th add() call lands in).  Every
+// later assembly is then a fill(0) plus indexed writes: no triplets, no
+// dedup, no per-column allocation.
+//
+// The replay is verified: each add() checks the (row, col) of the incoming
+// stamp against the recorded sequence, and end_fill() checks the call
+// count, so any change in the stamp stream (a mode switch from operating
+// point to transient, a netlist edit, a different gmin regime) is detected
+// and reported to the caller, which falls back to triplet assembly and
+// rebuilds the pattern.  Device stamp() implementations emit a
+// deterministic call sequence for a given analysis mode, so the replay hits
+// on every iteration after the first.
+//
+// Row ordering inside a column is FIRST-APPEARANCE order of the triplet
+// stream, not sorted order.  The Gilbert-Peierls factorization's symbolic
+// DFS starts from these lists, and its topological ordering — and therefore
+// the floating-point summation order of the numeric phase — depends on
+// them.  Preserving the order the old TripletAccumulator->CSC conversion
+// produced keeps factorization results bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/sparse.hpp"
+
+namespace fetcam::num {
+
+class StampedCsc {
+ public:
+  /// Rebuild pattern + values from summed triplets and record the stamp
+  /// sequence for later replay.  Bumps pattern_id().
+  void build(const TripletAccumulator& a);
+
+  Index dim() const { return n_; }
+  std::size_t nonzeros() const { return vals_.size(); }
+  bool has_pattern() const { return pattern_id_ != 0; }
+
+  /// Process-unique, monotonically increasing id of the current pattern;
+  /// 0 when no pattern has been built.  SparseLu keys its cached symbolic
+  /// factorization on this.
+  std::uint64_t pattern_id() const { return pattern_id_; }
+
+  /// Start a replay assembly pass: zero all values, rewind the sequence
+  /// cursor.  Requires has_pattern().
+  void begin_fill();
+  /// Accumulate one stamp through the recorded sequence.  Returns false on
+  /// divergence from the recorded stream (pattern is stale); the caller
+  /// must reassemble via triplets and build().
+  bool add(Index r, Index c, double v) {
+    if (cursor_ >= seq_.size()) return false;
+    const SeqEntry& e = seq_[cursor_];
+    if (e.row != r || e.col != c) return false;
+    vals_[e.slot] += v;
+    ++cursor_;
+    return true;
+  }
+  /// Finish a replay pass; false when fewer stamps arrived than recorded.
+  bool end_fill() const { return cursor_ == seq_.size(); }
+
+  /// Pattern + values, CSC with first-appearance row order per column.
+  const std::vector<Index>& col_ptr() const { return col_ptr_; }
+  const std::vector<Index>& rows() const { return rows_; }
+  const std::vector<double>& vals() const { return vals_; }
+
+ private:
+  struct SeqEntry {
+    Index row;
+    Index col;
+    std::size_t slot;  ///< index into vals_
+  };
+
+  Index n_ = 0;
+  std::uint64_t pattern_id_ = 0;
+  std::vector<Index> col_ptr_;  // n_+1 entries
+  std::vector<Index> rows_;     // first-appearance order per column
+  std::vector<double> vals_;
+  std::vector<SeqEntry> seq_;   // stamp i -> value slot
+  std::size_t cursor_ = 0;
+};
+
+/// JacobianSink adapter for the replay path.  Swallows stamps after the
+/// first mismatch; the caller checks ok() and falls back to triplets.
+class StampedCscSink final : public JacobianSink {
+ public:
+  explicit StampedCscSink(StampedCsc& m) : m_(m) {}
+  void add(Index r, Index c, double v) override {
+    if (ok_) ok_ = m_.add(r, c, v);
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  StampedCsc& m_;
+  bool ok_ = true;
+};
+
+}  // namespace fetcam::num

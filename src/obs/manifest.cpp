@@ -1,5 +1,6 @@
 #include "obs/manifest.hpp"
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -83,11 +84,23 @@ std::string RunManifest::to_json() const {
   os << (phases_.empty() ? "" : "\n  ") << "},\n";
   os << "  \"solver_health\": {";
   bool first = true;
+  std::uint64_t full_factors = 0;
+  std::uint64_t refactors = 0;
   for (const auto& [name, value] :
        MetricsRegistry::instance().counter_values()) {
     if (!is_solver_health(name)) continue;
+    if (name == "lu.sparse.factors") full_factors = value;
+    if (name == "lu.sparse.refactors") refactors = value;
     os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
        << "\": " << value;
+    first = false;
+  }
+  // Derived: fraction of sparse factorizations served by the numeric-only
+  // refactor path (the KLU-style reuse hit rate).
+  if (full_factors + refactors > 0) {
+    os << (first ? "\n" : ",\n") << "    \"lu.sparse.refactor_hit_rate\": "
+       << json_number(static_cast<double>(refactors) /
+                      static_cast<double>(full_factors + refactors));
     first = false;
   }
   os << (first ? "" : "\n  ") << "}\n";

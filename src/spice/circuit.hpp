@@ -59,13 +59,12 @@ struct EvalContext {
 class Circuit;
 
 /// Destination for Jacobian entries: dense matrix for small systems,
-/// triplet accumulator feeding the sparse LU for large ones.  Devices stamp
-/// through this interface and never know which solver runs.
-class JacobianSink {
- public:
-  virtual ~JacobianSink() = default;
-  virtual void add(num::Index r, num::Index c, double v) = 0;
-};
+/// triplet accumulator or slot-resolved flat CSC feeding the sparse LU for
+/// large ones.  Devices stamp through this interface and never know which
+/// solver runs.  Aliased to the numeric-layer interface so the Newton
+/// drivers can hand their own sinks (e.g. the StampedCsc replay sink) to
+/// circuit assembly without a dependency inversion.
+using JacobianSink = num::JacobianSink;
 
 class DenseJacobianSink final : public JacobianSink {
  public:

@@ -46,14 +46,18 @@ DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double v_start,
   sweeps.inc();
   DcSweepResult res;
   res.ok = true;
+  res.points.reserve(static_cast<std::size_t>(steps) + 1);
   const Waveform saved = source.waveform();
   num::Vector seed;
+  // Every sweep point solves the same topology at a different source value,
+  // so one workspace carries the factorization context across all points.
+  num::SparseNewtonWorkspace ws;
   for (int k = 0; k <= steps; ++k) {
     const double v =
         v_start + (v_stop - v_start) * static_cast<double>(k) / steps;
     source.set_waveform(Waveform::dc(v));
-    const OpResult op =
-        solve_op(ckt, opts, seed.size() == ckt.system_size() ? &seed : nullptr);
+    const OpResult op = solve_op(
+        ckt, opts, seed.size() == ckt.system_size() ? &seed : nullptr, &ws);
     DcSweepPoint pt;
     pt.sweep_value = v;
     pt.converged = op.converged;

@@ -16,39 +16,44 @@ const char* to_string(OpStrategy s) {
 }
 
 void assemble_system(const Circuit& ckt, const EvalContext& ctx,
-                     const num::Vector& x, num::Matrix& jac,
+                     const num::Vector& x, JacobianSink& jac,
                      num::Vector& residual) {
-  DenseJacobianSink sink(jac);
-  Stamper st(ckt, x, sink, residual);
+  Stamper st(ckt, x, jac, residual);
   for (const auto& dev : ckt.devices()) {
     dev->stamp(ctx, st);
   }
 }
 
 void assemble_system(const Circuit& ckt, const EvalContext& ctx,
+                     const num::Vector& x, num::Matrix& jac,
+                     num::Vector& residual) {
+  DenseJacobianSink sink(jac);
+  assemble_system(ckt, ctx, x, sink, residual);
+}
+
+void assemble_system(const Circuit& ckt, const EvalContext& ctx,
                      const num::Vector& x, num::TripletAccumulator& jac,
                      num::Vector& residual) {
   TripletJacobianSink sink(jac);
-  Stamper st(ckt, x, sink, residual);
-  for (const auto& dev : ckt.devices()) {
-    dev->stamp(ctx, st);
-  }
+  assemble_system(ckt, ctx, x, sink, residual);
 }
 
 num::NewtonResult solve_circuit_newton(const Circuit& ckt,
                                        const EvalContext& ctx, num::Vector& x,
                                        const num::NewtonOptions& nopts,
-                                       SolverKind solver) {
+                                       SolverKind solver,
+                                       num::SparseNewtonWorkspace* ws) {
   const bool sparse =
       solver == SolverKind::kSparse ||
       (solver == SolverKind::kAuto && ckt.system_size() > kSparseAutoThreshold);
   if (sparse) {
-    const auto assemble = [&](const num::Vector& xx,
-                              num::TripletAccumulator& jac,
+    num::SparseNewtonWorkspace local_ws;
+    num::SparseNewtonWorkspace& w = ws != nullptr ? *ws : local_ws;
+    const auto assemble = [&](const num::Vector& xx, num::JacobianSink& jac,
                               num::Vector& residual) {
       assemble_system(ckt, ctx, xx, jac, residual);
     };
-    return num::solve_newton_sparse(assemble, x, nopts);
+    return num::solve_newton_sparse(assemble, x, w, nopts);
   }
   const auto assemble = [&](const num::Vector& xx, num::Matrix& jac,
                             num::Vector& residual) {
@@ -85,8 +90,9 @@ struct OpMetrics {
 
 num::NewtonResult run_newton(const Circuit& ckt, const EvalContext& ctx,
                              num::Vector& x, const num::NewtonOptions& nopts,
-                             SolverKind solver) {
-  return solve_circuit_newton(ckt, ctx, x, nopts, solver);
+                             SolverKind solver,
+                             num::SparseNewtonWorkspace* ws) {
+  return solve_circuit_newton(ckt, ctx, x, nopts, solver, ws);
 }
 
 void record_op(const OpResult& res) {
@@ -105,7 +111,8 @@ void record_op(const OpResult& res) {
 }  // namespace
 
 OpResult solve_op(Circuit& ckt, const OpOptions& opts,
-                  const num::Vector* initial_guess) {
+                  const num::Vector* initial_guess,
+                  num::SparseNewtonWorkspace* ws) {
   const obs::ScopedSpan span("spice.solve_op", "spice");
   ckt.finalize();
   OpResult res;
@@ -114,6 +121,11 @@ OpResult solve_op(Circuit& ckt, const OpOptions& opts,
     res.x = *initial_guess;
   }
 
+  // All continuation strategies stamp the same Jacobian pattern (gmin and
+  // source scaling change values, never the stamp sequence), so one shared
+  // workspace keeps the symbolic factorization hot across strategies.
+  if (ws != nullptr) ws->lu_opts.reuse_symbolic = opts.reuse_factorization;
+
   EvalContext ctx;
   ctx.mode = AnalysisMode::kOperatingPoint;
   ctx.gmin = opts.gmin_floor;
@@ -121,7 +133,7 @@ OpResult solve_op(Circuit& ckt, const OpOptions& opts,
   // Strategy 1: direct Newton.
   {
     num::Vector x = res.x;
-    const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver);
+    const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver, ws);
     res.newton_iterations += nr.iterations;
     if (nr.converged) {
       res.converged = true;
@@ -138,7 +150,7 @@ OpResult solve_op(Circuit& ckt, const OpOptions& opts,
     bool ok = true;
     for (double g = opts.gmin_start; g >= opts.gmin_floor * 0.99; g /= 10.0) {
       ctx.gmin = g;
-      const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver);
+      const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver, ws);
       res.newton_iterations += nr.iterations;
       if (!nr.converged) {
         ok = false;
@@ -148,7 +160,7 @@ OpResult solve_op(Circuit& ckt, const OpOptions& opts,
     if (ok) {
       // Final polish at the floor gmin.
       ctx.gmin = opts.gmin_floor;
-      const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver);
+      const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver, ws);
       res.newton_iterations += nr.iterations;
       if (nr.converged) {
         res.converged = true;
@@ -167,7 +179,7 @@ OpResult solve_op(Circuit& ckt, const OpOptions& opts,
     bool ok = true;
     for (int s = 1; s <= opts.source_steps; ++s) {
       ctx.source_scale = static_cast<double>(s) / opts.source_steps;
-      const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver);
+      const auto nr = run_newton(ckt, ctx, x, opts.newton, opts.solver, ws);
       res.newton_iterations += nr.iterations;
       if (!nr.converged) {
         ok = false;

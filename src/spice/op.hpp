@@ -24,6 +24,11 @@ inline constexpr num::Index kSparseAutoThreshold = 300;
 struct OpOptions {
   num::NewtonOptions newton;
   SolverKind solver = SolverKind::kAuto;
+  /// Reuse the cached symbolic factorization / stamp-slot map across Newton
+  /// iterations and continuation steps (sparse solver only).  Results are
+  /// bit-identical either way; disabling forces the full symbolic+numeric
+  /// factor every iteration — the A/B baseline for benchmarks.
+  bool reuse_factorization = true;
   /// gmin shunt applied by nonlinear devices in the final solution.
   double gmin_floor = 1e-12;
   /// Starting gmin for continuation when the direct solve fails.
@@ -50,17 +55,32 @@ void assemble_system(const Circuit& ckt, const EvalContext& ctx,
 void assemble_system(const Circuit& ckt, const EvalContext& ctx,
                      const num::Vector& x, num::TripletAccumulator& jac,
                      num::Vector& residual);
+/// Sink overload: lets the sparse Newton driver choose the assembly
+/// destination (triplet pattern discovery vs stamp-slot replay).  The
+/// dense/triplet overloads above delegate to this one.
+void assemble_system(const Circuit& ckt, const EvalContext& ctx,
+                     const num::Vector& x, JacobianSink& jac,
+                     num::Vector& residual);
 
 /// One Newton solve with the configured solver (used by OP and transient).
+/// `ws` (optional) carries the reusable sparse factorization context across
+/// calls; pass the same workspace for repeated solves of one topology
+/// (transient steps, sweep points, MC corners) to hit the numeric-only
+/// refactor path.  Ignored by the dense solver.
 num::NewtonResult solve_circuit_newton(const Circuit& ckt,
                                        const EvalContext& ctx, num::Vector& x,
                                        const num::NewtonOptions& nopts,
-                                       SolverKind solver);
+                                       SolverKind solver,
+                                       num::SparseNewtonWorkspace* ws = nullptr);
 
 /// Solve the DC operating point.  Finalizes the circuit.
 /// `initial_guess` (if non-null and correctly sized) seeds Newton — used by
 /// DC sweeps for continuation between sweep points.
+/// `ws` (optional) is the reusable sparse solver workspace; all continuation
+/// strategies share it, and callers running many OPs on one topology pass
+/// the same workspace each time.
 OpResult solve_op(Circuit& ckt, const OpOptions& opts = {},
-                  const num::Vector* initial_guess = nullptr);
+                  const num::Vector* initial_guess = nullptr,
+                  num::SparseNewtonWorkspace* ws = nullptr);
 
 }  // namespace fetcam::spice

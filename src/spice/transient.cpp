@@ -82,6 +82,16 @@ void Trace::append(double t, const num::Vector& x) {
   samples_.push_back(x);
 }
 
+void Trace::reserve(std::size_t samples) {
+  times_.reserve(samples);
+  samples_.reserve(samples);
+}
+
+void Trace::shrink_to_fit() {
+  times_.shrink_to_fit();
+  samples_.shrink_to_fit();
+}
+
 std::vector<double> Trace::voltage(std::string_view node_name) const {
   std::vector<double> out;
   const num::Index idx = node_index(node_name);
@@ -137,10 +147,20 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
 
   num::Vector x(ckt.system_size(), 0.0);
 
+  // One sparse solver workspace for the whole run: the OP solve rebuilds
+  // the stamp pattern once, the mode switch to transient (companion models
+  // activate) rebuilds it once more, and every step after that replays the
+  // recorded stamp slots and refactors numerically.
+  num::SparseNewtonWorkspace local_ws;
+  num::SparseNewtonWorkspace* ws =
+      opts.workspace != nullptr ? opts.workspace : &local_ws;
+  ws->lu_opts.reuse_symbolic = opts.reuse_factorization;
+
   // Operating point at t = 0 establishes initial conditions.
   if (!opts.skip_op) {
     OpOptions op_opts = opts.op;
-    const OpResult op = solve_op(ckt, op_opts);
+    op_opts.reuse_factorization = opts.reuse_factorization;
+    const OpResult op = solve_op(ckt, op_opts, nullptr, ws);
     res.total_newton_iterations += op.newton_iterations;
     if (!op.converged) {
       res.error = "operating point failed to converge";
@@ -157,12 +177,19 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
     const Solution sol(ckt, x);
     for (const auto& dev : ckt.devices()) dev->initialize_state(ctx, sol);
   }
-  res.trace.append(0.0, x);
-
   // Breakpoints: source edges plus t_stop.
   std::vector<double> bps = ckt.breakpoints(opts.t_stop);
   bps.push_back(opts.t_stop);
   std::size_t next_bp = 0;
+
+  // Capacity plan: the accepted-step count is ~t_stop/dt plus one extra
+  // step per breakpoint the stepper has to land on, plus the t=0 sample.
+  // Halving episodes can exceed the estimate; append() still grows then.
+  if (opts.dt > 0.0 && opts.t_stop > 0.0) {
+    const double nominal = opts.t_stop / opts.dt;
+    res.trace.reserve(static_cast<std::size_t>(nominal) + bps.size() + 2);
+  }
+  res.trace.append(0.0, x);
 
   double t = 0.0;
   double dt_eff = opts.dt;
@@ -186,7 +213,7 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
       ctx.dt = dt_step;
       x_try = x;
       const auto nr =
-          solve_circuit_newton(ckt, ctx, x_try, opts.newton, opts.solver);
+          solve_circuit_newton(ckt, ctx, x_try, opts.newton, opts.solver, ws);
       res.total_newton_iterations += nr.iterations;
       if (obs::metrics_on()) {
         TransientMetrics::get().newton_per_step.observe(nr.iterations);
@@ -221,6 +248,7 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
   }
 
   res.ok = true;
+  res.trace.shrink_to_fit();
   record_transient(res, /*dt_exhausted=*/false);
   return res;
 }

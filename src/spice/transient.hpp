@@ -33,6 +33,14 @@ class Trace {
 
   void append(double t, const num::Vector& x);
 
+  /// Capacity planning: pre-allocate for `samples` appends so the steady
+  /// recording path never reallocates.  The transient engine estimates the
+  /// count from t_stop / dt plus breakpoints.
+  void reserve(std::size_t samples);
+  /// Return over-reserved capacity after recording finished (long MC sweeps
+  /// hold many traces alive at once).
+  void shrink_to_fit();
+
   std::size_t size() const { return times_.size(); }
   const std::vector<double>& times() const { return times_; }
 
@@ -76,6 +84,15 @@ struct TransientOptions {
   /// Skip the operating point and start from all-zero state (used when the
   /// caller wants a cold power-up transient).
   bool skip_op = false;
+  /// Reuse the cached symbolic factorization / stamp-slot map across steps
+  /// (sparse solver only).  Bit-identical results either way; disabling is
+  /// the A/B baseline for benchmarks.
+  bool reuse_factorization = true;
+  /// Optional external sparse solver workspace.  Callers running many
+  /// transients on one topology (MC trials, chained pulses) pass the same
+  /// workspace to keep the factorization context hot across runs; when null
+  /// the engine uses one internal workspace for the whole run.
+  num::SparseNewtonWorkspace* workspace = nullptr;
 };
 
 struct TransientResult {

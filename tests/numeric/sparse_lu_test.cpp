@@ -170,7 +170,7 @@ TEST(SparseLu, TridiagonalHasLinearFill) {
   SparseLu lu;
   ASSERT_TRUE(lu.factor(a));
   EXPECT_LT(lu.factor_nonzeros(), static_cast<std::size_t>(4 * n));
-  Vector b(n, 1.0);
+  const Vector b(n, 1.0);
   const Vector x = lu.solve(b);
   // Verify the residual.
   for (Index i = 1; i + 1 < n; ++i) {

@@ -1,0 +1,278 @@
+// Refactor-vs-full-factor equivalence for the KLU-style reuse path.
+//
+// The contract under test (sparse_lu.hpp): a successful numeric-only
+// refactor is BIT-IDENTICAL to the full factor a fresh SparseLu would
+// produce for the same matrix — same pivot order, same L/U values, same
+// solve output — and any pivot drift past the threshold triggers a
+// fallback whose result is again bit-identical to the full factor.  Reuse
+// changes cost, never results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "numeric/sparse_lu.hpp"
+#include "numeric/stamped_csc.hpp"
+
+namespace fetcam::num {
+namespace {
+
+/// Random MNA-shaped system: a diagonally-loaded conductance ladder with
+/// random cross-couplings plus one voltage-source-style branch row pair
+/// (zero diagonal, forces pivoting).  Stamp order is deterministic for a
+/// given seed, mimicking a device loop.
+TripletAccumulator make_mna_like(Index n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> g(0.1, 10.0);
+  std::uniform_int_distribution<Index> pick(0, n - 2);
+  TripletAccumulator a(n);
+  for (Index i = 0; i + 1 < n; ++i) {
+    const double cond = g(rng);
+    a.add(i, i, cond + 0.3);
+    if (i > 0) {
+      a.add(i, i - 1, -cond);
+      a.add(i - 1, i, -cond);
+      a.add(i - 1, i - 1, cond);
+    }
+  }
+  for (int k = 0; k < static_cast<int>(n); ++k) {
+    const Index r = pick(rng);
+    const Index c = pick(rng);
+    a.add(r, c, 0.01 * g(rng));  // random coupling, may duplicate
+  }
+  // Branch row: f_br = v0 - V, current unknown couples into node 0.
+  a.add(n - 1, 0, 1.0);
+  a.add(0, n - 1, 1.0);
+  return a;
+}
+
+/// Replay `a`'s stamp stream into `m` with every value scaled, keeping the
+/// pattern (and stamp sequence) identical.
+void refill_scaled(StampedCsc& m, const TripletAccumulator& a, double scale,
+                   std::size_t boosted_entry = SIZE_MAX,
+                   double boost = 1.0) {
+  m.begin_fill();
+  for (std::size_t k = 0; k < a.entries(); ++k) {
+    const double f = (k == boosted_entry) ? boost : scale;
+    ASSERT_TRUE(m.add(a.rows()[k], a.cols()[k], a.vals()[k] * f));
+  }
+  ASSERT_TRUE(m.end_fill());
+}
+
+void expect_identical_factors(const SparseLu& got, const SparseLu& want) {
+  ASSERT_EQ(got.perm().size(), want.perm().size());
+  for (std::size_t i = 0; i < want.perm().size(); ++i) {
+    EXPECT_EQ(got.perm()[i], want.perm()[i]) << "pivot order differs at " << i;
+  }
+  ASSERT_EQ(got.l_values().size(), want.l_values().size());
+  for (std::size_t i = 0; i < want.l_values().size(); ++i) {
+    EXPECT_EQ(got.l_values()[i], want.l_values()[i])
+        << "L value differs (bit-exact) at " << i;
+  }
+  ASSERT_EQ(got.u_values().size(), want.u_values().size());
+  for (std::size_t i = 0; i < want.u_values().size(); ++i) {
+    EXPECT_EQ(got.u_values()[i], want.u_values()[i])
+        << "U value differs (bit-exact) at " << i;
+  }
+}
+
+TEST(SparseRefactor, RefactorMatchesFullFactorBitExact) {
+  for (std::uint32_t seed : {1u, 7u, 42u, 1234u}) {
+    const Index n = 60;
+    const TripletAccumulator a = make_mna_like(n, seed);
+    StampedCsc m;
+    m.build(a);
+
+    SparseLu reused;
+    ASSERT_TRUE(reused.factor(m));
+    EXPECT_EQ(reused.stats().full_factors, 1u);
+
+    // Perturb all values by a few percent — same pattern, same pivots.
+    refill_scaled(m, a, 1.03);
+    ASSERT_TRUE(reused.factor(m));
+    ASSERT_EQ(reused.stats().refactors, 1u)
+        << "perturbed same-pattern factor should take the refactor path";
+    EXPECT_EQ(reused.stats().fallbacks, 0u);
+    EXPECT_LE(reused.last_refactor_min_growth(), 1.0);
+    EXPECT_GT(reused.last_refactor_min_growth(), 0.0);
+
+    // Reference: a fresh instance full-factoring the same values.
+    StampedCsc m2;
+    m2.build(a);
+    refill_scaled(m2, a, 1.03);
+    SparseLu fresh;
+    ASSERT_TRUE(fresh.factor(m2));
+    EXPECT_EQ(fresh.stats().full_factors, 1u);
+    expect_identical_factors(reused, fresh);
+
+    // Solves agree bit-exactly too, in both the returning and the
+    // in-place overload.
+    Vector b(n);
+    std::mt19937 rng(seed ^ 0x9e3779b9u);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (Index i = 0; i < n; ++i) b[i] = u(rng);
+    const Vector x_reused = reused.solve(static_cast<const Vector&>(b));
+    const Vector x_fresh = fresh.solve(static_cast<const Vector&>(b));
+    Vector x_inplace = b;
+    reused.solve(x_inplace);
+    for (Index i = 0; i < n; ++i) {
+      EXPECT_EQ(x_reused[i], x_fresh[i]);
+      EXPECT_EQ(x_reused[i], x_inplace[i]);
+    }
+  }
+}
+
+TEST(SparseRefactor, PivotDriftTriggersFallbackAndMatchesFullFactor) {
+  // First assignment: the diagonal dominates column 0 and is recorded as
+  // the pivot.  Second assignment shrinks A(0,0) RELATIVE TO ITS OWN ROW
+  // (row equilibration neutralizes whole-row scaling), pushing the diagonal
+  // below the 10% threshold so the verified refactor must bail out.
+  const Index n = 2;
+  TripletAccumulator a(n);
+  a.add(0, 0, 1.0);
+  a.add(0, 1, 0.2);
+  a.add(1, 0, 0.5);
+  a.add(1, 1, 1.0);
+  StampedCsc m;
+  m.build(a);
+
+  SparseLu reused;
+  ASSERT_TRUE(reused.factor(m));
+  EXPECT_EQ(reused.perm()[0], 0) << "diagonal should be the recorded pivot";
+
+  const double drifted[] = {0.001, 1.0, 0.5, 1.0};
+  m.begin_fill();
+  for (std::size_t k = 0; k < a.entries(); ++k) {
+    ASSERT_TRUE(m.add(a.rows()[k], a.cols()[k], drifted[k]));
+  }
+  ASSERT_TRUE(m.end_fill());
+  ASSERT_TRUE(reused.factor(m));
+  EXPECT_EQ(reused.stats().fallbacks, 1u)
+      << "diagonal decay past the threshold must change the pivot choice";
+  EXPECT_EQ(reused.stats().full_factors, 2u);
+  EXPECT_EQ(reused.perm()[0], 1) << "fallback full factor repivots";
+
+  StampedCsc m2;
+  m2.build(a);
+  m2.begin_fill();
+  for (std::size_t k = 0; k < a.entries(); ++k) {
+    ASSERT_TRUE(m2.add(a.rows()[k], a.cols()[k], drifted[k]));
+  }
+  ASSERT_TRUE(m2.end_fill());
+  SparseLu fresh;
+  ASSERT_TRUE(fresh.factor(m2));
+  expect_identical_factors(reused, fresh);
+
+  // After the fallback the NEW factorization is the cached one; a repeat of
+  // the same values now refactors cleanly again.
+  ASSERT_TRUE(reused.factor(m));
+  EXPECT_EQ(reused.stats().refactors, 1u);
+  EXPECT_EQ(reused.stats().fallbacks, 1u);
+  expect_identical_factors(reused, fresh);
+}
+
+TEST(SparseRefactor, PatternChangeForcesFullFactor) {
+  const Index n = 30;
+  const TripletAccumulator a = make_mna_like(n, 5);
+  StampedCsc m;
+  m.build(a);
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+  EXPECT_EQ(lu.stats().full_factors, 1u);
+
+  // Rebuilding bumps the pattern id, so reuse must not kick in even though
+  // the values and structure are the same.
+  m.build(a);
+  ASSERT_TRUE(lu.factor(m));
+  EXPECT_EQ(lu.stats().full_factors, 2u);
+  EXPECT_EQ(lu.stats().refactors, 0u);
+}
+
+TEST(SparseRefactor, ReuseDisabledAlwaysFullFactors) {
+  const Index n = 30;
+  const TripletAccumulator a = make_mna_like(n, 11);
+  StampedCsc m;
+  m.build(a);
+  SparseLuOptions opts;
+  opts.reuse_symbolic = false;
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m, opts));
+  ASSERT_TRUE(lu.factor(m, opts));
+  EXPECT_EQ(lu.stats().full_factors, 2u);
+  EXPECT_EQ(lu.stats().refactors, 0u);
+}
+
+TEST(SparseRefactor, SingularRefactorFallsBackAndReportsFailure) {
+  // A value assignment that zeroes a whole column is caught by the pivot
+  // re-verification (floor test), falls back, and the full factor reports
+  // the singularity.
+  const Index n = 3;
+  TripletAccumulator a(n);
+  a.add(0, 0, 2.0);
+  a.add(1, 1, 3.0);
+  a.add(2, 2, 4.0);
+  a.add(1, 0, -1.0);
+  StampedCsc m;
+  m.build(a);
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+
+  m.begin_fill();
+  ASSERT_TRUE(m.add(0, 0, 0.0));  // column 0 now all-zero
+  ASSERT_TRUE(m.add(1, 1, 3.0));
+  ASSERT_TRUE(m.add(2, 2, 4.0));
+  ASSERT_TRUE(m.add(1, 0, 0.0));
+  ASSERT_TRUE(m.end_fill());
+  EXPECT_FALSE(lu.factor(m));
+  EXPECT_EQ(lu.failed_column(), 0);
+  EXPECT_FALSE(lu.factored());
+}
+
+TEST(StampedCscReplay, DetectsDivergingStampStream) {
+  TripletAccumulator a(2);
+  a.add(0, 0, 1.0);
+  a.add(1, 1, 2.0);
+  StampedCsc m;
+  m.build(a);
+  ASSERT_TRUE(m.has_pattern());
+
+  // Matching replay succeeds and sums duplicates into the recorded slots.
+  m.begin_fill();
+  EXPECT_TRUE(m.add(0, 0, 3.0));
+  EXPECT_TRUE(m.add(1, 1, 4.0));
+  EXPECT_TRUE(m.end_fill());
+  EXPECT_EQ(m.vals()[0], 3.0);
+
+  // Wrong coordinate at step 0 -> rejected immediately.
+  m.begin_fill();
+  EXPECT_FALSE(m.add(1, 0, 3.0));
+
+  // Short stream -> end_fill reports the miscount.
+  m.begin_fill();
+  EXPECT_TRUE(m.add(0, 0, 3.0));
+  EXPECT_FALSE(m.end_fill());
+
+  // Extra stamp past the recorded sequence -> rejected.
+  m.begin_fill();
+  EXPECT_TRUE(m.add(0, 0, 3.0));
+  EXPECT_TRUE(m.add(1, 1, 4.0));
+  EXPECT_FALSE(m.add(0, 1, 5.0));
+}
+
+TEST(StampedCscReplay, SinkAdapterSwallowsAfterMismatch) {
+  TripletAccumulator a(2);
+  a.add(0, 0, 1.0);
+  a.add(1, 1, 2.0);
+  StampedCsc m;
+  m.build(a);
+  m.begin_fill();
+  StampedCscSink sink(m);
+  sink.add(0, 0, 5.0);
+  sink.add(0, 1, 6.0);  // diverges: not in the recorded stream
+  sink.add(1, 1, 7.0);  // swallowed, must not corrupt slots
+  EXPECT_FALSE(sink.ok());
+  EXPECT_EQ(m.vals()[1], 0.0);
+}
+
+}  // namespace
+}  // namespace fetcam::num

@@ -1,0 +1,119 @@
+// Factorization reuse on real circuit workloads: a transient run with the
+// KLU-style refactor path enabled must be BIT-identical to the same run
+// with reuse disabled, while factoring the full (symbolic + numeric)
+// problem only once per Jacobian pattern — once for the operating point,
+// once more after the OP -> transient mode switch activates the companion
+// models.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "spice/transient.hpp"
+#include "tcam/sim_harness.hpp"
+
+namespace fetcam::spice {
+namespace {
+
+struct ReuseRun {
+  Trace trace;
+  num::SparseLu::Stats stats;
+  std::vector<std::string> node_names;
+};
+
+ReuseRun run_word_search(bool reuse) {
+  tcam::WordOptions opts;
+  opts.n_bits = 8;
+  tcam::SearchConfig cfg;
+  cfg.stored = arch::word_from_string("01X10X01");
+  cfg.query = arch::bits_from_string("01110001");
+  auto h = tcam::make_word_harness(arch::TcamDesign::k1p5DgFe, opts);
+  h->build_search(cfg);
+  num::SparseNewtonWorkspace ws;
+  TransientOptions topts;
+  topts.t_stop = h->t_stop();
+  topts.dt = h->suggested_dt();
+  topts.solver = SolverKind::kSparse;
+  topts.op.solver = SolverKind::kSparse;
+  topts.reuse_factorization = reuse;
+  topts.workspace = &ws;
+  auto res = run_transient(h->circuit(), topts);
+  EXPECT_TRUE(res.ok) << res.error;
+  ReuseRun out{std::move(res.trace), ws.lu.stats(), {}};
+  for (NodeId n = 1; n < h->circuit().node_count(); ++n) {
+    out.node_names.push_back(h->circuit().node_name(n));
+  }
+  return out;
+}
+
+TEST(SolverReuse, TransientBitIdenticalWithAndWithoutReuse) {
+  const ReuseRun on = run_word_search(/*reuse=*/true);
+  const ReuseRun off = run_word_search(/*reuse=*/false);
+
+  // Identical step sequence (step-size control follows the identical
+  // convergence trajectory) ...
+  ASSERT_EQ(on.trace.times().size(), off.trace.times().size());
+  for (std::size_t k = 0; k < on.trace.times().size(); ++k) {
+    EXPECT_EQ(on.trace.times()[k], off.trace.times()[k]) << "time " << k;
+  }
+  // ... and bit-identical waveforms on every node.
+  ASSERT_EQ(on.node_names, off.node_names);
+  for (const std::string& node : on.node_names) {
+    const auto von = on.trace.voltage(node);
+    const auto voff = off.trace.voltage(node);
+    ASSERT_EQ(von.size(), voff.size()) << node;
+    for (std::size_t k = 0; k < von.size(); ++k) {
+      ASSERT_EQ(von[k], voff[k]) << node << " sample " << k
+                                 << " (bit-exact comparison)";
+    }
+  }
+}
+
+TEST(SolverReuse, FullFactorCountDropsToOncePerPattern) {
+  const ReuseRun on = run_word_search(/*reuse=*/true);
+  // One full factor for the OP pattern, one for the transient pattern
+  // (companion models change the stamp stream), plus one per pivot-drift
+  // fallback; everything else must be a numeric-only refactor.
+  EXPECT_EQ(on.stats.full_factors, 2u + on.stats.fallbacks);
+  EXPECT_GT(on.stats.refactors, 0u);
+  const double hit_rate =
+      static_cast<double>(on.stats.refactors) /
+      static_cast<double>(on.stats.refactors + on.stats.full_factors);
+  EXPECT_GE(hit_rate, 0.9) << "refactors=" << on.stats.refactors
+                           << " full=" << on.stats.full_factors;
+
+  const ReuseRun off = run_word_search(/*reuse=*/false);
+  EXPECT_EQ(off.stats.refactors, 0u);
+  EXPECT_GT(off.stats.full_factors, 10u)
+      << "with reuse disabled every Newton iteration full-factors";
+}
+
+TEST(SolverReuse, MetricsAndManifestReportHitRate) {
+  const obs::Level saved = obs::level();
+  obs::set_level(obs::Level::kMetrics);
+  auto& reg = obs::MetricsRegistry::instance();
+  const std::uint64_t factors0 = reg.counter("lu.sparse.factors").value();
+  const std::uint64_t refactors0 = reg.counter("lu.sparse.refactors").value();
+
+  run_word_search(/*reuse=*/true);
+
+  const std::uint64_t factors =
+      reg.counter("lu.sparse.factors").value() - factors0;
+  const std::uint64_t refactors =
+      reg.counter("lu.sparse.refactors").value() - refactors0;
+  EXPECT_GT(refactors, 0u);
+  EXPECT_GT(refactors, 9 * factors)
+      << "process-wide hit rate of the run should exceed 0.9";
+
+  // The manifest surfaces the derived hit rate next to the raw counters.
+  const obs::RunManifest manifest("solver_reuse_test", "unit");
+  const std::string json = manifest.to_json();
+  EXPECT_NE(json.find("\"lu.sparse.refactors\""), std::string::npos);
+  EXPECT_NE(json.find("\"lu.sparse.refactor_hit_rate\""), std::string::npos);
+  obs::set_level(saved);
+}
+
+}  // namespace
+}  // namespace fetcam::spice
