@@ -1,0 +1,338 @@
+// TCAM service-engine throughput study (no paper counterpart): the
+// bit-packed shard kernel vs the behavioral byte-per-digit array, and the
+// end-to-end trace-driven engine (sharded table + batch queue + driver
+// admission model).
+//
+// Usage:
+//   bench_engine_throughput                      # google-benchmark kernels
+//   bench_engine_throughput --engine-json=PATH   # machine-readable report
+//
+// The JSON mode feeds BENCH_engine.json consumed by CI's engine perf smoke
+// guard (tools/check_engine_throughput.py).  The headline gate is the
+// kernel section: packed full-match throughput must be >= 4x the unpacked
+// TcamArray::search at 4096 rows x 128 cols, single thread.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/behavioral_array.hpp"
+#include "arch/search_scheduler.hpp"
+#include "engine/engine.hpp"
+#include "engine/packed_kernel.hpp"
+#include "engine/table.hpp"
+#include "engine/workload.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+constexpr int kKernelRows = 4096;
+constexpr int kKernelCols = 128;
+
+/// Populate paired behavioral/packed arrays with identical random content
+/// (~25 % 'X' digits, routing-table-ish).
+void fill_pair(std::uint64_t seed, int rows, int cols, arch::TcamArray* a,
+               engine::PackedShard* p) {
+  for (int r = 0; r < rows; ++r) {
+    auto rng = util::trial_rng(seed, static_cast<std::uint64_t>(r), 0);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    std::uniform_int_distribution<int> bit(0, 1);
+    arch::TernaryWord w;
+    w.reserve(static_cast<std::size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      if (u(rng) < 0.25) {
+        w.push_back(arch::Ternary::kX);
+      } else {
+        w.push_back(bit(rng) != 0 ? arch::Ternary::kOne
+                                  : arch::Ternary::kZero);
+      }
+    }
+    if (a != nullptr) a->write(r, w);
+    if (p != nullptr) p->write(r, w);
+  }
+}
+
+std::vector<arch::BitWord> make_queries(std::uint64_t seed, int count,
+                                        int cols) {
+  std::vector<arch::BitWord> qs;
+  qs.reserve(static_cast<std::size_t>(count));
+  for (int j = 0; j < count; ++j) {
+    auto rng = util::trial_rng(seed, static_cast<std::uint64_t>(j), 1);
+    std::uniform_int_distribution<int> bit(0, 1);
+    arch::BitWord q(static_cast<std::size_t>(cols));
+    for (auto& b : q) b = static_cast<std::uint8_t>(bit(rng));
+    qs.push_back(std::move(q));
+  }
+  return qs;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark kernels
+// ---------------------------------------------------------------------------
+
+void BM_UnpackedSearch(benchmark::State& state) {
+  arch::TcamArray a(kKernelRows, kKernelCols);
+  fill_pair(3, kKernelRows, kKernelCols, &a, nullptr);
+  const auto qs = make_queries(5, 64, kKernelCols);
+  std::size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.search(qs[j++ % qs.size()]));
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelRows);
+}
+BENCHMARK(BM_UnpackedSearch)->Unit(benchmark::kMicrosecond);
+
+void BM_PackedFullMatch(benchmark::State& state) {
+  engine::PackedShard p(kKernelRows, kKernelCols);
+  fill_pair(3, kKernelRows, kKernelCols, nullptr, &p);
+  const auto qs = make_queries(5, 64, kKernelCols);
+  std::vector<engine::PackedQuery> packed;
+  for (const auto& q : qs) packed.push_back(engine::PackedQuery::pack(q));
+  std::vector<std::uint64_t> mask;
+  std::size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.full_match(packed[j++ % packed.size()], mask));
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelRows);
+}
+BENCHMARK(BM_PackedFullMatch)->Unit(benchmark::kMicrosecond);
+
+void BM_PackedTwoStep(benchmark::State& state) {
+  engine::PackedShard p(kKernelRows, kKernelCols);
+  fill_pair(3, kKernelRows, kKernelCols, nullptr, &p);
+  const auto qs = make_queries(5, 64, kKernelCols);
+  std::vector<engine::PackedQuery> packed;
+  for (const auto& q : qs) packed.push_back(engine::PackedQuery::pack(q));
+  std::vector<std::uint64_t> mask;
+  std::size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        p.two_step_match(packed[j++ % packed.size()], mask));
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelRows);
+}
+BENCHMARK(BM_PackedTwoStep)->Unit(benchmark::kMicrosecond);
+
+void BM_EngineBatch(benchmark::State& state) {
+  engine::TraceSpec spec;
+  spec.cols = 64;
+  spec.rules = 512;
+  spec.queries = 256;
+  spec.match_rate = 0.25;
+  const auto trace = engine::generate_trace(spec);
+  engine::TableConfig cfg;
+  cfg.mats = 8;
+  cfg.rows_per_mat = 64;
+  cfg.cols = 64;
+  engine::TcamTable table(cfg);
+  engine::load_rules(table, trace);
+  engine::SearchEngine eng(table);
+  for (auto _ : state) {
+    std::vector<engine::Request> batch;
+    batch.reserve(trace.queries.size());
+    for (const auto& q : trace.queries) {
+      batch.push_back(engine::make_search(q));
+    }
+    benchmark::DoNotOptimize(eng.execute(std::move(batch)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.queries.size()));
+}
+BENCHMARK(BM_EngineBatch)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Machine-readable report (--engine-json=PATH)
+// ---------------------------------------------------------------------------
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename Fn>
+double median_us(int reps, Fn&& fn) {
+  std::vector<double> t;
+  t.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = now_us();
+    fn();
+    t.push_back(now_us() - t0);
+  }
+  std::sort(t.begin(), t.end());
+  return t[t.size() / 2];
+}
+
+struct KernelReport {
+  int rows = 0;
+  int cols = 0;
+  int queries = 0;
+  double unpacked_us = 0.0;         ///< TcamArray::search, per query batch
+  double unpacked_two_step_us = 0.0;
+  double packed_us = 0.0;           ///< PackedShard::full_match
+  double packed_two_step_us = 0.0;
+  double speedup = 0.0;             ///< unpacked / packed, full match
+  double two_step_speedup = 0.0;
+};
+
+KernelReport measure_kernel() {
+  KernelReport rep;
+  rep.rows = kKernelRows;
+  rep.cols = kKernelCols;
+  rep.queries = 32;
+
+  arch::TcamArray a(kKernelRows, kKernelCols);
+  engine::PackedShard p(kKernelRows, kKernelCols);
+  fill_pair(3, kKernelRows, kKernelCols, &a, &p);
+  const auto qs = make_queries(5, rep.queries, kKernelCols);
+  std::vector<engine::PackedQuery> packed;
+  for (const auto& q : qs) packed.push_back(engine::PackedQuery::pack(q));
+
+  const int reps = 15;
+  rep.unpacked_us = median_us(reps, [&] {
+    for (const auto& q : qs) benchmark::DoNotOptimize(a.search(q));
+  });
+  rep.unpacked_two_step_us = median_us(reps, [&] {
+    for (const auto& q : qs) {
+      benchmark::DoNotOptimize(arch::two_step_search(a, q));
+    }
+  });
+  std::vector<std::uint64_t> mask;
+  rep.packed_us = median_us(reps, [&] {
+    for (const auto& q : packed) {
+      benchmark::DoNotOptimize(p.full_match(q, mask));
+    }
+  });
+  rep.packed_two_step_us = median_us(reps, [&] {
+    for (const auto& q : packed) {
+      benchmark::DoNotOptimize(p.two_step_match(q, mask));
+    }
+  });
+  rep.speedup = rep.packed_us > 0.0 ? rep.unpacked_us / rep.packed_us : 0.0;
+  rep.two_step_speedup = rep.packed_two_step_us > 0.0
+                             ? rep.unpacked_two_step_us / rep.packed_two_step_us
+                             : 0.0;
+  return rep;
+}
+
+int emit_engine_json(const std::string& path) {
+  // The kernel gate is defined single-thread: pin the pool so a parallel
+  // environment cannot flatter (or starve) either arm.
+  util::set_thread_count(1);
+  const KernelReport k = measure_kernel();
+  std::cerr << "kernel " << k.rows << "x" << k.cols << ": unpacked="
+            << k.unpacked_us << "us packed=" << k.packed_us
+            << "us speedup=" << k.speedup << " (two-step "
+            << k.two_step_speedup << ")\n";
+
+  // Engine run: default thread resolution (FETCAM_THREADS / cores).
+  util::set_thread_count(0);
+  engine::TraceSpec spec;
+  spec.kind = engine::TraceKind::kIpPrefix;
+  spec.cols = 64;
+  spec.rules = 2048;
+  spec.queries = 50000;
+  spec.match_rate = 0.25;
+  spec.seed = 7;
+  const auto trace = engine::generate_trace(spec);
+
+  engine::TableConfig cfg;
+  cfg.mats = 8;
+  cfg.rows_per_mat = 256;
+  cfg.cols = 64;
+  cfg.subarrays_per_mat = 4;
+  engine::TcamTable table(cfg);
+  const auto ids = engine::load_rules(table, trace);
+
+  engine::SearchEngine eng(table);
+  engine::RunOptions ropts;
+  ropts.batch_size = 512;
+  ropts.update_rate = 0.01;
+  ropts.seed = 7;
+  const engine::RunSummary s =
+      engine::run_trace(eng, table, trace, ids, ropts);
+  std::cerr << "engine: " << s.searches << " searches in " << s.wall_s
+            << "s -> " << s.qps << " qps, hit_rate=" << s.hit_rate
+            << " step1_miss_rate=" << s.step1_miss_rate << "\n";
+
+  std::ostringstream os;
+  os << "{\n  \"kernel\": {\n"
+     << "    \"rows\": " << k.rows << ",\n"
+     << "    \"cols\": " << k.cols << ",\n"
+     << "    \"queries_per_rep\": " << k.queries << ",\n"
+     << "    \"unpacked_us\": " << k.unpacked_us << ",\n"
+     << "    \"unpacked_two_step_us\": " << k.unpacked_two_step_us << ",\n"
+     << "    \"packed_us\": " << k.packed_us << ",\n"
+     << "    \"packed_two_step_us\": " << k.packed_two_step_us << ",\n"
+     << "    \"speedup\": " << k.speedup << ",\n"
+     << "    \"two_step_speedup\": " << k.two_step_speedup << "\n"
+     << "  },\n";
+  os << "  \"engine\": {\n"
+     << "    \"trace_kind\": \"" << engine::trace_kind_name(spec.kind)
+     << "\",\n"
+     << "    \"mats\": " << cfg.mats << ",\n"
+     << "    \"rows_per_mat\": " << cfg.rows_per_mat << ",\n"
+     << "    \"cols\": " << cfg.cols << ",\n"
+     << "    \"rules\": " << trace.rules.size() << ",\n"
+     << "    \"requests\": " << s.requests << ",\n"
+     << "    \"searches\": " << s.searches << ",\n"
+     << "    \"writes\": " << s.writes << ",\n"
+     << "    \"batches\": " << s.batches << ",\n"
+     << "    \"hit_rate\": " << s.hit_rate << ",\n"
+     << "    \"step1_miss_rate\": " << s.step1_miss_rate << ",\n"
+     << "    \"energy_per_search_j\": " << s.energy_per_search_j << ",\n"
+     << "    \"driver_stalls\": " << s.driver_stalls << ",\n"
+     << "    \"write_cycles\": " << s.write_cycles << ",\n"
+     << "    \"model_time_s\": " << s.model_time_s << ",\n"
+     << "    \"wall_s\": " << s.wall_s << ",\n"
+     << "    \"qps\": " << s.qps << ",\n"
+     << "    \"p50_batch_us\": " << s.p50_batch_us << ",\n"
+     << "    \"p99_batch_us\": " << s.p99_batch_us << ",\n"
+     << "    \"queue_high_watermark\": " << eng.queue_high_watermark() << "\n"
+     << "  }\n}\n";
+
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  f << os.str();
+  std::cerr << "wrote " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--engine-json=", 14) == 0) {
+      json_path = argv[i] + 14;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    return emit_engine_json(json_path);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

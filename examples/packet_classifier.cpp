@@ -1,20 +1,21 @@
-// Packet classifier: longest-prefix-match IP routing on a ternary CAM —
-// the classic TCAM application the paper's introduction cites.
+// Packet classifier: longest-prefix-match IP routing served by the TCAM
+// engine — the classic application the paper's introduction cites, run
+// through the sharded service layer instead of a single behavioral array.
 //
-// Routes are stored as 32-bit prefixes with 'X' wildcards for the host
-// bits, ordered by decreasing prefix length so the priority encoder (first
-// matching row) returns the longest match.  The example routes a packet
-// trace, reports the forwarding decisions, and compares the energy of a
-// 1.5T1DG-Fe implementation (with early termination) against a 2SG-FeFET
-// TCAM for the same workload.
+// Routes are stored in a TcamTable with priority = 32 - prefix_length, so
+// the global (priority, id) resolution returns the longest match no matter
+// which mat the entry landed on.  A SearchEngine batches the packet trace,
+// matches in parallel, and applies results in order; per-mat energy
+// accounting then compares a 1.5T1DG-Fe implementation (early termination)
+// against a 2SG-FeFET TCAM serving the identical workload.
 #include <cstdio>
 #include <cstdint>
-#include <random>
 #include <vector>
 
-#include "arch/behavioral_array.hpp"
-#include "arch/energy_model.hpp"
-#include "arch/search_scheduler.hpp"
+#include "engine/engine.hpp"
+#include "engine/table.hpp"
+#include "engine/workload.hpp"
+#include "util/rng.hpp"
 
 using namespace fetcam;
 
@@ -51,10 +52,22 @@ std::uint32_t ip(int a, int b, int c, int d) {
          (static_cast<std::uint32_t>(c) << 8) | static_cast<std::uint32_t>(d);
 }
 
+engine::TableConfig router_config(arch::TcamDesign design) {
+  engine::TableConfig cfg;
+  cfg.design = design;
+  cfg.mats = 2;
+  cfg.rows_per_mat = 64;
+  cfg.cols = 32;
+  cfg.subarrays_per_mat = 2;
+  return cfg;
+}
+
 }  // namespace
 
 int main() {
-  // Routing table, longest prefixes first (TCAM priority = row order).
+  // Routing table.  Priority = 32 - prefix_length: lower priority values
+  // win, so the longest prefix takes the packet regardless of insertion
+  // order or which shard holds it.
   const std::vector<Route> routes = {
       {ip(10, 1, 5, 0), 24, "eth3 (lab subnet)"},
       {ip(10, 1, 0, 0), 16, "eth2 (campus)"},
@@ -63,20 +76,22 @@ int main() {
       {ip(0, 0, 0, 0), 0, "eth0 (default)"},
   };
 
-  arch::TcamArray table(static_cast<int>(routes.size()), 32);
-  for (std::size_t r = 0; r < routes.size(); ++r) {
-    table.write(static_cast<int>(r), route_entry(routes[r]));
+  engine::TcamTable table(router_config(arch::TcamDesign::k1p5DgFe));
+  std::vector<engine::EntryId> ids;
+  for (const auto& r : routes) {
+    ids.push_back(table.insert(route_entry(r), 32 - r.length));
   }
 
-  std::printf("routing table (%zu entries, 32-bit ternary):\n",
-              routes.size());
+  std::printf("routing table (%zu entries across %d mats):\n", routes.size(),
+              table.mats());
   for (std::size_t r = 0; r < routes.size(); ++r) {
-    std::printf("  row %zu: %s -> %s\n", r,
-                arch::to_string(table.entry(static_cast<int>(r))).c_str(),
+    const auto loc = *table.locate(ids[r]);
+    std::printf("  mat %d row %2d: %s -> %s\n", loc.mat, loc.row,
+                arch::to_string(route_entry(routes[r])).c_str(),
                 routes[r].next_hop);
   }
 
-  // Route a few illustrative packets.
+  // Route a few illustrative packets through the engine as one batch.
   const std::vector<std::uint32_t> packets = {
       ip(10, 1, 5, 7),     // longest match: /24
       ip(10, 1, 9, 1),     // /16
@@ -84,38 +99,69 @@ int main() {
       ip(192, 168, 3, 3),  // /16 private
       ip(8, 8, 8, 8),      // default
   };
-  std::printf("\nforwarding decisions:\n");
-  for (const auto addr : packets) {
-    const auto q = address_query(addr);
-    const auto hit = table.first_match(q);
-    std::printf("  %3u.%u.%u.%u -> %s\n", addr >> 24, (addr >> 16) & 0xff,
-                (addr >> 8) & 0xff, addr & 0xff,
-                hit ? routes[static_cast<std::size_t>(*hit)].next_hop
-                    : "DROP");
-    if (!hit) return 1;
+  {
+    engine::SearchEngine eng(table);
+    std::vector<engine::Request> batch;
+    for (const auto addr : packets) {
+      batch.push_back(engine::make_search(address_query(addr)));
+    }
+    const auto res = eng.execute(std::move(batch));
+    std::printf("\nforwarding decisions:\n");
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      const auto addr = packets[i];
+      const auto& r = res.results[i];
+      const char* hop = "DROP";
+      if (r.hit) {
+        for (std::size_t k = 0; k < ids.size(); ++k) {
+          if (ids[k] == r.entry) hop = routes[k].next_hop;
+        }
+      }
+      std::printf("  %3u.%u.%u.%u -> %s\n", addr >> 24, (addr >> 16) & 0xff,
+                  (addr >> 8) & 0xff, addr & 0xff, hop);
+      if (!r.hit) return 1;
+    }
   }
 
   // Energy comparison over a synthetic packet trace: most rows miss in
   // step 1, which is exactly where the 1.5T1Fe early termination pays.
-  std::mt19937 rng(7);
-  std::uniform_int_distribution<std::uint32_t> rand_addr;
-  arch::ArrayEnergyModel dg(arch::TcamDesign::k1p5DgFe, table.rows(), 32);
-  arch::ArrayEnergyModel sg2(arch::TcamDesign::k2SgFefet, table.rows(), 32);
-  arch::SearchStatsAccumulator acc;
-  const int kPackets = 100000;
-  for (int i = 0; i < kPackets; ++i) {
-    const auto q = address_query(rand_addr(rng));
-    const auto res = two_step_search(table, q);
-    acc.add(res.stats);
-    dg.on_search(res.stats);
-    sg2.on_search(res.stats);
-  }
+  // Both tables hold the identical routes and serve the identical batched
+  // workload; only the design (and therefore the per-op cost model and
+  // match schedule) differs.
+  constexpr int kPackets = 100000;
+  constexpr int kBatch = 1000;
+  const auto run_design = [&](arch::TcamDesign design) {
+    engine::TcamTable t(router_config(design));
+    for (const auto& r : routes) t.insert(route_entry(r), 32 - r.length);
+    const double writes_j = t.total_energy_j();
+    engine::SearchEngine eng(t);
+    std::vector<engine::Request> batch;
+    batch.reserve(kBatch);
+    for (int i = 0; i < kPackets; ++i) {
+      auto rng = util::trial_rng(7, static_cast<std::uint64_t>(i), 0);
+      batch.push_back(engine::make_search(address_query(
+          std::uniform_int_distribution<std::uint32_t>()(rng))));
+      if (static_cast<int>(batch.size()) == kBatch) {
+        eng.execute(std::move(batch));
+        batch.clear();
+        batch.reserve(kBatch);
+      }
+    }
+    struct Out {
+      double search_j;
+      double miss_rate;
+    };
+    return Out{t.total_energy_j() - writes_j,
+               t.search_stats().step1_miss_rate()};
+  };
+  const auto dg = run_design(arch::TcamDesign::k1p5DgFe);
+  const auto sg2 = run_design(arch::TcamDesign::k2SgFefet);
+
   std::printf("\n%d packets routed; step-1 miss rate %.1f%% (paper assumes "
               ">90%% in real workloads)\n",
-              kPackets, 100.0 * acc.step1_miss_rate());
+              kPackets, 100.0 * dg.miss_rate);
   std::printf("lookup energy: 1.5T1DG-Fe %.2f nJ vs 2SG-FeFET %.2f nJ "
               "(%.2fx)\n",
-              dg.total_energy_j() * 1e9, sg2.total_energy_j() * 1e9,
-              sg2.total_energy_j() / dg.total_energy_j());
+              dg.search_j * 1e9, sg2.search_j * 1e9,
+              sg2.search_j / dg.search_j);
   return 0;
 }

@@ -5,8 +5,10 @@
 namespace fetcam::arch {
 
 TcamArray::TcamArray(int rows, int cols) : rows_(rows), cols_(cols) {
-  if (rows <= 0 || cols <= 0) {
-    throw std::invalid_argument("array dimensions must be positive");
+  // Zero rows is a legal (empty) array: searches return no matches and the
+  // scheduler reports 0-row statistics.  Zero or negative columns is not.
+  if (rows < 0 || cols <= 0) {
+    throw std::invalid_argument("array needs rows >= 0 and cols > 0");
   }
   entries_.assign(static_cast<std::size_t>(rows),
                   TernaryWord(static_cast<std::size_t>(cols), Ternary::kX));

@@ -16,7 +16,8 @@ namespace fetcam::arch {
 class TcamArray {
  public:
   /// rows entries of `cols` ternary digits, all initialized to 'X'
-  /// (matching an erased array) and marked invalid.
+  /// (matching an erased array) and marked invalid.  rows >= 0 (a zero-row
+  /// array is empty and matches nothing), cols > 0.
   TcamArray(int rows, int cols);
 
   int rows() const { return rows_; }

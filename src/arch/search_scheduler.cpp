@@ -1,6 +1,7 @@
 #include "arch/search_scheduler.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace fetcam::arch {
 
@@ -10,7 +11,10 @@ ScheduledSearchResult two_step_search(const TcamArray& array,
     throw std::invalid_argument("query width mismatch");
   }
   if (array.cols() % 2 != 0) {
-    throw std::invalid_argument("two-step search needs an even word length");
+    throw std::invalid_argument(
+        "two-step search needs an even word length (array is " +
+        std::to_string(array.rows()) + " rows x " +
+        std::to_string(array.cols()) + " cols)");
   }
   ScheduledSearchResult res;
   res.matches.assign(static_cast<std::size_t>(array.rows()), false);

@@ -1,0 +1,249 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "util/parallel.hpp"
+
+namespace fetcam::engine {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Counter& batches;
+  obs::Counter& requests;
+  obs::Counter& searches;
+  obs::Counter& writes;
+  obs::Counter& driver_stalls;
+  obs::Counter& write_cycles;
+  obs::Gauge& queue_hwm;
+
+  static EngineMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static EngineMetrics m{
+        reg.counter("engine.batches"),     reg.counter("engine.requests"),
+        reg.counter("engine.searches"),    reg.counter("engine.writes"),
+        reg.counter("engine.driver_stalls"),
+        reg.counter("engine.write_cycles"),
+        reg.gauge("engine.queue_high_watermark"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+SearchEngine::SearchEngine(TcamTable& table, EngineOptions options)
+    : table_(table), options_(options), queue_(options.queue_capacity) {
+  const TableConfig& cfg = table.config();
+  arch::MatGeometry geom;
+  geom.rows = cfg.rows_per_mat / cfg.subarrays_per_mat;
+  geom.cols = cfg.cols;
+  geom.subarrays = cfg.subarrays_per_mat;
+  mat_schedulers_.reserve(static_cast<std::size_t>(cfg.mats));
+  for (int m = 0; m < cfg.mats; ++m) {
+    mat_schedulers_.emplace_back(geom, arch::HvDriverParams{});
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+SearchEngine::~SearchEngine() {
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<BatchResult> SearchEngine::submit(std::vector<Request> batch) {
+  Work work;
+  work.batch = std::move(batch);
+  std::future<BatchResult> future = work.promise.get_future();
+  // Sequence assignment and queue insertion happen under one lock so the
+  // FIFO queue order IS the sequence order (the determinism contract).
+  const std::lock_guard<std::mutex> lock(submit_mu_);
+  work.seq = next_seq_++;
+  if (!queue_.push(std::move(work))) {
+    // Engine shut down: the promise was moved into the dropped Work, so
+    // recreate a broken-promise future explicitly.
+    std::promise<BatchResult> broken;
+    broken.set_exception(std::make_exception_ptr(
+        std::runtime_error("engine is shut down")));
+    return broken.get_future();
+  }
+  return future;
+}
+
+BatchResult SearchEngine::execute(std::vector<Request> batch) {
+  return submit(std::move(batch)).get();
+}
+
+void SearchEngine::drain() {
+  // An empty batch flushes: batches apply in order, so once it resolves
+  // every earlier batch has been applied.
+  execute({});
+}
+
+double SearchEngine::mat_utilization(int mat) const {
+  return mat_schedulers_[static_cast<std::size_t>(mat)].utilization();
+}
+
+void SearchEngine::dispatcher_loop() {
+  while (auto work = queue_.pop()) {
+    BatchResult res = process(work->seq, work->batch);
+    work->promise.set_value(std::move(res));
+  }
+}
+
+BatchResult SearchEngine::process(std::uint64_t seq,
+                                  std::vector<Request>& batch) {
+  const double t0 = obs::now_us();
+  BatchResult res;
+  res.seq = seq;
+  res.results.resize(batch.size());
+
+  // Phase A — parallel match: searches evaluate against the frozen table
+  // (no mutation until phase B) with per-request result slots, so the
+  // worker schedule cannot influence anything observable.
+  std::vector<std::size_t> search_idx;
+  search_idx.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].kind == RequestKind::kSearch) search_idx.push_back(i);
+  }
+  std::vector<TableMatch> matches(batch.size());
+  if (!search_idx.empty()) {
+    util::parallel_for(search_idx.size(), [&](std::size_t k) {
+      thread_local MatchScratch scratch;
+      const std::size_t i = search_idx[k];
+      table_.match(batch[i].query, scratch, matches[i]);
+    });
+  }
+
+  // Phase B — serial application in request order: accounting, writes,
+  // erases.  This ordering (not the worker schedule) defines the energy /
+  // endurance / stats totals.
+  struct PendingWrite {
+    int mat = 0;
+    int subarray = 0;
+    int phases = 0;
+  };
+  std::vector<PendingWrite> pending_writes;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Request& req = batch[i];
+    RequestResult& out = res.results[i];
+    switch (req.kind) {
+      case RequestKind::kSearch: {
+        const TableMatch& m = matches[i];
+        table_.account_search(m);
+        out.hit = m.hit;
+        out.entry = m.entry;
+        out.priority = m.priority;
+        res.stats.rows += m.stats.rows;
+        res.stats.step1_misses += m.stats.step1_misses;
+        res.stats.step2_evaluated += m.stats.step2_evaluated;
+        res.stats.matches += m.stats.matches;
+        break;
+      }
+      case RequestKind::kUpdate: {
+        const auto loc = table_.locate(req.target);
+        if (!loc) break;  // unknown entry: result stays a miss
+        table_.update(req.target, req.entry);
+        PendingWrite w;
+        w.mat = loc->mat;
+        w.subarray = loc->subarray;
+        w.phases = table_.last_write_phases();
+        pending_writes.push_back(w);
+        out.hit = true;
+        out.entry = req.target;
+        out.priority = table_.priority_of(req.target);
+        break;
+      }
+      case RequestKind::kErase: {
+        if (!table_.contains(req.target)) break;
+        // Peripheral-only (valid bit), no device pulses — and no HV driver
+        // occupancy, so nothing enters the admission model.
+        table_.erase(req.target);
+        out.hit = true;
+        out.entry = req.target;
+        break;
+      }
+    }
+  }
+
+  // Driver-multiplex admission: write phases first (write-priority; one
+  // phase per mat per cycle, a pending search broadcast stalls on the
+  // paired subarray), then the search broadcast runs unobstructed.
+  const std::size_t n_search = search_idx.size();
+  long long stalls_before = 0;
+  for (const auto& s : mat_schedulers_) stalls_before += s.stalls();
+  const int subarrays = table_.config().subarrays_per_mat;
+  std::vector<std::deque<PendingWrite>> mat_queue(
+      static_cast<std::size_t>(table_.mats()));
+  for (const auto& w : pending_writes) {
+    mat_queue[static_cast<std::size_t>(w.mat)].push_back(w);
+  }
+  std::vector<arch::MatOp> cycle_req(static_cast<std::size_t>(subarrays));
+  bool writes_pending = !pending_writes.empty();
+  while (writes_pending) {
+    writes_pending = false;
+    for (int m = 0; m < table_.mats(); ++m) {
+      auto& q = mat_queue[static_cast<std::size_t>(m)];
+      if (q.empty()) continue;
+      PendingWrite& head = q.front();
+      std::fill(cycle_req.begin(), cycle_req.end(), arch::MatOp::kIdle);
+      cycle_req[static_cast<std::size_t>(head.subarray)] = arch::MatOp::kWrite;
+      // The blocked search broadcast keeps requesting the paired
+      // subarray's select lines; the shared bank denies it (stall).
+      const int paired = head.subarray ^ 1;
+      if (n_search > 0) {
+        cycle_req[static_cast<std::size_t>(paired)] = arch::MatOp::kSearch;
+      }
+      const auto granted =
+          mat_schedulers_[static_cast<std::size_t>(m)].submit(cycle_req);
+      if (granted[static_cast<std::size_t>(head.subarray)]) {
+        if (--head.phases == 0) q.pop_front();
+      }
+      if (!q.empty()) writes_pending = true;
+    }
+    ++res.write_cycles;
+  }
+  // Search broadcast: all subarrays of all mats search in lock-step.
+  if (n_search > 0) {
+    std::fill(cycle_req.begin(), cycle_req.end(), arch::MatOp::kSearch);
+    for (std::size_t c = 0; c < n_search; ++c) {
+      for (auto& sched : mat_schedulers_) sched.submit(cycle_req);
+    }
+  }
+  long long stalls_after = 0;
+  for (const auto& s : mat_schedulers_) stalls_after += s.stalls();
+  res.driver_stalls = stalls_after - stalls_before;
+  res.model_latency_s =
+      static_cast<double>(res.write_cycles) * options_.write_pulse_s +
+      static_cast<double>(n_search) *
+          table_.energy(0).costs().latency_full;
+
+  // Totals + obs counters.
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  searches_.fetch_add(n_search, std::memory_order_relaxed);
+  writes_.fetch_add(pending_writes.size(), std::memory_order_relaxed);
+  driver_stalls_.fetch_add(res.driver_stalls, std::memory_order_relaxed);
+  driver_cycles_.fetch_add(res.write_cycles + static_cast<long long>(n_search),
+                           std::memory_order_relaxed);
+  model_time_s_.fetch_add(res.model_latency_s, std::memory_order_relaxed);
+  if (obs::metrics_on()) {
+    auto& em = EngineMetrics::get();
+    em.batches.add();
+    em.requests.add(batch.size());
+    em.searches.add(n_search);
+    em.writes.add(pending_writes.size());
+    em.driver_stalls.add(static_cast<std::uint64_t>(res.driver_stalls));
+    em.write_cycles.add(static_cast<std::uint64_t>(res.write_cycles));
+    em.queue_hwm.set(static_cast<double>(queue_.high_watermark()));
+  }
+  res.wall_us = obs::now_us() - t0;
+  return res;
+}
+
+}  // namespace fetcam::engine

@@ -1,0 +1,162 @@
+// Concurrent TCAM request engine: bounded batch admission, parallel match,
+// deterministic in-order application, and a shared-HV-driver admission
+// model.
+//
+// Execution model (the determinism contract, docs/ENGINE.md):
+//
+//   * Producers submit BATCHES of requests into a bounded MPMC queue
+//     (backpressure: submit blocks while the queue is full).
+//   * One dispatcher thread pops batches strictly in submission order.
+//     Per batch: searches run against a frozen table snapshot in parallel
+//     on the util::parallel pool (each request writes its own result slot,
+//     so the schedule cannot influence results); then ALL accounting and
+//     ALL writes apply serially in request order on the dispatcher.
+//   * Result: batch results, table contents, energy/endurance totals, and
+//     search statistics are bit-identical for any worker thread count
+//     (1, 2, 8, ... — same contract as the Monte-Carlo engine), at any
+//     queue capacity, with any producer interleaving of distinct batches.
+//
+// Driver-multiplex admission (paper Sec. III-C / Fig. 6): within a mat,
+// four 90-degree-rotated subarrays time-multiplex shared HV driver banks —
+// one bank drives the BLs of one subarray or the SeLs of its pair, never
+// both in a cycle.  A batch that mixes updates and searches therefore
+// cannot overlap them on the same mat: the engine schedules write phases
+// first (one phase per mat per cycle, paired-subarray searches stall and
+// are counted), then runs the search broadcast.  The modeled batch latency
+// is  write_cycles * write_pulse_s + searches * latency_full.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "arch/hv_driver.hpp"
+#include "engine/queue.hpp"
+#include "engine/table.hpp"
+
+namespace fetcam::engine {
+
+enum class RequestKind : std::uint8_t { kSearch, kUpdate, kErase };
+
+struct Request {
+  RequestKind kind = RequestKind::kSearch;
+  arch::BitWord query;        ///< kSearch
+  EntryId target = kInvalidEntry;  ///< kUpdate / kErase
+  arch::TernaryWord entry;    ///< kUpdate
+};
+
+inline Request make_search(arch::BitWord query) {
+  Request r;
+  r.kind = RequestKind::kSearch;
+  r.query = std::move(query);
+  return r;
+}
+inline Request make_update(EntryId target, arch::TernaryWord entry) {
+  Request r;
+  r.kind = RequestKind::kUpdate;
+  r.target = target;
+  r.entry = std::move(entry);
+  return r;
+}
+inline Request make_erase(EntryId target) {
+  Request r;
+  r.kind = RequestKind::kErase;
+  r.target = target;
+  return r;
+}
+
+struct RequestResult {
+  bool hit = false;
+  EntryId entry = kInvalidEntry;
+  int priority = 0;
+};
+
+struct BatchResult {
+  std::uint64_t seq = 0;  ///< batch sequence number (submission order)
+  /// One result per request, same index order as the submitted batch.
+  std::vector<RequestResult> results;
+  /// Merged step statistics over the batch's searches.
+  arch::SearchStats stats;
+  long long driver_stalls = 0;  ///< searches stalled by write-held banks
+  long long write_cycles = 0;   ///< cycles spent on write phases
+  /// Deterministic modeled latency (admission model + per-op costs).
+  double model_latency_s = 0.0;
+  /// Measured wall time of the batch's processing (NOT deterministic;
+  /// excluded from the bit-identical contract — reporting only).
+  double wall_us = 0.0;
+};
+
+struct EngineOptions {
+  std::size_t queue_capacity = 8;  ///< batches admitted before submit blocks
+  /// Duration of one HV write phase (a 1.5T1Fe row update issues 3).
+  double write_pulse_s = 50e-9;
+};
+
+class SearchEngine {
+ public:
+  /// The engine owns request ordering on `table`; while the engine is
+  /// alive, mutate the table only through requests.
+  SearchEngine(TcamTable& table, EngineOptions options = {});
+  ~SearchEngine();  ///< drains the queue, then joins the dispatcher
+
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
+
+  /// Enqueue a batch (MPMC: any thread may call).  Blocks while the queue
+  /// is full.  The future resolves when the dispatcher has applied the
+  /// batch.  Batches are applied strictly in submission order.
+  std::future<BatchResult> submit(std::vector<Request> batch);
+
+  /// Synchronous convenience: submit + wait.  Same code path, same
+  /// determinism.
+  BatchResult execute(std::vector<Request> batch);
+
+  /// Block until every batch submitted so far has been applied.
+  void drain();
+
+  // Telemetry (totals over the engine lifetime; deterministic except where
+  // noted on BatchResult).
+  std::uint64_t batches() const { return batches_.load(); }
+  std::uint64_t requests() const { return requests_.load(); }
+  std::uint64_t searches() const { return searches_.load(); }
+  std::uint64_t writes() const { return writes_.load(); }
+  long long driver_stalls() const { return driver_stalls_.load(); }
+  long long driver_cycles() const { return driver_cycles_.load(); }
+  double model_time_s() const { return model_time_s_.load(); }
+  std::size_t queue_high_watermark() const { return queue_.high_watermark(); }
+  /// Shared-bank utilization of one mat's scheduler (paper Fig. 6 model).
+  double mat_utilization(int mat) const;
+
+ private:
+  struct Work {
+    std::uint64_t seq = 0;
+    std::vector<Request> batch;
+    std::promise<BatchResult> promise;
+  };
+
+  void dispatcher_loop();
+  BatchResult process(std::uint64_t seq, std::vector<Request>& batch);
+
+  TcamTable& table_;
+  EngineOptions options_;
+  BoundedQueue<Work> queue_;
+  /// One shared-driver scheduler per mat, persistent across batches.
+  std::vector<arch::SharedDriverScheduler> mat_schedulers_;
+  std::uint64_t next_seq_ = 0;
+  std::mutex submit_mu_;  ///< orders seq assignment with queue push
+
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> searches_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<long long> driver_stalls_{0};
+  std::atomic<long long> driver_cycles_{0};
+  std::atomic<double> model_time_s_{0.0};
+
+  std::thread dispatcher_;
+};
+
+}  // namespace fetcam::engine

@@ -1,0 +1,200 @@
+#include "engine/packed_kernel.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace fetcam::engine {
+
+namespace {
+
+// Digit parity masks: digit c sits at bit (c & 63), and 64 is even, so
+// even global digits are even bit positions in every word.
+constexpr std::uint64_t kEvenDigits = 0x5555555555555555ULL;
+constexpr std::uint64_t kOddDigits = 0xAAAAAAAAAAAAAAAAULL;
+
+}  // namespace
+
+PackedQuery PackedQuery::pack(const arch::BitWord& query) {
+  PackedQuery q;
+  q.cols = static_cast<int>(query.size());
+  q.bits.assign((query.size() + 63) / 64, 0);
+  for (std::size_t c = 0; c < query.size(); ++c) {
+    if (query[c] != 0) q.bits[c >> 6] |= 1ULL << (c & 63);
+  }
+  return q;
+}
+
+PackedShard::PackedShard(int rows, int cols)
+    : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64) {
+  if (rows < 0 || cols <= 0) {
+    throw std::invalid_argument("shard needs rows >= 0 and cols > 0");
+  }
+  const std::size_t words =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(words_per_row_);
+  care_.assign(words, 0);   // all-'X': nothing participates in matching
+  value_.assign(words, 0);
+  valid_.assign(mask_words(), 0);
+}
+
+void PackedShard::check_row(int row) const {
+  if (row < 0 || row >= rows_) throw std::out_of_range("row out of range");
+}
+
+void PackedShard::check_query(const PackedQuery& query) const {
+  if (query.cols != cols_) {
+    throw std::invalid_argument("query width mismatch");
+  }
+}
+
+void PackedShard::write(int row, const arch::TernaryWord& entry) {
+  check_row(row);
+  if (static_cast<int>(entry.size()) != cols_) {
+    throw std::invalid_argument("entry width mismatch");
+  }
+  const std::size_t base =
+      static_cast<std::size_t>(row) * static_cast<std::size_t>(words_per_row_);
+  for (int w = 0; w < words_per_row_; ++w) {
+    care_[base + static_cast<std::size_t>(w)] = 0;
+    value_[base + static_cast<std::size_t>(w)] = 0;
+  }
+  for (int c = 0; c < cols_; ++c) {
+    const arch::Ternary t = entry[static_cast<std::size_t>(c)];
+    if (t == arch::Ternary::kX) continue;
+    const std::size_t word = base + static_cast<std::size_t>(c >> 6);
+    const std::uint64_t bit = 1ULL << (c & 63);
+    care_[word] |= bit;
+    if (t == arch::Ternary::kOne) value_[word] |= bit;
+  }
+  valid_[static_cast<std::size_t>(row) >> 6] |= 1ULL << (row & 63);
+}
+
+void PackedShard::erase(int row) {
+  check_row(row);
+  valid_[static_cast<std::size_t>(row) >> 6] &= ~(1ULL << (row & 63));
+}
+
+bool PackedShard::valid(int row) const {
+  check_row(row);
+  return (valid_[static_cast<std::size_t>(row) >> 6] >> (row & 63)) & 1ULL;
+}
+
+arch::TernaryWord PackedShard::entry(int row) const {
+  check_row(row);
+  const std::size_t base =
+      static_cast<std::size_t>(row) * static_cast<std::size_t>(words_per_row_);
+  arch::TernaryWord out(static_cast<std::size_t>(cols_), arch::Ternary::kX);
+  for (int c = 0; c < cols_; ++c) {
+    const std::size_t word = base + static_cast<std::size_t>(c >> 6);
+    const std::uint64_t bit = 1ULL << (c & 63);
+    if ((care_[word] & bit) == 0) continue;
+    out[static_cast<std::size_t>(c)] = (value_[word] & bit) != 0
+                                           ? arch::Ternary::kOne
+                                           : arch::Ternary::kZero;
+  }
+  return out;
+}
+
+arch::SearchStats PackedShard::full_match(
+    const PackedQuery& query, std::vector<std::uint64_t>& match_mask) const {
+  check_query(query);
+  arch::SearchStats stats;
+  stats.rows = rows_;
+  stats.step2_evaluated = rows_;  // single-step: every row evaluates fully
+  match_mask.assign(mask_words(), 0);
+  const std::size_t wpr = static_cast<std::size_t>(words_per_row_);
+  for (int r = 0; r < rows_; ++r) {
+    if (((valid_[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1ULL) == 0) {
+      continue;
+    }
+    const std::size_t base = static_cast<std::size_t>(r) * wpr;
+    bool matched = true;
+    for (std::size_t w = 0; w < wpr; ++w) {
+      if ((care_[base + w] & (value_[base + w] ^ query.bits[w])) != 0) {
+        matched = false;
+        break;
+      }
+    }
+    if (matched) {
+      match_mask[static_cast<std::size_t>(r) >> 6] |= 1ULL << (r & 63);
+      ++stats.matches;
+    }
+  }
+  return stats;
+}
+
+arch::SearchStats PackedShard::two_step_match(
+    const PackedQuery& query, std::vector<std::uint64_t>& match_mask) const {
+  check_query(query);
+  if (cols_ % 2 != 0) {
+    throw std::invalid_argument(
+        "two-step search needs an even word length (shard is " +
+        std::to_string(rows_) + " rows x " + std::to_string(cols_) + " cols)");
+  }
+  arch::SearchStats stats;
+  stats.rows = rows_;
+  match_mask.assign(mask_words(), 0);
+  const std::size_t wpr = static_cast<std::size_t>(words_per_row_);
+  for (int r = 0; r < rows_; ++r) {
+    if (((valid_[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1ULL) == 0) {
+      // Invalid rows stay erased-to-'0' at cell1 positions and miss in
+      // step 1 (same accounting as arch::two_step_search).
+      ++stats.step1_misses;
+      continue;
+    }
+    const std::size_t base = static_cast<std::size_t>(r) * wpr;
+    // Step 1: even (cell1) digits of every word.
+    bool alive = true;
+    for (std::size_t w = 0; w < wpr; ++w) {
+      if ((care_[base + w] & (value_[base + w] ^ query.bits[w]) &
+           kEvenDigits) != 0) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) {
+      ++stats.step1_misses;
+      continue;
+    }
+    // Step 2: odd (cell2) digits, only for surviving rows.
+    ++stats.step2_evaluated;
+    bool matched = true;
+    for (std::size_t w = 0; w < wpr; ++w) {
+      if ((care_[base + w] & (value_[base + w] ^ query.bits[w]) &
+           kOddDigits) != 0) {
+        matched = false;
+        break;
+      }
+    }
+    if (matched) {
+      match_mask[static_cast<std::size_t>(r) >> 6] |= 1ULL << (r & 63);
+      ++stats.matches;
+    }
+  }
+  return stats;
+}
+
+std::vector<bool> PackedShard::search(const arch::BitWord& query) const {
+  std::vector<std::uint64_t> mask;
+  full_match(PackedQuery::pack(query), mask);
+  std::vector<bool> out(static_cast<std::size_t>(rows_), false);
+  for (int r = 0; r < rows_; ++r) {
+    out[static_cast<std::size_t>(r)] =
+        (mask[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1ULL;
+  }
+  return out;
+}
+
+arch::ScheduledSearchResult PackedShard::two_step_search(
+    const arch::BitWord& query) const {
+  std::vector<std::uint64_t> mask;
+  arch::ScheduledSearchResult res;
+  res.stats = two_step_match(PackedQuery::pack(query), mask);
+  res.matches.assign(static_cast<std::size_t>(rows_), false);
+  for (int r = 0; r < rows_; ++r) {
+    res.matches[static_cast<std::size_t>(r)] =
+        (mask[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1ULL;
+  }
+  return res;
+}
+
+}  // namespace fetcam::engine

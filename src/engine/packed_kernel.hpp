@@ -1,0 +1,100 @@
+// Bit-packed TCAM shard kernel: the service-engine representation of one
+// mat's worth of entries.
+//
+// The behavioral TcamArray stores one byte per ternary digit and matches
+// digit-by-digit — exact, but a serving layer scanning thousands of rows
+// per query cannot afford 1 byte/digit.  A PackedShard stores each row as
+// (care, value) uint64 mask pairs, 64 ternary digits per word pair:
+//
+//   care bit  = 1  digit is '0' or '1' (participates in matching)
+//   care bit  = 0  digit is 'X' (don't-care)
+//   value bit = 1  digit is '1' (kept 0 wherever care = 0, canonical form)
+//
+// A 64-digit block of a query mismatches iff  care & (value ^ query) != 0,
+// so a whole row of N digits is matched in ceil(N/64) word operations.
+//
+// Digit c lives at bit (c & 63) of word (c >> 6), LSB-first.  Because 64 is
+// even, a digit's global parity equals its bit parity, so the paper's
+// two-step schedule (step 1 = even/cell1 digits, step 2 = odd/cell2 digits,
+// Sec. III-B3) is the same mismatch test under constant parity masks.  The
+// two-step kernel reproduces arch::two_step_search semantics AND its
+// SearchStats bit-exactly: invalid rows and step-1 mismatches terminate
+// early (step1_misses), only survivors evaluate the odd digits
+// (step2_evaluated), and matches are flagged per row.
+//
+// Match results are reported as a row bitmask (64 rows per word) so the
+// sharded table can priority-scan hits with countr_zero instead of walking
+// a std::vector<bool>.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/behavioral_array.hpp"
+#include "arch/search_scheduler.hpp"
+
+namespace fetcam::engine {
+
+/// A query packed to the shard's digit layout: bit (c & 63) of word
+/// (c >> 6) is query digit c; bits at and above `cols` are zero.
+struct PackedQuery {
+  int cols = 0;
+  std::vector<std::uint64_t> bits;
+
+  static PackedQuery pack(const arch::BitWord& query);
+};
+
+class PackedShard {
+ public:
+  /// rows entries of `cols` ternary digits, all-'X' and invalid (erased).
+  /// rows >= 0, cols > 0.
+  PackedShard(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int words_per_row() const { return words_per_row_; }
+
+  /// Store an entry (marks the row valid).
+  void write(int row, const arch::TernaryWord& entry);
+  /// Invalidate a row (content is retained, like TcamArray::erase).
+  void erase(int row);
+  bool valid(int row) const;
+  /// Reconstruct the stored word from the packed masks (exact: the packing
+  /// is lossless per digit).
+  arch::TernaryWord entry(int row) const;
+
+  /// Single-step full match (TcamArray::search semantics: invalid rows
+  /// never match).  Sets bit (r & 63) of match_mask[r >> 6] per matching
+  /// row; stats are shaped like TcamController's single-step accounting
+  /// (every row evaluates fully: step2_evaluated = rows, no step-1 misses).
+  arch::SearchStats full_match(const PackedQuery& query,
+                               std::vector<std::uint64_t>& match_mask) const;
+
+  /// Two-step early-terminating match, bit-exact vs arch::two_step_search
+  /// (match flags and SearchStats).  Requires an even word length.
+  arch::SearchStats two_step_match(const PackedQuery& query,
+                                   std::vector<std::uint64_t>& match_mask) const;
+
+  /// Convenience wrappers mirroring the behavioral API (used by the
+  /// golden-equivalence tests).
+  std::vector<bool> search(const arch::BitWord& query) const;
+  arch::ScheduledSearchResult two_step_search(const arch::BitWord& query) const;
+
+  /// Words in a row bitmask covering all rows.
+  std::size_t mask_words() const {
+    return (static_cast<std::size_t>(rows_) + 63) / 64;
+  }
+
+ private:
+  void check_row(int row) const;
+  void check_query(const PackedQuery& query) const;
+
+  int rows_;
+  int cols_;
+  int words_per_row_;
+  std::vector<std::uint64_t> care_;   ///< rows x words_per_row
+  std::vector<std::uint64_t> value_;  ///< rows x words_per_row
+  std::vector<std::uint64_t> valid_;  ///< row bitmask, 64 rows/word
+};
+
+}  // namespace fetcam::engine

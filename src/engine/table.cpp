@@ -1,0 +1,240 @@
+#include "engine/table.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace fetcam::engine {
+
+namespace {
+
+arch::WriteVoltages table_write_voltages(arch::TcamDesign design) {
+  switch (design) {
+    case arch::TcamDesign::k2SgFefet:
+    case arch::TcamDesign::k1p5SgFe:
+      return {.vw = 4.0, .vm = 3.39, .vdd = 0.8};
+    case arch::TcamDesign::k2DgFefet:
+    case arch::TcamDesign::k1p5DgFe:
+      return {.vw = 2.0, .vm = 1.66, .vdd = 0.8};
+    case arch::TcamDesign::kCmos16T:
+      return {.vw = 0.9, .vm = 0.0, .vdd = 0.8};
+  }
+  return {};
+}
+
+}  // namespace
+
+TcamTable::TcamTable(const TableConfig& config)
+    : config_(config),
+      two_step_(arch::default_op_costs(config.design).two_step),
+      write_voltages_(table_write_voltages(config.design)) {
+  if (config.mats <= 0 || config.rows_per_mat <= 0 || config.cols <= 0) {
+    throw std::invalid_argument("table needs mats, rows_per_mat, cols > 0");
+  }
+  if (two_step_ && config.cols % 2 != 0) {
+    throw std::invalid_argument(
+        "two-step design needs an even word length (table is " +
+        std::to_string(config.rows_per_mat) + " rows x " +
+        std::to_string(config.cols) + " cols per mat)");
+  }
+  if (config.subarrays_per_mat <= 0 || config.subarrays_per_mat % 2 != 0 ||
+      config.rows_per_mat % config.subarrays_per_mat != 0) {
+    throw std::invalid_argument(
+        "subarrays_per_mat must be even and divide rows_per_mat");
+  }
+  shards_.reserve(static_cast<std::size_t>(config.mats));
+  energy_.reserve(static_cast<std::size_t>(config.mats));
+  endurance_.reserve(static_cast<std::size_t>(config.mats));
+  free_rows_.resize(static_cast<std::size_t>(config.mats));
+  row_entry_.resize(static_cast<std::size_t>(config.mats));
+  for (int m = 0; m < config.mats; ++m) {
+    shards_.emplace_back(config.rows_per_mat, config.cols);
+    energy_.emplace_back(config.design, config.rows_per_mat, config.cols);
+    endurance_.emplace_back(config.design, config.rows_per_mat);
+    auto& heap = free_rows_[static_cast<std::size_t>(m)];
+    heap.reserve(static_cast<std::size_t>(config.rows_per_mat));
+    // std::greater heap pops the smallest row first.
+    for (int r = config.rows_per_mat - 1; r >= 0; --r) heap.push_back(r);
+    std::make_heap(heap.begin(), heap.end(), std::greater<>());
+    row_entry_[static_cast<std::size_t>(m)].assign(
+        static_cast<std::size_t>(config.rows_per_mat), kInvalidEntry);
+  }
+}
+
+std::size_t TcamTable::capacity() const {
+  return static_cast<std::size_t>(config_.mats) *
+         static_cast<std::size_t>(config_.rows_per_mat);
+}
+
+std::size_t TcamTable::checked_mat(int mat) const {
+  if (mat < 0 || mat >= config_.mats) {
+    throw std::out_of_range("mat out of range");
+  }
+  return static_cast<std::size_t>(mat);
+}
+
+void TcamTable::check_entry(EntryId id) const {
+  if (id < 0 || id >= static_cast<EntryId>(slots_.size()) ||
+      !slots_[static_cast<std::size_t>(id)].live) {
+    throw std::out_of_range("unknown entry id");
+  }
+}
+
+void TcamTable::write_slot(const Slot& slot, const arch::TernaryWord& entry) {
+  auto& shard = shards_[static_cast<std::size_t>(slot.mat)];
+  const arch::TernaryWord previous =
+      shard.valid(slot.row) ? shard.entry(slot.row) : arch::TernaryWord{};
+  const arch::WritePlan plan =
+      two_step_ ? arch::three_step_plan(entry, previous, write_voltages_)
+                : arch::complementary_plan(entry, write_voltages_);
+  last_write_phases_ = static_cast<int>(plan.phases.size());
+  write_pulses_ += last_write_phases_;
+  // 2FeFET designs switch every cell regardless of data; the 1.5T1Fe plans
+  // charge only switching cells (same policy as TcamController::update).
+  const int cells =
+      two_step_ ? plan.total_switching_cells() : config_.cols;
+  energy_[static_cast<std::size_t>(slot.mat)].on_write(cells);
+  endurance_[static_cast<std::size_t>(slot.mat)].on_write(slot.row);
+  shard.write(slot.row, entry);
+}
+
+EntryId TcamTable::insert(const arch::TernaryWord& entry, int priority) {
+  // Emptiest mat, lowest index on ties — deterministic spread.
+  int best = -1;
+  std::size_t best_free = 0;
+  for (int m = 0; m < config_.mats; ++m) {
+    const std::size_t free = free_rows_[static_cast<std::size_t>(m)].size();
+    if (free > best_free) {
+      best = m;
+      best_free = free;
+    }
+  }
+  if (best < 0) return kInvalidEntry;
+  auto& heap = free_rows_[static_cast<std::size_t>(best)];
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+  const int row = heap.back();
+  heap.pop_back();
+
+  const EntryId id = static_cast<EntryId>(slots_.size());
+  Slot slot;
+  slot.mat = best;
+  slot.row = row;
+  slot.priority = priority;
+  slot.live = true;
+  write_slot(slot, entry);
+  slots_.push_back(slot);
+  row_entry_[static_cast<std::size_t>(best)][static_cast<std::size_t>(row)] =
+      id;
+  ++live_;
+  return id;
+}
+
+void TcamTable::update(EntryId id, const arch::TernaryWord& entry) {
+  check_entry(id);
+  write_slot(slots_[static_cast<std::size_t>(id)], entry);
+}
+
+void TcamTable::update(EntryId id, const arch::TernaryWord& entry,
+                       int priority) {
+  check_entry(id);
+  slots_[static_cast<std::size_t>(id)].priority = priority;
+  write_slot(slots_[static_cast<std::size_t>(id)], entry);
+}
+
+void TcamTable::erase(EntryId id) {
+  check_entry(id);
+  Slot& slot = slots_[static_cast<std::size_t>(id)];
+  shards_[static_cast<std::size_t>(slot.mat)].erase(slot.row);
+  row_entry_[static_cast<std::size_t>(slot.mat)]
+            [static_cast<std::size_t>(slot.row)] = kInvalidEntry;
+  auto& heap = free_rows_[static_cast<std::size_t>(slot.mat)];
+  heap.push_back(slot.row);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>());
+  slot.live = false;
+  --live_;
+}
+
+bool TcamTable::contains(EntryId id) const {
+  return id >= 0 && id < static_cast<EntryId>(slots_.size()) &&
+         slots_[static_cast<std::size_t>(id)].live;
+}
+
+std::optional<EntryLocation> TcamTable::locate(EntryId id) const {
+  if (!contains(id)) return std::nullopt;
+  const Slot& slot = slots_[static_cast<std::size_t>(id)];
+  EntryLocation loc;
+  loc.mat = slot.mat;
+  loc.row = slot.row;
+  loc.subarray =
+      slot.row / (config_.rows_per_mat / config_.subarrays_per_mat);
+  return loc;
+}
+
+int TcamTable::priority_of(EntryId id) const {
+  check_entry(id);
+  return slots_[static_cast<std::size_t>(id)].priority;
+}
+
+void TcamTable::match(const arch::BitWord& query, MatchScratch& scratch,
+                      TableMatch& out) const {
+  out.hit = false;
+  out.entry = kInvalidEntry;
+  out.priority = 0;
+  out.stats = arch::SearchStats{};
+  out.per_mat.resize(static_cast<std::size_t>(config_.mats));
+
+  scratch.query = PackedQuery::pack(query);
+  for (int m = 0; m < config_.mats; ++m) {
+    const auto& shard = shards_[static_cast<std::size_t>(m)];
+    const arch::SearchStats s =
+        two_step_ ? shard.two_step_match(scratch.query, scratch.mask)
+                  : shard.full_match(scratch.query, scratch.mask);
+    out.per_mat[static_cast<std::size_t>(m)] = s;
+    out.stats.rows += s.rows;
+    out.stats.step1_misses += s.step1_misses;
+    out.stats.step2_evaluated += s.step2_evaluated;
+    out.stats.matches += s.matches;
+    // Priority scan over this shard's hits: lowest (priority, id) wins.
+    const auto& rows = row_entry_[static_cast<std::size_t>(m)];
+    for (std::size_t w = 0; w < scratch.mask.size(); ++w) {
+      std::uint64_t bits = scratch.mask[w];
+      while (bits != 0) {
+        const int r = static_cast<int>(w * 64) + std::countr_zero(bits);
+        bits &= bits - 1;
+        const EntryId id = rows[static_cast<std::size_t>(r)];
+        const int prio = slots_[static_cast<std::size_t>(id)].priority;
+        if (!out.hit || prio < out.priority ||
+            (prio == out.priority && id < out.entry)) {
+          out.hit = true;
+          out.entry = id;
+          out.priority = prio;
+        }
+      }
+    }
+  }
+}
+
+TableMatch TcamTable::search(const arch::BitWord& query) {
+  MatchScratch scratch;
+  TableMatch out;
+  match(query, scratch, out);
+  account_search(out);
+  return out;
+}
+
+void TcamTable::account_search(const TableMatch& m) {
+  for (int mat = 0; mat < config_.mats; ++mat) {
+    energy_[static_cast<std::size_t>(mat)].on_search(
+        m.per_mat[static_cast<std::size_t>(mat)]);
+  }
+  stats_.add(m.stats);
+}
+
+double TcamTable::total_energy_j() const {
+  double e = 0.0;
+  for (const auto& model : energy_) e += model.total_energy_j();
+  return e;
+}
+
+}  // namespace fetcam::engine

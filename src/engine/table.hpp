@@ -1,0 +1,151 @@
+// Sharded TCAM table: entries spread across N mats of bit-packed shards,
+// with free-slot allocation, global priority resolution, and per-mat
+// energy / endurance / write accounting.
+//
+// The paper's macro organization (Sec. III-C) tiles 1.5T1Fe subarrays into
+// mats; a service-scale table is many mats searched broadside: every query
+// is broadcast to all shards, each shard reports its matching rows, and the
+// table resolves the global winner by (priority, entry id).  Writes touch
+// exactly one mat — which is what makes the shared-HV-driver admission
+// model (engine.hpp) interesting: a mat that is writing cannot serve the
+// search broadcast.
+//
+// Accounting reuses the arch layer unchanged: one ArrayEnergyModel and one
+// EnduranceModel per mat, fed the same per-mat SearchStats / switching-cell
+// counts a TcamController would produce.  Matching itself is pure
+// (TcamTable::match is const and thread-safe against other match calls);
+// accounting and mutation are serial — the engine's dispatcher owns them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/endurance.hpp"
+#include "arch/energy_model.hpp"
+#include "arch/write_controller.hpp"
+#include "engine/packed_kernel.hpp"
+
+namespace fetcam::engine {
+
+/// Stable handle for a stored entry.  Monotonically increasing; never
+/// reused, so (priority, id) is a total order for deterministic
+/// tie-breaking.
+using EntryId = std::int64_t;
+constexpr EntryId kInvalidEntry = -1;
+
+struct TableConfig {
+  arch::TcamDesign design = arch::TcamDesign::k1p5DgFe;
+  int mats = 4;
+  int rows_per_mat = 64;
+  int cols = 64;
+  /// Subarrays per mat sharing HV driver banks (paper Fig. 6; must be
+  /// even).  Rows are striped contiguously: subarray = row / (rows/subs).
+  int subarrays_per_mat = 4;
+};
+
+/// Result of one broadcast search.  `stats` merges all mats; `per_mat`
+/// carries each mat's own step accounting (what its energy model charges).
+struct TableMatch {
+  bool hit = false;
+  EntryId entry = kInvalidEntry;
+  int priority = 0;
+  arch::SearchStats stats;
+  std::vector<arch::SearchStats> per_mat;
+};
+
+/// Reusable per-thread buffers for TcamTable::match (query packing + row
+/// bitmask); keeps the broadcast allocation-free on the hot path.
+struct MatchScratch {
+  PackedQuery query;
+  std::vector<std::uint64_t> mask;
+};
+
+/// Physical location of an entry (used by the driver-multiplex model).
+struct EntryLocation {
+  int mat = 0;
+  int row = 0;
+  int subarray = 0;
+};
+
+class TcamTable {
+ public:
+  explicit TcamTable(const TableConfig& config);
+
+  const TableConfig& config() const { return config_; }
+  int mats() const { return config_.mats; }
+  int cols() const { return config_.cols; }
+  bool two_step() const { return two_step_; }
+  std::size_t capacity() const;
+  std::size_t size() const { return live_; }
+
+  /// Store an entry; lower `priority` values win searches (ties resolve to
+  /// the older entry).  Allocates a free slot on the emptiest mat (lowest
+  /// mat index on ties, lowest free row within the mat — deterministic).
+  /// Returns kInvalidEntry when the table is full.
+  EntryId insert(const arch::TernaryWord& entry, int priority);
+  /// Rewrite an existing entry in place (same slot, same priority unless
+  /// given); charges the write plan like a controller update.
+  void update(EntryId id, const arch::TernaryWord& entry);
+  void update(EntryId id, const arch::TernaryWord& entry, int priority);
+  /// Remove an entry and recycle its slot (peripheral-only: no pulses).
+  void erase(EntryId id);
+  bool contains(EntryId id) const;
+  std::optional<EntryLocation> locate(EntryId id) const;
+  int priority_of(EntryId id) const;
+
+  /// Pure broadcast match: no accounting, const, safe to call from many
+  /// threads concurrently (against other match calls only).
+  void match(const arch::BitWord& query, MatchScratch& scratch,
+             TableMatch& out) const;
+
+  /// Serial convenience: match + account in one call.
+  TableMatch search(const arch::BitWord& query);
+  /// Charge one broadcast search's energy/stats (serial; the engine calls
+  /// this in request order after the parallel match phase).
+  void account_search(const TableMatch& m);
+
+  const PackedShard& shard(int mat) const { return shards_[checked_mat(mat)]; }
+  const arch::ArrayEnergyModel& energy(int mat) const {
+    return energy_[checked_mat(mat)];
+  }
+  const arch::EnduranceModel& endurance(int mat) const {
+    return endurance_[checked_mat(mat)];
+  }
+  const arch::SearchStatsAccumulator& search_stats() const { return stats_; }
+  long long write_pulses() const { return write_pulses_; }
+  /// Write phases the last insert/update issued (driver-occupancy model).
+  int last_write_phases() const { return last_write_phases_; }
+  double total_energy_j() const;
+
+ private:
+  struct Slot {
+    int mat = -1;
+    int row = -1;
+    int priority = 0;
+    bool live = false;
+  };
+
+  std::size_t checked_mat(int mat) const;
+  void check_entry(EntryId id) const;
+  void write_slot(const Slot& slot, const arch::TernaryWord& entry);
+
+  TableConfig config_;
+  bool two_step_;
+  arch::WriteVoltages write_voltages_;
+  std::vector<PackedShard> shards_;
+  std::vector<arch::ArrayEnergyModel> energy_;
+  std::vector<arch::EnduranceModel> endurance_;
+  arch::SearchStatsAccumulator stats_;
+  /// Per-mat min-heaps of free rows (smallest row first).
+  std::vector<std::vector<int>> free_rows_;
+  /// Slot table indexed by EntryId (monotonic; erased slots stay dead).
+  std::vector<Slot> slots_;
+  /// Per (mat, row): the EntryId currently stored there (priority scan).
+  std::vector<std::vector<EntryId>> row_entry_;
+  std::size_t live_ = 0;
+  long long write_pulses_ = 0;
+  int last_write_phases_ = 0;
+};
+
+}  // namespace fetcam::engine

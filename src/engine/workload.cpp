@@ -1,0 +1,315 @@
+#include "engine/workload.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+namespace fetcam::engine {
+
+namespace {
+
+// Counter-based RNG streams (util/rng.hpp convention): one stream per
+// consumer so adding draws to one never perturbs another.
+constexpr std::uint64_t kRuleStream = 0;
+constexpr std::uint64_t kQueryStream = 1;
+constexpr std::uint64_t kUpdateStream = 2;
+
+arch::BitWord random_bits(std::mt19937& rng, int cols) {
+  std::uniform_int_distribution<int> bit(0, 1);
+  arch::BitWord q(static_cast<std::size_t>(cols));
+  for (auto& b : q) b = static_cast<std::uint8_t>(bit(rng));
+  return q;
+}
+
+TraceRule make_ip_prefix_rule(std::mt19937& rng, int cols) {
+  // Prefix-length mix loosely shaped like a routing table: a few short
+  // (default-ish) routes, a body of mid-length prefixes, a tail of
+  // near-host routes.  Priority = cols - length, so longer prefixes win.
+  std::uniform_int_distribution<int> bucket(0, 9);
+  const int b = bucket(rng);
+  int len;
+  if (b == 0) {
+    len = std::uniform_int_distribution<int>(0, cols / 4)(rng);
+  } else if (b <= 6) {
+    len = std::uniform_int_distribution<int>(cols / 2, 3 * cols / 4)(rng);
+  } else {
+    len = std::uniform_int_distribution<int>(3 * cols / 4, cols)(rng);
+  }
+  std::uniform_int_distribution<int> bit(0, 1);
+  TraceRule r;
+  r.entry.reserve(static_cast<std::size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    if (c < len) {
+      r.entry.push_back(bit(rng) != 0 ? arch::Ternary::kOne
+                                      : arch::Ternary::kZero);
+    } else {
+      r.entry.push_back(arch::Ternary::kX);
+    }
+  }
+  r.priority = cols - len;
+  return r;
+}
+
+TraceRule make_classifier_rule(std::mt19937& rng, int cols) {
+  // Four fields (src / dst / proto / port -like), whole-field wildcards;
+  // priority = wildcarded fields, so more specific rules win.
+  const int base = cols / 4;
+  const int rem = cols % 4;
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<int> bit(0, 1);
+  TraceRule r;
+  r.entry.reserve(static_cast<std::size_t>(cols));
+  for (int f = 0; f < 4; ++f) {
+    const int width = base + (f < rem ? 1 : 0);
+    const bool wild = u(rng) < 0.3;
+    if (wild) ++r.priority;
+    for (int c = 0; c < width; ++c) {
+      if (wild) {
+        r.entry.push_back(arch::Ternary::kX);
+      } else {
+        r.entry.push_back(bit(rng) != 0 ? arch::Ternary::kOne
+                                        : arch::Ternary::kZero);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kIpPrefix: return "ip-prefix";
+    case TraceKind::kClassifier: return "classifier";
+  }
+  return "?";
+}
+
+Trace generate_trace(const TraceSpec& spec) {
+  if (spec.cols <= 0 || spec.rules < 0 || spec.queries < 0) {
+    throw std::invalid_argument("trace spec needs cols > 0 and counts >= 0");
+  }
+  Trace trace;
+  trace.cols = spec.cols;
+  trace.rules.reserve(static_cast<std::size_t>(spec.rules));
+  for (int i = 0; i < spec.rules; ++i) {
+    auto rng = util::trial_rng(spec.seed, static_cast<std::uint64_t>(i),
+                               kRuleStream);
+    trace.rules.push_back(spec.kind == TraceKind::kIpPrefix
+                              ? make_ip_prefix_rule(rng, spec.cols)
+                              : make_classifier_rule(rng, spec.cols));
+  }
+  trace.queries.reserve(static_cast<std::size_t>(spec.queries));
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<int> bit(0, 1);
+  for (int j = 0; j < spec.queries; ++j) {
+    auto rng = util::trial_rng(spec.seed, static_cast<std::uint64_t>(j),
+                               kQueryStream);
+    if (!trace.rules.empty() && u(rng) < spec.match_rate) {
+      // Derive from a stored rule: exact digits copied, 'X' digits drawn
+      // at random — guaranteed to match at least that rule.
+      const std::size_t r = std::uniform_int_distribution<std::size_t>(
+          0, trace.rules.size() - 1)(rng);
+      const auto& entry = trace.rules[r].entry;
+      arch::BitWord q(static_cast<std::size_t>(spec.cols));
+      for (std::size_t c = 0; c < q.size(); ++c) {
+        switch (entry[c]) {
+          case arch::Ternary::kOne: q[c] = 1; break;
+          case arch::Ternary::kZero: q[c] = 0; break;
+          case arch::Ternary::kX:
+            q[c] = static_cast<std::uint8_t>(bit(rng));
+            break;
+        }
+      }
+      trace.queries.push_back(std::move(q));
+    } else {
+      trace.queries.push_back(random_bits(rng, spec.cols));
+    }
+  }
+  return trace;
+}
+
+bool save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "# fetcam engine trace v1\n";
+  f << "cols " << trace.cols << "\n";
+  for (const auto& r : trace.rules) {
+    f << "rule " << arch::to_string(r.entry) << " " << r.priority << "\n";
+  }
+  for (const auto& q : trace.queries) {
+    f << "query " << arch::to_string(q) << "\n";
+  }
+  return f.good();
+}
+
+std::optional<Trace> load_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  Trace trace;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag == "cols") {
+      if (!(is >> trace.cols) || trace.cols <= 0) return std::nullopt;
+    } else if (tag == "rule") {
+      std::string word;
+      int priority = 0;
+      if (!(is >> word >> priority)) return std::nullopt;
+      TraceRule r;
+      try {
+        r.entry = arch::word_from_string(word);
+      } catch (const std::invalid_argument&) {
+        return std::nullopt;
+      }
+      if (static_cast<int>(r.entry.size()) != trace.cols) return std::nullopt;
+      r.priority = priority;
+      trace.rules.push_back(std::move(r));
+    } else if (tag == "query") {
+      std::string word;
+      if (!(is >> word)) return std::nullopt;
+      arch::BitWord q;
+      try {
+        q = arch::bits_from_string(word);
+      } catch (const std::invalid_argument&) {
+        return std::nullopt;
+      }
+      if (static_cast<int>(q.size()) != trace.cols) return std::nullopt;
+      trace.queries.push_back(std::move(q));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (trace.cols <= 0) return std::nullopt;
+  return trace;
+}
+
+std::vector<EntryId> load_rules(TcamTable& table, const Trace& trace) {
+  if (trace.rules.size() > table.capacity()) {
+    throw std::invalid_argument("table too small for trace rules");
+  }
+  std::vector<EntryId> ids;
+  ids.reserve(trace.rules.size());
+  for (const auto& r : trace.rules) {
+    const EntryId id = table.insert(r.entry, r.priority);
+    if (id == kInvalidEntry) {
+      throw std::runtime_error("table full while loading rules");
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+RunSummary run_trace(SearchEngine& engine, const TcamTable& table,
+                     const Trace& trace, const std::vector<EntryId>& rule_ids,
+                     const RunOptions& options) {
+  RunSummary sum;
+  const double energy_before = table.total_energy_j();
+  const int batch_size = options.batch_size > 0 ? options.batch_size : 256;
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+
+  // Build all batches first (request kinds are needed again when the
+  // results come back, to count hits over searches only).
+  std::vector<std::vector<Request>> batches;
+  std::vector<std::vector<RequestKind>> kinds;
+  std::vector<Request> batch;
+  std::vector<RequestKind> batch_kinds;
+  batch.reserve(static_cast<std::size_t>(batch_size));
+  for (std::size_t j = 0; j < trace.queries.size(); ++j) {
+    bool is_update = false;
+    if (options.update_rate > 0.0 && !rule_ids.empty()) {
+      auto rng = util::trial_rng(options.seed, static_cast<std::uint64_t>(j),
+                                 kUpdateStream);
+      if (u(rng) < options.update_rate) {
+        // Rule refresh: rewrite a stored rule in place (the classic TCAM
+        // table-maintenance write) — driver-multiplex pressure without
+        // changing what later queries match.
+        const std::size_t r = std::uniform_int_distribution<std::size_t>(
+            0, rule_ids.size() - 1)(rng);
+        batch.push_back(make_update(rule_ids[r], trace.rules[r].entry));
+        is_update = true;
+      }
+    }
+    if (!is_update) batch.push_back(make_search(trace.queries[j]));
+    batch_kinds.push_back(batch.back().kind);
+    if (static_cast<int>(batch.size()) == batch_size) {
+      batches.push_back(std::move(batch));
+      kinds.push_back(std::move(batch_kinds));
+      batch.clear();
+      batch_kinds.clear();
+      batch.reserve(static_cast<std::size_t>(batch_size));
+    }
+  }
+  if (!batch.empty()) {
+    batches.push_back(std::move(batch));
+    kinds.push_back(std::move(batch_kinds));
+  }
+
+  // Submit everything (bounded queue applies backpressure), then collect
+  // in order.
+  const double t0 = obs::now_us();
+  std::vector<std::future<BatchResult>> futures;
+  futures.reserve(batches.size());
+  for (auto& b : batches) futures.push_back(engine.submit(std::move(b)));
+
+  std::vector<double> batch_wall_us;
+  batch_wall_us.reserve(futures.size());
+  long long rows_searched = 0;
+  long long step1_misses = 0;
+  for (std::size_t b = 0; b < futures.size(); ++b) {
+    const BatchResult res = futures[b].get();
+    ++sum.batches;
+    sum.requests += res.results.size();
+    sum.driver_stalls += res.driver_stalls;
+    sum.write_cycles += res.write_cycles;
+    sum.model_time_s += res.model_latency_s;
+    rows_searched += res.stats.rows;
+    step1_misses += res.stats.step1_misses;
+    batch_wall_us.push_back(res.wall_us);
+    for (std::size_t i = 0; i < res.results.size(); ++i) {
+      if (kinds[b][i] == RequestKind::kSearch) {
+        ++sum.searches;
+        if (res.results[i].hit) ++sum.hits;
+      } else if (kinds[b][i] == RequestKind::kUpdate) {
+        ++sum.writes;
+      }
+    }
+  }
+  sum.wall_s = (obs::now_us() - t0) * 1e-6;
+
+  sum.hit_rate = sum.searches > 0
+                     ? static_cast<double>(sum.hits) /
+                           static_cast<double>(sum.searches)
+                     : 0.0;
+  sum.step1_miss_rate =
+      rows_searched > 0
+          ? static_cast<double>(step1_misses) /
+                static_cast<double>(rows_searched)
+          : 0.0;
+  sum.energy_j = table.total_energy_j() - energy_before;
+  sum.energy_per_search_j =
+      sum.searches > 0 ? sum.energy_j / static_cast<double>(sum.searches)
+                       : 0.0;
+  sum.qps = sum.wall_s > 0.0
+                ? static_cast<double>(sum.searches) / sum.wall_s
+                : 0.0;
+  if (!batch_wall_us.empty()) {
+    std::sort(batch_wall_us.begin(), batch_wall_us.end());
+    sum.p50_batch_us = batch_wall_us[batch_wall_us.size() / 2];
+    sum.p99_batch_us =
+        batch_wall_us[(batch_wall_us.size() * 99) / 100 >=
+                              batch_wall_us.size()
+                          ? batch_wall_us.size() - 1
+                          : (batch_wall_us.size() * 99) / 100];
+  }
+  return sum;
+}
+
+}  // namespace fetcam::engine

@@ -1,0 +1,109 @@
+// Workload layer for the TCAM service engine: seeded trace generation,
+// trace file I/O, and a shared trace-driven run harness.
+//
+// Traces model the two applications the paper's introduction cites for
+// associative search:
+//   * kIpPrefix — longest-prefix-match routing: rules are bit prefixes
+//     with 'X' host bits; priority = cols - prefix_length so the longest
+//     prefix wins the (priority, id) resolution.
+//   * kClassifier — packet classification: the word is split into four
+//     fields (addresses / proto / port -like); each rule wildcards whole
+//     fields; priority = number of wildcarded fields (more specific wins).
+//
+// Generation is counter-keyed per rule / per query (util::trial_rng), so a
+// trace is a pure function of its spec: reordering generation, threading,
+// or appending queries never changes existing entries.  The match rate is
+// tunable: a `match_rate` fraction of queries is derived from a stored
+// rule (its 'X' digits randomized), the rest drawn uniformly — low rates
+// reproduce the >90 % step-1 miss regime the paper's early-termination
+// energy argument assumes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/table.hpp"
+
+namespace fetcam::engine {
+
+enum class TraceKind : std::uint8_t { kIpPrefix, kClassifier };
+
+std::string trace_kind_name(TraceKind kind);
+
+struct TraceSpec {
+  TraceKind kind = TraceKind::kIpPrefix;
+  int cols = 32;       ///< word width (even for two-step designs)
+  int rules = 256;
+  int queries = 10000;
+  double match_rate = 0.25;  ///< fraction of queries derived from a rule
+  std::uint64_t seed = 1;
+};
+
+struct TraceRule {
+  arch::TernaryWord entry;
+  int priority = 0;
+};
+
+struct Trace {
+  int cols = 0;
+  std::vector<TraceRule> rules;
+  std::vector<arch::BitWord> queries;
+};
+
+/// Deterministic generation: same spec, same trace — bit-for-bit.
+Trace generate_trace(const TraceSpec& spec);
+
+/// Plain-text trace format:
+///   # comment
+///   cols <n>
+///   rule <ternary-string> <priority>
+///   query <bit-string>
+bool save_trace(const Trace& trace, const std::string& path);
+std::optional<Trace> load_trace(const std::string& path);
+
+/// Options for driving one trace through an engine.
+struct RunOptions {
+  int batch_size = 256;
+  /// Fraction of batch slots converted into rule rewrites (driver-multiplex
+  /// pressure); chosen counter-keyed on (seed, request index).
+  double update_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate report of one trace run.  All fields are deterministic except
+/// the wall-clock-derived ones (wall_s, qps, p50/p99), which exist for
+/// throughput reporting only.
+struct RunSummary {
+  std::uint64_t requests = 0;
+  std::uint64_t searches = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t hits = 0;
+  double hit_rate = 0.0;
+  double step1_miss_rate = 0.0;
+  double energy_j = 0.0;            ///< table total (searches + writes)
+  double energy_per_search_j = 0.0;
+  long long driver_stalls = 0;
+  long long write_cycles = 0;
+  double model_time_s = 0.0;        ///< admission-model latency sum
+  double wall_s = 0.0;              ///< measured (not deterministic)
+  double qps = 0.0;                 ///< searches / wall_s
+  double p50_batch_us = 0.0;
+  double p99_batch_us = 0.0;
+};
+
+/// Load the trace's rules into `table` (in rule order) and return their
+/// entry ids.  Throws if the table is too small.
+std::vector<EntryId> load_rules(TcamTable& table, const Trace& trace);
+
+/// Drive the trace's queries through `engine` in batches, optionally
+/// interleaving rule rewrites, and summarize.  `rule_ids` is the mapping
+/// returned by load_rules.
+RunSummary run_trace(SearchEngine& engine, const TcamTable& table,
+                     const Trace& trace, const std::vector<EntryId>& rule_ids,
+                     const RunOptions& options);
+
+}  // namespace fetcam::engine

@@ -47,7 +47,8 @@ namespace {
 
 bool is_solver_health(const std::string& name) {
   for (const char* prefix :
-       {"newton.", "lu.", "op.", "transient.", "dcsweep.", "eval."}) {
+       {"newton.", "lu.", "op.", "transient.", "dcsweep.", "eval.",
+        "engine."}) {
     if (name.compare(0, std::strlen(prefix), prefix) == 0) return true;
   }
   return false;

@@ -56,7 +56,18 @@ TEST(TcamArray, BoundsChecking) {
   EXPECT_THROW(a.write(-1, word_from_string("00")), std::out_of_range);
   EXPECT_THROW(a.write(0, word_from_string("000")), std::invalid_argument);
   EXPECT_THROW(a.search(bits_from_string("0")), std::invalid_argument);
-  EXPECT_THROW(TcamArray(0, 4), std::invalid_argument);
+  EXPECT_THROW(TcamArray(-1, 4), std::invalid_argument);
+  EXPECT_THROW(TcamArray(4, 0), std::invalid_argument);
+}
+
+TEST(TcamArray, ZeroRowArrayIsEmptyAndMatchesNothing) {
+  TcamArray a(0, 4);
+  EXPECT_EQ(a.rows(), 0);
+  EXPECT_TRUE(a.search(bits_from_string("0101")).empty());
+  EXPECT_FALSE(a.first_match(bits_from_string("0101")).has_value());
+  EXPECT_TRUE(a.all_matches(bits_from_string("0101")).empty());
+  EXPECT_THROW(a.write(0, word_from_string("0101")), std::out_of_range);
+  EXPECT_THROW(a.valid(0), std::out_of_range);
 }
 
 // Property: search agrees with per-row word_matches on random content.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <string>
 
 namespace fetcam::arch {
 namespace {
@@ -52,6 +53,40 @@ TEST(TwoStepSearch, RequiresEvenWordLength) {
   a.write(0, word_from_string("000"));
   EXPECT_THROW(two_step_search(a, bits_from_string("000")),
                std::invalid_argument);
+}
+
+TEST(TwoStepSearch, OddWordLengthErrorNamesTheArrayShape) {
+  TcamArray a(5, 7);
+  try {
+    two_step_search(a, BitWord(7, 0));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("5 rows"), std::string::npos) << what;
+    EXPECT_NE(what.find("7 cols"), std::string::npos) << what;
+  }
+}
+
+TEST(TwoStepSearch, ZeroRowArrayReportsEmptyStats) {
+  TcamArray a(0, 4);
+  const auto res = two_step_search(a, bits_from_string("0101"));
+  EXPECT_TRUE(res.matches.empty());
+  EXPECT_EQ(res.stats.rows, 0);
+  EXPECT_EQ(res.stats.step1_misses, 0);
+  EXPECT_EQ(res.stats.step2_evaluated, 0);
+  EXPECT_EQ(res.stats.matches, 0);
+  // The miss-rate helper must not divide by zero on an empty array.
+  EXPECT_EQ(res.stats.step1_miss_rate(), 0.0);
+}
+
+TEST(TwoStepSearch, AllInvalidArrayMissesEverythingInStep1) {
+  TcamArray a(6, 4);  // no row ever written
+  const auto res = two_step_search(a, bits_from_string("0000"));
+  EXPECT_EQ(res.stats.rows, 6);
+  EXPECT_EQ(res.stats.step1_misses, 6);
+  EXPECT_EQ(res.stats.step2_evaluated, 0);
+  EXPECT_EQ(res.stats.matches, 0);
+  EXPECT_EQ(res.stats.step1_miss_rate(), 1.0);
 }
 
 TEST(TwoStepSearch, StatsAccumulator) {

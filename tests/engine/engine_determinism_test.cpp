@@ -1,0 +1,255 @@
+// SearchEngine thread-count-invariance golden tests (same contract as
+// eval/variability_determinism_test): batch results, table contents,
+// energy/endurance totals, and search statistics must be BIT-IDENTICAL
+// for 1, 2, and 8 worker threads at a fixed seed.  wall_us is the one
+// field outside the contract.
+//
+// All comparisons are exact (EXPECT_EQ on doubles, deliberately): any
+// schedule-ordered accumulation in the engine would fail here.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/table.hpp"
+#include "engine/workload.hpp"
+#include "util/parallel.hpp"
+
+namespace fetcam::engine {
+namespace {
+
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+TableConfig test_config() {
+  TableConfig cfg;
+  cfg.design = arch::TcamDesign::k1p5DgFe;
+  cfg.mats = 4;
+  cfg.rows_per_mat = 32;
+  cfg.cols = 16;
+  cfg.subarrays_per_mat = 4;
+  return cfg;
+}
+
+TraceSpec test_spec() {
+  TraceSpec spec;
+  spec.kind = TraceKind::kIpPrefix;
+  spec.cols = 16;
+  spec.rules = 96;
+  spec.queries = 600;
+  spec.match_rate = 0.4;
+  spec.seed = 42;
+  return spec;
+}
+
+struct RunOutcome {
+  std::vector<BatchResult> batches;
+  double table_energy_j = 0.0;
+  long long write_pulses = 0;
+  std::vector<std::uint64_t> mat_writes;
+  double step1_miss_rate = 0.0;
+  long long driver_stalls = 0;
+  long long driver_cycles = 0;
+  double model_time_s = 0.0;
+};
+
+/// Build a fresh table + engine, drive the same batched workload, and
+/// capture everything the determinism contract covers.
+RunOutcome run_workload() {
+  const Trace trace = generate_trace(test_spec());
+  TcamTable table(test_config());
+  const auto ids = load_rules(table, trace);
+
+  RunOutcome out;
+  {
+    EngineOptions opts;
+    opts.queue_capacity = 4;
+    SearchEngine engine(table, opts);
+    std::vector<std::future<BatchResult>> futures;
+    std::vector<Request> batch;
+    for (std::size_t q = 0; q < trace.queries.size(); ++q) {
+      batch.push_back(make_search(trace.queries[q]));
+      // Sprinkle writes/erases to exercise the driver-multiplex path and
+      // the serial apply order.
+      if (q % 37 == 5) {
+        const std::size_t r = q % ids.size();
+        batch.push_back(make_update(ids[r], trace.rules[r].entry));
+      }
+      if (batch.size() >= 64) {
+        futures.push_back(engine.submit(std::move(batch)));
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) futures.push_back(engine.submit(std::move(batch)));
+    for (auto& f : futures) out.batches.push_back(f.get());
+    out.driver_stalls = engine.driver_stalls();
+    out.driver_cycles = engine.driver_cycles();
+    out.model_time_s = engine.model_time_s();
+  }
+  out.table_energy_j = table.total_energy_j();
+  out.write_pulses = table.write_pulses();
+  for (int m = 0; m < table.mats(); ++m) {
+    out.mat_writes.push_back(table.endurance(m).total_writes());
+  }
+  out.step1_miss_rate = table.search_stats().step1_miss_rate();
+  return out;
+}
+
+void expect_identical(const RunOutcome& a, const RunOutcome& golden,
+                      int threads) {
+  ASSERT_EQ(a.batches.size(), golden.batches.size()) << threads << " threads";
+  for (std::size_t b = 0; b < a.batches.size(); ++b) {
+    const auto& ba = a.batches[b];
+    const auto& bg = golden.batches[b];
+    EXPECT_EQ(ba.seq, bg.seq) << threads << " threads, batch " << b;
+    ASSERT_EQ(ba.results.size(), bg.results.size())
+        << threads << " threads, batch " << b;
+    for (std::size_t r = 0; r < ba.results.size(); ++r) {
+      EXPECT_EQ(ba.results[r].hit, bg.results[r].hit)
+          << threads << " threads, batch " << b << ", req " << r;
+      EXPECT_EQ(ba.results[r].entry, bg.results[r].entry)
+          << threads << " threads, batch " << b << ", req " << r;
+      EXPECT_EQ(ba.results[r].priority, bg.results[r].priority)
+          << threads << " threads, batch " << b << ", req " << r;
+    }
+    EXPECT_EQ(ba.stats.rows, bg.stats.rows);
+    EXPECT_EQ(ba.stats.step1_misses, bg.stats.step1_misses)
+        << threads << " threads, batch " << b;
+    EXPECT_EQ(ba.stats.step2_evaluated, bg.stats.step2_evaluated)
+        << threads << " threads, batch " << b;
+    EXPECT_EQ(ba.stats.matches, bg.stats.matches)
+        << threads << " threads, batch " << b;
+    EXPECT_EQ(ba.driver_stalls, bg.driver_stalls)
+        << threads << " threads, batch " << b;
+    EXPECT_EQ(ba.write_cycles, bg.write_cycles)
+        << threads << " threads, batch " << b;
+    EXPECT_EQ(ba.model_latency_s, bg.model_latency_s)
+        << threads << " threads, batch " << b;
+  }
+  EXPECT_EQ(a.table_energy_j, golden.table_energy_j) << threads << " threads";
+  EXPECT_EQ(a.write_pulses, golden.write_pulses) << threads << " threads";
+  EXPECT_EQ(a.mat_writes, golden.mat_writes) << threads << " threads";
+  EXPECT_EQ(a.step1_miss_rate, golden.step1_miss_rate)
+      << threads << " threads";
+  EXPECT_EQ(a.driver_stalls, golden.driver_stalls) << threads << " threads";
+  EXPECT_EQ(a.driver_cycles, golden.driver_cycles) << threads << " threads";
+  EXPECT_EQ(a.model_time_s, golden.model_time_s) << threads << " threads";
+}
+
+class ThreadSweep {
+ public:
+  ~ThreadSweep() { util::set_thread_count(0); }
+  template <typename Fn>
+  void check(Fn&& run_and_compare) {
+    for (const int threads : kThreadCounts) {
+      util::set_thread_count(threads);
+      run_and_compare(threads);
+    }
+  }
+};
+
+TEST(EngineDeterminism, BatchResultsInvariantAcrossThreadCounts) {
+  util::set_thread_count(1);
+  const RunOutcome golden = run_workload();
+  ASSERT_FALSE(golden.batches.empty());
+  ThreadSweep sweep;
+  sweep.check(
+      [&](int threads) { expect_identical(run_workload(), golden, threads); });
+}
+
+TEST(EngineDeterminism, ProducerInterleavingDoesNotChangeBatchResults) {
+  // Two producers racing distinct batches: each batch's RESULT depends only
+  // on the submission order (seq), which submit() hands out atomically.
+  // Here every batch is a pure search batch against a frozen table, so
+  // results must equal the serial single-producer run regardless of which
+  // producer won each seq slot.
+  const Trace trace = generate_trace(test_spec());
+  TcamTable table(test_config());
+  load_rules(table, trace);
+
+  // Golden: serial submission.
+  std::vector<BatchResult> golden;
+  {
+    SearchEngine engine(table);
+    for (std::size_t q = 0; q + 4 <= trace.queries.size(); q += 4) {
+      std::vector<Request> batch;
+      for (std::size_t k = 0; k < 4; ++k) {
+        batch.push_back(make_search(trace.queries[q + k]));
+      }
+      golden.push_back(engine.execute(std::move(batch)));
+    }
+  }
+
+  // Racy: two producers, batches land in some interleaved seq order.
+  std::vector<std::future<BatchResult>> futures(golden.size());
+  {
+    SearchEngine engine(table);
+    std::mutex mu;  // protects futures slot assignment only
+    auto produce = [&](std::size_t first, std::size_t last) {
+      for (std::size_t b = first; b < last; ++b) {
+        std::vector<Request> batch;
+        for (std::size_t k = 0; k < 4; ++k) {
+          batch.push_back(make_search(trace.queries[b * 4 + k]));
+        }
+        auto f = engine.submit(std::move(batch));
+        const std::lock_guard<std::mutex> lock(mu);
+        futures[b] = std::move(f);
+      }
+    };
+    std::thread t1(produce, 0, golden.size() / 2);
+    std::thread t2(produce, golden.size() / 2, golden.size());
+    t1.join();
+    t2.join();
+    for (std::size_t b = 0; b < golden.size(); ++b) {
+      const BatchResult res = futures[b].get();
+      ASSERT_EQ(res.results.size(), golden[b].results.size());
+      for (std::size_t r = 0; r < res.results.size(); ++r) {
+        EXPECT_EQ(res.results[r].hit, golden[b].results[r].hit)
+            << "batch " << b << ", req " << r;
+        EXPECT_EQ(res.results[r].entry, golden[b].results[r].entry)
+            << "batch " << b << ", req " << r;
+      }
+    }
+  }
+}
+
+TEST(EngineDeterminism, SubmitAfterShutdownFailsCleanly) {
+  TcamTable table(test_config());
+  auto engine = std::make_unique<SearchEngine>(table);
+  engine->drain();
+  // Destroy and rebuild: futures from a dead engine must not hang.
+  engine.reset();
+  SearchEngine fresh(table);
+  const auto res =
+      fresh.execute({make_search(arch::BitWord(16, 0))});
+  EXPECT_EQ(res.results.size(), 1u);
+}
+
+TEST(EngineDeterminism, TelemetryCountsRequests) {
+  const Trace trace = generate_trace(test_spec());
+  TcamTable table(test_config());
+  const auto ids = load_rules(table, trace);
+  SearchEngine engine(table);
+  std::vector<Request> batch;
+  batch.push_back(make_search(trace.queries[0]));
+  batch.push_back(make_search(trace.queries[1]));
+  batch.push_back(make_update(ids[0], trace.rules[0].entry));
+  const auto res = engine.execute(std::move(batch));
+  EXPECT_EQ(engine.batches(), 1u);
+  EXPECT_EQ(engine.requests(), 3u);
+  EXPECT_EQ(engine.searches(), 2u);
+  EXPECT_EQ(engine.writes(), 1u);
+  EXPECT_GT(engine.model_time_s(), 0.0);
+  EXPECT_GT(res.write_cycles, 0) << "the update costs write cycles";
+  EXPECT_GT(res.model_latency_s, 0.0);
+  for (int m = 0; m < table.mats(); ++m) {
+    EXPECT_GE(engine.mat_utilization(m), 0.0);
+    EXPECT_LE(engine.mat_utilization(m), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fetcam::engine

@@ -1,0 +1,256 @@
+// Sharded TcamTable: allocation, priority resolution, accounting, and
+// golden equivalence of the broadcast match against a flat behavioral
+// reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+#include "arch/behavioral_array.hpp"
+#include "engine/table.hpp"
+#include "util/rng.hpp"
+
+namespace fetcam::engine {
+namespace {
+
+arch::TernaryWord from_string(const std::string& s) {
+  arch::TernaryWord w;
+  for (const char c : s) {
+    w.push_back(c == '1'   ? arch::Ternary::kOne
+                : c == '0' ? arch::Ternary::kZero
+                           : arch::Ternary::kX);
+  }
+  return w;
+}
+
+arch::BitWord bits(const std::string& s) {
+  arch::BitWord q;
+  for (const char c : s) q.push_back(c == '1' ? 1 : 0);
+  return q;
+}
+
+TableConfig small_config() {
+  TableConfig cfg;
+  cfg.design = arch::TcamDesign::k1p5DgFe;
+  cfg.mats = 2;
+  cfg.rows_per_mat = 8;
+  cfg.cols = 8;
+  cfg.subarrays_per_mat = 2;
+  return cfg;
+}
+
+TEST(TcamTable, ValidatesConfig) {
+  TableConfig cfg = small_config();
+  cfg.cols = 7;  // two-step design needs an even word
+  EXPECT_THROW(TcamTable{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.subarrays_per_mat = 3;  // driver banks pair subarrays
+  EXPECT_THROW(TcamTable{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.rows_per_mat = 6;
+  cfg.subarrays_per_mat = 4;  // must divide rows
+  EXPECT_THROW(TcamTable{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.mats = 0;
+  EXPECT_THROW(TcamTable{cfg}, std::invalid_argument);
+}
+
+TEST(TcamTable, InsertSpreadsAcrossMatsAndRecyclesSlots) {
+  TcamTable t(small_config());
+  EXPECT_EQ(t.capacity(), 16u);
+  const auto a = t.insert(from_string("0000XXXX"), 1);
+  const auto b = t.insert(from_string("1111XXXX"), 2);
+  // Emptiest-mat allocation: second insert lands on the other mat.
+  ASSERT_TRUE(t.locate(a).has_value());
+  ASSERT_TRUE(t.locate(b).has_value());
+  EXPECT_EQ(t.locate(a)->mat, 0);
+  EXPECT_EQ(t.locate(a)->row, 0);
+  EXPECT_EQ(t.locate(b)->mat, 1);
+  EXPECT_EQ(t.locate(b)->row, 0);
+  EXPECT_EQ(t.size(), 2u);
+
+  t.erase(a);
+  EXPECT_FALSE(t.contains(a));
+  EXPECT_EQ(t.size(), 1u);
+  // The freed slot (mat 0, row 0 — lowest row of the emptiest mat) is
+  // reused deterministically.
+  const auto c = t.insert(from_string("0101XXXX"), 3);
+  EXPECT_EQ(t.locate(c)->mat, 0);
+  EXPECT_EQ(t.locate(c)->row, 0);
+  EXPECT_NE(c, a);  // ids are never recycled
+}
+
+TEST(TcamTable, FullTableReturnsInvalidEntry) {
+  TableConfig cfg = small_config();
+  cfg.mats = 1;
+  cfg.rows_per_mat = 2;
+  TcamTable t(cfg);
+  EXPECT_NE(t.insert(from_string("0000XXXX"), 0), kInvalidEntry);
+  EXPECT_NE(t.insert(from_string("1111XXXX"), 0), kInvalidEntry);
+  EXPECT_EQ(t.insert(from_string("01XXXXXX"), 0), kInvalidEntry);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TcamTable, PriorityResolutionLowestWinsTiesToOlder) {
+  TcamTable t(small_config());
+  const auto broad = t.insert(from_string("1XXXXXXX"), 10);
+  const auto narrow = t.insert(from_string("10110000"), 2);
+  const auto same_a = t.insert(from_string("1011XXXX"), 5);
+  const auto same_b = t.insert(from_string("101100XX"), 5);
+
+  auto m = t.search(bits("10110000"));
+  EXPECT_TRUE(m.hit);
+  EXPECT_EQ(m.entry, narrow);
+  EXPECT_EQ(m.priority, 2);
+
+  t.erase(narrow);
+  m = t.search(bits("10110000"));
+  EXPECT_TRUE(m.hit);
+  EXPECT_EQ(m.entry, same_a) << "tie resolves to the older entry";
+
+  t.erase(same_a);
+  t.erase(same_b);
+  m = t.search(bits("10110000"));
+  EXPECT_EQ(m.entry, broad);
+
+  m = t.search(bits("01110000"));
+  EXPECT_FALSE(m.hit);
+  EXPECT_EQ(m.entry, kInvalidEntry);
+}
+
+TEST(TcamTable, UpdateRewritesInPlaceAndCanChangePriority) {
+  TcamTable t(small_config());
+  const auto id = t.insert(from_string("0000XXXX"), 4);
+  const auto loc = *t.locate(id);
+  t.update(id, from_string("1111XXXX"));
+  EXPECT_EQ(t.locate(id)->mat, loc.mat);
+  EXPECT_EQ(t.locate(id)->row, loc.row);
+  EXPECT_EQ(t.priority_of(id), 4);
+  EXPECT_FALSE(t.search(bits("00001111")).hit);
+  EXPECT_TRUE(t.search(bits("11110000")).hit);
+
+  t.update(id, from_string("1111XXXX"), 7);
+  EXPECT_EQ(t.priority_of(id), 7);
+
+  EXPECT_THROW(t.update(kInvalidEntry, from_string("0000XXXX")),
+               std::out_of_range);
+  t.erase(id);
+  EXPECT_THROW(t.update(id, from_string("0000XXXX")), std::out_of_range);
+}
+
+TEST(TcamTable, MatchIsPureAndSearchAccounts) {
+  TcamTable t(small_config());
+  t.insert(from_string("1011XXXX"), 1);
+  const double e_writes = t.total_energy_j();
+  EXPECT_GT(e_writes, 0.0) << "inserts charge write energy";
+  EXPECT_GT(t.write_pulses(), 0);
+  EXPECT_EQ(t.last_write_phases(), 3) << "1.5T1Fe writes are three-phase";
+
+  MatchScratch scratch;
+  TableMatch m;
+  t.match(bits("10110000"), scratch, m);
+  EXPECT_TRUE(m.hit);
+  EXPECT_EQ(t.total_energy_j(), e_writes) << "match() must not account";
+  EXPECT_EQ(t.search_stats().searches(), 0);
+
+  t.account_search(m);
+  EXPECT_GT(t.total_energy_j(), e_writes);
+  EXPECT_EQ(t.search_stats().searches(), 1);
+  // Per-mat stats must cover every mat's rows exactly once.
+  ASSERT_EQ(m.per_mat.size(), 2u);
+  EXPECT_EQ(m.per_mat[0].rows + m.per_mat[1].rows, 16);
+  EXPECT_EQ(m.stats.rows, 16);
+}
+
+TEST(TcamTable, EnduranceTracksPerMatRowWrites) {
+  TcamTable t(small_config());
+  const auto id = t.insert(from_string("0000XXXX"), 0);
+  t.update(id, from_string("1111XXXX"));
+  t.update(id, from_string("0101XXXX"));
+  const auto loc = *t.locate(id);
+  EXPECT_EQ(t.endurance(loc.mat).writes(loc.row), 3u);
+  EXPECT_EQ(t.endurance(1 - loc.mat).total_writes(), 0u);
+}
+
+TEST(TcamTable, BroadcastMatchesFlatBehavioralReference) {
+  // The sharded two-step broadcast must agree with one big TcamArray
+  // holding the same entries (match winner AND merged stats).
+  TableConfig cfg;
+  cfg.mats = 3;
+  cfg.rows_per_mat = 16;
+  cfg.cols = 12;
+  cfg.subarrays_per_mat = 2;
+  TcamTable t(cfg);
+
+  auto rng = util::trial_rng(23, 0, 0);
+  std::uniform_int_distribution<int> trit(0, 2);
+  std::uniform_int_distribution<int> bit(0, 1);
+  std::uniform_int_distribution<int> prio(0, 5);
+
+  struct Ref {
+    arch::TernaryWord w;
+    int priority;
+    EntryId id;
+  };
+  std::vector<Ref> refs;
+  for (int i = 0; i < 40; ++i) {
+    arch::TernaryWord w;
+    for (int c = 0; c < cfg.cols; ++c) {
+      const int v = trit(rng);
+      w.push_back(v == 0   ? arch::Ternary::kZero
+                  : v == 1 ? arch::Ternary::kOne
+                           : arch::Ternary::kX);
+    }
+    const int p = prio(rng);
+    refs.push_back({w, p, t.insert(w, p)});
+  }
+
+  MatchScratch scratch;
+  TableMatch m;
+  for (int q = 0; q < 50; ++q) {
+    arch::BitWord query;
+    for (int c = 0; c < cfg.cols; ++c) {
+      query.push_back(static_cast<std::uint8_t>(bit(rng)));
+    }
+    t.match(query, scratch, m);
+    // Reference winner: lowest (priority, id) among matching refs.
+    EntryId want = kInvalidEntry;
+    int want_p = 0;
+    for (const auto& r : refs) {
+      if (!arch::word_matches(r.w, query)) continue;
+      if (want == kInvalidEntry || r.priority < want_p ||
+          (r.priority == want_p && r.id < want)) {
+        want = r.id;
+        want_p = r.priority;
+      }
+    }
+    EXPECT_EQ(m.hit, want != kInvalidEntry) << "query " << q;
+    EXPECT_EQ(m.entry, want) << "query " << q;
+    if (want != kInvalidEntry) EXPECT_EQ(m.priority, want_p);
+    EXPECT_EQ(m.stats.rows, cfg.mats * cfg.rows_per_mat);
+    EXPECT_EQ(m.stats.matches,
+              static_cast<int>(std::count_if(
+                  refs.begin(), refs.end(), [&](const Ref& r) {
+                    return arch::word_matches(r.w, query);
+                  })));
+  }
+}
+
+TEST(TcamTable, SingleStepDesignUsesFullMatch) {
+  TableConfig cfg = small_config();
+  cfg.design = arch::TcamDesign::kCmos16T;
+  cfg.cols = 7;  // single-step designs may use odd word lengths
+  TcamTable t(cfg);
+  EXPECT_FALSE(t.two_step());
+  t.insert(from_string("1011XXX"), 0);
+  const auto m = t.search(bits("1011010"));
+  EXPECT_TRUE(m.hit);
+  // Single-step accounting: every row evaluates fully.
+  EXPECT_EQ(m.stats.step2_evaluated, m.stats.rows);
+  EXPECT_EQ(m.stats.step1_misses, 0);
+  EXPECT_EQ(t.last_write_phases(), 1) << "complementary write is one phase";
+}
+
+}  // namespace
+}  // namespace fetcam::engine

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""CI guard: the bit-packed TCAM shard kernel must stay fast.
+
+Reads the machine-readable report emitted by
+
+    bench_engine_throughput --engine-json=BENCH_engine.json
+
+and fails when:
+
+  * the packed full-match kernel is not at least MIN_KERNEL_SPEEDUP x
+    faster than the unpacked TcamArray::search at the gate shape
+    (4096 rows x 128 cols, single thread) -- the headline the packed
+    representation must earn; or
+  * the engine section is missing or degenerate (zero throughput, rates
+    outside [0, 1], zero search energy) -- which would mean the harness
+    silently stopped exercising the engine.
+
+The engine QPS itself is NOT gated on an absolute number: CI machines
+vary too much.  The kernel ratio is machine-relative and stable.
+
+Usage: check_engine_throughput.py BENCH_engine.json
+"""
+
+import json
+import sys
+
+MIN_KERNEL_SPEEDUP = 4.0
+GATE_ROWS = 4096
+GATE_COLS = 128
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        report = json.load(f)
+
+    ok = True
+
+    kernel = report.get("kernel")
+    if not kernel:
+        print("FAIL: no kernel section in report")
+        return 1
+    if kernel.get("rows") != GATE_ROWS or kernel.get("cols") != GATE_COLS:
+        print(
+            f"FAIL: kernel gate shape is {kernel.get('rows')}x"
+            f"{kernel.get('cols')}, expected {GATE_ROWS}x{GATE_COLS}"
+        )
+        ok = False
+    speedup = kernel.get("speedup", 0.0)
+    print(
+        f"kernel {kernel.get('rows')}x{kernel.get('cols')}: "
+        f"unpacked {kernel.get('unpacked_us', 0.0):.1f}us, "
+        f"packed {kernel.get('packed_us', 0.0):.1f}us -> {speedup:.2f}x "
+        f"(two-step {kernel.get('two_step_speedup', 0.0):.2f}x)"
+    )
+    if speedup < MIN_KERNEL_SPEEDUP:
+        print(
+            f"FAIL: packed kernel speedup {speedup:.2f}x "
+            f"< {MIN_KERNEL_SPEEDUP}x at {GATE_ROWS}x{GATE_COLS}"
+        )
+        ok = False
+    if kernel.get("two_step_speedup", 0.0) <= 0.0:
+        print("FAIL: two-step kernel comparison missing or degenerate")
+        ok = False
+
+    engine = report.get("engine")
+    if not engine:
+        print("FAIL: no engine section in report")
+        return 1
+    qps = engine.get("qps", 0.0)
+    print(
+        f"engine: {engine.get('searches', 0)} searches, {qps:.0f} qps, "
+        f"hit_rate={engine.get('hit_rate', 0.0):.3f} "
+        f"step1_miss_rate={engine.get('step1_miss_rate', 0.0):.3f} "
+        f"p50={engine.get('p50_batch_us', 0.0):.0f}us "
+        f"p99={engine.get('p99_batch_us', 0.0):.0f}us"
+    )
+    if engine.get("searches", 0) <= 0 or qps <= 0.0:
+        print("FAIL: engine ran no searches (or measured zero throughput)")
+        ok = False
+    for rate_key in ("hit_rate", "step1_miss_rate"):
+        rate = engine.get(rate_key, -1.0)
+        if not 0.0 <= rate <= 1.0:
+            print(f"FAIL: {rate_key}={rate} outside [0, 1]")
+            ok = False
+    if engine.get("energy_per_search_j", 0.0) <= 0.0:
+        print("FAIL: energy accounting reported zero search energy")
+        ok = False
+    if engine.get("p99_batch_us", 0.0) < engine.get("p50_batch_us", 0.0):
+        print("FAIL: p99 batch latency below p50 (percentile bug)")
+        ok = False
+
+    print("OK" if ok else "engine perf guard failed")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

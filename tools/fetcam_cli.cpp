@@ -14,12 +14,27 @@
 //   fetcam_cli datasheet [rows cols]  array-level macro comparison
 //   fetcam_cli export <design> <stored> <query> <file.cir>
 //                                     ngspice deck of one search netlist
+//   fetcam_cli engine [opts]          trace-driven TCAM service engine run
+//                                     (JSON report on stdout); options:
+//                                       --trace FILE     load a saved trace
+//                                       --kind ip|classifier  generate one
+//                                       --cols/--rules/--queries/--seed N
+//                                       --match-rate R  --update-rate R
+//                                       --mats N --rows-per-mat N
+//                                       --design D --batch N
+//                                       --save-trace FILE
 // Designs: 16t, 2sg, 2dg, 1.5sg, 1.5dg.
 //
 // Global flags (before the command):
 //   --threads N    pool size for the parallel evaluators (overrides the
 //                  FETCAM_THREADS environment variable; results are
-//                  bit-identical for any value — only wall clock changes)
+//                  bit-identical for any value — only wall clock changes).
+//                  The engine subcommand's batch-match workers draw from
+//                  this same pool: --threads/FETCAM_THREADS sets how many
+//                  threads each batch's parallel match phase uses, while
+//                  batch APPLICATION stays single-dispatcher and in order —
+//                  which is why engine results are bit-identical at any
+//                  thread count too.
 //   --obs-level L  off | metrics | trace (default off, or the FETCAM_OBS
 //                  environment variable).  "metrics" collects solver-health
 //                  counters/histograms; "trace" additionally records
@@ -36,6 +51,9 @@
 #include <cstring>
 #include <string>
 
+#include "engine/engine.hpp"
+#include "engine/table.hpp"
+#include "engine/workload.hpp"
 #include "eval/calibration.hpp"
 #include "eval/disturb.hpp"
 #include "eval/half_select.hpp"
@@ -66,8 +84,11 @@ int usage() {
                "[--manifest-out F]\n"
                "                  <table4|fig1|fig4|fig7|ops|"
                "divider|variability|disturb|halfselect|search|datasheet|"
-               "export> [args]\n"
-               "  see the header comment of tools/fetcam_cli.cpp\n");
+               "export|engine> [args]\n"
+               "  see the header comment of tools/fetcam_cli.cpp\n"
+               "  engine: --threads/FETCAM_THREADS also sets the engine's\n"
+               "  batch-match worker pool (results are bit-identical at any\n"
+               "  thread count; batches always apply in submission order)\n");
   return 2;
 }
 
@@ -256,6 +277,133 @@ int cmd_search(int argc, char** argv) {
   return m.measured_match == m.expected_match ? 0 : 1;
 }
 
+int cmd_engine(int argc, char** argv) {
+  engine::TraceSpec spec;
+  spec.cols = 64;
+  spec.rules = 1024;
+  spec.queries = 20000;
+  engine::TableConfig cfg;
+  cfg.mats = 8;
+  cfg.rows_per_mat = 256;
+  engine::RunOptions ropts;
+  std::string trace_path, save_path;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--trace" && (v = value())) {
+      trace_path = v;
+    } else if (flag == "--save-trace" && (v = value())) {
+      save_path = v;
+    } else if (flag == "--kind" && (v = value())) {
+      const std::string kind = v;
+      if (kind == "ip") spec.kind = engine::TraceKind::kIpPrefix;
+      else if (kind == "classifier") spec.kind = engine::TraceKind::kClassifier;
+      else return usage();
+    } else if (flag == "--cols" && (v = value())) {
+      spec.cols = std::atoi(v);
+    } else if (flag == "--rules" && (v = value())) {
+      spec.rules = std::atoi(v);
+    } else if (flag == "--queries" && (v = value())) {
+      spec.queries = std::atoi(v);
+    } else if (flag == "--match-rate" && (v = value())) {
+      spec.match_rate = std::atof(v);
+    } else if (flag == "--update-rate" && (v = value())) {
+      ropts.update_rate = std::atof(v);
+    } else if (flag == "--seed" && (v = value())) {
+      spec.seed = static_cast<std::uint64_t>(std::atoll(v));
+      ropts.seed = spec.seed;
+    } else if (flag == "--mats" && (v = value())) {
+      cfg.mats = std::atoi(v);
+    } else if (flag == "--rows-per-mat" && (v = value())) {
+      cfg.rows_per_mat = std::atoi(v);
+    } else if (flag == "--batch" && (v = value())) {
+      ropts.batch_size = std::atoi(v);
+    } else if (flag == "--design" && (v = value())) {
+      if (!parse_design(v, cfg.design)) return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  engine::Trace trace;
+  if (!trace_path.empty()) {
+    const auto loaded = engine::load_trace(trace_path);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace = *loaded;
+  } else {
+    trace = engine::generate_trace(spec);
+  }
+  if (!save_path.empty() && !engine::save_trace(trace, save_path)) {
+    std::fprintf(stderr, "cannot save trace to %s\n", save_path.c_str());
+    return 1;
+  }
+  cfg.cols = trace.cols;
+
+  if (g_manifest != nullptr) {
+    g_manifest->add_info("engine_trace",
+                         trace_path.empty()
+                             ? engine::trace_kind_name(spec.kind)
+                             : trace_path);
+    g_manifest->add_info("engine_rules",
+                         static_cast<long long>(trace.rules.size()));
+    g_manifest->add_info("engine_queries",
+                         static_cast<long long>(trace.queries.size()));
+    g_manifest->add_info("rng_seed", static_cast<long long>(spec.seed));
+  }
+
+  try {
+    engine::TcamTable table(cfg);
+    const auto ids = engine::load_rules(table, trace);
+    engine::SearchEngine eng(table);
+    const engine::RunSummary s =
+        engine::run_trace(eng, table, trace, ids, ropts);
+    std::printf(
+        "{\n"
+        "  \"design\": \"%s\",\n"
+        "  \"mats\": %d,\n"
+        "  \"rows_per_mat\": %d,\n"
+        "  \"cols\": %d,\n"
+        "  \"threads\": %d,\n"
+        "  \"rules\": %zu,\n"
+        "  \"requests\": %llu,\n"
+        "  \"searches\": %llu,\n"
+        "  \"writes\": %llu,\n"
+        "  \"batches\": %llu,\n"
+        "  \"hit_rate\": %.6f,\n"
+        "  \"step1_miss_rate\": %.6f,\n"
+        "  \"energy_j\": %.6g,\n"
+        "  \"energy_per_search_j\": %.6g,\n"
+        "  \"driver_stalls\": %lld,\n"
+        "  \"write_cycles\": %lld,\n"
+        "  \"model_time_s\": %.6g,\n"
+        "  \"wall_s\": %.6f,\n"
+        "  \"qps\": %.1f,\n"
+        "  \"p50_batch_us\": %.1f,\n"
+        "  \"p99_batch_us\": %.1f\n"
+        "}\n",
+        arch::design_name(cfg.design).c_str(), cfg.mats, cfg.rows_per_mat,
+        cfg.cols, util::thread_count(), trace.rules.size(),
+        static_cast<unsigned long long>(s.requests),
+        static_cast<unsigned long long>(s.searches),
+        static_cast<unsigned long long>(s.writes),
+        static_cast<unsigned long long>(s.batches), s.hit_rate,
+        s.step1_miss_rate, s.energy_j, s.energy_per_search_j, s.driver_stalls,
+        s.write_cycles, s.model_time_s, s.wall_s, s.qps, s.p50_batch_us,
+        s.p99_batch_us);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "engine run failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 namespace {
@@ -273,6 +421,7 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "search") return cmd_search(argc - 2, argv + 2);
   if (cmd == "datasheet") return cmd_datasheet(argc - 2, argv + 2);
   if (cmd == "export") return cmd_export(argc - 2, argv + 2);
+  if (cmd == "engine") return cmd_engine(argc - 2, argv + 2);
   return usage();
 }
 
