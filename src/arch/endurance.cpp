@@ -41,9 +41,27 @@ int EnduranceModel::hottest_row() const {
       std::max_element(per_row_.begin(), per_row_.end()) - per_row_.begin());
 }
 
+int EnduranceModel::coldest_row() const {
+  return static_cast<int>(
+      std::min_element(per_row_.begin(), per_row_.end()) - per_row_.begin());
+}
+
+std::uint64_t EnduranceModel::max_row_writes() const {
+  return per_row_[static_cast<std::size_t>(hottest_row())];
+}
+
+std::uint64_t EnduranceModel::min_row_writes() const {
+  return per_row_[static_cast<std::size_t>(coldest_row())];
+}
+
 double EnduranceModel::wear_fraction() const {
   const auto hot = per_row_[static_cast<std::size_t>(hottest_row())];
   return static_cast<double>(hot) / endurance_cycles(design_);
+}
+
+double EnduranceModel::row_wear_fraction(int row) const {
+  return static_cast<double>(per_row_.at(static_cast<std::size_t>(row))) /
+         endurance_cycles(design_);
 }
 
 std::uint64_t EnduranceModel::writes_remaining() const {

@@ -32,8 +32,15 @@ class EnduranceModel {
   std::uint64_t total_writes() const { return total_; }
   /// Most-written row (the wear hotspot).
   int hottest_row() const;
+  /// Least-written row (where a wear-leveling placer should put the next
+  /// hot entry; lowest index on ties).
+  int coldest_row() const;
+  std::uint64_t max_row_writes() const;
+  std::uint64_t min_row_writes() const;
   /// Fraction of the hottest row's budget consumed, in [0, inf).
   double wear_fraction() const;
+  /// Fraction of one row's budget consumed, in [0, inf).
+  double row_wear_fraction(int row) const;
   /// Writes remaining before the hottest row exceeds its budget, assuming
   /// the current per-row distribution continues proportionally.
   std::uint64_t writes_remaining() const;

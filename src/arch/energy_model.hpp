@@ -45,6 +45,11 @@ class ArrayEnergyModel {
   void on_search(const SearchStats& stats);
   /// Account one row write of `cells` digits.
   void on_write(int cells);
+  /// Projection of what on_write(cells) WOULD charge, without charging it
+  /// (planner costing: price a write plan before committing to it).
+  double projected_write_energy_j(int cells) const {
+    return cells * costs_.write_energy;
+  }
 
   double total_energy_j() const { return energy_; }
   double total_time_s() const { return time_; }

@@ -71,4 +71,76 @@ WritePlan complementary_plan(const TernaryWord& data, const WriteVoltages& v) {
   return plan;
 }
 
+WritePlan incremental_three_step_plan(const TernaryWord& data,
+                                      const TernaryWord& previous,
+                                      const WriteVoltages& v) {
+  const std::size_t n = data.size();
+  if (previous.size() != n) {
+    throw std::invalid_argument("previous/data width mismatch");
+  }
+  WritePhase erase{.name = "erase", .bl = std::vector<double>(n, 0.0),
+                   .bl_bar = {}, .wrsl = v.vdd, .sl = 0.0,
+                   .switching_cells = 0};
+  WritePhase prog1{.name = "program-1", .bl = std::vector<double>(n, 0.0),
+                   .bl_bar = {}, .wrsl = v.vdd, .sl = 0.0,
+                   .switching_cells = 0};
+  WritePhase progx{.name = "program-X", .bl = std::vector<double>(n, 0.0),
+                   .bl_bar = {}, .wrsl = v.vdd, .sl = 0.0,
+                   .switching_cells = 0};
+  for (std::size_t c = 0; c < n; ++c) {
+    if (data[c] == previous[c]) continue;
+    // Erased state is HVT ('0'): a changed cell needs the erase pulse only
+    // when it sits above HVT, and a program pulse only to leave HVT.
+    if (previous[c] != Ternary::kZero) {
+      erase.bl[c] = -v.vw;
+      ++erase.switching_cells;
+    }
+    if (data[c] == Ternary::kOne) {
+      prog1.bl[c] = v.vw;
+      ++prog1.switching_cells;
+    } else if (data[c] == Ternary::kX) {
+      progx.bl[c] = v.vm;
+      ++progx.switching_cells;
+    }
+  }
+  WritePlan plan;
+  for (const auto& phase : {erase, prog1, progx}) {
+    if (phase.switching_cells > 0) plan.phases.push_back(phase);
+  }
+  return plan;
+}
+
+WritePlan incremental_complementary_plan(const TernaryWord& data,
+                                         const TernaryWord& previous,
+                                         const WriteVoltages& v) {
+  const std::size_t n = data.size();
+  if (previous.size() != n) {
+    throw std::invalid_argument("previous/data width mismatch");
+  }
+  WritePhase ph{.name = "write-delta", .bl = std::vector<double>(n, 0.0),
+                .bl_bar = std::vector<double>(n, 0.0), .wrsl = 0.0,
+                .sl = 0.0, .switching_cells = 0};
+  for (std::size_t c = 0; c < n; ++c) {
+    if (data[c] == previous[c]) continue;
+    switch (data[c]) {
+      case Ternary::kZero:
+        ph.bl[c] = -v.vw;
+        ph.bl_bar[c] = v.vw;
+        break;
+      case Ternary::kOne:
+        ph.bl[c] = v.vw;
+        ph.bl_bar[c] = -v.vw;
+        break;
+      case Ternary::kX:
+        ph.bl[c] = -v.vw;
+        ph.bl_bar[c] = -v.vw;
+        break;
+    }
+    ph.switching_cells += 2;
+  }
+  WritePlan plan;
+  if (ph.switching_cells > 0) plan.phases.push_back(ph);
+  return plan;
+}
+
 }  // namespace fetcam::arch

@@ -49,4 +49,19 @@ WritePlan three_step_plan(const TernaryWord& data, const TernaryWord& previous,
 /// every written cell switch (state-independent write energy).
 WritePlan complementary_plan(const TernaryWord& data, const WriteVoltages& v);
 
+/// Delta variant of the three-phase plan: drives ONLY columns whose digit
+/// changes (`previous` required, same width); unchanged columns stay
+/// inhibited.  Phases that drive no column are omitted, so an unchanged
+/// word costs zero pulses and a single 1->0 edit costs one erase pulse.
+/// This is the rule-update write the compiler's delta planner issues.
+WritePlan incremental_three_step_plan(const TernaryWord& data,
+                                      const TernaryWord& previous,
+                                      const WriteVoltages& v);
+
+/// Delta variant of the complementary plan: writes only changed columns
+/// (both FeFETs of each switch); zero phases when nothing changed.
+WritePlan incremental_complementary_plan(const TernaryWord& data,
+                                         const TernaryWord& previous,
+                                         const WriteVoltages& v);
+
 }  // namespace fetcam::arch

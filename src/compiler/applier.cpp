@@ -1,0 +1,154 @@
+#include "compiler/applier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fetcam::compiler {
+namespace {
+
+/// Submit `reqs` in chunks of `chunk`, waiting for each batch (so phase
+/// boundaries are real barriers).  Returns per-request results in order.
+std::vector<engine::RequestResult> run_chunked(engine::SearchEngine& eng,
+                                               std::vector<engine::Request> reqs,
+                                               int chunk, ApplyStats& stats) {
+  std::vector<engine::RequestResult> results;
+  results.reserve(reqs.size());
+  const std::size_t step =
+      chunk > 0 ? static_cast<std::size_t>(chunk) : reqs.size();
+  for (std::size_t at = 0; at < reqs.size(); at += step) {
+    const std::size_t n = std::min(step, reqs.size() - at);
+    std::vector<engine::Request> batch(
+        std::make_move_iterator(reqs.begin() + static_cast<std::ptrdiff_t>(at)),
+        std::make_move_iterator(
+            reqs.begin() + static_cast<std::ptrdiff_t>(at + n)));
+    engine::BatchResult res = eng.execute(std::move(batch));
+    ++stats.batches;
+    for (auto& r : res.results) results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace
+
+ApplyResult apply_plan(engine::SearchEngine& engine, const UpdatePlan& plan,
+                       const CompiledRuleSet& next,
+                       const ApplyOptions& options) {
+  ApplyResult out;
+  out.installed.cols = next.cols;
+  out.installed.entries.resize(next.entries.size());
+
+  // Ops indexed by compiled entry / phase.
+  std::vector<const PlanOp*> insert_ops;   // MAKE (ascending final order)
+  std::vector<const PlanOp*> commit_ops;   // kSetPriority / kRewrite
+  std::vector<const PlanOp*> erase_ops;    // COMMIT tail (atomic with flips)
+  std::vector<const PlanOp*> break_ops;    // kRelocate
+  for (const PlanOp& op : plan.ops) {
+    switch (op.kind) {
+      case PlanOpKind::kInsert:
+        insert_ops.push_back(&op);
+        break;
+      case PlanOpKind::kSetPriority:
+      case PlanOpKind::kRewrite:
+        commit_ops.push_back(&op);
+        break;
+      case PlanOpKind::kErase:
+        erase_ops.push_back(&op);
+        break;
+      case PlanOpKind::kRelocate:
+        break_ops.push_back(&op);
+        break;
+      case PlanOpKind::kKeep: {
+        const auto& want = next.entries[static_cast<std::size_t>(op.compiled_index)];
+        InstalledEntry& slot =
+            out.installed.entries[static_cast<std::size_t>(op.compiled_index)];
+        slot.id = op.target;
+        slot.word = want.word;
+        slot.priority = want.priority;
+        slot.source_rule = want.source_rule;
+        break;
+      }
+    }
+  }
+  // Compiled entries are already in ascending (priority, index) order, so
+  // compiled_index order IS ascending final-priority order for the MAKE
+  // phase (earliest winners appear first).
+  std::sort(insert_ops.begin(), insert_ops.end(),
+            [](const PlanOp* a, const PlanOp* b) {
+              return a->compiled_index < b->compiled_index;
+            });
+
+  // Phase 1 — MAKE: fresh writes at shadow priorities.
+  std::vector<engine::Request> makes;
+  makes.reserve(insert_ops.size());
+  for (const PlanOp* op : insert_ops) {
+    const auto& want = next.entries[static_cast<std::size_t>(op->compiled_index)];
+    makes.push_back(engine::make_insert(
+        want.word, want.priority + plan.shadow_priority_offset, op->mat));
+  }
+  const auto make_results =
+      run_chunked(engine, std::move(makes), options.chunk, out.stats);
+  for (std::size_t k = 0; k < insert_ops.size(); ++k) {
+    if (!make_results[k].hit) {
+      throw std::runtime_error(
+          "plan insert failed: table drifted from the planned capacity");
+    }
+    const PlanOp* op = insert_ops[k];
+    const auto& want = next.entries[static_cast<std::size_t>(op->compiled_index)];
+    InstalledEntry& slot =
+        out.installed.entries[static_cast<std::size_t>(op->compiled_index)];
+    slot.id = make_results[k].entry;
+    slot.word = want.word;
+    slot.priority = want.priority;
+    slot.source_rule = want.source_rule;
+    ++out.stats.inserted;
+  }
+
+  // Phase 2 — COMMIT: one atomic batch flips every shadow to its final
+  // priority, applies every delta rewrite (with its priority, in case the
+  // paired row changed levels too), and erases every orphan.  Searches
+  // see the table before this batch or after it, nothing in between.
+  std::vector<engine::Request> commit;
+  commit.reserve(insert_ops.size() + 2 * commit_ops.size() + erase_ops.size());
+  for (std::size_t k = 0; k < insert_ops.size(); ++k) {
+    const PlanOp* op = insert_ops[k];
+    const auto& want = next.entries[static_cast<std::size_t>(op->compiled_index)];
+    commit.push_back(
+        engine::make_set_priority(make_results[k].entry, want.priority));
+    ++out.stats.priority_flips;
+  }
+  for (const PlanOp* op : commit_ops) {
+    const auto& want = next.entries[static_cast<std::size_t>(op->compiled_index)];
+    if (op->kind == PlanOpKind::kRewrite) {
+      commit.push_back(engine::make_rewrite(op->target, want.word));
+      ++out.stats.rewritten;
+    }
+    commit.push_back(engine::make_set_priority(op->target, want.priority));
+    ++out.stats.priority_flips;
+    InstalledEntry& slot =
+        out.installed.entries[static_cast<std::size_t>(op->compiled_index)];
+    slot.id = op->target;
+    slot.word = want.word;
+    slot.priority = want.priority;
+    slot.source_rule = want.source_rule;
+  }
+  for (const PlanOp* op : erase_ops) {
+    commit.push_back(engine::make_erase(op->target));
+    ++out.stats.erased;
+  }
+  if (!commit.empty()) {
+    engine.execute(std::move(commit));
+    ++out.stats.batches;
+  }
+
+  // Phase 3 — BREAK: wear-driven relocations.
+  std::vector<engine::Request> breaks;
+  breaks.reserve(break_ops.size());
+  for (const PlanOp* op : break_ops) {
+    breaks.push_back(engine::make_relocate(op->target, op->mat));
+    ++out.stats.relocated;
+  }
+  run_chunked(engine, std::move(breaks), options.chunk, out.stats);
+  return out;
+}
+
+}  // namespace fetcam::compiler

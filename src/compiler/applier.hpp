@@ -1,0 +1,62 @@
+// Consistent plan applier: runs an UpdatePlan through the SearchEngine as
+// MAKE-BEFORE-BREAK batches, so every concurrently running search sees the
+// old rule set's winner or the new one — never a half-applied hybrid.
+//
+// Three phases, each built from engine batches (a batch is atomic with
+// respect to searches — the dispatcher freezes the table for a batch's
+// matches and applies its writes before the next batch's):
+//
+//   1. MAKE — inserted entries are written at SHADOW priorities
+//      (final + plan.shadow_priority_offset, above every live priority) in
+//      ascending final order, chunked into small batches so searches keep
+//      interleaving.  A shadow never outranks a live old entry; on keys no
+//      old entry matches, a shadow may win early — that is the new answer
+//      arriving, just at its shadow priority.
+//   2. COMMIT — ONE atomic batch: every priority flip (shadow -> final,
+//      and kept rows whose priority changed), every in-place delta
+//      rewrite, and every orphan erase.  This is the linearization point
+//      of the whole update.  Erases ride in the commit batch rather than
+//      trailing it because they are peripheral-only (free) and a deferred
+//      orphan could otherwise outrank the new winner on a key whose old
+//      winner was rewritten away — a neither-old-nor-new result.
+//   3. BREAK — wear-driven relocations, chunked.  A relocation preserves
+//      id, word, and priority, so searches during this phase already see
+//      exactly the new rule set.
+//
+// The applier returns the new Installation (compiled order, with the ids
+// now serving each entry) — the input to the next plan_update.
+#pragma once
+
+#include "compiler/planner.hpp"
+#include "engine/engine.hpp"
+
+namespace fetcam::compiler {
+
+struct ApplyOptions {
+  /// Requests per MAKE / BREAK batch (commit is always one batch).
+  /// Smaller batches let concurrent searches interleave sooner.
+  int chunk = 8;
+};
+
+struct ApplyStats {
+  int batches = 0;
+  int inserted = 0;
+  int rewritten = 0;
+  int priority_flips = 0;
+  int erased = 0;
+  int relocated = 0;
+};
+
+struct ApplyResult {
+  Installation installed;
+  ApplyStats stats;
+};
+
+/// Apply `plan` (built by plan_update against `next`) through `engine`.
+/// Throws std::runtime_error if an insert fails (the table drifted from
+/// what the planner priced — e.g. someone else wrote to it).
+ApplyResult apply_plan(engine::SearchEngine& engine, const UpdatePlan& plan,
+                       const CompiledRuleSet& next,
+                       const ApplyOptions& options = {});
+
+}  // namespace fetcam::compiler

@@ -1,0 +1,79 @@
+// Rule compiler: lowers a RuleSet into the ternary entries a TcamTable
+// actually stores.
+//
+// Three lowering passes, in order:
+//
+//   1. Range-to-ternary prefix expansion.  An inclusive range [lo, hi]
+//      over a w-bit field becomes the minimal set of aligned power-of-two
+//      blocks, each a ternary prefix (fixed MSBs, 'X' suffix).  Worst case
+//      2(w-1) entries (the classic [1, 2^w - 2] range); a full-width range
+//      is one all-'X' entry, a single value one exact entry, an empty
+//      range (lo > hi) zero.
+//   2. Redundancy / shadow elimination.  An expanded entry is dropped when
+//      an entry that WINS against it (better priority, or equal priority
+//      and earlier in the rule list) covers it — matches every key it
+//      matches.  Dropping such an entry never changes any search result,
+//      it only saves rows and writes.
+//   3. Priority flattening.  Surviving source rules are renumbered onto a
+//      dense 0..k-1 scale, one level per rule in winning order.  This
+//      preserves the rule set's resolution semantics exactly (entries of
+//      one rule are pairwise disjoint, so intra-rule ties cannot arise)
+//      while making cross-rule ties impossible in the table — the
+//      (priority, id) tie-break can then never disagree with list order,
+//      no matter what order the applier installs entries in.
+//
+// The per-set expansion factor (final entries / source rules) is the
+// figure of merit FeCAM-style compact arrays live or die by: every extra
+// entry is a row of FeFET writes and a row of search energy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/rules.hpp"
+
+namespace fetcam::compiler {
+
+/// One lowered TCAM entry.  `source_rule` indexes RuleSet::rules.
+struct CompiledEntry {
+  arch::TernaryWord word;
+  int priority = 0;  ///< flattened: dense, unique per surviving rule
+  int source_rule = -1;
+};
+
+struct CompileStats {
+  int source_rules = 0;
+  int empty_rules = 0;           ///< lo > hi ranges (match nothing)
+  long long expanded_entries = 0;  ///< after pass 1, before elimination
+  long long shadowed_removed = 0;  ///< covered by a better-priority entry
+  long long redundant_removed = 0; ///< covered by an equal-priority earlier entry
+  int priority_levels = 0;
+  /// Final entries / source rules (the cost of lowering ranges to cells).
+  double expansion_factor = 0.0;
+};
+
+struct CompiledRuleSet {
+  int cols = 0;
+  /// Entries in winning order: ascending (priority, source_rule).
+  std::vector<CompiledEntry> entries;
+  CompileStats stats;
+};
+
+/// Minimal ternary prefix cover of the inclusive range [lo, hi] over a
+/// `bits`-wide field (MSB-first words).  bits in [1, 63].  Empty when
+/// lo > hi; values above 2^bits - 1 are clamped.
+std::vector<arch::TernaryWord> expand_range(std::uint64_t lo, std::uint64_t hi,
+                                            int bits);
+
+/// True when `outer` matches every key `inner` matches (digit-wise: outer
+/// is 'X' or agrees with a non-'X' inner digit).
+bool covers(const arch::TernaryWord& outer, const arch::TernaryWord& inner);
+
+CompiledRuleSet compile_rules(const RuleSet& rules);
+
+/// Reference resolver for verification: the winning compiled entry for a
+/// key (lowest priority, then entry order), or -1 on miss.  Brute force —
+/// test oracle, not a serving path.
+int reference_winner(const CompiledRuleSet& compiled, const arch::BitWord& key);
+
+}  // namespace fetcam::compiler

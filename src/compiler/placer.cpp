@@ -1,0 +1,90 @@
+#include "compiler/placer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fetcam::compiler {
+
+Placer::Placer(const engine::TcamTable& table, const PlacerOptions& options)
+    : table_(table), options_(options) {
+  const int mats = table.mats();
+  planned_free_.resize(static_cast<std::size_t>(mats));
+  planned_writes_.resize(static_cast<std::size_t>(mats));
+  min_row_writes_ = std::numeric_limits<std::uint64_t>::max();
+  for (int m = 0; m < mats; ++m) {
+    planned_free_[static_cast<std::size_t>(m)] = table.free_rows(m);
+    planned_writes_[static_cast<std::size_t>(m)] =
+        table.endurance(m).total_writes();
+    min_row_writes_ =
+        std::min(min_row_writes_, table.endurance(m).min_row_writes());
+  }
+  if (mats == 0) min_row_writes_ = 0;
+}
+
+int Placer::place_insert() {
+  int best = -1;
+  if (options_.endurance_aware) {
+    // Coldest mat (fewest accumulated + planned writes) with a free row.
+    for (std::size_t m = 0; m < planned_free_.size(); ++m) {
+      if (planned_free_[m] == 0) continue;
+      if (best < 0 ||
+          planned_writes_[m] < planned_writes_[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(m);
+      }
+    }
+    if (best < 0) return -2;
+    planned_free_[static_cast<std::size_t>(best)] -= 1;
+    planned_writes_[static_cast<std::size_t>(best)] += 1;
+    return best;
+  }
+  // Not endurance-aware: the table's own emptiest-mat policy decides, but
+  // capacity must still be tracked against the mat that policy will pick
+  // (most free rows, lowest index on ties — mirrors TcamTable::insert).
+  for (std::size_t m = 0; m < planned_free_.size(); ++m) {
+    if (planned_free_[m] == 0) continue;
+    if (best < 0 ||
+        planned_free_[m] > planned_free_[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(m);
+    }
+  }
+  if (best < 0) return -2;
+  planned_free_[static_cast<std::size_t>(best)] -= 1;
+  return -1;
+}
+
+bool Placer::should_spread_rewrite(const engine::EntryLocation& loc) const {
+  if (!options_.endurance_aware) return false;
+  if (free_rows_remaining() == 0) return false;
+  const std::uint64_t row_writes = table_.endurance(loc.mat).writes(loc.row);
+  return row_writes >= min_row_writes_ + options_.rewrite_spread_headroom;
+}
+
+bool Placer::should_relocate(const engine::EntryLocation& loc) const {
+  if (!options_.endurance_aware) return false;
+  return table_.endurance(loc.mat).row_wear_fraction(loc.row) >
+         options_.relocate_wear_fraction;
+}
+
+int Placer::place_relocation(const engine::EntryLocation& loc) {
+  int best = -1;
+  for (std::size_t m = 0; m < planned_free_.size(); ++m) {
+    if (static_cast<int>(m) == loc.mat) continue;
+    if (planned_free_[m] == 0) continue;
+    if (best < 0 ||
+        planned_writes_[m] < planned_writes_[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(m);
+    }
+  }
+  if (best < 0) return -2;
+  planned_free_[static_cast<std::size_t>(best)] -= 1;
+  planned_writes_[static_cast<std::size_t>(best)] += 1;
+  return best;
+}
+
+std::size_t Placer::free_rows_remaining() const {
+  std::size_t total = 0;
+  for (const std::size_t f : planned_free_) total += f;
+  return total;
+}
+
+}  // namespace fetcam::compiler

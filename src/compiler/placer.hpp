@@ -1,0 +1,68 @@
+// Endurance-aware placement for the update planner.
+//
+// The DG-FeFET budget (>1e10 cycles) is generous, but churny rule sets
+// concentrate writes: a flapping route rewrites the same row every step,
+// and the table's emptiest-mat insert policy balances OCCUPANCY, not WEAR.
+// The placer closes both gaps using the per-mat EnduranceTracker state the
+// table already keeps:
+//
+//   * inserts go to the mat with the fewest accumulated writes that still
+//     has a free row (coldest-mat-first instead of emptiest-mat-first);
+//   * an in-place rewrite whose row has pulled `rewrite_spread_headroom`
+//     writes ahead of the table's coldest row is moved instead — the new
+//     word is written on a cold mat and the hot row erased (the planner's
+//     insert+erase pair, still make-before-break safe);
+//   * a KEPT row past `relocate_wear_fraction` of its device budget is
+//     relocated via TcamTable::relocate (one write at the destination).
+//
+// Placement is capacity-tracked: the make phase inserts before the break
+// phase erases, so a plan may allocate at most the rows that are free NOW.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/table.hpp"
+
+namespace fetcam::compiler {
+
+struct PlacerOptions {
+  bool endurance_aware = true;
+  /// A planned in-place rewrite moves to a cold mat once its row has this
+  /// many more writes than the table's coldest row.
+  std::uint64_t rewrite_spread_headroom = 64;
+  /// A kept row relocates once row_wear_fraction exceeds this.
+  double relocate_wear_fraction = 0.5;
+};
+
+/// Tracks planned allocations against table free-row capacity while the
+/// planner assigns mats.  All reads of endurance state happen through the
+/// table's per-mat EnduranceModel trackers.
+class Placer {
+ public:
+  Placer(const engine::TcamTable& table, const PlacerOptions& options);
+
+  /// Mat for the next insert: coldest-by-total-writes with a free row
+  /// (lowest index on ties), or -1 (table default policy) when not
+  /// endurance-aware.  Returns -2 when NO mat has a free row left.
+  int place_insert();
+  /// Whether an in-place rewrite of this row should move to a cold mat
+  /// instead (wear spread control).  Never true when a move could not be
+  /// placed anyway.
+  bool should_spread_rewrite(const engine::EntryLocation& loc) const;
+  /// Whether a kept row is near enough to its write budget to relocate.
+  bool should_relocate(const engine::EntryLocation& loc) const;
+  /// Mat a relocation should target (same contract as place_insert; never
+  /// the source mat).  Returns -2 when nothing fits.
+  int place_relocation(const engine::EntryLocation& loc);
+
+  std::size_t free_rows_remaining() const;
+
+ private:
+  const engine::TcamTable& table_;
+  PlacerOptions options_;
+  std::vector<std::size_t> planned_free_;   ///< free rows minus planned allocs
+  std::vector<std::uint64_t> planned_writes_;  ///< mat writes + planned writes
+  std::uint64_t min_row_writes_ = 0;  ///< coldest row across the table
+};
+
+}  // namespace fetcam::compiler

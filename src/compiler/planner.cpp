@@ -1,0 +1,198 @@
+#include "compiler/planner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace fetcam::compiler {
+namespace {
+
+int digit_distance(const arch::TernaryWord& a, const arch::TernaryWord& b) {
+  int d = 0;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    if (a[c] != b[c]) ++d;
+  }
+  return d;
+}
+
+void add_cost(PlanCost& cost, const engine::WriteCost& wc) {
+  cost.write_phases += wc.phases;
+  cost.switched_cells += wc.cells;
+  cost.energy_j += wc.energy_j;
+}
+
+}  // namespace
+
+UpdatePlan plan_update(const Installation& current, const CompiledRuleSet& next,
+                       const engine::TcamTable& table,
+                       const PlannerOptions& options) {
+  if (!current.entries.empty() && current.cols != next.cols) {
+    throw std::invalid_argument("installation / compiled rule set width mismatch");
+  }
+  if (next.cols != table.cols()) {
+    throw std::invalid_argument("compiled rule set width disagrees with table");
+  }
+
+  UpdatePlan plan;
+  Placer placer(table, options.placement);
+
+  const std::size_t n_cur = current.entries.size();
+  const std::size_t n_next = next.entries.size();
+  std::vector<int> cur_match(n_cur, -1);   // compiled index claimed by entry
+  std::vector<int> next_match(n_next, -1);  // installed index claimed
+
+  // Pass 1 — exact word reuse.  Prefer a same-priority row (a pure keep)
+  // over one that needs a flip; within a bucket, earlier installed entries
+  // are claimed first (deterministic).
+  std::unordered_map<std::string, std::vector<std::size_t>> by_word;
+  for (std::size_t i = 0; i < n_cur; ++i) {
+    by_word[arch::to_string(current.entries[i].word)].push_back(i);
+  }
+  for (std::size_t j = 0; j < n_next; ++j) {
+    auto it = by_word.find(arch::to_string(next.entries[j].word));
+    if (it == by_word.end()) continue;
+    auto& bucket = it->second;
+    std::size_t pick = bucket.size();
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      if (cur_match[bucket[k]] >= 0) continue;
+      if (pick == bucket.size()) pick = k;
+      if (current.entries[bucket[k]].priority == next.entries[j].priority) {
+        pick = k;
+        break;
+      }
+    }
+    if (pick == bucket.size()) continue;
+    cur_match[bucket[pick]] = static_cast<int>(j);
+    next_match[j] = static_cast<int>(bucket[pick]);
+  }
+
+  // Pass 2 — pair leftovers greedily by digit distance (ties: lowest
+  // installed index) for in-place delta rewrites.  A rewrite of d digits
+  // never costs more than a fresh write, and it spares a row.
+  for (std::size_t j = 0; j < n_next; ++j) {
+    if (next_match[j] >= 0) continue;
+    int best = -1;
+    int best_d = 0;
+    for (std::size_t i = 0; i < n_cur; ++i) {
+      if (cur_match[i] >= 0) continue;
+      const int d = digit_distance(current.entries[i].word,
+                                   next.entries[j].word);
+      if (best < 0 || d < best_d) {
+        best = static_cast<int>(i);
+        best_d = d;
+      }
+    }
+    if (best < 0) break;  // no installed rows left to reuse
+    cur_match[static_cast<std::size_t>(best)] = static_cast<int>(j);
+    next_match[j] = best;
+  }
+
+  // Emit ops for paired entries, with the placer steering wear.
+  for (std::size_t j = 0; j < n_next; ++j) {
+    if (next_match[j] < 0) continue;
+    const InstalledEntry& cur =
+        current.entries[static_cast<std::size_t>(next_match[j])];
+    const CompiledEntry& want = next.entries[j];
+    PlanOp op;
+    op.target = cur.id;
+    op.compiled_index = static_cast<int>(j);
+    const auto loc = table.locate(cur.id);
+    if (!loc.has_value()) {
+      throw std::invalid_argument("installation references a dead entry id");
+    }
+    if (cur.word == want.word) {
+      op.kind = cur.priority == want.priority ? PlanOpKind::kKeep
+                                              : PlanOpKind::kSetPriority;
+      if (op.kind == PlanOpKind::kKeep) {
+        ++plan.keeps;
+      } else {
+        ++plan.priority_flips;
+      }
+      plan.ops.push_back(op);
+      if (placer.should_relocate(*loc)) {
+        const int mat = placer.place_relocation(*loc);
+        if (mat >= 0) {
+          PlanOp move;
+          move.kind = PlanOpKind::kRelocate;
+          move.target = cur.id;
+          move.mat = mat;
+          plan.ops.push_back(move);
+          ++plan.relocations;
+          add_cost(plan.cost, table.cost_write(want.word, nullptr));
+        }
+      }
+      continue;
+    }
+    if (placer.should_spread_rewrite(*loc)) {
+      // Hot row: write the new word on a cold mat instead and free the
+      // old row (still make-before-break — the insert lands first).
+      const int mat = placer.place_insert();
+      if (mat >= 0) {
+        PlanOp ins;
+        ins.kind = PlanOpKind::kInsert;
+        ins.compiled_index = static_cast<int>(j);
+        ins.mat = mat;
+        plan.ops.push_back(ins);
+        ++plan.inserts;
+        add_cost(plan.cost, table.cost_write(want.word, nullptr));
+        PlanOp del;
+        del.kind = PlanOpKind::kErase;
+        del.target = cur.id;
+        plan.ops.push_back(del);
+        ++plan.erases;
+        continue;
+      }
+    }
+    op.kind = PlanOpKind::kRewrite;
+    op.changed_digits = digit_distance(cur.word, want.word);
+    plan.ops.push_back(op);
+    ++plan.rewrites;
+    add_cost(plan.cost, table.cost_rewrite(want.word, cur.word));
+  }
+
+  // Leftover compiled entries are fresh writes; leftover installed rows
+  // are erased (peripheral-only, so they add no cost).
+  for (std::size_t j = 0; j < n_next; ++j) {
+    if (next_match[j] >= 0) continue;
+    PlanOp op;
+    op.kind = PlanOpKind::kInsert;
+    op.compiled_index = static_cast<int>(j);
+    op.mat = placer.place_insert();
+    if (op.mat == -2) {
+      throw std::runtime_error(
+          "plan needs more free rows than the table has "
+          "(make-before-break requires slack)");
+    }
+    plan.ops.push_back(op);
+    ++plan.inserts;
+    add_cost(plan.cost, table.cost_write(next.entries[j].word, nullptr));
+  }
+  for (std::size_t i = 0; i < n_cur; ++i) {
+    if (cur_match[i] >= 0) continue;
+    PlanOp op;
+    op.kind = PlanOpKind::kErase;
+    op.target = current.entries[i].id;
+    plan.ops.push_back(op);
+    ++plan.erases;
+  }
+
+  // Naive baseline: erase everything, program every compiled entry fresh.
+  for (const CompiledEntry& e : next.entries) {
+    const auto wc = table.cost_write(e.word, nullptr);
+    plan.cost.naive_write_phases += wc.phases;
+    plan.cost.naive_switched_cells += wc.cells;
+    plan.cost.naive_energy_j += wc.energy_j;
+  }
+
+  // Shadow band: inserted entries carry final priority + offset until the
+  // commit flip, so they outrank nothing that is currently live.
+  int max_live = -1;
+  for (const InstalledEntry& e : current.entries) {
+    max_live = std::max(max_live, e.priority);
+  }
+  plan.shadow_priority_offset = max_live + 1;
+  return plan;
+}
+
+}  // namespace fetcam::compiler

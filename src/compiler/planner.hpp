@@ -1,0 +1,110 @@
+// Delta planner: diff a compiled rule set against what a TcamTable holds
+// and emit the cheapest write plan that makes the table serve the new set.
+//
+// The naive controller rewrites everything: erase the table, program every
+// compiled entry (3 HV phases per row for the 1.5T1Fe design).  Rule churn
+// is mostly no-ops, though — a BGP flap or an ACL edit touches a handful
+// of rules — so the planner reuses what is already in the cells:
+//
+//   * an installed row whose word equals a compiled entry is KEPT (zero
+//     pulses; at most a peripheral priority flip);
+//   * leftovers pair up greedily by digit distance and become in-place
+//     DELTA rewrites (TcamTable::rewrite_digits — pulses only for the
+//     changed columns);
+//   * only genuinely new entries are fresh writes, placed by the
+//     endurance-aware Placer; orphaned rows are erased (peripheral-only).
+//
+// Every op is priced with the table's own write-cost model
+// (cost_write / cost_rewrite → arch::EnergyModel figures), and the plan
+// carries the naive-rewrite baseline so callers can report writes saved.
+//
+// Plans are MAKE-BEFORE-BREAK shaped: inserts are placed against the rows
+// free NOW (they execute before any erase frees more), so a plan can
+// require more slack than the table has — plan_update throws rather than
+// emit a plan the applier cannot run atomically.
+#pragma once
+
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "compiler/placer.hpp"
+#include "engine/table.hpp"
+
+namespace fetcam::compiler {
+
+/// One table entry the control plane believes is installed (id + the word
+/// and priority it was written with).  The applier returns the updated
+/// Installation after running a plan.
+struct InstalledEntry {
+  engine::EntryId id = engine::kInvalidEntry;
+  arch::TernaryWord word;
+  int priority = 0;
+  int source_rule = -1;
+};
+
+struct Installation {
+  int cols = 0;
+  std::vector<InstalledEntry> entries;
+};
+
+enum class PlanOpKind : std::uint8_t {
+  kKeep,         ///< word + priority already right: zero pulses
+  kSetPriority,  ///< word right, priority flips (peripheral-only)
+  kRewrite,      ///< in-place delta rewrite of changed digits
+  kInsert,       ///< fresh write of a new entry (placed on `mat`)
+  kErase,        ///< orphaned row freed (peripheral-only)
+  kRelocate,     ///< kept entry moved to a colder mat (wear leveling)
+};
+
+struct PlanOp {
+  PlanOpKind kind = PlanOpKind::kKeep;
+  /// Installed entry acted on (everything except kInsert).
+  engine::EntryId target = engine::kInvalidEntry;
+  /// Index into CompiledRuleSet::entries (everything except kErase and
+  /// kRelocate).
+  int compiled_index = -1;
+  /// kInsert: target mat (-1 = table default policy); kRelocate: target mat.
+  int mat = -1;
+  /// kRewrite: digits that differ (what the delta plan drives).
+  int changed_digits = 0;
+};
+
+/// Projected plan cost next to the erase-everything / write-everything
+/// baseline.  Phases are HV driver pulses (the engine's write_cycles
+/// currency); energy uses the table's per-mat EnergyModel write figures.
+struct PlanCost {
+  long long write_phases = 0;
+  long long switched_cells = 0;
+  double energy_j = 0.0;
+  long long naive_write_phases = 0;
+  long long naive_switched_cells = 0;
+  double naive_energy_j = 0.0;
+};
+
+struct PlannerOptions {
+  PlacerOptions placement;
+};
+
+struct UpdatePlan {
+  std::vector<PlanOp> ops;  ///< grouped by kind, NOT execution order
+  PlanCost cost;
+  /// Added to final priorities while inserted entries are shadows (phase 1
+  /// of the make-before-break applier); above every live priority.
+  int shadow_priority_offset = 0;
+  int keeps = 0;
+  int priority_flips = 0;
+  int rewrites = 0;
+  int inserts = 0;
+  int erases = 0;
+  int relocations = 0;
+};
+
+/// Diff `current` (what the control plane installed) against `next` and
+/// plan the update.  Throws std::invalid_argument on width mismatch and
+/// std::runtime_error when the table lacks the free rows make-before-break
+/// needs.
+UpdatePlan plan_update(const Installation& current, const CompiledRuleSet& next,
+                       const engine::TcamTable& table,
+                       const PlannerOptions& options = {});
+
+}  // namespace fetcam::compiler

@@ -148,12 +148,20 @@ BatchResult SearchEngine::process(std::uint64_t seq,
       case RequestKind::kUpdate: {
         const auto loc = table_.locate(req.target);
         if (!loc) break;  // unknown entry: result stays a miss
-        table_.update(req.target, req.entry);
-        PendingWrite w;
-        w.mat = loc->mat;
-        w.subarray = loc->subarray;
-        w.phases = table_.last_write_phases();
-        pending_writes.push_back(w);
+        if (req.incremental) {
+          table_.rewrite_digits(req.target, req.entry);
+        } else {
+          table_.update(req.target, req.entry);
+        }
+        // A delta rewrite of an unchanged word issues zero pulses and
+        // never enters the driver admission model.
+        if (table_.last_write_phases() > 0) {
+          PendingWrite w;
+          w.mat = loc->mat;
+          w.subarray = loc->subarray;
+          w.phases = table_.last_write_phases();
+          pending_writes.push_back(w);
+        }
         out.hit = true;
         out.entry = req.target;
         out.priority = table_.priority_of(req.target);
@@ -166,6 +174,44 @@ BatchResult SearchEngine::process(std::uint64_t seq,
         table_.erase(req.target);
         out.hit = true;
         out.entry = req.target;
+        break;
+      }
+      case RequestKind::kInsert: {
+        const EntryId id = table_.insert(req.entry, req.priority, req.mat);
+        if (id == kInvalidEntry) break;  // table/mat full: result stays a miss
+        const auto loc = table_.locate(id);
+        PendingWrite w;
+        w.mat = loc->mat;
+        w.subarray = loc->subarray;
+        w.phases = table_.last_write_phases();
+        pending_writes.push_back(w);
+        out.hit = true;
+        out.entry = id;
+        out.priority = req.priority;
+        break;
+      }
+      case RequestKind::kSetPriority: {
+        if (!table_.contains(req.target)) break;
+        // Peripheral-only: the priority lives in the resolver, not in
+        // cells — no pulses, no driver occupancy.
+        table_.set_priority(req.target, req.priority);
+        out.hit = true;
+        out.entry = req.target;
+        out.priority = req.priority;
+        break;
+      }
+      case RequestKind::kRelocate: {
+        if (!table_.contains(req.target)) break;
+        if (!table_.relocate(req.target, req.mat)) break;
+        const auto loc = table_.locate(req.target);
+        PendingWrite w;
+        w.mat = loc->mat;
+        w.subarray = loc->subarray;
+        w.phases = table_.last_write_phases();
+        pending_writes.push_back(w);
+        out.hit = true;
+        out.entry = req.target;
+        out.priority = table_.priority_of(req.target);
         break;
       }
     }

@@ -39,13 +39,25 @@
 
 namespace fetcam::engine {
 
-enum class RequestKind : std::uint8_t { kSearch, kUpdate, kErase };
+enum class RequestKind : std::uint8_t {
+  kSearch,
+  kUpdate,
+  kErase,
+  kInsert,       ///< allocate + write a new entry (result carries its id)
+  kSetPriority,  ///< peripheral-only priority flip (no pulses)
+  kRelocate,     ///< move an entry to another mat (wear leveling)
+};
 
 struct Request {
   RequestKind kind = RequestKind::kSearch;
   arch::BitWord query;        ///< kSearch
-  EntryId target = kInvalidEntry;  ///< kUpdate / kErase
-  arch::TernaryWord entry;    ///< kUpdate
+  EntryId target = kInvalidEntry;  ///< kUpdate / kErase / kSetPriority / kRelocate
+  arch::TernaryWord entry;    ///< kUpdate / kInsert
+  int priority = 0;           ///< kInsert / kSetPriority
+  int mat = -1;               ///< kInsert placement hint / kRelocate target
+  /// kUpdate only: delta rewrite (TcamTable::rewrite_digits — pulses only
+  /// for changed digits) instead of a full row refresh.
+  bool incremental = false;
 };
 
 inline Request make_search(arch::BitWord query) {
@@ -61,10 +73,41 @@ inline Request make_update(EntryId target, arch::TernaryWord entry) {
   r.entry = std::move(entry);
   return r;
 }
+inline Request make_rewrite(EntryId target, arch::TernaryWord entry) {
+  Request r;
+  r.kind = RequestKind::kUpdate;
+  r.target = target;
+  r.entry = std::move(entry);
+  r.incremental = true;
+  return r;
+}
 inline Request make_erase(EntryId target) {
   Request r;
   r.kind = RequestKind::kErase;
   r.target = target;
+  return r;
+}
+inline Request make_insert(arch::TernaryWord entry, int priority,
+                           int mat = -1) {
+  Request r;
+  r.kind = RequestKind::kInsert;
+  r.entry = std::move(entry);
+  r.priority = priority;
+  r.mat = mat;
+  return r;
+}
+inline Request make_set_priority(EntryId target, int priority) {
+  Request r;
+  r.kind = RequestKind::kSetPriority;
+  r.target = target;
+  r.priority = priority;
+  return r;
+}
+inline Request make_relocate(EntryId target, int mat) {
+  Request r;
+  r.kind = RequestKind::kRelocate;
+  r.target = target;
+  r.mat = mat;
   return r;
 }
 

@@ -100,14 +100,25 @@ void TcamTable::write_slot(const Slot& slot, const arch::TernaryWord& entry) {
 }
 
 EntryId TcamTable::insert(const arch::TernaryWord& entry, int priority) {
-  // Emptiest mat, lowest index on ties — deterministic spread.
+  return insert(entry, priority, -1);
+}
+
+EntryId TcamTable::insert(const arch::TernaryWord& entry, int priority,
+                          int mat) {
   int best = -1;
-  std::size_t best_free = 0;
-  for (int m = 0; m < config_.mats; ++m) {
-    const std::size_t free = free_rows_[static_cast<std::size_t>(m)].size();
-    if (free > best_free) {
-      best = m;
-      best_free = free;
+  if (mat >= 0) {
+    // Placer-directed: this mat or nothing (capacity drift must surface).
+    checked_mat(mat);
+    if (!free_rows_[static_cast<std::size_t>(mat)].empty()) best = mat;
+  } else {
+    // Emptiest mat, lowest index on ties — deterministic spread.
+    std::size_t best_free = 0;
+    for (int m = 0; m < config_.mats; ++m) {
+      const std::size_t free = free_rows_[static_cast<std::size_t>(m)].size();
+      if (free > best_free) {
+        best = m;
+        best_free = free;
+      }
     }
   }
   if (best < 0) return kInvalidEntry;
@@ -142,6 +153,68 @@ void TcamTable::update(EntryId id, const arch::TernaryWord& entry,
   write_slot(slots_[static_cast<std::size_t>(id)], entry);
 }
 
+void TcamTable::rewrite_digits(EntryId id, const arch::TernaryWord& entry) {
+  check_entry(id);
+  const Slot& slot = slots_[static_cast<std::size_t>(id)];
+  auto& shard = shards_[static_cast<std::size_t>(slot.mat)];
+  const arch::TernaryWord previous = shard.entry(slot.row);
+  int changed = 0;
+  for (std::size_t c = 0; c < entry.size(); ++c) {
+    if (entry[c] != previous[c]) ++changed;
+  }
+  const arch::WritePlan plan =
+      two_step_
+          ? arch::incremental_three_step_plan(entry, previous, write_voltages_)
+          : arch::incremental_complementary_plan(entry, previous,
+                                                 write_voltages_);
+  last_write_phases_ = static_cast<int>(plan.phases.size());
+  write_pulses_ += last_write_phases_;
+  if (changed > 0) {
+    // Energy: the two-step designs pay the cells that switch polarization;
+    // the complementary designs pay the (per-cell-pair) cost of every
+    // driven column — here only the changed ones.
+    const int cells = two_step_ ? plan.total_switching_cells() : changed;
+    energy_[static_cast<std::size_t>(slot.mat)].on_write(cells);
+    endurance_[static_cast<std::size_t>(slot.mat)].on_write(slot.row);
+    shard.write(slot.row, entry);
+  }
+}
+
+void TcamTable::set_priority(EntryId id, int priority) {
+  check_entry(id);
+  slots_[static_cast<std::size_t>(id)].priority = priority;
+}
+
+bool TcamTable::relocate(EntryId id, int target_mat) {
+  check_entry(id);
+  checked_mat(target_mat);
+  auto& heap = free_rows_[static_cast<std::size_t>(target_mat)];
+  if (heap.empty()) return false;
+  Slot& slot = slots_[static_cast<std::size_t>(id)];
+  const int old_mat = slot.mat;
+  const int old_row = slot.row;
+  const arch::TernaryWord word =
+      shards_[static_cast<std::size_t>(old_mat)].entry(old_row);
+
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+  const int row = heap.back();
+  heap.pop_back();
+  slot.mat = target_mat;
+  slot.row = row;
+  // One write at the destination (erased previous), endurance charged
+  // there; vacating the source is peripheral-only, exactly like erase().
+  write_slot(slot, word);
+  row_entry_[static_cast<std::size_t>(target_mat)]
+            [static_cast<std::size_t>(row)] = id;
+  shards_[static_cast<std::size_t>(old_mat)].erase(old_row);
+  row_entry_[static_cast<std::size_t>(old_mat)]
+            [static_cast<std::size_t>(old_row)] = kInvalidEntry;
+  auto& old_heap = free_rows_[static_cast<std::size_t>(old_mat)];
+  old_heap.push_back(old_row);
+  std::push_heap(old_heap.begin(), old_heap.end(), std::greater<>());
+  return true;
+}
+
 void TcamTable::erase(EntryId id) {
   check_entry(id);
   Slot& slot = slots_[static_cast<std::size_t>(id)];
@@ -174,6 +247,51 @@ std::optional<EntryLocation> TcamTable::locate(EntryId id) const {
 int TcamTable::priority_of(EntryId id) const {
   check_entry(id);
   return slots_[static_cast<std::size_t>(id)].priority;
+}
+
+arch::TernaryWord TcamTable::entry_word(EntryId id) const {
+  check_entry(id);
+  const Slot& slot = slots_[static_cast<std::size_t>(id)];
+  return shards_[static_cast<std::size_t>(slot.mat)].entry(slot.row);
+}
+
+std::size_t TcamTable::free_rows(int mat) const {
+  return free_rows_[checked_mat(mat)].size();
+}
+
+WriteCost TcamTable::cost_write(const arch::TernaryWord& next,
+                                const arch::TernaryWord* previous) const {
+  const arch::TernaryWord empty;
+  const arch::WritePlan plan =
+      two_step_
+          ? arch::three_step_plan(next, previous != nullptr ? *previous : empty,
+                                  write_voltages_)
+          : arch::complementary_plan(next, write_voltages_);
+  WriteCost cost;
+  cost.phases = static_cast<int>(plan.phases.size());
+  // Same charging policy as write_slot: the 1.5T1Fe plans pay switching
+  // cells only, the 2FeFET designs pay every cell.
+  cost.cells = two_step_ ? plan.total_switching_cells() : config_.cols;
+  cost.energy_j = energy_[0].projected_write_energy_j(cost.cells);
+  return cost;
+}
+
+WriteCost TcamTable::cost_rewrite(const arch::TernaryWord& next,
+                                  const arch::TernaryWord& previous) const {
+  const arch::WritePlan plan =
+      two_step_
+          ? arch::incremental_three_step_plan(next, previous, write_voltages_)
+          : arch::incremental_complementary_plan(next, previous,
+                                                 write_voltages_);
+  int changed = 0;
+  for (std::size_t c = 0; c < next.size(); ++c) {
+    if (next[c] != previous[c]) ++changed;
+  }
+  WriteCost cost;
+  cost.phases = static_cast<int>(plan.phases.size());
+  cost.cells = two_step_ ? plan.total_switching_cells() : changed;
+  cost.energy_j = energy_[0].projected_write_energy_j(cost.cells);
+  return cost;
 }
 
 void TcamTable::match(const arch::BitWord& query, MatchScratch& scratch,

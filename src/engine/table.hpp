@@ -68,6 +68,13 @@ struct EntryLocation {
   int subarray = 0;
 };
 
+/// Projected cost of one row write (planner pricing; nothing is charged).
+struct WriteCost {
+  int phases = 0;       ///< HV driver pulses the plan issues
+  int cells = 0;        ///< FeFET cells that switch polarization
+  double energy_j = 0.0;
+};
+
 class TcamTable {
  public:
   explicit TcamTable(const TableConfig& config);
@@ -84,15 +91,46 @@ class TcamTable {
   /// mat index on ties, lowest free row within the mat — deterministic).
   /// Returns kInvalidEntry when the table is full.
   EntryId insert(const arch::TernaryWord& entry, int priority);
+  /// Targeted variant: allocate on `mat` specifically (the endurance-aware
+  /// placer's lever).  mat < 0 falls back to the default emptiest-mat
+  /// policy; a full target mat returns kInvalidEntry (no silent fallback —
+  /// the placer accounted for capacity and must hear about drift).
+  EntryId insert(const arch::TernaryWord& entry, int priority, int mat);
   /// Rewrite an existing entry in place (same slot, same priority unless
   /// given); charges the write plan like a controller update.
   void update(EntryId id, const arch::TernaryWord& entry);
   void update(EntryId id, const arch::TernaryWord& entry, int priority);
+  /// In-place DELTA rewrite: drives only the digits that differ from the
+  /// stored word (arch::incremental_*_plan), so an unchanged word costs
+  /// zero pulses.  The compiler's delta planner issues these; update()
+  /// stays the full row refresh a naive controller performs.
+  void rewrite_digits(EntryId id, const arch::TernaryWord& entry);
+  /// Peripheral-only priority change: the priority lives in the match
+  /// resolver, not in FeFET cells, so no pulses and no energy are charged
+  /// (the make-before-break applier's "flip" step).
+  void set_priority(EntryId id, int priority);
   /// Remove an entry and recycle its slot (peripheral-only: no pulses).
   void erase(EntryId id);
+  /// Move an entry to a free row on `target_mat`, keeping its id and
+  /// priority.  Charges exactly ONE write — the 3-phase (or complementary)
+  /// program of the word at the destination row — plus destination-row
+  /// endurance; vacating the source row is peripheral-only, like erase.
+  /// Returns false (and changes nothing) if target_mat has no free row.
+  bool relocate(EntryId id, int target_mat);
   bool contains(EntryId id) const;
   std::optional<EntryLocation> locate(EntryId id) const;
   int priority_of(EntryId id) const;
+  /// The stored word of a live entry (unpacked from its shard row).
+  arch::TernaryWord entry_word(EntryId id) const;
+  /// Free rows remaining on one mat (planner capacity checks).
+  std::size_t free_rows(int mat) const;
+  /// Price the write `next` would cost on top of `previous` (nullptr =
+  /// erased slot), with this table's design/voltages.  Pure projection.
+  WriteCost cost_write(const arch::TernaryWord& next,
+                       const arch::TernaryWord* previous) const;
+  /// Price a rewrite_digits of `next` over `previous` (delta plan).
+  WriteCost cost_rewrite(const arch::TernaryWord& next,
+                         const arch::TernaryWord& previous) const;
 
   /// Pure broadcast match: no accounting, const, safe to call from many
   /// threads concurrently (against other match calls only).

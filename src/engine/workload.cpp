@@ -17,6 +17,7 @@ namespace {
 constexpr std::uint64_t kRuleStream = 0;
 constexpr std::uint64_t kQueryStream = 1;
 constexpr std::uint64_t kUpdateStream = 2;
+constexpr std::uint64_t kChurnStream = 3;
 
 arch::BitWord random_bits(std::mt19937& rng, int cols) {
   std::uniform_int_distribution<int> bit(0, 1);
@@ -189,6 +190,51 @@ std::optional<Trace> load_trace(const std::string& path) {
   }
   if (trace.cols <= 0) return std::nullopt;
   return trace;
+}
+
+std::vector<TraceRule> churn_rules(const std::vector<TraceRule>& rules,
+                                   TraceKind kind, int cols,
+                                   const ChurnSpec& spec, int step) {
+  if (cols <= 0) throw std::invalid_argument("churn needs cols > 0");
+  std::vector<TraceRule> next;
+  next.reserve(rules.size());
+  const std::size_t hot_count = static_cast<std::size_t>(
+      spec.hot_fraction * static_cast<double>(rules.size()));
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    // One stream per (step, rule): editing rule i never perturbs rule j.
+    auto rng = util::trial_rng(
+        spec.seed,
+        (static_cast<std::uint64_t>(step) << 32) | static_cast<std::uint64_t>(i),
+        kChurnStream);
+    TraceRule r = rules[i];
+    const bool hot = i < hot_count;
+    if (!hot && u(rng) < spec.add_remove_rate) {
+      // Drop this rule and add a fresh one (route withdrawn + announced).
+      next.push_back(kind == TraceKind::kIpPrefix
+                         ? make_ip_prefix_rule(rng, cols)
+                         : make_classifier_rule(rng, cols));
+      continue;
+    }
+    const double rate = hot ? spec.hot_modify_rate : spec.modify_rate;
+    if (u(rng) < rate) {
+      // Edit 1-3 digits in place: the minimal-rewrite case the delta
+      // planner should turn into a single in-place row update.
+      const int edits = std::uniform_int_distribution<int>(1, 3)(rng);
+      std::uniform_int_distribution<int> pos(0, cols - 1);
+      std::uniform_int_distribution<int> digit(0, 2);
+      for (int e = 0; e < edits; ++e) {
+        r.entry[static_cast<std::size_t>(pos(rng))] =
+            static_cast<arch::Ternary>(digit(rng));
+      }
+    }
+    if (u(rng) < spec.priority_jitter_rate) {
+      r.priority += std::uniform_int_distribution<int>(0, 1)(rng) != 0 ? 1 : -1;
+      if (r.priority < 0) r.priority = 0;
+    }
+    next.push_back(std::move(r));
+  }
+  return next;
 }
 
 std::vector<EntryId> load_rules(TcamTable& table, const Trace& trace) {

@@ -64,6 +64,26 @@ Trace generate_trace(const TraceSpec& spec);
 bool save_trace(const Trace& trace, const std::string& path);
 std::optional<Trace> load_trace(const std::string& path);
 
+/// Deterministic rule churn: the table-maintenance workload the update
+/// planner exists for.  Each step edits a few rule words in place, drops
+/// some rules and adds fresh ones, and occasionally shifts a priority.  A
+/// leading `hot_fraction` of the rule list churns at `hot_modify_rate`
+/// (routing-flap-style hot rules — the wear-leveling stress); the rest
+/// churn at `modify_rate`.  Pure function of (rules, spec, step):
+/// counter-keyed per rule, so thread count and call order never matter.
+struct ChurnSpec {
+  double modify_rate = 0.05;      ///< per-step word-edit chance, cold rules
+  double hot_fraction = 0.10;     ///< leading rules that churn hot
+  double hot_modify_rate = 0.75;  ///< per-step word-edit chance, hot rules
+  double add_remove_rate = 0.03;  ///< per-step drop+replace chance (cold)
+  double priority_jitter_rate = 0.02;  ///< per-step priority +/-1 chance
+  std::uint64_t seed = 1;
+};
+
+std::vector<TraceRule> churn_rules(const std::vector<TraceRule>& rules,
+                                   TraceKind kind, int cols,
+                                   const ChurnSpec& spec, int step);
+
 /// Options for driving one trace through an engine.
 struct RunOptions {
   int batch_size = 256;

@@ -1,0 +1,291 @@
+// Make-before-break applier under concurrency.
+//
+// Two properties, tested separately:
+//
+//   1. DETERMINISM (golden, thread-sweep): a fixed single-producer
+//      scenario — install, search sweeps, two churn updates — produces
+//      bit-identical search results, write pulses, energy, and per-mat
+//      endurance totals at 1, 2, and 8 worker threads, and every
+//      quiescent sweep agrees with the brute-force reference resolver
+//      (the soft table).
+//
+//   2. ATOMICITY (racy): searcher threads hammer the engine while the
+//      main thread applies an update plan.  Every observed result must be
+//      the OLD winner, the NEW winner, or — only on keys the old set
+//      misses — a newly inserted entry still at its shadow priority.
+//      Anything else (a half-applied hybrid) fails the test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/applier.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/planner.hpp"
+#include "engine/engine.hpp"
+#include "engine/table.hpp"
+#include "engine/workload.hpp"
+#include "util/parallel.hpp"
+
+namespace fetcam::compiler {
+namespace {
+
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+engine::TableConfig test_config() {
+  engine::TableConfig cfg;
+  cfg.design = arch::TcamDesign::k1p5DgFe;
+  cfg.mats = 4;
+  cfg.rows_per_mat = 32;
+  cfg.cols = 16;
+  cfg.subarrays_per_mat = 4;
+  return cfg;
+}
+
+engine::TraceSpec test_spec() {
+  engine::TraceSpec spec;
+  spec.kind = engine::TraceKind::kIpPrefix;
+  spec.cols = 16;
+  spec.rules = 48;
+  spec.queries = 256;
+  spec.match_rate = 0.5;
+  spec.seed = 91;
+  return spec;
+}
+
+/// Winner a quiescent table must report for `key` under `compiled` /
+/// `installed`: entry id + flattened priority, or a miss.
+struct Expected {
+  bool hit = false;
+  engine::EntryId entry = engine::kInvalidEntry;
+  int priority = 0;
+};
+
+Expected expected_result(const CompiledRuleSet& compiled,
+                         const Installation& installed,
+                         const arch::BitWord& key) {
+  Expected e;
+  const int w = reference_winner(compiled, key);
+  if (w < 0) return e;
+  e.hit = true;
+  e.entry = installed.entries[static_cast<std::size_t>(w)].id;
+  e.priority = installed.entries[static_cast<std::size_t>(w)].priority;
+  return e;
+}
+
+struct ScenarioOutcome {
+  std::vector<engine::RequestResult> results;  ///< all sweeps, concatenated
+  long long write_pulses = 0;
+  double energy_j = 0.0;
+  std::vector<std::uint64_t> mat_writes;
+  std::vector<int> plan_shape;  ///< op counts per update, flattened
+};
+
+/// Fixed single-producer scenario: install set 0, sweep, churn -> set 1,
+/// sweep, churn -> set 2 (endurance-tuned options), sweep.  Each sweep is
+/// checked against the reference resolver in place.
+ScenarioOutcome run_scenario() {
+  const engine::Trace trace = engine::generate_trace(test_spec());
+  engine::ChurnSpec churn;
+  churn.seed = 17;
+  churn.hot_fraction = 0.25;
+  churn.hot_modify_rate = 0.9;
+
+  engine::TcamTable table(test_config());
+  ScenarioOutcome out;
+  {
+    engine::SearchEngine eng(table);
+    Installation installed;
+    std::vector<engine::TraceRule> rules = trace.rules;
+    for (int step = 0; step < 3; ++step) {
+      if (step > 0) {
+        rules = engine::churn_rules(rules, test_spec().kind,
+                                    test_spec().cols, churn, step);
+      }
+      const auto compiled =
+          compile_rules(rule_set_from_rules(test_spec().cols, rules));
+      PlannerOptions popts;
+      if (step == 2) {
+        popts.placement.rewrite_spread_headroom = 2;
+      }
+      const UpdatePlan plan =
+          plan_update(installed, compiled, table, popts);
+      out.plan_shape.insert(out.plan_shape.end(),
+                            {plan.keeps, plan.priority_flips, plan.rewrites,
+                             plan.inserts, plan.erases, plan.relocations});
+      ApplyOptions aopts;
+      aopts.chunk = 4;
+      installed = apply_plan(eng, plan, compiled, aopts).installed;
+
+      // Quiescent sweep: batched searches, checked against the soft table.
+      for (std::size_t q = 0; q < trace.queries.size(); q += 16) {
+        std::vector<engine::Request> batch;
+        for (std::size_t k = q; k < q + 16 && k < trace.queries.size(); ++k) {
+          batch.push_back(engine::make_search(trace.queries[k]));
+        }
+        const auto res = eng.execute(std::move(batch));
+        for (std::size_t r = 0; r < res.results.size(); ++r) {
+          const Expected want =
+              expected_result(compiled, installed, trace.queries[q + r]);
+          EXPECT_EQ(res.results[r].hit, want.hit) << "step " << step;
+          EXPECT_EQ(res.results[r].entry, want.entry) << "step " << step;
+          if (want.hit) {
+            EXPECT_EQ(res.results[r].priority, want.priority)
+                << "step " << step;
+          }
+          out.results.push_back(res.results[r]);
+        }
+      }
+    }
+  }
+  out.write_pulses = table.write_pulses();
+  out.energy_j = table.total_energy_j();
+  for (int m = 0; m < table.mats(); ++m) {
+    out.mat_writes.push_back(table.endurance(m).total_writes());
+  }
+  return out;
+}
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { util::set_thread_count(0); }
+};
+
+TEST(ApplierConcurrency, GoldenAcrossThreadCountsAndMatchesSoftTable) {
+  ThreadCountGuard guard;
+  util::set_thread_count(1);
+  const ScenarioOutcome golden = run_scenario();
+  ASSERT_FALSE(golden.results.empty());
+  for (const int threads : kThreadCounts) {
+    util::set_thread_count(threads);
+    const ScenarioOutcome run = run_scenario();
+    ASSERT_EQ(run.results.size(), golden.results.size()) << threads;
+    for (std::size_t i = 0; i < run.results.size(); ++i) {
+      EXPECT_EQ(run.results[i].hit, golden.results[i].hit) << threads;
+      EXPECT_EQ(run.results[i].entry, golden.results[i].entry) << threads;
+      EXPECT_EQ(run.results[i].priority, golden.results[i].priority)
+          << threads;
+    }
+    EXPECT_EQ(run.write_pulses, golden.write_pulses) << threads;
+    EXPECT_EQ(run.energy_j, golden.energy_j) << threads;
+    EXPECT_EQ(run.mat_writes, golden.mat_writes) << threads;
+    EXPECT_EQ(run.plan_shape, golden.plan_shape) << threads;
+  }
+}
+
+TEST(ApplierConcurrency, SearchesSeeOldWinnerOrNewWinnerNeverHybrids) {
+  const engine::Trace trace = engine::generate_trace(test_spec());
+  engine::ChurnSpec churn;
+  churn.seed = 29;
+  churn.hot_fraction = 0.25;
+  churn.hot_modify_rate = 0.9;
+  churn.modify_rate = 0.3;
+  churn.add_remove_rate = 0.15;
+  churn.priority_jitter_rate = 0.1;
+  const auto rules_b =
+      engine::churn_rules(trace.rules, test_spec().kind, test_spec().cols,
+                          churn, 1);
+  const auto setA =
+      compile_rules(rule_set_from_rules(test_spec().cols, trace.rules));
+  const auto setB =
+      compile_rules(rule_set_from_rules(test_spec().cols, rules_b));
+
+  engine::TcamTable table(test_config());
+  engine::SearchEngine eng(table);
+  const UpdatePlan planA = plan_update({}, setA, table);
+  const Installation installedA = apply_plan(eng, planA, setA).installed;
+  eng.drain();
+
+  const UpdatePlan planB = plan_update(installedA, setB, table);
+
+  // Searchers race the update: record every (query, result) observed.
+  struct Observed {
+    std::size_t query = 0;
+    engine::RequestResult result;
+  };
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<Observed>> seen(2);
+  auto searcher = [&](int who) {
+    std::size_t at = static_cast<std::size_t>(who);
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<engine::Request> batch;
+      std::vector<std::size_t> keys;
+      for (int k = 0; k < 8; ++k) {
+        keys.push_back(at % trace.queries.size());
+        batch.push_back(engine::make_search(trace.queries[keys.back()]));
+        at += 2;
+      }
+      const auto res = eng.execute(std::move(batch));
+      for (std::size_t r = 0; r < res.results.size(); ++r) {
+        seen[static_cast<std::size_t>(who)].push_back(
+            {keys[r], res.results[r]});
+      }
+    }
+  };
+  std::thread s0(searcher, 0);
+  std::thread s1(searcher, 1);
+
+  ApplyOptions aopts;
+  aopts.chunk = 2;  // many small batches: maximum interleaving
+  const Installation installedB = apply_plan(eng, planB, setB, aopts).installed;
+  // Let the searchers observe the settled state too, then stop them.
+  eng.drain();
+  stop.store(true, std::memory_order_relaxed);
+  s0.join();
+  s1.join();
+
+  // Inserted entries (id, word, shadow priority) for the mid-make case.
+  struct Shadow {
+    engine::EntryId id;
+    const arch::TernaryWord* word;
+    int shadow_priority;
+  };
+  std::vector<Shadow> shadows;
+  for (const PlanOp& op : planB.ops) {
+    if (op.kind != PlanOpKind::kInsert) continue;
+    const auto& e = installedB.entries[static_cast<std::size_t>(op.compiled_index)];
+    shadows.push_back(
+        {e.id, &setB.entries[static_cast<std::size_t>(op.compiled_index)].word,
+         e.priority + planB.shadow_priority_offset});
+  }
+
+  std::size_t checked = 0;
+  for (const auto& lane : seen) {
+    for (const auto& obs : lane) {
+      const arch::BitWord& key = trace.queries[obs.query];
+      const Expected old_w = expected_result(setA, installedA, key);
+      const Expected new_w = expected_result(setB, installedB, key);
+      const auto& got = obs.result;
+      const bool is_old = got.hit == old_w.hit && got.entry == old_w.entry &&
+                          (!old_w.hit || got.priority == old_w.priority);
+      const bool is_new = got.hit == new_w.hit && got.entry == new_w.entry &&
+                          (!new_w.hit || got.priority == new_w.priority);
+      bool is_shadow = false;
+      if (!old_w.hit && got.hit) {
+        // Mid-make on an old-miss key: any matching inserted entry at its
+        // shadow priority is a legal early glimpse of the new set.
+        for (const Shadow& s : shadows) {
+          if (got.entry == s.id && got.priority == s.shadow_priority &&
+              arch::word_matches(*s.word, key)) {
+            is_shadow = true;
+            break;
+          }
+        }
+      }
+      EXPECT_TRUE(is_old || is_new || is_shadow)
+          << "query " << obs.query << ": got (hit=" << got.hit << ", entry="
+          << got.entry << ", prio=" << got.priority << "), old (hit="
+          << old_w.hit << ", entry=" << old_w.entry << ", prio="
+          << old_w.priority << "), new (hit=" << new_w.hit << ", entry="
+          << new_w.entry << ", prio=" << new_w.priority << ")";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u) << "searchers must have observed something";
+  // The update really changed the rule set (the race was not vacuous).
+  EXPECT_GT(planB.rewrites + planB.inserts + planB.erases, 0);
+}
+
+}  // namespace
+}  // namespace fetcam::compiler

@@ -237,6 +237,119 @@ TEST(TcamTable, BroadcastMatchesFlatBehavioralReference) {
   }
 }
 
+TEST(TcamTable, TargetedInsertHonorsMatAndRefusesFullMat) {
+  TableConfig cfg = small_config();
+  cfg.mats = 2;
+  cfg.rows_per_mat = 2;
+  TcamTable t(cfg);
+  const auto a = t.insert(from_string("0000XXXX"), 0, 1);
+  const auto b = t.insert(from_string("0001XXXX"), 0, 1);
+  EXPECT_EQ(t.locate(a)->mat, 1);
+  EXPECT_EQ(t.locate(b)->mat, 1);
+  // Mat 1 is full; a targeted insert must NOT silently fall back to mat 0.
+  EXPECT_EQ(t.insert(from_string("0010XXXX"), 0, 1), kInvalidEntry);
+  EXPECT_EQ(t.free_rows(0), 2u);
+  EXPECT_EQ(t.free_rows(1), 0u);
+  // mat < 0 keeps the default emptiest-mat policy.
+  const auto c = t.insert(from_string("0011XXXX"), 0, -1);
+  EXPECT_EQ(t.locate(c)->mat, 0);
+  EXPECT_THROW(t.insert(from_string("0100XXXX"), 0, 2), std::out_of_range);
+}
+
+TEST(TcamTable, SetPriorityIsPeripheralOnly) {
+  TcamTable t(small_config());
+  const auto id = t.insert(from_string("1011XXXX"), 5);
+  const auto pulses = t.write_pulses();
+  const auto energy = t.total_energy_j();
+  const auto loc = *t.locate(id);
+  const auto row_writes = t.endurance(loc.mat).writes(loc.row);
+
+  t.set_priority(id, 1);
+  EXPECT_EQ(t.priority_of(id), 1);
+  EXPECT_EQ(t.write_pulses(), pulses) << "priority lives in the resolver";
+  EXPECT_EQ(t.total_energy_j(), energy);
+  EXPECT_EQ(t.endurance(loc.mat).writes(loc.row), row_writes);
+  const auto m = t.search(bits("10110000"));
+  EXPECT_EQ(m.priority, 1);
+}
+
+TEST(TcamTable, RewriteDigitsChargesOnlyChangedColumns) {
+  TcamTable t(small_config());
+  const auto id = t.insert(from_string("00001111"), 0);
+  const auto pulses = t.write_pulses();
+  const auto energy = t.total_energy_j();
+
+  // Unchanged word: zero pulses, zero energy, zero endurance.
+  const auto loc = *t.locate(id);
+  const auto row_writes = t.endurance(loc.mat).writes(loc.row);
+  t.rewrite_digits(id, from_string("00001111"));
+  EXPECT_EQ(t.last_write_phases(), 0);
+  EXPECT_EQ(t.write_pulses(), pulses);
+  EXPECT_EQ(t.total_energy_j(), energy);
+  EXPECT_EQ(t.endurance(loc.mat).writes(loc.row), row_writes);
+
+  // One digit flips 1 -> X: the charged pulses/energy must equal the
+  // quoted delta cost, stay within a full 3-phase refresh, and leave the
+  // stored word right.
+  const auto cost = t.cost_rewrite(from_string("0000111X"),
+                                   from_string("00001111"));
+  t.rewrite_digits(id, from_string("0000111X"));
+  EXPECT_EQ(t.write_pulses() - pulses, cost.phases);
+  EXPECT_NEAR(t.total_energy_j() - energy, cost.energy_j, 1e-18);
+  EXPECT_LE(cost.phases, 3);
+  EXPECT_GT(cost.phases, 0);
+  EXPECT_TRUE(t.search(bits("00001110")).hit);
+  EXPECT_TRUE(t.search(bits("00001111")).hit);
+  EXPECT_EQ(t.entry_word(id), from_string("0000111X"));
+}
+
+TEST(TcamTable, RelocateChargesDestinationWriteExactlyOnce) {
+  // Regression: an early draft charged the write at BOTH the source (via
+  // erase bookkeeping) and the destination.  A relocation is one program
+  // operation: its energy delta must equal a fresh insert of the same
+  // word, and endurance must tick only at the destination row.
+  TcamTable t(small_config());
+  const auto word = from_string("1010XXXX");
+  const auto id = t.insert(word, 3, 0);
+  const auto src = *t.locate(id);
+  const double energy_before = t.total_energy_j();
+  const auto pulses_before = t.write_pulses();
+  const auto expect = t.cost_write(word, nullptr);
+
+  ASSERT_TRUE(t.relocate(id, 1));
+  const auto dst = *t.locate(id);
+  EXPECT_EQ(dst.mat, 1);
+  EXPECT_EQ(t.priority_of(id), 3) << "relocation preserves priority";
+  EXPECT_EQ(t.entry_word(id), word);
+
+  // Exactly one write's worth of energy and pulses, no double charge.
+  EXPECT_NEAR(t.total_energy_j() - energy_before, expect.energy_j, 1e-18);
+  EXPECT_EQ(t.write_pulses() - pulses_before, expect.phases);
+  EXPECT_EQ(t.endurance(dst.mat).writes(dst.row), 1u);
+  EXPECT_EQ(t.endurance(src.mat).writes(src.row), 1u)
+      << "source row keeps its insert-time count; vacating is peripheral";
+  EXPECT_EQ(t.endurance(src.mat).total_writes(), 1u);
+
+  // The vacated row is free again and the search still resolves to id.
+  EXPECT_EQ(t.free_rows(src.mat), 8u);
+  const auto m = t.search(bits("10100000"));
+  EXPECT_TRUE(m.hit);
+  EXPECT_EQ(m.entry, id);
+
+  // A full target mat refuses without side effects.
+  TableConfig tiny = small_config();
+  tiny.mats = 2;
+  tiny.rows_per_mat = 2;
+  TcamTable t2(tiny);
+  const auto x = t2.insert(word, 0, 0);
+  t2.insert(from_string("0001XXXX"), 0, 1);
+  t2.insert(from_string("0010XXXX"), 0, 1);
+  const double e2 = t2.total_energy_j();
+  EXPECT_FALSE(t2.relocate(x, 1));
+  EXPECT_EQ(t2.locate(x)->mat, 0);
+  EXPECT_EQ(t2.total_energy_j(), e2);
+}
+
 TEST(TcamTable, SingleStepDesignUsesFullMatch) {
   TableConfig cfg = small_config();
   cfg.design = arch::TcamDesign::kCmos16T;

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""CI guard: rule churn must stay cheap and wear-leveled.
+
+Reads the machine-readable report emitted by
+
+    bench_update_churn --update-json=BENCH_update.json
+
+and fails when:
+
+  * the delta planner's write phases over the churn run exceed
+    MAX_DELTA_FRACTION of the naive erase-everything/rewrite-everything
+    baseline (the figure of merit incremental updates must earn); or
+  * the endurance-aware placement's wear spread (max - min per-mat
+    writes) or hottest-row write count is WORSE than capacity-only
+    placement's -- wear leveling that does not level is a regression; or
+  * either arm is degenerate (no steps, no writes, no keeps -- meaning
+    the harness silently stopped exercising the planner).
+
+Every gated number is deterministic (fixed seeds, fixed scenario); only
+the search latency figures are machine-dependent and they are not gated.
+
+Usage: check_update_writes.py BENCH_update.json
+"""
+
+import json
+import sys
+
+MAX_DELTA_FRACTION = 0.5
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        report = json.load(f)
+
+    ok = True
+
+    aware = report.get("endurance_aware")
+    cap = report.get("capacity_only")
+    if not aware or not cap:
+        print("FAIL: report missing endurance_aware / capacity_only arms")
+        return 1
+
+    for name, arm in (("endurance_aware", aware), ("capacity_only", cap)):
+        if arm.get("steps", 0) <= 0 or arm.get("naive_write_phases", 0) <= 0:
+            print(f"FAIL: {name} arm ran no churn steps")
+            ok = False
+        if arm.get("keeps", 0) <= 0:
+            print(f"FAIL: {name} arm kept no rows (planner found no reuse)")
+            ok = False
+        if arm.get("delta_write_phases", 0) <= 0:
+            print(f"FAIL: {name} arm reported zero delta write phases")
+            ok = False
+
+    naive = aware.get("naive_write_phases", 0)
+    delta = aware.get("delta_write_phases", 0)
+    frac = delta / naive if naive else 1.0
+    print(
+        f"update cost: delta {delta} phases vs naive {naive} "
+        f"({frac:.1%} of naive) over {aware.get('steps', 0)} churn steps"
+    )
+    if frac > MAX_DELTA_FRACTION:
+        print(
+            f"FAIL: delta write phases are {frac:.1%} of naive, "
+            f"gate is {MAX_DELTA_FRACTION:.0%}"
+        )
+        ok = False
+
+    a_spread = aware.get("mat_spread", -1)
+    c_spread = cap.get("mat_spread", -1)
+    a_row = aware.get("max_row_writes", -1)
+    c_row = cap.get("max_row_writes", -1)
+    print(
+        f"wear: aware mat_spread={a_spread} max_row={a_row}  "
+        f"capacity-only mat_spread={c_spread} max_row={c_row}"
+    )
+    if a_spread < 0 or c_spread < 0:
+        print("FAIL: wear histogram missing")
+        ok = False
+    elif a_spread > c_spread:
+        print(
+            f"FAIL: endurance-aware wear spread {a_spread} exceeds "
+            f"capacity-only spread {c_spread}"
+        )
+        ok = False
+    if a_row > c_row:
+        print(
+            f"FAIL: endurance-aware hottest row {a_row} exceeds "
+            f"capacity-only hottest row {c_row}"
+        )
+        ok = False
+
+    print("OK" if ok else "update write guard failed")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

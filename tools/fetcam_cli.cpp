@@ -23,6 +23,19 @@
 //                                       --mats N --rows-per-mat N
 //                                       --design D --batch N
 //                                       --save-trace FILE
+//   fetcam_cli compile [file] [opts]  rule compiler + update planner report
+//                                     (JSON on stdout): expansion factor,
+//                                     planned vs naive writes, projected
+//                                     write energy, per-mat wear histogram.
+//                                     [file] is a rule-set file (see
+//                                     src/compiler/rules.hpp); without one
+//                                     a workload is generated.  Options:
+//                                       --kind ip|classifier --cols N
+//                                       --rules N --seed N
+//                                       --churn-steps N  planner churn loop
+//                                       --mats N --rows-per-mat N --design D
+//                                       --no-endurance   disable wear-aware
+//                                                        placement
 // Designs: 16t, 2sg, 2dg, 1.5sg, 1.5dg.
 //
 // Global flags (before the command):
@@ -51,6 +64,10 @@
 #include <cstring>
 #include <string>
 
+#include "compiler/applier.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/planner.hpp"
+#include "compiler/rules.hpp"
 #include "engine/engine.hpp"
 #include "engine/table.hpp"
 #include "engine/workload.hpp"
@@ -84,7 +101,7 @@ int usage() {
                "[--manifest-out F]\n"
                "                  <table4|fig1|fig4|fig7|ops|"
                "divider|variability|disturb|halfselect|search|datasheet|"
-               "export|engine> [args]\n"
+               "export|engine|compile> [args]\n"
                "  see the header comment of tools/fetcam_cli.cpp\n"
                "  engine: --threads/FETCAM_THREADS also sets the engine's\n"
                "  batch-match worker pool (results are bit-identical at any\n"
@@ -404,6 +421,207 @@ int cmd_engine(int argc, char** argv) {
   return 0;
 }
 
+int cmd_compile(int argc, char** argv) {
+  engine::TraceSpec spec;
+  spec.kind = engine::TraceKind::kClassifier;
+  spec.cols = 32;
+  spec.rules = 256;
+  spec.queries = 0;
+  engine::TableConfig cfg;
+  cfg.mats = 4;
+  cfg.rows_per_mat = 128;
+  std::string rules_path;
+  int churn_steps = 8;
+  compiler::PlannerOptions popts;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag.rfind("--", 0) != 0) {
+      rules_path = flag;
+    } else if (flag == "--kind" && (v = value())) {
+      const std::string kind = v;
+      if (kind == "ip") spec.kind = engine::TraceKind::kIpPrefix;
+      else if (kind == "classifier") spec.kind = engine::TraceKind::kClassifier;
+      else return usage();
+    } else if (flag == "--cols" && (v = value())) {
+      spec.cols = std::atoi(v);
+    } else if (flag == "--rules" && (v = value())) {
+      spec.rules = std::atoi(v);
+    } else if (flag == "--seed" && (v = value())) {
+      spec.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--churn-steps" && (v = value())) {
+      churn_steps = std::atoi(v);
+    } else if (flag == "--mats" && (v = value())) {
+      cfg.mats = std::atoi(v);
+    } else if (flag == "--rows-per-mat" && (v = value())) {
+      cfg.rows_per_mat = std::atoi(v);
+    } else if (flag == "--design" && (v = value())) {
+      if (!parse_design(v, cfg.design)) return usage();
+    } else if (flag == "--no-endurance") {
+      popts.placement.endurance_aware = false;
+    } else {
+      return usage();
+    }
+  }
+
+  compiler::RuleSet rules;
+  if (!rules_path.empty()) {
+    const auto loaded = compiler::load_rule_set(rules_path);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load rule set %s\n", rules_path.c_str());
+      return 1;
+    }
+    rules = *loaded;
+  } else {
+    rules = compiler::rule_set_from_trace(engine::generate_trace(spec));
+  }
+  cfg.cols = rules.cols;
+
+  if (g_manifest != nullptr) {
+    g_manifest->add_info("compile_rules",
+                         rules_path.empty() ? engine::trace_kind_name(spec.kind)
+                                            : rules_path);
+    g_manifest->add_info("compile_source_rules",
+                         static_cast<long long>(rules.rules.size()));
+    g_manifest->add_info("compile_churn_steps",
+                         static_cast<long long>(churn_steps));
+    g_manifest->add_info("rng_seed", static_cast<long long>(spec.seed));
+  }
+
+  try {
+    const auto compiled = compiler::compile_rules(rules);
+    engine::TcamTable table(cfg);
+    engine::SearchEngine eng(table);
+
+    // Initial install (this IS the naive cost: nothing to reuse yet).
+    const auto install_plan = compiler::plan_update({}, compiled, table, popts);
+    auto installed = compiler::apply_plan(eng, install_plan, compiled).installed;
+
+    // Churn loop: each step edits the rule set, recompiles, and applies
+    // the delta plan; totals accumulate the planner's savings.
+    engine::ChurnSpec churn;
+    churn.seed = spec.seed;
+    compiler::PlanCost churn_cost;
+    compiler::UpdatePlan last_plan;
+    long long keeps = 0, flips = 0, rewrites = 0, inserts = 0, erases = 0,
+              relocations = 0;
+    std::vector<engine::TraceRule> current_rules;
+    for (const auto& r : rules.rules) {
+      if (r.has_range) continue;  // churn edits plain words only
+      current_rules.push_back({r.match, r.priority});
+    }
+    const bool can_churn =
+        current_rules.size() == rules.rules.size() && churn_steps > 0;
+    for (int step = 1; can_churn && step <= churn_steps; ++step) {
+      current_rules = engine::churn_rules(current_rules, spec.kind, rules.cols,
+                                          churn, step);
+      const auto next = compiler::compile_rules(
+          compiler::rule_set_from_rules(rules.cols, current_rules));
+      last_plan = compiler::plan_update(installed, next, table, popts);
+      installed = compiler::apply_plan(eng, last_plan, next).installed;
+      churn_cost.write_phases += last_plan.cost.write_phases;
+      churn_cost.switched_cells += last_plan.cost.switched_cells;
+      churn_cost.energy_j += last_plan.cost.energy_j;
+      churn_cost.naive_write_phases += last_plan.cost.naive_write_phases;
+      churn_cost.naive_switched_cells += last_plan.cost.naive_switched_cells;
+      churn_cost.naive_energy_j += last_plan.cost.naive_energy_j;
+      keeps += last_plan.keeps;
+      flips += last_plan.priority_flips;
+      rewrites += last_plan.rewrites;
+      inserts += last_plan.inserts;
+      erases += last_plan.erases;
+      relocations += last_plan.relocations;
+    }
+    eng.drain();
+
+    // Wear histogram: per-mat write totals + row extremes.
+    std::string per_mat;
+    std::uint64_t max_row = 0;
+    std::uint64_t min_row = ~std::uint64_t{0};
+    std::uint64_t max_mat = 0;
+    std::uint64_t min_mat = ~std::uint64_t{0};
+    for (int m = 0; m < table.mats(); ++m) {
+      const auto& e = table.endurance(m);
+      if (!per_mat.empty()) per_mat += ", ";
+      per_mat += std::to_string(e.total_writes());
+      max_row = std::max(max_row, e.max_row_writes());
+      min_row = std::min(min_row, e.min_row_writes());
+      max_mat = std::max(max_mat, e.total_writes());
+      min_mat = std::min(min_mat, e.total_writes());
+    }
+
+    const auto& st = compiled.stats;
+    std::printf(
+        "{\n"
+        "  \"design\": \"%s\",\n"
+        "  \"mats\": %d,\n"
+        "  \"rows_per_mat\": %d,\n"
+        "  \"cols\": %d,\n"
+        "  \"endurance_aware\": %s,\n"
+        "  \"source_rules\": %d,\n"
+        "  \"empty_rules\": %d,\n"
+        "  \"expanded_entries\": %lld,\n"
+        "  \"shadowed_removed\": %lld,\n"
+        "  \"redundant_removed\": %lld,\n"
+        "  \"compiled_entries\": %zu,\n"
+        "  \"priority_levels\": %d,\n"
+        "  \"expansion_factor\": %.4f,\n"
+        "  \"install\": {\n"
+        "    \"write_phases\": %lld,\n"
+        "    \"switched_cells\": %lld,\n"
+        "    \"write_energy_j\": %.6g\n"
+        "  },\n"
+        "  \"churn\": {\n"
+        "    \"steps\": %d,\n"
+        "    \"write_phases\": %lld,\n"
+        "    \"switched_cells\": %lld,\n"
+        "    \"write_energy_j\": %.6g,\n"
+        "    \"naive_write_phases\": %lld,\n"
+        "    \"naive_write_energy_j\": %.6g,\n"
+        "    \"writes_vs_naive\": %.4f,\n"
+        "    \"keeps\": %lld,\n"
+        "    \"priority_flips\": %lld,\n"
+        "    \"rewrites\": %lld,\n"
+        "    \"inserts\": %lld,\n"
+        "    \"erases\": %lld,\n"
+        "    \"relocations\": %lld\n"
+        "  },\n"
+        "  \"wear\": {\n"
+        "    \"per_mat_writes\": [%s],\n"
+        "    \"mat_spread\": %llu,\n"
+        "    \"max_row_writes\": %llu,\n"
+        "    \"min_row_writes\": %llu\n"
+        "  }\n"
+        "}\n",
+        arch::design_name(cfg.design).c_str(), cfg.mats, cfg.rows_per_mat,
+        cfg.cols, popts.placement.endurance_aware ? "true" : "false",
+        st.source_rules, st.empty_rules, st.expanded_entries,
+        st.shadowed_removed, st.redundant_removed, compiled.entries.size(),
+        st.priority_levels, st.expansion_factor,
+        install_plan.cost.write_phases, install_plan.cost.switched_cells,
+        install_plan.cost.energy_j, can_churn ? churn_steps : 0,
+        churn_cost.write_phases, churn_cost.switched_cells,
+        churn_cost.energy_j, churn_cost.naive_write_phases,
+        churn_cost.naive_energy_j,
+        churn_cost.naive_write_phases > 0
+            ? static_cast<double>(churn_cost.write_phases) /
+                  static_cast<double>(churn_cost.naive_write_phases)
+            : 0.0,
+        keeps, flips, rewrites, inserts, erases, relocations, per_mat.c_str(),
+        static_cast<unsigned long long>(max_mat - min_mat),
+        static_cast<unsigned long long>(max_row),
+        static_cast<unsigned long long>(min_row));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "compile run failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 namespace {
@@ -422,6 +640,7 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "datasheet") return cmd_datasheet(argc - 2, argv + 2);
   if (cmd == "export") return cmd_export(argc - 2, argv + 2);
   if (cmd == "engine") return cmd_engine(argc - 2, argv + 2);
+  if (cmd == "compile") return cmd_compile(argc - 2, argv + 2);
   return usage();
 }
 
