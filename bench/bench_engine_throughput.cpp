@@ -23,10 +23,14 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "arch/behavioral_array.hpp"
 #include "arch/search_scheduler.hpp"
+#include "engine/client.hpp"
 #include "engine/engine.hpp"
 #include "engine/packed_kernel.hpp"
+#include "engine/server.hpp"
 #include "engine/table.hpp"
 #include "engine/workload.hpp"
 #include "util/parallel.hpp"
@@ -122,6 +126,58 @@ void BM_PackedTwoStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kKernelRows);
 }
 BENCHMARK(BM_PackedTwoStep)->Unit(benchmark::kMicrosecond);
+
+/// Same packed kernel pinned to one implementation tier (0 = scalar,
+/// 1 = AVX2); skipped when the tier is not available on this build/CPU.
+void BM_PackedFullMatchTier(benchmark::State& state) {
+  const auto tier = static_cast<engine::KernelTier>(state.range(0));
+  if (!engine::kernel_tier_available(tier)) {
+    state.SkipWithError("kernel tier unavailable");
+    return;
+  }
+  engine::PackedShard p(kKernelRows, kKernelCols);
+  fill_pair(3, kKernelRows, kKernelCols, nullptr, &p);
+  const auto qs = make_queries(5, 64, kKernelCols);
+  std::vector<engine::PackedQuery> packed;
+  for (const auto& q : qs) packed.push_back(engine::PackedQuery::pack(q));
+  std::vector<std::uint64_t> mask;
+  std::size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        p.full_match(packed[j++ % packed.size()], mask, tier));
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelRows);
+  state.SetLabel(engine::kernel_tier_name(tier));
+}
+BENCHMARK(BM_PackedFullMatchTier)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PackedTwoStepTier(benchmark::State& state) {
+  const auto tier = static_cast<engine::KernelTier>(state.range(0));
+  if (!engine::kernel_tier_available(tier)) {
+    state.SkipWithError("kernel tier unavailable");
+    return;
+  }
+  engine::PackedShard p(kKernelRows, kKernelCols);
+  fill_pair(3, kKernelRows, kKernelCols, nullptr, &p);
+  const auto qs = make_queries(5, 64, kKernelCols);
+  std::vector<engine::PackedQuery> packed;
+  for (const auto& q : qs) packed.push_back(engine::PackedQuery::pack(q));
+  std::vector<std::uint64_t> mask;
+  std::size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        p.two_step_match(packed[j++ % packed.size()], mask, tier));
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelRows);
+  state.SetLabel(engine::kernel_tier_name(tier));
+}
+BENCHMARK(BM_PackedTwoStepTier)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_EngineBatch(benchmark::State& state) {
   engine::TraceSpec spec;
@@ -225,6 +281,202 @@ KernelReport measure_kernel() {
   return rep;
 }
 
+struct SimdReport {
+  bool available = false;        ///< AVX2 compiled in AND CPU supports it
+  std::string active_tier;       ///< tier the default path dispatches to
+  double scalar_us = 0.0;        ///< full_match pinned to kScalar
+  double simd_us = 0.0;          ///< full_match pinned to kAvx2
+  double scalar_two_step_us = 0.0;
+  double simd_two_step_us = 0.0;
+  double speedup = 0.0;          ///< scalar / simd, full match
+  double two_step_speedup = 0.0;
+};
+
+/// SIMD-vs-scalar on the SAME packed representation at the gate shape;
+/// this isolates the vector kernel from the packing win measured above.
+SimdReport measure_simd() {
+  SimdReport rep;
+  rep.available = engine::kernel_tier_available(engine::KernelTier::kAvx2);
+  rep.active_tier = engine::kernel_tier_name(engine::active_kernel_tier());
+
+  engine::PackedShard p(kKernelRows, kKernelCols);
+  fill_pair(3, kKernelRows, kKernelCols, nullptr, &p);
+  const auto qs = make_queries(5, 32, kKernelCols);
+  std::vector<engine::PackedQuery> packed;
+  for (const auto& q : qs) packed.push_back(engine::PackedQuery::pack(q));
+
+  const int reps = 15;
+  std::vector<std::uint64_t> mask;
+  rep.scalar_us = median_us(reps, [&] {
+    for (const auto& q : packed) {
+      benchmark::DoNotOptimize(
+          p.full_match(q, mask, engine::KernelTier::kScalar));
+    }
+  });
+  rep.scalar_two_step_us = median_us(reps, [&] {
+    for (const auto& q : packed) {
+      benchmark::DoNotOptimize(
+          p.two_step_match(q, mask, engine::KernelTier::kScalar));
+    }
+  });
+  if (rep.available) {
+    rep.simd_us = median_us(reps, [&] {
+      for (const auto& q : packed) {
+        benchmark::DoNotOptimize(
+            p.full_match(q, mask, engine::KernelTier::kAvx2));
+      }
+    });
+    rep.simd_two_step_us = median_us(reps, [&] {
+      for (const auto& q : packed) {
+        benchmark::DoNotOptimize(
+            p.two_step_match(q, mask, engine::KernelTier::kAvx2));
+      }
+    });
+    rep.speedup = rep.simd_us > 0.0 ? rep.scalar_us / rep.simd_us : 0.0;
+    rep.two_step_speedup = rep.simd_two_step_us > 0.0
+                               ? rep.scalar_two_step_us / rep.simd_two_step_us
+                               : 0.0;
+  }
+  return rep;
+}
+
+struct MulticoreConfig {
+  int dispatch_threads = 1;
+  int mat_groups = 1;
+  std::size_t coalesce_batches = 1;
+  double qps = 0.0;
+};
+
+/// Search-only trace through the engine under different dispatcher-pool /
+/// mat-group / coalescing shapes.  Results are identical by the engine's
+/// determinism contract; only the throughput moves.
+std::vector<MulticoreConfig> measure_multicore(double* best_qps) {
+  engine::TraceSpec spec;
+  spec.kind = engine::TraceKind::kIpPrefix;
+  spec.cols = 64;
+  spec.rules = 2048;
+  spec.queries = 20000;
+  spec.match_rate = 0.25;
+  spec.seed = 11;
+  const auto trace = engine::generate_trace(spec);
+
+  engine::TableConfig cfg;
+  cfg.mats = 8;
+  cfg.rows_per_mat = 256;
+  cfg.cols = 64;
+  cfg.subarrays_per_mat = 4;
+
+  std::vector<MulticoreConfig> configs = {
+      {1, 1, 1, 0.0},  // the PR-5 single-dispatcher baseline shape
+      {1, 1, 4, 0.0},  // + window coalescing
+      {2, 4, 4, 0.0},  // small dispatcher pool over 4 mat groups
+      {0, 8, 4, 0.0},  // pool-sized dispatchers, one group per mat
+  };
+  *best_qps = 0.0;
+  for (auto& c : configs) {
+    engine::TcamTable table(cfg);
+    const auto ids = engine::load_rules(table, trace);
+    engine::EngineOptions eopts;
+    eopts.dispatch_threads = c.dispatch_threads;
+    eopts.mat_groups = c.mat_groups;
+    eopts.coalesce_batches = c.coalesce_batches;
+    engine::SearchEngine eng(table, eopts);
+    engine::RunOptions ropts;
+    ropts.batch_size = 512;
+    ropts.update_rate = 0.0;  // pure search: the coalescer's best case
+    ropts.seed = 11;
+    const engine::RunSummary s =
+        engine::run_trace(eng, table, trace, ids, ropts);
+    c.qps = s.qps;
+    *best_qps = std::max(*best_qps, c.qps);
+    std::cerr << "multicore dispatch=" << c.dispatch_threads
+              << " groups=" << c.mat_groups
+              << " coalesce=" << c.coalesce_batches << ": " << c.qps
+              << " qps\n";
+  }
+  return configs;
+}
+
+struct WireReport {
+  int clients = 0;
+  int frames_per_client = 0;
+  int queries_per_frame = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;
+  std::uint64_t frames_served = 0;
+};
+
+/// Over-the-wire mode: loopback SearchServer, pipelined binary-protocol
+/// clients.  Measures the full path (framing + epoll + engine + framing).
+WireReport measure_wire() {
+  WireReport rep;
+  rep.clients = 2;
+  rep.frames_per_client = 100;
+  rep.queries_per_frame = 64;
+
+  engine::TraceSpec spec;
+  spec.kind = engine::TraceKind::kIpPrefix;
+  spec.cols = 64;
+  spec.rules = 2048;
+  spec.queries = 1024;
+  spec.match_rate = 0.25;
+  spec.seed = 13;
+  const auto trace = engine::generate_trace(spec);
+
+  engine::TableConfig cfg;
+  cfg.mats = 8;
+  cfg.rows_per_mat = 256;
+  cfg.cols = 64;
+  cfg.subarrays_per_mat = 4;
+  engine::TcamTable table(cfg);
+  engine::load_rules(table, trace);
+
+  engine::EngineOptions eopts;
+  eopts.coalesce_batches = 4;
+  engine::SearchEngine eng(table, eopts);
+  engine::SearchServer server(eng, cfg.cols);
+  server.start();
+
+  constexpr int kPipelineDepth = 8;
+  const double t0 = now_us();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < rep.clients; ++c) {
+    threads.emplace_back([&, c] {
+      engine::SearchClient client;
+      client.connect("127.0.0.1", server.port());
+      std::vector<arch::BitWord> frame;
+      frame.reserve(static_cast<std::size_t>(rep.queries_per_frame));
+      for (int k = 0; k < rep.queries_per_frame; ++k) {
+        frame.push_back(trace.queries[static_cast<std::size_t>(
+            (c * 509 + k) % static_cast<int>(trace.queries.size()))]);
+      }
+      int sent = 0;
+      int received = 0;
+      while (received < rep.frames_per_client) {
+        while (sent < rep.frames_per_client &&
+               sent - received < kPipelineDepth) {
+          client.send_batch(frame, cfg.cols);
+          ++sent;
+        }
+        const auto reply = client.recv_reply();
+        if (!reply.ok) return;  // surfaces as a frames_served shortfall
+        ++received;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  rep.wall_s = (now_us() - t0) / 1e6;
+  rep.frames_served = server.frames_served();
+  server.stop();
+  const double total_queries = static_cast<double>(rep.clients) *
+                               rep.frames_per_client * rep.queries_per_frame;
+  rep.qps = rep.wall_s > 0.0 ? total_queries / rep.wall_s : 0.0;
+  std::cerr << "wire: " << rep.clients << " clients x "
+            << rep.frames_per_client << " frames x " << rep.queries_per_frame
+            << " queries in " << rep.wall_s << "s -> " << rep.qps << " qps\n";
+  return rep;
+}
+
 int emit_engine_json(const std::string& path) {
   // The kernel gate is defined single-thread: pin the pool so a parallel
   // environment cannot flatter (or starve) either arm.
@@ -234,6 +486,12 @@ int emit_engine_json(const std::string& path) {
             << k.unpacked_us << "us packed=" << k.packed_us
             << "us speedup=" << k.speedup << " (two-step "
             << k.two_step_speedup << ")\n";
+  const SimdReport simd = measure_simd();
+  std::cerr << "simd (" << (simd.available ? "avx2" : "unavailable")
+            << ", active=" << simd.active_tier << "): scalar="
+            << simd.scalar_us << "us simd=" << simd.simd_us
+            << "us speedup=" << simd.speedup << " (two-step "
+            << simd.two_step_speedup << ")\n";
 
   // Engine run: default thread resolution (FETCAM_THREADS / cores).
   util::set_thread_count(0);
@@ -265,6 +523,10 @@ int emit_engine_json(const std::string& path) {
             << "s -> " << s.qps << " qps, hit_rate=" << s.hit_rate
             << " step1_miss_rate=" << s.step1_miss_rate << "\n";
 
+  double best_qps = 0.0;
+  const std::vector<MulticoreConfig> configs = measure_multicore(&best_qps);
+  const WireReport wire = measure_wire();
+
   std::ostringstream os;
   os << "{\n  \"kernel\": {\n"
      << "    \"rows\": " << k.rows << ",\n"
@@ -276,6 +538,34 @@ int emit_engine_json(const std::string& path) {
      << "    \"packed_two_step_us\": " << k.packed_two_step_us << ",\n"
      << "    \"speedup\": " << k.speedup << ",\n"
      << "    \"two_step_speedup\": " << k.two_step_speedup << "\n"
+     << "  },\n";
+  os << "  \"simd\": {\n"
+     << "    \"available\": " << (simd.available ? "true" : "false") << ",\n"
+     << "    \"active_tier\": \"" << simd.active_tier << "\",\n"
+     << "    \"scalar_us\": " << simd.scalar_us << ",\n"
+     << "    \"simd_us\": " << simd.simd_us << ",\n"
+     << "    \"scalar_two_step_us\": " << simd.scalar_two_step_us << ",\n"
+     << "    \"simd_two_step_us\": " << simd.simd_two_step_us << ",\n"
+     << "    \"speedup\": " << simd.speedup << ",\n"
+     << "    \"two_step_speedup\": " << simd.two_step_speedup << "\n"
+     << "  },\n";
+  os << "  \"multicore\": {\n    \"configs\": [\n";
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const MulticoreConfig& c = configs[i];
+    os << "      {\"dispatch_threads\": " << c.dispatch_threads
+       << ", \"mat_groups\": " << c.mat_groups
+       << ", \"coalesce_batches\": " << c.coalesce_batches
+       << ", \"qps\": " << c.qps << "}"
+       << (i + 1 < configs.size() ? "," : "") << "\n";
+  }
+  os << "    ],\n    \"best_qps\": " << best_qps << "\n  },\n";
+  os << "  \"wire\": {\n"
+     << "    \"clients\": " << wire.clients << ",\n"
+     << "    \"frames_per_client\": " << wire.frames_per_client << ",\n"
+     << "    \"queries_per_frame\": " << wire.queries_per_frame << ",\n"
+     << "    \"frames_served\": " << wire.frames_served << ",\n"
+     << "    \"wall_s\": " << wire.wall_s << ",\n"
+     << "    \"qps\": " << wire.qps << "\n"
      << "  },\n";
   os << "  \"engine\": {\n"
      << "    \"trace_kind\": \"" << engine::trace_kind_name(spec.kind)

@@ -1,0 +1,64 @@
+// Blocking client for the TCAM search service (wire.hpp protocol).
+//
+// One connection, synchronous framing: send_batch() writes a kSearchBatch
+// frame, recv_reply() blocks for the next response frame.  Pipelining is
+// explicit — call send_batch() N times, then recv_reply() N times; the
+// server answers strictly in request order, so the k-th reply belongs to
+// the k-th batch.  search() is the send+recv convenience.
+//
+// send_raw() exists for the fault-injection tests: it pushes arbitrary
+// bytes at the server, which a well-behaved client never needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/ternary.hpp"
+#include "engine/wire.hpp"
+
+namespace fetcam::engine {
+
+class SearchClient {
+ public:
+  SearchClient() = default;
+  ~SearchClient();  ///< closes the socket
+
+  SearchClient(const SearchClient&) = delete;
+  SearchClient& operator=(const SearchClient&) = delete;
+
+  /// Connect to a running SearchServer.  Throws std::system_error.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One reply frame: either a result batch or a server error frame.
+  struct Reply {
+    bool ok = false;  ///< true = kSearchResult, false = kError
+    std::vector<wire::ResultRecord> records;
+    wire::ErrorFrame error;
+  };
+
+  /// Pack + send one kSearchBatch frame.  Every query must be `cols` bits
+  /// wide.  Throws on socket failure.
+  void send_batch(const std::vector<arch::BitWord>& queries, int cols);
+  /// Push arbitrary bytes (fault-injection only).
+  void send_raw(const void* data, std::size_t len);
+  /// Block for the next reply frame.  Throws std::runtime_error if the
+  /// server closes the connection mid-frame or sends garbage.
+  Reply recv_reply();
+  /// send_batch + recv_reply; throws std::runtime_error on a server error
+  /// frame (message includes the server's).
+  std::vector<wire::ResultRecord> search(
+      const std::vector<arch::BitWord>& queries, int cols);
+
+ private:
+  void send_all(const std::uint8_t* data, std::size_t len);
+  /// Read exactly n bytes into rx_ starting at its current size.
+  void recv_exact(std::size_t n);
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> rx_;
+};
+
+}  // namespace fetcam::engine

@@ -35,11 +35,31 @@ struct EngineMetrics {
   }
 };
 
+bool is_pure_search(const std::vector<Request>& batch) {
+  for (const Request& r : batch) {
+    if (r.kind != RequestKind::kSearch) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 SearchEngine::SearchEngine(TcamTable& table, EngineOptions options)
     : table_(table), options_(options), queue_(options.queue_capacity) {
   const TableConfig& cfg = table.config();
+  mat_groups_ = std::clamp(options.mat_groups, 1, cfg.mats);
+  dispatch_threads_ = options.dispatch_threads > 0 ? options.dispatch_threads
+                                                   : util::thread_count();
+  if (dispatch_threads_ < 1) dispatch_threads_ = 1;
+  if (options_.coalesce_batches == 0) options_.coalesce_batches = 1;
+  // Contiguous, near-even group split: group g covers
+  // [g*mats/G, (g+1)*mats/G) — fixed at construction, so the fold order
+  // (and with it every merged result) is a pure function of the config.
+  group_bounds_.resize(static_cast<std::size_t>(mat_groups_) + 1);
+  for (int g = 0; g <= mat_groups_; ++g) {
+    group_bounds_[static_cast<std::size_t>(g)] =
+        static_cast<int>(static_cast<long long>(g) * cfg.mats / mat_groups_);
+  }
   arch::MatGeometry geom;
   geom.rows = cfg.rows_per_mat / cfg.subarrays_per_mat;
   geom.cols = cfg.cols;
@@ -48,12 +68,24 @@ SearchEngine::SearchEngine(TcamTable& table, EngineOptions options)
   for (int m = 0; m < cfg.mats; ++m) {
     mat_schedulers_.emplace_back(geom, arch::HvDriverParams{});
   }
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  helpers_.reserve(static_cast<std::size_t>(dispatch_threads_ - 1));
+  for (int t = 1; t < dispatch_threads_; ++t) {
+    helpers_.emplace_back([this] { helper_loop(); });
+  }
+  coordinator_ = std::thread([this] { coordinator_loop(); });
 }
 
 SearchEngine::~SearchEngine() {
   queue_.close();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  if (coordinator_.joinable()) coordinator_.join();
+  {
+    const std::lock_guard<std::mutex> lock(round_mu_);
+    pool_stop_ = true;
+  }
+  round_cv_.notify_all();
+  for (std::thread& t : helpers_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 std::future<BatchResult> SearchEngine::submit(std::vector<Request> batch) {
@@ -89,40 +121,151 @@ double SearchEngine::mat_utilization(int mat) const {
   return mat_schedulers_[static_cast<std::size_t>(mat)].utilization();
 }
 
-void SearchEngine::dispatcher_loop() {
-  while (auto work = queue_.pop()) {
-    BatchResult res = process(work->seq, work->batch);
-    work->promise.set_value(std::move(res));
+void SearchEngine::helper_loop() {
+  std::uint64_t seen = 0;
+  std::shared_ptr<Round> round;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(round_mu_);
+      round_cv_.wait(lock, [&] { return pool_stop_ || round_gen_ != seen; });
+      if (pool_stop_) return;
+      seen = round_gen_;
+      round = round_;
+    }
+    for (;;) {
+      const std::size_t i =
+          round->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= round->count) break;
+      (*round->fn)(i);
+      if (round->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          round->count) {
+        const std::lock_guard<std::mutex> lock(round->mu);
+        round->cv.notify_all();
+      }
+    }
+    round.reset();
   }
 }
 
-BatchResult SearchEngine::process(std::uint64_t seq,
-                                  std::vector<Request>& batch) {
-  const double t0 = obs::now_us();
+void SearchEngine::run_round(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (helpers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto round = std::make_shared<Round>();
+  round->fn = &fn;
+  round->count = count;
+  {
+    const std::lock_guard<std::mutex> lock(round_mu_);
+    round_ = round;
+    ++round_gen_;
+  }
+  round_cv_.notify_all();
+  // The coordinator is dispatcher #0: it claims tasks alongside the
+  // helpers instead of idling on the wait.
+  for (;;) {
+    const std::size_t i = round->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= round->count) break;
+    (*round->fn)(i);
+    if (round->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        round->count) {
+      const std::lock_guard<std::mutex> lock(round->mu);
+      round->cv.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> lock(round->mu);
+  round->cv.wait(lock, [&] {
+    return round->done.load(std::memory_order_acquire) == round->count;
+  });
+}
+
+void SearchEngine::coordinator_loop() {
+  for (;;) {
+    std::vector<Work> window = queue_.pop_some(options_.coalesce_batches);
+    if (window.empty()) return;  // closed and drained
+    std::size_t begin = 0;
+    while (begin < window.size()) {
+      // Coalescing rule: extend the sub-window through pure-search
+      // batches; the first batch carrying a mutation closes it.  All
+      // matches in the sub-window therefore see the same table state a
+      // batch-at-a-time coordinator would have shown them.
+      std::size_t end = begin;
+      while (end < window.size()) {
+        const bool pure = is_pure_search(window[end].batch);
+        ++end;
+        if (!pure) break;
+      }
+      const double t0 = obs::now_us();
+      std::vector<std::vector<TableMatch>> matches;
+      match_window(window, begin, end, matches);
+      // Count the window before resolving its promises, so a caller that
+      // blocks on execute() observes the window as processed.
+      windows_.fetch_add(1, std::memory_order_relaxed);
+      for (std::size_t w = begin; w < end; ++w) {
+        BatchResult res =
+            apply(window[w].seq, window[w].batch, matches[w - begin], t0);
+        window[w].promise.set_value(std::move(res));
+      }
+      begin = end;
+    }
+  }
+}
+
+void SearchEngine::match_window(
+    std::vector<Work>& works, std::size_t begin, std::size_t end,
+    std::vector<std::vector<TableMatch>>& matches) {
+  matches.resize(end - begin);
+  struct SearchRef {
+    std::size_t w = 0;  ///< index into works
+    std::size_t i = 0;  ///< request index within its batch
+  };
+  std::vector<SearchRef> searches;
+  for (std::size_t w = begin; w < end; ++w) {
+    matches[w - begin].resize(works[w].batch.size());
+    for (std::size_t i = 0; i < works[w].batch.size(); ++i) {
+      if (works[w].batch[i].kind == RequestKind::kSearch) {
+        searches.push_back({w, i});
+      }
+    }
+  }
+  if (searches.empty()) return;
+
+  // Phase A fan-out: task k = (search k/G, group k%G).  Every partial
+  // writes its own pre-indexed slot, so the claim schedule is invisible.
+  const std::size_t groups = static_cast<std::size_t>(mat_groups_);
+  std::vector<TableMatch> partials(searches.size() * groups);
+  const std::function<void(std::size_t)> task = [&](std::size_t k) {
+    thread_local MatchScratch scratch;
+    const SearchRef& ref = searches[k / groups];
+    const std::size_t g = k % groups;
+    table_.match_mats(works[ref.w].batch[ref.i].query, group_bounds_[g],
+                      group_bounds_[g + 1], scratch, partials[k]);
+  };
+  run_round(partials.size(), task);
+
+  // Fixed group-order fold: merge_match resolves by (priority, id), so
+  // the merged winner equals the single-dispatcher broadcast bit for bit.
+  for (std::size_t s = 0; s < searches.size(); ++s) {
+    TableMatch& out = matches[searches[s].w - begin][searches[s].i];
+    out = std::move(partials[s * groups]);
+    for (std::size_t g = 1; g < groups; ++g) {
+      merge_match(out, partials[s * groups + g]);
+    }
+  }
+}
+
+BatchResult SearchEngine::apply(std::uint64_t seq, std::vector<Request>& batch,
+                                std::vector<TableMatch>& matches, double t0) {
   BatchResult res;
   res.seq = seq;
   res.results.resize(batch.size());
-
-  // Phase A — parallel match: searches evaluate against the frozen table
-  // (no mutation until phase B) with per-request result slots, so the
-  // worker schedule cannot influence anything observable.
-  std::vector<std::size_t> search_idx;
-  search_idx.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].kind == RequestKind::kSearch) search_idx.push_back(i);
-  }
-  std::vector<TableMatch> matches(batch.size());
-  if (!search_idx.empty()) {
-    util::parallel_for(search_idx.size(), [&](std::size_t k) {
-      thread_local MatchScratch scratch;
-      const std::size_t i = search_idx[k];
-      table_.match(batch[i].query, scratch, matches[i]);
-    });
-  }
+  std::size_t n_search = 0;
 
   // Phase B — serial application in request order: accounting, writes,
-  // erases.  This ordering (not the worker schedule) defines the energy /
-  // endurance / stats totals.
+  // erases.  This ordering (not the dispatcher schedule) defines the
+  // energy / endurance / stats totals.
   struct PendingWrite {
     int mat = 0;
     int subarray = 0;
@@ -135,6 +278,7 @@ BatchResult SearchEngine::process(std::uint64_t seq,
     switch (req.kind) {
       case RequestKind::kSearch: {
         const TableMatch& m = matches[i];
+        ++n_search;
         table_.account_search(m);
         out.hit = m.hit;
         out.entry = m.entry;
@@ -220,7 +364,6 @@ BatchResult SearchEngine::process(std::uint64_t seq,
   // Driver-multiplex admission: write phases first (write-priority; one
   // phase per mat per cycle, a pending search broadcast stalls on the
   // paired subarray), then the search broadcast runs unobstructed.
-  const std::size_t n_search = search_idx.size();
   long long stalls_before = 0;
   for (const auto& s : mat_schedulers_) stalls_before += s.stalls();
   const int subarrays = table_.config().subarrays_per_mat;
@@ -275,8 +418,9 @@ BatchResult SearchEngine::process(std::uint64_t seq,
   searches_.fetch_add(n_search, std::memory_order_relaxed);
   writes_.fetch_add(pending_writes.size(), std::memory_order_relaxed);
   driver_stalls_.fetch_add(res.driver_stalls, std::memory_order_relaxed);
-  driver_cycles_.fetch_add(res.write_cycles + static_cast<long long>(n_search),
-                           std::memory_order_relaxed);
+  driver_cycles_.fetch_add(
+      res.write_cycles + static_cast<long long>(n_search),
+      std::memory_order_relaxed);
   model_time_s_.fetch_add(res.model_latency_s, std::memory_order_relaxed);
   if (obs::metrics_on()) {
     auto& em = EngineMetrics::get();

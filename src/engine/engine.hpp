@@ -1,20 +1,31 @@
-// Concurrent TCAM request engine: bounded batch admission, parallel match,
-// deterministic in-order application, and a shared-HV-driver admission
-// model.
+// Concurrent TCAM request engine: bounded batch admission with window
+// coalescing, per-mat-group parallel match dispatch, deterministic
+// in-order application, and a shared-HV-driver admission model.
 //
 // Execution model (the determinism contract, docs/ENGINE.md):
 //
 //   * Producers submit BATCHES of requests into a bounded MPMC queue
 //     (backpressure: submit blocks while the queue is full).
-//   * One dispatcher thread pops batches strictly in submission order.
-//     Per batch: searches run against a frozen table snapshot in parallel
-//     on the util::parallel pool (each request writes its own result slot,
-//     so the schedule cannot influence results); then ALL accounting and
-//     ALL writes apply serially in request order on the dispatcher.
+//   * One coordinator thread drains batches strictly in submission order,
+//     coalescing up to `coalesce_batches` per wakeup into a WINDOW.  A
+//     window holds multiple batches only while they are pure-search — the
+//     first batch carrying any mutation closes it — so how many batches
+//     happen to be queued (a timing artifact) can never change results.
+//   * Phase A — parallel match: the table's mats are split into
+//     `mat_groups` contiguous groups, and every (search, group) pair in
+//     the window becomes one partial-match task.  `dispatch_threads`
+//     dispatcher threads (the coordinator counts as one) claim tasks from
+//     a shared cursor; each partial writes its own pre-indexed slot, so
+//     the claim schedule cannot influence anything observable.  The
+//     coordinator then folds each search's partials in fixed group order
+//     with merge_match — an associative (priority, id) resolution, so the
+//     merged winner equals the single-dispatcher winner bit for bit.
+//   * Phase B — serial application per batch, in submission order, on the
+//     coordinator: ALL accounting and ALL writes apply in request order.
 //   * Result: batch results, table contents, energy/endurance totals, and
-//     search statistics are bit-identical for any worker thread count
-//     (1, 2, 8, ... — same contract as the Monte-Carlo engine), at any
-//     queue capacity, with any producer interleaving of distinct batches.
+//     search statistics are bit-identical for any dispatcher thread count
+//     (1, 2, 8, ...), any mat_groups, any queue capacity, any coalescing
+//     window, and any producer interleaving of distinct batches.
 //
 // Driver-multiplex admission (paper Sec. III-C / Fig. 6): within a mat,
 // four 90-degree-rotated subarrays time-multiplex shared HV driver banks —
@@ -27,9 +38,12 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -136,6 +150,21 @@ struct EngineOptions {
   std::size_t queue_capacity = 8;  ///< batches admitted before submit blocks
   /// Duration of one HV write phase (a 1.5T1Fe row update issues 3).
   double write_pulse_s = 50e-9;
+  /// Contiguous mat groups the broadcast is split into; every
+  /// (search, group) pair is one independently dispatched partial-match
+  /// task.  Clamped to [1, mats].  Purely a parallelism knob: partials
+  /// merge in fixed group order, so results never depend on it.
+  int mat_groups = 1;
+  /// Dispatcher threads claiming partial-match tasks (the coordinator
+  /// counts as one; n - 1 helpers are spawned).  0 resolves through
+  /// util::thread_count() (--threads / FETCAM_THREADS), so existing
+  /// thread sweeps exercise the multi-dispatcher path.
+  int dispatch_threads = 0;
+  /// Max batches the coordinator drains per wakeup into one fan-out
+  /// window.  A window keeps multiple batches only while they are
+  /// pure-search (the first mutating batch closes it), so coalescing is
+  /// invisible in every result — it only amortizes fan-out overhead.
+  std::size_t coalesce_batches = 4;
 };
 
 class SearchEngine {
@@ -143,13 +172,13 @@ class SearchEngine {
   /// The engine owns request ordering on `table`; while the engine is
   /// alive, mutate the table only through requests.
   SearchEngine(TcamTable& table, EngineOptions options = {});
-  ~SearchEngine();  ///< drains the queue, then joins the dispatcher
+  ~SearchEngine();  ///< drains the queue, then joins all engine threads
 
   SearchEngine(const SearchEngine&) = delete;
   SearchEngine& operator=(const SearchEngine&) = delete;
 
   /// Enqueue a batch (MPMC: any thread may call).  Blocks while the queue
-  /// is full.  The future resolves when the dispatcher has applied the
+  /// is full.  The future resolves when the coordinator has applied the
   /// batch.  Batches are applied strictly in submission order.
   std::future<BatchResult> submit(std::vector<Request> batch);
 
@@ -160,12 +189,18 @@ class SearchEngine {
   /// Block until every batch submitted so far has been applied.
   void drain();
 
+  /// Resolved (post-clamp) parallelism for reporting.
+  int mat_groups() const { return mat_groups_; }
+  int dispatch_threads() const { return dispatch_threads_; }
+
   // Telemetry (totals over the engine lifetime; deterministic except where
-  // noted on BatchResult).
+  // noted on BatchResult and for windows(), which depends on queue timing).
   std::uint64_t batches() const { return batches_.load(); }
   std::uint64_t requests() const { return requests_.load(); }
   std::uint64_t searches() const { return searches_.load(); }
   std::uint64_t writes() const { return writes_.load(); }
+  /// Coalesced fan-out windows processed (<= batches; timing-dependent).
+  std::uint64_t windows() const { return windows_.load(); }
   long long driver_stalls() const { return driver_stalls_.load(); }
   long long driver_cycles() const { return driver_cycles_.load(); }
   double model_time_s() const { return model_time_s_.load(); }
@@ -180,26 +215,63 @@ class SearchEngine {
     std::promise<BatchResult> promise;
   };
 
-  void dispatcher_loop();
-  BatchResult process(std::uint64_t seq, std::vector<Request>& batch);
+  /// One fan-out round: helpers + coordinator claim task indices from a
+  /// shared cursor.  Heap-allocated and published by shared_ptr so a
+  /// helper waking late sees the OLD round's exhausted cursor, never the
+  /// next round's fresh one.
+  struct Round {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void coordinator_loop();
+  void helper_loop();
+  /// Run fn(0..count) across the dispatcher threads; returns when all
+  /// tasks completed.  Serial in-line when there are no helpers.
+  void run_round(std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+  /// Phase A for works[begin, end): fan out (search x group) partials and
+  /// merge them into per-request TableMatch slots.
+  void match_window(std::vector<Work>& works, std::size_t begin,
+                    std::size_t end,
+                    std::vector<std::vector<TableMatch>>& matches);
+  /// Phase B + admission model for one batch (serial, coordinator only).
+  BatchResult apply(std::uint64_t seq, std::vector<Request>& batch,
+                    std::vector<TableMatch>& matches, double t0);
 
   TcamTable& table_;
   EngineOptions options_;
+  int mat_groups_ = 1;        ///< clamped to [1, mats]
+  int dispatch_threads_ = 1;  ///< resolved (>= 1)
+  /// Group g covers mats [bounds[g], bounds[g+1]).
+  std::vector<int> group_bounds_;
   BoundedQueue<Work> queue_;
   /// One shared-driver scheduler per mat, persistent across batches.
   std::vector<arch::SharedDriverScheduler> mat_schedulers_;
   std::uint64_t next_seq_ = 0;
   std::mutex submit_mu_;  ///< orders seq assignment with queue push
 
+  std::mutex round_mu_;
+  std::condition_variable round_cv_;
+  std::shared_ptr<Round> round_;
+  std::uint64_t round_gen_ = 0;
+  bool pool_stop_ = false;
+
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> searches_{0};
   std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> windows_{0};
   std::atomic<long long> driver_stalls_{0};
   std::atomic<long long> driver_cycles_{0};
   std::atomic<double> model_time_s_{0.0};
 
-  std::thread dispatcher_;
+  std::vector<std::thread> helpers_;
+  std::thread coordinator_;
 };
 
 }  // namespace fetcam::engine

@@ -1,5 +1,6 @@
 #include "engine/packed_kernel.hpp"
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
@@ -12,7 +13,154 @@ namespace {
 constexpr std::uint64_t kEvenDigits = 0x5555555555555555ULL;
 constexpr std::uint64_t kOddDigits = 0xAAAAAAAAAAAAAAAAULL;
 
+bool cpu_has_avx2() {
+#if defined(FETCAM_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+// -1 = no override; otherwise the KernelTier value.  Relaxed is enough:
+// the override is a test/bench knob set between runs, not a hot-path
+// synchronization point.
+std::atomic<int> g_tier_override{-1};
+
 }  // namespace
+
+const char* kernel_tier_name(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar: return "scalar";
+    case KernelTier::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool kernel_tier_available(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar: return true;
+    case KernelTier::kAvx2: return cpu_has_avx2();
+  }
+  return false;
+}
+
+KernelTier best_kernel_tier() {
+  return cpu_has_avx2() ? KernelTier::kAvx2 : KernelTier::kScalar;
+}
+
+KernelTier active_kernel_tier() {
+  const int o = g_tier_override.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<KernelTier>(o);
+  return best_kernel_tier();
+}
+
+void set_kernel_tier_override(KernelTier tier) {
+  if (!kernel_tier_available(tier)) {
+    throw std::invalid_argument(std::string("kernel tier ") +
+                                kernel_tier_name(tier) +
+                                " is not available on this build/CPU");
+  }
+  g_tier_override.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void clear_kernel_tier_override() {
+  g_tier_override.store(-1, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+arch::SearchStats full_match_scalar(const ShardView& s,
+                                    const std::uint64_t* query,
+                                    std::uint64_t* match_mask) {
+  arch::SearchStats stats;
+  stats.rows = s.rows;
+  stats.step2_evaluated = s.rows;  // single-step: every row evaluates fully
+  const std::size_t pad = static_cast<std::size_t>(s.rows_pad);
+  for (int r = 0; r < s.rows; ++r) {
+    if (((s.valid[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1ULL) ==
+        0) {
+      continue;
+    }
+    bool matched = true;
+    for (int w = 0; w < s.wpr; ++w) {
+      const std::size_t at =
+          static_cast<std::size_t>(w) * pad + static_cast<std::size_t>(r);
+      if ((s.care[at] & (s.value[at] ^ query[w])) != 0) {
+        matched = false;
+        break;
+      }
+    }
+    if (matched) {
+      match_mask[static_cast<std::size_t>(r) >> 6] |= 1ULL << (r & 63);
+      ++stats.matches;
+    }
+  }
+  return stats;
+}
+
+arch::SearchStats two_step_match_scalar(const ShardView& s,
+                                        const std::uint64_t* query,
+                                        std::uint64_t* match_mask) {
+  arch::SearchStats stats;
+  stats.rows = s.rows;
+  const std::size_t pad = static_cast<std::size_t>(s.rows_pad);
+  for (int r = 0; r < s.rows; ++r) {
+    if (((s.valid[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1ULL) ==
+        0) {
+      // Invalid rows stay erased-to-'0' at cell1 positions and miss in
+      // step 1 (same accounting as arch::two_step_search).
+      ++stats.step1_misses;
+      continue;
+    }
+    // Step 1: even (cell1) digits of every word.
+    bool alive = true;
+    for (int w = 0; w < s.wpr; ++w) {
+      const std::size_t at =
+          static_cast<std::size_t>(w) * pad + static_cast<std::size_t>(r);
+      if ((s.care[at] & (s.value[at] ^ query[w]) & kEvenDigits) != 0) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) {
+      ++stats.step1_misses;
+      continue;
+    }
+    // Step 2: odd (cell2) digits, only for surviving rows.
+    ++stats.step2_evaluated;
+    bool matched = true;
+    for (int w = 0; w < s.wpr; ++w) {
+      const std::size_t at =
+          static_cast<std::size_t>(w) * pad + static_cast<std::size_t>(r);
+      if ((s.care[at] & (s.value[at] ^ query[w]) & kOddDigits) != 0) {
+        matched = false;
+        break;
+      }
+    }
+    if (matched) {
+      match_mask[static_cast<std::size_t>(r) >> 6] |= 1ULL << (r & 63);
+      ++stats.matches;
+    }
+  }
+  return stats;
+}
+
+#if !defined(FETCAM_HAVE_AVX2)
+// Stubs so the dispatch switch links in scalar-only builds; the tier is
+// reported unavailable, so these are unreachable.
+arch::SearchStats full_match_avx2(const ShardView& s,
+                                  const std::uint64_t* query,
+                                  std::uint64_t* match_mask) {
+  return full_match_scalar(s, query, match_mask);
+}
+arch::SearchStats two_step_match_avx2(const ShardView& s,
+                                      const std::uint64_t* query,
+                                      std::uint64_t* match_mask) {
+  return two_step_match_scalar(s, query, match_mask);
+}
+#endif
+
+}  // namespace detail
 
 PackedQuery PackedQuery::pack(const arch::BitWord& query) {
   PackedQuery q;
@@ -25,12 +173,15 @@ PackedQuery PackedQuery::pack(const arch::BitWord& query) {
 }
 
 PackedShard::PackedShard(int rows, int cols)
-    : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64) {
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_((cols + 63) / 64),
+      rows_pad_(((rows + 63) / 64) * 64) {
   if (rows < 0 || cols <= 0) {
     throw std::invalid_argument("shard needs rows >= 0 and cols > 0");
   }
-  const std::size_t words =
-      static_cast<std::size_t>(rows) * static_cast<std::size_t>(words_per_row_);
+  const std::size_t words = static_cast<std::size_t>(rows_pad_) *
+                            static_cast<std::size_t>(words_per_row_);
   care_.assign(words, 0);   // all-'X': nothing participates in matching
   value_.assign(words, 0);
   valid_.assign(mask_words(), 0);
@@ -46,21 +197,30 @@ void PackedShard::check_query(const PackedQuery& query) const {
   }
 }
 
+detail::ShardView PackedShard::view() const {
+  detail::ShardView v;
+  v.care = care_.data();
+  v.value = value_.data();
+  v.valid = valid_.data();
+  v.rows = rows_;
+  v.rows_pad = rows_pad_;
+  v.wpr = words_per_row_;
+  return v;
+}
+
 void PackedShard::write(int row, const arch::TernaryWord& entry) {
   check_row(row);
   if (static_cast<int>(entry.size()) != cols_) {
     throw std::invalid_argument("entry width mismatch");
   }
-  const std::size_t base =
-      static_cast<std::size_t>(row) * static_cast<std::size_t>(words_per_row_);
   for (int w = 0; w < words_per_row_; ++w) {
-    care_[base + static_cast<std::size_t>(w)] = 0;
-    value_[base + static_cast<std::size_t>(w)] = 0;
+    care_[plane_index(row, w)] = 0;
+    value_[plane_index(row, w)] = 0;
   }
   for (int c = 0; c < cols_; ++c) {
     const arch::Ternary t = entry[static_cast<std::size_t>(c)];
     if (t == arch::Ternary::kX) continue;
-    const std::size_t word = base + static_cast<std::size_t>(c >> 6);
+    const std::size_t word = plane_index(row, c >> 6);
     const std::uint64_t bit = 1ULL << (c & 63);
     care_[word] |= bit;
     if (t == arch::Ternary::kOne) value_[word] |= bit;
@@ -80,11 +240,9 @@ bool PackedShard::valid(int row) const {
 
 arch::TernaryWord PackedShard::entry(int row) const {
   check_row(row);
-  const std::size_t base =
-      static_cast<std::size_t>(row) * static_cast<std::size_t>(words_per_row_);
   arch::TernaryWord out(static_cast<std::size_t>(cols_), arch::Ternary::kX);
   for (int c = 0; c < cols_; ++c) {
-    const std::size_t word = base + static_cast<std::size_t>(c >> 6);
+    const std::size_t word = plane_index(row, c >> 6);
     const std::uint64_t bit = 1ULL << (c & 63);
     if ((care_[word] & bit) == 0) continue;
     out[static_cast<std::size_t>(c)] = (value_[word] & bit) != 0
@@ -96,81 +254,57 @@ arch::TernaryWord PackedShard::entry(int row) const {
 
 arch::SearchStats PackedShard::full_match(
     const PackedQuery& query, std::vector<std::uint64_t>& match_mask) const {
+  return full_match(query, match_mask, active_kernel_tier());
+}
+
+arch::SearchStats PackedShard::full_match(const PackedQuery& query,
+                                          std::vector<std::uint64_t>& match_mask,
+                                          KernelTier tier) const {
   check_query(query);
-  arch::SearchStats stats;
-  stats.rows = rows_;
-  stats.step2_evaluated = rows_;  // single-step: every row evaluates fully
   match_mask.assign(mask_words(), 0);
-  const std::size_t wpr = static_cast<std::size_t>(words_per_row_);
-  for (int r = 0; r < rows_; ++r) {
-    if (((valid_[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1ULL) == 0) {
-      continue;
-    }
-    const std::size_t base = static_cast<std::size_t>(r) * wpr;
-    bool matched = true;
-    for (std::size_t w = 0; w < wpr; ++w) {
-      if ((care_[base + w] & (value_[base + w] ^ query.bits[w])) != 0) {
-        matched = false;
-        break;
-      }
-    }
-    if (matched) {
-      match_mask[static_cast<std::size_t>(r) >> 6] |= 1ULL << (r & 63);
-      ++stats.matches;
-    }
+  if (rows_ == 0) {
+    arch::SearchStats stats;
+    return stats;
   }
-  return stats;
+  switch (tier) {
+    case KernelTier::kAvx2:
+      return detail::full_match_avx2(view(), query.bits.data(),
+                                     match_mask.data());
+    case KernelTier::kScalar:
+      break;
+  }
+  return detail::full_match_scalar(view(), query.bits.data(),
+                                   match_mask.data());
 }
 
 arch::SearchStats PackedShard::two_step_match(
     const PackedQuery& query, std::vector<std::uint64_t>& match_mask) const {
+  return two_step_match(query, match_mask, active_kernel_tier());
+}
+
+arch::SearchStats PackedShard::two_step_match(
+    const PackedQuery& query, std::vector<std::uint64_t>& match_mask,
+    KernelTier tier) const {
   check_query(query);
   if (cols_ % 2 != 0) {
     throw std::invalid_argument(
         "two-step search needs an even word length (shard is " +
         std::to_string(rows_) + " rows x " + std::to_string(cols_) + " cols)");
   }
-  arch::SearchStats stats;
-  stats.rows = rows_;
   match_mask.assign(mask_words(), 0);
-  const std::size_t wpr = static_cast<std::size_t>(words_per_row_);
-  for (int r = 0; r < rows_; ++r) {
-    if (((valid_[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1ULL) == 0) {
-      // Invalid rows stay erased-to-'0' at cell1 positions and miss in
-      // step 1 (same accounting as arch::two_step_search).
-      ++stats.step1_misses;
-      continue;
-    }
-    const std::size_t base = static_cast<std::size_t>(r) * wpr;
-    // Step 1: even (cell1) digits of every word.
-    bool alive = true;
-    for (std::size_t w = 0; w < wpr; ++w) {
-      if ((care_[base + w] & (value_[base + w] ^ query.bits[w]) &
-           kEvenDigits) != 0) {
-        alive = false;
-        break;
-      }
-    }
-    if (!alive) {
-      ++stats.step1_misses;
-      continue;
-    }
-    // Step 2: odd (cell2) digits, only for surviving rows.
-    ++stats.step2_evaluated;
-    bool matched = true;
-    for (std::size_t w = 0; w < wpr; ++w) {
-      if ((care_[base + w] & (value_[base + w] ^ query.bits[w]) &
-           kOddDigits) != 0) {
-        matched = false;
-        break;
-      }
-    }
-    if (matched) {
-      match_mask[static_cast<std::size_t>(r) >> 6] |= 1ULL << (r & 63);
-      ++stats.matches;
-    }
+  if (rows_ == 0) {
+    arch::SearchStats stats;
+    return stats;
   }
-  return stats;
+  switch (tier) {
+    case KernelTier::kAvx2:
+      return detail::two_step_match_avx2(view(), query.bits.data(),
+                                         match_mask.data());
+    case KernelTier::kScalar:
+      break;
+  }
+  return detail::two_step_match_scalar(view(), query.bits.data(),
+                                       match_mask.data());
 }
 
 std::vector<bool> PackedShard::search(const arch::BitWord& query) const {

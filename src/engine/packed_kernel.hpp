@@ -22,6 +22,19 @@
 // early (step1_misses), only survivors evaluate the odd digits
 // (step2_evaluated), and matches are flagged per row.
 //
+// Storage is PLANAR (word-major): word w of every row is contiguous in
+// memory (`care[w * rows_pad + r]`), rows padded to a multiple of 64.
+// That makes word 0 of consecutive rows a streaming read for the scalar
+// kernel, and lets the AVX2 kernel compare 4 rows per 256-bit vector with
+// plain aligned-ish loads (no gathers).  Padded rows have care = value =
+// valid = 0, so they can never match or perturb statistics.
+//
+// Kernel tiers: the scalar uint64 loop is the golden reference; an AVX2
+// path (compiled only when -DFETCAM_SIMD=ON and the compiler supports
+// -mavx2) is selected at runtime via CPU detection.  Both tiers are
+// lane- and stats-exact against each other and against the behavioral
+// reference — enforced by tests/engine/kernel_differential_test.cpp.
+//
 // Match results are reported as a row bitmask (64 rows per word) so the
 // sharded table can priority-scan hits with countr_zero instead of walking
 // a std::vector<bool>.
@@ -34,6 +47,59 @@
 #include "arch/search_scheduler.hpp"
 
 namespace fetcam::engine {
+
+/// Match-loop implementation tier.  kScalar is the golden reference and is
+/// always available; kAvx2 requires both compile-time support
+/// (-DFETCAM_SIMD=ON + a -mavx2-capable compiler) and runtime CPU support.
+enum class KernelTier : std::uint8_t { kScalar = 0, kAvx2 = 1 };
+
+const char* kernel_tier_name(KernelTier tier);
+
+/// True when `tier` was compiled in AND the running CPU supports it.
+bool kernel_tier_available(KernelTier tier);
+
+/// Best available tier on this machine (runtime CPU dispatch).
+KernelTier best_kernel_tier();
+
+/// Tier PackedShard uses when no explicit tier is passed: the override if
+/// one is set, otherwise best_kernel_tier().
+KernelTier active_kernel_tier();
+
+/// Force a tier process-wide (testing / benchmarking — e.g. measuring the
+/// scalar floor on an AVX2 machine).  Throws std::invalid_argument if the
+/// tier is unavailable.  Pass reset=true via clear_kernel_tier_override to
+/// restore runtime dispatch.
+void set_kernel_tier_override(KernelTier tier);
+void clear_kernel_tier_override();
+
+namespace detail {
+
+/// Borrowed view of one shard's planar arrays, consumed by the per-tier
+/// kernels.  `mask` outputs are rows_pad/64 words, caller-zeroed.
+struct ShardView {
+  const std::uint64_t* care = nullptr;   ///< wpr planes of rows_pad words
+  const std::uint64_t* value = nullptr;  ///< same shape as care
+  const std::uint64_t* valid = nullptr;  ///< rows_pad/64 words
+  int rows = 0;      ///< real row count
+  int rows_pad = 0;  ///< padded row count (multiple of 64)
+  int wpr = 0;       ///< words per row (ceil(cols/64))
+};
+
+arch::SearchStats full_match_scalar(const ShardView& s,
+                                    const std::uint64_t* query,
+                                    std::uint64_t* match_mask);
+arch::SearchStats two_step_match_scalar(const ShardView& s,
+                                        const std::uint64_t* query,
+                                        std::uint64_t* match_mask);
+// Defined in packed_kernel_avx2.cpp (FETCAM_HAVE_AVX2 builds only).
+arch::SearchStats full_match_avx2(const ShardView& s,
+                                  const std::uint64_t* query,
+                                  std::uint64_t* match_mask);
+arch::SearchStats two_step_match_avx2(const ShardView& s,
+                                      const std::uint64_t* query,
+                                      std::uint64_t* match_mask);
+
+}  // namespace detail
 
 /// A query packed to the shard's digit layout: bit (c & 63) of word
 /// (c >> 6) is query digit c; bits at and above `cols` are zero.
@@ -67,13 +133,20 @@ class PackedShard {
   /// never match).  Sets bit (r & 63) of match_mask[r >> 6] per matching
   /// row; stats are shaped like TcamController's single-step accounting
   /// (every row evaluates fully: step2_evaluated = rows, no step-1 misses).
+  /// Uses active_kernel_tier(); the explicit-tier overload pins one.
   arch::SearchStats full_match(const PackedQuery& query,
                                std::vector<std::uint64_t>& match_mask) const;
+  arch::SearchStats full_match(const PackedQuery& query,
+                               std::vector<std::uint64_t>& match_mask,
+                               KernelTier tier) const;
 
   /// Two-step early-terminating match, bit-exact vs arch::two_step_search
   /// (match flags and SearchStats).  Requires an even word length.
   arch::SearchStats two_step_match(const PackedQuery& query,
                                    std::vector<std::uint64_t>& match_mask) const;
+  arch::SearchStats two_step_match(const PackedQuery& query,
+                                   std::vector<std::uint64_t>& match_mask,
+                                   KernelTier tier) const;
 
   /// Convenience wrappers mirroring the behavioral API (used by the
   /// golden-equivalence tests).
@@ -82,18 +155,25 @@ class PackedShard {
 
   /// Words in a row bitmask covering all rows.
   std::size_t mask_words() const {
-    return (static_cast<std::size_t>(rows_) + 63) / 64;
+    return static_cast<std::size_t>(rows_pad_) / 64;
   }
 
  private:
   void check_row(int row) const;
   void check_query(const PackedQuery& query) const;
+  detail::ShardView view() const;
+  std::size_t plane_index(int row, int word) const {
+    return static_cast<std::size_t>(word) *
+               static_cast<std::size_t>(rows_pad_) +
+           static_cast<std::size_t>(row);
+  }
 
   int rows_;
   int cols_;
   int words_per_row_;
-  std::vector<std::uint64_t> care_;   ///< rows x words_per_row
-  std::vector<std::uint64_t> value_;  ///< rows x words_per_row
+  int rows_pad_;  ///< rows rounded up to a multiple of 64 (0 when rows = 0)
+  std::vector<std::uint64_t> care_;   ///< planar: wpr x rows_pad
+  std::vector<std::uint64_t> value_;  ///< planar: wpr x rows_pad
   std::vector<std::uint64_t> valid_;  ///< row bitmask, 64 rows/word
 };
 

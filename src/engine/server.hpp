@@ -1,0 +1,88 @@
+// Binary-protocol search front-end over SearchEngine (wire.hpp framing).
+//
+// Threading model — two service threads per server:
+//
+//   * IO thread: one epoll loop owns the listening socket and every
+//     connection fd.  It accepts, reads, frames, validates, and submits
+//     each kSearchBatch as ONE engine batch (so a frame inherits the
+//     engine's determinism contract verbatim).  Writes are flushed from
+//     the same loop via EPOLLOUT.
+//   * Completion thread: engine futures are not pollable, so a dedicated
+//     thread waits on them in FIFO submission order (the engine resolves
+//     in that order — no reordering, no starvation), serializes the
+//     response frame into the connection's tx buffer, and wakes the IO
+//     thread through an eventfd.
+//
+// Fault containment: a malformed frame (bad magic / version / type,
+// oversized length, truncated or inconsistent payload) earns that
+// connection an error frame and a close-after-flush.  Nothing else is
+// touched — other connections keep streaming, the engine never sees the
+// bad frame.  Pipelining is bounded by max_pipeline in-flight frames per
+// connection; past that the server stops reading the socket (EPOLLIN off)
+// until responses drain — TCP backpressure, not unbounded buffering.
+//
+// stop() is a clean drain: accept stops, already-submitted frames finish,
+// their responses flush, then connections close.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include <memory>
+
+#include "engine/engine.hpp"
+
+namespace fetcam::engine {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (query the bound one via port())
+  /// In-flight request frames per connection before the server stops
+  /// reading that socket (pipelining bound / backpressure).
+  std::size_t max_pipeline = 64;
+  int listen_backlog = 64;
+};
+
+class SearchServer {
+ public:
+  /// Serves searches against `engine`'s table.  `cols` is the query width
+  /// the table expects; frames with a different words_per_query are
+  /// rejected with kBadWidth.
+  SearchServer(SearchEngine& engine, int cols, ServerOptions options = {});
+  ~SearchServer();  ///< stop() if still running
+
+  SearchServer(const SearchServer&) = delete;
+  SearchServer& operator=(const SearchServer&) = delete;
+
+  /// Bind + listen + spawn the service threads.  Throws std::system_error
+  /// on socket failures.
+  void start();
+  /// Clean drain: stop accepting, finish in-flight frames, flush, close.
+  /// Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  /// Bound port (after start(); resolves ephemeral binds).
+  std::uint16_t port() const { return port_.load(); }
+
+  // Telemetry.
+  std::uint64_t connections_accepted() const { return accepted_.load(); }
+  std::uint64_t frames_served() const { return frames_served_.load(); }
+  std::uint64_t frames_rejected() const { return frames_rejected_.load(); }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+
+  SearchEngine& engine_;
+  int cols_;
+  ServerOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> frames_served_{0};
+  std::atomic<std::uint64_t> frames_rejected_{0};
+};
+
+}  // namespace fetcam::engine

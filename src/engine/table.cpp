@@ -294,16 +294,49 @@ WriteCost TcamTable::cost_rewrite(const arch::TernaryWord& next,
   return cost;
 }
 
+void merge_match(TableMatch& into, const TableMatch& part) {
+  into.stats.rows += part.stats.rows;
+  into.stats.step1_misses += part.stats.step1_misses;
+  into.stats.step2_evaluated += part.stats.step2_evaluated;
+  into.stats.matches += part.stats.matches;
+  if (into.per_mat.size() < part.per_mat.size()) {
+    into.per_mat.resize(part.per_mat.size());
+  }
+  for (std::size_t m = 0; m < part.per_mat.size(); ++m) {
+    into.per_mat[m].rows += part.per_mat[m].rows;
+    into.per_mat[m].step1_misses += part.per_mat[m].step1_misses;
+    into.per_mat[m].step2_evaluated += part.per_mat[m].step2_evaluated;
+    into.per_mat[m].matches += part.per_mat[m].matches;
+  }
+  if (part.hit &&
+      (!into.hit || part.priority < into.priority ||
+       (part.priority == into.priority && part.entry < into.entry))) {
+    into.hit = true;
+    into.entry = part.entry;
+    into.priority = part.priority;
+  }
+}
+
 void TcamTable::match(const arch::BitWord& query, MatchScratch& scratch,
                       TableMatch& out) const {
+  match_mats(query, 0, config_.mats, scratch, out);
+}
+
+void TcamTable::match_mats(const arch::BitWord& query, int mat_begin,
+                           int mat_end, MatchScratch& scratch,
+                           TableMatch& out) const {
+  if (mat_begin < 0 || mat_end > config_.mats || mat_begin > mat_end) {
+    throw std::out_of_range("mat range out of range");
+  }
   out.hit = false;
   out.entry = kInvalidEntry;
   out.priority = 0;
   out.stats = arch::SearchStats{};
-  out.per_mat.resize(static_cast<std::size_t>(config_.mats));
+  out.per_mat.assign(static_cast<std::size_t>(config_.mats),
+                     arch::SearchStats{});
 
   scratch.query = PackedQuery::pack(query);
-  for (int m = 0; m < config_.mats; ++m) {
+  for (int m = mat_begin; m < mat_end; ++m) {
     const auto& shard = shards_[static_cast<std::size_t>(m)];
     const arch::SearchStats s =
         two_step_ ? shard.two_step_match(scratch.query, scratch.mask)

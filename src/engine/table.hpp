@@ -61,6 +61,11 @@ struct MatchScratch {
   std::vector<std::uint64_t> mask;
 };
 
+/// Fold a partial (per-mat-group) match into an accumulated one: stats and
+/// per_mat add, the winner resolves by (priority, id).  Associative and
+/// commutative, so group merge order cannot change the result.
+void merge_match(TableMatch& into, const TableMatch& part);
+
 /// Physical location of an entry (used by the driver-multiplex model).
 struct EntryLocation {
   int mat = 0;
@@ -136,6 +141,15 @@ class TcamTable {
   /// threads concurrently (against other match calls only).
   void match(const arch::BitWord& query, MatchScratch& scratch,
              TableMatch& out) const;
+
+  /// Partial broadcast over mats [mat_begin, mat_end): the unit of work a
+  /// per-mat-group dispatcher claims.  `out.per_mat` is sized to ALL mats
+  /// with zeros outside the range, so partials from disjoint groups merge
+  /// by plain addition; the winner is this group's best (priority, id) —
+  /// merge_match() folds group winners in any order to the same global
+  /// winner match() reports.  Const and concurrency-safe like match().
+  void match_mats(const arch::BitWord& query, int mat_begin, int mat_end,
+                  MatchScratch& scratch, TableMatch& out) const;
 
   /// Serial convenience: match + account in one call.
   TableMatch search(const arch::BitWord& query);

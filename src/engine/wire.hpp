@@ -1,0 +1,240 @@
+// Binary wire protocol for the TCAM search service (server.hpp /
+// client.hpp).  Little-endian, length-prefixed frames:
+//
+//   offset  size  field
+//   0       4     magic        0xFE7CA301
+//   4       1     version      1
+//   5       1     type         FrameType
+//   6       2     reserved     must be 0
+//   8       4     payload_len  bytes following the 12-byte header
+//
+// kSearchBatch payload (client -> server):
+//   u32 count            queries in the batch
+//   u32 words_per_query  64-bit words per packed query
+//   count * words_per_query * u64   query bits, bit c of the query at
+//                                   word c/64, bit c%64 (PackedQuery
+//                                   layout — zero marshalling on either
+//                                   side of a packed kernel)
+//
+// kSearchResult payload (server -> client), one 13-byte record per query
+// in request order:
+//   u8  hit
+//   i64 entry id
+//   i32 priority
+//
+// kError payload: u32 code (ErrorCode) + UTF-8 message.  A malformed
+// frame earns an error frame and closes THAT connection only; framing
+// errors never tear down the server or other connections.
+//
+// The protocol is deliberately minimal: searches only.  Mutations go
+// through the compiler/applier path, not the wire — the service tier is a
+// read path (docs/ENGINE.md section 8).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fetcam::engine::wire {
+
+constexpr std::uint32_t kMagic = 0xFE7CA301u;
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 12;
+/// Frames larger than this are rejected with kErrOversized before any
+/// payload is buffered (a garbage length cannot balloon server memory).
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  kSearchBatch = 1,
+  kSearchResult = 2,
+  kError = 3,
+};
+
+enum class ErrorCode : std::uint32_t {
+  kBadMagic = 1,
+  kBadVersion = 2,
+  kBadType = 3,
+  kOversized = 4,
+  kMalformed = 5,   ///< payload doesn't parse (truncated counts, ...)
+  kBadWidth = 6,    ///< words_per_query doesn't match the table
+  kShuttingDown = 7,
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint8_t version = kVersion;
+  FrameType type = FrameType::kSearchBatch;
+  std::uint32_t payload_len = 0;
+};
+
+struct SearchBatchFrame {
+  std::uint32_t words_per_query = 0;
+  /// count * words_per_query words, query-major.
+  std::vector<std::uint64_t> bits;
+  std::uint32_t count() const {
+    return words_per_query == 0
+               ? 0
+               : static_cast<std::uint32_t>(bits.size() / words_per_query);
+  }
+};
+
+struct ResultRecord {
+  std::uint8_t hit = 0;
+  std::int64_t entry = -1;
+  std::int32_t priority = 0;
+};
+
+struct ErrorFrame {
+  ErrorCode code = ErrorCode::kMalformed;
+  std::string message;
+};
+
+// ---- little-endian primitives -------------------------------------------
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// ---- header --------------------------------------------------------------
+
+inline void encode_header(std::vector<std::uint8_t>& out, FrameType type,
+                          std::uint32_t payload_len) {
+  put_u32(out, kMagic);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u16(out, 0);
+  put_u32(out, payload_len);
+}
+
+/// Parse the 12 header bytes at `p`.  Returns the header even on
+/// validation failure; `error` reports the first violated rule (nullopt =
+/// header is acceptable).  payload_len is NOT range-checked against the
+/// buffer here — the caller streams the payload in afterwards.
+inline FrameHeader decode_header(const std::uint8_t* p,
+                                 std::optional<ErrorCode>& error) {
+  FrameHeader h;
+  h.magic = get_u32(p);
+  h.version = p[4];
+  h.type = static_cast<FrameType>(p[5]);
+  h.payload_len = get_u32(p + 8);
+  error.reset();
+  if (h.magic != kMagic) {
+    error = ErrorCode::kBadMagic;
+  } else if (h.version != kVersion) {
+    error = ErrorCode::kBadVersion;
+  } else if (h.type != FrameType::kSearchBatch &&
+             h.type != FrameType::kSearchResult &&
+             h.type != FrameType::kError) {
+    error = ErrorCode::kBadType;
+  } else if (h.payload_len > kMaxPayload) {
+    error = ErrorCode::kOversized;
+  }
+  return h;
+}
+
+// ---- frames --------------------------------------------------------------
+
+inline void encode_search_batch(std::vector<std::uint8_t>& out,
+                                const SearchBatchFrame& frame) {
+  const std::uint32_t payload =
+      8 + static_cast<std::uint32_t>(frame.bits.size()) * 8;
+  encode_header(out, FrameType::kSearchBatch, payload);
+  put_u32(out, frame.count());
+  put_u32(out, frame.words_per_query);
+  for (const std::uint64_t w : frame.bits) put_u64(out, w);
+}
+
+/// Decode a kSearchBatch payload (header already validated/stripped).
+inline std::optional<SearchBatchFrame> decode_search_batch(
+    const std::uint8_t* payload, std::size_t len) {
+  if (len < 8) return std::nullopt;
+  const std::uint32_t count = get_u32(payload);
+  const std::uint32_t wpq = get_u32(payload + 4);
+  const std::uint64_t words = static_cast<std::uint64_t>(count) * wpq;
+  if (count > 0 && wpq == 0) return std::nullopt;
+  if (len != 8 + words * 8) return std::nullopt;
+  SearchBatchFrame frame;
+  frame.words_per_query = wpq;
+  frame.bits.resize(words);
+  for (std::uint64_t i = 0; i < words; ++i) {
+    frame.bits[i] = get_u64(payload + 8 + i * 8);
+  }
+  return frame;
+}
+
+inline void encode_search_result(std::vector<std::uint8_t>& out,
+                                 const std::vector<ResultRecord>& records) {
+  const std::uint32_t payload =
+      4 + static_cast<std::uint32_t>(records.size()) * 13;
+  encode_header(out, FrameType::kSearchResult, payload);
+  put_u32(out, static_cast<std::uint32_t>(records.size()));
+  for (const ResultRecord& r : records) {
+    out.push_back(r.hit);
+    put_u64(out, static_cast<std::uint64_t>(r.entry));
+    put_u32(out, static_cast<std::uint32_t>(r.priority));
+  }
+}
+
+inline std::optional<std::vector<ResultRecord>> decode_search_result(
+    const std::uint8_t* payload, std::size_t len) {
+  if (len < 4) return std::nullopt;
+  const std::uint32_t count = get_u32(payload);
+  if (len != 4 + static_cast<std::uint64_t>(count) * 13) return std::nullopt;
+  std::vector<ResultRecord> records(count);
+  const std::uint8_t* p = payload + 4;
+  for (std::uint32_t i = 0; i < count; ++i, p += 13) {
+    records[i].hit = p[0];
+    records[i].entry = static_cast<std::int64_t>(get_u64(p + 1));
+    records[i].priority = static_cast<std::int32_t>(get_u32(p + 9));
+  }
+  return records;
+}
+
+inline void encode_error(std::vector<std::uint8_t>& out,
+                         const ErrorFrame& err) {
+  const std::uint32_t payload =
+      4 + static_cast<std::uint32_t>(err.message.size());
+  encode_header(out, FrameType::kError, payload);
+  put_u32(out, static_cast<std::uint32_t>(err.code));
+  for (const char c : err.message) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+}
+
+inline std::optional<ErrorFrame> decode_error(const std::uint8_t* payload,
+                                              std::size_t len) {
+  if (len < 4) return std::nullopt;
+  ErrorFrame err;
+  err.code = static_cast<ErrorCode>(get_u32(payload));
+  err.message.assign(reinterpret_cast<const char*>(payload + 4), len - 4);
+  return err;
+}
+
+}  // namespace fetcam::engine::wire

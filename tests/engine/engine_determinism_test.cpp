@@ -1,19 +1,26 @@
 // SearchEngine thread-count-invariance golden tests (same contract as
 // eval/variability_determinism_test): batch results, table contents,
 // energy/endurance totals, and search statistics must be BIT-IDENTICAL
-// for 1, 2, and 8 worker threads at a fixed seed.  wall_us is the one
-// field outside the contract.
+// for 1, 2, and 8 worker threads at a fixed seed — and, since the
+// per-mat-group dispatcher split, for every combination of dispatcher
+// thread count (1, 2, 8), mat-group count (1, 4), and coalescing window.
+// wall_us (and the windows() telemetry counter) are the only fields
+// outside the contract.
 //
 // All comparisons are exact (EXPECT_EQ on doubles, deliberately): any
 // schedule-ordered accumulation in the engine would fail here.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "compiler/applier.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/planner.hpp"
 #include "engine/engine.hpp"
 #include "engine/table.hpp"
 #include "engine/workload.hpp"
@@ -58,14 +65,13 @@ struct RunOutcome {
 
 /// Build a fresh table + engine, drive the same batched workload, and
 /// capture everything the determinism contract covers.
-RunOutcome run_workload() {
+RunOutcome run_workload(EngineOptions opts = {}) {
   const Trace trace = generate_trace(test_spec());
   TcamTable table(test_config());
   const auto ids = load_rules(table, trace);
 
   RunOutcome out;
   {
-    EngineOptions opts;
     opts.queue_capacity = 4;
     SearchEngine engine(table, opts);
     std::vector<std::future<BatchResult>> futures;
@@ -214,6 +220,207 @@ TEST(EngineDeterminism, ProducerInterleavingDoesNotChangeBatchResults) {
       }
     }
   }
+}
+
+TEST(EngineDeterminism, InvariantAcrossDispatchersGroupsAndCoalescing) {
+  // The tentpole contract: the per-mat-group dispatcher split is a pure
+  // parallelism knob.  Sweep dispatcher threads x mat groups x coalescing
+  // window and require byte-identical outcomes against the fully serial
+  // configuration.
+  EngineOptions serial;
+  serial.dispatch_threads = 1;
+  serial.mat_groups = 1;
+  serial.coalesce_batches = 1;
+  const RunOutcome golden = run_workload(serial);
+  ASSERT_FALSE(golden.batches.empty());
+  for (const int threads : kThreadCounts) {
+    for (const int groups : {1, 4}) {
+      for (const std::size_t coalesce : {std::size_t{1}, std::size_t{4}}) {
+        EngineOptions opts;
+        opts.dispatch_threads = threads;
+        opts.mat_groups = groups;
+        opts.coalesce_batches = coalesce;
+        SCOPED_TRACE("dispatchers=" + std::to_string(threads) +
+                     " groups=" + std::to_string(groups) +
+                     " coalesce=" + std::to_string(coalesce));
+        expect_identical(run_workload(opts), golden, threads);
+      }
+    }
+  }
+}
+
+TEST(EngineDeterminism, DispatchThreadsZeroFollowsParallelPool) {
+  // dispatch_threads = 0 resolves through util::thread_count(), so the
+  // existing --threads / FETCAM_THREADS sweeps exercise the dispatcher
+  // split too.  Results must still match the serial golden.
+  EngineOptions serial;
+  serial.dispatch_threads = 1;
+  serial.mat_groups = 1;
+  serial.coalesce_batches = 1;
+  const RunOutcome golden = run_workload(serial);
+  ThreadSweep sweep;
+  sweep.check([&](int threads) {
+    EngineOptions opts;
+    opts.mat_groups = 4;  // dispatch_threads stays 0 (pool-resolved)
+    expect_identical(run_workload(opts), golden, threads);
+  });
+}
+
+TEST(EngineDeterminism, MatGroupsClampAndReporting) {
+  TcamTable table(test_config());
+  EngineOptions opts;
+  opts.mat_groups = 64;  // more groups than mats: clamps to mats
+  opts.dispatch_threads = 2;
+  SearchEngine engine(table, opts);
+  EXPECT_EQ(engine.mat_groups(), test_config().mats);
+  EXPECT_EQ(engine.dispatch_threads(), 2);
+  const auto res = engine.execute({make_search(arch::BitWord(16, 0))});
+  EXPECT_EQ(res.results.size(), 1u);
+  EXPECT_GE(engine.windows(), 1u);
+}
+
+TEST(EngineDeterminism, StressConcurrentCompilerUpdatesOldNewOrShadow) {
+  // TSan-filtered stress: searcher threads hammer a multi-dispatcher
+  // engine (8 dispatchers x 4 mat groups, small queue to force coalescing
+  // and backpressure) while the main thread applies a compiler update
+  // plan.  Every observed result must be the OLD winner, the NEW winner,
+  // or a newly inserted entry still at its shadow priority — the same
+  // acceptance as the make-before-break applier tests, now crossing the
+  // fan-out/merge machinery.
+  namespace cc = fetcam::compiler;
+  TraceSpec spec = test_spec();
+  spec.rules = 48;
+  spec.queries = 256;
+  const Trace trace = generate_trace(spec);
+  ChurnSpec churn;
+  churn.seed = 29;
+  churn.hot_fraction = 0.25;
+  churn.hot_modify_rate = 0.9;
+  churn.modify_rate = 0.3;
+  churn.add_remove_rate = 0.15;
+  churn.priority_jitter_rate = 0.1;
+  const auto rules_b =
+      churn_rules(trace.rules, spec.kind, spec.cols, churn, 1);
+  const auto setA =
+      cc::compile_rules(cc::rule_set_from_rules(spec.cols, trace.rules));
+  const auto setB =
+      cc::compile_rules(cc::rule_set_from_rules(spec.cols, rules_b));
+
+  TcamTable table(test_config());
+  EngineOptions opts;
+  opts.queue_capacity = 2;
+  opts.dispatch_threads = 8;
+  opts.mat_groups = 4;
+  opts.coalesce_batches = 3;
+  SearchEngine eng(table, opts);
+  const cc::UpdatePlan planA = cc::plan_update({}, setA, table);
+  const cc::Installation installedA =
+      cc::apply_plan(eng, planA, setA).installed;
+  eng.drain();
+  const cc::UpdatePlan planB = cc::plan_update(installedA, setB, table);
+
+  struct Observed {
+    std::size_t query = 0;
+    RequestResult result;
+  };
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<Observed>> seen(2);
+  auto searcher = [&](int who) {
+    std::size_t at = static_cast<std::size_t>(who);
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<Request> batch;
+      std::vector<std::size_t> keys;
+      for (int k = 0; k < 8; ++k) {
+        keys.push_back(at % trace.queries.size());
+        batch.push_back(make_search(trace.queries[keys.back()]));
+        at += 2;
+      }
+      const auto res = eng.execute(std::move(batch));
+      for (std::size_t r = 0; r < res.results.size(); ++r) {
+        seen[static_cast<std::size_t>(who)].push_back(
+            {keys[r], res.results[r]});
+      }
+    }
+  };
+  std::thread s0(searcher, 0);
+  std::thread s1(searcher, 1);
+
+  cc::ApplyOptions aopts;
+  aopts.chunk = 2;  // many small batches: maximum interleaving
+  const cc::Installation installedB =
+      cc::apply_plan(eng, planB, setB, aopts).installed;
+  eng.drain();
+  stop.store(true, std::memory_order_relaxed);
+  s0.join();
+  s1.join();
+
+  // Quiescent winner for `key` under a (compiled, installed) pair.
+  auto expected = [](const cc::CompiledRuleSet& compiled,
+                     const cc::Installation& installed,
+                     const arch::BitWord& key) {
+    RequestResult e;
+    const int w = cc::reference_winner(compiled, key);
+    if (w < 0) return e;
+    e.hit = true;
+    e.entry = installed.entries[static_cast<std::size_t>(w)].id;
+    e.priority = installed.entries[static_cast<std::size_t>(w)].priority;
+    return e;
+  };
+
+  // Inserted entries (id, word, shadow priority) for the mid-make case.
+  struct Shadow {
+    EntryId id;
+    const arch::TernaryWord* word;
+    int shadow_priority;
+  };
+  std::vector<Shadow> shadows;
+  for (const cc::PlanOp& op : planB.ops) {
+    if (op.kind != cc::PlanOpKind::kInsert) continue;
+    const auto& e =
+        installedB.entries[static_cast<std::size_t>(op.compiled_index)];
+    shadows.push_back(
+        {e.id,
+         &setB.entries[static_cast<std::size_t>(op.compiled_index)].word,
+         e.priority + planB.shadow_priority_offset});
+  }
+  auto matches_key = [](const arch::TernaryWord& word,
+                        const arch::BitWord& key) {
+    for (std::size_t c = 0; c < word.size(); ++c) {
+      if (word[c] == arch::Ternary::kX) continue;
+      const bool one = word[c] == arch::Ternary::kOne;
+      if (one != (key[c] != 0)) return false;
+    }
+    return true;
+  };
+
+  std::size_t checked = 0;
+  for (const auto& lane : seen) {
+    for (const auto& obs : lane) {
+      const arch::BitWord& key = trace.queries[obs.query];
+      const RequestResult old_w = expected(setA, installedA, key);
+      const RequestResult new_w = expected(setB, installedB, key);
+      const auto& got = obs.result;
+      const bool is_old = got.hit == old_w.hit && got.entry == old_w.entry &&
+                          (!old_w.hit || got.priority == old_w.priority);
+      const bool is_new = got.hit == new_w.hit && got.entry == new_w.entry &&
+                          (!new_w.hit || got.priority == new_w.priority);
+      bool is_shadow = false;
+      if (!is_old && !is_new && got.hit && !old_w.hit) {
+        for (const Shadow& s : shadows) {
+          if (got.entry == s.id && got.priority == s.shadow_priority &&
+              matches_key(*s.word, key)) {
+            is_shadow = true;
+            break;
+          }
+        }
+      }
+      EXPECT_TRUE(is_old || is_new || is_shadow)
+          << "query " << obs.query << ": hit=" << got.hit << " entry="
+          << got.entry << " priority=" << got.priority;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
 }
 
 TEST(EngineDeterminism, SubmitAfterShutdownFailsCleanly) {

@@ -1,0 +1,295 @@
+// Differential / property test layer for the match kernel tiers.
+//
+// Thousands of counter-keyed randomized cases (reproducible from the seed
+// baked into each trial key) drive the scalar-packed kernel, the SIMD
+// kernel (when the build/CPU has it), and the behavioral references
+// (TcamArray::search, arch::two_step_search) over the same tables and
+// queries.  Every case asserts BIT-EXACT agreement per lane — match flags
+// row by row, mask padding, and the full SearchStats counters — across:
+//
+//   * widths spanning the word boundaries (1, 7, 63, 64, 65, 128, 130),
+//   * row counts spanning the 64-row block boundaries (1, 3, 64, 65, 200),
+//   * entry styles: random ternary, all-X (wildcard), all-care,
+//     single-care-bit, erased and never-written rows,
+//   * query styles: random, all-zeros, all-ones, exact row images, and
+//     single-bit perturbations of a stored row.
+//
+// The SIMD tier has no early termination; the scalar tier does.  These
+// tests are what pins the claim that early-out changes only cost, never
+// any observable outcome.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "arch/behavioral_array.hpp"
+#include "arch/search_scheduler.hpp"
+#include "engine/packed_kernel.hpp"
+#include "util/rng.hpp"
+
+namespace fetcam::engine {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x7CA9D1FFul;
+
+arch::TernaryWord random_word(std::mt19937& rng, int cols,
+                              double x_fraction) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<int> bit(0, 1);
+  arch::TernaryWord w;
+  w.reserve(static_cast<std::size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    if (u(rng) < x_fraction) {
+      w.push_back(arch::Ternary::kX);
+    } else {
+      w.push_back(bit(rng) != 0 ? arch::Ternary::kOne : arch::Ternary::kZero);
+    }
+  }
+  return w;
+}
+
+/// Entry-style mix exercising every storage corner: random ternary rows,
+/// all-X rows, all-care rows, single-care-bit rows, never-written rows,
+/// and written-then-erased rows.
+void build_pair(std::mt19937& rng, int rows, int cols, arch::TcamArray& a,
+                PackedShard& p) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<int> col(0, cols - 1);
+  for (int r = 0; r < rows; ++r) {
+    const double style = u(rng);
+    if (style < 0.10) continue;  // never written
+    arch::TernaryWord w;
+    if (style < 0.25) {
+      w = random_word(rng, cols, 1.0);  // all-wildcard
+    } else if (style < 0.40) {
+      w = random_word(rng, cols, 0.0);  // all-care
+    } else if (style < 0.50) {
+      // single-care-bit: matches half the query space on one digit
+      w = random_word(rng, cols, 1.0);
+      w[static_cast<std::size_t>(col(rng))] =
+          u(rng) < 0.5 ? arch::Ternary::kOne : arch::Ternary::kZero;
+    } else {
+      w = random_word(rng, cols, 0.3);
+    }
+    a.write(r, w);
+    p.write(r, w);
+    if (style >= 0.92) {  // written then invalidated
+      a.erase(r);
+      p.erase(r);
+    }
+  }
+}
+
+/// Query styles: random, all-zeros, all-ones, the exact image of a stored
+/// row (X digits resolved randomly), and a one-bit perturbation of it.
+arch::BitWord make_query(std::mt19937& rng, int style, int cols,
+                         const arch::TcamArray& array) {
+  std::uniform_int_distribution<int> bit(0, 1);
+  arch::BitWord q(static_cast<std::size_t>(cols), 0);
+  switch (style % 5) {
+    case 0:
+      for (auto& b : q) b = static_cast<std::uint8_t>(bit(rng));
+      break;
+    case 1:
+      break;  // all zeros
+    case 2:
+      for (auto& b : q) b = 1;
+      break;
+    default: {
+      std::uniform_int_distribution<int> row(0, array.rows() - 1);
+      const int r = row(rng);
+      if (array.valid(r)) {
+        const arch::TernaryWord& w = array.entry(r);
+        for (int c = 0; c < cols; ++c) {
+          const arch::Ternary t = w[static_cast<std::size_t>(c)];
+          q[static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(
+              t == arch::Ternary::kX ? bit(rng) : (t == arch::Ternary::kOne));
+        }
+      } else {
+        for (auto& b : q) b = static_cast<std::uint8_t>(bit(rng));
+      }
+      if (style % 5 == 4) {
+        std::uniform_int_distribution<int> col(0, cols - 1);
+        const std::size_t c = static_cast<std::size_t>(col(rng));
+        q[c] = static_cast<std::uint8_t>(1 - q[c]);
+      }
+      break;
+    }
+  }
+  return q;
+}
+
+void expect_stats_eq(const arch::SearchStats& want,
+                     const arch::SearchStats& got, const char* what,
+                     std::uint64_t key) {
+  EXPECT_EQ(want.rows, got.rows) << what << " key=" << key;
+  EXPECT_EQ(want.step1_misses, got.step1_misses) << what << " key=" << key;
+  EXPECT_EQ(want.step2_evaluated, got.step2_evaluated)
+      << what << " key=" << key;
+  EXPECT_EQ(want.matches, got.matches) << what << " key=" << key;
+}
+
+/// Per-lane flag comparison + the padding property: mask bits at and past
+/// `rows` must be zero in every tier.
+void expect_mask_eq(const std::vector<bool>& want,
+                    const std::vector<std::uint64_t>& mask, int rows,
+                    const char* what, std::uint64_t key) {
+  for (int r = 0; r < rows; ++r) {
+    const bool got =
+        ((mask[static_cast<std::size_t>(r) >> 6] >> (r & 63)) & 1ULL) != 0;
+    ASSERT_EQ(want[static_cast<std::size_t>(r)], got)
+        << what << " row " << r << " key=" << key;
+  }
+  for (std::size_t w = 0; w < mask.size(); ++w) {
+    std::uint64_t padded = mask[w];
+    if (w == static_cast<std::size_t>(rows) / 64 && (rows & 63) != 0) {
+      padded &= ~((1ULL << (rows & 63)) - 1);
+    } else if (w < static_cast<std::size_t>(rows) / 64) {
+      padded = 0;
+    }
+    ASSERT_EQ(padded, 0u) << what << " pad word " << w << " key=" << key;
+  }
+}
+
+struct TierGuard {
+  ~TierGuard() { clear_kernel_tier_override(); }
+};
+
+void run_differential(int rows, int cols, int tables, int queries) {
+  const bool simd = kernel_tier_available(KernelTier::kAvx2);
+  for (int t = 0; t < tables; ++t) {
+    const std::uint64_t table_key = util::trial_key(
+        kSeed, static_cast<std::uint64_t>(rows) * 1000003u +
+                   static_cast<std::uint64_t>(cols) * 1009u +
+                   static_cast<std::uint64_t>(t));
+    std::mt19937 rng = util::trial_rng(kSeed, table_key);
+    arch::TcamArray array(rows, cols);
+    PackedShard shard(rows, cols);
+    build_pair(rng, rows, cols, array, shard);
+
+    std::vector<std::uint64_t> scalar_mask;
+    std::vector<std::uint64_t> simd_mask;
+    for (int qi = 0; qi < queries; ++qi) {
+      const std::uint64_t key = table_key + static_cast<std::uint64_t>(qi);
+      const arch::BitWord query = make_query(rng, qi, cols, array);
+      const PackedQuery packed = PackedQuery::pack(query);
+      const std::vector<bool> ref = array.search(query);
+
+      // Full (single-step) match: every tier vs the behavioral reference.
+      const arch::SearchStats scalar_stats =
+          shard.full_match(packed, scalar_mask, KernelTier::kScalar);
+      expect_mask_eq(ref, scalar_mask, rows, "full/scalar", key);
+      EXPECT_EQ(scalar_stats.rows, rows);
+      if (simd) {
+        const arch::SearchStats simd_stats =
+            shard.full_match(packed, simd_mask, KernelTier::kAvx2);
+        ASSERT_EQ(scalar_mask, simd_mask) << "full mask key=" << key;
+        expect_stats_eq(scalar_stats, simd_stats, "full stats", key);
+      }
+
+      // Two-step match (even widths only): tiers vs arch::two_step_search,
+      // stats included — the paper's step-1/step-2 accounting must be
+      // identical in every implementation.
+      if (cols % 2 == 0) {
+        const arch::ScheduledSearchResult two_ref =
+            arch::two_step_search(array, query);
+        const arch::SearchStats two_scalar =
+            shard.two_step_match(packed, scalar_mask, KernelTier::kScalar);
+        expect_mask_eq(two_ref.matches, scalar_mask, rows, "two/scalar", key);
+        expect_stats_eq(two_ref.stats, two_scalar, "two/scalar stats", key);
+        if (simd) {
+          const arch::SearchStats two_simd =
+              shard.two_step_match(packed, simd_mask, KernelTier::kAvx2);
+          ASSERT_EQ(scalar_mask, simd_mask) << "two-step mask key=" << key;
+          expect_stats_eq(two_ref.stats, two_simd, "two/simd stats", key);
+        }
+      }
+      if (::testing::Test::HasFailure()) return;  // one bad case is enough
+    }
+  }
+}
+
+TEST(KernelDifferential, WordBoundaryWidths) {
+  // 63 / 64 / 65 plus a two-word even width: the packing edge cases.
+  for (const int cols : {63, 64, 65, 130}) {
+    run_differential(/*rows=*/96, cols, /*tables=*/3, /*queries=*/40);
+    if (HasFailure()) return;
+  }
+}
+
+TEST(KernelDifferential, RowBlockBoundaries) {
+  // 1 / 3 rows (sub-block), 64 (exact block), 65 (block + 1), 200
+  // (3 blocks + tail): the SIMD per-64-row-block accounting edges.
+  for (const int rows : {1, 3, 64, 65, 200}) {
+    run_differential(rows, /*cols=*/64, /*tables=*/3, /*queries=*/40);
+    if (HasFailure()) return;
+  }
+}
+
+TEST(KernelDifferential, NarrowAndOddWidths) {
+  for (const int cols : {1, 2, 7, 16}) {
+    run_differential(/*rows=*/70, cols, /*tables=*/2, /*queries=*/40);
+    if (HasFailure()) return;
+  }
+}
+
+TEST(KernelDifferential, RandomizedSweep) {
+  // The bulk randomized sweep: ~3k additional (table, query) cases over
+  // mixed shapes; together with the boundary suites the differential
+  // layer runs >10k tier-vs-reference comparisons.
+  std::mt19937 shape_rng = util::trial_rng(kSeed, 999);
+  std::uniform_int_distribution<int> rows_d(1, 160);
+  std::uniform_int_distribution<int> cols_d(1, 100);
+  for (int i = 0; i < 24; ++i) {
+    const int rows = rows_d(shape_rng);
+    int cols = cols_d(shape_rng);
+    if (i % 2 == 0 && cols % 2 != 0) ++cols;  // keep two-step covered
+    run_differential(rows, cols, /*tables=*/1, /*queries=*/128);
+    if (HasFailure()) return;
+  }
+}
+
+TEST(KernelDifferential, ActiveTierOverrideRoundTrip) {
+  // The dispatch plumbing itself: overrides select exactly the requested
+  // tier and clear back to the CPU-detected best.
+  TierGuard guard;
+  clear_kernel_tier_override();
+  EXPECT_EQ(active_kernel_tier(), best_kernel_tier());
+  set_kernel_tier_override(KernelTier::kScalar);
+  EXPECT_EQ(active_kernel_tier(), KernelTier::kScalar);
+  if (kernel_tier_available(KernelTier::kAvx2)) {
+    set_kernel_tier_override(KernelTier::kAvx2);
+    EXPECT_EQ(active_kernel_tier(), KernelTier::kAvx2);
+  } else {
+    EXPECT_THROW(set_kernel_tier_override(KernelTier::kAvx2),
+                 std::invalid_argument);
+  }
+  clear_kernel_tier_override();
+  EXPECT_EQ(active_kernel_tier(), best_kernel_tier());
+}
+
+TEST(KernelDifferential, DefaultPathFollowsOverride) {
+  // The tier-less PackedShard entry points must route through the active
+  // tier: force scalar, then (if present) AVX2, and check the default call
+  // reproduces the forced call bit for bit.
+  TierGuard guard;
+  std::mt19937 rng = util::trial_rng(kSeed, 4242);
+  arch::TcamArray array(96, 64);
+  PackedShard shard(96, 64);
+  build_pair(rng, 96, 64, array, shard);
+  const arch::BitWord query = make_query(rng, 0, 64, array);
+  const PackedQuery packed = PackedQuery::pack(query);
+
+  std::vector<std::uint64_t> forced, defaulted;
+  for (const KernelTier tier : {KernelTier::kScalar, KernelTier::kAvx2}) {
+    if (!kernel_tier_available(tier)) continue;
+    set_kernel_tier_override(tier);
+    const arch::SearchStats a = shard.two_step_match(packed, forced, tier);
+    const arch::SearchStats b = shard.two_step_match(packed, defaulted);
+    EXPECT_EQ(forced, defaulted) << kernel_tier_name(tier);
+    expect_stats_eq(a, b, kernel_tier_name(tier), 4242);
+  }
+}
+
+}  // namespace
+}  // namespace fetcam::engine

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""CI guard: the bit-packed TCAM shard kernel must stay fast.
+"""CI guard: the TCAM search path must stay fast.
 
 Reads the machine-readable report emitted by
 
@@ -10,38 +10,43 @@ and fails when:
   * the packed full-match kernel is not at least MIN_KERNEL_SPEEDUP x
     faster than the unpacked TcamArray::search at the gate shape
     (4096 rows x 128 cols, single thread) -- the headline the packed
-    representation must earn; or
+    representation must earn;
+  * the AVX2 tier, when available, is not at least MIN_SIMD_SPEEDUP x
+    faster than the scalar kernel on the SAME packed representation
+    (this isolates the vector win from the packing win);
+  * --require-simd was passed (the AVX2 CI job) but the report says the
+    SIMD tier was unavailable -- a silent fallback to scalar would
+    otherwise make the SIMD gate vacuous;
+  * --min-qps N was passed and the best multicore configuration (or the
+    over-the-wire run) fell below N queries/second;
   * the engine section is missing or degenerate (zero throughput, rates
     outside [0, 1], zero search energy) -- which would mean the harness
     silently stopped exercising the engine.
 
-The engine QPS itself is NOT gated on an absolute number: CI machines
-vary too much.  The kernel ratio is machine-relative and stable.
+Absolute qps is only gated when the caller opts in with --min-qps: CI
+machines vary too much for a hardcoded number, but a caller that knows
+its hardware can pin a floor.  The kernel ratios are machine-relative
+and always enforced.
 
-Usage: check_engine_throughput.py BENCH_engine.json
+Usage: check_engine_throughput.py [--require-simd] [--min-qps N] BENCH_engine.json
 """
 
+import argparse
 import json
 import sys
 
 MIN_KERNEL_SPEEDUP = 4.0
+MIN_SIMD_SPEEDUP = 2.0
 GATE_ROWS = 4096
 GATE_COLS = 128
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        print(__doc__)
-        return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
-        report = json.load(f)
-
+def check_kernel(report: dict) -> bool:
     ok = True
-
     kernel = report.get("kernel")
     if not kernel:
         print("FAIL: no kernel section in report")
-        return 1
+        return False
     if kernel.get("rows") != GATE_ROWS or kernel.get("cols") != GATE_COLS:
         print(
             f"FAIL: kernel gate shape is {kernel.get('rows')}x"
@@ -64,11 +69,96 @@ def main() -> int:
     if kernel.get("two_step_speedup", 0.0) <= 0.0:
         print("FAIL: two-step kernel comparison missing or degenerate")
         ok = False
+    return ok
 
+
+def check_simd(report: dict, require_simd: bool) -> bool:
+    ok = True
+    simd = report.get("simd")
+    if not simd:
+        print("FAIL: no simd section in report")
+        return False
+    available = simd.get("available", False)
+    if not available:
+        print(f"simd: unavailable (active tier {simd.get('active_tier')})")
+        if require_simd:
+            print("FAIL: --require-simd but the SIMD tier is unavailable")
+            ok = False
+        return ok
+    speedup = simd.get("speedup", 0.0)
+    print(
+        f"simd ({simd.get('active_tier')}): "
+        f"scalar {simd.get('scalar_us', 0.0):.1f}us, "
+        f"simd {simd.get('simd_us', 0.0):.1f}us -> {speedup:.2f}x "
+        f"(two-step {simd.get('two_step_speedup', 0.0):.2f}x)"
+    )
+    if speedup < MIN_SIMD_SPEEDUP:
+        print(
+            f"FAIL: SIMD kernel speedup {speedup:.2f}x "
+            f"< {MIN_SIMD_SPEEDUP}x over the scalar-packed kernel"
+        )
+        ok = False
+    if simd.get("two_step_speedup", 0.0) < MIN_SIMD_SPEEDUP:
+        print(
+            f"FAIL: SIMD two-step speedup "
+            f"{simd.get('two_step_speedup', 0.0):.2f}x < {MIN_SIMD_SPEEDUP}x"
+        )
+        ok = False
+    return ok
+
+
+def check_scale(report: dict, min_qps: float) -> bool:
+    ok = True
+    multicore = report.get("multicore")
+    if not multicore or not multicore.get("configs"):
+        print("FAIL: no multicore section in report")
+        return False
+    for cfg in multicore["configs"]:
+        print(
+            f"multicore dispatch={cfg.get('dispatch_threads')} "
+            f"groups={cfg.get('mat_groups')} "
+            f"coalesce={cfg.get('coalesce_batches')}: "
+            f"{cfg.get('qps', 0.0):.0f} qps"
+        )
+        if cfg.get("qps", 0.0) <= 0.0:
+            print("FAIL: multicore configuration measured zero throughput")
+            ok = False
+    best = multicore.get("best_qps", 0.0)
+    wire = report.get("wire")
+    if not wire:
+        print("FAIL: no wire section in report")
+        return False
+    expected_frames = wire.get("clients", 0) * wire.get("frames_per_client", 0)
+    print(
+        f"wire: {wire.get('clients')} clients, "
+        f"{wire.get('frames_served')}/{expected_frames} frames -> "
+        f"{wire.get('qps', 0.0):.0f} qps"
+    )
+    if wire.get("frames_served", 0) != expected_frames:
+        print("FAIL: wire run dropped frames (served != sent)")
+        ok = False
+    if wire.get("qps", 0.0) <= 0.0:
+        print("FAIL: wire run measured zero throughput")
+        ok = False
+    if min_qps > 0.0:
+        if best < min_qps:
+            print(f"FAIL: best multicore qps {best:.0f} < floor {min_qps:.0f}")
+            ok = False
+        if wire.get("qps", 0.0) < min_qps:
+            print(
+                f"FAIL: wire qps {wire.get('qps', 0.0):.0f} "
+                f"< floor {min_qps:.0f}"
+            )
+            ok = False
+    return ok
+
+
+def check_engine(report: dict) -> bool:
+    ok = True
     engine = report.get("engine")
     if not engine:
         print("FAIL: no engine section in report")
-        return 1
+        return False
     qps = engine.get("qps", 0.0)
     print(
         f"engine: {engine.get('searches', 0)} searches, {qps:.0f} qps, "
@@ -91,6 +181,34 @@ def main() -> int:
     if engine.get("p99_batch_us", 0.0) < engine.get("p50_batch_us", 0.0):
         print("FAIL: p99 batch latency below p50 (percentile bug)")
         ok = False
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("report", help="path to BENCH_engine.json")
+    parser.add_argument(
+        "--require-simd",
+        action="store_true",
+        help="fail when the SIMD tier is unavailable (AVX2 CI job)",
+    )
+    parser.add_argument(
+        "--min-qps",
+        type=float,
+        default=0.0,
+        help="absolute qps floor for multicore and wire runs (0 = off)",
+    )
+    args = parser.parse_args()
+
+    with open(args.report, encoding="utf-8") as f:
+        report = json.load(f)
+
+    ok = check_kernel(report)
+    ok = check_simd(report, args.require_simd) and ok
+    ok = check_scale(report, args.min_qps) and ok
+    ok = check_engine(report) and ok
 
     print("OK" if ok else "engine perf guard failed")
     return 0 if ok else 1
