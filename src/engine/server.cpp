@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -86,6 +87,11 @@ struct SearchServer::Impl {
   std::atomic<bool> stopping{false};
   std::atomic<bool> drained{false};
 
+  /// IO-thread-only: set once the drain begins (listener closed), arming
+  /// the force-close deadline for peers that never read their responses.
+  bool drain_deadline_set = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+
   // ---- helpers (IO thread unless noted) ---------------------------------
 
   void wake_io() {
@@ -115,12 +121,19 @@ struct SearchServer::Impl {
   /// still in the engine.
   void maybe_close(const std::shared_ptr<Connection>& conn) {
     if (!conn->closing || conn->fd < 0) return;
+    // in_flight must be read BEFORE the tx check: the completion thread
+    // encodes the response into tx (under tx_mu) and only then decrements
+    // in_flight, so observing 0 here guarantees the tx check below sees
+    // any bytes that response queued.  The reverse order could see tx
+    // empty pre-encode and in_flight 0 post-decrement, closing with the
+    // final response unsent.
+    if (conn->in_flight.load() != 0) return;
     bool tx_empty;
     {
       const std::lock_guard<std::mutex> lock(conn->tx_mu);
       tx_empty = conn->tx_off >= conn->tx.size();
     }
-    if (tx_empty && conn->in_flight.load() == 0) close_conn(conn);
+    if (tx_empty) close_conn(conn);
   }
 
   /// Error frame + close-after-flush; the rest of the server is untouched.
@@ -180,6 +193,10 @@ struct SearchServer::Impl {
       set_nonblocking(fd);
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (self.options_.sndbuf_bytes > 0) {
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &self.options_.sndbuf_bytes,
+                     sizeof(self.options_.sndbuf_bytes));
+      }
       auto conn = std::make_shared<Connection>();
       conn->fd = fd;
       conns.emplace(fd, conn);
@@ -325,16 +342,33 @@ struct SearchServer::Impl {
   void io_loop() {
     epoll_event events[64];
     for (;;) {
-      if (stopping.load() && drained.load() && listen_fd < 0) {
-        bool idle = true;
-        for (auto& [fd, conn] : conns) {
-          const std::lock_guard<std::mutex> lock(conn->tx_mu);
-          if (conn->tx_off < conn->tx.size() || conn->in_flight.load() > 0) {
-            idle = false;
-            break;
-          }
+      if (stopping.load() && listen_fd < 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (!drain_deadline_set) {
+          drain_deadline_set = true;
+          drain_deadline = now + std::chrono::milliseconds(
+                                     self.options_.drain_timeout_ms);
+        } else if (now >= drain_deadline && !conns.empty()) {
+          // Bounded drain: a peer that stopped reading keeps its tx
+          // buffer pinned forever — force-close whatever is left rather
+          // than hanging stop() (and the destructor) indefinitely.
+          std::vector<std::shared_ptr<Connection>> remaining;
+          remaining.reserve(conns.size());
+          for (auto& [fd, conn] : conns) remaining.push_back(conn);
+          for (const auto& conn : remaining) close_conn(conn);
         }
-        if (idle) break;
+        if (drained.load()) {
+          bool idle = true;
+          for (auto& [fd, conn] : conns) {
+            const std::lock_guard<std::mutex> lock(conn->tx_mu);
+            if (conn->in_flight.load() > 0 ||
+                conn->tx_off < conn->tx.size()) {
+              idle = false;
+              break;
+            }
+          }
+          if (idle) break;
+        }
       }
       const int n = ::epoll_wait(epoll_fd, events, 64, 100);
       if (n < 0) {
@@ -479,6 +513,7 @@ void SearchServer::start() {
 
   impl_->stopping.store(false);
   impl_->drained.store(false);
+  impl_->drain_deadline_set = false;
   {
     const std::lock_guard<std::mutex> lock(impl_->pending_mu);
     impl_->stop_requested = false;

@@ -22,7 +22,11 @@
 // until responses drain — TCP backpressure, not unbounded buffering.
 //
 // stop() is a clean drain: accept stops, already-submitted frames finish,
-// their responses flush, then connections close.
+// their responses flush, then connections close.  The flush is bounded by
+// ServerOptions::drain_timeout_ms — a peer that stops reading (full TCP
+// buffer) would otherwise pin its tx buffer forever and hang stop(); past
+// the deadline such connections are force-closed, undelivered bytes and
+// all.
 #pragma once
 
 #include <atomic>
@@ -42,6 +46,14 @@ struct ServerOptions {
   /// reading that socket (pipelining bound / backpressure).
   std::size_t max_pipeline = 64;
   int listen_backlog = 64;
+  /// stop() drain bound: connections that still owe bytes this long after
+  /// the drain began (peer stopped reading) are force-closed rather than
+  /// blocking stop() forever.
+  int drain_timeout_ms = 2000;
+  /// SO_SNDBUF for accepted connections; 0 = kernel default (autotuned).
+  /// Setting a value disables kernel autotuning — the drain tests use a
+  /// tiny buffer to deterministically strand bytes at a dead peer.
+  int sndbuf_bytes = 0;
 };
 
 class SearchServer {

@@ -177,8 +177,13 @@ inline std::optional<SearchBatchFrame> decode_search_batch(
   if (len < 8) return std::nullopt;
   const std::uint32_t count = get_u32(payload);
   const std::uint32_t wpq = get_u32(payload + 4);
-  const std::uint64_t words = static_cast<std::uint64_t>(count) * wpq;
   if (count > 0 && wpq == 0) return std::nullopt;
+  // count * wpq is exact in u64 (both factors < 2^32), but `words * 8`
+  // can wrap — e.g. count = 2^31, wpq = 2^30 gives words = 2^61, whose
+  // byte size is 0 mod 2^64 and would slip past the length check into a
+  // 2^61-word resize.  Bound words by the bytes actually present first.
+  const std::uint64_t words = static_cast<std::uint64_t>(count) * wpq;
+  if (words > (len - 8) / 8) return std::nullopt;
   if (len != 8 + words * 8) return std::nullopt;
   SearchBatchFrame frame;
   frame.words_per_query = wpq;

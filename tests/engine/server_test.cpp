@@ -3,6 +3,12 @@
 // frames hurt only the offending connection), and clean drain on stop().
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -194,6 +200,41 @@ TEST(SearchServer, WrongWidthIsRejected) {
   EXPECT_EQ(reply.error.code, wire::ErrorCode::kBadWidth);
 }
 
+TEST(WireProtocol, OverflowingCountTimesWidthIsRejected) {
+  // count * words_per_query = 2^61 words, whose byte size is 0 mod 2^64:
+  // a naive `len == 8 + words * 8` check passes and the decoder attempts
+  // a 2^61-word resize.  The decoder must reject instead.
+  std::vector<std::uint8_t> payload;
+  wire::put_u32(payload, 0x80000000u);  // count
+  wire::put_u32(payload, 0x40000000u);  // words_per_query
+  EXPECT_FALSE(
+      wire::decode_search_batch(payload.data(), payload.size()).has_value());
+}
+
+TEST(SearchServer, OverflowingBatchCountsGetErrorFrameNotCrash) {
+  // The same crafted 20-byte frame over the wire: it must earn a
+  // kMalformed error frame on that connection only — not an uncaught
+  // std::length_error that terminates the whole server.
+  Service svc;
+  SearchClient good;
+  good.connect("127.0.0.1", svc.server.port());
+  SearchClient bad;
+  bad.connect("127.0.0.1", svc.server.port());
+  std::vector<std::uint8_t> out;
+  wire::encode_header(out, wire::FrameType::kSearchBatch, 8);
+  wire::put_u32(out, 0x80000000u);  // count
+  wire::put_u32(out, 0x40000000u);  // words_per_query
+  bad.send_raw(out.data(), out.size());
+  const auto reply = bad.recv_reply();
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.code, wire::ErrorCode::kMalformed);
+  // The server survived and still serves other connections.
+  const auto records = good.search(
+      {arch::BitWord(static_cast<std::size_t>(kCols), 0)}, kCols);
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_GE(svc.server.frames_rejected(), 1u);
+}
+
 TEST(SearchServer, BadConnectionDoesNotDisturbOthers) {
   Service svc;
   SearchClient good;
@@ -268,6 +309,63 @@ TEST(SearchServer, StopDrainsInFlightFramesBeforeClosing) {
   }
   EXPECT_EQ(svc.server.frames_served(), answered);
   EXPECT_FALSE(svc.server.running());
+}
+
+TEST(SearchServer, StopForceClosesPeersThatNeverRead) {
+  ServerOptions sopts;
+  sopts.drain_timeout_ms = 200;
+  sopts.sndbuf_bytes = 8192;  // no autotuning: transit buffers stay tiny
+  Service svc(sopts);
+  // A raw client with a tiny receive buffer that never reads: once the
+  // kernel's transit buffers fill, the connection's tx buffer stays
+  // pinned, and without a drain bound stop() would block forever.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(svc.server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // 12 frames x 2000 queries -> ~312 KiB of result frames, far past what
+  // a 4 KiB receive window lets through.
+  wire::SearchBatchFrame frame;
+  frame.words_per_query = 1;  // kCols = 16 -> one word per query
+  frame.bits.assign(2000, 0);
+  std::vector<std::uint8_t> bytes;
+  for (int f = 0; f < 12; ++f) wire::encode_search_batch(bytes, frame);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+  // Wait until every frame has been answered (responses encoded into the
+  // tx buffer), so stop() finds undeliverable bytes rather than an idle
+  // connection.
+  const auto wait_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (svc.server.frames_served() < 12 &&
+         std::chrono::steady_clock::now() < wait_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(svc.server.frames_served(), 12u);
+  const auto t0 = std::chrono::steady_clock::now();
+  svc.server.stop();
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_FALSE(svc.server.running());
+  // ~300 KiB of responses cannot fit in ~24 KiB of transit buffers, so
+  // stop() must have gone through the 200 ms force-close deadline — not
+  // a clean flush (which would return almost instantly) and not a hang
+  // (generous CI slack on the upper bound).
+  EXPECT_GE(elapsed_ms, 100);
+  EXPECT_LT(elapsed_ms, 5000);
+  ::close(fd);
 }
 
 TEST(SearchServer, StopThenRestartServesAgain) {
