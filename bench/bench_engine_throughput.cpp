@@ -6,11 +6,14 @@
 // Usage:
 //   bench_engine_throughput                      # google-benchmark kernels
 //   bench_engine_throughput --engine-json=PATH   # machine-readable report
+//                           [--stats-json=PATH]  # + live kStats scrape
 //
 // The JSON mode feeds BENCH_engine.json consumed by CI's engine perf smoke
 // guard (tools/check_engine_throughput.py).  The headline gate is the
 // kernel section: packed full-match throughput must be >= 4x the unpacked
-// TcamArray::search at 4096 rows x 128 cols, single thread.
+// TcamArray::search at 4096 rows x 128 cols, single thread.  The wire
+// section reports per-frame RTT p50/p99 and, with --stats-json, archives a
+// "fetcam.stats.v1" snapshot scraped from the live loopback server.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -33,8 +36,11 @@
 #include "engine/server.hpp"
 #include "engine/table.hpp"
 #include "engine/workload.hpp"
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+
+#include <mutex>
 
 using namespace fetcam;
 
@@ -404,15 +410,36 @@ struct WireReport {
   double wall_s = 0.0;
   double qps = 0.0;
   std::uint64_t frames_served = 0;
+  double rtt_p50_us = 0.0;  ///< per-frame send->reply round trip
+  double rtt_p99_us = 0.0;
+  std::string stats_json;   ///< live kStats scrape taken before stop()
 };
+
+double sorted_percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size()) + 0.999999);
+  if (idx < 1) idx = 1;
+  if (idx > v.size()) idx = v.size();
+  return v[idx - 1];
+}
 
 /// Over-the-wire mode: loopback SearchServer, pipelined binary-protocol
 /// clients.  Measures the full path (framing + epoll + engine + framing).
+/// Stage attribution rides along: the section runs at obs metrics level and
+/// finishes with a live kStats scrape off the still-running server, which
+/// CI archives next to BENCH_engine.json.
 WireReport measure_wire() {
   WireReport rep;
   rep.clients = 2;
   rep.frames_per_client = 100;
   rep.queries_per_frame = 64;
+
+  // Per-stage recorders only fill at metrics level; restore the prior
+  // level on exit so the wire section is self-contained.
+  const obs::Level prior_level = obs::level();
+  if (!obs::metrics_on()) obs::set_level(obs::Level::kMetrics);
 
   engine::TraceSpec spec;
   spec.kind = engine::TraceKind::kIpPrefix;
@@ -438,6 +465,8 @@ WireReport measure_wire() {
   server.start();
 
   constexpr int kPipelineDepth = 8;
+  std::mutex rtt_mu;
+  std::vector<double> rtts;  // per-frame round trips, all clients merged
   const double t0 = now_us();
   std::vector<std::thread> threads;
   for (int c = 0; c < rep.clients; ++c) {
@@ -450,34 +479,59 @@ WireReport measure_wire() {
         frame.push_back(trace.queries[static_cast<std::size_t>(
             (c * 509 + k) % static_cast<int>(trace.queries.size()))]);
       }
+      // The server answers in request order, so reply k closes the RTT
+      // opened by send k even with pipelining.
+      std::vector<double> send_ts(
+          static_cast<std::size_t>(rep.frames_per_client), 0.0);
+      std::vector<double> local_rtts;
+      local_rtts.reserve(send_ts.size());
       int sent = 0;
       int received = 0;
       while (received < rep.frames_per_client) {
         while (sent < rep.frames_per_client &&
                sent - received < kPipelineDepth) {
+          send_ts[static_cast<std::size_t>(sent)] = now_us();
           client.send_batch(frame, cfg.cols);
           ++sent;
         }
         const auto reply = client.recv_reply();
         if (!reply.ok) return;  // surfaces as a frames_served shortfall
+        local_rtts.push_back(now_us() -
+                             send_ts[static_cast<std::size_t>(received)]);
         ++received;
       }
+      const std::lock_guard<std::mutex> lock(rtt_mu);
+      rtts.insert(rtts.end(), local_rtts.begin(), local_rtts.end());
     });
   }
   for (auto& t : threads) t.join();
   rep.wall_s = (now_us() - t0) / 1e6;
   rep.frames_served = server.frames_served();
+  rep.rtt_p50_us = sorted_percentile(rtts, 0.50);
+  rep.rtt_p99_us = sorted_percentile(rtts, 0.99);
+  // Scrape the live server before stopping it: the artifact shows queue /
+  // stage percentiles and per-connection counters for this exact run.
+  try {
+    engine::SearchClient scraper;
+    scraper.connect("127.0.0.1", server.port());
+    rep.stats_json = scraper.stats();
+  } catch (const std::exception& e) {
+    std::cerr << "stats scrape failed: " << e.what() << "\n";
+  }
   server.stop();
+  obs::set_level(prior_level);
   const double total_queries = static_cast<double>(rep.clients) *
                                rep.frames_per_client * rep.queries_per_frame;
   rep.qps = rep.wall_s > 0.0 ? total_queries / rep.wall_s : 0.0;
   std::cerr << "wire: " << rep.clients << " clients x "
             << rep.frames_per_client << " frames x " << rep.queries_per_frame
-            << " queries in " << rep.wall_s << "s -> " << rep.qps << " qps\n";
+            << " queries in " << rep.wall_s << "s -> " << rep.qps
+            << " qps, rtt p50=" << rep.rtt_p50_us << "us p99="
+            << rep.rtt_p99_us << "us\n";
   return rep;
 }
 
-int emit_engine_json(const std::string& path) {
+int emit_engine_json(const std::string& path, const std::string& stats_path) {
   // The kernel gate is defined single-thread: pin the pool so a parallel
   // environment cannot flatter (or starve) either arm.
   util::set_thread_count(1);
@@ -565,7 +619,9 @@ int emit_engine_json(const std::string& path) {
      << "    \"queries_per_frame\": " << wire.queries_per_frame << ",\n"
      << "    \"frames_served\": " << wire.frames_served << ",\n"
      << "    \"wall_s\": " << wire.wall_s << ",\n"
-     << "    \"qps\": " << wire.qps << "\n"
+     << "    \"qps\": " << wire.qps << ",\n"
+     << "    \"rtt_p50_us\": " << wire.rtt_p50_us << ",\n"
+     << "    \"rtt_p99_us\": " << wire.rtt_p99_us << "\n"
      << "  },\n";
   os << "  \"engine\": {\n"
      << "    \"trace_kind\": \"" << engine::trace_kind_name(spec.kind)
@@ -598,6 +654,21 @@ int emit_engine_json(const std::string& path) {
   }
   f << os.str();
   std::cerr << "wrote " << path << "\n";
+
+  if (!stats_path.empty()) {
+    if (wire.stats_json.empty()) {
+      std::cerr << "no stats snapshot captured; skipping " << stats_path
+                << "\n";
+      return 1;
+    }
+    std::ofstream sf(stats_path);
+    if (!sf) {
+      std::cerr << "cannot write " << stats_path << "\n";
+      return 1;
+    }
+    sf << wire.stats_json;
+    std::cerr << "wrote " << stats_path << "\n";
+  }
   return 0;
 }
 
@@ -605,17 +676,20 @@ int emit_engine_json(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string stats_path;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--engine-json=", 14) == 0) {
       json_path = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
+      stats_path = argv[i] + 13;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
   if (!json_path.empty()) {
-    return emit_engine_json(json_path);
+    return emit_engine_json(json_path, stats_path);
   }
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

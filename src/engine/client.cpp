@@ -125,6 +125,10 @@ SearchClient::Reply SearchClient::recv_reply() {
     }
     reply.ok = true;
     reply.records = std::move(*records);
+  } else if (header.type == wire::FrameType::kStatsResult) {
+    reply.ok = true;
+    reply.is_stats = true;
+    reply.stats_json = wire::decode_stats_result(payload, header.payload_len);
   } else if (header.type == wire::FrameType::kError) {
     auto err = wire::decode_error(payload, header.payload_len);
     if (!err) throw std::runtime_error("malformed error frame from server");
@@ -137,6 +141,28 @@ SearchClient::Reply SearchClient::recv_reply() {
             rx_.begin() + static_cast<std::ptrdiff_t>(wire::kHeaderSize +
                                                       header.payload_len));
   return reply;
+}
+
+void SearchClient::send_stats_request() {
+  if (fd_ < 0) throw std::runtime_error("client is not connected");
+  std::vector<std::uint8_t> out;
+  wire::encode_stats_request(out);
+  send_all(out.data(), out.size());
+}
+
+std::string SearchClient::stats() {
+  send_stats_request();
+  Reply reply = recv_reply();
+  if (!reply.ok) {
+    throw std::runtime_error("server error " +
+                             std::to_string(static_cast<std::uint32_t>(
+                                 reply.error.code)) +
+                             ": " + reply.error.message);
+  }
+  if (!reply.is_stats) {
+    throw std::runtime_error("expected a stats reply, got a search result");
+  }
+  return std::move(reply.stats_json);
 }
 
 std::vector<wire::ResultRecord> SearchClient::search(

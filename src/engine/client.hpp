@@ -32,10 +32,13 @@ class SearchClient {
   void close();
   bool connected() const { return fd_ >= 0; }
 
-  /// One reply frame: either a result batch or a server error frame.
+  /// One reply frame: a result batch, a stats snapshot, or a server error
+  /// frame.
   struct Reply {
-    bool ok = false;  ///< true = kSearchResult, false = kError
+    bool ok = false;  ///< true = kSearchResult / kStatsResult
+    bool is_stats = false;  ///< true = kStatsResult (stats_json is set)
     std::vector<wire::ResultRecord> records;
+    std::string stats_json;
     wire::ErrorFrame error;
   };
 
@@ -51,6 +54,12 @@ class SearchClient {
   /// frame (message includes the server's).
   std::vector<wire::ResultRecord> search(
       const std::vector<arch::BitWord>& queries, int cols);
+  /// Send one kStats scrape frame (empty payload).
+  void send_stats_request();
+  /// send_stats_request + recv_reply: the live stats snapshot JSON
+  /// (engine/stats.hpp schema "fetcam.stats.v1").  Throws
+  /// std::runtime_error on a server error frame.
+  std::string stats();
 
  private:
   void send_all(const std::uint8_t* data, std::size_t len);

@@ -5,8 +5,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace fetcam::engine {
@@ -20,16 +22,39 @@ struct EngineMetrics {
   obs::Counter& writes;
   obs::Counter& driver_stalls;
   obs::Counter& write_cycles;
+  obs::Counter& windows;
   obs::Gauge& queue_hwm;
+  obs::Gauge& queue_depth;
+  obs::Gauge& in_flight;
+  // Per-stage request attribution (docs/OBSERVABILITY.md stage catalog).
+  obs::LatencyRecorder& queue_wait;
+  obs::LatencyRecorder& coalesce_delay;
+  /// Phase-A latency per kernel tier, indexed by KernelTier.
+  obs::LatencyRecorder* match_tier[2];
+  obs::LatencyRecorder& merge;
+  obs::LatencyRecorder& apply;
+  obs::LatencyRecorder& batch_total;
 
   static EngineMetrics& get() {
     auto& reg = obs::MetricsRegistry::instance();
     static EngineMetrics m{
-        reg.counter("engine.batches"),     reg.counter("engine.requests"),
-        reg.counter("engine.searches"),    reg.counter("engine.writes"),
+        reg.counter("engine.batches"),
+        reg.counter("engine.requests"),
+        reg.counter("engine.searches"),
+        reg.counter("engine.writes"),
         reg.counter("engine.driver_stalls"),
         reg.counter("engine.write_cycles"),
+        reg.counter("engine.windows"),
         reg.gauge("engine.queue_high_watermark"),
+        reg.gauge("engine.queue.depth"),
+        reg.gauge("engine.in_flight"),
+        reg.latency("engine.stage.queue_wait"),
+        reg.latency("engine.stage.coalesce_delay"),
+        {&reg.latency("engine.stage.match.scalar"),
+         &reg.latency("engine.stage.match.avx2")},
+        reg.latency("engine.stage.merge"),
+        reg.latency("engine.stage.apply"),
+        reg.latency("engine.batch.total"),
     };
     return m;
   }
@@ -60,6 +85,12 @@ SearchEngine::SearchEngine(TcamTable& table, EngineOptions options)
     group_bounds_[static_cast<std::size_t>(g)] =
         static_cast<int>(static_cast<long long>(g) * cfg.mats / mat_groups_);
   }
+  group_match_lat_.resize(static_cast<std::size_t>(mat_groups_));
+  for (int g = 0; g < mat_groups_; ++g) {
+    group_match_lat_[static_cast<std::size_t>(g)] =
+        &obs::MetricsRegistry::instance().latency(
+            "engine.stage.match.group" + std::to_string(g));
+  }
   arch::MatGeometry geom;
   geom.rows = cfg.rows_per_mat / cfg.subarrays_per_mat;
   geom.cols = cfg.cols;
@@ -88,17 +119,24 @@ SearchEngine::~SearchEngine() {
   }
 }
 
-std::future<BatchResult> SearchEngine::submit(std::vector<Request> batch) {
+std::future<BatchResult> SearchEngine::submit(std::vector<Request> batch,
+                                              std::uint64_t trace_id) {
   Work work;
   work.batch = std::move(batch);
+  work.trace_id = trace_id;
+  if (obs::metrics_on()) work.submit_ns = obs::now_ns();
   std::future<BatchResult> future = work.promise.get_future();
   // Sequence assignment and queue insertion happen under one lock so the
   // FIFO queue order IS the sequence order (the determinism contract).
   const std::lock_guard<std::mutex> lock(submit_mu_);
   work.seq = next_seq_++;
+  submitted_.fetch_add(1, std::memory_order_release);
   if (!queue_.push(std::move(work))) {
-    // Engine shut down: the promise was moved into the dropped Work, so
-    // recreate a broken-promise future explicitly.
+    // Engine shut down: nothing will ever complete this batch, so undo the
+    // in-flight accounting before handing back a broken future.
+    completed_.fetch_add(1, std::memory_order_release);
+    // The promise was moved into the dropped Work, so recreate a
+    // broken-promise future explicitly.
     std::promise<BatchResult> broken;
     broken.set_exception(std::make_exception_ptr(
         std::runtime_error("engine is shut down")));
@@ -185,6 +223,18 @@ void SearchEngine::coordinator_loop() {
   for (;;) {
     std::vector<Work> window = queue_.pop_some(options_.coalesce_batches);
     if (window.empty()) return;  // closed and drained
+    std::uint64_t dequeue_ns = 0;
+    if (obs::metrics_on()) {
+      dequeue_ns = obs::now_ns();
+      auto& em = EngineMetrics::get();
+      em.queue_depth.set(static_cast<double>(queue_.size()));
+      em.in_flight.set(static_cast<double>(in_flight()));
+      for (const Work& w : window) {
+        if (w.submit_ns != 0 && dequeue_ns > w.submit_ns) {
+          em.queue_wait.record_ns(dequeue_ns - w.submit_ns);
+        }
+      }
+    }
     std::size_t begin = 0;
     while (begin < window.size()) {
       // Coalescing rule: extend the sub-window through pure-search
@@ -198,17 +248,37 @@ void SearchEngine::coordinator_loop() {
         if (!pure) break;
       }
       const double t0 = obs::now_us();
+      if (dequeue_ns != 0 && obs::metrics_on()) {
+        // Time a batch waited past its dequeue for earlier sub-windows of
+        // the same coalesced window to finish.
+        const std::uint64_t sub_start_ns = obs::now_ns();
+        auto& em = EngineMetrics::get();
+        for (std::size_t w = begin; w < end; ++w) {
+          em.coalesce_delay.record_ns(sub_start_ns - dequeue_ns);
+        }
+      }
       std::vector<std::vector<TableMatch>> matches;
       match_window(window, begin, end, matches);
       // Count the window before resolving its promises, so a caller that
       // blocks on execute() observes the window as processed.
       windows_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metrics_on()) EngineMetrics::get().windows.add();
       for (std::size_t w = begin; w < end; ++w) {
-        BatchResult res =
-            apply(window[w].seq, window[w].batch, matches[w - begin], t0);
+        obs::ScopedSpan span("engine.apply", "engine", window[w].trace_id);
+        BatchResult res = apply(window[w], matches[w - begin], t0);
+        // Count the completion BEFORE resolving the future so a caller that
+        // has waited on every future observes in_flight() == 0
+        // deterministically (the transient is a brief under-report, never
+        // an underflow: completed_ trails its own submitted_ increment).
+        completed_.fetch_add(1, std::memory_order_release);
         window[w].promise.set_value(std::move(res));
       }
       begin = end;
+    }
+    if (obs::metrics_on()) {
+      auto& em = EngineMetrics::get();
+      em.queue_depth.set(static_cast<double>(queue_.size()));
+      em.in_flight.set(static_cast<double>(in_flight()));
     }
   }
 }
@@ -240,10 +310,24 @@ void SearchEngine::match_window(
     thread_local MatchScratch scratch;
     const SearchRef& ref = searches[k / groups];
     const std::size_t g = k % groups;
+    const bool timed = obs::metrics_on();
+    const std::uint64_t t0_ns = timed ? obs::now_ns() : 0;
+    obs::ScopedSpan span("engine.match_task", "engine",
+                         works[ref.w].trace_id);
     table_.match_mats(works[ref.w].batch[ref.i].query, group_bounds_[g],
                       group_bounds_[g + 1], scratch, partials[k]);
+    if (timed) group_match_lat_[g]->record_ns(obs::now_ns() - t0_ns);
   };
+  const bool metrics = obs::metrics_on();
+  const std::uint64_t a0_ns = metrics ? obs::now_ns() : 0;
   run_round(partials.size(), task);
+  std::uint64_t a1_ns = 0;
+  if (metrics) {
+    a1_ns = obs::now_ns();
+    EngineMetrics::get()
+        .match_tier[static_cast<int>(active_kernel_tier())]
+        ->record_ns(a1_ns - a0_ns);
+  }
 
   // Fixed group-order fold: merge_match resolves by (priority, id), so
   // the merged winner equals the single-dispatcher broadcast bit for bit.
@@ -254,12 +338,16 @@ void SearchEngine::match_window(
       merge_match(out, partials[s * groups + g]);
     }
   }
+  if (metrics) EngineMetrics::get().merge.record_ns(obs::now_ns() - a1_ns);
 }
 
-BatchResult SearchEngine::apply(std::uint64_t seq, std::vector<Request>& batch,
-                                std::vector<TableMatch>& matches, double t0) {
+BatchResult SearchEngine::apply(Work& work, std::vector<TableMatch>& matches,
+                                double t0) {
+  std::vector<Request>& batch = work.batch;
+  const bool metrics = obs::metrics_on();
+  const std::uint64_t apply0_ns = metrics ? obs::now_ns() : 0;
   BatchResult res;
-  res.seq = seq;
+  res.seq = work.seq;
   res.results.resize(batch.size());
   std::size_t n_search = 0;
 
@@ -422,7 +510,7 @@ BatchResult SearchEngine::apply(std::uint64_t seq, std::vector<Request>& batch,
       res.write_cycles + static_cast<long long>(n_search),
       std::memory_order_relaxed);
   model_time_s_.fetch_add(res.model_latency_s, std::memory_order_relaxed);
-  if (obs::metrics_on()) {
+  if (metrics) {
     auto& em = EngineMetrics::get();
     em.batches.add();
     em.requests.add(batch.size());
@@ -431,9 +519,78 @@ BatchResult SearchEngine::apply(std::uint64_t seq, std::vector<Request>& batch,
     em.driver_stalls.add(static_cast<std::uint64_t>(res.driver_stalls));
     em.write_cycles.add(static_cast<std::uint64_t>(res.write_cycles));
     em.queue_hwm.set(static_cast<double>(queue_.high_watermark()));
+    const std::uint64_t end_ns = obs::now_ns();
+    em.apply.record_ns(end_ns - apply0_ns);
+    if (work.submit_ns != 0 && end_ns > work.submit_ns) {
+      const std::uint64_t total_ns = end_ns - work.submit_ns;
+      em.batch_total.record_ns(total_ns);
+      note_slow_query(work, total_ns, n_search);
+    }
   }
   res.wall_us = obs::now_us() - t0;
   return res;
+}
+
+namespace {
+
+/// FNV-1a over the batch shape + first search query: stable across runs
+/// for the same request, cheap enough for the slow-query candidate path.
+std::uint64_t batch_fingerprint(const std::vector<Request>& batch) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(batch.size());
+  for (const Request& r : batch) mix(static_cast<std::uint64_t>(r.kind));
+  for (const Request& r : batch) {
+    if (r.kind != RequestKind::kSearch) continue;
+    for (const std::uint8_t bit : r.query) {
+      h ^= bit;
+      h *= 1099511628211ull;
+    }
+    break;
+  }
+  return h;
+}
+
+}  // namespace
+
+void SearchEngine::note_slow_query(const Work& work, std::uint64_t total_ns,
+                                   std::size_t n_search) {
+  const std::lock_guard<std::mutex> lock(slow_mu_);
+  if (slow_queries_.size() >= kSlowQueryLog &&
+      total_ns <= slow_queries_.front().total_ns) {
+    return;
+  }
+  SlowQuery entry;
+  entry.seq = work.seq;
+  entry.trace_id = work.trace_id;
+  entry.total_ns = total_ns;
+  entry.requests = static_cast<std::uint32_t>(work.batch.size());
+  entry.searches = static_cast<std::uint32_t>(n_search);
+  entry.fingerprint = batch_fingerprint(work.batch);
+  // Keep ascending by total_ns; evict the fastest entry once full.
+  const auto pos = std::lower_bound(
+      slow_queries_.begin(), slow_queries_.end(), entry,
+      [](const SlowQuery& a, const SlowQuery& b) {
+        return a.total_ns < b.total_ns;
+      });
+  slow_queries_.insert(pos, entry);
+  if (slow_queries_.size() > kSlowQueryLog) slow_queries_.erase(
+      slow_queries_.begin());
+}
+
+std::vector<SlowQuery> SearchEngine::slow_queries() const {
+  std::vector<SlowQuery> out;
+  {
+    const std::lock_guard<std::mutex> lock(slow_mu_);
+    out = slow_queries_;
+  }
+  std::reverse(out.begin(), out.end());  // worst first
+  return out;
 }
 
 }  // namespace fetcam::engine

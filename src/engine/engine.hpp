@@ -51,6 +51,10 @@
 #include "engine/queue.hpp"
 #include "engine/table.hpp"
 
+namespace fetcam::obs {
+class LatencyRecorder;
+}
+
 namespace fetcam::engine {
 
 enum class RequestKind : std::uint8_t {
@@ -167,6 +171,19 @@ struct EngineOptions {
   std::size_t coalesce_batches = 4;
 };
 
+/// One slow-query log entry: a batch that ranked in the engine's top-K by
+/// total latency (submit -> applied).  The fingerprint is a stable 64-bit
+/// hash of the batch shape and its first query, so a recurring pathological
+/// request is recognizable across scrapes without shipping the payload.
+struct SlowQuery {
+  std::uint64_t seq = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t total_ns = 0;
+  std::uint32_t requests = 0;
+  std::uint32_t searches = 0;
+  std::uint64_t fingerprint = 0;
+};
+
 class SearchEngine {
  public:
   /// The engine owns request ordering on `table`; while the engine is
@@ -180,7 +197,10 @@ class SearchEngine {
   /// Enqueue a batch (MPMC: any thread may call).  Blocks while the queue
   /// is full.  The future resolves when the coordinator has applied the
   /// batch.  Batches are applied strictly in submission order.
-  std::future<BatchResult> submit(std::vector<Request> batch);
+  /// `trace_id` (0 = none) correlates this batch's trace spans and slow-
+  /// query entries with the caller's request (e.g. a server frame id).
+  std::future<BatchResult> submit(std::vector<Request> batch,
+                                  std::uint64_t trace_id = 0);
 
   /// Synchronous convenience: submit + wait.  Same code path, same
   /// determinism.
@@ -205,6 +225,21 @@ class SearchEngine {
   long long driver_cycles() const { return driver_cycles_.load(); }
   double model_time_s() const { return model_time_s_.load(); }
   std::size_t queue_high_watermark() const { return queue_.high_watermark(); }
+  /// Batches sitting in the admission queue right now.
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+  /// Batches submitted but not yet applied (queued + being processed).
+  /// Returns to 0 after drain() — the gauge-leak regression tests pin this.
+  std::uint64_t in_flight() const {
+    // completed_ is incremented just before the promise resolves; read it
+    // first so a racing read can only misreport by one batch transiently,
+    // never go negative.  After every future has resolved it is exact.
+    const std::uint64_t done = completed_.load(std::memory_order_acquire);
+    return submitted_.load(std::memory_order_acquire) - done;
+  }
+  /// Top-K batches by total latency, worst first (empty until the first
+  /// batch completes with metrics on; obs-gated like all wall timings).
+  std::vector<SlowQuery> slow_queries() const;
   /// Shared-bank utilization of one mat's scheduler (paper Fig. 6 model).
   double mat_utilization(int mat) const;
 
@@ -213,6 +248,8 @@ class SearchEngine {
     std::uint64_t seq = 0;
     std::vector<Request> batch;
     std::promise<BatchResult> promise;
+    std::uint64_t trace_id = 0;   ///< caller correlation id (0 = none)
+    std::uint64_t submit_ns = 0;  ///< obs::now_ns() at submit (metrics only)
   };
 
   /// One fan-out round: helpers + coordinator claim task indices from a
@@ -240,8 +277,10 @@ class SearchEngine {
                     std::size_t end,
                     std::vector<std::vector<TableMatch>>& matches);
   /// Phase B + admission model for one batch (serial, coordinator only).
-  BatchResult apply(std::uint64_t seq, std::vector<Request>& batch,
-                    std::vector<TableMatch>& matches, double t0);
+  BatchResult apply(Work& work, std::vector<TableMatch>& matches, double t0);
+  /// Slow-query log insert (coordinator only; metrics level).
+  void note_slow_query(const Work& work, std::uint64_t total_ns,
+                       std::size_t n_search);
 
   TcamTable& table_;
   EngineOptions options_;
@@ -249,6 +288,10 @@ class SearchEngine {
   int dispatch_threads_ = 1;  ///< resolved (>= 1)
   /// Group g covers mats [bounds[g], bounds[g+1]).
   std::vector<int> group_bounds_;
+  /// Per-mat-group phase-A latency recorders ("engine.stage.match.group<g>"),
+  /// resolved once at construction so the task hot path never touches the
+  /// registry mutex.
+  std::vector<obs::LatencyRecorder*> group_match_lat_;
   BoundedQueue<Work> queue_;
   /// One shared-driver scheduler per mat, persistent across batches.
   std::vector<arch::SharedDriverScheduler> mat_schedulers_;
@@ -260,6 +303,14 @@ class SearchEngine {
   std::shared_ptr<Round> round_;
   std::uint64_t round_gen_ = 0;
   bool pool_stop_ = false;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  /// Top-K slow batches, ascending by total_ns (coordinator inserts,
+  /// scrapers copy under the mutex).
+  static constexpr std::size_t kSlowQueryLog = 8;
+  mutable std::mutex slow_mu_;
+  std::vector<SlowQuery> slow_queries_;
 
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> requests_{0};

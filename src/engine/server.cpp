@@ -23,7 +23,9 @@
 #include <utility>
 #include <vector>
 
+#include "engine/stats.hpp"
 #include "engine/wire.hpp"
+#include "obs/trace.hpp"
 
 namespace fetcam::engine {
 
@@ -43,6 +45,7 @@ void set_nonblocking(int fd) {
 struct SearchServer::Impl {
   struct Connection {
     int fd = -1;
+    std::uint64_t id = 0;  ///< accept ordinal (stats correlation)
     /// Unparsed inbound bytes (IO thread only).
     std::vector<std::uint8_t> rx;
     /// Outbound bytes.  The completion thread appends under tx_mu; the IO
@@ -52,15 +55,25 @@ struct SearchServer::Impl {
     std::size_t tx_off = 0;
     /// Request frames submitted but not yet answered.
     std::atomic<std::size_t> in_flight{0};
+    // Per-connection telemetry (stats snapshot "connection" section).
+    std::atomic<std::uint64_t> frames{0};    ///< accepted request frames
+    std::atomic<std::uint64_t> rejected{0};  ///< malformed frames
+    std::atomic<std::uint64_t> stalls{0};    ///< backpressure read pauses
     /// IO-thread state: closing = no more reads, close once drained.
     bool closing = false;
     bool reading = true;     ///< EPOLLIN armed
     bool want_write = false; ///< EPOLLOUT armed
   };
 
+  /// One response owed on a connection, in FIFO submission order.  Either
+  /// an engine future (search batch) or a stats scrape marker — stats
+  /// replies ride the same queue so per-connection response order always
+  /// equals request order.
   struct Pending {
     std::shared_ptr<Connection> conn;
     std::future<BatchResult> future;
+    bool is_stats = false;
+    std::uint64_t trace_id = 0;
   };
 
   explicit Impl(SearchServer& s) : self(s) {}
@@ -74,6 +87,8 @@ struct SearchServer::Impl {
 
   /// IO-thread-only registry (the completion thread holds shared_ptrs).
   std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  /// Wire-level request correlation ids (trace spans + slow-query log).
+  std::atomic<std::uint64_t> next_trace_id{1};
 
   std::mutex pending_mu;
   std::condition_variable pending_cv;
@@ -115,6 +130,7 @@ struct SearchServer::Impl {
     ::close(conn->fd);
     conns.erase(conn->fd);
     conn->fd = -1;
+    self.open_conns_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   /// Close once the connection owes nothing: no queued bytes, no frames
@@ -140,6 +156,7 @@ struct SearchServer::Impl {
   void reject(const std::shared_ptr<Connection>& conn, wire::ErrorCode code,
               const std::string& message) {
     self.frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+    conn->rejected.fetch_add(1, std::memory_order_relaxed);
     {
       const std::lock_guard<std::mutex> lock(conn->tx_mu);
       wire::ErrorFrame err;
@@ -199,7 +216,9 @@ struct SearchServer::Impl {
       }
       auto conn = std::make_shared<Connection>();
       conn->fd = fd;
+      conn->id = self.accepted_.load(std::memory_order_relaxed) + 1;
       conns.emplace(fd, conn);
+      self.open_conns_.fetch_add(1, std::memory_order_relaxed);
       epoll_event ev{};
       ev.events = EPOLLIN | EPOLLRDHUP;
       ev.data.fd = fd;
@@ -208,8 +227,29 @@ struct SearchServer::Impl {
     }
   }
 
+  /// Shared tail of frame admission: FIFO-order the pending response and
+  /// apply pipelining backpressure.
+  void enqueue_pending(const std::shared_ptr<Connection>& conn, Pending p) {
+    conn->in_flight.fetch_add(1);
+    conn->frames.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(pending_mu);
+      pending.push_back(std::move(p));
+    }
+    pending_cv.notify_one();
+    if (conn->in_flight.load() >= self.options_.max_pipeline) {
+      conn->reading = false;  // backpressure: resume when responses drain
+      conn->stalls.fetch_add(1, std::memory_order_relaxed);
+      self.backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+      update_interest(conn);
+    }
+  }
+
   void submit_frame(const std::shared_ptr<Connection>& conn,
                     const wire::SearchBatchFrame& frame) {
+    const std::uint64_t trace_id =
+        next_trace_id.fetch_add(1, std::memory_order_relaxed);
+    obs::ScopedSpan span("wire.submit", "server", trace_id);
     const int cols = self.cols_;
     std::vector<Request> batch;
     batch.reserve(frame.count());
@@ -226,17 +266,17 @@ struct SearchServer::Impl {
     }
     Pending p;
     p.conn = conn;
-    p.future = self.engine_.submit(std::move(batch));
-    conn->in_flight.fetch_add(1);
-    {
-      const std::lock_guard<std::mutex> lock(pending_mu);
-      pending.push_back(std::move(p));
-    }
-    pending_cv.notify_one();
-    if (conn->in_flight.load() >= self.options_.max_pipeline) {
-      conn->reading = false;  // backpressure: resume when responses drain
-      update_interest(conn);
-    }
+    p.trace_id = trace_id;
+    p.future = self.engine_.submit(std::move(batch), trace_id);
+    enqueue_pending(conn, std::move(p));
+  }
+
+  void submit_stats(const std::shared_ptr<Connection>& conn) {
+    Pending p;
+    p.conn = conn;
+    p.is_stats = true;
+    p.trace_id = next_trace_id.fetch_add(1, std::memory_order_relaxed);
+    enqueue_pending(conn, std::move(p));
   }
 
   /// Parse every complete frame currently buffered on `conn`.
@@ -256,9 +296,20 @@ struct SearchServer::Impl {
       }
       const std::uint8_t* payload = conn->rx.data() + off + wire::kHeaderSize;
       off += wire::kHeaderSize + header.payload_len;
+      if (header.type == wire::FrameType::kStats) {
+        // A scrape carries no payload by definition; junk bytes mean the
+        // peer's framing is broken, and a broken peer gets contained.
+        if (header.payload_len != 0) {
+          reject(conn, wire::ErrorCode::kMalformed,
+                 "stats frame must have an empty payload");
+          break;
+        }
+        submit_stats(conn);
+        continue;
+      }
       if (header.type != wire::FrameType::kSearchBatch) {
         reject(conn, wire::ErrorCode::kBadType,
-               "only kSearchBatch frames are accepted");
+               "only kSearchBatch and kStats frames are accepted");
         break;
       }
       const auto frame =
@@ -355,6 +406,8 @@ struct SearchServer::Impl {
           std::vector<std::shared_ptr<Connection>> remaining;
           remaining.reserve(conns.size());
           for (auto& [fd, conn] : conns) remaining.push_back(conn);
+          self.force_closes_.fetch_add(remaining.size(),
+                                       std::memory_order_relaxed);
           for (const auto& conn : remaining) close_conn(conn);
         }
         if (drained.load()) {
@@ -428,8 +481,40 @@ struct SearchServer::Impl {
         p = std::move(pending.front());
         pending.pop_front();
       }
+      if (p.is_stats) {
+        // Snapshot assembled here, on the completion thread, AFTER every
+        // earlier pending response of this connection has been encoded —
+        // a scrape therefore observes its own connection's prior frames
+        // as served.
+        obs::ScopedSpan span("wire.stats", "server", p.trace_id);
+        ServerStatsView sv;
+        sv.connections_accepted = self.accepted_.load();
+        sv.connections_open = self.open_conns_.load();
+        sv.frames_served = self.frames_served_.load();
+        sv.frames_rejected = self.frames_rejected_.load();
+        sv.stats_served = self.stats_served_.load();
+        sv.backpressure_stalls = self.backpressure_stalls_.load();
+        sv.force_closes = self.force_closes_.load();
+        ConnectionStatsView cv;
+        cv.id = p.conn->id;
+        cv.frames = p.conn->frames.load();
+        cv.rejected = p.conn->rejected.load();
+        cv.backpressure_stalls = p.conn->stalls.load();
+        cv.in_flight = p.conn->in_flight.load();
+        const std::string json =
+            stats_snapshot_json(self.engine_, &sv, &cv);
+        {
+          const std::lock_guard<std::mutex> lock(p.conn->tx_mu);
+          wire::encode_stats_result(p.conn->tx, json);
+        }
+        p.conn->in_flight.fetch_sub(1);
+        self.stats_served_.fetch_add(1, std::memory_order_relaxed);
+        wake_io();
+        continue;
+      }
       std::vector<wire::ResultRecord> records;
       bool ok = true;
+      obs::ScopedSpan span("wire.complete", "server", p.trace_id);
       try {
         const BatchResult res = p.future.get();
         records.reserve(res.results.size());

@@ -80,8 +80,18 @@ class SearchServer {
 
   // Telemetry.
   std::uint64_t connections_accepted() const { return accepted_.load(); }
+  std::uint64_t connections_open() const { return open_conns_.load(); }
   std::uint64_t frames_served() const { return frames_served_.load(); }
   std::uint64_t frames_rejected() const { return frames_rejected_.load(); }
+  /// kStats scrapes answered (counted separately from search frames so
+  /// frames_served keeps meaning "search results delivered").
+  std::uint64_t stats_served() const { return stats_served_.load(); }
+  /// Times a connection hit max_pipeline and had its reads paused.
+  std::uint64_t backpressure_stalls() const {
+    return backpressure_stalls_.load();
+  }
+  /// Connections force-closed at the stop() drain deadline.
+  std::uint64_t force_closes() const { return force_closes_.load(); }
 
  private:
   struct Impl;
@@ -93,8 +103,12 @@ class SearchServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint16_t> port_{0};
   std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> open_conns_{0};
   std::atomic<std::uint64_t> frames_served_{0};
   std::atomic<std::uint64_t> frames_rejected_{0};
+  std::atomic<std::uint64_t> stats_served_{0};
+  std::atomic<std::uint64_t> backpressure_stalls_{0};
+  std::atomic<std::uint64_t> force_closes_{0};
 };
 
 }  // namespace fetcam::engine

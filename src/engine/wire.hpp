@@ -26,15 +26,23 @@
 // frame earns an error frame and closes THAT connection only; framing
 // errors never tear down the server or other connections.
 //
-// The protocol is deliberately minimal: searches only.  Mutations go
-// through the compiler/applier path, not the wire — the service tier is a
-// read path (docs/ENGINE.md section 8).
+// kStats (client -> server) has an EMPTY payload (payload_len must be 0;
+// anything else is kMalformed).  The server answers with kStatsResult,
+// whose payload is the UTF-8 stats snapshot JSON (engine/stats.hpp,
+// schema "fetcam.stats.v1").  Stats replies share the connection's
+// response pipeline with search results, so a scrape observes every
+// frame the same connection submitted before it as already applied.
+//
+// The protocol is deliberately minimal: searches and stats scrapes only.
+// Mutations go through the compiler/applier path, not the wire — the
+// service tier is a read path (docs/ENGINE.md section 8).
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace fetcam::engine::wire {
@@ -50,6 +58,8 @@ enum class FrameType : std::uint8_t {
   kSearchBatch = 1,
   kSearchResult = 2,
   kError = 3,
+  kStats = 4,        ///< stats scrape request (empty payload)
+  kStatsResult = 5,  ///< stats snapshot JSON (UTF-8)
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -151,7 +161,8 @@ inline FrameHeader decode_header(const std::uint8_t* p,
     error = ErrorCode::kBadVersion;
   } else if (h.type != FrameType::kSearchBatch &&
              h.type != FrameType::kSearchResult &&
-             h.type != FrameType::kError) {
+             h.type != FrameType::kError && h.type != FrameType::kStats &&
+             h.type != FrameType::kStatsResult) {
     error = ErrorCode::kBadType;
   } else if (h.payload_len > kMaxPayload) {
     error = ErrorCode::kOversized;
@@ -220,6 +231,22 @@ inline std::optional<std::vector<ResultRecord>> decode_search_result(
     records[i].priority = static_cast<std::int32_t>(get_u32(p + 9));
   }
   return records;
+}
+
+inline void encode_stats_request(std::vector<std::uint8_t>& out) {
+  encode_header(out, FrameType::kStats, 0);
+}
+
+inline void encode_stats_result(std::vector<std::uint8_t>& out,
+                                std::string_view json) {
+  encode_header(out, FrameType::kStatsResult,
+                static_cast<std::uint32_t>(json.size()));
+  for (const char c : json) out.push_back(static_cast<std::uint8_t>(c));
+}
+
+inline std::string decode_stats_result(const std::uint8_t* payload,
+                                       std::size_t len) {
+  return std::string(reinterpret_cast<const char*>(payload), len);
 }
 
 inline void encode_error(std::vector<std::uint8_t>& out,

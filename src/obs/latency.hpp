@@ -1,0 +1,144 @@
+// Lock-free service latency histograms (the telemetry layer under the
+// engine's per-stage attribution, docs/OBSERVABILITY.md "Service metrics").
+//
+// A LatencyRecorder is a fixed-point log2-bucketed histogram sharded
+// across cache-line-aligned slots: record_ns() is a handful of relaxed
+// atomic RMWs on the calling thread's shard — no doubles, no mutex, no
+// allocation — so it is safe on the million-qps hot path at any level.
+// snapshot() merges the shards into exact integer counts and extracts
+// p50 / p95 / p99 / p99.9 by cumulative walk over the bucket bounds.
+//
+// Bucketing: values below 2^kSubBits land in exact unit buckets; above
+// that each power-of-two octave is split into 2^kSubBits linear
+// sub-buckets (HdrHistogram-style), bounding the relative quantization
+// error of a reported percentile to one sub-bucket (< 2^-kSubBits of the
+// value).  The bucket layout is a pure function of the value, so merged
+// counts are bit-identical regardless of which thread recorded what.
+//
+//   static obs::LatencyRecorder& lat =
+//       obs::MetricsRegistry::instance().latency("engine.stage.match");
+//   if (obs::metrics_on()) {
+//     const std::uint64_t t0 = obs::now_ns();
+//     ...  // timed region
+//     lat.record_ns(obs::now_ns() - t0);
+//   }
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace fetcam::obs {
+
+/// Merged view of a LatencyRecorder at one instant.  All fields are exact
+/// integer nanoseconds except the *_us helpers, which convert for display.
+struct LatencySnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+
+  double mean_us() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) /
+                            (1e3 * static_cast<double>(count));
+  }
+  double p50_us() const { return static_cast<double>(p50_ns) / 1e3; }
+  double p95_us() const { return static_cast<double>(p95_ns) / 1e3; }
+  double p99_us() const { return static_cast<double>(p99_ns) / 1e3; }
+  double p999_us() const { return static_cast<double>(p999_ns) / 1e3; }
+  double max_us() const { return static_cast<double>(max_ns) / 1e3; }
+};
+
+class LatencyRecorder {
+ public:
+  /// Linear sub-buckets per octave = 2^kSubBits.
+  static constexpr int kSubBits = 3;
+  static constexpr std::uint64_t kSubCount = 1ull << kSubBits;
+  /// Bucket count covering the full uint64 range: unit buckets
+  /// [0, 2^kSubBits) plus (64 - kSubBits) octaves x 2^kSubBits sub-buckets.
+  static constexpr std::size_t kBucketCount =
+      ((64 - kSubBits) << kSubBits) + kSubCount;
+  /// Shards threads hash into (power of two).  More shards = less false
+  /// sharing under concurrent recording; merged counts are unaffected.
+  static constexpr std::size_t kShards = 8;
+
+  LatencyRecorder() = default;
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+
+  /// Hot path: relaxed fetch_adds on this thread's shard.  Never blocks.
+  void record_ns(std::uint64_t ns) {
+    Shard& s = shards_[shard_index()];
+    s.buckets[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t prev = s.max.load(std::memory_order_relaxed);
+    while (prev < ns && !s.max.compare_exchange_weak(
+                            prev, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Merge every shard and extract count / sum / max / percentiles.
+  LatencySnapshot snapshot() const;
+
+  /// Merged per-bucket counts (tests: bit-exactness under concurrency).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Zero every shard (not atomic with respect to concurrent recorders —
+  /// test / per-run isolation only, like MetricsRegistry::reset()).
+  void reset();
+
+  // Bucket layout (static so tests can cross-check the mapping).
+  static std::size_t bucket_index(std::uint64_t ns);
+  /// Smallest value mapping to bucket i.
+  static std::uint64_t bucket_lower(std::size_t i);
+  /// Largest value mapping to bucket i (the reported percentile value —
+  /// conservative: a percentile never under-reports its bucket).
+  static std::uint64_t bucket_upper(std::size_t i);
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBucketCount> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+
+  static std::size_t shard_index();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Periodic deterministic JSON exporter over the process registry: each
+/// capture reports the DELTA window since the previous capture (totals,
+/// per-window deltas, rates) for counters and latency recorders, plus
+/// current gauge values.  Keys iterate sorted registry maps, so the JSON
+/// key order is byte-stable run to run; only the rate values (wall-clock
+/// dependent) vary.  Not thread-safe: callers serialize captures (the CLI
+/// sampler thread and the server completion thread each own one).
+class WindowedSnapshot {
+ public:
+  WindowedSnapshot();
+
+  /// Capture a window ending now.  `now_s` overrides the clock for tests
+  /// (< 0 = use obs::now_us()).  First capture windows from construction.
+  std::string capture_json(double now_s = -1.0);
+
+ private:
+  double prev_s_ = 0.0;
+  std::uint64_t windows_ = 0;
+  std::map<std::string, std::uint64_t> prev_counters_;
+  std::map<std::string, std::uint64_t> prev_latency_counts_;
+};
+
+}  // namespace fetcam::obs

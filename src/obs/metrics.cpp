@@ -112,12 +112,43 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *it->second;
 }
 
+LatencyRecorder& MetricsRegistry::latency(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = latencies_.find(name);
+  if (it == latencies_.end()) {
+    it = latencies_
+             .emplace(std::string(name), std::make_unique<LatencyRecorder>())
+             .first;
+  }
+  return *it->second;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>>
 MetricsRegistry::counter_values() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_values()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, LatencySnapshot>>
+MetricsRegistry::latency_snapshots() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, LatencySnapshot>> out;
+  out.reserve(latencies_.size());
+  for (const auto& [name, l] : latencies_) {
+    out.emplace_back(name, l->snapshot());
+  }
   return out;
 }
 
@@ -154,6 +185,20 @@ std::string MetricsRegistry::to_json() const {
     os << "]}";
     first = false;
   }
+  os << (first ? "" : "\n  ") << "},\n  \"latencies\": {";
+  first = true;
+  for (const auto& [name, l] : latencies_) {
+    const LatencySnapshot s = l->snapshot();
+    os << (first ? "\n" : ",\n") << "    \"" << detail::json_escape(name)
+       << "\": {\"count\": " << s.count
+       << ", \"p50_us\": " << detail::json_number(s.p50_us())
+       << ", \"p95_us\": " << detail::json_number(s.p95_us())
+       << ", \"p99_us\": " << detail::json_number(s.p99_us())
+       << ", \"p999_us\": " << detail::json_number(s.p999_us())
+       << ", \"max_us\": " << detail::json_number(s.max_us())
+       << ", \"mean_us\": " << detail::json_number(s.mean_us()) << "}";
+    first = false;
+  }
   os << (first ? "" : "\n  ") << "}\n}\n";
   return os.str();
 }
@@ -175,6 +220,9 @@ std::string MetricsRegistry::to_table() const {
   for (const auto& [name, c] : counters_) width = std::max(width, name.size());
   for (const auto& [name, g] : gauges_) width = std::max(width, name.size());
   for (const auto& [name, h] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, l] : latencies_) {
     width = std::max(width, name.size());
   }
   const auto pad = [&](const std::string& s) {
@@ -214,6 +262,21 @@ std::string MetricsRegistry::to_table() const {
       }
     }
   }
+  if (!latencies_.empty()) {
+    os << "latencies:\n";
+    for (const auto& [name, l] : latencies_) {
+      const LatencySnapshot s = l->snapshot();
+      os << "  " << pad(name) << "count=" << s.count;
+      if (s.count > 0) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      " p50=%.4gus p99=%.4gus max=%.4gus", s.p50_us(),
+                      s.p99_us(), s.max_us());
+        os << buf;
+      }
+      os << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -229,6 +292,7 @@ void MetricsRegistry::reset() {
   for (const auto& [name, c] : counters_) c->reset();
   for (const auto& [name, g] : gauges_) g->reset();
   for (const auto& [name, h] : histograms_) h->reset();
+  for (const auto& [name, l] : latencies_) l->reset();
 }
 
 }  // namespace fetcam::obs

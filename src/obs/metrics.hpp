@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/latency.hpp"
 #include "obs/obs.hpp"
 
 namespace fetcam::obs {
@@ -107,13 +108,21 @@ class MetricsRegistry {
   /// First registration wins: later calls with the same name return the
   /// existing histogram and ignore `bounds`.
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  /// Lock-free log2-bucketed latency recorder (obs/latency.hpp) — the
+  /// service-metrics counterpart of histogram() for hot-path timings.
+  LatencyRecorder& latency(std::string_view name);
 
   /// All counter name/value pairs in name order (used by run manifests to
   /// assemble the solver-health summary).
   std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  /// All gauge name/value pairs in name order.
+  std::vector<std::pair<std::string, double>> gauge_values() const;
+  /// Merged snapshots of every latency recorder, in name order.
+  std::vector<std::pair<std::string, LatencySnapshot>> latency_snapshots()
+      const;
 
   /// Deterministic JSON export: top-level {"counters", "gauges",
-  /// "histograms"}, each object sorted by metric name.
+  /// "histograms", "latencies"}, each object sorted by metric name.
   std::string to_json() const;
   /// Human-readable aligned table of every metric.
   std::string to_table() const;
@@ -129,6 +138,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyRecorder>, std::less<>>
+      latencies_;
 };
 
 }  // namespace fetcam::obs

@@ -41,11 +41,25 @@ std::string_view to_string(Level l) {
   return "off";
 }
 
+namespace {
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+}  // namespace
+
 double now_us() {
-  using clock = std::chrono::steady_clock;
-  static const clock::time_point epoch = clock::now();
-  return std::chrono::duration<double, std::micro>(clock::now() - epoch)
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
       .count();
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
 }
 
 }  // namespace fetcam::obs

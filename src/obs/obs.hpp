@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <string_view>
 
 namespace fetcam::obs {
@@ -51,5 +52,10 @@ std::string_view to_string(Level l);
 /// Monotonic microseconds since the process's trace epoch (first call).
 /// Shared clock for span timestamps and metric timers.
 double now_us();
+
+/// Monotonic integer nanoseconds since the same trace epoch — the
+/// fixed-point clock for LatencyRecorder stage timings (no doubles on the
+/// hot path).
+std::uint64_t now_ns();
 
 }  // namespace fetcam::obs

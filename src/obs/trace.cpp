@@ -60,7 +60,11 @@ std::string TraceCollector::to_chrome_json() const {
     os << "{\"name\":\"" << detail::json_escape(ev.name) << "\",\"cat\":\""
        << detail::json_escape(ev.cat) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
        << ev.tid << ",\"ts\":" << detail::json_number(ev.ts_us)
-       << ",\"dur\":" << detail::json_number(ev.dur_us) << "}";
+       << ",\"dur\":" << detail::json_number(ev.dur_us);
+    if (ev.trace_id != 0) {
+      os << ",\"args\":{\"trace_id\":" << ev.trace_id << "}";
+    }
+    os << "}";
     first = false;
   }
   os << "\n]\n";

@@ -29,6 +29,10 @@ struct TraceEvent {
   double ts_us = 0.0;     ///< start, microseconds since trace epoch
   double dur_us = 0.0;
   std::uint32_t tid = 0;  ///< small dense thread id (see thread_id())
+  /// Request correlation id (0 = none).  Emitted as args.trace_id in the
+  /// Chrome JSON so one request's spans can be filtered across
+  /// wire -> dispatcher -> kernel -> completion threads.
+  std::uint64_t trace_id = 0;
 };
 
 /// Process-wide span buffer.  record() appends under a mutex — spans are
@@ -72,10 +76,16 @@ class ScopedSpan {
       : active_(trace_on()), name_(name), cat_(cat) {
     if (active_) t0_ = now_us();
   }
+  /// Span carrying a request correlation id (see TraceEvent::trace_id).
+  ScopedSpan(const char* name, const char* cat, std::uint64_t trace_id)
+      : active_(trace_on()), name_(name), cat_(cat), trace_id_(trace_id) {
+    if (active_) t0_ = now_us();
+  }
   ~ScopedSpan() {
     if (active_) {
-      TraceCollector::instance().record(
-          {name_, cat_, t0_, now_us() - t0_, TraceCollector::thread_id()});
+      TraceCollector::instance().record({name_, cat_, t0_, now_us() - t0_,
+                                         TraceCollector::thread_id(),
+                                         trace_id_});
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -85,6 +95,7 @@ class ScopedSpan {
   bool active_;
   const char* name_;
   const char* cat_;
+  std::uint64_t trace_id_ = 0;
   double t0_ = 0.0;
 };
 

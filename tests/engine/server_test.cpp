@@ -20,6 +20,7 @@
 #include "engine/table.hpp"
 #include "engine/wire.hpp"
 #include "engine/workload.hpp"
+#include "obs/obs.hpp"
 
 namespace fetcam::engine {
 namespace {
@@ -366,6 +367,100 @@ TEST(SearchServer, StopForceClosesPeersThatNeverRead) {
   EXPECT_GE(elapsed_ms, 100);
   EXPECT_LT(elapsed_ms, 5000);
   ::close(fd);
+}
+
+TEST(SearchServer, StatsScrapeRoundTripsOverLiveConnection) {
+  // kStats over the live loopback: the reply must be the stats snapshot
+  // JSON carrying engine totals, queue gauges, stage percentiles, and the
+  // per-server / per-connection counter sections.
+  const obs::Level prior = obs::level();
+  obs::set_level(obs::Level::kMetrics);
+  {
+    Service svc;
+    SearchClient client;
+    client.connect("127.0.0.1", svc.server.port());
+    std::vector<arch::BitWord> queries(svc.trace.queries.begin(),
+                                       svc.trace.queries.begin() + 16);
+    client.search(queries, kCols);
+    client.search(queries, kCols);
+
+    const std::string json = client.stats();
+    EXPECT_NE(json.find("\"schema\": \"fetcam.stats.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"requests\": 32"), std::string::npos);
+    EXPECT_NE(json.find("\"stages\""), std::string::npos);
+    // Server section: both search frames already served when the scrape
+    // was rendered (the stats reply rides the same FIFO).
+    EXPECT_NE(json.find("\"frames_served\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"connections_accepted\": 1"), std::string::npos);
+    // Connection section: this client's own counters.
+    EXPECT_NE(json.find("\"connection\": {"), std::string::npos);
+#ifndef FETCAM_OBS_DISABLED
+    // At metrics level the stage recorders must have observed the frames.
+    EXPECT_NE(json.find("engine.stage.queue_wait"), std::string::npos);
+    EXPECT_EQ(json.find("\"engine.batch.total\": {\"count\": 0"),
+              std::string::npos)
+        << "batch recorder never fired:\n"
+        << json;
+#endif
+    EXPECT_EQ(svc.server.stats_served(), 1u);
+    EXPECT_EQ(svc.server.frames_served(), 2u);
+  }
+  obs::set_level(prior);
+}
+
+TEST(SearchServer, StatsReplyPreservesPipelineOrder) {
+  // search, search, stats, search pipelined without reading: replies must
+  // come back exactly in that order (the stats frame does not jump the
+  // connection's FIFO).
+  Service svc;
+  SearchClient client;
+  client.connect("127.0.0.1", svc.server.port());
+  const std::vector<arch::BitWord> frame(
+      4, arch::BitWord(static_cast<std::size_t>(kCols), 0));
+  client.send_batch(frame, kCols);
+  client.send_batch(frame, kCols);
+  client.send_stats_request();
+  client.send_batch(frame, kCols);
+
+  for (int k = 0; k < 2; ++k) {
+    const auto reply = client.recv_reply();
+    ASSERT_TRUE(reply.ok);
+    EXPECT_FALSE(reply.is_stats) << "reply " << k;
+    EXPECT_EQ(reply.records.size(), frame.size());
+  }
+  const auto stats = client.recv_reply();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_TRUE(stats.is_stats);
+  EXPECT_NE(stats.stats_json.find("fetcam.stats.v1"), std::string::npos);
+  const auto last = client.recv_reply();
+  ASSERT_TRUE(last.ok);
+  EXPECT_FALSE(last.is_stats);
+  EXPECT_EQ(last.records.size(), frame.size());
+}
+
+TEST(SearchServer, MalformedStatsFrameIsContainedToThatConnection) {
+  // A kStats frame must have an empty payload; one that smuggles bytes is
+  // malformed — error frame + close for that connection, nothing else.
+  Service svc;
+  SearchClient good;
+  good.connect("127.0.0.1", svc.server.port());
+  SearchClient bad;
+  bad.connect("127.0.0.1", svc.server.port());
+  std::vector<std::uint8_t> out;
+  wire::encode_header(out, wire::FrameType::kStats, 4);
+  wire::put_u32(out, 0xdeadbeefu);
+  bad.send_raw(out.data(), out.size());
+  const auto reply = bad.recv_reply();
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.code, wire::ErrorCode::kMalformed);
+  EXPECT_THROW(bad.recv_reply(), std::runtime_error);
+  // The good connection still searches AND still scrapes.
+  const auto records = good.search(
+      {arch::BitWord(static_cast<std::size_t>(kCols), 0)}, kCols);
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_NE(good.stats().find("fetcam.stats.v1"), std::string::npos);
+  EXPECT_GE(svc.server.frames_rejected(), 1u);
 }
 
 TEST(SearchServer, StopThenRestartServesAgain) {

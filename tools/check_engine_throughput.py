@@ -28,7 +28,12 @@ machines vary too much for a hardcoded number, but a caller that knows
 its hardware can pin a floor.  The kernel ratios are machine-relative
 and always enforced.
 
-Usage: check_engine_throughput.py [--require-simd] [--min-qps N] BENCH_engine.json
+With --stats PATH the live kStats scrape written by --stats-json is
+schema-checked too (fetcam.stats.v1: engine totals + queue gauges, stage
+percentiles, slow-query log, server counters).
+
+Usage: check_engine_throughput.py [--require-simd] [--min-qps N]
+                                  [--stats STATS.json] BENCH_engine.json
 """
 
 import argparse
@@ -132,13 +137,21 @@ def check_scale(report: dict, min_qps: float) -> bool:
     print(
         f"wire: {wire.get('clients')} clients, "
         f"{wire.get('frames_served')}/{expected_frames} frames -> "
-        f"{wire.get('qps', 0.0):.0f} qps"
+        f"{wire.get('qps', 0.0):.0f} qps, "
+        f"rtt p50={wire.get('rtt_p50_us', 0.0):.0f}us "
+        f"p99={wire.get('rtt_p99_us', 0.0):.0f}us"
     )
     if wire.get("frames_served", 0) != expected_frames:
         print("FAIL: wire run dropped frames (served != sent)")
         ok = False
     if wire.get("qps", 0.0) <= 0.0:
         print("FAIL: wire run measured zero throughput")
+        ok = False
+    if wire.get("rtt_p50_us", 0.0) <= 0.0:
+        print("FAIL: wire RTT percentiles missing or zero")
+        ok = False
+    if wire.get("rtt_p99_us", 0.0) < wire.get("rtt_p50_us", 0.0):
+        print("FAIL: wire RTT p99 below p50 (percentile bug)")
         ok = False
     if min_qps > 0.0:
         if best < min_qps:
@@ -184,6 +197,61 @@ def check_engine(report: dict) -> bool:
     return ok
 
 
+def check_stats_snapshot(path: str) -> bool:
+    """Schema check for the live kStats scrape archived next to the report
+    (bench_engine_throughput --stats-json).  Shape only, no thresholds:
+    the scrape must parse, carry the right schema tag, and contain the
+    sections a dashboard would key on."""
+    ok = True
+    with open(path, encoding="utf-8") as f:
+        snap = json.load(f)
+    if snap.get("schema") != "fetcam.stats.v1":
+        print(f"FAIL: stats snapshot schema is {snap.get('schema')!r}, "
+              "expected 'fetcam.stats.v1'")
+        ok = False
+    engine = snap.get("engine")
+    if not isinstance(engine, dict):
+        print("FAIL: stats snapshot has no engine section")
+        return False
+    for key in ("batches", "requests", "searches", "queue_depth",
+                "queue_capacity", "queue_high_watermark", "in_flight"):
+        if key not in engine:
+            print(f"FAIL: stats snapshot engine section missing {key!r}")
+            ok = False
+    stages = snap.get("stages")
+    if not isinstance(stages, dict) or not stages:
+        print("FAIL: stats snapshot has no stage percentiles")
+        ok = False
+    else:
+        for name, stage in stages.items():
+            for key in ("count", "p50_us", "p99_us", "p999_us", "max_us"):
+                if key not in stage:
+                    print(f"FAIL: stage {name!r} missing {key!r}")
+                    ok = False
+                    break
+    if not isinstance(snap.get("slow_queries"), list):
+        print("FAIL: stats snapshot has no slow_queries list")
+        ok = False
+    server = snap.get("server")
+    if not isinstance(server, dict):
+        print("FAIL: stats snapshot from the wire run must carry a server "
+              "section")
+        ok = False
+    else:
+        for key in ("connections_accepted", "frames_served",
+                    "frames_rejected", "backpressure_stalls", "force_closes"):
+            if key not in server:
+                print(f"FAIL: stats snapshot server section missing {key!r}")
+                ok = False
+    if ok:
+        served = server.get("frames_served", 0) if isinstance(server, dict) \
+            else 0
+        print(f"stats snapshot: {len(stages)} stages, "
+              f"{len(snap['slow_queries'])} slow queries, "
+              f"server frames_served={served}")
+    return ok
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -200,6 +268,12 @@ def main() -> int:
         default=0.0,
         help="absolute qps floor for multicore and wire runs (0 = off)",
     )
+    parser.add_argument(
+        "--stats",
+        default="",
+        help="path to the live kStats scrape (fetcam.stats.v1 JSON) to "
+        "schema-check alongside the report",
+    )
     args = parser.parse_args()
 
     with open(args.report, encoding="utf-8") as f:
@@ -209,6 +283,8 @@ def main() -> int:
     ok = check_simd(report, args.require_simd) and ok
     ok = check_scale(report, args.min_qps) and ok
     ok = check_engine(report) and ok
+    if args.stats:
+        ok = check_stats_snapshot(args.stats) and ok
 
     print("OK" if ok else "engine perf guard failed")
     return 0 if ok else 1

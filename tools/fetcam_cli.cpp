@@ -23,6 +23,15 @@
 //                                       --mats N --rows-per-mat N
 //                                       --design D --batch N
 //                                       --save-trace FILE
+//                                       --stats-interval MS  sample the
+//                                         service stats every MS ms
+//                                       --stats-out FILE  write the sampled
+//                                         window documents plus one final
+//                                         "fetcam.stats.v1" snapshot (a
+//                                         concatenated JSON stream; stderr
+//                                         when only --stats-interval is
+//                                         given).  Implies at least
+//                                         --obs-level metrics.
 //   fetcam_cli compile [file] [opts]  rule compiler + update planner report
 //                                     (JSON on stdout): expansion factor,
 //                                     planned vs naive writes, projected
@@ -59,16 +68,22 @@
 //                  (implies --obs-level trace unless set explicitly)
 //   --manifest-out F  write the run manifest JSON here (default
 //                  run_manifest.json whenever obs-level != off)
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "compiler/applier.hpp"
 #include "compiler/compile.hpp"
 #include "compiler/planner.hpp"
 #include "compiler/rules.hpp"
 #include "engine/engine.hpp"
+#include "engine/stats.hpp"
 #include "engine/table.hpp"
 #include "engine/workload.hpp"
 #include "eval/calibration.hpp"
@@ -304,6 +319,8 @@ int cmd_engine(int argc, char** argv) {
   cfg.rows_per_mat = 256;
   engine::RunOptions ropts;
   std::string trace_path, save_path;
+  std::string stats_out;
+  int stats_interval_ms = 0;
 
   for (int i = 0; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -341,9 +358,20 @@ int cmd_engine(int argc, char** argv) {
       ropts.batch_size = std::atoi(v);
     } else if (flag == "--design" && (v = value())) {
       if (!parse_design(v, cfg.design)) return usage();
+    } else if (flag == "--stats-interval" && (v = value())) {
+      stats_interval_ms = std::atoi(v);
+    } else if (flag == "--stats-out" && (v = value())) {
+      stats_out = v;
     } else {
       return usage();
     }
+  }
+  // Periodic service-stats sampling needs the recorders populated, so the
+  // stats flags imply at least metrics level (same contract as
+  // --metrics-out).
+  if ((stats_interval_ms > 0 || !stats_out.empty()) &&
+      !obs::metrics_on()) {
+    obs::set_level(obs::Level::kMetrics);
   }
 
   engine::Trace trace;
@@ -379,8 +407,58 @@ int cmd_engine(int argc, char** argv) {
     engine::TcamTable table(cfg);
     const auto ids = engine::load_rules(table, trace);
     engine::SearchEngine eng(table);
+
+    // Service-stats sampling: a sampler thread appends one deterministic
+    // WindowedSnapshot JSON document (delta counters / rates / stage
+    // percentiles) to --stats-out every --stats-interval ms, and the run
+    // finishes with one final "fetcam.stats.v1" snapshot.  The file is a
+    // concatenated stream of JSON documents.  Without --stats-out the
+    // samples go to stderr (stdout stays a single report document).
+    std::FILE* stats_file = nullptr;
+    if (stats_interval_ms > 0 || !stats_out.empty()) {
+      stats_file = stats_out.empty() ? stderr
+                                     : std::fopen(stats_out.c_str(), "w");
+      if (stats_file == nullptr) {
+        std::fprintf(stderr, "cannot open stats output %s\n",
+                     stats_out.c_str());
+        return 1;
+      }
+    }
+    std::mutex stats_mu;
+    std::condition_variable stats_cv;
+    bool stats_stop = false;
+    std::thread sampler;
+    if (stats_file != nullptr && stats_interval_ms > 0) {
+      sampler = std::thread([&] {
+        obs::WindowedSnapshot window;
+        std::unique_lock<std::mutex> lock(stats_mu);
+        while (!stats_cv.wait_for(
+            lock, std::chrono::milliseconds(stats_interval_ms),
+            [&] { return stats_stop; })) {
+          const std::string doc = window.capture_json();
+          std::fwrite(doc.data(), 1, doc.size(), stats_file);
+          std::fflush(stats_file);
+        }
+      });
+    }
+
     const engine::RunSummary s =
         engine::run_trace(eng, table, trace, ids, ropts);
+
+    if (sampler.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        stats_stop = true;
+      }
+      stats_cv.notify_all();
+      sampler.join();
+    }
+    if (stats_file != nullptr) {
+      const std::string final_doc = engine::stats_snapshot_json(eng);
+      std::fwrite(final_doc.data(), 1, final_doc.size(), stats_file);
+      std::fflush(stats_file);
+      if (stats_file != stderr) std::fclose(stats_file);
+    }
     std::printf(
         "{\n"
         "  \"design\": \"%s\",\n"
