@@ -563,19 +563,48 @@ int emit_engine_json(const std::string& path, const std::string& stats_path) {
   cfg.rows_per_mat = 256;
   cfg.cols = 64;
   cfg.subarrays_per_mat = 4;
-  engine::TcamTable table(cfg);
-  const auto ids = engine::load_rules(table, trace);
-
-  engine::SearchEngine eng(table);
   engine::RunOptions ropts;
   ropts.batch_size = 512;
   ropts.update_rate = 0.01;
   ropts.seed = 7;
+
+  // Baseline arm — the PR 7 search path: insertion-order placement,
+  // pruning off, query_block 1 (every lane takes the single-query path).
+  engine::TableConfig base_cfg = cfg;
+  base_cfg.mat_skip = false;
+  engine::RunSummary sb;
+  {
+    engine::TcamTable base_table(base_cfg);
+    const auto base_ids = engine::load_rules(base_table, trace);
+    engine::EngineOptions base_opts;
+    base_opts.query_block = 1;
+    engine::SearchEngine base_eng(base_table, base_opts);
+    sb = engine::run_trace(base_eng, base_table, trace, base_ids, ropts);
+  }
+  std::cerr << "engine baseline (block=1, skip off): " << sb.searches
+            << " searches in " << sb.wall_s << "s -> " << sb.qps
+            << " qps, hit_rate=" << sb.hit_rate << "\n";
+
+  // Blocked arm — this PR: pruning-aware clustered placement, mat-skip
+  // pruning, blocked kernels at the default query_block.
+  engine::TcamTable table(cfg);
+  const auto ids = engine::load_rules_clustered(table, trace);
+  engine::SearchEngine eng(table);
   const engine::RunSummary s =
       engine::run_trace(eng, table, trace, ids, ropts);
-  std::cerr << "engine: " << s.searches << " searches in " << s.wall_s
+  const long long considered = eng.mats_considered();
+  const long long skipped = eng.mats_skipped();
+  const double skip_rate =
+      considered > 0
+          ? static_cast<double>(skipped) / static_cast<double>(considered)
+          : 0.0;
+  const double block_speedup = sb.qps > 0.0 ? s.qps / sb.qps : 0.0;
+  std::cerr << "engine blocked (block=" << eng.query_block()
+            << ", skip on): " << s.searches << " searches in " << s.wall_s
             << "s -> " << s.qps << " qps, hit_rate=" << s.hit_rate
-            << " step1_miss_rate=" << s.step1_miss_rate << "\n";
+            << " step1_miss_rate=" << s.step1_miss_rate
+            << " mat_skip_rate=" << skip_rate
+            << " block_speedup=" << block_speedup << "\n";
 
   double best_qps = 0.0;
   const std::vector<MulticoreConfig> configs = measure_multicore(&best_qps);
@@ -636,6 +665,12 @@ int emit_engine_json(const std::string& path, const std::string& stats_path) {
      << "    \"batches\": " << s.batches << ",\n"
      << "    \"hit_rate\": " << s.hit_rate << ",\n"
      << "    \"step1_miss_rate\": " << s.step1_miss_rate << ",\n"
+     << "    \"query_block\": " << eng.query_block() << ",\n"
+     << "    \"baseline_qps\": " << sb.qps << ",\n"
+     << "    \"block_speedup\": " << block_speedup << ",\n"
+     << "    \"mats_considered\": " << considered << ",\n"
+     << "    \"mats_skipped\": " << skipped << ",\n"
+     << "    \"mat_skip_rate\": " << skip_rate << ",\n"
      << "    \"energy_per_search_j\": " << s.energy_per_search_j << ",\n"
      << "    \"driver_stalls\": " << s.driver_stalls << ",\n"
      << "    \"write_cycles\": " << s.write_cycles << ",\n"

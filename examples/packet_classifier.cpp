@@ -149,9 +149,17 @@ int main() {
     struct Out {
       double search_j;
       double miss_rate;
+      long long considered;
+      long long skipped;
+      double skip_rate;
     };
+    const long long considered = t.mats_considered();
+    const long long skipped = t.mats_skipped();
     return Out{t.total_energy_j() - writes_j,
-               t.search_stats().step1_miss_rate()};
+               t.search_stats().step1_miss_rate(), considered, skipped,
+               considered > 0 ? static_cast<double>(skipped) /
+                                    static_cast<double>(considered)
+                              : 0.0};
   };
   const auto dg = run_design(arch::TcamDesign::k1p5DgFe);
   const auto sg2 = run_design(arch::TcamDesign::k2SgFefet);
@@ -163,5 +171,19 @@ int main() {
               "(%.2fx)\n",
               dg.search_j * 1e9, sg2.search_j * 1e9,
               sg2.search_j / dg.search_j);
+
+  // Machine-readable summary: which kernel tier served the trace and how
+  // often the mat-skip index proved whole mats matchless (the default
+  // route is all-X, so its mat can never prune — a skip rate below 50%
+  // on this 2-mat split is expected, not a bug).
+  std::printf("\n{\"kernel_tier\": \"%s\", "
+              "\"dg\": {\"mats_considered\": %lld, \"mats_skipped\": %lld, "
+              "\"mat_skip_rate\": %.4f, \"search_nj\": %.3f}, "
+              "\"sg2\": {\"mats_considered\": %lld, \"mats_skipped\": %lld, "
+              "\"mat_skip_rate\": %.4f, \"search_nj\": %.3f}}\n",
+              engine::kernel_tier_name(engine::active_kernel_tier()),
+              dg.considered, dg.skipped, dg.skip_rate, dg.search_j * 1e9,
+              sg2.considered, sg2.skipped, sg2.skip_rate,
+              sg2.search_j * 1e9);
   return 0;
 }

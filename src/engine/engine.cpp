@@ -23,6 +23,8 @@ struct EngineMetrics {
   obs::Counter& driver_stalls;
   obs::Counter& write_cycles;
   obs::Counter& windows;
+  obs::Counter& mats_considered;
+  obs::Counter& mats_skipped;
   obs::Gauge& queue_hwm;
   obs::Gauge& queue_depth;
   obs::Gauge& in_flight;
@@ -45,6 +47,8 @@ struct EngineMetrics {
         reg.counter("engine.driver_stalls"),
         reg.counter("engine.write_cycles"),
         reg.counter("engine.windows"),
+        reg.counter("engine.mats_considered"),
+        reg.counter("engine.mats_skipped"),
         reg.gauge("engine.queue_high_watermark"),
         reg.gauge("engine.queue.depth"),
         reg.gauge("engine.in_flight"),
@@ -69,14 +73,47 @@ bool is_pure_search(const std::vector<Request>& batch) {
 
 }  // namespace
 
+EngineOptions SearchEngine::validate_options(EngineOptions options) {
+  if (options.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "EngineOptions.queue_capacity must be > 0 (a zero-capacity queue "
+        "can never admit a batch)");
+  }
+  if (options.mat_groups <= 0) {
+    throw std::invalid_argument(
+        "EngineOptions.mat_groups must be > 0, got " +
+        std::to_string(options.mat_groups));
+  }
+  if (options.dispatch_threads < 0) {
+    throw std::invalid_argument(
+        "EngineOptions.dispatch_threads must be >= 0 (0 = auto via "
+        "util::thread_count()), got " +
+        std::to_string(options.dispatch_threads));
+  }
+  if (options.coalesce_batches == 0) {
+    throw std::invalid_argument(
+        "EngineOptions.coalesce_batches must be > 0 (every window drains "
+        "at least one batch)");
+  }
+  if (options.query_block < 1 || options.query_block > kMaxQueryBlock) {
+    throw std::invalid_argument(
+        "EngineOptions.query_block must be in [1, " +
+        std::to_string(kMaxQueryBlock) + "], got " +
+        std::to_string(options.query_block));
+  }
+  return options;
+}
+
 SearchEngine::SearchEngine(TcamTable& table, EngineOptions options)
-    : table_(table), options_(options), queue_(options.queue_capacity) {
+    : table_(table),
+      options_(validate_options(options)),
+      queue_(options_.queue_capacity) {
   const TableConfig& cfg = table.config();
-  mat_groups_ = std::clamp(options.mat_groups, 1, cfg.mats);
-  dispatch_threads_ = options.dispatch_threads > 0 ? options.dispatch_threads
-                                                   : util::thread_count();
+  mat_groups_ = std::clamp(options_.mat_groups, 1, cfg.mats);
+  dispatch_threads_ = options_.dispatch_threads > 0
+                          ? options_.dispatch_threads
+                          : util::thread_count();
   if (dispatch_threads_ < 1) dispatch_threads_ = 1;
-  if (options_.coalesce_batches == 0) options_.coalesce_batches = 1;
   // Contiguous, near-even group split: group g covers
   // [g*mats/G, (g+1)*mats/G) — fixed at construction, so the fold order
   // (and with it every merged result) is a pure function of the config.
@@ -91,6 +128,10 @@ SearchEngine::SearchEngine(TcamTable& table, EngineOptions options)
         &obs::MetricsRegistry::instance().latency(
             "engine.stage.match.group" + std::to_string(g));
   }
+  // Don't attribute pre-engine pruning activity to this engine's registry
+  // counters.
+  last_mats_considered_ = table.mats_considered();
+  last_mats_skipped_ = table.mats_skipped();
   arch::MatGeometry geom;
   geom.rows = cfg.rows_per_mat / cfg.subarrays_per_mat;
   geom.cols = cfg.cols;
@@ -302,25 +343,61 @@ void SearchEngine::match_window(
   }
   if (searches.empty()) return;
 
-  // Phase A fan-out: task k = (search k/G, group k%G).  Every partial
-  // writes its own pre-indexed slot, so the claim schedule is invisible.
+  // Pack every search lane once per window.  Each of the G mat-group
+  // tasks touching a block previously re-packed the same queries, so
+  // this removes a G-fold redundant digit-to-bit conversion from the
+  // hot path (coordinator-only state; tasks read the packs immutably).
+  if (packed_queries_.size() < searches.size()) {
+    packed_queries_.resize(searches.size());
+  }
+  for (std::size_t s = 0; s < searches.size(); ++s) {
+    const SearchRef& ref = searches[s];
+    packed_queries_[s].repack(works[ref.w].batch[ref.i].query);
+  }
+
+  // Phase A fan-out.  The window's searches are chunked into fixed
+  // submission-order blocks of `query_block` lanes; task k =
+  // (block k/G, group k%G).  Every partial writes its own pre-indexed
+  // slot, so the claim schedule is invisible — and because per-lane
+  // results never depend on block composition (table.cpp), neither is
+  // the block size: any B yields the same partials, hence the same fold.
   const std::size_t groups = static_cast<std::size_t>(mat_groups_);
+  const std::size_t block = static_cast<std::size_t>(options_.query_block);
+  const std::size_t blocks = (searches.size() + block - 1) / block;
   std::vector<TableMatch> partials(searches.size() * groups);
   const std::function<void(std::size_t)> task = [&](std::size_t k) {
-    thread_local MatchScratch scratch;
-    const SearchRef& ref = searches[k / groups];
+    const std::size_t s0 = (k / groups) * block;
+    const std::size_t s1 = std::min(s0 + block, searches.size());
     const std::size_t g = k % groups;
     const bool timed = obs::metrics_on();
     const std::uint64_t t0_ns = timed ? obs::now_ns() : 0;
     obs::ScopedSpan span("engine.match_task", "engine",
-                         works[ref.w].trace_id);
-    table_.match_mats(works[ref.w].batch[ref.i].query, group_bounds_[g],
-                      group_bounds_[g + 1], scratch, partials[k]);
+                         works[searches[s0].w].trace_id);
+    if (s1 - s0 == 1) {
+      // Single lane (block size 1, or the window's tail): the scalar
+      // single-query path — also the golden reference the blocked path
+      // must reproduce bit for bit.
+      thread_local MatchScratch scratch;
+      table_.match_mats(packed_queries_[s0], group_bounds_[g],
+                        group_bounds_[g + 1], scratch,
+                        partials[s0 * groups + g]);
+    } else {
+      thread_local BlockMatchScratch scratch;
+      const PackedQuery* queries[kMaxQueryBlock];
+      TableMatch* outs[kMaxQueryBlock];
+      for (std::size_t s = s0; s < s1; ++s) {
+        queries[s - s0] = &packed_queries_[s];
+        outs[s - s0] = &partials[s * groups + g];
+      }
+      table_.match_mats_block(queries, static_cast<int>(s1 - s0),
+                              group_bounds_[g], group_bounds_[g + 1],
+                              scratch, outs);
+    }
     if (timed) group_match_lat_[g]->record_ns(obs::now_ns() - t0_ns);
   };
   const bool metrics = obs::metrics_on();
   const std::uint64_t a0_ns = metrics ? obs::now_ns() : 0;
-  run_round(partials.size(), task);
+  run_round(blocks * groups, task);
   std::uint64_t a1_ns = 0;
   if (metrics) {
     a1_ns = obs::now_ns();
@@ -518,6 +595,16 @@ BatchResult SearchEngine::apply(Work& work, std::vector<TableMatch>& matches,
     em.writes.add(pending_writes.size());
     em.driver_stalls.add(static_cast<std::uint64_t>(res.driver_stalls));
     em.write_cycles.add(static_cast<std::uint64_t>(res.write_cycles));
+    // Pruning totals live on the table; mirror the delta since the last
+    // batch into the registry (coordinator-only, so the delta is safe).
+    const long long considered_now = table_.mats_considered();
+    const long long skipped_now = table_.mats_skipped();
+    em.mats_considered.add(
+        static_cast<std::uint64_t>(considered_now - last_mats_considered_));
+    em.mats_skipped.add(
+        static_cast<std::uint64_t>(skipped_now - last_mats_skipped_));
+    last_mats_considered_ = considered_now;
+    last_mats_skipped_ = skipped_now;
     em.queue_hwm.set(static_cast<double>(queue_.high_watermark()));
     const std::uint64_t end_ns = obs::now_ns();
     em.apply.record_ns(end_ns - apply0_ns);

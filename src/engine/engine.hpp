@@ -150,25 +150,40 @@ struct BatchResult {
   double wall_us = 0.0;
 };
 
+/// Engine configuration.  SearchEngine's constructor validates every
+/// field and throws std::invalid_argument naming the offending one —
+/// degenerate values (zero capacity, zero coalescing, non-positive
+/// groups) used to reach the dispatcher as silent near-deadlocks.
 struct EngineOptions {
   std::size_t queue_capacity = 8;  ///< batches admitted before submit blocks
+                                   ///< (must be > 0)
   /// Duration of one HV write phase (a 1.5T1Fe row update issues 3).
   double write_pulse_s = 50e-9;
   /// Contiguous mat groups the broadcast is split into; every
-  /// (search, group) pair is one independently dispatched partial-match
-  /// task.  Clamped to [1, mats].  Purely a parallelism knob: partials
-  /// merge in fixed group order, so results never depend on it.
+  /// (search block, group) pair is one independently dispatched
+  /// partial-match task.  Must be > 0; values above the table's mat count
+  /// clamp down to it.  Purely a parallelism knob: partials merge in
+  /// fixed group order, so results never depend on it.
   int mat_groups = 1;
   /// Dispatcher threads claiming partial-match tasks (the coordinator
   /// counts as one; n - 1 helpers are spawned).  0 resolves through
   /// util::thread_count() (--threads / FETCAM_THREADS), so existing
-  /// thread sweeps exercise the multi-dispatcher path.
+  /// thread sweeps exercise the multi-dispatcher path; negative values
+  /// throw.
   int dispatch_threads = 0;
   /// Max batches the coordinator drains per wakeup into one fan-out
-  /// window.  A window keeps multiple batches only while they are
-  /// pure-search (the first mutating batch closes it), so coalescing is
-  /// invisible in every result — it only amortizes fan-out overhead.
+  /// window (must be > 0).  A window keeps multiple batches only while
+  /// they are pure-search (the first mutating batch closes it), so
+  /// coalescing is invisible in every result — it only amortizes fan-out
+  /// overhead.
   std::size_t coalesce_batches = 4;
+  /// Queries matched per kernel pass (1..kMaxQueryBlock): each window's
+  /// searches are chunked into fixed submission-order blocks of this size
+  /// so one streaming pass over a shard's planar words serves the whole
+  /// block (docs/ENGINE.md "Query blocking").  1 = the single-query path.
+  /// Purely a bandwidth knob: per-query results are bit-identical for
+  /// every block size.
+  int query_block = 8;
 };
 
 /// One slow-query log entry: a batch that ranked in the engine's top-K by
@@ -212,6 +227,11 @@ class SearchEngine {
   /// Resolved (post-clamp) parallelism for reporting.
   int mat_groups() const { return mat_groups_; }
   int dispatch_threads() const { return dispatch_threads_; }
+  int query_block() const { return options_.query_block; }
+
+  /// Mat-skip pruning totals of the underlying table (fetcam.stats.v1).
+  long long mats_considered() const { return table_.mats_considered(); }
+  long long mats_skipped() const { return table_.mats_skipped(); }
 
   // Telemetry (totals over the engine lifetime; deterministic except where
   // noted on BatchResult and for windows(), which depends on queue timing).
@@ -265,6 +285,11 @@ class SearchEngine {
     std::condition_variable cv;
   };
 
+  /// Field-by-field option validation (throws std::invalid_argument
+  /// naming the offending field).  Runs in the member-init list, before
+  /// the queue or any thread exists.
+  static EngineOptions validate_options(EngineOptions options);
+
   void coordinator_loop();
   void helper_loop();
   /// Run fn(0..count) across the dispatcher threads; returns when all
@@ -292,6 +317,10 @@ class SearchEngine {
   /// resolved once at construction so the task hot path never touches the
   /// registry mutex.
   std::vector<obs::LatencyRecorder*> group_match_lat_;
+  /// Window-scoped query packs (coordinator only): each search lane is
+  /// bit-packed once per window, then shared read-only by every
+  /// (block, mat-group) task instead of being re-packed per task.
+  std::vector<PackedQuery> packed_queries_;
   BoundedQueue<Work> queue_;
   /// One shared-driver scheduler per mat, persistent across batches.
   std::vector<arch::SharedDriverScheduler> mat_schedulers_;
@@ -306,6 +335,10 @@ class SearchEngine {
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
+  /// Last table pruning totals mirrored into the obs registry
+  /// (coordinator-only, read/written in apply()).
+  long long last_mats_considered_ = 0;
+  long long last_mats_skipped_ = 0;
   /// Top-K slow batches, ascending by total_ns (coordinator inserts,
   /// scrapers copy under the mutex).
   static constexpr std::size_t kSlowQueryLog = 8;

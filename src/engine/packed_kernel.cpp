@@ -1,8 +1,13 @@
 #include "engine/packed_kernel.hpp"
 
 #include <atomic>
+#include <bit>
 #include <stdexcept>
 #include <string>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace fetcam::engine {
 
@@ -145,6 +150,154 @@ arch::SearchStats two_step_match_scalar(const ShardView& s,
   return stats;
 }
 
+namespace {
+
+// Shared shape of the blocked scalar kernels: one pass over the planar
+// words per 64-row block, each (care, value) word pair loaded ONCE and
+// tested against all NQ queries.  A single mismatch accumulator per query
+// suffices for both steps because OR commutes with the parity masks:
+// OR_w(mis_w & even) == (OR_w mis_w) & even — so the step-1 / step-2 zero
+// tests read the even / odd halves of the same accumulator.  NQ is a
+// template parameter so the accumulator array unrolls into registers.
+template <int NQ>
+void full_match_block_scalar_impl(const ShardView& s,
+                                  const std::uint64_t* const* queries,
+                                  std::uint64_t* const* match_masks,
+                                  arch::SearchStats* stats) {
+  for (int q = 0; q < NQ; ++q) {
+    stats[q] = arch::SearchStats{};
+    stats[q].rows = s.rows;
+    stats[q].step2_evaluated = s.rows;  // single-step accounting
+  }
+  const std::size_t pad = static_cast<std::size_t>(s.rows_pad);
+  const int blocks = s.rows_pad / 64;
+  for (int b = 0; b < blocks; ++b) {
+    std::uint64_t ok[NQ] = {};
+    for (int r = 0; r < 64; ++r) {
+      const std::size_t row = static_cast<std::size_t>(b) * 64 +
+                              static_cast<std::size_t>(r);
+      std::uint64_t acc[NQ] = {};
+      for (int w = 0; w < s.wpr; ++w) {
+        const std::size_t at = static_cast<std::size_t>(w) * pad + row;
+        const std::uint64_t c = s.care[at];
+        const std::uint64_t v = s.value[at];
+        for (int q = 0; q < NQ; ++q) acc[q] |= c & (v ^ queries[q][w]);
+      }
+      for (int q = 0; q < NQ; ++q) {
+        ok[q] |= static_cast<std::uint64_t>(acc[q] == 0) << r;
+      }
+    }
+    const std::uint64_t valid = s.valid[static_cast<std::size_t>(b)];
+    for (int q = 0; q < NQ; ++q) {
+      const std::uint64_t match = ok[q] & valid;
+      match_masks[q][static_cast<std::size_t>(b)] = match;
+      stats[q].matches += std::popcount(match);
+    }
+  }
+}
+
+template <int NQ>
+void two_step_match_block_scalar_impl(const ShardView& s,
+                                      const std::uint64_t* const* queries,
+                                      std::uint64_t* const* match_masks,
+                                      arch::SearchStats* stats) {
+  for (int q = 0; q < NQ; ++q) {
+    stats[q] = arch::SearchStats{};
+    stats[q].rows = s.rows;
+  }
+  const std::size_t pad = static_cast<std::size_t>(s.rows_pad);
+  const int blocks = s.rows_pad / 64;
+  for (int b = 0; b < blocks; ++b) {
+    std::uint64_t step1_ok[NQ] = {};
+    std::uint64_t step2_ok[NQ] = {};
+    for (int r = 0; r < 64; ++r) {
+      const std::size_t row = static_cast<std::size_t>(b) * 64 +
+                              static_cast<std::size_t>(r);
+      std::uint64_t acc[NQ] = {};
+      for (int w = 0; w < s.wpr; ++w) {
+        const std::size_t at = static_cast<std::size_t>(w) * pad + row;
+        const std::uint64_t c = s.care[at];
+        const std::uint64_t v = s.value[at];
+        for (int q = 0; q < NQ; ++q) acc[q] |= c & (v ^ queries[q][w]);
+      }
+      for (int q = 0; q < NQ; ++q) {
+        step1_ok[q] |=
+            static_cast<std::uint64_t>((acc[q] & kEvenDigits) == 0) << r;
+        step2_ok[q] |=
+            static_cast<std::uint64_t>((acc[q] & kOddDigits) == 0) << r;
+      }
+    }
+    // Invalid (and padded) rows miss in step 1, like the single-query
+    // tiers; per-block popcount accounting reproduces the per-row
+    // counters exactly (same argument as the AVX2 tier).
+    const std::uint64_t valid = s.valid[static_cast<std::size_t>(b)];
+    const int real_rows = s.rows - b * 64 < 64 ? s.rows - b * 64 : 64;
+    for (int q = 0; q < NQ; ++q) {
+      const std::uint64_t alive = step1_ok[q] & valid;
+      const int alive_count = std::popcount(alive);
+      stats[q].step1_misses += real_rows - alive_count;
+      stats[q].step2_evaluated += alive_count;
+      const std::uint64_t match = alive & step2_ok[q];
+      match_masks[q][static_cast<std::size_t>(b)] = match;
+      stats[q].matches += std::popcount(match);
+    }
+  }
+}
+
+}  // namespace
+
+void full_match_block_scalar(const ShardView& s,
+                             const std::uint64_t* const* queries, int nq,
+                             std::uint64_t* const* match_masks,
+                             arch::SearchStats* stats) {
+  switch (nq) {
+    case 1: return full_match_block_scalar_impl<1>(s, queries, match_masks,
+                                                   stats);
+    case 2: return full_match_block_scalar_impl<2>(s, queries, match_masks,
+                                                   stats);
+    case 3: return full_match_block_scalar_impl<3>(s, queries, match_masks,
+                                                   stats);
+    case 4: return full_match_block_scalar_impl<4>(s, queries, match_masks,
+                                                   stats);
+    case 5: return full_match_block_scalar_impl<5>(s, queries, match_masks,
+                                                   stats);
+    case 6: return full_match_block_scalar_impl<6>(s, queries, match_masks,
+                                                   stats);
+    case 7: return full_match_block_scalar_impl<7>(s, queries, match_masks,
+                                                   stats);
+    case 8: return full_match_block_scalar_impl<8>(s, queries, match_masks,
+                                                   stats);
+    default:
+      throw std::invalid_argument("block size out of range");
+  }
+}
+
+void two_step_match_block_scalar(const ShardView& s,
+                                 const std::uint64_t* const* queries, int nq,
+                                 std::uint64_t* const* match_masks,
+                                 arch::SearchStats* stats) {
+  switch (nq) {
+    case 1: return two_step_match_block_scalar_impl<1>(s, queries,
+                                                       match_masks, stats);
+    case 2: return two_step_match_block_scalar_impl<2>(s, queries,
+                                                       match_masks, stats);
+    case 3: return two_step_match_block_scalar_impl<3>(s, queries,
+                                                       match_masks, stats);
+    case 4: return two_step_match_block_scalar_impl<4>(s, queries,
+                                                       match_masks, stats);
+    case 5: return two_step_match_block_scalar_impl<5>(s, queries,
+                                                       match_masks, stats);
+    case 6: return two_step_match_block_scalar_impl<6>(s, queries,
+                                                       match_masks, stats);
+    case 7: return two_step_match_block_scalar_impl<7>(s, queries,
+                                                       match_masks, stats);
+    case 8: return two_step_match_block_scalar_impl<8>(s, queries,
+                                                       match_masks, stats);
+    default:
+      throw std::invalid_argument("block size out of range");
+  }
+}
+
 #if !defined(FETCAM_HAVE_AVX2)
 // Stubs so the dispatch switch links in scalar-only builds; the tier is
 // reported unavailable, so these are unreachable.
@@ -158,18 +311,46 @@ arch::SearchStats two_step_match_avx2(const ShardView& s,
                                       std::uint64_t* match_mask) {
   return two_step_match_scalar(s, query, match_mask);
 }
+void full_match_block_avx2(const ShardView& s,
+                           const std::uint64_t* const* queries, int nq,
+                           std::uint64_t* const* match_masks,
+                           arch::SearchStats* stats) {
+  full_match_block_scalar(s, queries, nq, match_masks, stats);
+}
+void two_step_match_block_avx2(const ShardView& s,
+                               const std::uint64_t* const* queries, int nq,
+                               std::uint64_t* const* match_masks,
+                               arch::SearchStats* stats) {
+  two_step_match_block_scalar(s, queries, nq, match_masks, stats);
+}
 #endif
 
 }  // namespace detail
 
 PackedQuery PackedQuery::pack(const arch::BitWord& query) {
   PackedQuery q;
-  q.cols = static_cast<int>(query.size());
-  q.bits.assign((query.size() + 63) / 64, 0);
-  for (std::size_t c = 0; c < query.size(); ++c) {
-    if (query[c] != 0) q.bits[c >> 6] |= 1ULL << (c & 63);
-  }
+  q.repack(query);
   return q;
+}
+
+void PackedQuery::repack(const arch::BitWord& query) {
+  cols = static_cast<int>(query.size());
+  bits.assign((query.size() + 63) / 64, 0);
+  std::size_t c = 0;
+#if defined(__SSE2__)
+  // 16 digits per step: nonzero bytes -> a 16-bit mask (byte-per-digit
+  // semantics preserved: any nonzero value is a 1, same as `!= 0`).
+  for (; c + 16 <= query.size(); c += 16) {
+    const __m128i d = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(query.data() + c));
+    const std::uint64_t ones = static_cast<std::uint64_t>(
+        ~_mm_movemask_epi8(_mm_cmpeq_epi8(d, _mm_setzero_si128())) & 0xFFFF);
+    bits[c >> 6] |= ones << (c & 63);
+  }
+#endif
+  for (; c < query.size(); ++c) {
+    bits[c >> 6] |= static_cast<std::uint64_t>(query[c] != 0) << (c & 63);
+  }
 }
 
 PackedShard::PackedShard(int rows, int cols)
@@ -305,6 +486,78 @@ arch::SearchStats PackedShard::two_step_match(
   }
   return detail::two_step_match_scalar(view(), query.bits.data(),
                                        match_mask.data());
+}
+
+void PackedShard::check_block(const PackedQuery* const* queries,
+                              int nq) const {
+  if (nq < 1 || nq > kMaxQueryBlock) {
+    throw std::invalid_argument("query block size must be in [1, " +
+                                std::to_string(kMaxQueryBlock) + "], got " +
+                                std::to_string(nq));
+  }
+  for (int q = 0; q < nq; ++q) check_query(*queries[q]);
+}
+
+void PackedShard::full_match_block(const PackedQuery* const* queries, int nq,
+                                   std::uint64_t* const* match_masks,
+                                   arch::SearchStats* stats) const {
+  full_match_block(queries, nq, match_masks, stats, active_kernel_tier());
+}
+
+void PackedShard::full_match_block(const PackedQuery* const* queries, int nq,
+                                   std::uint64_t* const* match_masks,
+                                   arch::SearchStats* stats,
+                                   KernelTier tier) const {
+  check_block(queries, nq);
+  if (rows_ == 0) {
+    for (int q = 0; q < nq; ++q) stats[q] = arch::SearchStats{};
+    return;
+  }
+  const std::uint64_t* qbits[kMaxQueryBlock];
+  for (int q = 0; q < nq; ++q) qbits[q] = queries[q]->bits.data();
+  switch (tier) {
+    case KernelTier::kAvx2:
+      detail::full_match_block_avx2(view(), qbits, nq, match_masks, stats);
+      return;
+    case KernelTier::kScalar:
+      break;
+  }
+  detail::full_match_block_scalar(view(), qbits, nq, match_masks, stats);
+}
+
+void PackedShard::two_step_match_block(const PackedQuery* const* queries,
+                                       int nq,
+                                       std::uint64_t* const* match_masks,
+                                       arch::SearchStats* stats) const {
+  two_step_match_block(queries, nq, match_masks, stats, active_kernel_tier());
+}
+
+void PackedShard::two_step_match_block(const PackedQuery* const* queries,
+                                       int nq,
+                                       std::uint64_t* const* match_masks,
+                                       arch::SearchStats* stats,
+                                       KernelTier tier) const {
+  check_block(queries, nq);
+  if (cols_ % 2 != 0) {
+    throw std::invalid_argument(
+        "two-step search needs an even word length (shard is " +
+        std::to_string(rows_) + " rows x " + std::to_string(cols_) + " cols)");
+  }
+  if (rows_ == 0) {
+    for (int q = 0; q < nq; ++q) stats[q] = arch::SearchStats{};
+    return;
+  }
+  const std::uint64_t* qbits[kMaxQueryBlock];
+  for (int q = 0; q < nq; ++q) qbits[q] = queries[q]->bits.data();
+  switch (tier) {
+    case KernelTier::kAvx2:
+      detail::two_step_match_block_avx2(view(), qbits, nq, match_masks,
+                                        stats);
+      return;
+    case KernelTier::kScalar:
+      break;
+  }
+  detail::two_step_match_block_scalar(view(), qbits, nq, match_masks, stats);
 }
 
 std::vector<bool> PackedShard::search(const arch::BitWord& query) const {

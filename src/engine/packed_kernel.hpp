@@ -53,6 +53,12 @@ namespace fetcam::engine {
 /// (-DFETCAM_SIMD=ON + a -mavx2-capable compiler) and runtime CPU support.
 enum class KernelTier : std::uint8_t { kScalar = 0, kAvx2 = 1 };
 
+/// Largest query block the blocked kernels accept.  Eight keeps the AVX2
+/// per-query mismatch accumulators register-resident (8 ymm accumulators +
+/// the shared care/value/broadcast registers fit in 16); larger blocks
+/// spill and lose the bandwidth win they were buying.
+inline constexpr int kMaxQueryBlock = 8;
+
 const char* kernel_tier_name(KernelTier tier);
 
 /// True when `tier` was compiled in AND the running CPU supports it.
@@ -99,6 +105,31 @@ arch::SearchStats two_step_match_avx2(const ShardView& s,
                                       const std::uint64_t* query,
                                       std::uint64_t* match_mask);
 
+// Query-blocked kernels: match nq (1..kMaxQueryBlock) queries in ONE pass
+// over the shard's planar words, so each care/value word loaded from
+// memory is reused nq times instead of once.  queries[q] points to wpr
+// packed words; match_masks[q] points to rows_pad/64 words and is fully
+// overwritten; stats[q] is reset and filled.  Per-query masks and stats
+// are BIT-EXACT against the single-query kernels for every q — block
+// composition only changes cost, never results (the determinism argument
+// the engine's block scheduler rests on, docs/ENGINE.md).
+void full_match_block_scalar(const ShardView& s,
+                             const std::uint64_t* const* queries, int nq,
+                             std::uint64_t* const* match_masks,
+                             arch::SearchStats* stats);
+void two_step_match_block_scalar(const ShardView& s,
+                                 const std::uint64_t* const* queries, int nq,
+                                 std::uint64_t* const* match_masks,
+                                 arch::SearchStats* stats);
+void full_match_block_avx2(const ShardView& s,
+                           const std::uint64_t* const* queries, int nq,
+                           std::uint64_t* const* match_masks,
+                           arch::SearchStats* stats);
+void two_step_match_block_avx2(const ShardView& s,
+                               const std::uint64_t* const* queries, int nq,
+                               std::uint64_t* const* match_masks,
+                               arch::SearchStats* stats);
+
 }  // namespace detail
 
 /// A query packed to the shard's digit layout: bit (c & 63) of word
@@ -108,6 +139,10 @@ struct PackedQuery {
   std::vector<std::uint64_t> bits;
 
   static PackedQuery pack(const arch::BitWord& query);
+  /// Allocation-free repack into an existing PackedQuery (hot path: the
+  /// engine packs every query once per fan-out task; reusing the buffer
+  /// keeps that off the allocator).
+  void repack(const arch::BitWord& query);
 };
 
 class PackedShard {
@@ -148,6 +183,24 @@ class PackedShard {
                                    std::vector<std::uint64_t>& match_mask,
                                    KernelTier tier) const;
 
+  /// Query-blocked match: nq (1..kMaxQueryBlock) queries in one pass over
+  /// the planar words.  match_masks[q] must hold mask_words() words and is
+  /// fully overwritten; stats[q] is reset.  Per-query results are
+  /// bit-exact vs the single-query kernels regardless of block
+  /// composition.  The tier-less overloads use active_kernel_tier().
+  void full_match_block(const PackedQuery* const* queries, int nq,
+                        std::uint64_t* const* match_masks,
+                        arch::SearchStats* stats) const;
+  void full_match_block(const PackedQuery* const* queries, int nq,
+                        std::uint64_t* const* match_masks,
+                        arch::SearchStats* stats, KernelTier tier) const;
+  void two_step_match_block(const PackedQuery* const* queries, int nq,
+                            std::uint64_t* const* match_masks,
+                            arch::SearchStats* stats) const;
+  void two_step_match_block(const PackedQuery* const* queries, int nq,
+                            std::uint64_t* const* match_masks,
+                            arch::SearchStats* stats, KernelTier tier) const;
+
   /// Convenience wrappers mirroring the behavioral API (used by the
   /// golden-equivalence tests).
   std::vector<bool> search(const arch::BitWord& query) const;
@@ -161,6 +214,7 @@ class PackedShard {
  private:
   void check_row(int row) const;
   void check_query(const PackedQuery& query) const;
+  void check_block(const PackedQuery* const* queries, int nq) const;
   detail::ShardView view() const;
   std::size_t plane_index(int row, int word) const {
     return static_cast<std::size_t>(word) *

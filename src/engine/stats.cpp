@@ -56,6 +56,15 @@ std::string stats_snapshot_json(const SearchEngine& engine,
   out += ", \"mat_groups\": " + std::to_string(engine.mat_groups());
   out +=
       ", \"dispatch_threads\": " + std::to_string(engine.dispatch_threads());
+  out += ", \"query_block\": " + std::to_string(engine.query_block());
+  const long long considered = engine.mats_considered();
+  const long long skipped = engine.mats_skipped();
+  out += ", \"mats_considered\": " + std::to_string(considered);
+  out += ", \"mats_skipped\": " + std::to_string(skipped);
+  out += ", \"mat_skip_rate\": " +
+         json_number(considered > 0 ? static_cast<double>(skipped) /
+                                          static_cast<double>(considered)
+                                    : 0.0);
   out += "},\n";
 
   out += "  \"stages\": {";

@@ -9,6 +9,10 @@ namespace fetcam::engine {
 
 namespace {
 
+// Even (cell1 / step-1) digit positions — digit c sits at bit (c & 63)
+// and 64 is even, so global parity equals bit parity (packed_kernel.hpp).
+constexpr std::uint64_t kEvenDigits = 0x5555555555555555ULL;
+
 arch::WriteVoltages table_write_voltages(arch::TcamDesign design) {
   switch (design) {
     case arch::TcamDesign::k2SgFefet:
@@ -60,6 +64,15 @@ TcamTable::TcamTable(const TableConfig& config)
     row_entry_[static_cast<std::size_t>(m)].assign(
         static_cast<std::size_t>(config.rows_per_mat), kInvalidEntry);
   }
+  aggregates_.resize(static_cast<std::size_t>(config.mats));
+  const std::size_t agg_words =
+      (static_cast<std::size_t>(config.cols) + 63) / 64;
+  for (MatAggregate& ag : aggregates_) {
+    ag.require_one.assign(agg_words, 0);
+    ag.require_zero.assign(agg_words, 0);
+    ag.one_count.assign(static_cast<std::size_t>(config.cols), 0);
+    ag.zero_count.assign(static_cast<std::size_t>(config.cols), 0);
+  }
 }
 
 std::size_t TcamTable::capacity() const {
@@ -83,8 +96,11 @@ void TcamTable::check_entry(EntryId id) const {
 
 void TcamTable::write_slot(const Slot& slot, const arch::TernaryWord& entry) {
   auto& shard = shards_[static_cast<std::size_t>(slot.mat)];
+  const bool was_valid = shard.valid(slot.row);
   const arch::TernaryWord previous =
-      shard.valid(slot.row) ? shard.entry(slot.row) : arch::TernaryWord{};
+      was_valid ? shard.entry(slot.row) : arch::TernaryWord{};
+  if (was_valid) aggregate_remove(slot.mat, previous);
+  aggregate_add(slot.mat, entry);
   const arch::WritePlan plan =
       two_step_ ? arch::three_step_plan(entry, previous, write_voltages_)
                 : arch::complementary_plan(entry, write_voltages_);
@@ -176,6 +192,8 @@ void TcamTable::rewrite_digits(EntryId id, const arch::TernaryWord& entry) {
     const int cells = two_step_ ? plan.total_switching_cells() : changed;
     energy_[static_cast<std::size_t>(slot.mat)].on_write(cells);
     endurance_[static_cast<std::size_t>(slot.mat)].on_write(slot.row);
+    aggregate_remove(slot.mat, previous);
+    aggregate_add(slot.mat, entry);
     shard.write(slot.row, entry);
   }
 }
@@ -206,6 +224,7 @@ bool TcamTable::relocate(EntryId id, int target_mat) {
   write_slot(slot, word);
   row_entry_[static_cast<std::size_t>(target_mat)]
             [static_cast<std::size_t>(row)] = id;
+  aggregate_remove(old_mat, word);
   shards_[static_cast<std::size_t>(old_mat)].erase(old_row);
   row_entry_[static_cast<std::size_t>(old_mat)]
             [static_cast<std::size_t>(old_row)] = kInvalidEntry;
@@ -218,6 +237,8 @@ bool TcamTable::relocate(EntryId id, int target_mat) {
 void TcamTable::erase(EntryId id) {
   check_entry(id);
   Slot& slot = slots_[static_cast<std::size_t>(id)];
+  aggregate_remove(slot.mat,
+                   shards_[static_cast<std::size_t>(slot.mat)].entry(slot.row));
   shards_[static_cast<std::size_t>(slot.mat)].erase(slot.row);
   row_entry_[static_cast<std::size_t>(slot.mat)]
             [static_cast<std::size_t>(slot.row)] = kInvalidEntry;
@@ -294,6 +315,142 @@ WriteCost TcamTable::cost_rewrite(const arch::TernaryWord& next,
   return cost;
 }
 
+void TcamTable::aggregate_add(int mat, const arch::TernaryWord& word) {
+  MatAggregate& ag = aggregates_[static_cast<std::size_t>(mat)];
+  for (std::size_t c = 0; c < word.size(); ++c) {
+    if (word[c] == arch::Ternary::kOne) {
+      ++ag.one_count[c];
+    } else if (word[c] == arch::Ternary::kZero) {
+      ++ag.zero_count[c];
+    }
+  }
+  ++ag.valid_rows;
+  rebuild_aggregate_masks(ag);
+}
+
+void TcamTable::aggregate_remove(int mat, const arch::TernaryWord& word) {
+  MatAggregate& ag = aggregates_[static_cast<std::size_t>(mat)];
+  for (std::size_t c = 0; c < word.size(); ++c) {
+    if (word[c] == arch::Ternary::kOne) {
+      --ag.one_count[c];
+    } else if (word[c] == arch::Ternary::kZero) {
+      --ag.zero_count[c];
+    }
+  }
+  --ag.valid_rows;
+  rebuild_aggregate_masks(ag);
+}
+
+void TcamTable::rebuild_aggregate_masks(MatAggregate& ag) const {
+  std::fill(ag.require_one.begin(), ag.require_one.end(), 0);
+  std::fill(ag.require_zero.begin(), ag.require_zero.end(), 0);
+  if (ag.valid_rows <= 0) return;  // empty mats skip via valid_rows
+  for (int c = 0; c < config_.cols; ++c) {
+    const std::uint64_t bit = 1ULL << (c & 63);
+    if (ag.one_count[static_cast<std::size_t>(c)] == ag.valid_rows) {
+      ag.require_one[static_cast<std::size_t>(c) >> 6] |= bit;
+    } else if (ag.zero_count[static_cast<std::size_t>(c)] == ag.valid_rows) {
+      ag.require_zero[static_cast<std::size_t>(c) >> 6] |= bit;
+    }
+  }
+}
+
+MatAggregate TcamTable::scan_aggregate(int mat) const {
+  const std::size_t m = checked_mat(mat);
+  const PackedShard& shard = shards_[m];
+  MatAggregate ag;
+  ag.require_one.assign(
+      (static_cast<std::size_t>(config_.cols) + 63) / 64, 0);
+  ag.require_zero.assign(ag.require_one.size(), 0);
+  ag.one_count.assign(static_cast<std::size_t>(config_.cols), 0);
+  ag.zero_count.assign(static_cast<std::size_t>(config_.cols), 0);
+  for (int r = 0; r < config_.rows_per_mat; ++r) {
+    if (!shard.valid(r)) continue;
+    const arch::TernaryWord word = shard.entry(r);
+    for (std::size_t c = 0; c < word.size(); ++c) {
+      if (word[c] == arch::Ternary::kOne) {
+        ++ag.one_count[c];
+      } else if (word[c] == arch::Ternary::kZero) {
+        ++ag.zero_count[c];
+      }
+    }
+    ++ag.valid_rows;
+  }
+  rebuild_aggregate_masks(ag);
+  return ag;
+}
+
+int TcamTable::aggregate_overlap(int mat, const arch::TernaryWord& word) const {
+  const MatAggregate& ag = aggregates_[checked_mat(mat)];
+  if (ag.valid_rows == 0) {
+    // An empty mat's aggregate becomes exactly the word's cared digits.
+    int cared = 0;
+    for (const arch::Ternary t : word) {
+      if (t != arch::Ternary::kX) ++cared;
+    }
+    return cared;
+  }
+  int overlap = 0;
+  for (std::size_t c = 0; c < word.size(); ++c) {
+    const std::uint64_t bit = 1ULL << (c & 63);
+    const std::size_t w = c >> 6;
+    if ((ag.require_one[w] & bit) != 0 && word[c] == arch::Ternary::kOne) {
+      ++overlap;
+    } else if ((ag.require_zero[w] & bit) != 0 &&
+               word[c] == arch::Ternary::kZero) {
+      ++overlap;
+    }
+  }
+  return overlap;
+}
+
+bool TcamTable::mat_skips(std::size_t mat, const PackedQuery& query) const {
+  const MatAggregate& ag = aggregates_[mat];
+  if (ag.valid_rows == 0) return true;  // nothing stored: trivially matchless
+  std::uint64_t miss = 0;
+  for (std::size_t w = 0; w < ag.require_one.size(); ++w) {
+    miss |= (ag.require_one[w] & ~query.bits[w]) |
+            (ag.require_zero[w] & query.bits[w]);
+  }
+  // Two-step designs only accept proofs on even (cell1) columns: a step-1
+  // wipeout has exactly-known stats (every row is a step-1 miss), while an
+  // odd-column proof would leave step1/step2 accounting unknowable without
+  // the scan the skip exists to avoid.
+  if (two_step_) miss &= kEvenDigits;
+  return miss != 0;
+}
+
+arch::SearchStats TcamTable::skipped_stats() const {
+  arch::SearchStats s;
+  s.rows = config_.rows_per_mat;
+  if (two_step_) {
+    s.step1_misses = config_.rows_per_mat;  // every row dies in step 1
+  } else {
+    s.step2_evaluated = config_.rows_per_mat;  // single-step accounting
+  }
+  return s;
+}
+
+void TcamTable::scan_hits(std::size_t mat, const std::uint64_t* mask,
+                          std::size_t words, TableMatch& out) const {
+  const auto& rows = row_entry_[mat];
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = mask[w];
+    while (bits != 0) {
+      const int r = static_cast<int>(w * 64) + std::countr_zero(bits);
+      bits &= bits - 1;
+      const EntryId id = rows[static_cast<std::size_t>(r)];
+      const int prio = slots_[static_cast<std::size_t>(id)].priority;
+      if (!out.hit || prio < out.priority ||
+          (prio == out.priority && id < out.entry)) {
+        out.hit = true;
+        out.entry = id;
+        out.priority = prio;
+      }
+    }
+  }
+}
+
 void merge_match(TableMatch& into, const TableMatch& part) {
   into.stats.rows += part.stats.rows;
   into.stats.step1_misses += part.stats.step1_misses;
@@ -325,6 +482,13 @@ void TcamTable::match(const arch::BitWord& query, MatchScratch& scratch,
 void TcamTable::match_mats(const arch::BitWord& query, int mat_begin,
                            int mat_end, MatchScratch& scratch,
                            TableMatch& out) const {
+  scratch.query.repack(query);
+  match_mats(scratch.query, mat_begin, mat_end, scratch, out);
+}
+
+void TcamTable::match_mats(const PackedQuery& query, int mat_begin,
+                           int mat_end, MatchScratch& scratch,
+                           TableMatch& out) const {
   if (mat_begin < 0 || mat_end > config_.mats || mat_begin > mat_end) {
     throw std::out_of_range("mat range out of range");
   }
@@ -335,34 +499,138 @@ void TcamTable::match_mats(const arch::BitWord& query, int mat_begin,
   out.per_mat.assign(static_cast<std::size_t>(config_.mats),
                      arch::SearchStats{});
 
-  scratch.query = PackedQuery::pack(query);
+  long long skipped = 0;
   for (int m = mat_begin; m < mat_end; ++m) {
+    if (config_.mat_skip && mat_skips(static_cast<std::size_t>(m), query)) {
+      const arch::SearchStats s = skipped_stats();
+      out.per_mat[static_cast<std::size_t>(m)] = s;
+      out.stats.rows += s.rows;
+      out.stats.step1_misses += s.step1_misses;
+      out.stats.step2_evaluated += s.step2_evaluated;
+      ++skipped;
+      continue;
+    }
     const auto& shard = shards_[static_cast<std::size_t>(m)];
     const arch::SearchStats s =
-        two_step_ ? shard.two_step_match(scratch.query, scratch.mask)
-                  : shard.full_match(scratch.query, scratch.mask);
+        two_step_ ? shard.two_step_match(query, scratch.mask)
+                  : shard.full_match(query, scratch.mask);
     out.per_mat[static_cast<std::size_t>(m)] = s;
     out.stats.rows += s.rows;
     out.stats.step1_misses += s.step1_misses;
     out.stats.step2_evaluated += s.step2_evaluated;
     out.stats.matches += s.matches;
     // Priority scan over this shard's hits: lowest (priority, id) wins.
-    const auto& rows = row_entry_[static_cast<std::size_t>(m)];
-    for (std::size_t w = 0; w < scratch.mask.size(); ++w) {
-      std::uint64_t bits = scratch.mask[w];
-      while (bits != 0) {
-        const int r = static_cast<int>(w * 64) + std::countr_zero(bits);
-        bits &= bits - 1;
-        const EntryId id = rows[static_cast<std::size_t>(r)];
-        const int prio = slots_[static_cast<std::size_t>(id)].priority;
-        if (!out.hit || prio < out.priority ||
-            (prio == out.priority && id < out.entry)) {
-          out.hit = true;
-          out.entry = id;
-          out.priority = prio;
-        }
+    scan_hits(static_cast<std::size_t>(m), scratch.mask.data(),
+              scratch.mask.size(), out);
+  }
+  mats_considered_.fetch_add(mat_end - mat_begin, std::memory_order_relaxed);
+  if (skipped != 0) {
+    mats_skipped_.fetch_add(skipped, std::memory_order_relaxed);
+  }
+}
+
+void TcamTable::match_mats_block(const arch::BitWord* const* queries, int nq,
+                                 int mat_begin, int mat_end,
+                                 BlockMatchScratch& scratch,
+                                 TableMatch* const* outs) const {
+  if (nq < 1 || nq > kMaxQueryBlock) {
+    throw std::invalid_argument("query block size must be in [1, " +
+                                std::to_string(kMaxQueryBlock) + "], got " +
+                                std::to_string(nq));
+  }
+  if (scratch.queries.size() < static_cast<std::size_t>(nq)) {
+    scratch.queries.resize(static_cast<std::size_t>(nq));
+  }
+  const PackedQuery* packed[kMaxQueryBlock];
+  for (int q = 0; q < nq; ++q) {
+    scratch.queries[static_cast<std::size_t>(q)].repack(*queries[q]);
+    packed[q] = &scratch.queries[static_cast<std::size_t>(q)];
+  }
+  match_mats_block(packed, nq, mat_begin, mat_end, scratch, outs);
+}
+
+void TcamTable::match_mats_block(const PackedQuery* const* queries, int nq,
+                                 int mat_begin, int mat_end,
+                                 BlockMatchScratch& scratch,
+                                 TableMatch* const* outs) const {
+  if (mat_begin < 0 || mat_end > config_.mats || mat_begin > mat_end) {
+    throw std::out_of_range("mat range out of range");
+  }
+  if (nq < 1 || nq > kMaxQueryBlock) {
+    throw std::invalid_argument("query block size must be in [1, " +
+                                std::to_string(kMaxQueryBlock) + "], got " +
+                                std::to_string(nq));
+  }
+  if (scratch.masks.size() < static_cast<std::size_t>(nq)) {
+    scratch.masks.resize(static_cast<std::size_t>(nq));
+  }
+  const std::size_t mask_words = shards_[0].mask_words();
+  for (int q = 0; q < nq; ++q) {
+    scratch.masks[static_cast<std::size_t>(q)].resize(mask_words);
+    TableMatch& out = *outs[q];
+    out.hit = false;
+    out.entry = kInvalidEntry;
+    out.priority = 0;
+    out.stats = arch::SearchStats{};
+    out.per_mat.assign(static_cast<std::size_t>(config_.mats),
+                       arch::SearchStats{});
+  }
+
+  // Per mat: prune per lane, then one blocked kernel pass over the
+  // surviving lanes.  Lane results are independent of the sub-block's
+  // composition, so a lane sees identical masks and stats whether its
+  // neighbors were pruned or not.
+  const PackedQuery* kernel_queries[kMaxQueryBlock];
+  std::uint64_t* kernel_masks[kMaxQueryBlock];
+  arch::SearchStats kernel_stats[kMaxQueryBlock];
+  int lane_of[kMaxQueryBlock];
+  long long skipped = 0;
+  for (int m = mat_begin; m < mat_end; ++m) {
+    int live = 0;
+    for (int q = 0; q < nq; ++q) {
+      if (config_.mat_skip &&
+          mat_skips(static_cast<std::size_t>(m), *queries[q])) {
+        const arch::SearchStats s = skipped_stats();
+        TableMatch& out = *outs[q];
+        out.per_mat[static_cast<std::size_t>(m)] = s;
+        out.stats.rows += s.rows;
+        out.stats.step1_misses += s.step1_misses;
+        out.stats.step2_evaluated += s.step2_evaluated;
+        ++skipped;
+        continue;
       }
+      kernel_queries[live] = queries[q];
+      kernel_masks[live] =
+          scratch.masks[static_cast<std::size_t>(q)].data();
+      lane_of[live] = q;
+      ++live;
     }
+    if (live == 0) continue;
+    const auto& shard = shards_[static_cast<std::size_t>(m)];
+    if (two_step_) {
+      shard.two_step_match_block(kernel_queries, live, kernel_masks,
+                                 kernel_stats);
+    } else {
+      shard.full_match_block(kernel_queries, live, kernel_masks,
+                             kernel_stats);
+    }
+    for (int j = 0; j < live; ++j) {
+      TableMatch& out = *outs[lane_of[j]];
+      const arch::SearchStats& s = kernel_stats[j];
+      out.per_mat[static_cast<std::size_t>(m)] = s;
+      out.stats.rows += s.rows;
+      out.stats.step1_misses += s.step1_misses;
+      out.stats.step2_evaluated += s.step2_evaluated;
+      out.stats.matches += s.matches;
+      scan_hits(static_cast<std::size_t>(m), kernel_masks[j], mask_words,
+                out);
+    }
+  }
+  mats_considered_.fetch_add(
+      static_cast<long long>(mat_end - mat_begin) * nq,
+      std::memory_order_relaxed);
+  if (skipped != 0) {
+    mats_skipped_.fetch_add(skipped, std::memory_order_relaxed);
   }
 }
 

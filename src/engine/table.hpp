@@ -17,6 +17,7 @@
 // accounting and mutation are serial — the engine's dispatcher owns them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -42,6 +43,33 @@ struct TableConfig {
   /// Subarrays per mat sharing HV driver banks (paper Fig. 6; must be
   /// even).  Rows are striped contiguously: subarray = row / (rows/subs).
   int subarrays_per_mat = 4;
+  /// Mat-skip pruning: consult the per-mat aggregate masks before each
+  /// row scan and skip mats that provably cannot match (docs/ENGINE.md).
+  /// Results and accounting are bit-identical either way — the knob
+  /// exists for A/B measurement and the pruning tests.
+  bool mat_skip = true;
+};
+
+/// Mat-skip pruning index for one mat: for each bit column c, bit c of
+/// require_one (require_zero) is set iff EVERY valid row cares about c and
+/// stores '1' ('0') there.  A query with a 0 (1) at such a column
+/// mismatches every valid row, so the whole mat is provably matchless —
+/// two AND-type ops per word replace the row scan.  All-'X' columns (and
+/// any column where even one row doesn't care) never set a bit, so they
+/// can never prune.  Maintained incrementally from per-column counts on
+/// every insert / erase / rewrite / relocate; bits at and above cols stay
+/// zero so query padding cannot fake a proof.
+struct MatAggregate {
+  std::vector<std::uint64_t> require_one;   ///< ceil(cols/64) words
+  std::vector<std::uint64_t> require_zero;  ///< same shape
+  /// Counts backing the incremental update: valid rows whose digit at
+  /// column c is '1' / '0' (an aggregate bit is set iff its count equals
+  /// valid_rows — the form that survives erase, unlike a running AND).
+  std::vector<int> one_count;
+  std::vector<int> zero_count;
+  int valid_rows = 0;
+
+  bool operator==(const MatAggregate&) const = default;
 };
 
 /// Result of one broadcast search.  `stats` merges all mats; `per_mat`
@@ -59,6 +87,14 @@ struct TableMatch {
 struct MatchScratch {
   PackedQuery query;
   std::vector<std::uint64_t> mask;
+};
+
+/// Reusable per-thread buffers for TcamTable::match_mats_block: one packed
+/// query + row bitmask per block lane.  After the first call every lane's
+/// buffers are warm, so a steady-state blocked broadcast allocates nothing.
+struct BlockMatchScratch {
+  std::vector<PackedQuery> queries;
+  std::vector<std::vector<std::uint64_t>> masks;
 };
 
 /// Fold a partial (per-mat-group) match into an accumulated one: stats and
@@ -150,6 +186,52 @@ class TcamTable {
   /// winner match() reports.  Const and concurrency-safe like match().
   void match_mats(const arch::BitWord& query, int mat_begin, int mat_end,
                   MatchScratch& scratch, TableMatch& out) const;
+  /// Pre-packed variant: the caller packed the query once (e.g. per
+  /// engine window) and fans the same PackedQuery out to every mat-group
+  /// task, so the per-task repack disappears from the hot path.
+  void match_mats(const PackedQuery& query, int mat_begin, int mat_end,
+                  MatchScratch& scratch, TableMatch& out) const;
+
+  /// Query-blocked partial broadcast: nq (1..kMaxQueryBlock) queries
+  /// against mats [mat_begin, mat_end) in ONE pass per shard, so each
+  /// planar care/value word loaded from memory serves all nq queries.
+  /// outs[q] receives exactly what match_mats(queries[q], ...) would have
+  /// produced — per-query results never depend on block composition, the
+  /// invariant the engine's block scheduler (and its determinism sweep)
+  /// relies on.  Mats the pruning index proves matchless for a lane are
+  /// skipped for that lane only; survivors form the kernel sub-block.
+  /// Const and concurrency-safe like match().
+  void match_mats_block(const arch::BitWord* const* queries, int nq,
+                        int mat_begin, int mat_end,
+                        BlockMatchScratch& scratch,
+                        TableMatch* const* outs) const;
+  /// Pre-packed variant (see the PackedQuery match_mats overload).
+  void match_mats_block(const PackedQuery* const* queries, int nq,
+                        int mat_begin, int mat_end,
+                        BlockMatchScratch& scratch,
+                        TableMatch* const* outs) const;
+
+  /// Incrementally-maintained pruning aggregate of one mat.
+  const MatAggregate& aggregate(int mat) const {
+    return aggregates_[checked_mat(mat)];
+  }
+  /// Golden rebuild: recompute the aggregate by scanning the shard's rows.
+  /// The incremental-vs-rebuilt property test pins aggregate(m) ==
+  /// scan_aggregate(m) under arbitrary churn.
+  MatAggregate scan_aggregate(int mat) const;
+  /// Columns of `word` that would keep mat's aggregate bits alive if
+  /// inserted there (the endurance-aware placer's tie-break: prefer mats
+  /// whose pruning index stays tight).
+  int aggregate_overlap(int mat, const arch::TernaryWord& word) const;
+
+  /// Pruning counters (lifetime totals; deterministic: every query tests
+  /// every mat in its range exactly once, regardless of dispatch shape).
+  long long mats_considered() const {
+    return mats_considered_.load(std::memory_order_relaxed);
+  }
+  long long mats_skipped() const {
+    return mats_skipped_.load(std::memory_order_relaxed);
+  }
 
   /// Serial convenience: match + account in one call.
   TableMatch search(const arch::BitWord& query);
@@ -181,6 +263,19 @@ class TcamTable {
   std::size_t checked_mat(int mat) const;
   void check_entry(EntryId id) const;
   void write_slot(const Slot& slot, const arch::TernaryWord& entry);
+  /// Pruning-index maintenance: fold a word into / out of a mat's
+  /// per-column counts and refresh its aggregate masks.
+  void aggregate_add(int mat, const arch::TernaryWord& word);
+  void aggregate_remove(int mat, const arch::TernaryWord& word);
+  void rebuild_aggregate_masks(MatAggregate& ag) const;
+  /// Two-AND-per-word matchless proof for one (mat, query) pair.
+  bool mat_skips(std::size_t mat, const PackedQuery& query) const;
+  /// Stats a skipped (or empty) mat reports — exactly what its kernel
+  /// would have produced, so accounting stays bit-identical.
+  arch::SearchStats skipped_stats() const;
+  /// Priority-scan one shard's hit mask into the accumulated winner.
+  void scan_hits(std::size_t mat, const std::uint64_t* mask,
+                 std::size_t words, TableMatch& out) const;
 
   TableConfig config_;
   bool two_step_;
@@ -198,6 +293,13 @@ class TcamTable {
   std::size_t live_ = 0;
   long long write_pulses_ = 0;
   int last_write_phases_ = 0;
+  /// Per-mat pruning aggregates (maintained even when mat_skip is off, so
+  /// toggling the knob or asking the placer never needs a rebuild).
+  std::vector<MatAggregate> aggregates_;
+  /// Pruning counters; mutable atomics because match paths are const and
+  /// concurrency-safe.  Totals are deterministic, increment order is not.
+  mutable std::atomic<long long> mats_considered_{0};
+  mutable std::atomic<long long> mats_skipped_{0};
 };
 
 }  // namespace fetcam::engine

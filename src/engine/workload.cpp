@@ -253,6 +253,84 @@ std::vector<EntryId> load_rules(TcamTable& table, const Trace& trace) {
   return ids;
 }
 
+std::vector<EntryId> load_rules_clustered(TcamTable& table,
+                                          const Trace& trace) {
+  if (trace.rules.size() > table.capacity()) {
+    throw std::invalid_argument("table too small for trace rules");
+  }
+  const TableConfig& cfg = table.config();
+  const int mats = cfg.mats;
+  // Bucket key: the leading ceil(log2(mats)) even columns.  Even (step-1)
+  // columns are the only ones a two-step design may prune on (see
+  // TcamTable::mat_skips), so agreeing there is what keeps a mat's
+  // aggregate masks tight.  Rules wildcarding any key column would poison
+  // whichever mat they land in, so they go to the spill pass instead.
+  int kbits = 0;
+  while ((1 << kbits) < mats) ++kbits;
+  const int nbuckets = 1 << kbits;
+  std::vector<std::vector<std::size_t>> buckets(
+      static_cast<std::size_t>(nbuckets));
+  std::vector<std::size_t> spill;
+  for (std::size_t i = 0; i < trace.rules.size(); ++i) {
+    const auto& entry = trace.rules[i].entry;
+    int key = 0;
+    bool defined = true;
+    for (int k = 0; k < kbits; ++k) {
+      const std::size_t col = static_cast<std::size_t>(2 * k);
+      if (col >= entry.size() || entry[col] == arch::Ternary::kX) {
+        defined = false;
+        break;
+      }
+      key = (key << 1) | (entry[col] == arch::Ternary::kOne ? 1 : 0);
+    }
+    if (defined) {
+      buckets[static_cast<std::size_t>(key)].push_back(i);
+    } else {
+      spill.push_back(i);
+    }
+  }
+
+  std::vector<int> room(static_cast<std::size_t>(mats), cfg.rows_per_mat);
+  std::vector<EntryId> ids(trace.rules.size(), kInvalidEntry);
+  const auto place = [&](std::size_t rule, int mat) {
+    const EntryId id = table.insert(trace.rules[rule].entry,
+                                    trace.rules[rule].priority, mat);
+    if (id == kInvalidEntry) {
+      throw std::runtime_error("mat full while clustering rules");
+    }
+    ids[rule] = id;
+    --room[static_cast<std::size_t>(mat)];
+  };
+  // Pass 1: bucket b fills its home mat; overflow joins the spill.
+  for (int b = 0; b < nbuckets; ++b) {
+    const int mat = b * mats / nbuckets;
+    for (const std::size_t rule : buckets[static_cast<std::size_t>(b)]) {
+      if (room[static_cast<std::size_t>(mat)] > 0) {
+        place(rule, mat);
+      } else {
+        spill.push_back(rule);
+      }
+    }
+  }
+  // Pass 2: spill rules go wherever they least damage the pruning index —
+  // the open mat whose live aggregate they overlap most (ties: lowest
+  // mat).  Deterministic: spill order and the greedy scan are both fixed.
+  for (const std::size_t rule : spill) {
+    int best = -1;
+    int best_overlap = -1;
+    for (int m = 0; m < mats; ++m) {
+      if (room[static_cast<std::size_t>(m)] <= 0) continue;
+      const int overlap = table.aggregate_overlap(m, trace.rules[rule].entry);
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best = m;
+      }
+    }
+    place(rule, best);  // always found: total rules <= capacity
+  }
+  return ids;
+}
+
 RunSummary run_trace(SearchEngine& engine, const TcamTable& table,
                      const Trace& trace, const std::vector<EntryId>& rule_ids,
                      const RunOptions& options) {

@@ -119,6 +119,19 @@ struct RunSummary {
 /// entry ids.  Throws if the table is too small.
 std::vector<EntryId> load_rules(TcamTable& table, const Trace& trace);
 
+/// Pruning-aware loader: buckets the rules by their leading even (step-1)
+/// columns and gives each bucket a home mat, so every mat's aggregate
+/// masks (TableConfig::mat_skip) stay unanimous on the key columns and
+/// most queries prune most mats.  Overflow and wildcard-keyed rules are
+/// spilled greedily to the open mat with the highest aggregate_overlap —
+/// the placement that least damages the pruning index.  Match results are
+/// placement-independent apart from (priority, id) tie-break order, which
+/// follows insertion order as always.  ids[i] still belongs to
+/// trace.rules[i].  Opt-in: the default load_rules stays insertion-
+/// ordered so energy/endurance distributions of existing runs don't move.
+std::vector<EntryId> load_rules_clustered(TcamTable& table,
+                                          const Trace& trace);
+
 /// Drive the trace's queries through `engine` in batches, optionally
 /// interleaving rule rewrites, and summarize.  `rule_ids` is the mapping
 /// returned by load_rules.

@@ -208,7 +208,12 @@ TEST(ApplierConcurrency, SearchesSeeOldWinnerOrNewWinnerNeverHybrids) {
   std::vector<std::vector<Observed>> seen(2);
   auto searcher = [&](int who) {
     std::size_t at = static_cast<std::size_t>(who);
-    while (!stop.load(std::memory_order_relaxed)) {
+    // A floor of rounds keeps `checked` non-vacuous even when the apply
+    // outruns this thread's first schedule slot (a loaded single-core
+    // box); post-stop rounds observe the settled state, which the
+    // acceptance admits as the new winner.
+    int rounds = 0;
+    while (rounds++ < 4 || !stop.load(std::memory_order_relaxed)) {
       std::vector<engine::Request> batch;
       std::vector<std::size_t> keys;
       for (int k = 0; k < 8; ++k) {

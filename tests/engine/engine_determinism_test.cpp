@@ -231,22 +231,69 @@ TEST(EngineDeterminism, InvariantAcrossDispatchersGroupsAndCoalescing) {
   serial.dispatch_threads = 1;
   serial.mat_groups = 1;
   serial.coalesce_batches = 1;
+  serial.query_block = 1;  // the single-query scalar reference path
   const RunOutcome golden = run_workload(serial);
   ASSERT_FALSE(golden.batches.empty());
   for (const int threads : kThreadCounts) {
     for (const int groups : {1, 4}) {
       for (const std::size_t coalesce : {std::size_t{1}, std::size_t{4}}) {
-        EngineOptions opts;
-        opts.dispatch_threads = threads;
-        opts.mat_groups = groups;
-        opts.coalesce_batches = coalesce;
-        SCOPED_TRACE("dispatchers=" + std::to_string(threads) +
-                     " groups=" + std::to_string(groups) +
-                     " coalesce=" + std::to_string(coalesce));
-        expect_identical(run_workload(opts), golden, threads);
+        for (const int qblock : {1, 5, 8}) {
+          EngineOptions opts;
+          opts.dispatch_threads = threads;
+          opts.mat_groups = groups;
+          opts.coalesce_batches = coalesce;
+          opts.query_block = qblock;
+          SCOPED_TRACE("dispatchers=" + std::to_string(threads) +
+                       " groups=" + std::to_string(groups) +
+                       " coalesce=" + std::to_string(coalesce) +
+                       " query_block=" + std::to_string(qblock));
+          expect_identical(run_workload(opts), golden, threads);
+        }
       }
     }
   }
+}
+
+TEST(EngineDeterminism, EngineOptionsValidation) {
+  TcamTable table(test_config());
+  auto expect_throws = [&](EngineOptions opts, const char* field) {
+    try {
+      SearchEngine engine(table, opts);
+      FAIL() << field << " accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << "message: " << e.what();
+    }
+  };
+  EngineOptions opts;
+  opts.queue_capacity = 0;
+  expect_throws(opts, "queue_capacity");
+  opts = {};
+  opts.mat_groups = 0;
+  expect_throws(opts, "mat_groups");
+  opts = {};
+  opts.mat_groups = -3;
+  expect_throws(opts, "mat_groups");
+  opts = {};
+  opts.dispatch_threads = -1;
+  expect_throws(opts, "dispatch_threads");
+  opts = {};
+  opts.coalesce_batches = 0;
+  expect_throws(opts, "coalesce_batches");
+  opts = {};
+  opts.query_block = 0;
+  expect_throws(opts, "query_block");
+  opts = {};
+  opts.query_block = kMaxQueryBlock + 1;
+  expect_throws(opts, "query_block");
+  // The documented escape hatches stay valid: 0 dispatch threads (pool
+  // auto-resolve) and a mat_groups above mats (clamped down).
+  opts = {};
+  opts.dispatch_threads = 0;
+  opts.mat_groups = 64;
+  SearchEngine ok(table, opts);
+  EXPECT_EQ(ok.mat_groups(), test_config().mats);
+  EXPECT_EQ(ok.query_block(), 8);
 }
 
 TEST(EngineDeterminism, DispatchThreadsZeroFollowsParallelPool) {
@@ -327,7 +374,11 @@ TEST(EngineDeterminism, StressConcurrentCompilerUpdatesOldNewOrShadow) {
   std::vector<std::vector<Observed>> seen(2);
   auto searcher = [&](int who) {
     std::size_t at = static_cast<std::size_t>(who);
-    while (!stop.load(std::memory_order_relaxed)) {
+    // Floor of rounds: under scheduler starvation the apply can finish
+    // before a searcher runs once; the settled-state rounds still satisfy
+    // the acceptance (they see the new winner).
+    int rounds = 0;
+    while (rounds++ < 4 || !stop.load(std::memory_order_relaxed)) {
       std::vector<Request> batch;
       std::vector<std::size_t> keys;
       for (int k = 0; k < 8; ++k) {

@@ -291,5 +291,144 @@ TEST(KernelDifferential, DefaultPathFollowsOverride) {
   }
 }
 
+/// Blocked-vs-single differential: for every block size B, every lane of
+/// the blocked kernels must reproduce the single-query kernel's mask AND
+/// stats bit for bit — on every tier.  Lane q's result may never depend
+/// on its neighbors, which is the property the engine's determinism
+/// contract (results invariant under query_block) stands on.
+void run_block_differential(int rows, int cols, int tables) {
+  const bool simd = kernel_tier_available(KernelTier::kAvx2);
+  for (int t = 0; t < tables; ++t) {
+    const std::uint64_t table_key = util::trial_key(
+        kSeed, 77000 + static_cast<std::uint64_t>(rows) * 131u +
+                   static_cast<std::uint64_t>(cols) * 7u +
+                   static_cast<std::uint64_t>(t));
+    std::mt19937 rng = util::trial_rng(kSeed, table_key);
+    arch::TcamArray array(rows, cols);
+    PackedShard shard(rows, cols);
+    build_pair(rng, rows, cols, array, shard);
+    const std::size_t words = shard.mask_words();
+
+    for (const int nq : {1, 2, 3, 4, 5, 7, 8}) {
+      // Lanes reuse the single-query styles, including exact-row images.
+      std::vector<PackedQuery> packed(static_cast<std::size_t>(nq));
+      std::vector<arch::SearchStats> single_stats(
+          static_cast<std::size_t>(nq));
+      std::vector<std::vector<std::uint64_t>> single_masks(
+          static_cast<std::size_t>(nq));
+      std::vector<std::vector<std::uint64_t>> block_masks(
+          static_cast<std::size_t>(nq));
+      const PackedQuery* qp[kMaxQueryBlock];
+      std::uint64_t* mp[kMaxQueryBlock];
+      arch::SearchStats block_stats[kMaxQueryBlock];
+      for (int q = 0; q < nq; ++q) {
+        const arch::BitWord query = make_query(rng, q, cols, array);
+        packed[static_cast<std::size_t>(q)].repack(query);
+        block_masks[static_cast<std::size_t>(q)].assign(words, ~0ULL);
+        qp[q] = &packed[static_cast<std::size_t>(q)];
+        mp[q] = block_masks[static_cast<std::size_t>(q)].data();
+      }
+      const std::uint64_t key = table_key * 100 + static_cast<std::uint64_t>(nq);
+
+      for (const KernelTier tier : {KernelTier::kScalar, KernelTier::kAvx2}) {
+        if (tier == KernelTier::kAvx2 && !simd) continue;
+        for (int q = 0; q < nq; ++q) {
+          single_stats[static_cast<std::size_t>(q)] = shard.full_match(
+              packed[static_cast<std::size_t>(q)],
+              single_masks[static_cast<std::size_t>(q)], tier);
+        }
+        shard.full_match_block(qp, nq, mp, block_stats, tier);
+        for (int q = 0; q < nq; ++q) {
+          ASSERT_EQ(single_masks[static_cast<std::size_t>(q)],
+                    block_masks[static_cast<std::size_t>(q)])
+              << "full block lane " << q << "/" << nq << " key=" << key;
+          expect_stats_eq(single_stats[static_cast<std::size_t>(q)],
+                          block_stats[q], "full block stats", key);
+        }
+        if (cols % 2 != 0) continue;
+        for (int q = 0; q < nq; ++q) {
+          single_stats[static_cast<std::size_t>(q)] = shard.two_step_match(
+              packed[static_cast<std::size_t>(q)],
+              single_masks[static_cast<std::size_t>(q)], tier);
+        }
+        shard.two_step_match_block(qp, nq, mp, block_stats, tier);
+        for (int q = 0; q < nq; ++q) {
+          ASSERT_EQ(single_masks[static_cast<std::size_t>(q)],
+                    block_masks[static_cast<std::size_t>(q)])
+              << "two-step block lane " << q << "/" << nq << " key=" << key;
+          expect_stats_eq(single_stats[static_cast<std::size_t>(q)],
+                          block_stats[q], "two-step block stats", key);
+        }
+      }
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+TEST(KernelDifferential, BlockedLanesMatchSingleAtWordBoundaries) {
+  // 63 / 64 / 65 columns: the packing edges, under every block size.
+  for (const int cols : {63, 64, 65, 130}) {
+    run_block_differential(/*rows=*/96, cols, /*tables=*/3);
+    if (HasFailure()) return;
+  }
+}
+
+TEST(KernelDifferential, BlockedLanesMatchSingleAtRowBoundaries) {
+  for (const int rows : {1, 3, 64, 65, 200}) {
+    run_block_differential(rows, /*cols=*/64, /*tables=*/3);
+    if (HasFailure()) return;
+  }
+}
+
+TEST(KernelDifferential, BlockedAllWildcardRows) {
+  // Every valid row all-X: every lane must match every valid row, and the
+  // blocked accounting must still agree with the single-query kernels.
+  for (const int rows : {5, 64, 70}) {
+    arch::TcamArray array(rows, 64);
+    PackedShard shard(rows, 64);
+    const arch::TernaryWord all_x(64, arch::Ternary::kX);
+    for (int r = 0; r < rows; r += 2) {  // half valid, half never written
+      array.write(r, all_x);
+      shard.write(r, all_x);
+    }
+    std::mt19937 rng = util::trial_rng(kSeed, 31000 + rows);
+    run_block_differential(rows, 64, /*tables=*/1);
+    std::vector<PackedQuery> packed(4);
+    const PackedQuery* qp[4];
+    std::vector<std::vector<std::uint64_t>> masks(4);
+    std::uint64_t* mp[4];
+    arch::SearchStats stats[4];
+    for (int q = 0; q < 4; ++q) {
+      packed[static_cast<std::size_t>(q)].repack(
+          make_query(rng, q, 64, array));
+      masks[static_cast<std::size_t>(q)].assign(shard.mask_words(), 0);
+      qp[q] = &packed[static_cast<std::size_t>(q)];
+      mp[q] = masks[static_cast<std::size_t>(q)].data();
+    }
+    shard.two_step_match_block(qp, 4, mp, stats);
+    for (int q = 0; q < 4; ++q) {
+      EXPECT_EQ(stats[q].matches, (rows + 1) / 2) << "rows=" << rows;
+      const std::vector<bool> ref =
+          array.search(arch::BitWord(64, 0));  // all-X: query irrelevant
+      expect_mask_eq(ref, masks[static_cast<std::size_t>(q)], rows,
+                     "all-X block", static_cast<std::uint64_t>(rows));
+    }
+    if (HasFailure()) return;
+  }
+}
+
+TEST(KernelDifferential, BlockSizeOutOfRangeThrows) {
+  PackedShard shard(8, 16);
+  PackedQuery q = PackedQuery::pack(arch::BitWord(16, 0));
+  std::vector<std::uint64_t> mask(shard.mask_words(), 0);
+  const PackedQuery* qp[1] = {&q};
+  std::uint64_t* mp[1] = {mask.data()};
+  arch::SearchStats stats[1];
+  EXPECT_THROW(shard.full_match_block(qp, 0, mp, stats),
+               std::invalid_argument);
+  EXPECT_THROW(shard.full_match_block(qp, kMaxQueryBlock + 1, mp, stats),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fetcam::engine

@@ -21,7 +21,15 @@ and fails when:
     over-the-wire run) fell below N queries/second;
   * the engine section is missing or degenerate (zero throughput, rates
     outside [0, 1], zero search energy) -- which would mean the harness
-    silently stopped exercising the engine.
+    silently stopped exercising the engine;
+  * the engine section lacks the query-blocking / mat-skip pruning
+    fields (query_block, baseline_qps, block_speedup, mats_considered,
+    mats_skipped, mat_skip_rate) or reports them inconsistently;
+  * --min-block-speedup X was passed and the blocked+pruned trace arm is
+    not at least X times the single-query baseline arm measured in the
+    same run;
+  * --min-engine-qps N was passed and the blocked trace arm fell below
+    N queries/second (the ROADMAP's 2x-over-PR-7 floor in CI).
 
 Absolute qps is only gated when the caller opts in with --min-qps: CI
 machines vary too much for a hardcoded number, but a caller that knows
@@ -33,6 +41,8 @@ schema-checked too (fetcam.stats.v1: engine totals + queue gauges, stage
 percentiles, slow-query log, server counters).
 
 Usage: check_engine_throughput.py [--require-simd] [--min-qps N]
+                                  [--min-block-speedup X]
+                                  [--min-engine-qps N]
                                   [--stats STATS.json] BENCH_engine.json
 """
 
@@ -166,7 +176,8 @@ def check_scale(report: dict, min_qps: float) -> bool:
     return ok
 
 
-def check_engine(report: dict) -> bool:
+def check_engine(report: dict, min_block_speedup: float,
+                 min_engine_qps: float) -> bool:
     ok = True
     engine = report.get("engine")
     if not engine:
@@ -194,6 +205,46 @@ def check_engine(report: dict) -> bool:
     if engine.get("p99_batch_us", 0.0) < engine.get("p50_batch_us", 0.0):
         print("FAIL: p99 batch latency below p50 (percentile bug)")
         ok = False
+
+    # Query-blocking / pruning schema: the A/B arms and skip counters must
+    # be present and self-consistent, or the pruning win is unobservable.
+    for key in ("query_block", "baseline_qps", "block_speedup",
+                "mats_considered", "mats_skipped", "mat_skip_rate"):
+        if key not in engine:
+            print(f"FAIL: engine section missing pruning field {key!r}")
+            ok = False
+    block_speedup = engine.get("block_speedup", 0.0)
+    skip_rate = engine.get("mat_skip_rate", -1.0)
+    print(
+        f"engine pruning: query_block={engine.get('query_block', 0)}, "
+        f"baseline {engine.get('baseline_qps', 0.0):.0f} qps -> blocked "
+        f"{qps:.0f} qps ({block_speedup:.2f}x), "
+        f"mat_skip_rate={skip_rate:.3f} "
+        f"({engine.get('mats_skipped', 0)}/{engine.get('mats_considered', 0)})"
+    )
+    if engine.get("query_block", 0) < 1:
+        print("FAIL: engine query_block < 1")
+        ok = False
+    if not 0.0 <= skip_rate <= 1.0:
+        print(f"FAIL: mat_skip_rate={skip_rate} outside [0, 1]")
+        ok = False
+    if engine.get("mats_skipped", 0) > engine.get("mats_considered", 0):
+        print("FAIL: mats_skipped exceeds mats_considered")
+        ok = False
+    if engine.get("baseline_qps", 0.0) <= 0.0:
+        print("FAIL: baseline arm measured zero throughput")
+        ok = False
+    if min_block_speedup > 0.0 and block_speedup < min_block_speedup:
+        print(
+            f"FAIL: blocked/pruned arm speedup {block_speedup:.2f}x "
+            f"< floor {min_block_speedup:.2f}x over the single-query arm"
+        )
+        ok = False
+    if min_engine_qps > 0.0 and qps < min_engine_qps:
+        print(
+            f"FAIL: engine trace qps {qps:.0f} < floor {min_engine_qps:.0f}"
+        )
+        ok = False
     return ok
 
 
@@ -214,7 +265,9 @@ def check_stats_snapshot(path: str) -> bool:
         print("FAIL: stats snapshot has no engine section")
         return False
     for key in ("batches", "requests", "searches", "queue_depth",
-                "queue_capacity", "queue_high_watermark", "in_flight"):
+                "queue_capacity", "queue_high_watermark", "in_flight",
+                "query_block", "mats_considered", "mats_skipped",
+                "mat_skip_rate"):
         if key not in engine:
             print(f"FAIL: stats snapshot engine section missing {key!r}")
             ok = False
@@ -269,6 +322,19 @@ def main() -> int:
         help="absolute qps floor for multicore and wire runs (0 = off)",
     )
     parser.add_argument(
+        "--min-block-speedup",
+        type=float,
+        default=0.0,
+        help="floor on the blocked+pruned trace arm's qps over the "
+        "single-query baseline arm measured in the same run (0 = off)",
+    )
+    parser.add_argument(
+        "--min-engine-qps",
+        type=float,
+        default=0.0,
+        help="absolute qps floor for the blocked engine trace arm (0 = off)",
+    )
+    parser.add_argument(
         "--stats",
         default="",
         help="path to the live kStats scrape (fetcam.stats.v1 JSON) to "
@@ -282,7 +348,8 @@ def main() -> int:
     ok = check_kernel(report)
     ok = check_simd(report, args.require_simd) and ok
     ok = check_scale(report, args.min_qps) and ok
-    ok = check_engine(report) and ok
+    ok = check_engine(report, args.min_block_speedup,
+                      args.min_engine_qps) and ok
     if args.stats:
         ok = check_stats_snapshot(args.stats) and ok
 
