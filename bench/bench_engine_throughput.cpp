@@ -403,6 +403,96 @@ std::vector<MulticoreConfig> measure_multicore(double* best_qps) {
   return configs;
 }
 
+struct ApproxReport {
+  int digit_bits = 0;
+  int k = 0;
+  int threshold = 0;
+  std::uint64_t rules = 0;
+  std::uint64_t searches = 0;
+  double hit_rate = 0.0;
+  double recall_at_k = 0.0;
+  std::uint64_t recall_queries = 0;
+  double qps = 0.0;
+  double energy_per_search_j = 0.0;        ///< threshold kNN (single step)
+  double exact_energy_per_search_j = 0.0;  ///< exact two-step, same table
+  double energy_ratio = 0.0;  ///< approx / exact: the early-term saving lost
+  std::vector<std::uint64_t> distance_histogram;
+};
+
+/// Approximate-match arm: an embedding trace with planted near-duplicates
+/// through the kSearchNearest path, recall-checked against the brute-force
+/// reference, plus an exact-search A/B on the SAME table for the energy
+/// story (threshold search cannot use two-step early termination, so it
+/// pays the full-word evaluation energy on every row).
+ApproxReport measure_approx() {
+  ApproxReport rep;
+  rep.digit_bits = 2;
+  rep.k = 4;
+  rep.threshold = 2;
+
+  engine::TraceSpec spec;
+  spec.kind = engine::TraceKind::kEmbedding;
+  spec.cols = 64;
+  spec.rules = 2048;
+  spec.queries = 20000;
+  spec.match_rate = 0.5;
+  spec.digit_bits = rep.digit_bits;
+  spec.seed = 17;
+  const auto trace = engine::generate_trace(spec);
+  rep.rules = trace.rules.size();
+
+  engine::TableConfig cfg;
+  cfg.mats = 8;
+  cfg.rows_per_mat = 256;
+  cfg.cols = 64;
+  cfg.subarrays_per_mat = 4;
+  cfg.digit_bits = rep.digit_bits;
+  engine::TcamTable table(cfg);
+  const auto ids = engine::load_rules(table, trace);
+
+  engine::EngineOptions eopts;
+  eopts.k = rep.k;
+  eopts.distance_threshold = rep.threshold;
+  engine::SearchEngine eng(table, eopts);
+
+  // Exact A/B first: the same queries as plain searches (two-step early
+  // termination active).  Planted duplicates with >= 1 flipped digit miss
+  // here — that gap is what the approximate path exists to close.
+  engine::RunOptions exact_opts;
+  exact_opts.batch_size = 512;
+  exact_opts.update_rate = 0.0;
+  exact_opts.seed = 17;
+  const engine::RunSummary exact =
+      engine::run_trace(eng, table, trace, ids, exact_opts);
+  rep.exact_energy_per_search_j = exact.energy_per_search_j;
+
+  engine::NearestRunOptions nopts;
+  nopts.batch_size = 512;
+  nopts.k = rep.k;
+  nopts.threshold = rep.threshold;
+  const engine::NearestRunSummary s =
+      engine::run_nearest_trace(eng, table, trace, ids, nopts);
+  rep.searches = s.searches;
+  rep.hit_rate = s.hit_rate;
+  rep.recall_at_k = s.recall_at_k;
+  rep.recall_queries = s.recall_queries;
+  rep.qps = s.qps;
+  rep.energy_per_search_j = s.energy_per_search_j;
+  rep.energy_ratio = rep.exact_energy_per_search_j > 0.0
+                         ? rep.energy_per_search_j /
+                               rep.exact_energy_per_search_j
+                         : 0.0;
+  rep.distance_histogram = s.distance_histogram;
+  std::cerr << "approx (d=" << rep.digit_bits << ", k=" << rep.k
+            << ", t=" << rep.threshold << "): " << s.searches
+            << " searches -> " << s.qps << " qps, recall@" << rep.k << "="
+            << s.recall_at_k << " (" << s.recall_queries
+            << " scored), hit_rate=" << s.hit_rate
+            << ", exact hit_rate=" << exact.hit_rate
+            << ", energy_ratio=" << rep.energy_ratio << "\n";
+  return rep;
+}
+
 struct WireReport {
   int clients = 0;
   int frames_per_client = 0;
@@ -609,6 +699,7 @@ int emit_engine_json(const std::string& path, const std::string& stats_path) {
   double best_qps = 0.0;
   const std::vector<MulticoreConfig> configs = measure_multicore(&best_qps);
   const WireReport wire = measure_wire();
+  const ApproxReport approx = measure_approx();
 
   std::ostringstream os;
   os << "{\n  \"kernel\": {\n"
@@ -652,6 +743,25 @@ int emit_engine_json(const std::string& path, const std::string& stats_path) {
      << "    \"rtt_p50_us\": " << wire.rtt_p50_us << ",\n"
      << "    \"rtt_p99_us\": " << wire.rtt_p99_us << "\n"
      << "  },\n";
+  os << "  \"approx\": {\n"
+     << "    \"digit_bits\": " << approx.digit_bits << ",\n"
+     << "    \"k\": " << approx.k << ",\n"
+     << "    \"threshold\": " << approx.threshold << ",\n"
+     << "    \"rules\": " << approx.rules << ",\n"
+     << "    \"searches\": " << approx.searches << ",\n"
+     << "    \"hit_rate\": " << approx.hit_rate << ",\n"
+     << "    \"recall_at_k\": " << approx.recall_at_k << ",\n"
+     << "    \"recall_queries\": " << approx.recall_queries << ",\n"
+     << "    \"qps\": " << approx.qps << ",\n"
+     << "    \"energy_per_search_j\": " << approx.energy_per_search_j << ",\n"
+     << "    \"exact_energy_per_search_j\": "
+     << approx.exact_energy_per_search_j << ",\n"
+     << "    \"energy_ratio\": " << approx.energy_ratio << ",\n"
+     << "    \"distance_histogram\": [";
+  for (std::size_t i = 0; i < approx.distance_histogram.size(); ++i) {
+    os << (i ? ", " : "") << approx.distance_histogram[i];
+  }
+  os << "]\n  },\n";
   os << "  \"engine\": {\n"
      << "    \"trace_kind\": \"" << engine::trace_kind_name(spec.kind)
      << "\",\n"

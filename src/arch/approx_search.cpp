@@ -1,0 +1,59 @@
+#include "arch/approx_search.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::arch {
+
+int digit_distance(const TernaryWord& stored, const BitWord& query,
+                   int digit_bits) {
+  if (stored.size() != query.size()) {
+    throw std::invalid_argument("stored/query width mismatch");
+  }
+  int distance = 0;
+  for (std::size_t c = 0; c < stored.size();
+       c += static_cast<std::size_t>(digit_bits)) {
+    for (int b = 0; b < digit_bits; ++b) {
+      const std::size_t col = c + static_cast<std::size_t>(b);
+      if (!ternary_matches(stored[col], query[col] != 0)) {
+        ++distance;
+        break;  // one mismatching column settles the whole digit
+      }
+    }
+  }
+  return distance;
+}
+
+ApproxSearchResult approx_search(const TcamArray& array, const BitWord& query,
+                                 int digit_bits, int threshold) {
+  if (digit_bits < 1 || digit_bits > 3) {
+    throw std::invalid_argument("digit_bits must be in [1, 3]");
+  }
+  if (array.cols() % digit_bits != 0) {
+    throw std::invalid_argument("cols must be a multiple of digit_bits");
+  }
+  if (threshold < 0) {
+    throw std::invalid_argument("distance_threshold must be >= 0");
+  }
+  if (static_cast<int>(query.size()) != array.cols()) {
+    throw std::invalid_argument("query width mismatch");
+  }
+  ApproxSearchResult out;
+  out.distances.assign(static_cast<std::size_t>(array.rows()), -1);
+  out.within.assign(static_cast<std::size_t>(array.rows()), false);
+  out.stats.rows = array.rows();
+  // Single-step accounting, matching the packed kernels' full-match
+  // convention: every row fires once, step1_misses stays 0.
+  out.stats.step2_evaluated = array.rows();
+  for (int r = 0; r < array.rows(); ++r) {
+    if (!array.valid(r)) continue;
+    const int d = digit_distance(array.entry(r), query, digit_bits);
+    out.distances[static_cast<std::size_t>(r)] = d;
+    if (d <= threshold) {
+      out.within[static_cast<std::size_t>(r)] = true;
+      out.stats.matches += 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace fetcam::arch

@@ -1,0 +1,44 @@
+// Approximate (threshold / best-match) search reference over the
+// behavioral array — the TAP-CAM generalization of exact ternary match.
+//
+// Columns are grouped into d-bit digits (d = digit_bits consecutive
+// columns form one stored digit, FeCAM-style multi-level cells).  A digit
+// mismatches when ANY cared column inside its group mismatches; a row's
+// distance is the number of mismatching digits, and the row is a
+// candidate when distance <= threshold.  X columns never mismatch, so an
+// all-X digit contributes zero distance — exactly like exact match.
+//
+// At d = 1 and threshold = 0 this degenerates to the exact search
+// (candidates == TcamArray::search), which is the differential anchor the
+// packed engine kernels are validated against.
+#pragma once
+
+#include "arch/behavioral_array.hpp"
+#include "arch/search_scheduler.hpp"
+
+namespace fetcam::arch {
+
+struct ApproxSearchResult {
+  /// Per-row digit distance.  Invalid rows report -1.  Rows whose
+  /// distance exceeded the threshold report the true distance as well
+  /// (the reference never early-exits; only the packed kernels do, and
+  /// they may then report any value above the threshold).
+  std::vector<int> distances;
+  /// Per-row candidate flags: valid and distance <= threshold.
+  std::vector<bool> within;
+  /// Single-step accounting: every valid row is evaluated once (no
+  /// two-step early termination in threshold mode), matches = candidates.
+  SearchStats stats;
+};
+
+/// Count per-row digit mismatches against `query` and threshold them.
+/// Requires cols % digit_bits == 0, digit_bits in [1, 3], threshold >= 0.
+ApproxSearchResult approx_search(const TcamArray& array, const BitWord& query,
+                                 int digit_bits, int threshold);
+
+/// Digit distance between one stored word and a query (helper shared with
+/// the workload soft reference).  Sizes must agree.
+int digit_distance(const TernaryWord& stored, const BitWord& query,
+                   int digit_bits);
+
+}  // namespace fetcam::arch

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace fetcam::dev {
 
@@ -70,6 +71,63 @@ double settle_polarization(const FerroParams& p, double p_start, double v) {
   const double lo = branch_ascending(p, v);
   const double hi = branch_descending(p, v);
   return std::clamp(p_start, lo, hi);
+}
+
+MultiLevelProgram multi_level_program(const FerroParams& p, int bits) {
+  if (bits < 1 || bits > 3) {
+    throw std::invalid_argument("digit_bits must be in [1, 3]");
+  }
+  MultiLevelProgram prog;
+  prog.bits = bits;
+  const int levels = 1 << bits;
+  // The saturation the nominal write reaches; all targets live inside
+  // [-p_sat, +p_sat] so every level is writable from a full erase.
+  const double p_sat = branch_ascending(p, p.vw());
+  prog.polarization.reserve(static_cast<std::size_t>(levels));
+  prog.write_voltage.reserve(static_cast<std::size_t>(levels));
+  for (int level = 0; level < levels; ++level) {
+    const double target =
+        p_sat * (2.0 * static_cast<double>(level) /
+                     static_cast<double>(levels - 1) -
+                 1.0);
+    // Ascending-branch inverse: the amplitude whose settled-from-below
+    // polarization is exactly `target`.  level = levels-1 recovers vw().
+    const double v = p.vc + p.vslope * std::atanh(target / p.ps);
+    prog.polarization.push_back(settle_polarization(p, -p_sat, v));
+    prog.write_voltage.push_back(v);
+  }
+  return prog;
+}
+
+int quantize_level(const MultiLevelProgram& prog, double polarization) {
+  int best = 0;
+  double best_err = std::abs(polarization - prog.polarization[0]);
+  for (int level = 1; level < static_cast<int>(prog.polarization.size());
+       ++level) {
+    const double err =
+        std::abs(polarization -
+                 prog.polarization[static_cast<std::size_t>(level)]);
+    if (err < best_err) {
+      best_err = err;
+      best = level;
+    }
+  }
+  return best;
+}
+
+double multi_level_margin(const MultiLevelProgram& prog) {
+  double margin = 0.0;
+  for (std::size_t level = 1; level < prog.polarization.size(); ++level) {
+    const double gap = prog.polarization[level] - prog.polarization[level - 1];
+    if (level == 1 || gap < margin) margin = gap;
+  }
+  return margin;
+}
+
+double level_vth_shift(const FerroParams& p, double polarization) {
+  constexpr double kEps0 = 8.854e-12;   // F/m
+  constexpr double kEpsFeRel = 30.0;    // HZO-like relative permittivity
+  return polarization * p.t_fe / (kEps0 * kEpsFeRel);
 }
 
 }  // namespace fetcam::dev

@@ -22,6 +22,8 @@
 //   * minor loops and rate dependence.
 #pragma once
 
+#include <vector>
+
 namespace fetcam::dev {
 
 struct FerroParams {
@@ -60,5 +62,41 @@ PolarizationStep advance_polarization(const FerroParams& p, double p_prev,
 /// Quasi-static loop tracing helper for characterization and tests: applies
 /// the voltage sequence with a hold long enough to fully settle each point.
 double settle_polarization(const FerroParams& p, double p_start, double v);
+
+// ---------------------------------------------------------------------------
+// Multi-level (FeCAM-style) programming.
+//
+// The deterministic partial-polarization mechanism the 1.5T1Fe X-state
+// write already exploits (erase to -Psat, then settle onto the ascending
+// branch at a sub-Vw voltage) generalizes to d-bit digits: 2^d evenly
+// spaced polarization targets, each reached by one erase + one partial
+// write whose amplitude is the ascending-branch inverse of the target.
+// d = 1 degenerates to the existing binary write (write_voltage.back()
+// == vw()), which is what ties the multi-bit CAM back to the paper's cell.
+
+/// One d-bit programming table: level L (0-based, ascending polarization)
+/// is written with write_voltage[L] after a full negative erase and
+/// settles at polarization[L].
+struct MultiLevelProgram {
+  int bits = 1;                        ///< digit width d, in {1, 2, 3}
+  std::vector<double> polarization;    ///< 2^d settled targets, ascending
+  std::vector<double> write_voltage;   ///< partial-write amplitude per level
+};
+
+/// Build the programming table for d-bit cells.  Throws
+/// std::invalid_argument("digit_bits ...") unless bits is in [1, 3].
+MultiLevelProgram multi_level_program(const FerroParams& p, int bits);
+
+/// Nearest programmed level for a read-back polarization (the sense
+/// amp's quantizer).  Ties round down, matching a monotone V_TH ladder.
+int quantize_level(const MultiLevelProgram& prog, double polarization);
+
+/// Smallest polarization separation between adjacent levels — the margin
+/// the sense path has to resolve.
+double multi_level_margin(const MultiLevelProgram& prog);
+
+/// V_TH shift produced by a stored polarization: dVth = P * t_fe / eps_fe
+/// (charge sheet across the ferroelectric, HZO-like permittivity).
+double level_vth_shift(const FerroParams& p, double polarization);
 
 }  // namespace fetcam::dev

@@ -87,6 +87,36 @@ void SearchClient::send_batch(const std::vector<arch::BitWord>& queries,
   send_all(out.data(), out.size());
 }
 
+void SearchClient::send_nearest_batch(
+    const std::vector<arch::BitWord>& queries, int cols, int k,
+    int threshold) {
+  if (fd_ < 0) throw std::runtime_error("client is not connected");
+  if (k < 1) throw std::invalid_argument("k must be >= 1");
+  if (threshold < 0) {
+    throw std::invalid_argument("distance_threshold must be >= 0");
+  }
+  wire::NearestBatchFrame frame;
+  frame.words_per_query = static_cast<std::uint32_t>((cols + 63) / 64);
+  frame.k = static_cast<std::uint32_t>(k);
+  frame.threshold = static_cast<std::uint32_t>(threshold);
+  frame.bits.assign(queries.size() * frame.words_per_query, 0);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const arch::BitWord& query = queries[q];
+    if (static_cast<int>(query.size()) != cols) {
+      throw std::invalid_argument("query width mismatch");
+    }
+    std::uint64_t* words = frame.bits.data() + q * frame.words_per_query;
+    for (int c = 0; c < cols; ++c) {
+      if (query[static_cast<std::size_t>(c)] != 0) {
+        words[c >> 6] |= 1ULL << (c & 63);
+      }
+    }
+  }
+  std::vector<std::uint8_t> out;
+  wire::encode_nearest_batch(out, frame);
+  send_all(out.data(), out.size());
+}
+
 void SearchClient::send_raw(const void* data, std::size_t len) {
   if (fd_ < 0) throw std::runtime_error("client is not connected");
   send_all(static_cast<const std::uint8_t*>(data), len);
@@ -125,6 +155,14 @@ SearchClient::Reply SearchClient::recv_reply() {
     }
     reply.ok = true;
     reply.records = std::move(*records);
+  } else if (header.type == wire::FrameType::kNearestResult) {
+    auto lists = wire::decode_nearest_result(payload, header.payload_len);
+    if (!lists) {
+      throw std::runtime_error("malformed nearest frame from server");
+    }
+    reply.ok = true;
+    reply.is_nearest = true;
+    reply.neighbors = std::move(*lists);
   } else if (header.type == wire::FrameType::kStatsResult) {
     reply.ok = true;
     reply.is_stats = true;
@@ -176,6 +214,23 @@ std::vector<wire::ResultRecord> SearchClient::search(
                              ": " + reply.error.message);
   }
   return std::move(reply.records);
+}
+
+std::vector<std::vector<wire::NearestRecord>> SearchClient::search_nearest(
+    const std::vector<arch::BitWord>& queries, int cols, int k,
+    int threshold) {
+  send_nearest_batch(queries, cols, k, threshold);
+  Reply reply = recv_reply();
+  if (!reply.ok) {
+    throw std::runtime_error("server error " +
+                             std::to_string(static_cast<std::uint32_t>(
+                                 reply.error.code)) +
+                             ": " + reply.error.message);
+  }
+  if (!reply.is_nearest) {
+    throw std::runtime_error("expected a nearest reply");
+  }
+  return std::move(reply.neighbors);
 }
 
 }  // namespace fetcam::engine

@@ -35,9 +35,12 @@ class SearchClient {
   /// One reply frame: a result batch, a stats snapshot, or a server error
   /// frame.
   struct Reply {
-    bool ok = false;  ///< true = kSearchResult / kStatsResult
+    bool ok = false;  ///< true = kSearchResult / kStatsResult / kNearestResult
     bool is_stats = false;  ///< true = kStatsResult (stats_json is set)
+    bool is_nearest = false;  ///< true = kNearestResult (neighbors is set)
     std::vector<wire::ResultRecord> records;
+    /// kNearestResult: per query, ascending by (distance, priority, id).
+    std::vector<std::vector<wire::NearestRecord>> neighbors;
     std::string stats_json;
     wire::ErrorFrame error;
   };
@@ -45,6 +48,10 @@ class SearchClient {
   /// Pack + send one kSearchBatch frame.  Every query must be `cols` bits
   /// wide.  Throws on socket failure.
   void send_batch(const std::vector<arch::BitWord>& queries, int cols);
+  /// Pack + send one kNearest frame: top-`k` stored words within
+  /// `threshold` mismatching digits of each query.
+  void send_nearest_batch(const std::vector<arch::BitWord>& queries, int cols,
+                          int k, int threshold);
   /// Push arbitrary bytes (fault-injection only).
   void send_raw(const void* data, std::size_t len);
   /// Block for the next reply frame.  Throws std::runtime_error if the
@@ -54,6 +61,11 @@ class SearchClient {
   /// frame (message includes the server's).
   std::vector<wire::ResultRecord> search(
       const std::vector<arch::BitWord>& queries, int cols);
+  /// send_nearest_batch + recv_reply; throws std::runtime_error on a
+  /// server error frame.  One candidate list per query, request order.
+  std::vector<std::vector<wire::NearestRecord>> search_nearest(
+      const std::vector<arch::BitWord>& queries, int cols, int k,
+      int threshold);
   /// Send one kStats scrape frame (empty payload).
   void send_stats_request();
   /// send_stats_request + recv_reply: the live stats snapshot JSON

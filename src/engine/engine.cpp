@@ -19,6 +19,7 @@ struct EngineMetrics {
   obs::Counter& batches;
   obs::Counter& requests;
   obs::Counter& searches;
+  obs::Counter& nearest;
   obs::Counter& writes;
   obs::Counter& driver_stalls;
   obs::Counter& write_cycles;
@@ -36,6 +37,10 @@ struct EngineMetrics {
   obs::LatencyRecorder& merge;
   obs::LatencyRecorder& apply;
   obs::LatencyRecorder& batch_total;
+  /// Digit-distance histogram of nearest-search winners.  Distances are
+  /// recorded as raw bucket values (LatencyRecorder's log buckets double
+  /// as a cheap fixed-memory histogram), riding fetcam.stats.v1 stages.
+  obs::LatencyRecorder& near_distance;
 
   static EngineMetrics& get() {
     auto& reg = obs::MetricsRegistry::instance();
@@ -43,6 +48,7 @@ struct EngineMetrics {
         reg.counter("engine.batches"),
         reg.counter("engine.requests"),
         reg.counter("engine.searches"),
+        reg.counter("engine.nearest"),
         reg.counter("engine.writes"),
         reg.counter("engine.driver_stalls"),
         reg.counter("engine.write_cycles"),
@@ -59,6 +65,7 @@ struct EngineMetrics {
         reg.latency("engine.stage.merge"),
         reg.latency("engine.stage.apply"),
         reg.latency("engine.batch.total"),
+        reg.latency("engine.near_distance"),
     };
     return m;
   }
@@ -66,7 +73,10 @@ struct EngineMetrics {
 
 bool is_pure_search(const std::vector<Request>& batch) {
   for (const Request& r : batch) {
-    if (r.kind != RequestKind::kSearch) return false;
+    if (r.kind != RequestKind::kSearch &&
+        r.kind != RequestKind::kSearchNearest) {
+      return false;
+    }
   }
   return true;
 }
@@ -100,6 +110,15 @@ EngineOptions SearchEngine::validate_options(EngineOptions options) {
         "EngineOptions.query_block must be in [1, " +
         std::to_string(kMaxQueryBlock) + "], got " +
         std::to_string(options.query_block));
+  }
+  if (options.k < 1) {
+    throw std::invalid_argument("EngineOptions.k must be >= 1, got " +
+                                std::to_string(options.k));
+  }
+  if (options.distance_threshold < 0) {
+    throw std::invalid_argument(
+        "EngineOptions.distance_threshold must be >= 0, got " +
+        std::to_string(options.distance_threshold));
   }
   return options;
 }
@@ -299,14 +318,16 @@ void SearchEngine::coordinator_loop() {
         }
       }
       std::vector<std::vector<TableMatch>> matches;
-      match_window(window, begin, end, matches);
+      std::vector<std::vector<NearestMatch>> nears;
+      match_window(window, begin, end, matches, nears);
       // Count the window before resolving its promises, so a caller that
       // blocks on execute() observes the window as processed.
       windows_.fetch_add(1, std::memory_order_relaxed);
       if (obs::metrics_on()) EngineMetrics::get().windows.add();
       for (std::size_t w = begin; w < end; ++w) {
         obs::ScopedSpan span("engine.apply", "engine", window[w].trace_id);
-        BatchResult res = apply(window[w], matches[w - begin], t0);
+        BatchResult res =
+            apply(window[w], matches[w - begin], nears[w - begin], t0);
         // Count the completion BEFORE resolving the future so a caller that
         // has waited on every future observes in_flight() == 0
         // deterministically (the transient is a brief under-report, never
@@ -326,33 +347,62 @@ void SearchEngine::coordinator_loop() {
 
 void SearchEngine::match_window(
     std::vector<Work>& works, std::size_t begin, std::size_t end,
-    std::vector<std::vector<TableMatch>>& matches) {
+    std::vector<std::vector<TableMatch>>& matches,
+    std::vector<std::vector<NearestMatch>>& nears) {
   matches.resize(end - begin);
+  nears.resize(end - begin);
   struct SearchRef {
     std::size_t w = 0;  ///< index into works
     std::size_t i = 0;  ///< request index within its batch
   };
+  struct NearestRef {
+    std::size_t w = 0;
+    std::size_t i = 0;
+    int k = 1;          ///< resolved (engine default applied)
+    int threshold = 0;  ///< resolved (engine default applied)
+  };
   std::vector<SearchRef> searches;
+  std::vector<NearestRef> nearest;
   for (std::size_t w = begin; w < end; ++w) {
     matches[w - begin].resize(works[w].batch.size());
+    nears[w - begin].resize(works[w].batch.size());
     for (std::size_t i = 0; i < works[w].batch.size(); ++i) {
-      if (works[w].batch[i].kind == RequestKind::kSearch) {
+      const Request& req = works[w].batch[i];
+      if (req.kind == RequestKind::kSearch) {
         searches.push_back({w, i});
+      } else if (req.kind == RequestKind::kSearchNearest) {
+        NearestRef ref;
+        ref.w = w;
+        ref.i = i;
+        // Request-level overrides; non-positive / negative values defer to
+        // the validated engine defaults, so the table layer only ever sees
+        // legal (k, threshold) pairs.
+        ref.k = req.k > 0 ? req.k : options_.k;
+        ref.threshold = req.distance_threshold >= 0
+                            ? req.distance_threshold
+                            : options_.distance_threshold;
+        nearest.push_back(ref);
       }
     }
   }
-  if (searches.empty()) return;
+  if (searches.empty() && nearest.empty()) return;
 
-  // Pack every search lane once per window.  Each of the G mat-group
-  // tasks touching a block previously re-packed the same queries, so
-  // this removes a G-fold redundant digit-to-bit conversion from the
-  // hot path (coordinator-only state; tasks read the packs immutably).
-  if (packed_queries_.size() < searches.size()) {
-    packed_queries_.resize(searches.size());
+  // Pack every search lane once per window (nearest lanes after exact
+  // ones).  Each of the G mat-group tasks touching a block previously
+  // re-packed the same queries, so this removes a G-fold redundant
+  // digit-to-bit conversion from the hot path (coordinator-only state;
+  // tasks read the packs immutably).
+  if (packed_queries_.size() < searches.size() + nearest.size()) {
+    packed_queries_.resize(searches.size() + nearest.size());
   }
   for (std::size_t s = 0; s < searches.size(); ++s) {
     const SearchRef& ref = searches[s];
     packed_queries_[s].repack(works[ref.w].batch[ref.i].query);
+  }
+  for (std::size_t s = 0; s < nearest.size(); ++s) {
+    const NearestRef& ref = nearest[s];
+    packed_queries_[searches.size() + s].repack(
+        works[ref.w].batch[ref.i].query);
   }
 
   // Phase A fan-out.  The window's searches are chunked into fixed
@@ -364,8 +414,30 @@ void SearchEngine::match_window(
   const std::size_t groups = static_cast<std::size_t>(mat_groups_);
   const std::size_t block = static_cast<std::size_t>(options_.query_block);
   const std::size_t blocks = (searches.size() + block - 1) / block;
+  const std::size_t exact_tasks = blocks * groups;
   std::vector<TableMatch> partials(searches.size() * groups);
+  std::vector<NearestMatch> near_partials(nearest.size() * groups);
   const std::function<void(std::size_t)> task = [&](std::size_t k) {
+    if (k >= exact_tasks) {
+      // Nearest fan-out: task (s, g) scans one mat group for one query.
+      // Same pre-indexed-slot discipline as the exact path; the kernels
+      // are per-query streams, so there is no block dimension here.
+      const std::size_t n = k - exact_tasks;
+      const std::size_t s = n / groups;
+      const std::size_t g = n % groups;
+      const NearestRef& ref = nearest[s];
+      const bool timed = obs::metrics_on();
+      const std::uint64_t t0_ns = timed ? obs::now_ns() : 0;
+      obs::ScopedSpan span("engine.near_task", "engine",
+                           works[ref.w].trace_id);
+      thread_local NearestScratch scratch;
+      table_.nearest_mats(packed_queries_[searches.size() + s], ref.k,
+                          ref.threshold, group_bounds_[g],
+                          group_bounds_[g + 1], scratch,
+                          near_partials[s * groups + g]);
+      if (timed) group_match_lat_[g]->record_ns(obs::now_ns() - t0_ns);
+      return;
+    }
     const std::size_t s0 = (k / groups) * block;
     const std::size_t s1 = std::min(s0 + block, searches.size());
     const std::size_t g = k % groups;
@@ -397,7 +469,7 @@ void SearchEngine::match_window(
   };
   const bool metrics = obs::metrics_on();
   const std::uint64_t a0_ns = metrics ? obs::now_ns() : 0;
-  run_round(blocks * groups, task);
+  run_round(exact_tasks + nearest.size() * groups, task);
   std::uint64_t a1_ns = 0;
   if (metrics) {
     a1_ns = obs::now_ns();
@@ -415,11 +487,21 @@ void SearchEngine::match_window(
       merge_match(out, partials[s * groups + g]);
     }
   }
+  // Same fixed-order fold for nearest partials: merge_nearest's sorted
+  // k-truncating merge over the strict (distance, priority, id) order is
+  // associative, so the global top-k equals the single-group scan's.
+  for (std::size_t s = 0; s < nearest.size(); ++s) {
+    NearestMatch& out = nears[nearest[s].w - begin][nearest[s].i];
+    out = std::move(near_partials[s * groups]);
+    for (std::size_t g = 1; g < groups; ++g) {
+      merge_nearest(out, near_partials[s * groups + g], nearest[s].k);
+    }
+  }
   if (metrics) EngineMetrics::get().merge.record_ns(obs::now_ns() - a1_ns);
 }
 
 BatchResult SearchEngine::apply(Work& work, std::vector<TableMatch>& matches,
-                                double t0) {
+                                std::vector<NearestMatch>& nears, double t0) {
   std::vector<Request>& batch = work.batch;
   const bool metrics = obs::metrics_on();
   const std::uint64_t apply0_ns = metrics ? obs::now_ns() : 0;
@@ -427,6 +509,7 @@ BatchResult SearchEngine::apply(Work& work, std::vector<TableMatch>& matches,
   res.seq = work.seq;
   res.results.resize(batch.size());
   std::size_t n_search = 0;
+  std::size_t n_nearest = 0;
 
   // Phase B — serial application in request order: accounting, writes,
   // erases.  This ordering (not the dispatcher schedule) defines the
@@ -448,6 +531,30 @@ BatchResult SearchEngine::apply(Work& work, std::vector<TableMatch>& matches,
         out.hit = m.hit;
         out.entry = m.entry;
         out.priority = m.priority;
+        res.stats.rows += m.stats.rows;
+        res.stats.step1_misses += m.stats.step1_misses;
+        res.stats.step2_evaluated += m.stats.step2_evaluated;
+        res.stats.matches += m.stats.matches;
+        break;
+      }
+      case RequestKind::kSearchNearest: {
+        NearestMatch& m = nears[i];
+        // A nearest search is one full broadcast through the same shared
+        // drivers as an exact search: count it into the admission model.
+        ++n_search;
+        ++n_nearest;
+        table_.account_nearest(m);
+        if (!m.top.empty()) {
+          out.hit = true;
+          out.entry = m.top.front().entry;
+          out.priority = m.top.front().priority;
+          out.distance = m.top.front().distance;
+          if (metrics) {
+            EngineMetrics::get().near_distance.record_ns(
+                static_cast<std::uint64_t>(out.distance));
+          }
+        }
+        out.neighbors = std::move(m.top);
         res.stats.rows += m.stats.rows;
         res.stats.step1_misses += m.stats.step1_misses;
         res.stats.step2_evaluated += m.stats.step2_evaluated;
@@ -581,6 +688,7 @@ BatchResult SearchEngine::apply(Work& work, std::vector<TableMatch>& matches,
   batches_.fetch_add(1, std::memory_order_relaxed);
   requests_.fetch_add(batch.size(), std::memory_order_relaxed);
   searches_.fetch_add(n_search, std::memory_order_relaxed);
+  nearest_.fetch_add(n_nearest, std::memory_order_relaxed);
   writes_.fetch_add(pending_writes.size(), std::memory_order_relaxed);
   driver_stalls_.fetch_add(res.driver_stalls, std::memory_order_relaxed);
   driver_cycles_.fetch_add(
@@ -592,6 +700,7 @@ BatchResult SearchEngine::apply(Work& work, std::vector<TableMatch>& matches,
     em.batches.add();
     em.requests.add(batch.size());
     em.searches.add(n_search);
+    em.nearest.add(n_nearest);
     em.writes.add(pending_writes.size());
     em.driver_stalls.add(static_cast<std::uint64_t>(res.driver_stalls));
     em.write_cycles.add(static_cast<std::uint64_t>(res.write_cycles));
@@ -633,7 +742,10 @@ std::uint64_t batch_fingerprint(const std::vector<Request>& batch) {
   mix(batch.size());
   for (const Request& r : batch) mix(static_cast<std::uint64_t>(r.kind));
   for (const Request& r : batch) {
-    if (r.kind != RequestKind::kSearch) continue;
+    if (r.kind != RequestKind::kSearch &&
+        r.kind != RequestKind::kSearchNearest) {
+      continue;
+    }
     for (const std::uint8_t bit : r.query) {
       h ^= bit;
       h *= 1099511628211ull;

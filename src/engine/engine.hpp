@@ -59,6 +59,7 @@ namespace fetcam::engine {
 
 enum class RequestKind : std::uint8_t {
   kSearch,
+  kSearchNearest,  ///< threshold kNN: top-k nearest stored words
   kUpdate,
   kErase,
   kInsert,       ///< allocate + write a new entry (result carries its id)
@@ -68,11 +69,15 @@ enum class RequestKind : std::uint8_t {
 
 struct Request {
   RequestKind kind = RequestKind::kSearch;
-  arch::BitWord query;        ///< kSearch
+  arch::BitWord query;        ///< kSearch / kSearchNearest
   EntryId target = kInvalidEntry;  ///< kUpdate / kErase / kSetPriority / kRelocate
   arch::TernaryWord entry;    ///< kUpdate / kInsert
   int priority = 0;           ///< kInsert / kSetPriority
   int mat = -1;               ///< kInsert placement hint / kRelocate target
+  /// kSearchNearest: neighbors requested (0 = EngineOptions.k).
+  int k = 0;
+  /// kSearchNearest: max digit distance (-1 = EngineOptions.distance_threshold).
+  int distance_threshold = -1;
   /// kUpdate only: delta rewrite (TcamTable::rewrite_digits — pulses only
   /// for changed digits) instead of a full row refresh.
   bool incremental = false;
@@ -82,6 +87,18 @@ inline Request make_search(arch::BitWord query) {
   Request r;
   r.kind = RequestKind::kSearch;
   r.query = std::move(query);
+  return r;
+}
+/// kNN search: top-`k` stored words within `threshold` mismatching digits
+/// of `query`.  k = 0 / threshold = -1 defer to the engine's configured
+/// defaults (EngineOptions.k / .distance_threshold).
+inline Request make_search_nearest(arch::BitWord query, int k = 0,
+                                   int threshold = -1) {
+  Request r;
+  r.kind = RequestKind::kSearchNearest;
+  r.query = std::move(query);
+  r.k = k;
+  r.distance_threshold = threshold;
   return r;
 }
 inline Request make_update(EntryId target, arch::TernaryWord entry) {
@@ -133,6 +150,11 @@ struct RequestResult {
   bool hit = false;
   EntryId entry = kInvalidEntry;
   int priority = 0;
+  /// kSearchNearest only: best (smallest) digit distance, -1 on a miss.
+  int distance = -1;
+  /// kSearchNearest only: the top-k candidates ascending by
+  /// (distance, priority, id); hit/entry/priority mirror neighbors[0].
+  std::vector<NearCandidate> neighbors;
 };
 
 struct BatchResult {
@@ -184,6 +206,12 @@ struct EngineOptions {
   /// Purely a bandwidth knob: per-query results are bit-identical for
   /// every block size.
   int query_block = 8;
+  /// Default top-k for kSearchNearest requests that leave Request::k at 0
+  /// (must be >= 1).
+  int k = 4;
+  /// Default max digit distance for kSearchNearest requests that leave
+  /// Request::distance_threshold at -1 (must be >= 0).
+  int distance_threshold = 0;
 };
 
 /// One slow-query log entry: a batch that ranked in the engine's top-K by
@@ -238,6 +266,8 @@ class SearchEngine {
   std::uint64_t batches() const { return batches_.load(); }
   std::uint64_t requests() const { return requests_.load(); }
   std::uint64_t searches() const { return searches_.load(); }
+  /// kSearchNearest requests applied (also counted in searches()).
+  std::uint64_t nearest_searches() const { return nearest_.load(); }
   std::uint64_t writes() const { return writes_.load(); }
   /// Coalesced fan-out windows processed (<= batches; timing-dependent).
   std::uint64_t windows() const { return windows_.load(); }
@@ -296,13 +326,17 @@ class SearchEngine {
   /// tasks completed.  Serial in-line when there are no helpers.
   void run_round(std::size_t count,
                  const std::function<void(std::size_t)>& fn);
-  /// Phase A for works[begin, end): fan out (search x group) partials and
-  /// merge them into per-request TableMatch slots.
+  /// Phase A for works[begin, end): fan out (search x group) partials —
+  /// exact matches into per-request TableMatch slots, nearest searches
+  /// into per-request NearestMatch slots (same pre-indexed-slot +
+  /// fixed-group-order-fold contract, so both are dispatcher-invariant).
   void match_window(std::vector<Work>& works, std::size_t begin,
                     std::size_t end,
-                    std::vector<std::vector<TableMatch>>& matches);
+                    std::vector<std::vector<TableMatch>>& matches,
+                    std::vector<std::vector<NearestMatch>>& nears);
   /// Phase B + admission model for one batch (serial, coordinator only).
-  BatchResult apply(Work& work, std::vector<TableMatch>& matches, double t0);
+  BatchResult apply(Work& work, std::vector<TableMatch>& matches,
+                    std::vector<NearestMatch>& nears, double t0);
   /// Slow-query log insert (coordinator only; metrics level).
   void note_slow_query(const Work& work, std::uint64_t total_ns,
                        std::size_t n_search);
@@ -348,6 +382,7 @@ class SearchEngine {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> searches_{0};
+  std::atomic<std::uint64_t> nearest_{0};
   std::atomic<std::uint64_t> writes_{0};
   std::atomic<std::uint64_t> windows_{0};
   std::atomic<long long> driver_stalls_{0};

@@ -211,11 +211,16 @@ class PackedShard {
     return static_cast<std::size_t>(rows_pad_) / 64;
   }
 
+  /// Borrowed read-only view of the planar arrays, consumed by the
+  /// per-tier kernels (including the approximate-match kernels in
+  /// approx_kernel.hpp, which live in their own translation unit).
+  /// Valid until the next mutating call.
+  detail::ShardView view() const;
+
  private:
   void check_row(int row) const;
   void check_query(const PackedQuery& query) const;
   void check_block(const PackedQuery* const* queries, int nq) const;
-  detail::ShardView view() const;
   std::size_t plane_index(int row, int word) const {
     return static_cast<std::size_t>(word) *
                static_cast<std::size_t>(rows_pad_) +

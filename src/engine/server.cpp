@@ -73,6 +73,7 @@ struct SearchServer::Impl {
     std::shared_ptr<Connection> conn;
     std::future<BatchResult> future;
     bool is_stats = false;
+    bool is_nearest = false;  ///< encode kNearestResult instead of records
     std::uint64_t trace_id = 0;
   };
 
@@ -271,6 +272,35 @@ struct SearchServer::Impl {
     enqueue_pending(conn, std::move(p));
   }
 
+  void submit_nearest(const std::shared_ptr<Connection>& conn,
+                      const wire::NearestBatchFrame& frame) {
+    const std::uint64_t trace_id =
+        next_trace_id.fetch_add(1, std::memory_order_relaxed);
+    obs::ScopedSpan span("wire.submit_nearest", "server", trace_id);
+    const int cols = self.cols_;
+    std::vector<Request> batch;
+    batch.reserve(frame.count());
+    const std::uint32_t wpq = frame.words_per_query;
+    for (std::uint32_t q = 0; q < frame.count(); ++q) {
+      arch::BitWord query(static_cast<std::size_t>(cols), 0);
+      const std::uint64_t* words = frame.bits.data() +
+                                   static_cast<std::size_t>(q) * wpq;
+      for (int c = 0; c < cols; ++c) {
+        query[static_cast<std::size_t>(c)] =
+            static_cast<std::uint8_t>((words[c >> 6] >> (c & 63)) & 1ULL);
+      }
+      batch.push_back(make_search_nearest(
+          std::move(query), static_cast<int>(frame.k),
+          static_cast<int>(frame.threshold)));
+    }
+    Pending p;
+    p.conn = conn;
+    p.is_nearest = true;
+    p.trace_id = trace_id;
+    p.future = self.engine_.submit(std::move(batch), trace_id);
+    enqueue_pending(conn, std::move(p));
+  }
+
   void submit_stats(const std::shared_ptr<Connection>& conn) {
     Pending p;
     p.conn = conn;
@@ -291,6 +321,16 @@ struct SearchServer::Impl {
         reject(conn, *header_error, "bad frame header");
         break;
       }
+      // Direction gate, the moment the header decodes: a known but
+      // response-direction opcode (a client echoing kSearchResult, say)
+      // is as unacceptable as an unknown one, and is rejected BEFORE the
+      // server waits on — or buffers — a single payload byte for it.
+      if (!wire::is_request_frame(header.type)) {
+        reject(conn, wire::ErrorCode::kBadType,
+               "frame type is not a request (kSearchBatch, kNearest and "
+               "kStats are accepted)");
+        break;
+      }
       if (conn->rx.size() - off < wire::kHeaderSize + header.payload_len) {
         break;  // wait for the rest of the payload
       }
@@ -307,10 +347,23 @@ struct SearchServer::Impl {
         submit_stats(conn);
         continue;
       }
-      if (header.type != wire::FrameType::kSearchBatch) {
-        reject(conn, wire::ErrorCode::kBadType,
-               "only kSearchBatch and kStats frames are accepted");
-        break;
+      if (header.type == wire::FrameType::kNearest) {
+        const auto frame =
+            wire::decode_nearest_batch(payload, header.payload_len);
+        if (!frame) {
+          reject(conn, wire::ErrorCode::kMalformed,
+                 "nearest batch payload does not parse");
+          break;
+        }
+        const std::uint32_t expected_wpq =
+            static_cast<std::uint32_t>((self.cols_ + 63) / 64);
+        if (frame->count() > 0 && frame->words_per_query != expected_wpq) {
+          reject(conn, wire::ErrorCode::kBadWidth,
+                 "words_per_query does not match the table width");
+          break;
+        }
+        submit_nearest(conn, *frame);
+        continue;
       }
       const auto frame =
           wire::decode_search_batch(payload, header.payload_len);
@@ -513,24 +566,43 @@ struct SearchServer::Impl {
         continue;
       }
       std::vector<wire::ResultRecord> records;
+      std::vector<std::vector<wire::NearestRecord>> near_lists;
       bool ok = true;
       obs::ScopedSpan span("wire.complete", "server", p.trace_id);
       try {
         const BatchResult res = p.future.get();
-        records.reserve(res.results.size());
-        for (const RequestResult& r : res.results) {
-          wire::ResultRecord rec;
-          rec.hit = r.hit ? 1 : 0;
-          rec.entry = r.entry;
-          rec.priority = r.priority;
-          records.push_back(rec);
+        if (p.is_nearest) {
+          near_lists.reserve(res.results.size());
+          for (const RequestResult& r : res.results) {
+            std::vector<wire::NearestRecord> list;
+            list.reserve(r.neighbors.size());
+            for (const NearCandidate& c : r.neighbors) {
+              wire::NearestRecord rec;
+              rec.entry = c.entry;
+              rec.priority = c.priority;
+              rec.distance = static_cast<std::uint32_t>(c.distance);
+              list.push_back(rec);
+            }
+            near_lists.push_back(std::move(list));
+          }
+        } else {
+          records.reserve(res.results.size());
+          for (const RequestResult& r : res.results) {
+            wire::ResultRecord rec;
+            rec.hit = r.hit ? 1 : 0;
+            rec.entry = r.entry;
+            rec.priority = r.priority;
+            records.push_back(rec);
+          }
         }
       } catch (const std::exception&) {
         ok = false;  // engine shut down under us: answer with an error
       }
       {
         const std::lock_guard<std::mutex> lock(p.conn->tx_mu);
-        if (ok) {
+        if (ok && p.is_nearest) {
+          wire::encode_nearest_result(p.conn->tx, near_lists);
+        } else if (ok) {
           wire::encode_search_result(p.conn->tx, records);
         } else {
           wire::ErrorFrame err;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "engine/approx_kernel.hpp"
+
 namespace fetcam::engine {
 
 namespace {
@@ -46,6 +48,15 @@ TcamTable::TcamTable(const TableConfig& config)
       config.rows_per_mat % config.subarrays_per_mat != 0) {
     throw std::invalid_argument(
         "subarrays_per_mat must be even and divide rows_per_mat");
+  }
+  if (config.digit_bits < 1 || config.digit_bits > 3) {
+    throw std::invalid_argument("TableConfig::digit_bits must be in [1, 3]");
+  }
+  if (config.cols % config.digit_bits != 0) {
+    throw std::invalid_argument(
+        "TableConfig::digit_bits must divide cols (table is " +
+        std::to_string(config.cols) + " cols, digit_bits " +
+        std::to_string(config.digit_bits) + ")");
   }
   shards_.reserve(static_cast<std::size_t>(config.mats));
   energy_.reserve(static_cast<std::size_t>(config.mats));
@@ -632,6 +643,170 @@ void TcamTable::match_mats_block(const PackedQuery* const* queries, int nq,
   if (skipped != 0) {
     mats_skipped_.fetch_add(skipped, std::memory_order_relaxed);
   }
+}
+
+void merge_nearest(NearestMatch& into, const NearestMatch& part, int k) {
+  into.stats.rows += part.stats.rows;
+  into.stats.step1_misses += part.stats.step1_misses;
+  into.stats.step2_evaluated += part.stats.step2_evaluated;
+  into.stats.matches += part.stats.matches;
+  if (into.per_mat.size() < part.per_mat.size()) {
+    into.per_mat.resize(part.per_mat.size());
+  }
+  for (std::size_t m = 0; m < part.per_mat.size(); ++m) {
+    into.per_mat[m].rows += part.per_mat[m].rows;
+    into.per_mat[m].step1_misses += part.per_mat[m].step1_misses;
+    into.per_mat[m].step2_evaluated += part.per_mat[m].step2_evaluated;
+    into.per_mat[m].matches += part.per_mat[m].matches;
+  }
+  if (part.top.empty()) return;
+  std::vector<NearCandidate> merged;
+  merged.reserve(
+      std::min(into.top.size() + part.top.size(),
+               static_cast<std::size_t>(k)));
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (merged.size() < static_cast<std::size_t>(k) &&
+         (i < into.top.size() || j < part.top.size())) {
+    if (j >= part.top.size() ||
+        (i < into.top.size() &&
+         near_candidate_less(into.top[i], part.top[j]))) {
+      merged.push_back(into.top[i++]);
+    } else {
+      merged.push_back(part.top[j++]);
+    }
+  }
+  into.top = std::move(merged);
+}
+
+bool TcamTable::nearest_mat_skips(std::size_t mat, const PackedQuery& query,
+                                  int threshold) const {
+  const MatAggregate& ag = aggregates_[mat];
+  if (ag.valid_rows == 0) return true;  // nothing stored: trivially empty
+  // Guaranteed-miss columns (every valid row mismatches there), collapsed
+  // onto digit groups: the popcount lower-bounds every row's distance, so
+  // exceeding the threshold proves the whole mat is beyond it.  No
+  // even-column restriction here — approximate accounting is single-step,
+  // so a skip never has to reconstruct step-1/step-2 splits.
+  int bound = 0;
+  const std::size_t words = ag.require_one.size();
+  std::uint64_t next =
+      (ag.require_one[0] & ~query.bits[0]) |
+      (ag.require_zero[0] & query.bits[0]);
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t miss = next;
+    next = w + 1 < words
+               ? (ag.require_one[w + 1] & ~query.bits[w + 1]) |
+                     (ag.require_zero[w + 1] & query.bits[w + 1])
+               : 0;
+    bound += std::popcount(detail::collapse_digits(
+        miss, next, static_cast<int>(w), config_.digit_bits));
+    if (bound > threshold) return true;
+  }
+  return false;
+}
+
+void TcamTable::nearest_mats(const arch::BitWord& query, int k, int threshold,
+                             int mat_begin, int mat_end,
+                             NearestScratch& scratch,
+                             NearestMatch& out) const {
+  scratch.query.repack(query);
+  nearest_mats(scratch.query, k, threshold, mat_begin, mat_end, scratch, out);
+}
+
+void TcamTable::nearest_mats(const PackedQuery& query, int k, int threshold,
+                             int mat_begin, int mat_end,
+                             NearestScratch& scratch,
+                             NearestMatch& out) const {
+  if (mat_begin < 0 || mat_end > config_.mats || mat_begin > mat_end) {
+    throw std::out_of_range("mat range out of range");
+  }
+  if (k < 1) {
+    throw std::invalid_argument("k must be >= 1, got " + std::to_string(k));
+  }
+  if (threshold < 0) {
+    throw std::invalid_argument("distance_threshold must be >= 0, got " +
+                                std::to_string(threshold));
+  }
+  out.top.clear();
+  out.stats = arch::SearchStats{};
+  out.per_mat.assign(static_cast<std::size_t>(config_.mats),
+                     arch::SearchStats{});
+
+  long long skipped = 0;
+  for (int m = mat_begin; m < mat_end; ++m) {
+    if (config_.mat_skip &&
+        nearest_mat_skips(static_cast<std::size_t>(m), query, threshold)) {
+      // Accounting identical to the kernel scan this skip replaces
+      // (single-step: every row fires, nothing is within the threshold),
+      // so the knob changes cost only.
+      arch::SearchStats s;
+      s.rows = config_.rows_per_mat;
+      s.step2_evaluated = config_.rows_per_mat;
+      out.per_mat[static_cast<std::size_t>(m)] = s;
+      out.stats.rows += s.rows;
+      out.stats.step2_evaluated += s.step2_evaluated;
+      ++skipped;
+      continue;
+    }
+    const auto& shard = shards_[static_cast<std::size_t>(m)];
+    const arch::SearchStats s =
+        approx_match(shard, query, config_.digit_bits, threshold,
+                     scratch.within, scratch.distances);
+    out.per_mat[static_cast<std::size_t>(m)] = s;
+    out.stats.rows += s.rows;
+    out.stats.step1_misses += s.step1_misses;
+    out.stats.step2_evaluated += s.step2_evaluated;
+    out.stats.matches += s.matches;
+    // Candidate scan: bounded insertion keeps out.top sorted by
+    // (distance, priority, id), at most k entries.
+    const auto& rows = row_entry_[static_cast<std::size_t>(m)];
+    for (std::size_t w = 0; w < scratch.within.size(); ++w) {
+      std::uint64_t bits = scratch.within[w];
+      while (bits != 0) {
+        const int r = static_cast<int>(w * 64) + std::countr_zero(bits);
+        bits &= bits - 1;
+        NearCandidate cand;
+        cand.entry = rows[static_cast<std::size_t>(r)];
+        cand.priority =
+            slots_[static_cast<std::size_t>(cand.entry)].priority;
+        cand.distance =
+            static_cast<int>(scratch.distances[static_cast<std::size_t>(r)]);
+        if (out.top.size() == static_cast<std::size_t>(k) &&
+            !near_candidate_less(cand, out.top.back())) {
+          continue;
+        }
+        const auto at = std::upper_bound(
+            out.top.begin(), out.top.end(), cand,
+            [](const NearCandidate& a, const NearCandidate& b) {
+              return near_candidate_less(a, b);
+            });
+        out.top.insert(at, cand);
+        if (out.top.size() > static_cast<std::size_t>(k)) out.top.pop_back();
+      }
+    }
+  }
+  mats_considered_.fetch_add(mat_end - mat_begin, std::memory_order_relaxed);
+  if (skipped != 0) {
+    mats_skipped_.fetch_add(skipped, std::memory_order_relaxed);
+  }
+}
+
+NearestMatch TcamTable::search_nearest(const arch::BitWord& query, int k,
+                                       int threshold) {
+  NearestScratch scratch;
+  NearestMatch out;
+  nearest_mats(query, k, threshold, 0, config_.mats, scratch, out);
+  account_nearest(out);
+  return out;
+}
+
+void TcamTable::account_nearest(const NearestMatch& m) {
+  for (int mat = 0; mat < config_.mats; ++mat) {
+    energy_[static_cast<std::size_t>(mat)].on_search(
+        m.per_mat[static_cast<std::size_t>(mat)]);
+  }
+  stats_.add(m.stats);
 }
 
 TableMatch TcamTable::search(const arch::BitWord& query) {

@@ -48,6 +48,12 @@ struct TableConfig {
   /// Results and accounting are bit-identical either way — the knob
   /// exists for A/B measurement and the pruning tests.
   bool mat_skip = true;
+  /// Bits per stored digit for the approximate-match path (FeCAM-style
+  /// multi-level cells): d consecutive bit columns form one digit, and
+  /// search_nearest counts mismatching digits (approx_kernel.hpp).  Must
+  /// be in [1, 3] and divide cols.  Exact match is unaffected — it always
+  /// operates on raw bit columns.
+  int digit_bits = 1;
 };
 
 /// Mat-skip pruning index for one mat: for each bit column c, bit c of
@@ -101,6 +107,49 @@ struct BlockMatchScratch {
 /// per_mat add, the winner resolves by (priority, id).  Associative and
 /// commutative, so group merge order cannot change the result.
 void merge_match(TableMatch& into, const TableMatch& part);
+
+/// One approximate-match candidate.  The global order is (distance,
+/// priority, id) ascending — a strict total order because ids are unique,
+/// which is what makes the top-k merge deterministic at any dispatch
+/// shape.
+struct NearCandidate {
+  EntryId entry = kInvalidEntry;
+  int priority = 0;
+  int distance = 0;
+};
+
+/// (distance, priority, id) ascending.
+inline bool near_candidate_less(const NearCandidate& a,
+                                const NearCandidate& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  if (a.priority != b.priority) return a.priority < b.priority;
+  return a.entry < b.entry;
+}
+
+/// Result of one top-k threshold search (whole table or one mat group).
+/// `top` is sorted by near_candidate_less and holds at most k candidates;
+/// `stats`/`per_mat` follow the single-step accounting the approx kernels
+/// report (approx_kernel.hpp).
+struct NearestMatch {
+  std::vector<NearCandidate> top;
+  arch::SearchStats stats;
+  std::vector<arch::SearchStats> per_mat;
+};
+
+/// Reusable buffers for TcamTable::nearest_mats (packed query + within
+/// mask + per-row distances).
+struct NearestScratch {
+  PackedQuery query;
+  std::vector<std::uint64_t> within;
+  std::vector<std::uint16_t> distances;
+};
+
+/// Fold a partial (per-mat-group) nearest result: stats and per_mat add,
+/// the sorted top lists merge and truncate to k.  Associative and
+/// commutative (sorted-merge over a strict total order), so group merge
+/// order cannot change the result — the engine folds groups in fixed
+/// order anyway.
+void merge_nearest(NearestMatch& into, const NearestMatch& part, int k);
 
 /// Physical location of an entry (used by the driver-multiplex model).
 struct EntryLocation {
@@ -211,6 +260,34 @@ class TcamTable {
                         BlockMatchScratch& scratch,
                         TableMatch* const* outs) const;
 
+  /// Partial top-k threshold search over mats [mat_begin, mat_end) — the
+  /// approximate-match analogue of match_mats.  Rows whose digit distance
+  /// (config().digit_bits bits per digit) is <= threshold are candidates;
+  /// the k best by (distance, priority, id) are returned sorted.
+  /// `out.per_mat` is sized to ALL mats with zeros outside the range, so
+  /// disjoint-group partials fold with merge_nearest in any order.  Mats
+  /// the WIDENED pruning proof (see nearest_mat_skips) shows are beyond
+  /// the threshold are skipped with accounting identical to a kernel
+  /// scan, so mat_skip on/off cannot change results or energy.  Const and
+  /// concurrency-safe like match().  Throws std::invalid_argument naming
+  /// `k` / `distance_threshold` when out of range.
+  void nearest_mats(const arch::BitWord& query, int k, int threshold,
+                    int mat_begin, int mat_end, NearestScratch& scratch,
+                    NearestMatch& out) const;
+  /// Pre-packed variant (see the PackedQuery match_mats overload).
+  void nearest_mats(const PackedQuery& query, int k, int threshold,
+                    int mat_begin, int mat_end, NearestScratch& scratch,
+                    NearestMatch& out) const;
+
+  /// Serial convenience: whole-table nearest_mats + accounting.  At
+  /// digit_bits = 1, threshold = 0, k = 1 the single candidate equals the
+  /// exact search() winner.
+  NearestMatch search_nearest(const arch::BitWord& query, int k,
+                              int threshold);
+  /// Charge one threshold search's energy/stats (serial, request order —
+  /// mirrors account_search).
+  void account_nearest(const NearestMatch& m);
+
   /// Incrementally-maintained pruning aggregate of one mat.
   const MatAggregate& aggregate(int mat) const {
     return aggregates_[checked_mat(mat)];
@@ -270,6 +347,13 @@ class TcamTable {
   void rebuild_aggregate_masks(MatAggregate& ag) const;
   /// Two-AND-per-word matchless proof for one (mat, query) pair.
   bool mat_skips(std::size_t mat, const PackedQuery& query) const;
+  /// Widened proof for threshold search: the aggregate's guaranteed-miss
+  /// columns, collapsed onto digit groups, lower-bound EVERY row's
+  /// distance — the mat is skippable only when that bound exceeds the
+  /// threshold.  The exact-match proof (any guaranteed-miss column) would
+  /// silently mis-prune rows within the threshold.
+  bool nearest_mat_skips(std::size_t mat, const PackedQuery& query,
+                         int threshold) const;
   /// Stats a skipped (or empty) mat reports — exactly what its kernel
   /// would have produced, so accounting stays bit-identical.
   arch::SearchStats skipped_stats() const;

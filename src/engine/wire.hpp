@@ -33,9 +33,24 @@
 // response pipeline with search results, so a scrape observes every
 // frame the same connection submitted before it as already applied.
 //
-// The protocol is deliberately minimal: searches and stats scrapes only.
-// Mutations go through the compiler/applier path, not the wire — the
-// service tier is a read path (docs/ENGINE.md section 8).
+// kNearest payload (client -> server) — threshold kNN batch:
+//   u32 count            queries in the batch
+//   u32 words_per_query  64-bit words per packed query
+//   u32 k                neighbors requested per query (>= 1)
+//   u32 threshold        max mismatching digits for a candidate
+//   count * words_per_query * u64   query bits (PackedQuery layout)
+//
+// kNearestResult payload (server -> client), per query in request order:
+//   u32 n                candidates returned (<= k)
+//   n * { u64 entry id, i32 priority, u32 distance }   ascending by
+//                        (distance, priority, id)
+//
+// The protocol is deliberately minimal: searches, kNN and stats scrapes
+// only.  Mutations go through the compiler/applier path, not the wire —
+// the service tier is a read path (docs/ENGINE.md section 8).
+// Frame-type validity and request/response direction are decided by
+// is_known_frame / is_request_frame below — the ONE validation point —
+// so adding an opcode can never silently widen what a server accepts.
 #pragma once
 
 #include <cstdint>
@@ -58,9 +73,37 @@ enum class FrameType : std::uint8_t {
   kSearchBatch = 1,
   kSearchResult = 2,
   kError = 3,
-  kStats = 4,        ///< stats scrape request (empty payload)
-  kStatsResult = 5,  ///< stats snapshot JSON (UTF-8)
+  kStats = 4,          ///< stats scrape request (empty payload)
+  kStatsResult = 5,    ///< stats snapshot JSON (UTF-8)
+  kNearest = 6,        ///< threshold-kNN batch request
+  kNearestResult = 7,  ///< per-query top-k candidate lists
 };
+
+/// The single frame-type whitelist.  decode_header rejects anything else
+/// as kBadType, so every consumer inherits uniform unknown-opcode
+/// rejection from one place.
+inline bool is_known_frame(FrameType t) {
+  switch (t) {
+    case FrameType::kSearchBatch:
+    case FrameType::kSearchResult:
+    case FrameType::kError:
+    case FrameType::kStats:
+    case FrameType::kStatsResult:
+    case FrameType::kNearest:
+    case FrameType::kNearestResult:
+      return true;
+  }
+  return false;
+}
+
+/// Client -> server direction.  The server consults this right after the
+/// header decodes — a known-but-response-direction type (e.g. a client
+/// echoing kSearchResult back) is rejected before any payload is waited
+/// for, with the same kBadType error as an unknown opcode.
+inline bool is_request_frame(FrameType t) {
+  return t == FrameType::kSearchBatch || t == FrameType::kStats ||
+         t == FrameType::kNearest;
+}
 
 enum class ErrorCode : std::uint32_t {
   kBadMagic = 1,
@@ -94,6 +137,32 @@ struct ResultRecord {
   std::uint8_t hit = 0;
   std::int64_t entry = -1;
   std::int32_t priority = 0;
+};
+
+/// Largest k a kNearest request may carry: bounds the response frame a
+/// single request can demand (together with the count/k/payload check in
+/// decode_nearest_batch, a reply can never exceed kMaxPayload).
+constexpr std::uint32_t kMaxNearestK = 1024;
+
+struct NearestBatchFrame {
+  std::uint32_t words_per_query = 0;
+  std::uint32_t k = 1;          ///< neighbors per query (1..kMaxNearestK)
+  std::uint32_t threshold = 0;  ///< max mismatching digits
+  /// count * words_per_query words, query-major (PackedQuery layout).
+  std::vector<std::uint64_t> bits;
+  std::uint32_t count() const {
+    return words_per_query == 0
+               ? 0
+               : static_cast<std::uint32_t>(bits.size() / words_per_query);
+  }
+};
+
+/// One kNN candidate on the wire (16 bytes; ascending by
+/// (distance, priority, id) within its query's list).
+struct NearestRecord {
+  std::int64_t entry = -1;
+  std::int32_t priority = 0;
+  std::uint32_t distance = 0;
 };
 
 struct ErrorFrame {
@@ -159,10 +228,7 @@ inline FrameHeader decode_header(const std::uint8_t* p,
     error = ErrorCode::kBadMagic;
   } else if (h.version != kVersion) {
     error = ErrorCode::kBadVersion;
-  } else if (h.type != FrameType::kSearchBatch &&
-             h.type != FrameType::kSearchResult &&
-             h.type != FrameType::kError && h.type != FrameType::kStats &&
-             h.type != FrameType::kStatsResult) {
+  } else if (!is_known_frame(h.type)) {
     error = ErrorCode::kBadType;
   } else if (h.payload_len > kMaxPayload) {
     error = ErrorCode::kOversized;
@@ -231,6 +297,94 @@ inline std::optional<std::vector<ResultRecord>> decode_search_result(
     records[i].priority = static_cast<std::int32_t>(get_u32(p + 9));
   }
   return records;
+}
+
+inline void encode_nearest_batch(std::vector<std::uint8_t>& out,
+                                 const NearestBatchFrame& frame) {
+  const std::uint32_t payload =
+      16 + static_cast<std::uint32_t>(frame.bits.size()) * 8;
+  encode_header(out, FrameType::kNearest, payload);
+  put_u32(out, frame.count());
+  put_u32(out, frame.words_per_query);
+  put_u32(out, frame.k);
+  put_u32(out, frame.threshold);
+  for (const std::uint64_t w : frame.bits) put_u64(out, w);
+}
+
+/// Decode a kNearest payload (header already validated/stripped).
+inline std::optional<NearestBatchFrame> decode_nearest_batch(
+    const std::uint8_t* payload, std::size_t len) {
+  if (len < 16) return std::nullopt;
+  const std::uint32_t count = get_u32(payload);
+  const std::uint32_t wpq = get_u32(payload + 4);
+  const std::uint32_t k = get_u32(payload + 8);
+  const std::uint32_t threshold = get_u32(payload + 12);
+  if (count > 0 && wpq == 0) return std::nullopt;
+  if (k < 1 || k > kMaxNearestK) return std::nullopt;
+  // Same u64-first overflow discipline as decode_search_batch: bound the
+  // word count by the bytes actually present before any multiply-by-8.
+  const std::uint64_t words = static_cast<std::uint64_t>(count) * wpq;
+  if (words > (len - 16) / 8) return std::nullopt;
+  if (len != 16 + words * 8) return std::nullopt;
+  // Reject requests whose worst-case reply (k full candidate lists per
+  // query) could not be framed — the response length is checked here, on
+  // the request, so the server never builds an unsendable reply.
+  const std::uint64_t reply_worst =
+      4 + static_cast<std::uint64_t>(count) *
+              (4 + static_cast<std::uint64_t>(k) * 16);
+  if (reply_worst > kMaxPayload) return std::nullopt;
+  NearestBatchFrame frame;
+  frame.words_per_query = wpq;
+  frame.k = k;
+  frame.threshold = threshold;
+  frame.bits.resize(words);
+  for (std::uint64_t i = 0; i < words; ++i) {
+    frame.bits[i] = get_u64(payload + 16 + i * 8);
+  }
+  return frame;
+}
+
+inline void encode_nearest_result(
+    std::vector<std::uint8_t>& out,
+    const std::vector<std::vector<NearestRecord>>& queries) {
+  std::uint64_t payload = 4;
+  for (const auto& q : queries) payload += 4 + q.size() * 16;
+  encode_header(out, FrameType::kNearestResult,
+                static_cast<std::uint32_t>(payload));
+  put_u32(out, static_cast<std::uint32_t>(queries.size()));
+  for (const auto& q : queries) {
+    put_u32(out, static_cast<std::uint32_t>(q.size()));
+    for (const NearestRecord& r : q) {
+      put_u64(out, static_cast<std::uint64_t>(r.entry));
+      put_u32(out, static_cast<std::uint32_t>(r.priority));
+      put_u32(out, r.distance);
+    }
+  }
+}
+
+inline std::optional<std::vector<std::vector<NearestRecord>>>
+decode_nearest_result(const std::uint8_t* payload, std::size_t len) {
+  if (len < 4) return std::nullopt;
+  const std::uint32_t count = get_u32(payload);
+  std::vector<std::vector<NearestRecord>> queries;
+  queries.reserve(count);
+  std::size_t off = 4;
+  for (std::uint32_t q = 0; q < count; ++q) {
+    if (len - off < 4) return std::nullopt;
+    const std::uint32_t n = get_u32(payload + off);
+    off += 4;
+    if (n > (len - off) / 16) return std::nullopt;
+    std::vector<NearestRecord> records(n);
+    for (std::uint32_t i = 0; i < n; ++i, off += 16) {
+      records[i].entry = static_cast<std::int64_t>(get_u64(payload + off));
+      records[i].priority =
+          static_cast<std::int32_t>(get_u32(payload + off + 8));
+      records[i].distance = get_u32(payload + off + 12);
+    }
+    queries.push_back(std::move(records));
+  }
+  if (off != len) return std::nullopt;
+  return queries;
 }
 
 inline void encode_stats_request(std::vector<std::uint8_t>& out) {

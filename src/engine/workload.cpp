@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "arch/approx_search.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
 
@@ -55,6 +56,21 @@ TraceRule make_ip_prefix_rule(std::mt19937& rng, int cols) {
   return r;
 }
 
+TraceRule make_embedding_rule(std::mt19937& rng, int cols) {
+  // A binary embedding code: every column specified, no wildcards, flat
+  // priority — ranking among near-duplicates is purely by distance.
+  std::uniform_int_distribution<int> bit(0, 1);
+  TraceRule r;
+  r.entry.reserve(static_cast<std::size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    r.entry.push_back(bit(rng) != 0 ? arch::Ternary::kOne
+                                    : arch::Ternary::kZero);
+  }
+  return r;
+}
+
+TraceRule make_trace_rule(TraceKind kind, std::mt19937& rng, int cols);
+
 TraceRule make_classifier_rule(std::mt19937& rng, int cols) {
   // Four fields (src / dst / proto / port -like), whole-field wildcards;
   // priority = wildcarded fields, so more specific rules win.
@@ -80,12 +96,22 @@ TraceRule make_classifier_rule(std::mt19937& rng, int cols) {
   return r;
 }
 
+TraceRule make_trace_rule(TraceKind kind, std::mt19937& rng, int cols) {
+  switch (kind) {
+    case TraceKind::kIpPrefix: return make_ip_prefix_rule(rng, cols);
+    case TraceKind::kClassifier: return make_classifier_rule(rng, cols);
+    case TraceKind::kEmbedding: return make_embedding_rule(rng, cols);
+  }
+  return make_ip_prefix_rule(rng, cols);
+}
+
 }  // namespace
 
 std::string trace_kind_name(TraceKind kind) {
   switch (kind) {
     case TraceKind::kIpPrefix: return "ip-prefix";
     case TraceKind::kClassifier: return "classifier";
+    case TraceKind::kEmbedding: return "embedding";
   }
   return "?";
 }
@@ -100,17 +126,37 @@ Trace generate_trace(const TraceSpec& spec) {
   for (int i = 0; i < spec.rules; ++i) {
     auto rng = util::trial_rng(spec.seed, static_cast<std::uint64_t>(i),
                                kRuleStream);
-    trace.rules.push_back(spec.kind == TraceKind::kIpPrefix
-                              ? make_ip_prefix_rule(rng, spec.cols)
-                              : make_classifier_rule(rng, spec.cols));
+    trace.rules.push_back(make_trace_rule(spec.kind, rng, spec.cols));
   }
   trace.queries.reserve(static_cast<std::size_t>(spec.queries));
   std::uniform_real_distribution<double> u(0.0, 1.0);
   std::uniform_int_distribution<int> bit(0, 1);
+  const int d = spec.digit_bits > 0 ? spec.digit_bits : 1;
   for (int j = 0; j < spec.queries; ++j) {
     auto rng = util::trial_rng(spec.seed, static_cast<std::uint64_t>(j),
                                kQueryStream);
-    if (!trace.rules.empty() && u(rng) < spec.match_rate) {
+    const bool derive = !trace.rules.empty() && u(rng) < spec.match_rate;
+    if (spec.kind == TraceKind::kEmbedding && derive) {
+      // Planted near-duplicate: copy a stored code, then flip 0-2 whole
+      // digits (a flip inverts one bit inside the digit, so the digit is
+      // guaranteed to mismatch).  Exact search loses these the moment a
+      // single digit flips; threshold search is supposed to recover them.
+      const std::size_t r = std::uniform_int_distribution<std::size_t>(
+          0, trace.rules.size() - 1)(rng);
+      const auto& entry = trace.rules[r].entry;
+      arch::BitWord q(static_cast<std::size_t>(spec.cols));
+      for (std::size_t c = 0; c < q.size(); ++c) {
+        q[c] = entry[c] == arch::Ternary::kOne ? 1 : 0;
+      }
+      const int digits = spec.cols / d;
+      const int flips = std::uniform_int_distribution<int>(0, 2)(rng);
+      for (int f = 0; f < flips && digits > 0; ++f) {
+        const int g = std::uniform_int_distribution<int>(0, digits - 1)(rng);
+        const int c = g * d + std::uniform_int_distribution<int>(0, d - 1)(rng);
+        q[static_cast<std::size_t>(c)] ^= 1;
+      }
+      trace.queries.push_back(std::move(q));
+    } else if (derive) {
       // Derive from a stored rule: exact digits copied, 'X' digits drawn
       // at random — guaranteed to match at least that rule.
       const std::size_t r = std::uniform_int_distribution<std::size_t>(
@@ -211,9 +257,7 @@ std::vector<TraceRule> churn_rules(const std::vector<TraceRule>& rules,
     const bool hot = i < hot_count;
     if (!hot && u(rng) < spec.add_remove_rate) {
       // Drop this rule and add a fresh one (route withdrawn + announced).
-      next.push_back(kind == TraceKind::kIpPrefix
-                         ? make_ip_prefix_rule(rng, cols)
-                         : make_classifier_rule(rng, cols));
+      next.push_back(make_trace_rule(kind, rng, cols));
       continue;
     }
     const double rate = hot ? spec.hot_modify_rate : spec.modify_rate;
@@ -417,6 +461,151 @@ RunSummary run_trace(SearchEngine& engine, const TcamTable& table,
           ? static_cast<double>(step1_misses) /
                 static_cast<double>(rows_searched)
           : 0.0;
+  sum.energy_j = table.total_energy_j() - energy_before;
+  sum.energy_per_search_j =
+      sum.searches > 0 ? sum.energy_j / static_cast<double>(sum.searches)
+                       : 0.0;
+  sum.qps = sum.wall_s > 0.0
+                ? static_cast<double>(sum.searches) / sum.wall_s
+                : 0.0;
+  if (!batch_wall_us.empty()) {
+    std::sort(batch_wall_us.begin(), batch_wall_us.end());
+    sum.p50_batch_us = batch_wall_us[batch_wall_us.size() / 2];
+    sum.p99_batch_us =
+        batch_wall_us[(batch_wall_us.size() * 99) / 100 >=
+                              batch_wall_us.size()
+                          ? batch_wall_us.size() - 1
+                          : (batch_wall_us.size() * 99) / 100];
+  }
+  return sum;
+}
+
+std::vector<NearCandidate> brute_force_nearest(
+    const Trace& trace, const std::vector<EntryId>& rule_ids,
+    const arch::BitWord& query, int digit_bits, int k, int threshold) {
+  if (rule_ids.size() != trace.rules.size()) {
+    throw std::invalid_argument("rule_ids does not cover the trace rules");
+  }
+  std::vector<NearCandidate> top;
+  for (std::size_t r = 0; r < trace.rules.size(); ++r) {
+    const int dist =
+        arch::digit_distance(trace.rules[r].entry, query, digit_bits);
+    if (dist > threshold) continue;
+    NearCandidate cand;
+    cand.entry = rule_ids[r];
+    cand.priority = trace.rules[r].priority;
+    cand.distance = dist;
+    if (top.size() == static_cast<std::size_t>(k) &&
+        !near_candidate_less(cand, top.back())) {
+      continue;
+    }
+    const auto at = std::upper_bound(top.begin(), top.end(), cand,
+                                     [](const NearCandidate& a,
+                                        const NearCandidate& b) {
+                                       return near_candidate_less(a, b);
+                                     });
+    top.insert(at, cand);
+    if (top.size() > static_cast<std::size_t>(k)) top.pop_back();
+  }
+  return top;
+}
+
+NearestRunSummary run_nearest_trace(SearchEngine& engine,
+                                    const TcamTable& table,
+                                    const Trace& trace,
+                                    const std::vector<EntryId>& rule_ids,
+                                    const NearestRunOptions& options) {
+  if (options.k < 1) throw std::invalid_argument("k must be >= 1");
+  if (options.threshold < 0) {
+    throw std::invalid_argument("distance_threshold must be >= 0");
+  }
+  NearestRunSummary sum;
+  sum.k = options.k;
+  sum.threshold = options.threshold;
+  sum.distance_histogram.assign(
+      static_cast<std::size_t>(options.threshold) + 1, 0);
+  const double energy_before = table.total_energy_j();
+  const int batch_size = options.batch_size > 0 ? options.batch_size : 256;
+  const int digit_bits = table.config().digit_bits;
+  // Evenly-strided recall sample (see NearestRunOptions::recall_sample).
+  const std::size_t stride =
+      options.recall_sample > 0
+          ? std::max<std::size_t>(
+                1, trace.queries.size() /
+                       static_cast<std::size_t>(options.recall_sample))
+          : 0;
+
+  std::vector<std::vector<Request>> batches;
+  std::vector<Request> batch;
+  batch.reserve(static_cast<std::size_t>(batch_size));
+  for (const arch::BitWord& q : trace.queries) {
+    batch.push_back(make_search_nearest(q, options.k, options.threshold));
+    if (static_cast<int>(batch.size()) == batch_size) {
+      batches.push_back(std::move(batch));
+      batch.clear();
+      batch.reserve(static_cast<std::size_t>(batch_size));
+    }
+  }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+
+  const double t0 = obs::now_us();
+  std::vector<std::future<BatchResult>> futures;
+  futures.reserve(batches.size());
+  for (auto& b : batches) futures.push_back(engine.submit(std::move(b)));
+
+  std::vector<double> batch_wall_us;
+  batch_wall_us.reserve(futures.size());
+  // Sampled (query, engine top-k) pairs, scored against the brute-force
+  // reference AFTER the clock stops — the O(rules x cols) reference must
+  // not pollute the throughput measurement.
+  std::vector<std::pair<std::size_t, std::vector<NearCandidate>>> sampled;
+  std::size_t query_index = 0;
+  for (auto& future : futures) {
+    const BatchResult res = future.get();
+    ++sum.batches;
+    sum.requests += res.results.size();
+    sum.model_time_s += res.model_latency_s;
+    batch_wall_us.push_back(res.wall_us);
+    for (const RequestResult& r : res.results) {
+      ++sum.searches;
+      if (r.hit) {
+        ++sum.hits;
+        sum.distance_histogram[static_cast<std::size_t>(r.distance)] += 1;
+      }
+      if (stride > 0 && query_index % stride == 0) {
+        sampled.emplace_back(query_index, r.neighbors);
+      }
+      ++query_index;
+    }
+  }
+  sum.wall_s = (obs::now_us() - t0) * 1e-6;
+
+  double recall_sum = 0.0;
+  for (const auto& [q, neighbors] : sampled) {
+    const auto ref = brute_force_nearest(trace, rule_ids, trace.queries[q],
+                                         digit_bits, options.k,
+                                         options.threshold);
+    if (ref.empty()) continue;
+    std::size_t found = 0;
+    for (const NearCandidate& want : ref) {
+      for (const NearCandidate& got : neighbors) {
+        if (got.entry == want.entry) {
+          ++found;
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(found) / static_cast<double>(ref.size());
+    ++sum.recall_queries;
+  }
+
+  sum.hit_rate = sum.searches > 0
+                     ? static_cast<double>(sum.hits) /
+                           static_cast<double>(sum.searches)
+                     : 0.0;
+  sum.recall_at_k = sum.recall_queries > 0
+                        ? recall_sum / static_cast<double>(sum.recall_queries)
+                        : 1.0;
   sum.energy_j = table.total_energy_j() - energy_before;
   sum.energy_per_search_j =
       sum.searches > 0 ? sum.energy_j / static_cast<double>(sum.searches)

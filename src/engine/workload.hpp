@@ -9,6 +9,13 @@
 //   * kClassifier — packet classification: the word is split into four
 //     fields (addresses / proto / port -like); each rule wildcards whole
 //     fields; priority = number of wildcarded fields (more specific wins).
+//   * kEmbedding — similarity search over binary(-quantized) embedding
+//     codes: rules are fully-specified random words at priority 0, and a
+//     `match_rate` fraction of queries is a PLANTED NEAR-DUPLICATE of a
+//     stored rule (0-2 whole digits flipped, digit width = digit_bits),
+//     the rest uniform noise.  This is the approximate-match / kNN
+//     workload: exact search misses the planted duplicates, threshold
+//     search recovers them.
 //
 // Generation is counter-keyed per rule / per query (util::trial_rng), so a
 // trace is a pure function of its spec: reordering generation, threading,
@@ -29,7 +36,7 @@
 
 namespace fetcam::engine {
 
-enum class TraceKind : std::uint8_t { kIpPrefix, kClassifier };
+enum class TraceKind : std::uint8_t { kIpPrefix, kClassifier, kEmbedding };
 
 std::string trace_kind_name(TraceKind kind);
 
@@ -39,6 +46,9 @@ struct TraceSpec {
   int rules = 256;
   int queries = 10000;
   double match_rate = 0.25;  ///< fraction of queries derived from a rule
+  /// kEmbedding only: digit width used when planting near-duplicates (a
+  /// flip replaces one whole digit) — match the table's digit_bits.
+  int digit_bits = 1;
   std::uint64_t seed = 1;
 };
 
@@ -138,5 +148,60 @@ std::vector<EntryId> load_rules_clustered(TcamTable& table,
 RunSummary run_trace(SearchEngine& engine, const TcamTable& table,
                      const Trace& trace, const std::vector<EntryId>& rule_ids,
                      const RunOptions& options);
+
+// ---- approximate match / kNN --------------------------------------------
+
+/// Options for driving a trace through the engine's kSearchNearest path.
+struct NearestRunOptions {
+  int batch_size = 256;
+  int k = 4;          ///< neighbors per query
+  int threshold = 1;  ///< max mismatching digits
+  /// Recall is scored against a brute-force reference, which is
+  /// O(rules x cols) per query — too slow to run on every query of a
+  /// throughput trace.  Instead `recall_sample` evenly-strided queries are
+  /// scored (all of them when queries <= recall_sample); the summary's
+  /// recall_queries reports how many actually had a non-empty reference.
+  int recall_sample = 2000;
+};
+
+struct NearestRunSummary {
+  std::uint64_t requests = 0;
+  std::uint64_t searches = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t hits = 0;  ///< queries with at least one neighbor
+  double hit_rate = 0.0;
+  int k = 0;
+  int threshold = 0;
+  /// Mean |reference top-k ∩ engine top-k| / |reference top-k| over the
+  /// sampled queries with a non-empty reference (1.0 when none have one).
+  double recall_at_k = 1.0;
+  std::uint64_t recall_queries = 0;  ///< sampled queries actually scored
+  /// Winner (top-1) digit-distance histogram: distance_histogram[d] =
+  /// queries whose best neighbor sits at distance d (size threshold + 1).
+  std::vector<std::uint64_t> distance_histogram;
+  double energy_j = 0.0;
+  double energy_per_search_j = 0.0;
+  double model_time_s = 0.0;
+  double wall_s = 0.0;  ///< measured (not deterministic)
+  double qps = 0.0;
+  double p50_batch_us = 0.0;
+  double p99_batch_us = 0.0;
+};
+
+/// Brute-force kNN reference: digit distance of `query` against every
+/// trace rule, filtered by `threshold`, ordered by (distance, priority,
+/// id) with id = rule_ids[rule], truncated to k.  The golden the engine's
+/// search_nearest path (and recall_at_k) is scored against.
+std::vector<NearCandidate> brute_force_nearest(
+    const Trace& trace, const std::vector<EntryId>& rule_ids,
+    const arch::BitWord& query, int digit_bits, int k, int threshold);
+
+/// Drive the trace's queries through the engine as kSearchNearest
+/// requests and summarize (digit width taken from table.config()).
+NearestRunSummary run_nearest_trace(SearchEngine& engine,
+                                    const TcamTable& table,
+                                    const Trace& trace,
+                                    const std::vector<EntryId>& rule_ids,
+                                    const NearestRunOptions& options);
 
 }  // namespace fetcam::engine

@@ -1,0 +1,169 @@
+// Behavioral approximate-search reference checks: digit distances counted
+// straight off the ternary words, exact-match degeneration at d = 1 /
+// threshold = 0, all-X digits costing nothing, and the single-step stats
+// convention the engine's energy A/B relies on.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "arch/approx_search.hpp"
+#include "arch/behavioral_array.hpp"
+#include "util/rng.hpp"
+
+namespace fetcam::arch {
+namespace {
+
+TernaryWord random_word(std::mt19937& rng, int cols, double x_fraction) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<int> bit(0, 1);
+  TernaryWord w;
+  w.reserve(static_cast<std::size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    if (u(rng) < x_fraction) {
+      w.push_back(Ternary::kX);
+    } else {
+      w.push_back(bit(rng) != 0 ? Ternary::kOne : Ternary::kZero);
+    }
+  }
+  return w;
+}
+
+BitWord random_query(std::mt19937& rng, int cols) {
+  std::uniform_int_distribution<int> bit(0, 1);
+  BitWord q(static_cast<std::size_t>(cols));
+  for (auto& b : q) b = static_cast<std::uint8_t>(bit(rng));
+  return q;
+}
+
+/// Digit distance counted the obvious way: walk the digits, a digit
+/// mismatches when any cared column in it mismatches.
+int naive_distance(const TernaryWord& stored, const BitWord& query,
+                   int digit_bits) {
+  int distance = 0;
+  for (std::size_t g = 0; g < stored.size();
+       g += static_cast<std::size_t>(digit_bits)) {
+    for (int b = 0; b < digit_bits; ++b) {
+      const std::size_t c = g + static_cast<std::size_t>(b);
+      const Ternary t = stored[c];
+      if (t == Ternary::kX) continue;
+      const bool want = t == Ternary::kOne;
+      if (want != (query[c] != 0)) {
+        ++distance;
+        break;
+      }
+    }
+  }
+  return distance;
+}
+
+TEST(ApproxSearch, DigitDistanceMatchesNaiveCount) {
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    auto rng = util::trial_rng(41, trial, 0);
+    for (const int d : {1, 2, 3}) {
+      const int digits = 1 + static_cast<int>(trial % 70);
+      const int cols = digits * d;
+      const auto w = random_word(rng, cols, 0.3);
+      const auto q = random_query(rng, cols);
+      EXPECT_EQ(digit_distance(w, q, d), naive_distance(w, q, d))
+          << "trial " << trial << " d " << d;
+    }
+  }
+}
+
+TEST(ApproxSearch, ResultMatchesPerRowDigitDistance) {
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    auto rng = util::trial_rng(42, trial, 0);
+    for (const int d : {1, 2, 3}) {
+      const int digits = 10 + static_cast<int>(trial % 40);
+      const int cols = digits * d;
+      const int rows = std::uniform_int_distribution<int>(1, 60)(rng);
+      TcamArray a(rows, cols);
+      std::vector<TernaryWord> words(static_cast<std::size_t>(rows));
+      std::vector<bool> valid(static_cast<std::size_t>(rows), false);
+      for (int r = 0; r < rows; ++r) {
+        if (std::uniform_real_distribution<double>(0.0, 1.0)(rng) < 0.2) {
+          continue;  // leave invalid
+        }
+        words[static_cast<std::size_t>(r)] = random_word(rng, cols, 0.25);
+        a.write(r, words[static_cast<std::size_t>(r)]);
+        valid[static_cast<std::size_t>(r)] = true;
+      }
+      const auto q = random_query(rng, cols);
+      const int threshold = static_cast<int>(trial % 5);
+      const ApproxSearchResult res = approx_search(a, q, d, threshold);
+      int candidates = 0;
+      for (int r = 0; r < rows; ++r) {
+        if (!valid[static_cast<std::size_t>(r)]) {
+          EXPECT_EQ(res.distances[static_cast<std::size_t>(r)], -1);
+          EXPECT_FALSE(res.within[static_cast<std::size_t>(r)]);
+          continue;
+        }
+        const int want =
+            digit_distance(words[static_cast<std::size_t>(r)], q, d);
+        EXPECT_EQ(res.distances[static_cast<std::size_t>(r)], want);
+        EXPECT_EQ(res.within[static_cast<std::size_t>(r)],
+                  want <= threshold);
+        if (want <= threshold) ++candidates;
+      }
+      // Single-step accounting: every valid row evaluated once, matches =
+      // candidate count, no step-1 misses to save energy on.
+      EXPECT_EQ(res.stats.matches, candidates);
+      EXPECT_EQ(res.stats.step1_misses, 0);
+    }
+  }
+}
+
+TEST(ApproxSearch, ExactDegenerationAtDigitOneThresholdZero) {
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    auto rng = util::trial_rng(43, trial, 0);
+    const int cols = 1 + static_cast<int>(trial * 5 % 100);
+    const int rows = std::uniform_int_distribution<int>(1, 50)(rng);
+    TcamArray a(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      if (std::uniform_real_distribution<double>(0.0, 1.0)(rng) < 0.15) {
+        continue;
+      }
+      a.write(r, random_word(rng, cols, 0.3));
+    }
+    const auto q = random_query(rng, cols);
+    const ApproxSearchResult res = approx_search(a, q, 1, 0);
+    const std::vector<bool> exact = a.search(q);
+    for (int r = 0; r < rows; ++r) {
+      EXPECT_EQ(res.within[static_cast<std::size_t>(r)],
+                exact[static_cast<std::size_t>(r)])
+          << "trial " << trial << " row " << r;
+    }
+  }
+}
+
+TEST(ApproxSearch, AllXDigitsCostNothing) {
+  TcamArray a(2, 6);
+  a.write(0, TernaryWord(6, Ternary::kX));
+  // Row 1: one cared digit that mismatches everything-ones.
+  TernaryWord w(6, Ternary::kX);
+  w[0] = Ternary::kZero;
+  a.write(1, w);
+  const BitWord q(6, 1);
+  const ApproxSearchResult res = approx_search(a, q, 3, 0);
+  EXPECT_EQ(res.distances[0], 0);
+  EXPECT_TRUE(res.within[0]);
+  EXPECT_EQ(res.distances[1], 1);
+  EXPECT_FALSE(res.within[1]);
+}
+
+TEST(ApproxSearch, ValidationThrows) {
+  TcamArray a(2, 6);
+  const BitWord q(6, 0);
+  EXPECT_THROW(approx_search(a, q, 0, 0), std::invalid_argument);
+  EXPECT_THROW(approx_search(a, q, 4, 0), std::invalid_argument);
+  EXPECT_THROW(approx_search(a, q, 1, -1), std::invalid_argument);
+  // cols = 6 is divisible by 2 and 3 but a 4-wide digit is out of range
+  // anyway; a non-dividing width must throw.
+  TcamArray b(2, 7);
+  const BitWord qb(7, 0);
+  EXPECT_THROW(approx_search(b, qb, 2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fetcam::arch

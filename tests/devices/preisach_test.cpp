@@ -148,5 +148,63 @@ TEST(Preisach, DpDvSensitivityMatchesFiniteDifference) {
   }
 }
 
+// ---- multi-level (FeCAM-style) programming --------------------------------
+
+TEST(Preisach, MultiLevelProgramShapesAndOrdering) {
+  const auto p = dg_card();
+  for (int bits = 1; bits <= 3; ++bits) {
+    const MultiLevelProgram prog = multi_level_program(p, bits);
+    const std::size_t levels = 1u << bits;
+    EXPECT_EQ(prog.bits, bits);
+    ASSERT_EQ(prog.polarization.size(), levels);
+    ASSERT_EQ(prog.write_voltage.size(), levels);
+    for (std::size_t l = 1; l < levels; ++l) {
+      EXPECT_GT(prog.polarization[l], prog.polarization[l - 1])
+          << "bits=" << bits << " level " << l;
+      EXPECT_GT(prog.write_voltage[l], prog.write_voltage[l - 1]);
+    }
+    // The top level is the nominal full write: d = 1 degenerates to the
+    // binary cell the paper characterizes.
+    EXPECT_NEAR(prog.write_voltage.back(), p.vw(), 1e-9);
+    EXPECT_NEAR(prog.polarization.back(), branch_ascending(p, p.vw()),
+                1e-12);
+    EXPECT_GT(multi_level_margin(prog), 0.0);
+  }
+  // Margin shrinks as levels multiply inside the same polarization window.
+  EXPECT_GT(multi_level_margin(multi_level_program(p, 1)),
+            multi_level_margin(multi_level_program(p, 2)));
+  EXPECT_GT(multi_level_margin(multi_level_program(p, 2)),
+            multi_level_margin(multi_level_program(p, 3)));
+}
+
+TEST(Preisach, MultiLevelWriteSettlesOnTargetAndQuantizesBack) {
+  // Erase + partial write at write_voltage[L] must settle at
+  // polarization[L], and the sense quantizer must recover L from the
+  // settled value — the closed loop a d-bit digit depends on.
+  const auto p = dg_card();
+  for (int bits = 1; bits <= 3; ++bits) {
+    const MultiLevelProgram prog = multi_level_program(p, bits);
+    const double erased = -branch_ascending(p, p.vw());
+    for (std::size_t l = 0; l < prog.polarization.size(); ++l) {
+      const double settled =
+          settle_polarization(p, erased, prog.write_voltage[l]);
+      EXPECT_NEAR(settled, prog.polarization[l],
+                  1e-9 * std::abs(prog.polarization[l]) + 1e-15)
+          << "bits=" << bits << " level " << l;
+      EXPECT_EQ(quantize_level(prog, settled), static_cast<int>(l));
+      // Quantization survives a disturb smaller than half the margin.
+      const double kick = 0.4 * multi_level_margin(prog);
+      EXPECT_EQ(quantize_level(prog, settled + kick), static_cast<int>(l));
+      EXPECT_EQ(quantize_level(prog, settled - kick), static_cast<int>(l));
+    }
+  }
+}
+
+TEST(Preisach, MultiLevelProgramRejectsBadBitWidths) {
+  const auto p = dg_card();
+  EXPECT_THROW(multi_level_program(p, 0), std::invalid_argument);
+  EXPECT_THROW(multi_level_program(p, 4), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fetcam::dev

@@ -29,7 +29,14 @@ and fails when:
     not at least X times the single-query baseline arm measured in the
     same run;
   * --min-engine-qps N was passed and the blocked trace arm fell below
-    N queries/second (the ROADMAP's 2x-over-PR-7 floor in CI).
+    N queries/second (the ROADMAP's 2x-over-PR-7 floor in CI);
+  * --approx was passed and the approximate-match section is missing,
+    degenerate, or its recall@k against the brute-force reference fell
+    below MIN_APPROX_RECALL (0.95) -- or fewer than MIN_RECALL_QUERIES
+    sampled queries actually had a non-empty reference, which would make
+    the recall gate vacuous;
+  * --min-approx-qps N was passed (with --approx) and the kNN trace arm
+    fell below N queries/second.
 
 Absolute qps is only gated when the caller opts in with --min-qps: CI
 machines vary too much for a hardcoded number, but a caller that knows
@@ -43,6 +50,7 @@ percentiles, slow-query log, server counters).
 Usage: check_engine_throughput.py [--require-simd] [--min-qps N]
                                   [--min-block-speedup X]
                                   [--min-engine-qps N]
+                                  [--approx] [--min-approx-qps N]
                                   [--stats STATS.json] BENCH_engine.json
 """
 
@@ -54,6 +62,8 @@ MIN_KERNEL_SPEEDUP = 4.0
 MIN_SIMD_SPEEDUP = 2.0
 GATE_ROWS = 4096
 GATE_COLS = 128
+MIN_APPROX_RECALL = 0.95
+MIN_RECALL_QUERIES = 100
 
 
 def check_kernel(report: dict) -> bool:
@@ -248,6 +258,83 @@ def check_engine(report: dict, min_block_speedup: float,
     return ok
 
 
+def check_approx(report: dict, min_approx_qps: float) -> bool:
+    ok = True
+    approx = report.get("approx")
+    if not approx:
+        print("FAIL: no approx section in report")
+        return False
+    for key in ("digit_bits", "k", "threshold", "rules", "searches",
+                "hit_rate", "recall_at_k", "recall_queries", "qps",
+                "energy_per_search_j", "exact_energy_per_search_j",
+                "energy_ratio", "distance_histogram"):
+        if key not in approx:
+            print(f"FAIL: approx section missing field {key!r}")
+            ok = False
+    qps = approx.get("qps", 0.0)
+    recall = approx.get("recall_at_k", 0.0)
+    recall_queries = approx.get("recall_queries", 0)
+    print(
+        f"approx (d={approx.get('digit_bits')}, k={approx.get('k')}, "
+        f"t={approx.get('threshold')}): {approx.get('searches', 0)} "
+        f"searches, {qps:.0f} qps, recall@k={recall:.4f} "
+        f"({recall_queries} scored), "
+        f"hit_rate={approx.get('hit_rate', 0.0):.3f}, "
+        f"energy_ratio={approx.get('energy_ratio', 0.0):.2f}x"
+    )
+    if approx.get("searches", 0) <= 0 or qps <= 0.0:
+        print("FAIL: approx arm ran no searches (or zero throughput)")
+        ok = False
+    if not 0.0 <= approx.get("hit_rate", -1.0) <= 1.0:
+        print(f"FAIL: approx hit_rate={approx.get('hit_rate')} "
+              "outside [0, 1]")
+        ok = False
+    if recall_queries < MIN_RECALL_QUERIES:
+        print(
+            f"FAIL: only {recall_queries} queries scored for recall "
+            f"(need >= {MIN_RECALL_QUERIES} for a non-vacuous gate)"
+        )
+        ok = False
+    if not 0.0 <= recall <= 1.0:
+        print(f"FAIL: recall_at_k={recall} outside [0, 1]")
+        ok = False
+    elif recall < MIN_APPROX_RECALL:
+        print(
+            f"FAIL: recall@k {recall:.4f} < floor {MIN_APPROX_RECALL} "
+            "against the brute-force reference"
+        )
+        ok = False
+    hist = approx.get("distance_histogram")
+    if not isinstance(hist, list) or \
+            len(hist) != approx.get("threshold", -1) + 1:
+        print("FAIL: distance_histogram is not a list of threshold+1 "
+              "buckets")
+        ok = False
+    elif sum(hist) > approx.get("searches", 0):
+        print("FAIL: distance_histogram counts exceed searches")
+        ok = False
+    if approx.get("energy_per_search_j", 0.0) <= 0.0:
+        print("FAIL: approx arm reported zero search energy")
+        ok = False
+    if approx.get("exact_energy_per_search_j", 0.0) <= 0.0:
+        print("FAIL: exact A/B arm reported zero search energy")
+        ok = False
+    # Threshold search cannot early-terminate at step 1, so it must pay
+    # at least the exact path's per-search energy; a ratio below 1 means
+    # the A/B arms diverged (different table or accounting bug).
+    if approx.get("energy_ratio", 0.0) < 1.0:
+        print(
+            f"FAIL: approx/exact energy ratio "
+            f"{approx.get('energy_ratio', 0.0):.3f} < 1 (single-step "
+            "threshold search cannot undercut two-step exact search)"
+        )
+        ok = False
+    if min_approx_qps > 0.0 and qps < min_approx_qps:
+        print(f"FAIL: approx qps {qps:.0f} < floor {min_approx_qps:.0f}")
+        ok = False
+    return ok
+
+
 def check_stats_snapshot(path: str) -> bool:
     """Schema check for the live kStats scrape archived next to the report
     (bench_engine_throughput --stats-json).  Shape only, no thresholds:
@@ -335,6 +422,19 @@ def main() -> int:
         help="absolute qps floor for the blocked engine trace arm (0 = off)",
     )
     parser.add_argument(
+        "--approx",
+        action="store_true",
+        help="require and schema-check the approximate-match (kNN) "
+        "section, gating recall@k >= %.2f" % MIN_APPROX_RECALL,
+    )
+    parser.add_argument(
+        "--min-approx-qps",
+        type=float,
+        default=0.0,
+        help="absolute qps floor for the kNN trace arm "
+        "(0 = off; implies nothing without --approx)",
+    )
+    parser.add_argument(
         "--stats",
         default="",
         help="path to the live kStats scrape (fetcam.stats.v1 JSON) to "
@@ -350,6 +450,8 @@ def main() -> int:
     ok = check_scale(report, args.min_qps) and ok
     ok = check_engine(report, args.min_block_speedup,
                       args.min_engine_qps) and ok
+    if args.approx:
+        ok = check_approx(report, args.min_approx_qps) and ok
     if args.stats:
         ok = check_stats_snapshot(args.stats) and ok
 

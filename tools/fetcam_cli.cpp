@@ -17,9 +17,20 @@
 //   fetcam_cli engine [opts]          trace-driven TCAM service engine run
 //                                     (JSON report on stdout); options:
 //                                       --trace FILE     load a saved trace
-//                                       --kind ip|classifier  generate one
+//                                       --kind ip|classifier|embedding
+//                                         (--workload is an alias) generate
+//                                         one; "embedding" switches the run
+//                                         to the approximate-match kNN path
+//                                         (kSearchNearest) and the JSON
+//                                         report gains recall_at_k plus a
+//                                         winner-distance histogram
 //                                       --cols/--rules/--queries/--seed N
 //                                       --match-rate R  --update-rate R
+//                                       --k N            neighbors per query
+//                                       --threshold T    max mismatching
+//                                                        digits (kNN mode)
+//                                       --digit-bits D   bits per CAM digit
+//                                                        (1-3, multi-level)
 //                                       --mats N --rows-per-mat N
 //                                       --design D --batch N
 //                                       --save-trace FILE
@@ -318,6 +329,8 @@ int cmd_engine(int argc, char** argv) {
   cfg.mats = 8;
   cfg.rows_per_mat = 256;
   engine::RunOptions ropts;
+  engine::NearestRunOptions nopts;
+  bool nearest = false;  ///< kNN mode: embedding workload or explicit --k
   std::string trace_path, save_path;
   std::string stats_out;
   int stats_interval_ms = 0;
@@ -332,11 +345,27 @@ int cmd_engine(int argc, char** argv) {
       trace_path = v;
     } else if (flag == "--save-trace" && (v = value())) {
       save_path = v;
-    } else if (flag == "--kind" && (v = value())) {
+    } else if ((flag == "--kind" || flag == "--workload") && (v = value())) {
       const std::string kind = v;
-      if (kind == "ip") spec.kind = engine::TraceKind::kIpPrefix;
-      else if (kind == "classifier") spec.kind = engine::TraceKind::kClassifier;
-      else return usage();
+      if (kind == "ip") {
+        spec.kind = engine::TraceKind::kIpPrefix;
+      } else if (kind == "classifier") {
+        spec.kind = engine::TraceKind::kClassifier;
+      } else if (kind == "embedding") {
+        spec.kind = engine::TraceKind::kEmbedding;
+        nearest = true;
+      } else {
+        return usage();
+      }
+    } else if (flag == "--k" && (v = value())) {
+      nopts.k = std::atoi(v);
+      nearest = true;
+    } else if (flag == "--threshold" && (v = value())) {
+      nopts.threshold = std::atoi(v);
+      nearest = true;
+    } else if (flag == "--digit-bits" && (v = value())) {
+      cfg.digit_bits = std::atoi(v);
+      spec.digit_bits = cfg.digit_bits;
     } else if (flag == "--cols" && (v = value())) {
       spec.cols = std::atoi(v);
     } else if (flag == "--rules" && (v = value())) {
@@ -356,6 +385,7 @@ int cmd_engine(int argc, char** argv) {
       cfg.rows_per_mat = std::atoi(v);
     } else if (flag == "--batch" && (v = value())) {
       ropts.batch_size = std::atoi(v);
+      nopts.batch_size = ropts.batch_size;
     } else if (flag == "--design" && (v = value())) {
       if (!parse_design(v, cfg.design)) return usage();
     } else if (flag == "--stats-interval" && (v = value())) {
@@ -442,8 +472,13 @@ int cmd_engine(int argc, char** argv) {
       });
     }
 
-    const engine::RunSummary s =
-        engine::run_trace(eng, table, trace, ids, ropts);
+    engine::RunSummary s;
+    engine::NearestRunSummary ns;
+    if (nearest) {
+      ns = engine::run_nearest_trace(eng, table, trace, ids, nopts);
+    } else {
+      s = engine::run_trace(eng, table, trace, ids, ropts);
+    }
 
     if (sampler.joinable()) {
       {
@@ -458,6 +493,51 @@ int cmd_engine(int argc, char** argv) {
       std::fwrite(final_doc.data(), 1, final_doc.size(), stats_file);
       std::fflush(stats_file);
       if (stats_file != stderr) std::fclose(stats_file);
+    }
+    if (nearest) {
+      std::printf(
+          "{\n"
+          "  \"design\": \"%s\",\n"
+          "  \"mode\": \"nearest\",\n"
+          "  \"mats\": %d,\n"
+          "  \"rows_per_mat\": %d,\n"
+          "  \"cols\": %d,\n"
+          "  \"digit_bits\": %d,\n"
+          "  \"threads\": %d,\n"
+          "  \"rules\": %zu,\n"
+          "  \"k\": %d,\n"
+          "  \"threshold\": %d,\n"
+          "  \"requests\": %llu,\n"
+          "  \"searches\": %llu,\n"
+          "  \"batches\": %llu,\n"
+          "  \"hit_rate\": %.6f,\n"
+          "  \"recall_at_k\": %.6f,\n"
+          "  \"recall_queries\": %llu,\n"
+          "  \"distance_histogram\": [",
+          arch::design_name(cfg.design).c_str(), cfg.mats, cfg.rows_per_mat,
+          cfg.cols, cfg.digit_bits, util::thread_count(), trace.rules.size(),
+          ns.k, ns.threshold, static_cast<unsigned long long>(ns.requests),
+          static_cast<unsigned long long>(ns.searches),
+          static_cast<unsigned long long>(ns.batches), ns.hit_rate,
+          ns.recall_at_k,
+          static_cast<unsigned long long>(ns.recall_queries));
+      for (std::size_t i = 0; i < ns.distance_histogram.size(); ++i) {
+        std::printf("%s%llu", i ? ", " : "",
+                    static_cast<unsigned long long>(ns.distance_histogram[i]));
+      }
+      std::printf(
+          "],\n"
+          "  \"energy_j\": %.6g,\n"
+          "  \"energy_per_search_j\": %.6g,\n"
+          "  \"model_time_s\": %.6g,\n"
+          "  \"wall_s\": %.6f,\n"
+          "  \"qps\": %.1f,\n"
+          "  \"p50_batch_us\": %.1f,\n"
+          "  \"p99_batch_us\": %.1f\n"
+          "}\n",
+          ns.energy_j, ns.energy_per_search_j, ns.model_time_s, ns.wall_s,
+          ns.qps, ns.p50_batch_us, ns.p99_batch_us);
+      return 0;
     }
     std::printf(
         "{\n"
