@@ -201,4 +201,12 @@ FeFetParams dg_fefet_params() {
   return p;
 }
 
+FeFetParams scale_fe_thickness(FeFetParams card, double scale) {
+  if (scale == 1.0) return card;
+  card.fe.t_fe *= scale;
+  card.fe.vc *= scale;      // constant coercive field E_c
+  card.mw_fg *= scale;      // dVth = P t_FE / eps_FE
+  return card;
+}
+
 }  // namespace fetcam::dev

@@ -117,6 +117,12 @@ class FeFet : public spice::Device {
   CapCompanion cfg_s_, cfg_d_, cbg_s_, cdb_, csb_;
 };
 
+/// Thickness-scaled card: t_FE, the coercive voltage (E_c t_FE constant
+/// field) and the FG memory window (P t_FE / eps charge sheet) scale
+/// linearly with `scale` to first order; channel card, Ps, and switching
+/// dynamics are unchanged.  scale = 1 returns the card bit-identical.
+FeFetParams scale_fe_thickness(FeFetParams card, double scale);
+
 /// SG-FeFET card: 10 nm FE, +/-4 V write, MW 1.8 V, FG read.
 FeFetParams sg_fefet_params();
 /// DG-FeFET card: 5 nm FE, +/-2 V write, MW(FG) 0.9 V, MW(BG) 2.7 V.

@@ -1,0 +1,323 @@
+#include "dse/design_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace fetcam::dse {
+
+bool DesignPoint::operator==(const DesignPoint& o) const {
+  return design == o.design && t_fe_scale == o.t_fe_scale && vdd == o.vdd &&
+         control_w_scale == o.control_w_scale &&
+         sense_trim_v == o.sense_trim_v && rows == o.rows &&
+         word_bits == o.word_bits && mats == o.mats &&
+         digit_bits == o.digit_bits;
+}
+
+std::string flavor_name(arch::TcamDesign d) {
+  switch (d) {
+    case arch::TcamDesign::kCmos16T:
+      return "16t";
+    case arch::TcamDesign::k2SgFefet:
+      return "2sg";
+    case arch::TcamDesign::k2DgFefet:
+      return "2dg";
+    case arch::TcamDesign::k1p5SgFe:
+      return "1p5sg";
+    case arch::TcamDesign::k1p5DgFe:
+      return "1p5dg";
+  }
+  return "?";
+}
+
+arch::TcamDesign flavor_from_name(const std::string& name) {
+  if (name == "2sg") return arch::TcamDesign::k2SgFefet;
+  if (name == "2dg") return arch::TcamDesign::k2DgFefet;
+  if (name == "1p5sg") return arch::TcamDesign::k1p5SgFe;
+  if (name == "1p5dg") return arch::TcamDesign::k1p5DgFe;
+  if (name == "16t") return arch::TcamDesign::kCmos16T;
+  throw std::invalid_argument("unknown design flavour: " + name);
+}
+
+namespace {
+
+[[noreturn]] void bad_axis(const std::string& axis, const std::string& why) {
+  throw std::invalid_argument("design space axis '" + axis + "': " + why);
+}
+
+template <typename T>
+void check_axis(const std::string& name, const std::vector<T>& axis) {
+  if (axis.empty()) bad_axis(name, "must not be empty");
+}
+
+}  // namespace
+
+void DesignSpace::validate() const {
+  check_axis("design", designs);
+  for (arch::TcamDesign d : designs) {
+    if (d == arch::TcamDesign::kCmos16T) {
+      bad_axis("design",
+               "16T CMOS has no FE/write-voltage knobs; DSE covers the "
+               "FeFET designs");
+    }
+  }
+  check_axis("t_fe_scale", t_fe_scale);
+  for (double v : t_fe_scale) {
+    if (!(v > 0.0)) bad_axis("t_fe_scale", "values must be > 0");
+  }
+  check_axis("vdd", vdd);
+  for (double v : vdd) {
+    if (!(v > 0.0)) bad_axis("vdd", "values must be > 0");
+  }
+  check_axis("control_w_scale", control_w_scale);
+  for (double v : control_w_scale) {
+    if (!(v > 0.0)) bad_axis("control_w_scale", "values must be > 0");
+  }
+  check_axis("sense_trim_v", sense_trim_v);
+  check_axis("rows", rows);
+  for (int v : rows) {
+    if (v < 1) bad_axis("rows", "values must be >= 1");
+  }
+  check_axis("word_bits", word_bits);
+  for (int v : word_bits) {
+    if (v < 1) bad_axis("word_bits", "values must be >= 1");
+  }
+  check_axis("mats", mats);
+  for (int v : mats) {
+    if (v < 1) bad_axis("mats", "values must be >= 1");
+  }
+  check_axis("digit_bits", digit_bits);
+  for (int v : digit_bits) {
+    if (v < 1 || v > 3) bad_axis("digit_bits", "values must be in [1, 3]");
+  }
+}
+
+std::size_t DesignSpace::grid_size() const {
+  return designs.size() * t_fe_scale.size() * vdd.size() *
+         control_w_scale.size() * sense_trim_v.size() * rows.size() *
+         word_bits.size() * mats.size() * digit_bits.size();
+}
+
+DesignPoint DesignSpace::grid_point(std::size_t idx) const {
+  // Canonical order: designs outermost, digit_bits fastest.
+  DesignPoint p;
+  auto take = [&idx](const auto& axis) {
+    const std::size_t i = idx % axis.size();
+    idx /= axis.size();
+    return axis[i];
+  };
+  p.digit_bits = take(digit_bits);
+  p.mats = take(mats);
+  p.word_bits = take(word_bits);
+  p.rows = take(rows);
+  p.sense_trim_v = take(sense_trim_v);
+  p.control_w_scale = take(control_w_scale);
+  p.vdd = take(vdd);
+  p.t_fe_scale = take(t_fe_scale);
+  p.design = take(designs);
+  return p;
+}
+
+std::vector<DesignPoint> DesignSpace::grid_points() const {
+  validate();
+  const std::size_t n = grid_size();
+  std::vector<DesignPoint> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(grid_point(i));
+  return out;
+}
+
+std::vector<DesignPoint> DesignSpace::sample_points(std::size_t n,
+                                                    std::uint64_t seed) const {
+  validate();
+  // Halton bases, one prime per axis (9 axes).
+  static constexpr std::uint64_t kBases[] = {2, 3, 5, 7, 11, 13, 17, 19, 23};
+  // Cranley–Patterson rotation: a fixed per-axis offset derived from the
+  // seed shifts the whole sequence, so seeds decorrelate while each seed
+  // stays fully deterministic.
+  double shift[9];
+  for (std::size_t a = 0; a < 9; ++a) {
+    shift[a] = static_cast<double>(util::trial_key(seed, a) >> 11) *
+               0x1.0p-53;  // uniform in [0, 1)
+  }
+  auto pick = [](const auto& axis, double u) {
+    const std::size_t i = std::min(
+        axis.size() - 1, static_cast<std::size_t>(u * axis.size()));
+    return axis[i];
+  };
+  std::vector<DesignPoint> out;
+  std::set<std::size_t> seen;  // collapse duplicates via the grid index
+  for (std::size_t k = 0; out.size() < n && k < 64 * n + 64; ++k) {
+    double u[9];
+    for (std::size_t a = 0; a < 9; ++a) {
+      u[a] = util::radical_inverse(k + 1, kBases[a]) + shift[a];
+      if (u[a] >= 1.0) u[a] -= 1.0;
+    }
+    DesignPoint p;
+    p.design = pick(designs, u[0]);
+    p.t_fe_scale = pick(t_fe_scale, u[1]);
+    p.vdd = pick(vdd, u[2]);
+    p.control_w_scale = pick(control_w_scale, u[3]);
+    p.sense_trim_v = pick(sense_trim_v, u[4]);
+    p.rows = pick(rows, u[5]);
+    p.word_bits = pick(word_bits, u[6]);
+    p.mats = pick(mats, u[7]);
+    p.digit_bits = pick(digit_bits, u[8]);
+    // Canonical grid index doubles as the dedup key.
+    std::size_t key = 0;
+    auto fold = [&key](const auto& axis, const auto& v) {
+      const auto it = std::find(axis.begin(), axis.end(), v);
+      key = key * axis.size() +
+            static_cast<std::size_t>(it - axis.begin());
+    };
+    fold(designs, p.design);
+    fold(t_fe_scale, p.t_fe_scale);
+    fold(vdd, p.vdd);
+    fold(control_w_scale, p.control_w_scale);
+    fold(sense_trim_v, p.sense_trim_v);
+    fold(rows, p.rows);
+    fold(word_bits, p.word_bits);
+    fold(mats, p.mats);
+    fold(digit_bits, p.digit_bits);
+    if (seen.insert(key).second) out.push_back(p);
+  }
+  return out;
+}
+
+namespace {
+
+double norm_on(const std::vector<double>& axis, double v) {
+  const auto [lo, hi] = std::minmax_element(axis.begin(), axis.end());
+  if (*hi == *lo) return 0.5;
+  return (v - *lo) / (*hi - *lo);
+}
+
+double norm_log2(const std::vector<int>& axis, int v) {
+  const auto [lo, hi] = std::minmax_element(axis.begin(), axis.end());
+  if (*hi == *lo) return 0.5;
+  return (std::log2(static_cast<double>(v)) -
+          std::log2(static_cast<double>(*lo))) /
+         (std::log2(static_cast<double>(*hi)) -
+          std::log2(static_cast<double>(*lo)));
+}
+
+}  // namespace
+
+std::vector<double> DesignSpace::features(const DesignPoint& p) const {
+  const bool is_1p5 = p.design == arch::TcamDesign::k1p5SgFe ||
+                      p.design == arch::TcamDesign::k1p5DgFe;
+  const bool is_dg = p.design == arch::TcamDesign::k2DgFefet ||
+                     p.design == arch::TcamDesign::k1p5DgFe;
+  return {
+      is_1p5 ? 1.0 : 0.0,
+      is_dg ? 1.0 : 0.0,
+      norm_on(t_fe_scale, p.t_fe_scale),
+      norm_on(vdd, p.vdd),
+      norm_on(control_w_scale, p.control_w_scale),
+      norm_on(sense_trim_v, p.sense_trim_v),
+      norm_log2(rows, p.rows),
+      norm_log2(word_bits, p.word_bits),
+      norm_log2(mats, p.mats),
+      norm_on({1.0, 3.0}, static_cast<double>(p.digit_bits)),
+  };
+}
+
+std::vector<std::string> DesignSpace::feature_names() const {
+  return {"family_1p5", "gate_dg",   "t_fe_scale", "vdd",  "control_w",
+          "sense_trim", "log2_rows", "log2_word",  "mats", "digit_bits"};
+}
+
+DesignSpace default_space() {
+  DesignSpace s;
+  s.designs = {arch::TcamDesign::k2SgFefet, arch::TcamDesign::k1p5DgFe};
+  s.t_fe_scale = {0.8, 1.0};
+  s.vdd = {0.7, 0.8};
+  s.control_w_scale = {1.0, 1.25};
+  s.sense_trim_v = {0.0, 0.05};
+  s.rows = {16};
+  s.word_bits = {8, 32};
+  s.mats = {1, 4};
+  s.digit_bits = {1, 2};
+  return s;
+}
+
+DesignSpace parse_space(const std::string& text) {
+  DesignSpace s;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank
+    std::string eq;
+    if (!(ls >> eq) || eq != "=") {
+      throw std::invalid_argument("space file line " + std::to_string(lineno) +
+                                  ": expected 'key = v1 v2 ...'");
+    }
+    auto read_doubles = [&ls, lineno](std::vector<double>& dst) {
+      dst.clear();
+      double v = 0.0;
+      while (ls >> v) dst.push_back(v);
+      if (!ls.eof() || dst.empty()) {
+        throw std::invalid_argument("space file line " +
+                                    std::to_string(lineno) +
+                                    ": expected one or more numbers");
+      }
+    };
+    auto read_ints = [&ls, lineno](std::vector<int>& dst) {
+      dst.clear();
+      int v = 0;
+      while (ls >> v) dst.push_back(v);
+      if (!ls.eof() || dst.empty()) {
+        throw std::invalid_argument("space file line " +
+                                    std::to_string(lineno) +
+                                    ": expected one or more integers");
+      }
+    };
+    if (key == "design") {
+      s.designs.clear();
+      std::string name;
+      while (ls >> name) s.designs.push_back(flavor_from_name(name));
+    } else if (key == "t_fe_scale") {
+      read_doubles(s.t_fe_scale);
+    } else if (key == "vdd") {
+      read_doubles(s.vdd);
+    } else if (key == "control_w_scale") {
+      read_doubles(s.control_w_scale);
+    } else if (key == "sense_trim_v") {
+      read_doubles(s.sense_trim_v);
+    } else if (key == "rows") {
+      read_ints(s.rows);
+    } else if (key == "word_bits") {
+      read_ints(s.word_bits);
+    } else if (key == "mats") {
+      read_ints(s.mats);
+    } else if (key == "digit_bits") {
+      read_ints(s.digit_bits);
+    } else {
+      throw std::invalid_argument("space file line " + std::to_string(lineno) +
+                                  ": unknown key '" + key + "'");
+    }
+  }
+  s.validate();
+  return s;
+}
+
+DesignSpace load_space_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open space file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_space(buf.str());
+}
+
+}  // namespace fetcam::dse

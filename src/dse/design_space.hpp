@@ -1,0 +1,100 @@
+// Design-space description for the DSE sweep: which knobs exist, which
+// values each may take, and how a (possibly huge) joint space is turned
+// into a deterministic candidate list.
+//
+// Two enumeration modes:
+//  * grid_points() — the full cartesian product in a fixed canonical order
+//    (last axis fastest), for exhaustive sweeps;
+//  * sample_points(n, seed) — a seeded low-discrepancy subset: a Halton
+//    point in the unit hypercube picks one value per axis, with a
+//    splitmix64-derived Cranley–Patterson rotation so different seeds give
+//    different (but individually deterministic) designs.  Duplicates are
+//    collapsed, so the returned list may be shorter than n.
+//
+// Both orders depend only on (space, n, seed) — never on thread count —
+// which is the foundation of the sweep's bit-identical parallelism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/area_model.hpp"
+#include "tcam/word.hpp"
+
+namespace fetcam::dse {
+
+/// One candidate design: a cell flavour plus every tuning/geometry knob
+/// the evaluation harness understands.
+struct DesignPoint {
+  arch::TcamDesign design = arch::TcamDesign::k1p5DgFe;
+  double t_fe_scale = 1.0;       ///< ferroelectric thickness scale
+  double vdd = 0.8;              ///< array supply, volts
+  double control_w_scale = 1.0;  ///< TP/TN width scale (1.5T1Fe divider)
+  double sense_trim_v = 0.0;     ///< sense-threshold trim, volts
+  int rows = 16;                 ///< rows per mat
+  int word_bits = 8;             ///< physical cells per word
+  int mats = 1;                  ///< parallel mats (match-OR tree depth)
+  int digit_bits = 1;            ///< d-bit digits per cell, in {1, 2, 3}
+
+  /// Stored bits per mat row: cells x digit bits.
+  int bits_per_word() const { return word_bits * digit_bits; }
+  /// The device-tuning bundle the harnesses consume.
+  tcam::DeviceTuning tuning() const {
+    return {t_fe_scale, control_w_scale, sense_trim_v};
+  }
+  bool operator==(const DesignPoint& o) const;
+};
+
+/// Short stable name for a point's design ("2sg", "1p5dg", ...), used in
+/// reports and the space-file format.
+std::string flavor_name(arch::TcamDesign d);
+/// Inverse of flavor_name; throws std::invalid_argument on unknown names.
+arch::TcamDesign flavor_from_name(const std::string& name);
+
+/// Axis-aligned candidate space: the sweep enumerates the cartesian
+/// product of per-knob value lists.  Empty axes are invalid.
+struct DesignSpace {
+  std::vector<arch::TcamDesign> designs = {arch::TcamDesign::k2SgFefet,
+                                           arch::TcamDesign::k1p5DgFe};
+  std::vector<double> t_fe_scale = {1.0};
+  std::vector<double> vdd = {0.8};
+  std::vector<double> control_w_scale = {1.0};
+  std::vector<double> sense_trim_v = {0.0};
+  std::vector<int> rows = {16};
+  std::vector<int> word_bits = {8};
+  std::vector<int> mats = {1};
+  std::vector<int> digit_bits = {1};
+
+  /// Throws std::invalid_argument naming the offending axis when any axis
+  /// is empty or holds an out-of-range value (digit_bits outside [1,3],
+  /// non-positive geometry, non-FeFET design, ...).
+  void validate() const;
+
+  std::size_t grid_size() const;
+  /// Point at canonical grid index (last axis fastest).  idx < grid_size().
+  DesignPoint grid_point(std::size_t idx) const;
+  std::vector<DesignPoint> grid_points() const;
+
+  /// Seeded low-discrepancy subset of at most n distinct points.
+  std::vector<DesignPoint> sample_points(std::size_t n,
+                                         std::uint64_t seed) const;
+
+  /// Normalized feature vector of a point for the surrogate: one entry per
+  /// axis, each mapped to [0, 1] over the axis' value range (0.5 when the
+  /// axis is degenerate).  The design axis contributes two features
+  /// (cell family, gate flavour).
+  std::vector<double> features(const DesignPoint& p) const;
+  std::vector<std::string> feature_names() const;
+};
+
+/// The checked-in default space: both cell families at paper-adjacent
+/// knob ranges, small enough for CI (see docs/DSE.md).
+DesignSpace default_space();
+
+/// Parse the `key = v1 v2 ...` space-file format (docs/DSE.md).  Unknown
+/// keys, bad numbers, or a failed validate() throw std::invalid_argument.
+DesignSpace parse_space(const std::string& text);
+DesignSpace load_space_file(const std::string& path);
+
+}  // namespace fetcam::dse

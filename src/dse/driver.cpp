@@ -1,0 +1,271 @@
+#include "dse/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace fetcam::dse {
+
+namespace {
+
+std::uint64_t point_seed(const DseOptions& opts, std::size_t index) {
+  return util::trial_key(opts.eval.seed, index);
+}
+
+/// Uniform-[0,1) draw keyed on (seed, index) for the validation subsample
+/// — a pure function of the pair, independent of everything else.
+double validation_draw(std::uint64_t seed, std::size_t index) {
+  return static_cast<double>(
+             util::trial_key(seed, index, /*stream=*/7) >> 11) *
+         0x1.0p-53;
+}
+
+void bump_counters(const DseResult& r) {
+  if (!obs::metrics_on()) return;
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::Counter& eval_ctr = reg.counter("dse.points.evaluated");
+  static obs::Counter& skip_ctr = reg.counter("dse.points.skipped");
+  static obs::Counter& valid_ctr = reg.counter("dse.points.validated");
+  eval_ctr.add(r.n_evaluated);
+  skip_ctr.add(r.n_skipped);
+  valid_ctr.add(r.n_validated);
+}
+
+}  // namespace
+
+DseResult run_dse(const DseOptions& opts, const EvalFn& eval_fn) {
+  opts.space.validate();
+  const EvalFn eval = eval_fn ? eval_fn
+                              : EvalFn([&opts](std::size_t i,
+                                               const DesignPoint& p) {
+                                  return evaluate_point(p, opts.eval,
+                                                        point_seed(opts, i));
+                                });
+
+  DseResult res;
+  {
+    const std::size_t grid = opts.space.grid_size();
+    std::vector<DesignPoint> pts =
+        (opts.budget == 0 || opts.budget >= grid)
+            ? opts.space.grid_points()
+            : opts.space.sample_points(opts.budget, opts.seed);
+    // Seeded shuffle: enumeration order clusters the space axis-by-axis
+    // (all of design A before design B, ...), which would starve the
+    // surrogate's warmup of coverage and delay pruning.  Sorting by a
+    // splitmix64 key is a deterministic permutation — a pure function of
+    // (seed, candidate count), never of threads.
+    std::vector<std::size_t> order(pts.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&opts](std::size_t a, std::size_t b) {
+                const auto ka = util::trial_key(opts.seed, a, /*stream=*/3);
+                const auto kb = util::trial_key(opts.seed, b, /*stream=*/3);
+                return ka != kb ? ka < kb : a < b;
+              });
+    res.candidates.resize(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      res.candidates[i].point = pts[order[i]];
+    }
+  }
+  res.n_candidates = res.candidates.size();
+  res.surrogate_used = opts.use_surrogate;
+
+  const std::size_t n_feat = opts.space.feature_names().size();
+  QuadraticSurrogate surrogate(n_feat, opts.surrogate_ridge);
+  const std::size_t warmup =
+      opts.warmup > 0 ? opts.warmup : surrogate.min_samples_to_fit();
+  const std::size_t batch = std::max<std::size_t>(opts.batch, 1);
+
+  // Objective vectors of every point simulated so far — the "actual"
+  // designs a skip decision must find a dominator among.
+  std::vector<ObjVec> actuals;
+
+  for (std::size_t begin = 0; begin < res.candidates.size(); begin += batch) {
+    const std::size_t end =
+        std::min(begin + batch, res.candidates.size());
+
+    // Decisions first, strictly sequential, from PRIOR-batch state only.
+    std::vector<std::size_t> keep;
+    for (std::size_t i = begin; i < end; ++i) {
+      CandidateResult& c = res.candidates[i];
+      bool skip = false;
+      if (opts.use_surrogate && i >= warmup && surrogate.ready()) {
+        const ObjVec opt = surrogate.optimistic(
+            opts.space.features(c.point), opts.prune_margin_k);
+        c.predicted = opt;
+        for (const ObjVec& a : actuals) {
+          if (dominates(a, opt)) {
+            skip = true;
+            break;
+          }
+        }
+      }
+      if (skip) {
+        c.skipped = true;
+        ++res.n_skipped;
+      } else {
+        keep.push_back(i);
+      }
+    }
+
+    // Simulate the kept points of this batch in parallel; results land in
+    // per-index slots, so the batch outcome is schedule-independent.
+    const auto metrics = util::parallel_map<PointMetrics>(
+        keep.size(), [&](std::size_t k) {
+          const std::size_t i = keep[k];
+          return eval(i, res.candidates[i].point);
+        });
+
+    // Ordered reduction: surrogate samples and the actuals list grow in
+    // candidate order regardless of which thread finished first.
+    for (std::size_t k = 0; k < keep.size(); ++k) {
+      CandidateResult& c = res.candidates[keep[k]];
+      c.metrics = metrics[k];
+      c.simulated = true;
+      ++res.n_evaluated;
+      const ObjVec obj = c.metrics.objectives(opts.eval.write_weight);
+      if (c.metrics.ok) {
+        actuals.push_back(obj);
+        surrogate.add_sample(opts.space.features(c.point), obj);
+      }
+    }
+    if (opts.use_surrogate) surrogate.fit();
+  }
+
+  // Validation arm: seeded subsample of the skipped points, re-simulated
+  // with the exact per-point seed the main arm would have used.
+  std::vector<std::size_t> to_validate;
+  for (std::size_t i = 0; i < res.candidates.size(); ++i) {
+    if (res.candidates[i].skipped &&
+        validation_draw(opts.seed, i) < opts.validate_fraction) {
+      to_validate.push_back(i);
+    }
+  }
+  const auto vmetrics = util::parallel_map<PointMetrics>(
+      to_validate.size(), [&](std::size_t k) {
+        const std::size_t i = to_validate[k];
+        return eval(i, res.candidates[i].point);
+      });
+  for (std::size_t k = 0; k < to_validate.size(); ++k) {
+    CandidateResult& c = res.candidates[to_validate[k]];
+    c.metrics = vmetrics[k];
+    c.simulated = true;
+    c.validated = true;
+    ++res.n_validated;
+    if (c.metrics.ok) {
+      actuals.push_back(c.metrics.objectives(opts.eval.write_weight));
+    }
+  }
+
+  // Frontier over every simulated point (validation included: a validated
+  // point that belonged on the frontier re-enters it here).
+  std::vector<std::size_t> sim_index;
+  std::vector<ObjVec> sim_objs;
+  for (std::size_t i = 0; i < res.candidates.size(); ++i) {
+    if (!res.candidates[i].simulated) continue;
+    sim_index.push_back(i);
+    sim_objs.push_back(
+        res.candidates[i].metrics.objectives(opts.eval.write_weight));
+  }
+  for (std::size_t f : pareto_front(sim_objs)) {
+    res.frontier.push_back(sim_index[f]);
+  }
+  res.reference = reference_point(sim_objs);
+  std::vector<ObjVec> front_objs;
+  for (std::size_t i : res.frontier) {
+    front_objs.push_back(
+        res.candidates[i].metrics.objectives(opts.eval.write_weight));
+  }
+  res.hypervolume = dominated_volume(front_objs, res.reference);
+
+  // Validation verdicts need the final frontier context.
+  for (std::size_t i : to_validate) {
+    const CandidateResult& c = res.candidates[i];
+    if (!c.metrics.ok) continue;
+    const ObjVec obj = c.metrics.objectives(opts.eval.write_weight);
+    for (std::size_t k = 0; k < obj.size(); ++k) {
+      const double ref = std::max(res.reference[k], 1e-12);
+      res.max_validation_gap =
+          std::max(res.max_validation_gap, (c.predicted[k] - obj[k]) / ref);
+    }
+    if (std::find(res.frontier.begin(), res.frontier.end(), i) !=
+        res.frontier.end()) {
+      ++res.validation_frontier_misses;
+    }
+  }
+
+  res.eval_fraction =
+      res.n_candidates > 0
+          ? static_cast<double>(res.n_evaluated + res.n_validated) /
+                static_cast<double>(res.n_candidates)
+          : 1.0;
+
+  // Reporting fit over everything simulated (works with pruning off too).
+  {
+    QuadraticSurrogate reporter(n_feat, opts.surrogate_ridge);
+    for (std::size_t i = 0; i < res.candidates.size(); ++i) {
+      const CandidateResult& c = res.candidates[i];
+      if (c.simulated && c.metrics.ok) {
+        reporter.add_sample(opts.space.features(c.point),
+                            c.metrics.objectives(opts.eval.write_weight));
+      }
+    }
+    if (reporter.fit()) {
+      res.surrogate_rmse = reporter.rmse();
+      res.sensitivity = reporter.linear_sensitivity();
+    }
+  }
+  res.feature_names = opts.space.feature_names();
+
+  bump_counters(res);
+  return res;
+}
+
+DseComparison run_dse_comparison(const DseOptions& opts) {
+  DseComparison cmp;
+  DseOptions exact_opts = opts;
+  exact_opts.use_surrogate = false;
+  cmp.exact = run_dse(exact_opts);
+
+  // Replay the pruned arm against the exact results: identical candidate
+  // lists (same space/budget/seed), identical per-point seeds, so a cache
+  // hit returns bit-identical metrics and the pruned arm's counters are
+  // exactly what a standalone pruned run would simulate.
+  DseOptions pruned_opts = opts;
+  pruned_opts.use_surrogate = true;
+  const auto& cache = cmp.exact.candidates;
+  cmp.pruned = run_dse(
+      pruned_opts, [&cache, &opts](std::size_t i, const DesignPoint& p) {
+        if (i < cache.size() && cache[i].simulated &&
+            cache[i].point == p) {
+          return cache[i].metrics;
+        }
+        return evaluate_point(p, opts.eval,
+                              util::trial_key(opts.eval.seed, i));
+      });
+
+  // Recall: an exact-frontier vector is recovered when the pruned arm's
+  // frontier contains an equal objective vector.
+  std::size_t recovered = 0;
+  const double ww = opts.eval.write_weight;
+  for (std::size_t fi : cmp.exact.frontier) {
+    const ObjVec want = cmp.exact.candidates[fi].metrics.objectives(ww);
+    for (std::size_t pj : cmp.pruned.frontier) {
+      if (cmp.pruned.candidates[pj].metrics.objectives(ww) == want) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  cmp.frontier_recall =
+      cmp.exact.frontier.empty()
+          ? 1.0
+          : static_cast<double>(recovered) /
+                static_cast<double>(cmp.exact.frontier.size());
+  return cmp;
+}
+
+}  // namespace fetcam::dse

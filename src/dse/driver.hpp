@@ -1,0 +1,120 @@
+// The DSE sweep driver: deterministic surrogate-pruned evaluation of a
+// candidate list plus the exact/pruned comparison harness.
+//
+// Loop structure (run_dse):
+//   1. Enumerate candidates — the full grid, or a seeded low-discrepancy
+//      subset when a budget is set.
+//   2. Process candidates in FIXED batches.  Every skip/evaluate decision
+//      for batch B uses only the surrogate state fitted after batch B-1,
+//      so decisions are a pure function of (options, candidate order) —
+//      never of thread count.  The kept points of a batch evaluate in
+//      parallel (util::parallel_map, per-point splitmix64 streams); the
+//      surrogate refits once at each batch boundary.
+//   3. A point is skipped only when its OPTIMISTIC surrogate prediction
+//      (prediction minus prune_margin_k training RMSEs) is already
+//      dominated by an actually-simulated point.
+//   4. Validation arm: a seeded subsample of the skipped points is
+//      re-simulated with the SAME per-point seeds it would have used in
+//      the main arm, quantifying how often the optimistic bound was
+//      violated and whether any pruned point belonged on the frontier.
+//
+// run_dse_comparison runs the exact arm once, then replays the pruned
+// arm's decision process against a cache of the exact results — the
+// pruned arm's counters are what a standalone pruned run would have
+// simulated, at no extra simulation cost.  This is what bench_dse and
+// the CI gate consume (frontier recall, eval fraction).
+//
+// Observability: counters dse.points.evaluated / dse.points.skipped /
+// dse.points.validated prove the sims saved (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dse/design_space.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/pareto.hpp"
+#include "dse/surrogate.hpp"
+
+namespace fetcam::dse {
+
+struct DseOptions {
+  DesignSpace space;
+  /// 0 (or >= grid size) sweeps the full grid; otherwise a seeded
+  /// low-discrepancy subset of at most `budget` points.
+  std::size_t budget = 0;
+  bool use_surrogate = true;
+  std::size_t batch = 16;        ///< batch size of the deterministic loop
+  /// Points evaluated unconditionally before pruning may start; 0 = auto
+  /// (enough to make the first surrogate fit well-posed).
+  std::size_t warmup = 0;
+  double prune_margin_k = 2.0;   ///< optimistic margin, in training RMSEs
+  double validate_fraction = 0.15;  ///< skipped-point re-simulation rate
+  double surrogate_ridge = 1e-3;
+  std::uint64_t seed = 1;        ///< candidate subset + validation draw
+  EvalOptions eval;
+};
+
+/// One candidate's lifecycle through the sweep.
+struct CandidateResult {
+  DesignPoint point;
+  PointMetrics metrics;    ///< valid when simulated
+  bool simulated = false;  ///< main arm or validation arm ran the pipeline
+  bool skipped = false;    ///< pruned by the surrogate in the main arm
+  bool validated = false;  ///< skipped, then re-simulated for validation
+  ObjVec predicted{};      ///< optimistic prediction at decision time
+};
+
+struct DseResult {
+  std::vector<CandidateResult> candidates;  ///< enumeration order
+  /// Indices (into candidates) of the non-dominated simulated points.
+  std::vector<std::size_t> frontier;
+  ObjVec reference{};      ///< hypervolume reference box
+  double hypervolume = 0.0;
+
+  std::size_t n_candidates = 0;
+  std::size_t n_evaluated = 0;  ///< main-arm simulations
+  std::size_t n_skipped = 0;
+  std::size_t n_validated = 0;
+  /// (main + validation simulations) / candidates — the cost ratio the
+  /// CI gate bounds.
+  double eval_fraction = 1.0;
+
+  /// Worst violation of the optimistic bound among validated points,
+  /// relative to the reference box: max over validated points and
+  /// objectives of (optimistic - actual) / reference.  <= 0 means every
+  /// skipped-and-checked point was at least as bad as predicted.
+  double max_validation_gap = 0.0;
+  /// Validated points that turned out non-dominated — frontier points the
+  /// pruning would have lost.
+  std::size_t validation_frontier_misses = 0;
+
+  bool surrogate_used = false;
+  ObjVec surrogate_rmse{};
+  /// Per-knob first-order sensitivity (|linear weight| per objective),
+  /// from a reporting fit over ALL simulated points; parallel to
+  /// feature_names.
+  std::vector<std::string> feature_names;
+  std::vector<ObjVec> sensitivity;
+};
+
+/// Evaluation hook: candidate index + point -> metrics.  The default runs
+/// evaluate_point with the per-point seed trial_key(eval.seed, index);
+/// run_dse_comparison substitutes a cache lookup.
+using EvalFn = std::function<PointMetrics(std::size_t, const DesignPoint&)>;
+
+DseResult run_dse(const DseOptions& opts, const EvalFn& eval_fn = nullptr);
+
+struct DseComparison {
+  DseResult exact;   ///< surrogate off, every candidate simulated
+  DseResult pruned;  ///< surrogate on, replayed against the exact cache
+  /// Fraction of exact-frontier objective vectors the pruned arm's
+  /// frontier recovered.
+  double frontier_recall = 1.0;
+};
+
+DseComparison run_dse_comparison(const DseOptions& opts);
+
+}  // namespace fetcam::dse

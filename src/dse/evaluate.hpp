@@ -1,0 +1,102 @@
+// Per-point evaluation for the DSE sweep: map one DesignPoint through the
+// existing spice/eval pipeline into the four sweep objectives.
+//
+//  * latency — worst-case one-cell-mismatch search latency from the
+//    transient harness (eval::measure_worst_latency), plus a match-OR
+//    tree penalty of kMatTreePs per doubling of the mat count;
+//  * energy — miss-rate-weighted average search energy per stored bit,
+//    plus `write_weight` times the per-bit write energy (search dominates
+//    a CAM's duty cycle; the weight keeps write power from vanishing);
+//  * area — array area per stored bit including the HV driver bank and a
+//    global-periphery share amortized across mats;
+//  * yield — cell-level variability yield at the configured MC budget:
+//    the full divider Monte-Carlo for 1.5T1Fe designs
+//    (eval::analyze_variability on the tuned DividerDesign), an analytic
+//    V_TH/window-margin Monte-Carlo for the 2FeFET designs.
+//
+// Multi-level digits (digit_bits > 1) divide the per-bit energy and area
+// by d and derate the yield margins by the multi-level level-spacing
+// ratio (dev::multi_level_margin); latency is left at the binary value.
+//
+// Determinism: everything here is a pure function of (point, options,
+// point_seed).  Yield trials draw from util::trial_rng(point_seed, trial)
+// counter streams, so a sweep is bit-identical for any thread count or
+// evaluation order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "dse/design_space.hpp"
+#include "eval/variability.hpp"
+
+namespace fetcam::dse {
+
+/// Match-OR tree latency per doubling of the mat count, picoseconds.
+inline constexpr double kMatTreePs = 18.0;
+/// Global periphery (priority encoder, I/O) amortized across mats, um^2.
+inline constexpr double kGlobalPeriphUm2 = 160.0;
+
+struct EvalOptions {
+  int mc_samples = 64;        ///< variability trials per point
+  std::uint64_t seed = 1;     ///< root seed; per-point streams derive from it
+  double write_weight = 0.01; ///< write-energy share in the energy objective
+  /// Variation sigmas for the yield arm (samples/seed fields are ignored;
+  /// mc_samples and the per-point stream override them).
+  eval::VariabilityParams variability;
+};
+
+/// The four minimized objectives, in report order.
+enum Objective : std::size_t {
+  kLatencyPs = 0,
+  kEnergyFjPerBit = 1,
+  kAreaUm2PerBit = 2,
+  kYieldLoss = 3,
+};
+inline constexpr std::size_t kNumObjectives = 4;
+
+struct PointMetrics {
+  DesignPoint point;
+  bool ok = false;
+  std::string error;  ///< set when the point could not be evaluated
+
+  double latency_ps = 0.0;
+  double search_energy_fj_per_bit = 0.0;
+  double write_energy_fj_per_bit = 0.0;
+  double area_um2_per_bit = 0.0;
+  double yield = 0.0;
+
+  /// Minimized objective vector {latency, energy, area, 1 - yield}.  A
+  /// failed point returns all +inf so it can never dominate (or join) a
+  /// frontier; a zero-yield point stays finite (objective 3 = 1.0).
+  std::array<double, kNumObjectives> objectives(double write_weight) const {
+    if (!ok) {
+      constexpr double inf = std::numeric_limits<double>::infinity();
+      return {inf, inf, inf, inf};
+    }
+    return {latency_ps,
+            search_energy_fj_per_bit + write_weight * write_energy_fj_per_bit,
+            area_um2_per_bit, 1.0 - yield};
+  }
+};
+
+/// The tuned divider design a 1.5T1Fe point maps to — exposed so tests
+/// and the report can inspect exactly what the yield arm simulated.
+eval::DividerDesign divider_design_for(const DesignPoint& p);
+
+/// Multi-level sense-margin derating factor for d-bit digits (1.0 at
+/// d = 1): adjacent-level spacing of the d-bit program divided by the
+/// binary spacing, computed on the point's thickness-scaled card.
+double margin_scale_for(const DesignPoint& p);
+
+/// Evaluate one point.  `point_seed` isolates this point's MC stream;
+/// the driver derives it as util::trial_key(opts.seed, candidate_index).
+/// Never throws: invalid shapes come back as ok = false with the error
+/// string, and the objectives of a failed point are all +inf so it can
+/// never enter a Pareto frontier.
+PointMetrics evaluate_point(const DesignPoint& p, const EvalOptions& opts,
+                            std::uint64_t point_seed);
+
+}  // namespace fetcam::dse

@@ -1,0 +1,82 @@
+#include "dse/pareto.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fetcam::dse {
+
+bool dominates(const ObjVec& a, const ObjVec& b) {
+  bool strict = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (!std::isfinite(a[k])) return false;
+    if (a[k] > b[k]) return false;
+    if (a[k] < b[k]) strict = true;
+  }
+  return strict;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<ObjVec>& objs) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    bool finite = true;
+    for (double v : objs[i]) {
+      if (!std::isfinite(v)) finite = false;
+    }
+    if (!finite) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < objs.size() && !dominated; ++j) {
+      if (j == i) continue;
+      if (dominates(objs[j], objs[i])) dominated = true;
+      // Duplicate tie rule: the earliest copy represents the vector.
+      if (j < i && objs[j] == objs[i]) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+ObjVec reference_point(const std::vector<ObjVec>& objs) {
+  ObjVec ref{0.0, 0.0, 0.0, 0.0};
+  for (const ObjVec& o : objs) {
+    bool finite = true;
+    for (double v : o) {
+      if (!std::isfinite(v)) finite = false;
+    }
+    if (!finite) continue;
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      ref[k] = std::max(ref[k], o[k]);
+    }
+  }
+  for (double& v : ref) v *= 1.1;
+  return ref;
+}
+
+double dominated_volume(const std::vector<ObjVec>& frontier, const ObjVec& ref,
+                        std::size_t n_samples) {
+  if (frontier.empty() || n_samples == 0) return 0.0;
+  for (double v : ref) {
+    if (!(v > 0.0) || !std::isfinite(v)) return 0.0;
+  }
+  static constexpr std::uint64_t kBases[] = {2, 3, 5, 7};
+  std::size_t hit = 0;
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    ObjVec x;
+    for (std::size_t k = 0; k < 4; ++k) {
+      x[k] = util::radical_inverse(s + 1, kBases[k]) * ref[k];
+    }
+    for (const ObjVec& f : frontier) {
+      bool dom = true;
+      for (std::size_t k = 0; k < 4; ++k) {
+        if (f[k] > x[k]) dom = false;
+      }
+      if (dom) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(n_samples);
+}
+
+}  // namespace fetcam::dse

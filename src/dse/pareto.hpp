@@ -1,0 +1,42 @@
+// Exact non-dominated sorting and a deterministic dominated-hypervolume
+// estimate for the 4-objective DSE output.
+//
+// All objectives are minimized.  The frontier routine is the plain O(n^2)
+// pairwise scan — frontier inputs here are a few hundred points at most,
+// far below where divide-and-conquer wins — with a canonical tie rule:
+// among duplicated objective vectors only the first (lowest index) enters
+// the frontier, so the result is a deterministic function of input order.
+//
+// The hypervolume (volume of the region dominated by the frontier inside
+// the reference box, normalized to the box volume) is estimated by
+// quasi-Monte-Carlo with the Halton sequence — no RNG state, so the
+// number is reproducible to the bit across runs and thread counts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace fetcam::dse {
+
+using ObjVec = std::array<double, 4>;
+
+/// True when a is at least as good as b in every objective and strictly
+/// better in at least one.  Any NaN/inf in `a` never dominates.
+bool dominates(const ObjVec& a, const ObjVec& b);
+
+/// Indices of the non-dominated points, ascending.  Points with
+/// non-finite objectives never qualify.
+std::vector<std::size_t> pareto_front(const std::vector<ObjVec>& objs);
+
+/// Fraction of the [0, ref] box dominated by the frontier, estimated with
+/// `n_samples` Halton points.  Returns 0 for an empty frontier or a
+/// degenerate box.
+double dominated_volume(const std::vector<ObjVec>& frontier,
+                        const ObjVec& ref, std::size_t n_samples = 4096);
+
+/// Canonical reference point: 1.1x the per-objective maximum over the
+/// finite points (so every finite point dominates some volume).
+ObjVec reference_point(const std::vector<ObjVec>& objs);
+
+}  // namespace fetcam::dse

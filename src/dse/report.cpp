@@ -1,0 +1,243 @@
+#include "dse/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace fetcam::dse {
+
+namespace {
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void append_point_json(std::ostringstream& out, const CandidateResult& c,
+                       double write_weight) {
+  const DesignPoint& p = c.point;
+  const PointMetrics& m = c.metrics;
+  const ObjVec obj = m.objectives(write_weight);
+  out << "{\"design\":\"" << flavor_name(p.design) << "\""
+      << ",\"t_fe_scale\":" << num(p.t_fe_scale) << ",\"vdd\":" << num(p.vdd)
+      << ",\"control_w_scale\":" << num(p.control_w_scale)
+      << ",\"sense_trim_v\":" << num(p.sense_trim_v) << ",\"rows\":" << p.rows
+      << ",\"word_bits\":" << p.word_bits << ",\"mats\":" << p.mats
+      << ",\"digit_bits\":" << p.digit_bits
+      << ",\"latency_ps\":" << num(m.latency_ps)
+      << ",\"search_energy_fj_per_bit\":" << num(m.search_energy_fj_per_bit)
+      << ",\"write_energy_fj_per_bit\":" << num(m.write_energy_fj_per_bit)
+      << ",\"area_um2_per_bit\":" << num(m.area_um2_per_bit)
+      << ",\"yield\":" << num(m.yield) << ",\"objectives\":[" << num(obj[0])
+      << "," << num(obj[1]) << "," << num(obj[2]) << "," << num(obj[3])
+      << "]}";
+}
+
+void append_arm_json(std::ostringstream& out, const DseResult& r,
+                     double write_weight) {
+  out << "\"candidates\":" << r.n_candidates
+      << ",\"evaluated\":" << r.n_evaluated << ",\"skipped\":" << r.n_skipped
+      << ",\"validated\":" << r.n_validated
+      << ",\"eval_fraction\":" << num(r.eval_fraction)
+      << ",\"hypervolume\":" << num(r.hypervolume) << ",\"frontier\":[";
+  for (std::size_t k = 0; k < r.frontier.size(); ++k) {
+    if (k) out << ",";
+    append_point_json(out, r.candidates[r.frontier[k]], write_weight);
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::vector<PaperPointCheck> check_paper_points(const DseOptions& opts,
+                                                const DseResult& exact) {
+  std::vector<PaperPointCheck> out;
+  const double ww = opts.eval.write_weight;
+  for (std::size_t d = 0; d < opts.space.designs.size(); ++d) {
+    PaperPointCheck chk;
+    // Nominal knobs inside the sweep's geometry (first geometry values).
+    chk.point.design = opts.space.designs[d];
+    chk.point.rows = opts.space.rows.front();
+    chk.point.word_bits = opts.space.word_bits.front();
+    chk.point.mats = 1;
+    chk.point.digit_bits = 1;
+    // An isolated seed stream well clear of the candidate indices.
+    chk.metrics = evaluate_point(
+        chk.point, opts.eval,
+        util::trial_key(opts.eval.seed, (1u << 20) + d));
+    if (chk.metrics.ok) {
+      const ObjVec mine = chk.metrics.objectives(ww);
+      for (const CandidateResult& c : exact.candidates) {
+        if (!c.simulated || !c.metrics.ok) continue;
+        const ObjVec other = c.metrics.objectives(ww);
+        if (!dominates(other, mine)) continue;
+        double depth = 1e30;
+        for (std::size_t k = 0; k < mine.size(); ++k) {
+          const double ref = std::max(exact.reference[k], 1e-12);
+          depth = std::min(depth, (mine[k] - other[k]) / ref);
+        }
+        chk.domination_depth = std::max(chk.domination_depth, depth);
+      }
+    }
+    out.push_back(chk);
+  }
+  return out;
+}
+
+std::string render_json(const DseOptions& opts, const DseResult& exact,
+                        const DseResult* pruned, double recall,
+                        const std::vector<PaperPointCheck>& paper,
+                        int threads) {
+  const double ww = opts.eval.write_weight;
+  std::ostringstream out;
+  out << "{\"schema\":\"fetcam.dse.v1\"";
+
+  out << ",\"space\":{\"grid_size\":" << opts.space.grid_size()
+      << ",\"designs\":[";
+  for (std::size_t i = 0; i < opts.space.designs.size(); ++i) {
+    if (i) out << ",";
+    out << "\"" << flavor_name(opts.space.designs[i]) << "\"";
+  }
+  out << "]";
+  auto axis_d = [&out](const char* name, const std::vector<double>& v) {
+    out << ",\"" << name << "\":[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out << ",";
+      out << num(v[i]);
+    }
+    out << "]";
+  };
+  auto axis_i = [&out](const char* name, const std::vector<int>& v) {
+    out << ",\"" << name << "\":[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out << ",";
+      out << v[i];
+    }
+    out << "]";
+  };
+  axis_d("t_fe_scale", opts.space.t_fe_scale);
+  axis_d("vdd", opts.space.vdd);
+  axis_d("control_w_scale", opts.space.control_w_scale);
+  axis_d("sense_trim_v", opts.space.sense_trim_v);
+  axis_i("rows", opts.space.rows);
+  axis_i("word_bits", opts.space.word_bits);
+  axis_i("mats", opts.space.mats);
+  axis_i("digit_bits", opts.space.digit_bits);
+  out << "}";
+
+  out << ",\"budget\":" << opts.budget << ",\"seed\":" << opts.seed
+      << ",\"threads\":" << threads << ",\"mc_samples\":"
+      << opts.eval.mc_samples << ",\"write_weight\":" << num(ww)
+      << ",\"objectives\":[\"latency_ps\",\"energy_fj_per_bit\","
+         "\"area_um2_per_bit\",\"yield_loss\"]";
+
+  out << ",\"exact\":{";
+  append_arm_json(out, exact, ww);
+  out << "}";
+
+  out << ",\"surrogate\":{\"enabled\":" << (pruned ? "true" : "false");
+  if (pruned) {
+    out << ",\"prune_margin_k\":" << num(opts.prune_margin_k)
+        << ",\"validate_fraction\":" << num(opts.validate_fraction) << ",";
+    append_arm_json(out, *pruned, ww);
+    out << ",\"rmse\":[" << num(pruned->surrogate_rmse[0]) << ","
+        << num(pruned->surrogate_rmse[1]) << ","
+        << num(pruned->surrogate_rmse[2]) << ","
+        << num(pruned->surrogate_rmse[3]) << "]"
+        << ",\"max_validation_gap\":" << num(pruned->max_validation_gap)
+        << ",\"validation_frontier_misses\":"
+        << pruned->validation_frontier_misses;
+  }
+  out << "}";
+  if (pruned) out << ",\"surrogate_frontier_recall\":" << num(recall);
+
+  out << ",\"paper_points\":[";
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    if (i) out << ",";
+    const auto& chk = paper[i];
+    const ObjVec obj = chk.metrics.objectives(ww);
+    out << "{\"design\":\"" << flavor_name(chk.point.design) << "\""
+        << ",\"ok\":" << (chk.metrics.ok ? "true" : "false")
+        << ",\"objectives\":[" << num(obj[0]) << "," << num(obj[1]) << ","
+        << num(obj[2]) << "," << num(obj[3]) << "]"
+        << ",\"domination_depth\":" << num(chk.domination_depth) << "}";
+  }
+  out << "]";
+
+  out << ",\"sensitivity\":{";
+  for (std::size_t f = 0; f < exact.feature_names.size(); ++f) {
+    if (f) out << ",";
+    out << "\"" << exact.feature_names[f] << "\":[";
+    if (f < exact.sensitivity.size()) {
+      const ObjVec& s = exact.sensitivity[f];
+      out << num(s[0]) << "," << num(s[1]) << "," << num(s[2]) << ","
+          << num(s[3]);
+    }
+    out << "]";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string render_text(const DseOptions& opts, const DseResult& exact,
+                        const DseResult* pruned, double recall,
+                        const std::vector<PaperPointCheck>& paper) {
+  const double ww = opts.eval.write_weight;
+  std::ostringstream out;
+  char buf[256];
+  out << "DSE sweep: " << exact.n_candidates << " candidates, "
+      << exact.frontier.size() << " frontier points, hypervolume "
+      << num(exact.hypervolume) << "\n";
+  if (pruned) {
+    std::snprintf(buf, sizeof buf,
+                  "surrogate arm: %zu evaluated + %zu validated of %zu "
+                  "(%.0f%% of grid), frontier recall %.1f%%\n",
+                  pruned->n_evaluated, pruned->n_validated,
+                  pruned->n_candidates, 100.0 * pruned->eval_fraction,
+                  100.0 * recall);
+    out << buf;
+  }
+  out << "\n  design  t_fe  vdd   ctrlW trim  rowsxbitsxd @mats  "
+         "lat(ps)  E(fJ/b)  A(um2/b)  yield\n";
+  for (std::size_t i : exact.frontier) {
+    const CandidateResult& c = exact.candidates[i];
+    const DesignPoint& p = c.point;
+    std::snprintf(buf, sizeof buf,
+                  "  %-7s %4.2f  %4.2f  %4.2f  %+4.2f  %4dx%3dx%d @%-4d  "
+                  "%7.1f  %7.3f  %8.4f  %5.3f\n",
+                  flavor_name(p.design).c_str(), p.t_fe_scale, p.vdd,
+                  p.control_w_scale, p.sense_trim_v, p.rows, p.word_bits,
+                  p.digit_bits, p.mats, c.metrics.latency_ps,
+                  c.metrics.search_energy_fj_per_bit +
+                      ww * c.metrics.write_energy_fj_per_bit,
+                  c.metrics.area_um2_per_bit, c.metrics.yield);
+    out << buf;
+  }
+  out << "\npaper points:\n";
+  for (const auto& chk : paper) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-7s %s, domination depth %.3f\n",
+                  flavor_name(chk.point.design).c_str(),
+                  chk.metrics.ok ? "ok" : chk.metrics.error.c_str(),
+                  chk.domination_depth);
+    out << buf;
+  }
+  out << "\nknob sensitivity (|linear weight| per objective "
+         "lat/E/A/yield-loss):\n";
+  for (std::size_t f = 0; f < exact.feature_names.size() &&
+                          f < exact.sensitivity.size();
+       ++f) {
+    const ObjVec& s = exact.sensitivity[f];
+    std::snprintf(buf, sizeof buf, "  %-12s %9.3g %9.3g %9.3g %9.3g\n",
+                  exact.feature_names[f].c_str(), s[0], s[1], s[2], s[3]);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace fetcam::dse

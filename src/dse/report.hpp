@@ -1,0 +1,44 @@
+// Report rendering for the DSE sweep: the fetcam.dse.v1 JSON document
+// (what bench_dse writes to BENCH_dse.json and tools/check_dse_frontier.py
+// gates) plus a human-readable text rendering for the CLI.
+//
+// The JSON carries one or two arms: the exact arm is always present; the
+// surrogate arm (and the frontier-recall number that needs both) appears
+// when pruning was enabled.  Schema documented in docs/DSE.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dse/driver.hpp"
+
+namespace fetcam::dse {
+
+/// The paper's nominal operating points inside the sweep's geometry: every
+/// tuning knob at identity for each design family in the space.  The check
+/// script asserts no frontier point dominates these beyond a configured
+/// relative margin (the reproduction should not claim to beat the paper's
+/// own design by a wide margin inside its own model).
+struct PaperPointCheck {
+  DesignPoint point;
+  PointMetrics metrics;
+  /// max over dominating simulated points of the min relative (to the
+  /// reference box) improvement across objectives; 0 when undominated.
+  double domination_depth = 0.0;
+};
+
+std::vector<PaperPointCheck> check_paper_points(const DseOptions& opts,
+                                                const DseResult& exact);
+
+/// Render the fetcam.dse.v1 document.  `pruned` may be null (surrogate
+/// disabled); `recall` is ignored then.
+std::string render_json(const DseOptions& opts, const DseResult& exact,
+                        const DseResult* pruned, double recall,
+                        const std::vector<PaperPointCheck>& paper,
+                        int threads);
+
+std::string render_text(const DseOptions& opts, const DseResult& exact,
+                        const DseResult* pruned, double recall,
+                        const std::vector<PaperPointCheck>& paper);
+
+}  // namespace fetcam::dse

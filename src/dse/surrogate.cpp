@@ -1,0 +1,159 @@
+#include "dse/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+
+namespace fetcam::dse {
+
+namespace {
+
+/// Objectives 0..2 (latency/energy/area) are strictly positive circuit
+/// quantities fit in log space; objective 3 (yield loss) can be exactly 0
+/// and is fit linearly.
+bool log_objective(std::size_t obj) { return obj < 3; }
+
+double to_fit_space(std::size_t obj, double y) {
+  return log_objective(obj) ? std::log(std::max(y, 1e-12)) : y;
+}
+
+double from_fit_space(std::size_t obj, double t) {
+  return log_objective(obj) ? std::exp(t) : t;
+}
+
+}  // namespace
+
+QuadraticSurrogate::QuadraticSurrogate(std::size_t n_features, double ridge)
+    : n_features_(n_features), ridge_(ridge) {}
+
+std::vector<double> QuadraticSurrogate::basis(
+    const std::vector<double>& x) const {
+  std::vector<double> b;
+  b.reserve(basis_size());
+  b.push_back(1.0);
+  for (std::size_t i = 0; i < n_features_; ++i) b.push_back(x[i]);
+  for (std::size_t i = 0; i < n_features_; ++i) b.push_back(x[i] * x[i]);
+  // Cross terms against the leading feature (the cell-family flag in the
+  // DSE space): the two families respond to geometry and voltage knobs
+  // with different slopes, which a diagonal quadratic cannot express.
+  for (std::size_t i = 1; i < n_features_; ++i) b.push_back(x[0] * x[i]);
+  return b;
+}
+
+void QuadraticSurrogate::add_sample(const std::vector<double>& x,
+                                    const ObjVec& y) {
+  xs_.push_back(x);
+  ys_.push_back(y);
+}
+
+bool QuadraticSurrogate::fit() {
+  if (xs_.size() < min_samples_to_fit()) return ready_ = false;
+  const num::Index m = static_cast<num::Index>(basis_size());
+
+  // One shared Gram matrix (the basis does not depend on the objective).
+  num::Matrix gram(m, m, 0.0);
+  std::vector<std::vector<double>> phis;
+  phis.reserve(xs_.size());
+  for (const auto& x : xs_) phis.push_back(basis(x));
+  for (const auto& phi : phis) {
+    for (num::Index r = 0; r < m; ++r) {
+      for (num::Index c = 0; c < m; ++c) {
+        gram(r, c) += phi[static_cast<std::size_t>(r)] *
+                      phi[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  // Ridge on every non-constant weight.
+  for (num::Index r = 1; r < m; ++r) gram(r, r) += ridge_;
+
+  num::LuFactorization lu;
+  if (!lu.factor(gram)) return ready_ = false;
+
+  for (std::size_t obj = 0; obj < 4; ++obj) {
+    num::Vector rhs(m, 0.0);
+    for (std::size_t s = 0; s < phis.size(); ++s) {
+      const double t = to_fit_space(obj, ys_[s][obj]);
+      for (num::Index r = 0; r < m; ++r) {
+        rhs[r] += phis[s][static_cast<std::size_t>(r)] * t;
+      }
+    }
+    const num::Vector w = lu.solve(rhs);
+    weights_[obj].assign(w.begin(), w.end());
+
+    // Training RMSE in FIT space: relative (log) error for the positive
+    // objectives, absolute error for yield loss.  Measuring in objective
+    // units would let a few large-valued outliers blow the margin past the
+    // whole objective range, disabling pruning everywhere.
+    double se = 0.0;
+    for (std::size_t s = 0; s < phis.size(); ++s) {
+      double t = 0.0;
+      for (num::Index r = 0; r < m; ++r) {
+        t += w[r] * phis[s][static_cast<std::size_t>(r)];
+      }
+      const double err = t - to_fit_space(obj, ys_[s][obj]);
+      se += err * err;
+    }
+    rmse_[obj] = std::sqrt(se / static_cast<double>(phis.size()));
+
+    double lo = to_fit_space(obj, ys_[0][obj]);
+    double hi = lo;
+    for (const ObjVec& y : ys_) {
+      const double t = to_fit_space(obj, y[obj]);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    spread_[obj] = hi - lo;
+  }
+  return ready_ = true;
+}
+
+ObjVec QuadraticSurrogate::predict(const std::vector<double>& x) const {
+  const std::vector<double> phi = basis(x);
+  ObjVec out{};
+  for (std::size_t obj = 0; obj < 4; ++obj) {
+    double t = 0.0;
+    for (std::size_t r = 0; r < phi.size(); ++r) {
+      t += weights_[obj][r] * phi[r];
+    }
+    out[obj] = from_fit_space(obj, t);
+  }
+  return out;
+}
+
+ObjVec QuadraticSurrogate::optimistic(const std::vector<double>& x,
+                                      double k_margin) const {
+  const std::vector<double> phi = basis(x);
+  ObjVec out{};
+  for (std::size_t obj = 0; obj < 4; ++obj) {
+    double t = 0.0;
+    for (std::size_t r = 0; r < phi.size(); ++r) {
+      t += weights_[obj][r] * phi[r];
+    }
+    // The margin is applied in FIT space — multiplicative for the log-fit
+    // objectives, additive for yield loss — so it scales with the
+    // prediction instead of with the worst-case outlier.  The ridge fit
+    // near-interpolates small sample sets, driving the training RMSE
+    // toward zero; the spread floor keeps the optimistic margin honest
+    // until real residuals accumulate.
+    const double sigma = std::max(rmse_[obj], 0.05 * spread_[obj]);
+    out[obj] = from_fit_space(obj, t - k_margin * sigma);
+  }
+  // Yield loss cannot go below 0; the log objectives are positive by
+  // construction, and clamping keeps the optimistic vector comparable.
+  for (double& v : out) v = std::max(v, 0.0);
+  return out;
+}
+
+std::vector<ObjVec> QuadraticSurrogate::linear_sensitivity() const {
+  std::vector<ObjVec> out(n_features_);
+  for (std::size_t f = 0; f < n_features_; ++f) {
+    for (std::size_t obj = 0; obj < 4; ++obj) {
+      out[f][obj] = std::abs(weights_[obj][f + 1]);
+    }
+  }
+  return out;
+}
+
+}  // namespace fetcam::dse

@@ -1,0 +1,80 @@
+// Cheap incremental surrogate for the DSE pruning loop: one regularized
+// quadratic (diagonal squares, no cross terms) per objective over the
+// space's normalized feature vector.
+//
+// Basis: [1, x_1..x_k, x_1^2..x_k^2, x_1*x_2..x_1*x_k] — 3k terms (the
+// cross terms pair every feature with the leading cell-family flag, whose
+// slopes differ most between families), small enough to refit
+// from scratch after every batch with a dense normal-equation solve
+// (num::LuFactorization); the ridge term keeps the system well-posed even
+// before the sample count reaches the basis size.  Positive objectives
+// (latency, energy, area) are fit in log space, where the circuit
+// responses are far closer to quadratic; the yield-loss objective, which
+// can be exactly 0, is fit linearly.
+//
+// The pruning decision uses `optimistic()`: prediction minus k_margin
+// training RMSEs per objective.  Only a point whose OPTIMISTIC vector is
+// still dominated by an actually-evaluated point is skipped, so the
+// surrogate has to be wrong by more than k_margin sigma before a frontier
+// point can be lost — and the driver's validation arm measures exactly
+// that tail.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "dse/pareto.hpp"
+
+namespace fetcam::dse {
+
+class QuadraticSurrogate {
+ public:
+  /// `n_features` is the space's feature-vector length; `ridge` the L2
+  /// penalty on all non-constant weights.
+  explicit QuadraticSurrogate(std::size_t n_features, double ridge = 1e-3);
+
+  void add_sample(const std::vector<double>& x, const ObjVec& y);
+  std::size_t samples() const { return xs_.size(); }
+
+  /// Refit from all samples.  Returns false (and keeps ready() false)
+  /// until at least `min_samples_to_fit()` samples are in.
+  bool fit();
+  bool ready() const { return ready_; }
+  /// Fitting with fewer samples than basis terms is pure ridge
+  /// extrapolation; require a modest multiple before trusting it.
+  std::size_t min_samples_to_fit() const { return basis_size() + 2; }
+
+  ObjVec predict(const std::vector<double>& x) const;
+  /// predict() minus k_margin effective sigmas per objective, applied in
+  /// fit space (multiplicative for the log-fit objectives, additive for
+  /// yield loss) and clamped at >= 0, every objective's physical floor.
+  /// The effective sigma is the training RMSE floored at 5 % of the
+  /// observed fit-space spread.
+  ObjVec optimistic(const std::vector<double>& x, double k_margin) const;
+  /// Training RMSE per objective, in FIT space: relative (log) error for
+  /// latency/energy/area, absolute for yield loss.
+  ObjVec rmse() const { return rmse_; }
+
+  /// |linear weight| per (feature, objective) — the first-order knob
+  /// sensitivity the report prints.  Valid only when ready().
+  std::vector<ObjVec> linear_sensitivity() const;
+
+ private:
+  /// [1, x_i, x_i^2, x_0*x_i] — diagonal quadratic plus cross terms
+  /// against the leading (cell-family) feature.
+  std::size_t basis_size() const { return 3 * n_features_; }
+  std::vector<double> basis(const std::vector<double>& x) const;
+
+  std::size_t n_features_;
+  double ridge_;
+  bool ready_ = false;
+  std::vector<std::vector<double>> xs_;
+  std::vector<ObjVec> ys_;
+  /// weights_[obj][term]; log-space for objectives 0..2.
+  std::array<std::vector<double>, 4> weights_{};
+  ObjVec rmse_{};
+  ObjVec spread_{};  ///< per-objective fit-space training max - min
+};
+
+}  // namespace fetcam::dse

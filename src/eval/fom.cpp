@@ -41,6 +41,8 @@ tcam::WordOptions word_options(const FomOptions& opts) {
   tcam::WordOptions w;
   w.n_bits = opts.n_bits;
   w.rows_in_array = opts.rows;
+  w.vdd = opts.vdd;
+  w.tuning = opts.tuning;
   return w;
 }
 

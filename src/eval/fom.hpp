@@ -30,6 +30,8 @@ namespace fetcam::eval {
 struct FomOptions {
   int n_bits = 64;
   int rows = 64;
+  double vdd = 0.8;             ///< array supply (paper: 0.8 V)
+  tcam::DeviceTuning tuning;    ///< DSE knobs; identity by default
   double miss1_rate = 0.90;    ///< fraction of rows missing in step 1
   double window_slack = 0.25;  ///< energy-pass window = latency * (1+slack)
   double probe_t_step = 1.5e-9;  ///< generous latency-pass window

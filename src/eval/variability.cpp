@@ -31,10 +31,19 @@ namespace detail {
 SampledCell sample_cell(tcam::Flavor flavor,
                         const tcam::OnePointFiveParams& p,
                         const VariabilityParams& vp, std::mt19937& rng) {
+  return sample_cell(flavor, p,
+                     flavor == tcam::Flavor::kSg ? dev::sg_fefet_params()
+                                                 : dev::dg_fefet_params(),
+                     vp, rng);
+}
+
+SampledCell sample_cell(tcam::Flavor flavor,
+                        const tcam::OnePointFiveParams& p,
+                        const dev::FeFetParams& base_fe,
+                        const VariabilityParams& vp, std::mt19937& rng) {
   std::normal_distribution<double> n01(0.0, 1.0);
   SampledCell s;
-  s.fe = flavor == tcam::Flavor::kSg ? dev::sg_fefet_params()
-                                     : dev::dg_fefet_params();
+  s.fe = base_fe;
   s.fe.mos.vth0 += vp.sigma_fefet_vth * n01(rng);
   // Polarization spread scales the achievable memory window.
   s.fe.mw_fg *= 1.0 + vp.sigma_ps_rel * n01(rng);
@@ -179,8 +188,9 @@ using detail::SampledCell;
 /// device's threshold shift and window scaling — the placement error that
 /// program-and-verify trimming (eval/trim.*) removes.
 double open_loop_polarization(const tcam::OnePointFiveParams& p,
-                              tcam::Flavor flavor, const SampledCell& cell,
-                              Ternary stored) {
+                              tcam::Flavor flavor,
+                              const dev::FeFetParams& base_fe,
+                              const SampledCell& cell, Ternary stored) {
   switch (stored) {
     case Ternary::kZero:
       return -cell.fe.fe.ps;
@@ -191,20 +201,70 @@ double open_loop_polarization(const tcam::OnePointFiveParams& p,
   }
   const double mvt =
       flavor == tcam::Flavor::kSg ? p.mvt_vth_sg : p.mvt_vth_dg;
-  const dev::FeFetParams nominal = flavor == tcam::Flavor::kSg
-                                       ? dev::sg_fefet_params()
-                                       : dev::dg_fefet_params();
-  const double vm_nominal = nominal.write_voltage_for_vth(mvt);
+  const double vm_nominal = base_fe.write_voltage_for_vth(mvt);
   return dev::settle_polarization(cell.fe.fe, -cell.fe.fe.ps, vm_nominal);
+}
+
+/// Per-corner margins of the UNPERTURBED design — the deterministic part
+/// that margin_scale derates (the noise part is left untouched: packing
+/// multi-level levels closer shrinks the nominal spacing, not sigma).
+std::array<double, detail::kNumCorners> nominal_margins(
+    tcam::Flavor flavor, const DividerDesign& design,
+    const VariabilityParams& vp) {
+  SampledCell cell;
+  const tcam::OnePointFiveParams& p = design.cell;
+  cell.fe = design.fe;
+  cell.tn = dev::tech14::nfet(p.tn_w, p.tn_l);
+  cell.tp = dev::tech14::pfet(p.tp_w, p.tp_l);
+  cell.tml = dev::tech14::nfet(p.tml_w, p.tml_l);
+  cell.tml.vth0 = flavor == tcam::Flavor::kSg ? p.tml_vth_sg : p.tml_vth_dg;
+  const auto& corners = detail::corner_table();
+  std::array<double, detail::kNumCorners> m{};
+  num::SparseNewtonWorkspace ws;
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    const double pol =
+        open_loop_polarization(p, flavor, design.fe, cell, corners[c].stored);
+    const auto solve = detail::divider_slb_at_polarization(
+        flavor, p, cell, pol, corners[c].query != 0, design.vdd, &ws);
+    m[c] = std::isnan(solve.v_slb)
+               ? 0.0
+               : detail::corner_margin(corners[c], solve.v_slb, cell.tml.vth0,
+                                       vp.decision_margin);
+  }
+  return m;
 }
 
 }  // namespace
 
+DividerDesign nominal_divider_design(tcam::Flavor flavor) {
+  DividerDesign d;
+  d.fe = flavor == tcam::Flavor::kSg ? dev::sg_fefet_params()
+                                     : dev::dg_fefet_params();
+  return d;
+}
+
 VariabilityReport analyze_variability(tcam::Flavor flavor,
                                       const VariabilityParams& vp) {
-  const tcam::OnePointFiveParams p{};
-  const double vdd = 0.8;
+  return analyze_variability(flavor, nominal_divider_design(flavor), vp);
+}
+
+VariabilityReport analyze_variability(tcam::Flavor flavor,
+                                      const DividerDesign& design,
+                                      const VariabilityParams& vp) {
+  const tcam::OnePointFiveParams& p = design.cell;
+  const double vdd = design.vdd;
   const auto& corners = detail::corner_table();
+
+  // Multi-level derating: subtract the shrunk fraction of each corner's
+  // positive nominal margin.  margin_scale == 1 skips the extra solves and
+  // leaves every trial margin untouched (legacy bit-identical path).
+  std::array<double, detail::kNumCorners> derate{};
+  if (design.margin_scale != 1.0) {
+    const auto nominal = nominal_margins(flavor, design, vp);
+    for (std::size_t c = 0; c < derate.size(); ++c) {
+      derate[c] = (1.0 - design.margin_scale) * std::max(nominal[c], 0.0);
+    }
+  }
 
   // Parallel map over trials: trial s derives its own RNG stream from
   // (seed, s), so the sampled devices — and therefore the whole report —
@@ -215,24 +275,25 @@ VariabilityReport analyze_variability(tcam::Flavor flavor,
       [&](std::size_t s) {
         const obs::ScopedSpan span("eval.variability_trial", "eval");
         std::mt19937 rng = util::trial_rng(vp.seed, s);
-        const SampledCell cell = detail::sample_cell(flavor, p, vp, rng);
+        const SampledCell cell =
+            detail::sample_cell(flavor, p, design.fe, vp, rng);
         detail::TrialMargins margins;
         // Corner solves share one workspace: same divider topology, same
         // stamp sequence, so the factorization context replays across all
         // six corners of the trial.
         num::SparseNewtonWorkspace ws;
         for (std::size_t c = 0; c < corners.size(); ++c) {
-          const double pol =
-              open_loop_polarization(p, flavor, cell, corners[c].stored);
+          const double pol = open_loop_polarization(p, flavor, design.fe,
+                                                    cell, corners[c].stored);
           const auto solve = detail::divider_slb_at_polarization(
               flavor, p, cell, pol, corners[c].query != 0, vdd, &ws);
           margins.strategy[c] = solve.strategy;
-          margins.margin[c] = std::isnan(solve.v_slb)
-                                  ? solve.v_slb
-                                  : detail::corner_margin(corners[c],
-                                                          solve.v_slb,
-                                                          cell.tml.vth0,
-                                                          vp.decision_margin);
+          margins.margin[c] =
+              std::isnan(solve.v_slb)
+                  ? solve.v_slb
+                  : detail::corner_margin(corners[c], solve.v_slb,
+                                          cell.tml.vth0, vp.decision_margin) -
+                        derate[c];
         }
         return margins;
       });

@@ -76,8 +76,35 @@ struct VariabilityReport {
   bool ok = false;
 };
 
+/// The divider design under analysis: the (possibly tuned) cell parameters,
+/// supply, and the base FeFET card the per-sample variation is drawn around.
+/// `nominal_divider_design` reproduces the legacy defaults bit-identically;
+/// the DSE sweep builds tuned instances via tcam::apply_tuning /
+/// dev::scale_fe_thickness so yield sees exactly the same devices as the
+/// latency/energy transients.
+struct DividerDesign {
+  tcam::OnePointFiveParams cell;
+  double vdd = 0.8;
+  dev::FeFetParams fe;  ///< base card; sampling perturbs this
+  /// Deterministic sense-margin derating for multi-level digits: with 2^d
+  /// levels per device the level spacing shrinks (dev::multi_level_margin)
+  /// while the variation noise does not, so the nominal part of each
+  /// corner margin is scaled by this factor before classification.
+  /// 1.0 = no derating (legacy behaviour, bit-identical).
+  double margin_scale = 1.0;
+};
+
+/// Legacy defaults for one flavour: default cell card, VDD = 0.8 V, the
+/// nominal SG/DG FeFET card, no derating.
+DividerDesign nominal_divider_design(tcam::Flavor flavor);
+
 /// Run the Monte-Carlo divider analysis for one flavour.
 VariabilityReport analyze_variability(tcam::Flavor flavor,
                                       const VariabilityParams& params = {});
+
+/// Same analysis for an explicit (tuned) divider design.
+VariabilityReport analyze_variability(tcam::Flavor flavor,
+                                      const DividerDesign& design,
+                                      const VariabilityParams& params);
 
 }  // namespace fetcam::eval

@@ -35,6 +35,14 @@ SampledCell sample_cell(tcam::Flavor flavor,
                         const tcam::OnePointFiveParams& p,
                         const VariabilityParams& vp, std::mt19937& rng);
 
+/// Same draw sequence around an explicit base FeFET card (DSE-tuned
+/// designs).  The flavour-card overload above is exactly this with the
+/// nominal sg/dg card, so (seed, trial) pairs stay comparable.
+SampledCell sample_cell(tcam::Flavor flavor,
+                        const tcam::OnePointFiveParams& p,
+                        const dev::FeFetParams& base_fe,
+                        const VariabilityParams& vp, std::mt19937& rng);
+
 /// Result of one divider operating-point solve: V(SL_bar) (NaN when the
 /// solver diverged) plus which continuation strategy produced it — the
 /// per-trial attribution that flows into CornerYield.

@@ -18,6 +18,23 @@ using spice::NodeId;
 using spice::VoltageSource;
 using spice::Waveform;
 
+OnePointFiveParams apply_tuning(Flavor flavor, OnePointFiveParams p,
+                                const DeviceTuning& t,
+                                const dev::FeFetParams& tuned_fe) {
+  p.tn_w *= t.control_w_scale;
+  p.tp_w *= t.control_w_scale;
+  p.tml_vth_sg += t.sense_trim_v;
+  p.tml_vth_dg += t.sense_trim_v;
+  if (t.t_fe_scale != 1.0) {
+    // Keep the X level at the same FRACTIONAL window position: the window
+    // scales around the MVT midpoint vth0, so the offset scales with it.
+    const double vth0 = tuned_fe.mos.vth0;
+    double& mvt = flavor == Flavor::kSg ? p.mvt_vth_sg : p.mvt_vth_dg;
+    mvt = vth0 + (mvt - vth0) * t.t_fe_scale;
+  }
+  return p;
+}
+
 OnePointFiveWord::OnePointFiveWord(Flavor flavor, WordOptions opts,
                                    OnePointFiveParams params)
     : WordHarness(opts),
@@ -25,13 +42,16 @@ OnePointFiveWord::OnePointFiveWord(Flavor flavor, WordOptions opts,
       params_(params),
       fe_params_(dev::tech14::fefet_at_corner(
           dev::tech14::fefet_at_temperature(
-              flavor == Flavor::kSg ? dev::sg_fefet_params()
-                                    : dev::dg_fefet_params(),
+              dev::scale_fe_thickness(flavor == Flavor::kSg
+                                          ? dev::sg_fefet_params()
+                                          : dev::dg_fefet_params(),
+                                      opts.tuning.t_fe_scale),
               opts.temperature_k),
           opts.corner)) {
   if (opts.n_bits % 2 != 0) {
     throw std::invalid_argument("1.5T1Fe word length must be even");
   }
+  params_ = apply_tuning(flavor, params_, opts.tuning, fe_params_);
 }
 
 std::string OnePointFiveWord::design_name() const {

@@ -52,6 +52,17 @@ struct OnePointFiveParams {
   double mvt_vth_sg = 0.62;
 };
 
+/// Cell parameters after a WordOptions::tuning is applied: TP/TN widths
+/// scaled, the TML V_T trimmed, and the MVT ('X') targets repositioned
+/// window-relatively when the FE thickness scale moves the memory window
+/// (the absolute nominal target would fall outside a shrunken window).
+/// Shared by the harness constructor and the DSE variability path so both
+/// see exactly the same tuned cell.  `tuned_fe` must already carry the
+/// thickness scale (dev::scale_fe_thickness).
+OnePointFiveParams apply_tuning(Flavor flavor, OnePointFiveParams p,
+                                const DeviceTuning& t,
+                                const dev::FeFetParams& tuned_fe);
+
 class OnePointFiveWord : public WordHarness {
  public:
   OnePointFiveWord(Flavor flavor, WordOptions opts,

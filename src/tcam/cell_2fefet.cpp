@@ -20,8 +20,10 @@ TwoFefetWord::TwoFefetWord(Flavor flavor, WordOptions opts)
       flavor_(flavor),
       fe_params_(dev::tech14::fefet_at_corner(
           dev::tech14::fefet_at_temperature(
-              flavor == Flavor::kSg ? dev::sg_fefet_params()
-                                    : dev::dg_fefet_params(),
+              dev::scale_fe_thickness(flavor == Flavor::kSg
+                                          ? dev::sg_fefet_params()
+                                          : dev::dg_fefet_params(),
+                                      opts.tuning.t_fe_scale),
               opts.temperature_k),
           opts.corner)) {}
 
@@ -40,8 +42,9 @@ double TwoFefetWord::search_voltage() const {
   // margin under variation.  This modest gate overdrive is what limits the
   // 2FeFET pulldown strength; the 1.5T1Fe design escapes the constraint by
   // decoupling search drive from the storage gate.
-  // DG: V_s = 2 V on the back gate (Table I).
-  return flavor_ == Flavor::kSg ? 0.45 : 2.0;
+  // DG: V_s = 2 V on the back gate (Table I).  The sense trim shifts the
+  // drive either way: more overdrive = faster pulldown, less HVT margin.
+  return (flavor_ == Flavor::kSg ? 0.45 : 2.0) + opts_.tuning.sense_trim_v;
 }
 
 double TwoFefetWord::search_line_cap_per_cell() const {

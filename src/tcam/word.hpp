@@ -35,10 +35,30 @@
 
 namespace fetcam::tcam {
 
+/// Design-space tuning applied by the harnesses on top of the nominal
+/// technology cards.  Identity by default — every existing experiment is
+/// unchanged — and swept by the DSE subsystem (src/dse/, docs/DSE.md).
+struct DeviceTuning {
+  /// Ferroelectric thickness scale: t_FE, the coercive voltage (E_c t_FE)
+  /// and the FG memory window (P t_FE / eps) all scale linearly with it to
+  /// first order, so thinner FE lowers the write voltage/energy at the
+  /// price of sense margin.
+  double t_fe_scale = 1.0;
+  /// TP/TN width scale of the 1.5T1Fe divider (no-op for other designs):
+  /// wider control transistors stiffen the divider (and cost area via
+  /// AreaParams::control_t_unit) but raise its static current.
+  double control_w_scale = 1.0;
+  /// Sense-threshold trim, volts.  1.5T1Fe: added to the TML V_T (the
+  /// match/mismatch decision level).  2FeFET: added to the search gate
+  /// voltage — more overdrive discharges faster but erodes HVT margin.
+  double sense_trim_v = 0.0;
+};
+
 struct WordOptions {
   int n_bits = 64;
   int rows_in_array = 64;  ///< array context for column-line loading
   double vdd = 0.8;
+  DeviceTuning tuning;     ///< DSE knobs; identity by default
   WireTech wire;
   /// Junction temperature; every device card is retargeted via
   /// dev::tech14::at_temperature (300 K = characterization point).

@@ -66,4 +66,21 @@ constexpr std::uint64_t trial_key(std::uint64_t seed, std::uint64_t trial,
 std::mt19937 trial_rng(std::uint64_t seed, std::uint64_t trial,
                        std::uint64_t stream = 0);
 
+/// Van der Corput radical inverse of `index` in the given base: digit-
+/// reverses the base-b expansion into [0, 1).  The b-th prime per
+/// dimension gives the Halton low-discrepancy sequence used by the DSE
+/// sampler and the quasi-MC hypervolume estimate — fully deterministic,
+/// no RNG state.
+constexpr double radical_inverse(std::uint64_t index, std::uint64_t base) {
+  double inv_base = 1.0 / static_cast<double>(base);
+  double scale = inv_base;
+  double value = 0.0;
+  while (index > 0) {
+    value += static_cast<double>(index % base) * scale;
+    index /= base;
+    scale *= inv_base;
+  }
+  return value;
+}
+
 }  // namespace fetcam::util

@@ -1,0 +1,160 @@
+// Thread-count-invariance golden tests for the DSE table: run_dse must
+// return a BIT-IDENTICAL result — every candidate's point, flags,
+// metrics, the frontier, the hypervolume — for 1, 2, and 8 pool threads,
+// with the surrogate both off and on.  This is the same contract
+// eval/variability_determinism_test.cpp pins for the MC evaluators,
+// extended to the sweep driver: batched decisions from prior-batch state
+// only, per-point splitmix64 seed streams, ordered reductions.
+//
+// All comparisons are exact (EXPECT_EQ on doubles, deliberately).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/driver.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace fetcam::dse {
+namespace {
+
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+void expect_identical(const DseResult& a, const DseResult& b, int threads) {
+  ASSERT_EQ(a.n_candidates, b.n_candidates) << threads << " threads";
+  EXPECT_EQ(a.n_evaluated, b.n_evaluated) << threads << " threads";
+  EXPECT_EQ(a.n_skipped, b.n_skipped) << threads << " threads";
+  EXPECT_EQ(a.n_validated, b.n_validated) << threads << " threads";
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    const CandidateResult& ca = a.candidates[i];
+    const CandidateResult& cb = b.candidates[i];
+    EXPECT_TRUE(ca.point == cb.point) << threads << " threads, cand " << i;
+    EXPECT_EQ(ca.simulated, cb.simulated) << threads << " threads, cand " << i;
+    EXPECT_EQ(ca.skipped, cb.skipped) << threads << " threads, cand " << i;
+    EXPECT_EQ(ca.validated, cb.validated)
+        << threads << " threads, cand " << i;
+    if (ca.simulated && cb.simulated) {
+      EXPECT_EQ(ca.metrics.ok, cb.metrics.ok);
+      EXPECT_EQ(ca.metrics.latency_ps, cb.metrics.latency_ps)
+          << threads << " threads, cand " << i;
+      EXPECT_EQ(ca.metrics.search_energy_fj_per_bit,
+                cb.metrics.search_energy_fj_per_bit)
+          << threads << " threads, cand " << i;
+      EXPECT_EQ(ca.metrics.write_energy_fj_per_bit,
+                cb.metrics.write_energy_fj_per_bit)
+          << threads << " threads, cand " << i;
+      EXPECT_EQ(ca.metrics.area_um2_per_bit, cb.metrics.area_um2_per_bit)
+          << threads << " threads, cand " << i;
+      EXPECT_EQ(ca.metrics.yield, cb.metrics.yield)
+          << threads << " threads, cand " << i;
+    }
+  }
+  EXPECT_EQ(a.frontier, b.frontier) << threads << " threads";
+  EXPECT_EQ(a.hypervolume, b.hypervolume) << threads << " threads";
+  EXPECT_EQ(a.max_validation_gap, b.max_validation_gap)
+      << threads << " threads";
+}
+
+class ThreadSweep {
+ public:
+  ~ThreadSweep() { util::set_thread_count(0); }
+  template <typename Fn>
+  void check(Fn&& run_and_compare) {
+    for (const int threads : kThreadCounts) {
+      util::set_thread_count(threads);
+      run_and_compare(threads);
+    }
+  }
+};
+
+/// Small real-pipeline space: 8 cheap points through the full transient +
+/// variability stack.
+DseOptions real_options(bool use_surrogate) {
+  DseOptions o;
+  o.space.designs = {arch::TcamDesign::k2SgFefet,
+                     arch::TcamDesign::k1p5DgFe};
+  o.space.t_fe_scale = {0.9, 1.0};
+  o.space.vdd = {0.8};
+  o.space.control_w_scale = {1.0};
+  o.space.sense_trim_v = {0.0};
+  o.space.rows = {8};
+  o.space.word_bits = {8};
+  o.space.mats = {1};
+  o.space.digit_bits = {1, 2};
+  o.use_surrogate = use_surrogate;
+  o.eval.mc_samples = 16;
+  o.eval.seed = 11;
+  o.seed = 11;
+  return o;
+}
+
+TEST(DseDeterminism, RealPipelineTableInvariantAcrossThreadCounts) {
+  for (const bool surrogate : {false, true}) {
+    util::set_thread_count(1);
+    const DseResult golden = run_dse(real_options(surrogate));
+    ASSERT_EQ(golden.n_candidates, 8u);
+    ASSERT_GT(golden.frontier.size(), 0u);
+    ThreadSweep sweep;
+    sweep.check([&](int threads) {
+      const DseResult got = run_dse(real_options(surrogate));
+      expect_identical(golden, got, threads);
+    });
+  }
+}
+
+/// Synthetic evaluation over a bigger grid so the surrogate actually
+/// fits and PRUNES — the skip/validate decision sequence itself must be
+/// schedule-independent.
+DseOptions synthetic_options() {
+  DseOptions o;
+  o.space.designs = {arch::TcamDesign::k2SgFefet,
+                     arch::TcamDesign::k1p5DgFe};
+  o.space.t_fe_scale = {0.8, 0.9, 1.0};
+  o.space.vdd = {0.7, 0.8};
+  o.space.control_w_scale = {1.0, 1.25};
+  o.space.sense_trim_v = {0.0, 0.05};
+  o.space.rows = {16};
+  o.space.word_bits = {8, 32};
+  o.space.mats = {1, 4};
+  o.space.digit_bits = {1, 2};  // 384 candidates
+  o.use_surrogate = true;
+  o.batch = 16;
+  o.seed = 5;
+  o.eval.seed = 5;
+  return o;
+}
+
+PointMetrics synthetic_eval(std::size_t i, const DesignPoint& p) {
+  PointMetrics m;
+  m.point = p;
+  m.ok = true;
+  const double jitter = static_cast<double>(
+                            util::trial_key(99, i, /*stream=*/1) >> 11) *
+                        0x1.0p-53;
+  m.latency_ps = 50.0 + 10.0 * p.word_bits * p.t_fe_scale + 5.0 * jitter;
+  m.search_energy_fj_per_bit = (0.1 + 0.2 * p.vdd) / p.digit_bits;
+  m.write_energy_fj_per_bit = 1.0;
+  m.area_um2_per_bit = (2.0 - 0.5 * (p.design == arch::TcamDesign::k1p5DgFe)) /
+                       p.digit_bits / std::sqrt(static_cast<double>(p.mats));
+  m.yield = std::max(0.0, 1.0 - 0.3 * (p.digit_bits - 1) - 0.1 * jitter);
+  return m;
+}
+
+TEST(DseDeterminism, PruningDecisionsInvariantAcrossThreadCounts) {
+  util::set_thread_count(1);
+  const DseResult golden = run_dse(synthetic_options(), synthetic_eval);
+  ASSERT_EQ(golden.n_candidates, 384u);
+  // The synthetic surface is smooth: the surrogate must actually prune,
+  // otherwise this test exercises nothing.
+  ASSERT_GT(golden.n_skipped, 0u);
+  ASSERT_GT(golden.n_validated, 0u);
+  ThreadSweep sweep;
+  sweep.check([&](int threads) {
+    const DseResult got = run_dse(synthetic_options(), synthetic_eval);
+    expect_identical(golden, got, threads);
+  });
+}
+
+}  // namespace
+}  // namespace fetcam::dse

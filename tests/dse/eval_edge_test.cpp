@@ -1,0 +1,135 @@
+// Edge-shape coverage for the point-evaluation pipeline and the models
+// under it (eval FoM path, arch::area_model): degenerate geometries and
+// multi-level corners must come back FINITE and documented, never NaN —
+// and genuinely invalid shapes must fail closed (ok = false, all-inf
+// objectives that can never enter a frontier).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/area_model.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/pareto.hpp"
+
+namespace fetcam::dse {
+namespace {
+
+EvalOptions fast_eval() {
+  EvalOptions o;
+  o.mc_samples = 8;
+  o.seed = 3;
+  return o;
+}
+
+DesignPoint base_point(arch::TcamDesign d) {
+  DesignPoint p;
+  p.design = d;
+  p.rows = 4;
+  p.word_bits = 8;
+  p.mats = 1;
+  p.digit_bits = 1;
+  return p;
+}
+
+void expect_finite(const PointMetrics& m) {
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_TRUE(std::isfinite(m.latency_ps));
+  EXPECT_GT(m.latency_ps, 0.0);
+  EXPECT_TRUE(std::isfinite(m.search_energy_fj_per_bit));
+  EXPECT_GT(m.search_energy_fj_per_bit, 0.0);
+  EXPECT_TRUE(std::isfinite(m.write_energy_fj_per_bit));
+  EXPECT_TRUE(std::isfinite(m.area_um2_per_bit));
+  EXPECT_GT(m.area_um2_per_bit, 0.0);
+  EXPECT_GE(m.yield, 0.0);
+  EXPECT_LE(m.yield, 1.0);
+  const ObjVec obj = m.objectives(0.01);
+  for (double v : obj) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EvalEdge, MultiLevelDigitsStayFiniteAndCheaperPerBit) {
+  PointMetrics prev;
+  for (int d = 1; d <= 3; ++d) {
+    DesignPoint p = base_point(arch::TcamDesign::k2SgFefet);
+    p.digit_bits = d;
+    const PointMetrics m = evaluate_point(p, fast_eval(), 77);
+    expect_finite(m);
+    if (d > 1) {
+      // d bits per digit: per-bit energy and area shrink...
+      EXPECT_LT(m.area_um2_per_bit, prev.area_um2_per_bit);
+      EXPECT_LT(m.search_energy_fj_per_bit, prev.search_energy_fj_per_bit);
+      // ...and the tighter level spacing can only cost yield.
+      EXPECT_LE(m.yield, prev.yield);
+    }
+    prev = m;
+  }
+  // The derating factor itself is monotone in d.
+  DesignPoint p2 = base_point(arch::TcamDesign::k2SgFefet);
+  p2.digit_bits = 2;
+  DesignPoint p3 = p2;
+  p3.digit_bits = 3;
+  EXPECT_DOUBLE_EQ(margin_scale_for(base_point(arch::TcamDesign::k2SgFefet)),
+                   1.0);
+  EXPECT_LT(margin_scale_for(p2), 1.0);
+  EXPECT_LT(margin_scale_for(p3), margin_scale_for(p2));
+}
+
+TEST(EvalEdge, OneRowOneBitArraysAreFinite) {
+  DesignPoint p = base_point(arch::TcamDesign::k2SgFefet);
+  p.rows = 1;
+  p.word_bits = 1;
+  expect_finite(evaluate_point(p, fast_eval(), 78));
+
+  // 1.5T1Fe stores two ternary bits per cell: word_bits = 2 is its
+  // minimum word, and one row of it must still evaluate.
+  DesignPoint q = base_point(arch::TcamDesign::k1p5DgFe);
+  q.rows = 1;
+  q.word_bits = 2;
+  expect_finite(evaluate_point(q, fast_eval(), 79));
+}
+
+TEST(EvalEdge, OddWordOn1p5FailsClosed) {
+  DesignPoint p = base_point(arch::TcamDesign::k1p5DgFe);
+  p.word_bits = 7;
+  const PointMetrics m = evaluate_point(p, fast_eval(), 80);
+  EXPECT_FALSE(m.ok);
+  EXPECT_FALSE(m.error.empty());
+  const ObjVec obj = m.objectives(0.01);
+  for (double v : obj) EXPECT_TRUE(std::isinf(v));
+  // An inf vector never dominates anything, so it can't poison a sweep.
+  EXPECT_FALSE(dominates(obj, {1e9, 1e9, 1e9, 1.0}));
+}
+
+TEST(EvalEdge, ZeroYieldCornerIsFiniteObjective) {
+  // Drive the variability sigma far past the sense window: yield collapses
+  // but the objective stays the documented finite value 1.0, not NaN/inf.
+  DesignPoint p = base_point(arch::TcamDesign::k1p5DgFe);
+  EvalOptions o = fast_eval();
+  o.variability.sigma_fefet_vth = 1.5;
+  o.variability.sigma_mos_vth = 1.0;
+  const PointMetrics m = evaluate_point(p, o, 81);
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_EQ(m.yield, 0.0);
+  const ObjVec obj = m.objectives(0.01);
+  EXPECT_EQ(obj[kYieldLoss], 1.0);
+  for (double v : obj) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EvalEdge, AreaModelDegenerateShapes) {
+  for (arch::TcamDesign d :
+       {arch::TcamDesign::kCmos16T, arch::TcamDesign::k2SgFefet,
+        arch::TcamDesign::k1p5DgFe}) {
+    const arch::ArrayArea a1 = arch::array_area(d, 1, 1, 12.0, false);
+    EXPECT_TRUE(std::isfinite(a1.total_um2)) << design_name(d);
+    EXPECT_GT(a1.total_um2, 0.0) << design_name(d);
+    EXPECT_GE(a1.total_um2, a1.cells_um2) << design_name(d);
+    // One row of many columns and many rows of one column both scale.
+    const arch::ArrayArea wide = arch::array_area(d, 1, 64, 12.0, false);
+    const arch::ArrayArea tall = arch::array_area(d, 64, 1, 12.0, false);
+    EXPECT_GT(wide.cells_um2, a1.cells_um2);
+    EXPECT_GT(tall.cells_um2, a1.cells_um2);
+    EXPECT_DOUBLE_EQ(wide.cells_um2, tall.cells_um2);
+  }
+}
+
+}  // namespace
+}  // namespace fetcam::dse

@@ -1,0 +1,82 @@
+// Pareto utilities: exact dominance semantics (including the NaN/inf and
+// duplicate-vector rules the sweep relies on) and the deterministic QMC
+// hypervolume estimate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dse/pareto.hpp"
+
+namespace fetcam::dse {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Dominates, StrictInOneWeakInAll) {
+  EXPECT_TRUE(dominates({1, 1, 1, 1}, {2, 1, 1, 1}));
+  EXPECT_TRUE(dominates({1, 1, 1, 1}, {2, 2, 2, 2}));
+  EXPECT_FALSE(dominates({1, 1, 1, 1}, {1, 1, 1, 1}));  // equal: no
+  EXPECT_FALSE(dominates({1, 2, 1, 1}, {2, 1, 1, 1}));  // trade-off: no
+}
+
+TEST(Dominates, NonFiniteNeverDominates) {
+  EXPECT_FALSE(dominates({kInf, 0, 0, 0}, {1, 1, 1, 1}));
+  EXPECT_FALSE(dominates({std::nan(""), 0, 0, 0}, {1, 1, 1, 1}));
+  // ...but a finite point dominates an inf one.
+  EXPECT_TRUE(dominates({1, 1, 1, 1}, {kInf, kInf, kInf, kInf}));
+}
+
+TEST(ParetoFront, KeepsExactlyTheNonDominated) {
+  const std::vector<ObjVec> objs = {
+      {1, 4, 1, 1},  // frontier (best obj0)
+      {4, 1, 1, 1},  // frontier (best obj1)
+      {2, 2, 1, 1},  // frontier (trade-off)
+      {3, 3, 1, 1},  // dominated by {2,2,1,1}
+      {kInf, kInf, kInf, kInf},  // failed point, never enters
+  };
+  const auto front = pareto_front(objs);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFront, DuplicateVectorsKeepOnlyTheFirst) {
+  const std::vector<ObjVec> objs = {
+      {1, 1, 1, 1},
+      {1, 1, 1, 1},
+      {2, 2, 2, 2},
+  };
+  EXPECT_EQ(pareto_front(objs), (std::vector<std::size_t>{0}));
+}
+
+TEST(ReferencePoint, InflatesFiniteMax) {
+  const std::vector<ObjVec> objs = {
+      {1, 10, 100, 0.5},
+      {2, 5, 50, 1.0},
+      {kInf, kInf, kInf, kInf},
+  };
+  const ObjVec ref = reference_point(objs);
+  EXPECT_DOUBLE_EQ(ref[0], 2.2);
+  EXPECT_DOUBLE_EQ(ref[1], 11.0);
+  EXPECT_DOUBLE_EQ(ref[2], 110.0);
+  EXPECT_DOUBLE_EQ(ref[3], 1.1);
+}
+
+TEST(DominatedVolume, BoundsAndMonotonicity) {
+  const ObjVec ref = {1, 1, 1, 1};
+  EXPECT_EQ(dominated_volume({}, ref), 0.0);
+  // The origin dominates the whole box.
+  EXPECT_DOUBLE_EQ(dominated_volume({{0, 0, 0, 0}}, ref), 1.0);
+  // A mid-box point dominates 1/16 of it (QMC converges to it).
+  const double mid = dominated_volume({{0.5, 0.5, 0.5, 0.5}}, ref, 16384);
+  EXPECT_NEAR(mid, 1.0 / 16.0, 0.01);
+  // Adding a frontier point can only grow the volume.
+  const double two =
+      dominated_volume({{0.5, 0.5, 0.5, 0.5}, {0.1, 0.9, 0.9, 0.9}}, ref,
+                       16384);
+  EXPECT_GE(two, mid);
+  // Deterministic: same inputs, same bits.
+  EXPECT_EQ(dominated_volume({{0.5, 0.5, 0.5, 0.5}}, ref, 16384), mid);
+}
+
+}  // namespace
+}  // namespace fetcam::dse

@@ -1,0 +1,140 @@
+// DesignSpace contract: grid enumeration is canonical and complete,
+// validation names the broken axis, the low-discrepancy sampler is a
+// deterministic deduplicated function of (space, n, seed), and the
+// feature map normalizes every knob into [0, 1].
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "dse/design_space.hpp"
+
+namespace fetcam::dse {
+namespace {
+
+DesignSpace tiny_space() {
+  DesignSpace s;
+  s.designs = {arch::TcamDesign::k2SgFefet, arch::TcamDesign::k1p5DgFe};
+  s.t_fe_scale = {0.8, 1.0};
+  s.vdd = {0.8};
+  s.control_w_scale = {1.0};
+  s.sense_trim_v = {0.0};
+  s.rows = {4, 16};
+  s.word_bits = {8};
+  s.mats = {1};
+  s.digit_bits = {1, 2};
+  return s;
+}
+
+TEST(DesignSpace, GridSizeIsAxisProduct) {
+  EXPECT_EQ(tiny_space().grid_size(), 2u * 2u * 2u * 2u);
+  EXPECT_EQ(default_space().grid_size(), 256u);
+}
+
+TEST(DesignSpace, GridEnumeratesEveryPointExactlyOnce) {
+  const DesignSpace s = tiny_space();
+  const auto pts = s.grid_points();
+  ASSERT_EQ(pts.size(), s.grid_size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_FALSE(pts[i] == pts[j]) << "duplicate at " << i << ", " << j;
+    }
+  }
+  // digit_bits is the fastest axis in the canonical order.
+  EXPECT_EQ(pts[0].digit_bits, 1);
+  EXPECT_EQ(pts[1].digit_bits, 2);
+  EXPECT_EQ(pts[0].design, pts[1].design);
+}
+
+TEST(DesignSpace, ValidateNamesTheBrokenAxis) {
+  DesignSpace s = tiny_space();
+  s.digit_bits = {4};
+  try {
+    s.validate();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("digit_bits"), std::string::npos);
+  }
+
+  DesignSpace empty = tiny_space();
+  empty.vdd.clear();
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+  DesignSpace cmos = tiny_space();
+  cmos.designs = {arch::TcamDesign::kCmos16T};
+  EXPECT_THROW(cmos.validate(), std::invalid_argument);
+}
+
+TEST(DesignSpace, SamplingIsDeterministicAndDeduplicated) {
+  const DesignSpace s = tiny_space();
+  const auto a = s.sample_points(8, 42);
+  const auto b = s.sample_points(8, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i]) << "seed-stable sample diverged at " << i;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      EXPECT_FALSE(a[i] == a[j]) << "duplicate sample at " << i << ", " << j;
+    }
+  }
+  // Asking for more points than the grid holds saturates at the grid.
+  EXPECT_LE(s.sample_points(1000, 42).size(), s.grid_size());
+  EXPECT_EQ(s.sample_points(1000, 42).size(), s.grid_size());
+}
+
+TEST(DesignSpace, SeedsDecorrelate) {
+  const DesignSpace s = default_space();
+  const auto a = s.sample_points(32, 1);
+  const auto b = s.sample_points(32, 2);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(DesignSpace, FeaturesNormalizedAndNamed) {
+  const DesignSpace s = default_space();
+  const auto names = s.feature_names();
+  for (const auto& p : s.grid_points()) {
+    const auto f = s.features(p);
+    ASSERT_EQ(f.size(), names.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      EXPECT_GE(f[i], 0.0) << names[i];
+      EXPECT_LE(f[i], 1.0) << names[i];
+    }
+  }
+}
+
+TEST(DesignSpace, ParseSpaceRoundTrip) {
+  const DesignSpace s = parse_space(
+      "# comment line\n"
+      "design = 2sg 1p5dg\n"
+      "t_fe_scale = 0.8 1.0\n"
+      "vdd = 0.8\n"
+      "control_w_scale = 1.0\n"
+      "sense_trim_v = 0.0\n"
+      "rows = 4 16   # trailing comment\n"
+      "word_bits = 8\n"
+      "mats = 1\n"
+      "digit_bits = 1 2\n");
+  EXPECT_EQ(s.grid_size(), tiny_space().grid_size());
+  EXPECT_THROW(parse_space("nonsense = 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_space("vdd 0.8\n"), std::invalid_argument);
+  EXPECT_THROW(parse_space("design = warp9\n"), std::invalid_argument);
+}
+
+TEST(DesignSpace, FlavorNamesRoundTrip) {
+  for (arch::TcamDesign d :
+       {arch::TcamDesign::k2SgFefet, arch::TcamDesign::k2DgFefet,
+        arch::TcamDesign::k1p5SgFe, arch::TcamDesign::k1p5DgFe}) {
+    EXPECT_EQ(flavor_from_name(flavor_name(d)), d);
+  }
+  EXPECT_THROW(flavor_from_name("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fetcam::dse

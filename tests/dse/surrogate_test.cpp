@@ -1,0 +1,96 @@
+// Surrogate contract: refuses to predict before the fit is well-posed,
+// recovers a planted quadratic, and the optimistic bound actually bounds
+// (prediction minus margin never exceeds the prediction, and widens with
+// k_margin).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dse/surrogate.hpp"
+#include "util/rng.hpp"
+
+namespace fetcam::dse {
+namespace {
+
+/// Deterministic pseudo-uniform in [0,1) from (seed, i, stream).
+double u01(std::uint64_t seed, std::uint64_t i, std::uint64_t stream) {
+  return static_cast<double>(util::trial_key(seed, i, stream) >> 11) *
+         0x1.0p-53;
+}
+
+TEST(Surrogate, NotReadyBeforeMinSamples) {
+  QuadraticSurrogate s(3);
+  EXPECT_FALSE(s.ready());
+  for (std::size_t i = 0; i + 1 < s.min_samples_to_fit(); ++i) {
+    s.add_sample({0.1, 0.2, 0.3}, {1, 1, 1, 0.5});
+    EXPECT_FALSE(s.fit());
+  }
+  s.add_sample({0.4, 0.5, 0.6}, {2, 2, 2, 0.25});
+  EXPECT_TRUE(s.fit());
+  EXPECT_TRUE(s.ready());
+}
+
+TEST(Surrogate, RecoversPlantedQuadratic) {
+  const std::size_t k = 3;
+  QuadraticSurrogate s(k, /*ridge=*/1e-6);
+  // Plant a smooth positive response per objective and sample it on a
+  // deterministic scattered set.
+  auto truth = [](const std::vector<double>& x, std::size_t obj) {
+    const double t = 0.3 * x[0] + 0.5 * x[1] * x[1] - 0.2 * x[2] +
+                     0.1 * static_cast<double>(obj);
+    return obj < 3 ? std::exp(t) : std::min(1.0, std::max(0.0, 0.5 * t + 0.3));
+  };
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    std::vector<double> x = {u01(9, i, 0), u01(9, i, 1), u01(9, i, 2)};
+    ObjVec y{};
+    for (std::size_t obj = 0; obj < 4; ++obj) y[obj] = truth(x, obj);
+    s.add_sample(x, y);
+  }
+  ASSERT_TRUE(s.fit());
+  // Held-out points: prediction within a few percent (the planted model
+  // is inside the basis for objs 0-2 up to the missing cross terms).
+  for (std::uint64_t i = 100; i < 110; ++i) {
+    std::vector<double> x = {u01(9, i, 0), u01(9, i, 1), u01(9, i, 2)};
+    const ObjVec p = s.predict(x);
+    for (std::size_t obj = 0; obj < 3; ++obj) {
+      EXPECT_NEAR(p[obj] / truth(x, obj), 1.0, 0.10) << "obj " << obj;
+    }
+    EXPECT_NEAR(p[3], truth(x, 3), 0.05);
+  }
+}
+
+TEST(Surrogate, OptimisticBoundsPredictionAndWidensWithMargin) {
+  QuadraticSurrogate s(2);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    std::vector<double> x = {u01(3, i, 0), u01(3, i, 1)};
+    s.add_sample(x, {10.0 + x[0], 1.0 + x[1], 2.0, 0.5 * x[0]});
+  }
+  ASSERT_TRUE(s.fit());
+  const std::vector<double> x = {0.4, 0.6};
+  const ObjVec p = s.predict(x);
+  const ObjVec o1 = s.optimistic(x, 1.0);
+  const ObjVec o2 = s.optimistic(x, 3.0);
+  for (std::size_t obj = 0; obj < 4; ++obj) {
+    EXPECT_LE(o1[obj], p[obj]) << "obj " << obj;
+    EXPECT_LE(o2[obj], o1[obj]) << "obj " << obj;
+    EXPECT_GE(o2[obj], 0.0) << "obj " << obj;  // physical floor
+  }
+}
+
+TEST(Surrogate, SensitivityMatchesPlantedSlopes) {
+  QuadraticSurrogate s(2, /*ridge=*/1e-6);
+  // Yield-loss objective is linear-fit: plant loss = 0.8*x0 + 0.05*x1.
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    std::vector<double> x = {u01(5, i, 0), u01(5, i, 1)};
+    s.add_sample(x, {1.0, 1.0, 1.0, 0.8 * x[0] + 0.05 * x[1]});
+  }
+  ASSERT_TRUE(s.fit());
+  const auto sens = s.linear_sensitivity();
+  ASSERT_EQ(sens.size(), 2u);
+  EXPECT_GT(sens[0][3], sens[1][3]);  // x0 is the dominant knob
+  EXPECT_NEAR(sens[0][3], 0.8, 0.1);
+}
+
+}  // namespace
+}  // namespace fetcam::dse

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI guard: the DSE surrogate must save simulations without losing the frontier.
+
+Reads the machine-readable report emitted by
+
+    bench_dse --dse-json=BENCH_dse.json
+
+(or `fetcam_cli dse --json=...`) and fails when:
+
+  * the schema is not fetcam.dse.v1, or either sweep arm is degenerate
+    (no candidates, no evaluations, empty frontier);
+  * the exact frontier does not contain BOTH cell families (a 2FeFET
+    design and a 1.5T1Fe design) -- the whole point of the sweep is
+    that neither family dominates the other everywhere;
+  * a paper nominal point is dominated by more than DOMINATION_MARGIN
+    relative depth -- the sweep disagreeing with the paper's operating
+    points by that much means the models drifted;
+  * the surrogate-pruned arm simulated more than MAX_EVAL_FRACTION of
+    the grid (pruning that does not prune is dead weight), or recovered
+    less than MIN_FRONTIER_RECALL of the exact frontier (pruning that
+    loses designs is worse than none), or ran without a validation arm.
+
+Every gated number is deterministic (fixed seeds, counter-based RNG
+streams, ordered reductions); the report is bit-identical at any thread
+count, so there is no tolerance for machine-to-machine jitter.
+
+Usage: check_dse_frontier.py BENCH_dse.json
+"""
+
+import json
+import sys
+
+MAX_EVAL_FRACTION = 0.60
+MIN_FRONTIER_RECALL = 0.95
+DOMINATION_MARGIN = 0.05
+
+TWO_FEFET = {"2sg", "2dg"}
+ONE_P5 = {"1p5sg", "1p5dg"}
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        report = json.load(f)
+
+    ok = True
+
+    if report.get("schema") != "fetcam.dse.v1":
+        print(f"FAIL: schema is {report.get('schema')!r}, want fetcam.dse.v1")
+        return 1
+
+    exact = report.get("exact")
+    if not exact:
+        print("FAIL: report missing exact arm")
+        return 1
+    if exact.get("candidates", 0) <= 0 or exact.get("evaluated", 0) <= 0:
+        print("FAIL: exact arm evaluated nothing")
+        ok = False
+
+    frontier = exact.get("frontier", [])
+    if not frontier:
+        print("FAIL: exact frontier is empty")
+        ok = False
+    families = {p.get("design") for p in frontier}
+    if not families & TWO_FEFET:
+        print(f"FAIL: exact frontier has no 2FeFET design (got {sorted(families)})")
+        ok = False
+    if not families & ONE_P5:
+        print(f"FAIL: exact frontier has no 1.5T1Fe design (got {sorted(families)})")
+        ok = False
+    for p in frontier:
+        if any(v is None for v in p.get("objectives", [None])):
+            print(f"FAIL: frontier point {p.get('design')} has non-finite objectives")
+            ok = False
+            break
+
+    paper = report.get("paper_points", [])
+    if not paper:
+        print("FAIL: report has no paper_points")
+        ok = False
+    for p in paper:
+        if not p.get("ok"):
+            print(f"FAIL: paper point {p.get('design')} failed to evaluate")
+            ok = False
+            continue
+        depth = p.get("domination_depth", 1.0)
+        if depth > DOMINATION_MARGIN:
+            print(
+                f"FAIL: paper point {p.get('design')} dominated by depth "
+                f"{depth:.3f} > {DOMINATION_MARGIN}"
+            )
+            ok = False
+
+    sur = report.get("surrogate", {})
+    if not sur.get("enabled"):
+        print("FAIL: surrogate arm disabled; nothing gated the pruning")
+        ok = False
+    else:
+        frac = sur.get("eval_fraction", 1.0)
+        if frac > MAX_EVAL_FRACTION:
+            print(
+                f"FAIL: surrogate arm simulated {frac:.1%} of the grid "
+                f"(> {MAX_EVAL_FRACTION:.0%})"
+            )
+            ok = False
+        recall = report.get("surrogate_frontier_recall", 0.0)
+        if recall < MIN_FRONTIER_RECALL:
+            print(
+                f"FAIL: surrogate frontier recall {recall:.1%} "
+                f"(< {MIN_FRONTIER_RECALL:.0%})"
+            )
+            ok = False
+        if sur.get("skipped", 0) > 0 and sur.get("validated", 0) <= 0:
+            print("FAIL: surrogate skipped points but validated none of them")
+            ok = False
+
+    if ok:
+        n_eval = sur.get("evaluated", 0) + sur.get("validated", 0)
+        print(
+            f"OK: frontier {len(frontier)} points across {sorted(families)}; "
+            f"surrogate simulated {n_eval}/{exact.get('candidates')} "
+            f"({sur.get('eval_fraction', 0):.1%}), recall "
+            f"{report.get('surrogate_frontier_recall', 0):.1%}; "
+            f"paper depths "
+            + ", ".join(
+                f"{p['design']}={p.get('domination_depth', 0):.3f}" for p in paper
+            )
+        )
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,6 +97,9 @@
 #include "engine/stats.hpp"
 #include "engine/table.hpp"
 #include "engine/workload.hpp"
+#include "dse/design_space.hpp"
+#include "dse/driver.hpp"
+#include "dse/report.hpp"
 #include "eval/calibration.hpp"
 #include "eval/disturb.hpp"
 #include "eval/half_select.hpp"
@@ -119,16 +122,43 @@ namespace {
 /// seeds / sweep parameters through this.
 obs::RunManifest* g_manifest = nullptr;
 
+struct SubcommandInfo {
+  const char* name;
+  const char* oneline;
+};
+
+constexpr SubcommandInfo kSubcommands[] = {
+    {"table4", "figure-of-merit comparison of the five designs (Table IV)"},
+    {"fig1", "SG FG-read vs DG BG-read device characteristics (Fig. 1)"},
+    {"fig4", "search waveform match/miss demonstration (Fig. 4)"},
+    {"fig7", "latency/energy vs word-length sweep (Fig. 7)"},
+    {"ops", "per-design search/write operation verification table"},
+    {"divider", "1.5T1Fe divider operating points across corners"},
+    {"variability", "Monte-Carlo divider yield analysis"},
+    {"disturb", "read-disturb polarization accumulation study"},
+    {"halfselect", "write half-select disturb study"},
+    {"search", "one search operation on a full simulated array"},
+    {"datasheet", "array-level area/energy/latency datasheet"},
+    {"export", "SPICE netlist export of a cell/array testbench"},
+    {"engine", "software match engine: bench, serve, client modes"},
+    {"compile", "rule-set compiler onto the TCAM array model"},
+    {"dse", "design-space exploration: surrogate-pruned sweep with "
+            "Pareto-frontier output"},
+};
+
 int usage() {
   std::fprintf(stderr,
                "usage: fetcam_cli [--threads N] [--obs-level off|metrics|"
                "trace]\n"
                "                  [--metrics-out F] [--trace-out F] "
                "[--manifest-out F]\n"
-               "                  <table4|fig1|fig4|fig7|ops|"
-               "divider|variability|disturb|halfselect|search|datasheet|"
-               "export|engine|compile> [args]\n"
-               "  see the header comment of tools/fetcam_cli.cpp\n"
+               "                  <subcommand> [args]\n\n"
+               "subcommands:\n");
+  for (const auto& sc : kSubcommands) {
+    std::fprintf(stderr, "  %-12s %s\n", sc.name, sc.oneline);
+  }
+  std::fprintf(stderr,
+               "\n  see the header comment of tools/fetcam_cli.cpp\n"
                "  engine: --threads/FETCAM_THREADS also sets the engine's\n"
                "  batch-match worker pool (results are bit-identical at any\n"
                "  thread count; batches always apply in submission order)\n");
@@ -780,6 +810,114 @@ int cmd_compile(int argc, char** argv) {
   return 0;
 }
 
+// fetcam_cli dse [--space=FILE] [--budget=N] [--surrogate=on|off]
+//                [--mc=N] [--seed=N] [--json=FILE]
+//
+// Sweeps the design space (default: dse::default_space(); --space loads
+// the `key = v1 v2 ...` format of docs/DSE.md), prints the Pareto
+// frontier, and writes the fetcam.dse.v1 JSON document (default
+// BENCH_dse.json; --json= with an empty value disables the file).  With
+// the surrogate on (default) the exact arm runs once and the pruned arm
+// replays against it, so the JSON carries both plus the frontier-recall
+// figure the CI gate checks.  Parallelism comes from the global --threads
+// flag; the table is bit-identical at any thread count.
+int cmd_dse(int argc, char** argv) {
+  dse::DseOptions opts;
+  opts.space = dse::default_space();
+  std::string json_out = "BENCH_dse.json";
+  bool surrogate = true;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value_of = [&a](const char* prefix) {
+      return a.substr(std::strlen(prefix));
+    };
+    // Whole-string numeric parse: "--budget=abc" is an error, not 0.
+    const auto parse_u64 = [](const std::string& flag,
+                              const std::string& v) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+      if (v.empty() || end == nullptr || *end != '\0') {
+        throw std::invalid_argument(flag + " wants a non-negative integer, got '" +
+                                    v + "'");
+      }
+      return n;
+    };
+    try {
+      if (a.rfind("--space=", 0) == 0) {
+        opts.space = dse::load_space_file(value_of("--space="));
+      } else if (a.rfind("--budget=", 0) == 0) {
+        opts.budget = static_cast<std::size_t>(
+            parse_u64("--budget", value_of("--budget=")));
+      } else if (a.rfind("--surrogate=", 0) == 0) {
+        const std::string v = value_of("--surrogate=");
+        if (v == "on") surrogate = true;
+        else if (v == "off") surrogate = false;
+        else {
+          std::fprintf(stderr, "--surrogate wants on|off\n");
+          return usage();
+        }
+      } else if (a.rfind("--mc=", 0) == 0) {
+        const unsigned long long mc = parse_u64("--mc", value_of("--mc="));
+        if (mc == 0) throw std::invalid_argument("--mc wants >= 1 trials");
+        opts.eval.mc_samples = static_cast<int>(mc);
+      } else if (a.rfind("--seed=", 0) == 0) {
+        opts.seed = parse_u64("--seed", value_of("--seed="));
+        opts.eval.seed = opts.seed;
+      } else if (a.rfind("--json=", 0) == 0) {
+        json_out = value_of("--json=");
+      } else {
+        std::fprintf(stderr, "dse: unknown flag '%s'\n", a.c_str());
+        return usage();
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dse: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (g_manifest != nullptr) {
+    g_manifest->add_info("rng_seed", static_cast<long long>(opts.seed));
+    g_manifest->add_info("dse_budget", static_cast<long long>(opts.budget));
+    g_manifest->add_info("dse_surrogate", surrogate ? "on" : "off");
+  }
+
+  try {
+    std::string json, text;
+    if (surrogate) {
+      const dse::DseComparison cmp = dse::run_dse_comparison(opts);
+      const auto paper = dse::check_paper_points(opts, cmp.exact);
+      json = dse::render_json(opts, cmp.exact, &cmp.pruned,
+                              cmp.frontier_recall, paper,
+                              util::thread_count());
+      text = dse::render_text(opts, cmp.exact, &cmp.pruned,
+                              cmp.frontier_recall, paper);
+    } else {
+      dse::DseOptions exact_opts = opts;
+      exact_opts.use_surrogate = false;
+      const dse::DseResult res = dse::run_dse(exact_opts);
+      const auto paper = dse::check_paper_points(opts, res);
+      json = dse::render_json(opts, res, nullptr, 0.0, paper,
+                              util::thread_count());
+      text = dse::render_text(opts, res, nullptr, 0.0, paper);
+    }
+    std::printf("%s", text.c_str());
+    if (!json_out.empty()) {
+      std::FILE* f = std::fopen(json_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+      std::printf("\nwrote %s\n", json_out.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dse: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 namespace {
@@ -799,6 +937,8 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "export") return cmd_export(argc - 2, argv + 2);
   if (cmd == "engine") return cmd_engine(argc - 2, argv + 2);
   if (cmd == "compile") return cmd_compile(argc - 2, argv + 2);
+  if (cmd == "dse") return cmd_dse(argc - 2, argv + 2);
+  std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
   return usage();
 }
 
